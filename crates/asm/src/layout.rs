@@ -1,0 +1,49 @@
+//! The cluster memory map shared by the assembler and the simulator.
+//!
+//! Mirrors the Snitch cluster's address-space split: instruction memory,
+//! tightly-coupled data memory (TCDM, the L1 scratchpad) and an external
+//! main-memory region reachable by the DMA engine and (slowly) by the core.
+
+/// Base address of instruction memory.
+pub const TEXT_BASE: u32 = 0x8000_0000;
+
+/// Base address of the TCDM (L1 scratchpad).
+pub const TCDM_BASE: u32 = 0x1000_0000;
+
+/// TCDM capacity in bytes (128 KiB, as in the Snitch cluster used by the
+/// paper).
+pub const TCDM_SIZE: u32 = 128 * 1024;
+
+/// Base address of external main memory.
+pub const MAIN_BASE: u32 = 0xC000_0000;
+
+/// Main-memory capacity in bytes modelled by the simulator.
+pub const MAIN_SIZE: u32 = 16 * 1024 * 1024;
+
+/// Whether `addr` falls inside the TCDM.
+#[must_use]
+pub fn is_tcdm(addr: u32) -> bool {
+    (TCDM_BASE..TCDM_BASE + TCDM_SIZE).contains(&addr)
+}
+
+/// Whether `addr` falls inside main memory.
+#[must_use]
+pub fn is_main(addr: u32) -> bool {
+    (MAIN_BASE..MAIN_BASE + MAIN_SIZE).contains(&addr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_are_disjoint() {
+        assert!(is_tcdm(TCDM_BASE));
+        assert!(is_tcdm(TCDM_BASE + TCDM_SIZE - 1));
+        assert!(!is_tcdm(TCDM_BASE + TCDM_SIZE));
+        assert!(is_main(MAIN_BASE));
+        assert!(!is_main(TCDM_BASE));
+        assert!(!is_tcdm(MAIN_BASE));
+        assert!(!is_tcdm(TEXT_BASE));
+    }
+}

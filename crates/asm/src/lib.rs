@@ -1,0 +1,33 @@
+//! Typed assembler for the Snitch/COPIFT instruction set.
+//!
+//! The paper's kernels are "optimized mixed C and assembly"; this crate is
+//! the equivalent authoring layer for the reproduction: a
+//! [`ProgramBuilder`](builder::ProgramBuilder) with one method per mnemonic,
+//! labels with forward references, `li`/`la`/`mv`-style pseudo-instructions,
+//! and data allocation in both the TCDM scratchpad and main memory.
+//!
+//! # Example
+//!
+//! ```
+//! use snitch_asm::builder::ProgramBuilder;
+//! use snitch_riscv::reg::IntReg;
+//!
+//! let mut b = ProgramBuilder::new();
+//! b.li(IntReg::A0, 10);
+//! b.li(IntReg::A1, 0);
+//! b.label("loop");
+//! b.add(IntReg::A1, IntReg::A1, IntReg::A0);
+//! b.addi(IntReg::A0, IntReg::A0, -1);
+//! b.bnez(IntReg::A0, "loop");
+//! b.ecall();
+//! let program = b.build()?;
+//! assert!(program.text().len() >= 6);
+//! # Ok::<(), snitch_asm::AsmError>(())
+//! ```
+
+pub mod builder;
+pub mod layout;
+pub mod program;
+
+pub use builder::{AsmError, ProgramBuilder};
+pub use program::Program;

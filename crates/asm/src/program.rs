@@ -1,0 +1,88 @@
+//! The assembled program image.
+
+use std::collections::HashMap;
+
+use snitch_riscv::inst::Inst;
+
+use crate::layout;
+
+/// An assembled program: instruction stream, initial TCDM and main-memory
+/// images, and the symbol table.
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    text: Vec<Inst>,
+    tcdm_image: Vec<u8>,
+    main_image: Vec<u8>,
+    symbols: HashMap<String, u32>,
+}
+
+impl Program {
+    pub(crate) fn new(
+        text: Vec<Inst>,
+        tcdm_image: Vec<u8>,
+        main_image: Vec<u8>,
+        symbols: HashMap<String, u32>,
+    ) -> Self {
+        Program { text, tcdm_image, main_image, symbols }
+    }
+
+    /// The instruction stream, starting at [`layout::TEXT_BASE`].
+    #[must_use]
+    pub fn text(&self) -> &[Inst] {
+        &self.text
+    }
+
+    /// The initial TCDM image, starting at [`layout::TCDM_BASE`].
+    #[must_use]
+    pub fn tcdm_image(&self) -> &[u8] {
+        &self.tcdm_image
+    }
+
+    /// The initial main-memory image, starting at [`layout::MAIN_BASE`].
+    #[must_use]
+    pub fn main_image(&self) -> &[u8] {
+        &self.main_image
+    }
+
+    /// Looks up a data symbol or code label address.
+    #[must_use]
+    pub fn symbol(&self, name: &str) -> Option<u32> {
+        self.symbols.get(name).copied()
+    }
+
+    /// The address of the first instruction.
+    #[must_use]
+    pub fn entry(&self) -> u32 {
+        layout::TEXT_BASE
+    }
+
+    /// Encodes the instruction stream to binary words.
+    #[must_use]
+    pub fn encode_text(&self) -> Vec<u32> {
+        self.text.iter().map(Inst::encode).collect()
+    }
+
+    /// Renders a disassembly listing with addresses, one instruction per
+    /// line, with label names interleaved.
+    #[must_use]
+    pub fn disassemble(&self) -> String {
+        use std::fmt::Write as _;
+        let mut by_addr: HashMap<u32, Vec<&str>> = HashMap::new();
+        for (name, &addr) in &self.symbols {
+            if addr >= layout::TEXT_BASE {
+                by_addr.entry(addr).or_default().push(name);
+            }
+        }
+        let mut out = String::new();
+        for (i, inst) in self.text.iter().enumerate() {
+            let addr = layout::TEXT_BASE + (i as u32) * 4;
+            if let Some(labels) = by_addr.get(&addr) {
+                for l in labels {
+                    let _ = writeln!(out, "{l}:");
+                }
+            }
+            let _ = writeln!(out, "  {addr:#010x}:  {inst}");
+        }
+        out
+    }
+}

@@ -1,0 +1,95 @@
+//! Ablation benches for the design choices DESIGN.md calls out. Each bench
+//! prints the architectural effect once (cycle counts under the modified
+//! configuration) and then measures the simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use snitch_kernels::registry::{Kernel, Variant};
+use snitch_sim::config::ClusterConfig;
+
+fn run_cycles(kernel: Kernel, variant: Variant, n: usize, block: usize, cfg: ClusterConfig) -> u64 {
+    kernel.run_with(variant, n, block, cfg).expect("validates").total_cycles
+}
+
+/// 1 vs 2 integer RF write-back ports: isolates the paper's LCG
+/// structural-hazard explanation.
+fn ablation_wb_port(c: &mut Criterion) {
+    let base = run_cycles(Kernel::PiLcg, Variant::Baseline, 512, 0, ClusterConfig::default());
+    let two = run_cycles(
+        Kernel::PiLcg,
+        Variant::Baseline,
+        512,
+        0,
+        ClusterConfig { int_wb_ports: 2, ..ClusterConfig::default() },
+    );
+    println!("[ablation_wb_port] pi_lcg base cycles: 1 port {base}, 2 ports {two}");
+    assert!(two < base, "a second write-back port must remove LCG stalls");
+    c.bench_function("ablation_wb_port", |b| {
+        b.iter(|| {
+            black_box(run_cycles(
+                Kernel::PiLcg,
+                Variant::Baseline,
+                512,
+                0,
+                ClusterConfig { int_wb_ports: 2, ..ClusterConfig::default() },
+            ))
+        });
+    });
+}
+
+/// L0 capacity sweep: the exp/log I$ energy story.
+fn ablation_l0_capacity(c: &mut Criterion) {
+    for cap in [32usize, 64, 128] {
+        let cfg = ClusterConfig { l0_capacity: cap, ..ClusterConfig::default() };
+        let r = Kernel::Expf.run_with(Variant::Baseline, 256, 32, cfg).expect("validates");
+        println!(
+            "[ablation_l0] exp base, L0 {cap:>3}: hits {} misses {}",
+            r.stats.l0_hits, r.stats.l0_misses
+        );
+    }
+    c.bench_function("ablation_l0_capacity", |b| {
+        b.iter(|| {
+            let cfg = ClusterConfig { l0_capacity: 128, ..ClusterConfig::default() };
+            black_box(Kernel::Expf.run_with(Variant::Baseline, 256, 32, cfg).unwrap().total_cycles)
+        });
+    });
+}
+
+/// Offload FIFO depth: bounds integer-thread run-ahead.
+fn ablation_fifo_depth(c: &mut Criterion) {
+    for depth in [2usize, 8, 16] {
+        let cfg = ClusterConfig { offload_fifo_depth: depth, ..ClusterConfig::default() };
+        let cy = run_cycles(Kernel::PolyLcg, Variant::Copift, 512, 128, cfg);
+        println!("[ablation_fifo] poly_lcg copift, fifo {depth:>2}: {cy} cycles");
+    }
+    c.bench_function("ablation_fifo_depth", |b| {
+        b.iter(|| {
+            let cfg = ClusterConfig { offload_fifo_depth: 2, ..ClusterConfig::default() };
+            black_box(run_cycles(Kernel::PolyLcg, Variant::Copift, 512, 128, cfg))
+        });
+    });
+}
+
+/// Sequencer ring depth: the documented deviation from Snitch's small FREP
+/// buffer (bodies up to 80 instructions need a deeper ring).
+fn ablation_seq_depth(c: &mut Criterion) {
+    for depth in [80usize, 128] {
+        let cfg = ClusterConfig { sequencer_depth: depth, ..ClusterConfig::default() };
+        let cy = run_cycles(Kernel::PolyLcg, Variant::Copift, 512, 128, cfg);
+        println!("[ablation_seq] poly_lcg copift, ring {depth:>3}: {cy} cycles");
+    }
+    c.bench_function("ablation_seq_depth", |b| {
+        b.iter(|| {
+            let cfg = ClusterConfig { sequencer_depth: 80, ..ClusterConfig::default() };
+            black_box(run_cycles(Kernel::PolyLcg, Variant::Copift, 512, 128, cfg))
+        });
+    });
+}
+
+criterion_group! {
+    name = ablations;
+    config = Criterion::default().sample_size(10);
+    targets = ablation_wb_port, ablation_l0_capacity, ablation_fifo_depth, ablation_seq_depth
+}
+criterion_main!(ablations);

@@ -1,0 +1,69 @@
+//! Criterion benches, one per paper table/figure: each benchmark executes
+//! the workload that regenerates the corresponding result (host wall-clock
+//! is what Criterion reports; the architectural numbers come from the
+//! `table1`/`fig2`/`fig3`/`experiments` binaries).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use snitch_kernels::registry::{Kernel, Variant};
+
+fn table1_static_analysis(c: &mut Criterion) {
+    // The COPIFT methodology pipeline on a representative mixed body.
+    let program = Kernel::PiLcg.build(Variant::Baseline, 8, 0);
+    // Strip control flow: analyze the straight-line prefix.
+    let body: Vec<_> = program
+        .text()
+        .iter()
+        .copied()
+        .take_while(|i| !i.is_control_flow())
+        .collect();
+    c.bench_function("table1_static_analysis", |b| {
+        b.iter(|| copift::analyze(black_box(&body)).expect("analyzes"));
+    });
+}
+
+fn fig2a_ipc(c: &mut Criterion) {
+    c.bench_function("fig2a_ipc_pi_lcg_copift", |b| {
+        b.iter(|| {
+            let r = Kernel::PiLcg.run(Variant::Copift, 1024, 128).expect("validates");
+            black_box(r.stats.ipc())
+        });
+    });
+}
+
+fn fig2b_power(c: &mut Criterion) {
+    c.bench_function("fig2b_power_exp_base", |b| {
+        b.iter(|| {
+            let r = Kernel::Expf.run(Variant::Baseline, 512, 64).expect("validates");
+            black_box(r.power_mw)
+        });
+    });
+}
+
+fn fig2c_speedup_energy(c: &mut Criterion) {
+    c.bench_function("fig2c_speedup_exp", |b| {
+        b.iter(|| {
+            let base = Kernel::Expf.run(Variant::Baseline, 512, 64).expect("base");
+            let fast = Kernel::Expf.run(Variant::Copift, 512, 64).expect("copift");
+            black_box(base.total_cycles as f64 / fast.total_cycles as f64)
+        });
+    });
+}
+
+fn fig3_block_sweep(c: &mut Criterion) {
+    c.bench_function("fig3_cell_poly_lcg", |b| {
+        b.iter(|| {
+            let r = Kernel::PolyLcg.run(Variant::Copift, 1536, 96).expect("validates");
+            black_box(r.stats.ipc())
+        });
+    });
+}
+
+criterion_group! {
+    name = paper;
+    config = Criterion::default().sample_size(10);
+    targets = table1_static_analysis, fig2a_ipc, fig2b_power, fig2c_speedup_energy,
+              fig3_block_sweep
+}
+criterion_main!(paper);

@@ -1,0 +1,150 @@
+//! Runs every experiment and writes `EXPERIMENTS.md` (paper vs measured for
+//! every table and figure).
+
+use std::fmt::Write as _;
+
+use snitch_bench::{fig3_ipc, geomean, Fig2Row, FIG3_BLOCKS, FIG3_SIZES};
+use snitch_kernels::registry::Kernel;
+
+fn main() {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# EXPERIMENTS — paper vs measured\n\n\
+         Reproduction of *Dual-Issue Execution of Mixed Integer and Floating-Point\n\
+         Workloads on Energy-Efficient In-Order RISC-V Cores* (DAC 2025) on the\n\
+         `snitch-sim` cycle-accurate model with the `snitch-energy` power model.\n\
+         Regenerate with `cargo run --release -p snitch-bench --bin experiments`.\n\
+         Absolute numbers depend on the simulator/energy calibration documented in\n\
+         DESIGN.md §9; the claims under test are the *shapes*: who wins, by what\n\
+         factor, and where the trends bend.\n"
+    );
+
+    // ---- Figure 2 ----
+    let rows: Vec<Fig2Row> = Kernel::all().iter().map(|k| Fig2Row::measure(*k)).collect();
+    let paper_ipc = [(0.96, 1.24), (0.96, 1.36), (0.86, 1.50), (0.89, 1.75), (0.92, 1.48), (0.92, 1.63)];
+    let paper_power = [(37.9, 39.0), (37.4, 38.4), (41.5, 43.6), (38.7, 40.1), (42.1, 45.1), (41.8, 46.2)];
+    let paper_speedup = [1.15, 1.26, 1.32, 1.58, 1.62, 2.05];
+    let paper_energy = [1.12, 1.22, 1.17, 1.34, 1.61, 1.93];
+
+    let _ = writeln!(out, "## Figure 2a — steady-state IPC\n");
+    let _ = writeln!(out, "| kernel | base (paper) | base (ours) | COPIFT (paper) | COPIFT (ours) |");
+    let _ = writeln!(out, "|---|---|---|---|---|");
+    for (r, p) in rows.iter().zip(paper_ipc) {
+        let _ = writeln!(
+            out,
+            "| {} | {:.2} | {:.2} | {:.2} | {:.2} |",
+            r.kernel.name(),
+            p.0,
+            r.base.ipc,
+            p.1,
+            r.copift.ipc
+        );
+    }
+    let gains: Vec<f64> = rows.iter().map(|r| r.copift.ipc / r.base.ipc).collect();
+    let peak = rows.iter().map(|r| r.copift.ipc).fold(0.0f64, f64::max);
+    let _ = writeln!(
+        out,
+        "\nGeomean IPC gain **{:.2}×** (paper 1.62×); peak IPC **{peak:.2}** (paper 1.75).\n",
+        geomean(&gains)
+    );
+
+    let _ = writeln!(out, "## Figure 2b — average power (mW)\n");
+    let _ = writeln!(out, "| kernel | base (paper) | base (ours) | COPIFT (paper) | COPIFT (ours) |");
+    let _ = writeln!(out, "|---|---|---|---|---|");
+    for (r, p) in rows.iter().zip(paper_power) {
+        let _ = writeln!(
+            out,
+            "| {} | {:.1} | {:.1} | {:.1} | {:.1} |",
+            r.kernel.name(),
+            p.0,
+            r.base.power_mw,
+            p.1,
+            r.copift.power_mw
+        );
+    }
+    let ratios: Vec<f64> = rows.iter().map(Fig2Row::power_ratio).collect();
+    let _ = writeln!(
+        out,
+        "\nGeomean power ratio **{:.3}×** (paper 1.07×).\n",
+        geomean(&ratios)
+    );
+
+    let _ = writeln!(out, "## Figure 2c — speedup and energy improvement\n");
+    let _ = writeln!(
+        out,
+        "| kernel | speedup (paper) | speedup (ours) | energy imp. (paper) | energy imp. (ours) |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|");
+    for ((r, ps), pe) in rows.iter().zip(paper_speedup).zip(paper_energy) {
+        let _ = writeln!(
+            out,
+            "| {} | {:.2} | {:.2} | {:.2} | {:.2} |",
+            r.kernel.name(),
+            ps,
+            r.speedup(),
+            pe,
+            r.energy_improvement()
+        );
+    }
+    let sp: Vec<f64> = rows.iter().map(Fig2Row::speedup).collect();
+    let ei: Vec<f64> = rows.iter().map(Fig2Row::energy_improvement).collect();
+    let _ = writeln!(
+        out,
+        "\nGeomean speedup **{:.2}×** (paper 1.47×); geomean energy improvement \
+         **{:.2}×** (paper 1.37×); peak speedup **{:.2}×** (paper 2.05× on `exp`).\n",
+        geomean(&sp),
+        geomean(&ei),
+        sp.iter().fold(0.0f64, |a, &b| a.max(b))
+    );
+
+    // ---- Figure 3 ----
+    let _ = writeln!(out, "## Figure 3 — poly_lcg COPIFT IPC over (problem size × block size)\n");
+    let mut header = String::from("| n \\ B |");
+    for b in FIG3_BLOCKS {
+        let _ = write!(header, " {b} |");
+    }
+    let _ = writeln!(out, "{header} peak |");
+    let _ = writeln!(out, "|{}", "---|".repeat(FIG3_BLOCKS.len() + 2));
+    for &n in &FIG3_SIZES {
+        let mut line = format!("| {n} |");
+        let mut best = (0usize, 0.0f64);
+        for (j, &b) in FIG3_BLOCKS.iter().enumerate() {
+            let v = fig3_ipc(n, b);
+            if v > best.1 {
+                best = (j, v);
+            }
+            let _ = write!(line, " {v:.3} |");
+        }
+        let _ = writeln!(out, "{line} B={} |", FIG3_BLOCKS[best.0]);
+    }
+    let _ = writeln!(
+        out,
+        "\nTrends to compare with the paper: IPC increases with problem size as\n\
+         prologue/epilogue overheads amortize; small blocks converge at smaller n;\n\
+         the per-size peak block grows with n; large-n IPC approaches the\n\
+         steady-state Figure 2a value.\n"
+    );
+
+    // ---- Known deviations ----
+    let _ = writeln!(
+        out,
+        "## Substitutions and deviations\n\n\
+         * The RTL/QuestaSim platform is replaced by a cycle-accurate software\n\
+           model and PrimeTime power by a calibrated event-energy model\n\
+           (DESIGN.md §1, §9). Absolute mW track the paper's 37–46 mW window by\n\
+           construction of two anchor points; per-kernel values are measured.\n\
+         * The FREP sequencer ring holds 128 entries (Snitch's is smaller); the\n\
+           paper's COPIFT branch also requires bodies of up to 80 instructions.\n\
+           `ablation_seq_depth` quantifies the sensitivity.\n\
+         * `logf` is TCDM-resident (no DMA streaming), so its baseline power is\n\
+           slightly lower than the paper's 42.1 mW.\n\
+         * Instruction counts differ by a few ops/element where the paper's\n\
+           exact code is not published (e.g. our MC integer thread spills with\n\
+           two `sw` per draw); Table I reports measured mixes side by side.\n"
+    );
+
+    std::fs::write("EXPERIMENTS.md", &out).expect("write EXPERIMENTS.md");
+    println!("{out}");
+    println!("written to EXPERIMENTS.md");
+}

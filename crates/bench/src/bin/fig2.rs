@@ -1,0 +1,69 @@
+//! Regenerates **Figure 2**: steady-state IPC (a), power (b), and
+//! speedup / energy improvement (c) for all six kernels, baseline vs COPIFT.
+
+use snitch_bench::{geomean, Fig2Row};
+use snitch_kernels::registry::Kernel;
+
+fn main() {
+    let panel = std::env::args().nth(2).unwrap_or_else(|| "all".to_string());
+    let rows: Vec<Fig2Row> = Kernel::all().iter().map(|k| Fig2Row::measure(*k)).collect();
+
+    if panel == "ipc" || panel == "all" {
+        println!("Figure 2a — steady-state IPC (paper: base 0.86–0.96, COPIFT 1.24–1.75)");
+        println!("{:<18} {:>8} {:>8} {:>7} {:>10}", "kernel", "base", "copift", "gain", "I' (exp.)");
+        for r in &rows {
+            println!(
+                "{:<18} {:>8.2} {:>8.2} {:>6.1}x {:>10.2}",
+                r.kernel.name(),
+                r.base.ipc,
+                r.copift.ipc,
+                r.copift.ipc / r.base.ipc,
+                r.i_prime()
+            );
+        }
+        let gains: Vec<f64> = rows.iter().map(|r| r.copift.ipc / r.base.ipc).collect();
+        println!("geomean IPC gain: {:.2}x (paper 1.62x)", geomean(&gains));
+        let peak = rows.iter().map(|r| r.copift.ipc).fold(0.0f64, f64::max);
+        println!("peak IPC: {peak:.2} (paper 1.75)\n");
+    }
+    if panel == "power" || panel == "all" {
+        println!("Figure 2b — average power [mW] (paper: 37.4–46.2 mW, geomean ratio 1.07x)");
+        println!("{:<18} {:>8} {:>8} {:>7}", "kernel", "base", "copift", "ratio");
+        for r in &rows {
+            println!(
+                "{:<18} {:>8.1} {:>8.1} {:>6.2}x",
+                r.kernel.name(),
+                r.base.power_mw,
+                r.copift.power_mw,
+                r.power_ratio()
+            );
+        }
+        let ratios: Vec<f64> = rows.iter().map(Fig2Row::power_ratio).collect();
+        println!("geomean power ratio: {:.3}x (paper 1.07x)\n", geomean(&ratios));
+    }
+    if panel == "speedup" || panel == "all" {
+        println!("Figure 2c — speedup and energy improvement (paper: 1.47x / 1.37x geomean)");
+        println!(
+            "{:<18} {:>8} {:>10} {:>10}",
+            "kernel", "speedup", "energy-imp", "S' (exp.)"
+        );
+        for r in &rows {
+            println!(
+                "{:<18} {:>7.2}x {:>9.2}x {:>10.2}",
+                r.kernel.name(),
+                r.speedup(),
+                r.energy_improvement(),
+                r.s_prime()
+            );
+        }
+        let sp: Vec<f64> = rows.iter().map(Fig2Row::speedup).collect();
+        let ei: Vec<f64> = rows.iter().map(Fig2Row::energy_improvement).collect();
+        println!(
+            "geomean speedup: {:.2}x (paper 1.47x); geomean energy improvement: {:.2}x (paper 1.37x)",
+            geomean(&sp),
+            geomean(&ei)
+        );
+        let peak = sp.iter().fold(0.0f64, |a, &b| a.max(b));
+        println!("peak speedup: {peak:.2}x (paper 2.05x on exp)");
+    }
+}

@@ -1,0 +1,16 @@
+use snitch_kernels::registry::{Kernel, Variant};
+fn main() {
+    for k in Kernel::all() {
+        for v in [Variant::Baseline, Variant::Copift] {
+            let (n, block) = match k {
+                Kernel::Expf | Kernel::Logf => (512, 64),
+                _ => (512, 128),
+            };
+            match k.run(v, n, block) {
+                Ok(r) => println!("{:<18} {:<7} ok: cycles {:>8} ipc {:.3} power {:.1} mW",
+                    k.name(), v.name(), r.total_cycles, r.stats.ipc(), r.power_mw),
+                Err(e) => println!("{:<18} {:<7} FAILED: {e}", k.name(), v.name()),
+            }
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Regenerates **Table I**: per-kernel static characteristics and the
+//! analytical estimators of Eqs. (1)–(3), from *measured* steady-state
+//! instruction mixes (normalized to the paper's per-unit granularity:
+//! 4 elements for the vector kernels, 8 points for Monte Carlo).
+
+use copift::estimate::{i_prime, s_double_prime, s_prime, thread_imbalance, MixCounts};
+use snitch_bench::measure_steady;
+use snitch_kernels::registry::{Kernel, Variant};
+
+fn unit_of(kernel: Kernel) -> f64 {
+    if kernel.is_mc() {
+        8.0
+    } else {
+        4.0
+    }
+}
+
+fn mix_per_unit(kernel: Kernel, variant: Variant) -> MixCounts {
+    let ss = measure_steady(kernel, variant);
+    let elems = ss.delta.cycles as f64 / ss.cycles_per_elem;
+    let scale = unit_of(kernel) / elems;
+    MixCounts {
+        n_int: (ss.delta.int_issued as f64 * scale).round() as u64,
+        n_fp: (ss.delta.fp_instructions() as f64 * scale).round() as u64,
+    }
+}
+
+/// One paper row: (name, base mix, TI, copift mix, I', S'', S').
+type PaperRow = (&'static str, (u64, u64), f64, (u64, u64), f64, f64, f64);
+
+fn main() {
+    // Paper's Table I rows for side-by-side comparison.
+    let paper: &[PaperRow] = &[
+        ("exp", (43, 52), 0.83, (43, 36), 1.84, 1.83, 2.21),
+        ("log", (39, 52), 0.75, (57, 36), 1.63, 1.75, 1.60),
+        ("poly_lcg", (44, 80), 0.55, (72, 80), 1.90, 1.55, 1.55),
+        ("pi_lcg", (44, 56), 0.79, (72, 56), 1.78, 1.79, 1.39),
+        ("poly_xoshiro128p", (172, 80), 0.47, (200, 80), 1.40, 1.47, 1.26),
+        ("pi_xoshiro128p", (172, 56), 0.33, (200, 56), 1.28, 1.33, 1.14),
+    ];
+    println!("Table I — kernel characteristics (measured steady-state mixes per paper unit)");
+    println!(
+        "{:<18} {:>9} {:>9} {:>6} | {:>9} {:>9} | {:>6} {:>6} {:>6} | paper: I' S'' S'",
+        "kernel", "base#Int", "base#FP", "TI", "cop#Int", "cop#FP", "I'", "S''", "S'"
+    );
+    for k in Kernel::all().iter().rev() {
+        let base = mix_per_unit(*k, Variant::Baseline);
+        let cop = mix_per_unit(*k, Variant::Copift);
+        let row = paper.iter().find(|r| r.0 == k.name());
+        let paper_str = row.map_or_else(String::new, |r| {
+            format!(
+                "{:.2} {:.2} {:.2}  (paper base {}i/{}f cop {}i/{}f)",
+                r.4, r.5, r.6, r.1 .0, r.1 .1, r.3 .0, r.3 .1
+            )
+        });
+        println!(
+            "{:<18} {:>9} {:>9} {:>6.2} | {:>9} {:>9} | {:>6.2} {:>6.2} {:>6.2} | {paper_str}",
+            k.name(),
+            base.n_int,
+            base.n_fp,
+            thread_imbalance(base),
+            cop.n_int,
+            cop.n_fp,
+            i_prime(cop),
+            s_double_prime(base),
+            s_prime(base, cop),
+        );
+    }
+    println!("\nBuffer plan of the paper's Fig. 1b expf body (Steps 2, 4–5):");
+    let body = expf_fig1b_body();
+    let analysis = copift::analyze(&body).expect("expf body analyzes");
+    println!(
+        "  phases: {} | cut edges: {} | buffers: {} | bytes/element: {}",
+        analysis.partition.len(),
+        analysis.partition.cut_edges.len(),
+        analysis.tiling.buffers.len(),
+        analysis.tiling.bytes_per_element()
+    );
+    for buf in &analysis.tiling.buffers {
+        println!(
+            "  buffer {:?}: {} B/elem, phase {} -> {}, x{} replicas",
+            buf.kind, buf.elem_bytes, buf.producer, buf.consumer, buf.replicas
+        );
+    }
+    let max_block = analysis.tiling.max_block(128 * 1024, 16 * 1024);
+    println!("  max block fitting L1 (16 KiB reserved): {max_block} elements");
+}
+
+/// The paper's Fig. 1b loop body (shared with the copift crate's tests).
+fn expf_fig1b_body() -> Vec<snitch_riscv::inst::Inst> {
+    use snitch_asm::builder::ProgramBuilder;
+    use snitch_riscv::reg::{FpReg, IntReg};
+    let mut b = ProgramBuilder::new();
+    let (xp, yp, ki, t, tbl) = (IntReg::A3, IntReg::A4, IntReg::S2, IntReg::S3, IntReg::S4);
+    b.fld(FpReg::FA3, xp, 0);
+    b.fmul_d(FpReg::FA3, FpReg::FA3, FpReg::FS4);
+    b.fadd_d(FpReg::FA1, FpReg::FA3, FpReg::FS5);
+    b.fsd(FpReg::FA1, ki, 0);
+    b.lw(IntReg::A0, ki, 0);
+    b.andi(IntReg::A1, IntReg::A0, 0x1f);
+    b.slli(IntReg::A1, IntReg::A1, 3);
+    b.add(IntReg::A1, tbl, IntReg::A1);
+    b.lw(IntReg::A2, IntReg::A1, 0);
+    b.lw(IntReg::A1, IntReg::A1, 4);
+    b.slli(IntReg::A0, IntReg::A0, 0xf);
+    b.sw(IntReg::A2, t, 0);
+    b.add(IntReg::A0, IntReg::A0, IntReg::A1);
+    b.sw(IntReg::A0, t, 4);
+    b.fsub_d(FpReg::FA2, FpReg::FA1, FpReg::FS5);
+    b.fsub_d(FpReg::FA3, FpReg::FA3, FpReg::FA2);
+    b.fmadd_d(FpReg::FA2, FpReg::FS6, FpReg::FA3, FpReg::FS7);
+    b.fld(FpReg::FA0, t, 0);
+    b.fmadd_d(FpReg::FA4, FpReg::FS8, FpReg::FA3, FpReg::FS9);
+    b.fmul_d(FpReg::FA1, FpReg::FA3, FpReg::FA3);
+    b.fmadd_d(FpReg::FA4, FpReg::FA2, FpReg::FA1, FpReg::FA4);
+    b.fmul_d(FpReg::FA4, FpReg::FA4, FpReg::FA0);
+    b.fsd(FpReg::FA4, yp, 0);
+    b.build().unwrap().text().to_vec()
+}

@@ -1,0 +1,131 @@
+//! Shared measurement code for the experiment drivers that regenerate the
+//! COPIFT paper's Table I and Figures 2–3.
+
+use snitch_kernels::harness::steady_state;
+use snitch_kernels::registry::{Kernel, Variant};
+use snitch_kernels::SteadyState;
+
+/// Steady-state measurement of one (kernel, variant) pair at its Figure 2
+/// operating point, derived by differencing two problem sizes.
+///
+/// # Panics
+///
+/// Panics if either run fails validation (reproduction bugs should be loud).
+#[must_use]
+pub fn measure_steady(kernel: Kernel, variant: Variant) -> SteadyState {
+    let (n, block) = kernel.operating_point();
+    let small = kernel.run(variant, n, block).expect("small run validates");
+    let large = kernel.run(variant, 2 * n, block).expect("large run validates");
+    steady_state(&small.stats, n, &large.stats, 2 * n)
+}
+
+/// One Figure 2 row: baseline and COPIFT steady-state measurements plus the
+/// derived comparisons.
+#[derive(Clone, Debug)]
+pub struct Fig2Row {
+    /// Kernel.
+    pub kernel: Kernel,
+    /// Baseline steady state.
+    pub base: SteadyState,
+    /// COPIFT steady state.
+    pub copift: SteadyState,
+}
+
+impl Fig2Row {
+    /// Measures one kernel.
+    #[must_use]
+    pub fn measure(kernel: Kernel) -> Fig2Row {
+        Fig2Row {
+            kernel,
+            base: measure_steady(kernel, Variant::Baseline),
+            copift: measure_steady(kernel, Variant::Copift),
+        }
+    }
+
+    /// Steady-state speedup (cycles per element ratio).
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.base.cycles_per_elem / self.copift.cycles_per_elem
+    }
+
+    /// Energy improvement (energy per element ratio).
+    #[must_use]
+    pub fn energy_improvement(&self) -> f64 {
+        self.base.energy_per_elem_nj / self.copift.energy_per_elem_nj
+    }
+
+    /// Power ratio (COPIFT / base).
+    #[must_use]
+    pub fn power_ratio(&self) -> f64 {
+        self.copift.power_mw / self.base.power_mw
+    }
+
+    /// Expected IPC `I′` from the measured steady-state instruction mix
+    /// (Eq. 2 evaluated on dynamic counts).
+    #[must_use]
+    pub fn i_prime(&self) -> f64 {
+        let d = &self.copift.delta;
+        let n_int = d.int_issued as f64;
+        let n_fp = d.fp_instructions() as f64;
+        (n_int + n_fp) / n_int.max(n_fp)
+    }
+
+    /// Expected speedup `S′` from measured mixes (Eq. 1).
+    #[must_use]
+    pub fn s_prime(&self) -> f64 {
+        let b = &self.base.delta;
+        let c = &self.copift.delta;
+        (b.int_issued + b.fp_instructions()) as f64
+            / (c.int_issued as f64).max(c.fp_instructions() as f64)
+    }
+}
+
+/// Geometric mean.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+#[must_use]
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty());
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+/// One Figure 3 cell: full-run IPC of `poly_lcg` COPIFT (prologue and
+/// epilogue included — the point of the figure).
+///
+/// # Panics
+///
+/// Panics if the run fails validation.
+#[must_use]
+pub fn fig3_ipc(n: usize, block: usize) -> f64 {
+    let r = Kernel::PolyLcg.run(Variant::Copift, n, block).expect("fig3 run validates");
+    r.stats.ipc()
+}
+
+/// The paper's Figure 3 block sizes.
+pub const FIG3_BLOCKS: [usize; 7] = [32, 48, 64, 96, 128, 192, 256];
+/// Figure 3 problem sizes.
+pub const FIG3_SIZES: [usize; 8] = [768, 1536, 3072, 6144, 12288, 24576, 49152, 98304];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_constants() {
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fig3_axes_are_valid_configs() {
+        for &b in &FIG3_BLOCKS {
+            for &n in &FIG3_SIZES {
+                assert_eq!(n % b, 0, "block {b} must divide size {n}");
+                assert!(n / b >= 2);
+                assert_eq!(b % 8, 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,679 @@
+//! End-to-end code generation for two-phase kernels: compiles a mixed
+//! integer/FP loop body into a complete COPIFT-accelerated program
+//! (tiled, double-buffered, SSR-mapped, FREP-wrapped), automatically.
+//!
+//! The paper applies Steps 3–7 by hand ("the steps in this methodology can
+//! be followed by developers"); this module automates them for the common
+//! *producer/consumer* shape — an integer phase feeding an FP phase — which
+//! covers the Monte Carlo kernels and `logf`-like workloads:
+//!
+//! * the phase partition must be `[Int, Fp]` (or FP-only);
+//! * every cut edge must be a register edge `Int → Fp` carried by a
+//!   `fcvt.d.w[u]` / cross-register-file read (rewritten to a memory spill
+//!   plus the COPIFT custom-1 replacement) or a plain FP-register value;
+//! * FP memory accesses must be induction streams (`x[i]` loads / `y[i]`
+//!   stores through pointer bumps), which map to SSR 1 / SSR 2; spilled cut
+//!   values stream through SSR 0.
+//!
+//! Bodies outside this shape are rejected with a diagnostic naming the
+//! manual step required — matching how the paper's more intricate kernels
+//! (3-phase `expf`) were written by hand.
+
+use std::collections::HashMap;
+
+use snitch_asm::builder::ProgramBuilder;
+use snitch_asm::program::Program;
+use snitch_riscv::csr::SsrCfgWord;
+use snitch_riscv::inst::Inst;
+use snitch_riscv::meta::RegRef;
+use snitch_riscv::ops::{AluImmOp, IntCvt};
+use snitch_riscv::reg::{FpReg, IntReg};
+
+use crate::dfg::{DepKind, Dfg, Domain};
+use crate::partition::Partition;
+
+/// A compilable kernel: one straight-line loop body plus its live-in state.
+#[derive(Clone, Debug)]
+pub struct KernelSpec {
+    /// One iteration of the loop (no control flow, no pointer bumps for the
+    /// spill traffic — those are generated).
+    pub body: Vec<Inst>,
+    /// Loop-invariant / loop-carried integer registers and initial values.
+    pub int_init: Vec<(IntReg, u32)>,
+    /// Loop-invariant FP registers (constants) and initial values.
+    pub fp_init: Vec<(FpReg, f64)>,
+    /// Input stream: `fld rd, 0(ptr)` + `addi ptr, ptr, 8` pattern through
+    /// this pointer register, fed with these values.
+    pub input: Option<(IntReg, Vec<f64>)>,
+    /// Output stream pointer register (per-iteration `fsd` + bump).
+    pub output: Option<IntReg>,
+}
+
+/// Why a body cannot be compiled automatically.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CodegenError {
+    /// The phase partition is not `[Int, Fp]` or `[Fp]`.
+    UnsupportedShape {
+        /// Human-readable description of the found shape.
+        found: String,
+    },
+    /// A cut edge cannot be auto-spilled.
+    UnsupportedCut {
+        /// Description and remedy.
+        reason: String,
+    },
+    /// An FP memory access is not an induction stream.
+    UnsupportedAccess {
+        /// Offending instruction rendered as text.
+        inst: String,
+    },
+    /// Register reserved for generated code is used by the body.
+    ReservedRegister {
+        /// The clashing register.
+        reg: String,
+    },
+    /// Body analysis failed.
+    Analyze(crate::compiler::AnalyzeError),
+}
+
+impl std::fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodegenError::UnsupportedShape { found } => {
+                write!(f, "unsupported phase shape {found}; write the kernel manually (cf. expf)")
+            }
+            CodegenError::UnsupportedCut { reason } => write!(f, "unsupported cut edge: {reason}"),
+            CodegenError::UnsupportedAccess { inst } => {
+                write!(f, "`{inst}` is not an induction stream; map it manually (Step 6)")
+            }
+            CodegenError::ReservedRegister { reg } => {
+                write!(f, "register {reg} is reserved by the code generator")
+            }
+            CodegenError::Analyze(e) => write!(f, "analysis failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CodegenError {}
+
+/// Registers the generator claims for itself.
+const GEN_REGS: [IntReg; 6] = [
+    IntReg::new(1), // buffer A
+    IntReg::new(2), // buffer B
+    IntReg::new(3), // spill write pointer
+    IntReg::new(4), // outer counter
+    IntReg::new(29), // scratch (config values)
+    IntReg::new(30), // inner counter
+];
+
+/// One spilled cut value: produced by an int instruction, consumed by FP.
+#[derive(Clone, Copy, Debug)]
+struct Spill {
+    /// Producing node.
+    producer: usize,
+    /// Register carrying the value at the producer.
+    reg: IntReg,
+    /// FP consumer node (must consume exactly once).
+    consumer: usize,
+    /// Slot index in the per-element spill record.
+    slot: usize,
+}
+
+/// Compiles a two-phase kernel into a COPIFT program for `n` elements with
+/// block size `block`. The result (if the body has an output stream) is the
+/// `y_out` symbol; accumulator state stays in FP registers.
+///
+/// # Errors
+///
+/// Returns [`CodegenError`] when the body falls outside the supported shape.
+///
+/// # Panics
+///
+/// Panics if `n`/`block` violate the usual divisibility constraints.
+pub fn compile(spec: &KernelSpec, n: usize, block: usize) -> Result<Program, CodegenError> {
+    assert!(block > 0 && n.is_multiple_of(block) && n / block >= 2, "need >= 2 blocks");
+    // Strip the induction-pointer bumps of the declared streams: the SSR
+    // address generators absorb them (the paper's affine Type 1 elision).
+    let stream_ptrs: Vec<IntReg> = spec
+        .input
+        .as_ref()
+        .map(|(r, _)| *r)
+        .into_iter()
+        .chain(spec.output)
+        .collect();
+    let body: Vec<Inst> = spec
+        .body
+        .iter()
+        .copied()
+        .filter(|i| match i {
+            Inst::OpImm { op: AluImmOp::Addi, rd, rs1, .. } => {
+                !(rd == rs1 && stream_ptrs.contains(rd))
+            }
+            _ => true,
+        })
+        .collect();
+    let analysis = crate::compiler::analyze(&body).map_err(CodegenError::Analyze)?;
+    let dfg = &analysis.dfg;
+    let part = &analysis.partition;
+    check_shape(part)?;
+    check_reserved(&body)?;
+
+    // Classify cut edges into spills.
+    let mut spills: Vec<Spill> = Vec::new();
+    for e in &part.cut_edges {
+        match e.kind {
+            DepKind::Reg(RegRef::Int(r)) => {
+                if let Some(prev) = spills.iter().find(|s| s.producer == e.from && s.reg == r) {
+                    return Err(CodegenError::UnsupportedCut {
+                        reason: format!(
+                            "value {r} (node {}) consumed twice (also node {}); add an SSR \
+                             repeat manually",
+                            e.from, prev.consumer
+                        ),
+                    });
+                }
+                let slot = spills.len();
+                spills.push(Spill { producer: e.from, reg: r, consumer: e.to, slot });
+            }
+            DepKind::Reg(RegRef::Fp(_)) => {
+                return Err(CodegenError::UnsupportedCut {
+                    reason: "FP-register cut in an Int→Fp partition".to_string(),
+                })
+            }
+            DepKind::Mem { .. } => {
+                return Err(CodegenError::UnsupportedCut {
+                    reason: "memory-carried cut; pre-spill through registers".to_string(),
+                })
+            }
+        }
+    }
+
+    // Identify FP stream accesses (induction loads/stores) to serve via
+    // SSR1/SSR2; any other FP memory access is out of scope.
+    let mut input_nodes = Vec::new();
+    let mut output_nodes = Vec::new();
+    for (i, inst) in body.iter().enumerate() {
+        match inst {
+            Inst::Fld { rs1, .. } if Some(*rs1) == spec.input.as_ref().map(|(r, _)| *r) => {
+                input_nodes.push(i);
+            }
+            Inst::Fsd { rs1, .. } if Some(*rs1) == spec.output => output_nodes.push(i),
+            Inst::Flw { .. } | Inst::Fsw { .. } | Inst::Fld { .. } | Inst::Fsd { .. } => {
+                return Err(CodegenError::UnsupportedAccess { inst: inst.to_string() });
+            }
+            _ => {}
+        }
+    }
+
+    let slot_bytes = 8 * spills.len().max(1);
+    let int_phase = rewrite_int_phase(dfg, part, &spills, slot_bytes);
+    let fp_body = rewrite_fp_phase(dfg, part, &spills, &input_nodes, &output_nodes)?;
+    emit_full(spec, &int_phase, &fp_body, &spills, n, block)
+}
+
+fn check_shape(part: &Partition) -> Result<(), CodegenError> {
+    let doms: Vec<Domain> = part.phases.iter().map(|p| p.domain).collect();
+    match doms.as_slice() {
+        [Domain::Int, Domain::Fp] | [Domain::Fp] => Ok(()),
+        other => Err(CodegenError::UnsupportedShape { found: format!("{other:?}") }),
+    }
+}
+
+fn check_reserved(body: &[Inst]) -> Result<(), CodegenError> {
+    for inst in body {
+        for r in inst.uses().iter().chain(inst.defs().iter()) {
+            if let RegRef::Int(ir) = r {
+                if GEN_REGS.contains(ir) || ir.index() == 28 || ir.index() == 31 {
+                    return Err(CodegenError::ReservedRegister { reg: ir.to_string() });
+                }
+            }
+            if let RegRef::Fp(fr) = r {
+                if fr.is_ssr_candidate() || *fr == snitch_riscv::reg::FpReg::FT11 {
+                    return Err(CodegenError::ReservedRegister { reg: fr.to_string() });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Integer phase: original int instructions plus a `sw`-pair per spill.
+fn rewrite_int_phase(
+    dfg: &Dfg,
+    part: &Partition,
+    spills: &[Spill],
+    slot_bytes: usize,
+) -> Vec<Inst> {
+    let mut out = Vec::new();
+    let int_phase = part.phases.iter().find(|p| p.domain == Domain::Int);
+    let Some(phase) = int_phase else { return out };
+    for &node in &phase.nodes {
+        out.push(dfg.insts()[node]);
+        for s in spills.iter().filter(|s| s.producer == node) {
+            // sw value, slot_off(x3); sw zero (64-bit slot, high word zero).
+            out.push(Inst::Store {
+                op: snitch_riscv::ops::StoreOp::Sw,
+                rs2: s.reg,
+                rs1: IntReg::new(3),
+                offset: (s.slot * 8) as i32,
+            });
+            out.push(Inst::Store {
+                op: snitch_riscv::ops::StoreOp::Sw,
+                rs2: IntReg::ZERO,
+                rs1: IntReg::new(3),
+                offset: (s.slot * 8 + 4) as i32,
+            });
+        }
+    }
+    // Advance the spill pointer by one record.
+    out.push(Inst::OpImm {
+        op: AluImmOp::Addi,
+        rd: IntReg::new(3),
+        rs1: IntReg::new(3),
+        imm: slot_bytes as i32,
+    });
+    out
+}
+
+/// FP phase: cut-consuming instructions rewritten to pop SSR0 with the
+/// COPIFT replacements; stream loads/stores rewritten to SSR1/SSR2.
+fn rewrite_fp_phase(
+    dfg: &Dfg,
+    part: &Partition,
+    spills: &[Spill],
+    input_nodes: &[usize],
+    output_nodes: &[usize],
+) -> Result<Vec<Inst>, CodegenError> {
+    let phase = part
+        .phases
+        .iter()
+        .find(|p| p.domain == Domain::Fp)
+        .expect("checked shape has an FP phase");
+    let spill_by_consumer: HashMap<usize, &Spill> =
+        spills.iter().map(|s| (s.consumer, s)).collect();
+    let mut out = Vec::new();
+    for &node in &phase.nodes {
+        let inst = dfg.insts()[node];
+        if input_nodes.contains(&node) {
+            // fld rd, 0(x) → fsgnjx rd, ft1, f31: pops the input stream
+            // exactly once (each stream-register operand slot pops one
+            // element) and copies the bits exactly (f31 holds +0.0, so the
+            // xor leaves the sign unchanged).
+            let Inst::Fld { rd, .. } = inst else { unreachable!() };
+            out.push(Inst::FpSgnj {
+                op: snitch_riscv::ops::SgnjOp::Sgnjx,
+                fmt: snitch_riscv::ops::FpFmt::D,
+                rd,
+                rs1: FpReg::FT1,
+                rs2: FpReg::FT11,
+            });
+            continue;
+        }
+        if output_nodes.contains(&node) {
+            // fsd rs2, 0(y) → fsgnj ft2, rs2 (push the output stream).
+            let Inst::Fsd { rs2, .. } = inst else { unreachable!() };
+            out.push(Inst::FpSgnj {
+                op: snitch_riscv::ops::SgnjOp::Sgnj,
+                fmt: snitch_riscv::ops::FpFmt::D,
+                rd: FpReg::FT2,
+                rs1: rs2,
+                rs2,
+            });
+            continue;
+        }
+        if spill_by_consumer.contains_key(&node) {
+            match inst {
+                Inst::FpCvtI2F { from, rd, .. } => {
+                    // Paper §II-B: the cross-RF conversion becomes its
+                    // custom-1 twin reading the spilled stream.
+                    let op = match from {
+                        IntCvt::W => Inst::CopiftCvtI2F { from: IntCvt::W, rd, rs1: FpReg::FT0 },
+                        IntCvt::Wu => Inst::CopiftCvtI2F { from: IntCvt::Wu, rd, rs1: FpReg::FT0 },
+                    };
+                    out.push(op);
+                    continue;
+                }
+                other => {
+                    return Err(CodegenError::UnsupportedCut {
+                        reason: format!(
+                            "`{other}` consumes a spilled integer value; only fcvt.d.w[u] is \
+                             auto-rewritten"
+                        ),
+                    })
+                }
+            }
+        }
+        if !inst.frep_legal() {
+            return Err(CodegenError::UnsupportedAccess { inst: inst.to_string() });
+        }
+        out.push(inst);
+    }
+    Ok(out)
+}
+
+/// Clean single-pass program emission.
+fn emit_full(
+    spec: &KernelSpec,
+    int_phase: &[Inst],
+    fp_body: &[Inst],
+    spills: &[Spill],
+    n: usize,
+    block: usize,
+) -> Result<Program, CodegenError> {
+    let nb = n / block;
+    let slot_bytes = 8 * spills.len().max(1);
+    let mut b = ProgramBuilder::new();
+    let buf0 = b.tcdm_reserve("spill0", slot_bytes * block, 8);
+    let buf1 = b.tcdm_reserve("spill1", slot_bytes * block, 8);
+    let fp_const_img: Vec<f64> = spec.fp_init.iter().map(|(_, v)| *v).collect();
+    let caddr =
+        if fp_const_img.is_empty() { 0 } else { b.tcdm_f64("fp_consts", &fp_const_img) };
+    let x_in = spec.input.as_ref().map(|(_, vals)| {
+        assert!(vals.len() >= n, "input data shorter than n");
+        b.tcdm_f64("x_in", &vals[..n])
+    });
+    let y_out = spec.output.map(|_| b.tcdm_reserve("y_out", n * 8, 8));
+
+    for (r, v) in &spec.int_init {
+        b.li_u(*r, *v);
+    }
+    let scratch = GEN_REGS[4];
+    for (i, (r, _)) in spec.fp_init.iter().enumerate() {
+        b.li_u(scratch, caddr + (i as u32) * 8);
+        b.fld(*r, scratch, 0);
+    }
+
+    if !spills.is_empty() {
+        b.li(scratch, 0);
+        b.scfgwi(scratch, 0, SsrCfgWord::Status);
+        b.scfgwi(scratch, 0, SsrCfgWord::Repeat);
+        b.li(scratch, (spills.len() * block - 1) as i32);
+        b.scfgwi(scratch, 0, SsrCfgWord::Bound(0));
+        b.li(scratch, 8);
+        b.scfgwi(scratch, 0, SsrCfgWord::Stride(0));
+    }
+    if x_in.is_some() {
+        b.li(scratch, 0);
+        b.scfgwi(scratch, 1, SsrCfgWord::Status);
+        b.scfgwi(scratch, 1, SsrCfgWord::Repeat);
+        b.li(scratch, (block - 1) as i32);
+        b.scfgwi(scratch, 1, SsrCfgWord::Bound(0));
+        b.li(scratch, 8);
+        b.scfgwi(scratch, 1, SsrCfgWord::Stride(0));
+    }
+    if y_out.is_some() {
+        b.li(scratch, 1);
+        b.scfgwi(scratch, 2, SsrCfgWord::Status);
+        b.scfgwi(scratch, 2, SsrCfgWord::Repeat);
+        b.li(scratch, (block - 1) as i32);
+        b.scfgwi(scratch, 2, SsrCfgWord::Bound(0));
+        b.li(scratch, 8);
+        b.scfgwi(scratch, 2, SsrCfgWord::Stride(0));
+    }
+    b.ssr_enable();
+    // f31 = +0.0: the sign-neutral operand of the stream-pop fsgnjx idiom.
+    b.fcvt_d_w(FpReg::FT11, IntReg::ZERO);
+
+    let (cur, nxt, outer, inner) = (GEN_REGS[0], GEN_REGS[1], GEN_REGS[3], GEN_REGS[5]);
+    b.li_u(cur, buf0);
+    b.li_u(nxt, buf1);
+    // x/y stream pointers advance one block per iteration.
+    let xp = IntReg::new(28);
+    let yp = IntReg::new(31);
+    if let Some(x) = x_in {
+        b.li_u(xp, x);
+    }
+    if let Some(y) = y_out {
+        b.li_u(yp, y);
+    }
+
+    // Prologue: int phase on block 0.
+    emit_int_block(&mut b, int_phase, block, slot_bytes, cur, "gen0");
+
+    b.li(outer, (nb - 1) as i32);
+    b.label("outer");
+    if !spills.is_empty() {
+        b.scfgwi(cur, 0, SsrCfgWord::Base);
+    }
+    if x_in.is_some() {
+        b.scfgwi(xp, 1, SsrCfgWord::Base);
+        b.addi(xp, xp, (block * 8) as i32);
+    }
+    if y_out.is_some() {
+        b.scfgwi(yp, 2, SsrCfgWord::Base);
+        b.addi(yp, yp, (block * 8) as i32);
+    }
+    emit_frep(&mut b, fp_body, block);
+    emit_int_block(&mut b, int_phase, block, slot_bytes, nxt, "gen");
+    b.mv(scratch, cur);
+    b.mv(cur, nxt);
+    b.mv(nxt, scratch);
+    b.addi(outer, outer, -1);
+    b.bnez(outer, "outer");
+
+    // Epilogue: final FP block.
+    if !spills.is_empty() {
+        b.scfgwi(cur, 0, SsrCfgWord::Base);
+    }
+    if x_in.is_some() {
+        b.scfgwi(xp, 1, SsrCfgWord::Base);
+    }
+    if y_out.is_some() {
+        b.scfgwi(yp, 2, SsrCfgWord::Base);
+    }
+    emit_frep(&mut b, fp_body, block);
+    b.fpu_fence();
+    b.ssr_disable();
+    b.ecall();
+    let _ = inner;
+    b.build().map_err(|e| CodegenError::UnsupportedCut { reason: e.to_string() })
+}
+
+fn emit_int_block(
+    b: &mut ProgramBuilder,
+    int_phase: &[Inst],
+    block: usize,
+    _slot_bytes: usize,
+    buf: IntReg,
+    tag: &str,
+) {
+    if int_phase.is_empty() {
+        return;
+    }
+    // Unroll to amortize loop overhead (the spill pointer advances inside
+    // each copy, so repetition preserves the serial semantics).
+    let unroll = if block.is_multiple_of(4) { 4 } else { 1 };
+    b.mv(IntReg::new(3), buf);
+    b.li(GEN_REGS[5], (block / unroll) as i32);
+    let label = format!("{tag}_{}", b.len());
+    b.label(&label);
+    for _ in 0..unroll {
+        for inst in int_phase {
+            b.inst(*inst);
+        }
+    }
+    b.addi(GEN_REGS[5], GEN_REGS[5], -1);
+    b.bnez(GEN_REGS[5], &label);
+}
+
+fn emit_frep(b: &mut ProgramBuilder, fp_body: &[Inst], block: usize) {
+    if fp_body.is_empty() {
+        return;
+    }
+    b.li(GEN_REGS[4], (block - 1) as i32);
+    b.frep_o(GEN_REGS[4], u8::try_from(fp_body.len()).expect("body fits"), 0, 0);
+    for inst in fp_body {
+        b.inst(*inst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snitch_asm::builder::ProgramBuilder;
+
+    /// A mixed kernel: the integer thread runs an LCG; the FP thread
+    /// converts the draw, applies `y = u·scale + offset` and accumulates.
+    fn mixed_body() -> Vec<Inst> {
+        let mut b = ProgramBuilder::new();
+        let s = IntReg::new(10);
+        b.mul(s, s, IntReg::new(11));
+        b.add(s, s, IntReg::new(12));
+        b.fcvt_d_wu(FpReg::FA0, s); // the Int→Fp cut
+        b.fmadd_d(FpReg::FA1, FpReg::FA0, FpReg::FS0, FpReg::FS1);
+        b.fadd_d(FpReg::FS2, FpReg::FS2, FpReg::FA1); // accumulator
+        b.build().unwrap().text().to_vec()
+    }
+
+    fn spec() -> KernelSpec {
+        KernelSpec {
+            body: mixed_body(),
+            int_init: vec![
+                (IntReg::new(10), 0xDEAD_BEEF),
+                (IntReg::new(11), crate::codegen::tests::A),
+                (IntReg::new(12), crate::codegen::tests::C),
+            ],
+            fp_init: vec![
+                (FpReg::FS0, 0.5),
+                (FpReg::FS1, 1.25),
+                (FpReg::FS2, 0.0),
+            ],
+            input: None,
+            output: None,
+        }
+    }
+
+    pub(crate) const A: u32 = 1_664_525;
+    pub(crate) const C: u32 = 1_013_904_223;
+
+    fn golden(n: usize) -> f64 {
+        let mut s: u32 = 0xDEAD_BEEF;
+        let mut acc = 0.0f64;
+        for _ in 0..n {
+            s = s.wrapping_mul(A).wrapping_add(C);
+            let u = f64::from(s);
+            acc += u.mul_add(0.5, 1.25);
+        }
+        acc
+    }
+
+    #[test]
+    fn compiles_and_matches_golden() {
+        let n = 64;
+        let program = compile(&spec(), n, 16).expect("compiles");
+        let mut cluster = snitch_sim::cluster::Cluster::new(snitch_sim::ClusterConfig::default());
+        cluster.load_program(&program);
+        let stats = cluster.run().expect("runs");
+        let acc = f64::from_bits(cluster.fp_reg(FpReg::FS2));
+        assert_eq!(acc, golden(n), "auto-compiled kernel must be bit-exact");
+        // And it must actually dual-issue: sequencer replays dominate.
+        assert!(stats.fp_issued_seq > stats.fp_issued_core);
+    }
+
+    #[test]
+    fn auto_compiled_beats_naive_baseline() {
+        // Naive baseline: the original body in a plain loop.
+        let n = 256;
+        let mut b = ProgramBuilder::new();
+        for (r, v) in spec().int_init {
+            b.li_u(r, v);
+        }
+        let caddr = b.tcdm_f64("consts", &[0.5, 1.25, 0.0]);
+        b.li_u(IntReg::new(5), caddr);
+        b.fld(FpReg::FS0, IntReg::new(5), 0);
+        b.fld(FpReg::FS1, IntReg::new(5), 8);
+        b.fld(FpReg::FS2, IntReg::new(5), 16);
+        b.li(IntReg::new(6), n as i32);
+        b.label("l");
+        for inst in mixed_body() {
+            b.inst(inst);
+        }
+        b.addi(IntReg::new(6), IntReg::new(6), -1);
+        b.bnez(IntReg::new(6), "l");
+        b.fpu_fence();
+        b.ecall();
+        let baseline = b.build().unwrap();
+        let mut c1 = snitch_sim::cluster::Cluster::new(snitch_sim::ClusterConfig::default());
+        c1.load_program(&baseline);
+        let s1 = c1.run().unwrap();
+
+        let program = compile(&spec(), n, 32).expect("compiles");
+        let mut c2 = snitch_sim::cluster::Cluster::new(snitch_sim::ClusterConfig::default());
+        c2.load_program(&program);
+        let s2 = c2.run().unwrap();
+        assert_eq!(
+            f64::from_bits(c1.fp_reg(FpReg::FS2)),
+            f64::from_bits(c2.fp_reg(FpReg::FS2)),
+            "same result either way"
+        );
+        assert!(
+            s2.cycles < s1.cycles,
+            "auto-COPIFT ({}) must beat the naive loop ({})",
+            s2.cycles,
+            s1.cycles
+        );
+    }
+
+    #[test]
+    fn rejects_three_phase_bodies() {
+        // An Fp→Int→Fp body (like expf) is out of scope.
+        let mut b = ProgramBuilder::new();
+        b.fadd_d(FpReg::FA0, FpReg::FA1, FpReg::FA2);
+        b.flt_d(IntReg::new(10), FpReg::FA0, FpReg::FA1);
+        b.add(IntReg::new(11), IntReg::new(10), IntReg::new(10));
+        b.fcvt_d_w(FpReg::FA3, IntReg::new(11));
+        b.fadd_d(FpReg::FA4, FpReg::FA4, FpReg::FA3);
+        let body = b.build().unwrap().text().to_vec();
+        let s = KernelSpec { body, int_init: vec![], fp_init: vec![], input: None, output: None };
+        match compile(&s, 64, 16) {
+            Err(CodegenError::UnsupportedShape { .. }) => {}
+            other => panic!("expected shape rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_reserved_registers() {
+        let mut b = ProgramBuilder::new();
+        b.add(IntReg::new(1), IntReg::new(10), IntReg::new(10)); // x1 reserved
+        b.fcvt_d_w(FpReg::FA0, IntReg::new(1));
+        let body = b.build().unwrap().text().to_vec();
+        let s = KernelSpec { body, int_init: vec![], fp_init: vec![], input: None, output: None };
+        match compile(&s, 64, 16) {
+            Err(CodegenError::ReservedRegister { .. }) => {}
+            other => panic!("expected reserved-register rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stream_kernel_with_input_and_output() {
+        // y[i] = x[i] * k + 1 — FP-only body with induction streams, plus an
+        // integer side doing nothing (FP-only partition).
+        let xp = IntReg::new(10);
+        let yp = IntReg::new(11);
+        let mut b = ProgramBuilder::new();
+        b.fld(FpReg::FA0, xp, 0);
+        b.fmadd_d(FpReg::FA1, FpReg::FA0, FpReg::FS0, FpReg::FS1);
+        b.fsd(FpReg::FA1, yp, 0);
+        b.addi(xp, xp, 8);
+        b.addi(yp, yp, 8);
+        let body = b.build().unwrap().text().to_vec();
+        let n = 64;
+        let xs: Vec<f64> = (0..n).map(|i| i as f64 * 0.25).collect();
+        let s = KernelSpec {
+            body,
+            int_init: vec![],
+            fp_init: vec![(FpReg::FS0, 3.0), (FpReg::FS1, 1.0)],
+            input: Some((xp, xs.clone())),
+            output: Some(yp),
+        };
+        let program = compile(&s, n, 16).expect("compiles");
+        let mut c = snitch_sim::cluster::Cluster::new(snitch_sim::ClusterConfig::default());
+        c.load_program(&program);
+        c.run().expect("runs");
+        let base = program.symbol("y_out").unwrap();
+        for (i, x) in xs.iter().enumerate() {
+            let got = c.mem().read_f64(base + (i as u32) * 8).unwrap();
+            assert_eq!(got, x.mul_add(3.0, 1.0), "y[{i}]");
+        }
+    }
+}

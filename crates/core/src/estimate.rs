@@ -1,0 +1,164 @@
+//! Analytical speedup and IPC estimators (paper Equations 1–3).
+//!
+//! These are the quantities Table I reports: assuming similar per-thread
+//! IPCs, the speedup of dual-issue execution is approximated from static
+//! instruction counts alone:
+//!
+//! * `S′ = (n_int^base + n_fp^base) / max(n_int^copift, n_fp^copift)` (Eq. 1)
+//! * `I′ = (n_int^copift + n_fp^copift) / max(n_int^copift, n_fp^copift)` (Eq. 2)
+//! * `S″ = I″ = 1 + TI`, with thread imbalance
+//!   `TI = min(n_int, n_fp) / max(n_int, n_fp)` over the *baseline* counts
+//!   (Eq. 3, using `a + b = max(a,b) + min(a,b)`).
+
+use snitch_riscv::inst::Inst;
+
+/// Static instruction mix of one steady-state loop iteration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MixCounts {
+    /// Integer-thread instructions (including FREP/SSR configuration).
+    pub n_int: u64,
+    /// FP-thread instructions.
+    pub n_fp: u64,
+}
+
+impl MixCounts {
+    /// Counts the mix of an instruction sequence.
+    #[must_use]
+    pub fn of(body: &[Inst]) -> Self {
+        let n_fp = body.iter().filter(|i| i.is_fp()).count() as u64;
+        MixCounts { n_int: body.len() as u64 - n_fp, n_fp }
+    }
+
+    /// Total instructions.
+    #[must_use]
+    pub fn total(self) -> u64 {
+        self.n_int + self.n_fp
+    }
+
+    /// The larger thread's count (the dual-issue critical path).
+    #[must_use]
+    pub fn critical(self) -> u64 {
+        self.n_int.max(self.n_fp)
+    }
+}
+
+/// Thread imbalance `TI = min / max` of a mix (paper Eq. 3 context;
+/// 0 for an empty or single-domain mix).
+#[must_use]
+#[allow(clippy::manual_is_multiple_of, clippy::if_not_else)]
+pub fn thread_imbalance(mix: MixCounts) -> f64 {
+    if mix.critical() == 0 {
+        0.0
+    } else {
+        mix.n_int.min(mix.n_fp) as f64 / mix.critical() as f64
+    }
+}
+
+/// Expected speedup `S′` from baseline and COPIFT mixes (Eq. 1).
+#[must_use]
+pub fn s_prime(base: MixCounts, copift: MixCounts) -> f64 {
+    base.total() as f64 / copift.critical().max(1) as f64
+}
+
+/// Expected IPC `I′` of the COPIFT variant (Eq. 2), assuming one
+/// instruction per thread per cycle on the critical thread.
+#[must_use]
+pub fn i_prime(copift: MixCounts) -> f64 {
+    copift.total() as f64 / copift.critical().max(1) as f64
+}
+
+/// First-order speedup estimate `S″ = 1 + TI` from the baseline mix alone
+/// (Eq. 3).
+#[must_use]
+pub fn s_double_prime(base: MixCounts) -> f64 {
+    1.0 + thread_imbalance(base)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mix(n_int: u64, n_fp: u64) -> MixCounts {
+        MixCounts { n_int, n_fp }
+    }
+
+    /// Table I rows: (kernel, base, copift, I′, S″, S′).
+    type Row = (&'static str, (u64, u64), (u64, u64), f64, f64, f64);
+    const TABLE1: &[Row] = &[
+        ("expf", (43, 52), (43, 36), 1.84, 1.83, 2.21),
+        ("logf", (39, 52), (57, 36), 1.63, 1.75, 1.6),
+        ("poly_lcg", (44, 80), (72, 80), 1.9, 1.55, 1.55),
+        ("pi_lcg", (44, 56), (72, 56), 1.78, 1.79, 1.39),
+        ("poly_xoshiro128p", (172, 80), (200, 80), 1.4, 1.47, 1.26),
+        ("pi_xoshiro128p", (172, 56), (200, 56), 1.28, 1.33, 1.14),
+    ];
+
+    #[test]
+    fn estimators_reproduce_table1() {
+        for &(name, (bi, bf), (ci, cf), i_p, s_pp, s_p) in TABLE1 {
+            let base = mix(bi, bf);
+            let cop = mix(ci, cf);
+            assert!(
+                (i_prime(cop) - i_p).abs() < 0.01,
+                "{name}: I' {} vs paper {i_p}",
+                i_prime(cop)
+            );
+            assert!(
+                (s_double_prime(base) - s_pp).abs() < 0.01,
+                "{name}: S'' {} vs paper {s_pp}",
+                s_double_prime(base)
+            );
+            assert!(
+                (s_prime(base, cop) - s_p).abs() < 0.01,
+                "{name}: S' {} vs paper {s_p}",
+                s_prime(base, cop)
+            );
+        }
+    }
+
+    #[test]
+    fn table1_thread_imbalance() {
+        // Paper TI column: expf 0.83, logf 0.75, poly_lcg 0.55, pi_lcg 0.79,
+        // poly_xoshiro 0.47, pi_xoshiro 0.33.
+        let ti: Vec<f64> = TABLE1
+            .iter()
+            .map(|&(_, (bi, bf), ..)| thread_imbalance(mix(bi, bf)))
+            .collect();
+        let paper = [0.83, 0.75, 0.55, 0.79, 0.47, 0.33];
+        for (t, p) in ti.iter().zip(paper) {
+            assert!((t - p).abs() < 0.01, "{t} vs {p}");
+        }
+    }
+
+    #[test]
+    fn identity_s_double_prime_equals_one_plus_ti() {
+        // Property over a grid of mixes (the paper's footnote identity).
+        for n_int in [1u64, 3, 17, 44, 172] {
+            for n_fp in [1u64, 5, 52, 80] {
+                let m = mix(n_int, n_fp);
+                let lhs = m.total() as f64 / m.critical() as f64;
+                assert!((lhs - s_double_prime(m)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn counts_from_instructions() {
+        use snitch_asm::builder::ProgramBuilder;
+        use snitch_riscv::reg::{FpReg, IntReg};
+        let mut b = ProgramBuilder::new();
+        b.add(IntReg::A0, IntReg::A1, IntReg::A2);
+        b.fadd_d(FpReg::FA0, FpReg::FA1, FpReg::FA2);
+        b.frep_o(IntReg::T0, 1, 0, 0); // integer-side config
+        b.copift_flt_d(FpReg::FA0, FpReg::FA1, FpReg::FA2); // FP thread
+        let m = MixCounts::of(b.build().unwrap().text());
+        assert_eq!(m, mix(2, 2));
+    }
+
+    #[test]
+    fn degenerate_mixes() {
+        assert_eq!(thread_imbalance(mix(0, 0)), 0.0);
+        assert_eq!(s_double_prime(mix(10, 0)), 1.0, "pure integer code cannot speed up");
+        assert_eq!(i_prime(mix(0, 0)), 0.0);
+    }
+}

@@ -1,0 +1,37 @@
+//! # COPIFT — Co-Operative Parallel Integer and Floating-point Threads
+//!
+//! The core contribution of *Dual-Issue Execution of Mixed Integer and
+//! Floating-Point Workloads on Energy-Efficient In-Order RISC-V Cores*
+//! (Colagrande & Benini, DAC 2025): a methodology that restructures mixed
+//! integer/FP instruction sequences so a Snitch-class core can sustain
+//! pseudo dual-issue execution despite dependencies between the two
+//! threads.
+//!
+//! The seven steps of the paper's §II-A map to modules:
+//!
+//! | Step | Module | What it does |
+//! |------|--------|--------------|
+//! | 1 | [`dfg`] | DFG construction, Type 1/2/3 dependency classification |
+//! | 2 | [`partition`] | min-cut phase partitioning with acyclic precedence |
+//! | 3 | [`schedule::reorder`] | phase-grouped instruction reordering |
+//! | 4 | [`schedule::TilingPlan`] | loop tiling/fission, spill buffers |
+//! | 5 | [`schedule::TilingPlan`] | software pipelining, buffer replication |
+//! | 6 | [`ssrmap`] | SSR mapping, stream fusion, Type 1 conversion |
+//! | 7 | [`frepmap`] | FREP fusion and legality (COPIFT ISA extensions) |
+//!
+//! [`compiler::analyze`] runs the full pipeline; [`estimate`] provides the
+//! paper's Equations (1)–(3) used throughout Table I; [`codegen::compile`]
+//! turns two-phase kernels into complete runnable COPIFT programs.
+
+pub mod codegen;
+pub mod compiler;
+pub mod dfg;
+pub mod estimate;
+pub mod frepmap;
+pub mod partition;
+pub mod schedule;
+pub mod ssrmap;
+
+pub use codegen::{compile, CodegenError, KernelSpec};
+pub use compiler::{analyze, Analysis};
+pub use estimate::MixCounts;

@@ -1,0 +1,280 @@
+//! Step 6: mapping FP memory accesses to SSR streams, including *stream
+//! fusion* (Fig. 1i) and Type 1 → Type 2 conversion (Fig. 1h).
+//!
+//! After tiling, every FP-thread memory access is a 1-D block stream. A
+//! Snitch core has only three SSRs, so multiple 1-D streams must often be
+//! *fused* into one higher-dimensional affine stream: interleaving reads of
+//! `x[i]` and `t[i]` becomes a 2-D pattern
+//! `addr = i*stride + d*(base_t - base_x) + base_x` with `d ∈ {0,1}` —
+//! legal whenever the per-iteration access order is fixed and the base
+//! deltas are constant.
+//!
+//! Data-dependent (Type 1) streams either go through an ISSR (hardware
+//! indirection over an index stream) or are converted to Type 2 in software
+//! by prefetching into a dense staging buffer on the integer side.
+
+use std::fmt;
+
+/// A 1-D element stream over a block buffer.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Stream1d {
+    /// Base address (symbolic: buffer id from the tiling plan or an I/O
+    /// array), represented here by its byte address within the block layout.
+    pub base: u32,
+    /// Byte stride between consecutive elements.
+    pub stride: i32,
+    /// Elements per block.
+    pub count: u32,
+    /// Whether the FP thread writes (true) or reads (false) the stream.
+    pub write: bool,
+}
+
+/// A fused affine stream, at most four-dimensional (the SSR limit).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FusedStream {
+    /// Base address of the first element.
+    pub base: u32,
+    /// `(bound, stride)` pairs, innermost first; `bound` is the iteration
+    /// count of that dimension (not minus one).
+    pub dims: Vec<(u32, i32)>,
+    /// Write stream?
+    pub write: bool,
+}
+
+impl FusedStream {
+    /// Total elements served by the stream.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.dims.iter().map(|&(b, _)| u64::from(b)).product()
+    }
+
+    /// Enumerates the generated addresses (for validation).
+    #[must_use]
+    #[allow(clippy::needless_range_loop)]
+    pub fn addresses(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.total() as usize);
+        let mut counters = vec![0u32; self.dims.len()];
+        'outer: loop {
+            let mut addr = self.base as i64;
+            for (c, &(_, s)) in counters.iter().zip(&self.dims) {
+                addr += i64::from(*c) * i64::from(s);
+            }
+            out.push(addr as u32);
+            for d in 0..self.dims.len() {
+                counters[d] += 1;
+                if counters[d] < self.dims[d].0 {
+                    continue 'outer;
+                }
+                counters[d] = 0;
+            }
+            break;
+        }
+        out
+    }
+}
+
+/// Why a set of streams cannot be fused.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum FusionError {
+    /// Streams mix reads and writes.
+    MixedDirection,
+    /// Per-element interleave requires equal element counts.
+    UnequalCounts,
+    /// Inner strides differ between the constituent streams.
+    UnequalStrides,
+    /// Base deltas are not constant, so no affine dimension exists.
+    IrregularBases,
+    /// The fusion would exceed the SSR's four dimensions.
+    TooManyDims,
+}
+
+impl fmt::Display for FusionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FusionError::MixedDirection => "streams mix reads and writes",
+            FusionError::UnequalCounts => "streams have different element counts",
+            FusionError::UnequalStrides => "streams have different strides",
+            FusionError::IrregularBases => "stream bases are not equally spaced",
+            FusionError::TooManyDims => "fusion exceeds four dimensions",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for FusionError {}
+
+/// Fuses `streams`, accessed round-robin once per loop iteration (the
+/// paper's Fig. 1i generalized to any number of streams): element `i` of
+/// stream 0, then of stream 1, ... then `i+1` of stream 0, and so on.
+///
+/// # Errors
+///
+/// Returns a [`FusionError`] explaining the failed legality condition.
+pub fn fuse(streams: &[Stream1d]) -> Result<FusedStream, FusionError> {
+    let Some(first) = streams.first() else {
+        return Err(FusionError::UnequalCounts);
+    };
+    if streams.len() == 1 {
+        return Ok(FusedStream {
+            base: first.base,
+            dims: vec![(first.count, first.stride)],
+            write: first.write,
+        });
+    }
+    if !streams.iter().all(|s| s.write == first.write) {
+        return Err(FusionError::MixedDirection);
+    }
+    if !streams.iter().all(|s| s.count == first.count) {
+        return Err(FusionError::UnequalCounts);
+    }
+    if !streams.iter().all(|s| s.stride == first.stride) {
+        return Err(FusionError::UnequalStrides);
+    }
+    let delta = streams[1].base as i64 - first.base as i64;
+    for w in streams.windows(2) {
+        if w[1].base as i64 - w[0].base as i64 != delta {
+            return Err(FusionError::IrregularBases);
+        }
+    }
+    let fused = FusedStream {
+        base: first.base,
+        dims: vec![(streams.len() as u32, delta as i32), (first.count, first.stride)],
+        write: first.write,
+    };
+    if fused.dims.len() > 4 {
+        return Err(FusionError::TooManyDims);
+    }
+    Ok(fused)
+}
+
+/// How a Type 1 (data-dependent) stream is realized (paper §II-A, Fig. 1h).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Type1Mapping {
+    /// Convert to Type 2 in software: the integer thread prefetches the
+    /// indexed data into a dense staging buffer; costs `copies` extra
+    /// integer load/store pairs per element.
+    Prefetch {
+        /// 32-bit words copied per element.
+        copies: u32,
+    },
+    /// Map directly to an ISSR: the index stream is stored densely and the
+    /// hardware performs the indirection (used by the paper's `logf`).
+    Issr,
+}
+
+/// Greedy SSR allocation: fuse compatible streams until at most
+/// `num_ssrs` remain.
+///
+/// # Errors
+///
+/// Returns the first [`FusionError`] if the streams cannot be reduced to
+/// the available SSRs.
+pub fn allocate(streams: &[Stream1d], num_ssrs: usize) -> Result<Vec<FusedStream>, FusionError> {
+    let reads: Vec<Stream1d> = streams.iter().copied().filter(|s| !s.write).collect();
+    let writes: Vec<Stream1d> = streams.iter().copied().filter(|s| s.write).collect();
+    let mut groups: Vec<Vec<Stream1d>> = Vec::new();
+    if !reads.is_empty() {
+        groups.push(reads);
+    }
+    if !writes.is_empty() {
+        groups.push(writes);
+    }
+    // If we have spare SSRs, split the larger group for less contention.
+    while groups.len() < num_ssrs {
+        let Some(big) = groups.iter_mut().max_by_key(|g| g.len()) else {
+            break;
+        };
+        if big.len() < 2 {
+            break;
+        }
+        let tail = big.split_off(big.len() / 2 + big.len() % 2);
+        if tail.is_empty() {
+            break;
+        }
+        groups.push(tail);
+    }
+    if groups.len() > num_ssrs {
+        return Err(FusionError::TooManyDims);
+    }
+    groups.iter().map(|g| fuse(g)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_1i_two_stream_merge() {
+        // Two 1-D streams with equal stride and constant base delta fuse
+        // into the paper's 2-D pattern.
+        let a = Stream1d { base: 0x1000, stride: 8, count: 4, write: false };
+        let b = Stream1d { base: 0x2000, stride: 8, count: 4, write: false };
+        let f = fuse(&[a, b]).unwrap();
+        assert_eq!(f.dims, vec![(2, 0x1000), (4, 8)]);
+        assert_eq!(
+            f.addresses(),
+            vec![0x1000, 0x2000, 0x1008, 0x2008, 0x1010, 0x2010, 0x1018, 0x2018],
+            "per-element interleave of the two arrays"
+        );
+    }
+
+    #[test]
+    fn three_stream_write_merge() {
+        // The paper fuses the w, ki and y write streams: requires the three
+        // block buffers to be laid out at equal deltas.
+        let w = Stream1d { base: 0x100, stride: 8, count: 2, write: true };
+        let ki = Stream1d { base: 0x200, stride: 8, count: 2, write: true };
+        let y = Stream1d { base: 0x300, stride: 8, count: 2, write: true };
+        let f = fuse(&[w, ki, y]).unwrap();
+        assert_eq!(f.total(), 6);
+        assert_eq!(f.addresses(), vec![0x100, 0x200, 0x300, 0x108, 0x208, 0x308]);
+    }
+
+    #[test]
+    fn fusion_legality_errors() {
+        let a = Stream1d { base: 0, stride: 8, count: 4, write: false };
+        assert_eq!(
+            fuse(&[a, Stream1d { write: true, ..a }]).unwrap_err(),
+            FusionError::MixedDirection
+        );
+        assert_eq!(
+            fuse(&[a, Stream1d { count: 5, ..a }]).unwrap_err(),
+            FusionError::UnequalCounts
+        );
+        assert_eq!(
+            fuse(&[a, Stream1d { stride: 16, ..a }]).unwrap_err(),
+            FusionError::UnequalStrides
+        );
+        let b = Stream1d { base: 0x100, ..a };
+        let c = Stream1d { base: 0x300, ..a }; // delta 0x200 ≠ 0x100
+        assert_eq!(fuse(&[a, b, c]).unwrap_err(), FusionError::IrregularBases);
+    }
+
+    #[test]
+    fn allocate_expf_streams_to_three_ssrs() {
+        // The paper's 6 streams (reads x, w, t; writes w', ki, y) must fit
+        // 3 SSRs. Lay the buffers out at uniform deltas.
+        let reads = [
+            Stream1d { base: 0x0000, stride: 8, count: 32, write: false },
+            Stream1d { base: 0x1000, stride: 8, count: 32, write: false },
+            Stream1d { base: 0x2000, stride: 8, count: 32, write: false },
+        ];
+        let writes = [
+            Stream1d { base: 0x3000, stride: 8, count: 32, write: true },
+            Stream1d { base: 0x4000, stride: 8, count: 32, write: true },
+            Stream1d { base: 0x5000, stride: 8, count: 32, write: true },
+        ];
+        let all: Vec<Stream1d> = reads.iter().chain(&writes).copied().collect();
+        let fused = allocate(&all, 3).unwrap();
+        assert_eq!(fused.len(), 3);
+        let total: u64 = fused.iter().map(FusedStream::total).sum();
+        assert_eq!(total, 6 * 32, "every element of every stream is served");
+    }
+
+    #[test]
+    fn single_stream_passthrough() {
+        let a = Stream1d { base: 0x40, stride: -8, count: 3, write: false };
+        let f = fuse(&[a]).unwrap();
+        assert_eq!(f.addresses(), vec![0x40, 0x38, 0x30]);
+    }
+}

@@ -1,0 +1,69 @@
+//! Calibrated event energies.
+//!
+//! # Method
+//!
+//! The paper reports absolute power for twelve (kernel, variant) pairs in
+//! Figure 2b, all between 37.4 mW and 46.2 mW at 1 GHz / 0.8 V / 25 °C in
+//! GF 12LP+. We calibrate the model once against two structurally different
+//! anchor points and hold every value fixed afterwards:
+//!
+//! 1. **`pi_xoshiro128p` baseline ≈ 37.9 mW** — integer-dominated issue,
+//!    L0-thrashing instruction fetch, *no* DMA and almost no TCDM data
+//!    traffic. This pins the static component plus the
+//!    issue/fetch energies.
+//! 2. **`exp` baseline ≈ 41.8 mW** — same issue structure but with streaming
+//!    DMA traffic, FP loads/stores in the TCDM and a higher FPU duty cycle.
+//!    The ~4 mW difference pins the memory-system energies.
+//!
+//! The static component (~27 mW) dominating total power is not a fitting
+//! artifact: the paper explicitly attributes the small power delta between
+//! baseline and COPIFT variants to constant clock-network activity.
+//!
+//! Magnitudes are sanity-checked against published 12–22 nm datapoints:
+//! a double-precision FMA costs a few pJ in this class of node, an SRAM
+//! access a comparable amount, and instruction issue/decode a few pJ — the
+//! values below stay within those envelopes.
+
+use crate::EnergyModel;
+
+/// The calibrated model (see module docs).
+pub static CALIBRATED: EnergyModel = EnergyModel {
+    p_static_mw: 27.0,
+    e_dma_busy_cycle: 0.8,
+    e_int_issue: 3.2,
+    e_offload_slot: 1.6,
+    e_seq_issue: 0.9,
+    e_fpu_muladd: 7.5,
+    e_fpu_short: 2.2,
+    e_fpu_cvt: 4.0,
+    e_fpu_divsqrt: 55.0,
+    e_l0_hit: 1.1,
+    e_l1_ifetch: 5.5,
+    e_tcdm_access: 3.4,
+    e_ssr_beat: 1.3,
+    e_dma_beat: 1.8,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_constraints_hold() {
+        let m = &CALIBRATED;
+        assert!(m.e_seq_issue < m.e_offload_slot, "replays skip fetch/decode");
+        assert!(m.e_offload_slot < m.e_int_issue, "offload slot does no ALU work");
+        assert!(m.e_l0_hit < m.e_l1_ifetch, "the L0 exists to be cheaper");
+        assert!(m.e_fpu_short < m.e_fpu_cvt);
+        assert!(m.e_fpu_cvt < m.e_fpu_muladd);
+        assert!(m.e_fpu_muladd < m.e_fpu_divsqrt);
+    }
+
+    #[test]
+    fn static_power_dominates_paper_range() {
+        // All paper numbers are 37.4..46.2 mW; the constant component must
+        // be more than half of the smallest.
+        assert!(CALIBRATED.p_static_mw > 37.4 / 2.0);
+        assert!(CALIBRATED.p_static_mw < 37.4, "but leaves room for dynamic power");
+    }
+}

@@ -1,0 +1,588 @@
+//! The `expf` vector-exponential kernel (paper Fig. 1; glibc method).
+//!
+//! Input/output are `f64` arrays streamed between main memory and the TCDM
+//! by the cluster DMA (double-buffered), exactly as in the paper's setup
+//! (the DMA activity is part of the power story for this kernel).
+//!
+//! * **Baseline**: one mixed loop, 4×-unrolled and software-interleaved
+//!   (≈ 43 integer + 52 FP instructions per 4 elements). The
+//!   `fsd ki; lw ki` and `sw t; fld t` Type 2 crossings serialize against
+//!   the FP store queue; the 96-instruction body thrashes the L0 buffer.
+//! * **COPIFT**: the paper's 3-phase pipeline. Per block iteration `j`, a
+//!   fused FREP body runs phase 0 on data block `j` and phase 2 on block
+//!   `j-2` while the integer phase processes block `j-1`. Buffers are
+//!   grouped `[ki | w | y | t]` per pipeline slot (×3 rotation) so the
+//!   ki/w/y writes fuse into one 3-D SSR stream (the paper's stream fusion);
+//!   x and t reads fuse on a second SSR; w reads take the third.
+
+use snitch_asm::builder::ProgramBuilder;
+use snitch_asm::program::Program;
+use snitch_riscv::csr::SsrCfgWord;
+use snitch_riscv::reg::{FpReg, IntReg};
+
+use crate::golden::{exp_table, expf_vec, input_doubles, EXP_C, EXP_INVLN2N, EXP_SHIFT};
+
+fn x(i: u8) -> IntReg {
+    IntReg::new(i)
+}
+fn f(i: u8) -> FpReg {
+    FpReg::new(i)
+}
+
+/// Deterministic input vector for `n` elements.
+#[must_use]
+pub fn inputs(n: usize) -> Vec<f64> {
+    input_doubles(n, -10.0, 10.0)
+}
+
+/// Golden outputs for the standard inputs.
+#[must_use]
+pub fn golden_outputs(n: usize) -> Vec<u64> {
+    expf_vec(&inputs(n)).iter().map(|v| v.to_bits()).collect()
+}
+
+/// Common data-section setup. Returns `(x_main, y_main)` addresses; both
+/// arrays carry one extra block of slack for unconditional DMA prefetch
+/// (`x`) and a leading dummy block for unguarded write-out (`y`).
+fn alloc_io(b: &mut ProgramBuilder, n: usize, block: usize) -> (u32, u32) {
+    let xs = inputs(n);
+    let mut img: Vec<f64> = xs;
+    img.extend(std::iter::repeat_n(0.0, block)); // prefetch slack
+    let x_main = b.main_bytes(
+        "x_main",
+        8,
+        &img.iter().flat_map(|v| v.to_le_bytes()).collect::<Vec<u8>>(),
+    );
+    let y_main = b.main_reserve("y_main", (n + 2 * block) * 8, 8);
+    (x_main, y_main)
+}
+
+fn setup_fp_consts(b: &mut ProgramBuilder) {
+    let caddr = b.tcdm_f64(
+        "exp_consts",
+        &[EXP_INVLN2N, EXP_SHIFT, EXP_C[0], EXP_C[1], EXP_C[2], EXP_C[3]],
+    );
+    b.li_u(x(30), caddr);
+    for i in 0..6u8 {
+        b.fld(f(19 + i), x(30), 8 * i32::from(i));
+    }
+}
+
+/// Starts a DMA transfer of `bytes` from `src` to `dst` registers.
+fn dma_copy(b: &mut ProgramBuilder, src: IntReg, dst: IntReg, bytes: usize) {
+    b.dmsrc(src);
+    b.dmdst(dst);
+    b.li(x(29), bytes as i32);
+    b.dmcpyi(IntReg::ZERO, x(29));
+}
+
+/// Polls until all DMA transfers retire.
+fn dma_wait(b: &mut ProgramBuilder, tag: &str) {
+    b.label(tag);
+    b.dmstati(x(29));
+    b.bnez(x(29), tag);
+}
+
+/// Builds the RV32G baseline program.
+///
+/// # Panics
+///
+/// Panics unless `block` is a multiple of 4 dividing `n`.
+#[must_use]
+pub fn baseline(n: usize, block: usize) -> Program {
+    assert!(block.is_multiple_of(4) && block > 0 && n.is_multiple_of(block) && n >= block);
+    let nb = n / block;
+    let mut b = ProgramBuilder::new();
+    let tab = b.tcdm_u64("exp_table", &exp_table());
+    let xbuf0 = b.tcdm_reserve("xbuf0", block * 8, 8);
+    let xbuf1 = b.tcdm_reserve("xbuf1", block * 8, 8);
+    let ybuf0 = b.tcdm_reserve("ybuf0", block * 8, 8);
+    let ybuf1 = b.tcdm_reserve("ybuf1", block * 8, 8);
+    let ki_spill = b.tcdm_reserve("ki_spill", 32, 8);
+    let t_spill = b.tcdm_reserve("t_spill", 32, 8);
+    let (x_main, y_main) = alloc_io(&mut b, n, block);
+
+    setup_fp_consts(&mut b);
+    b.li_u(x(1), xbuf0);
+    b.li_u(x(2), xbuf1);
+    b.li_u(x(3), ybuf0);
+    b.li_u(x(4), ybuf1);
+    b.li_u(x(5), ki_spill);
+    b.li_u(x(6), t_spill);
+    b.li_u(x(7), x_main); // prefetch source (advances)
+    b.li_u(x(8), y_main); // write-out destination (block 0 is dummy)
+    b.li_u(x(23), tab);
+    b.li(x(24), nb as i32);
+
+    // Preload x block 0.
+    dma_copy(&mut b, x(7), x(1), block * 8);
+    b.li(x(28), (block * 8) as i32);
+    b.add(x(7), x(7), x(28));
+    dma_wait(&mut b, "dma0");
+
+    b.label("outer");
+    // Prefetch next x (slack block makes the last prefetch harmless) and
+    // write out the previous y (block 0 of y_main is a dummy).
+    dma_copy(&mut b, x(7), x(2), block * 8);
+    b.li(x(28), (block * 8) as i32);
+    b.add(x(7), x(7), x(28));
+    dma_copy(&mut b, x(4), x(8), block * 8);
+    b.add(x(8), x(8), x(28));
+
+    b.mv(x(9), x(1)); // x read pointer
+    b.mv(x(22), x(3)); // y write pointer
+    b.li(x(25), (block / 4) as i32);
+    b.label("inner");
+    // 4-element software-interleaved glibc expf body (Fig. 1b).
+    for e in 0..4u8 {
+        b.fld(f(e), x(9), 8 * i32::from(e));
+    }
+    for e in 0..4u8 {
+        b.fmul_d(f(e), f(e), f(19)); // z = x·InvLn2N
+    }
+    for e in 0..4u8 {
+        b.fadd_d(f(4 + e), f(e), f(20)); // kd = z + SHIFT
+    }
+    for e in 0..4u8 {
+        b.fsd(f(4 + e), x(5), 8 * i32::from(e)); // spill kd → ki
+    }
+    for e in 0..4u8 {
+        b.lw(x(10 + e), x(5), 8 * i32::from(e)); // ki (waits on FP stores)
+    }
+    for e in 0..4u8 {
+        b.andi(x(14 + e), x(10 + e), 0x1f);
+    }
+    for e in 0..4u8 {
+        b.slli(x(14 + e), x(14 + e), 3);
+    }
+    for e in 0..4u8 {
+        b.add(x(14 + e), x(23), x(14 + e));
+    }
+    for e in 0..4u8 {
+        b.lw(x(18 + e), x(14 + e), 0); // table low word
+    }
+    for e in 0..4u8 {
+        b.lw(x(14 + e), x(14 + e), 4); // table high word
+    }
+    for e in 0..4u8 {
+        b.slli(x(10 + e), x(10 + e), 15); // ki << 15
+    }
+    for e in 0..4u8 {
+        b.sw(x(18 + e), x(6), 8 * i32::from(e)); // t.lo
+    }
+    for e in 0..4u8 {
+        b.add(x(10 + e), x(10 + e), x(14 + e));
+    }
+    for e in 0..4u8 {
+        b.sw(x(10 + e), x(6), 8 * i32::from(e) + 4); // t.hi
+    }
+    for e in 0..4u8 {
+        b.fsub_d(f(4 + e), f(4 + e), f(20)); // kdr
+    }
+    for e in 0..4u8 {
+        b.fsub_d(f(e), f(e), f(4 + e)); // r
+    }
+    for e in 0..4u8 {
+        b.fmadd_d(f(8 + e), f(21), f(e), f(22)); // C0·r + C1
+    }
+    for e in 0..4u8 {
+        b.fld(f(12 + e), x(6), 8 * i32::from(e)); // s
+    }
+    for e in 0..4u8 {
+        b.fmadd_d(f(4 + e), f(23), f(e), f(24)); // C2·r + C3
+    }
+    for e in 0..4u8 {
+        b.fmul_d(f(e), f(e), f(e)); // r²
+    }
+    for e in 0..4u8 {
+        b.fmadd_d(f(4 + e), f(8 + e), f(e), f(4 + e));
+    }
+    for e in 0..4u8 {
+        b.fmul_d(f(4 + e), f(4 + e), f(12 + e)); // × s
+    }
+    for e in 0..4u8 {
+        b.fsd(f(4 + e), x(22), 8 * i32::from(e));
+    }
+    b.addi(x(9), x(9), 32);
+    b.addi(x(22), x(22), 32);
+    b.addi(x(25), x(25), -1);
+    b.bnez(x(25), "inner");
+
+    dma_wait(&mut b, "dma_iter");
+    // Swap x and y double buffers.
+    b.mv(x(28), x(1));
+    b.mv(x(1), x(2));
+    b.mv(x(2), x(28));
+    b.mv(x(28), x(3));
+    b.mv(x(3), x(4));
+    b.mv(x(4), x(28));
+    b.addi(x(24), x(24), -1);
+    b.bnez(x(24), "outer");
+
+    // Write out the final y block (now in the "other" buffer after swap).
+    b.fpu_fence();
+    dma_copy(&mut b, x(4), x(8), block * 8);
+    dma_wait(&mut b, "dma_tail");
+    b.ecall();
+    b.build().expect("expf baseline assembles")
+}
+
+/// FREP body lengths.
+const PH0_OPS: usize = 9;
+const PH2_OPS: usize = 1;
+
+/// Emits the fused FREP body covering 4 elements: phase 0 (if `ph0`) and
+/// phase 2 (if `ph2`). Returns the instruction count.
+fn emit_fp_body(b: &mut ProgramBuilder, ph0: bool, ph2: bool) -> u8 {
+    let start = b.len();
+    if ph0 {
+        for e in 0..4u8 {
+            b.fmul_d(f(3 + e), f(0), f(19)); // z = pop(x)·InvLn2N
+        }
+        for e in 0..4u8 {
+            b.fadd_d(f(7 + e), f(3 + e), f(20)); // kd
+        }
+        for e in 0..4u8 {
+            b.fmv_d(f(2), f(7 + e)); // push ki
+        }
+        for e in 0..4u8 {
+            b.fsub_d(f(7 + e), f(7 + e), f(20)); // kdr
+        }
+        for e in 0..4u8 {
+            b.fsub_d(f(3 + e), f(3 + e), f(7 + e)); // r
+        }
+        for e in 0..4u8 {
+            b.fmadd_d(f(11 + e), f(21), f(3 + e), f(22));
+        }
+        for e in 0..4u8 {
+            b.fmadd_d(f(15 + e), f(23), f(3 + e), f(24));
+        }
+        for e in 0..4u8 {
+            b.fmul_d(f(7 + e), f(3 + e), f(3 + e)); // r²
+        }
+        for e in 0..4u8 {
+            b.fmadd_d(f(2), f(11 + e), f(7 + e), f(15 + e)); // push w
+        }
+    }
+    if ph2 {
+        for _e in 0..4u8 {
+            b.fmul_d(f(2), f(1), f(0)); // y = pop(w)·pop(t); push y
+        }
+    }
+    u8::try_from(b.len() - start).expect("body fits")
+}
+
+/// Emits the integer phase over one block: the exp2 table lookup and scale
+/// assembly for block `ki/t` group at `group` (ki section at +0, t section
+/// at +3·block·8).
+fn emit_int_phase(b: &mut ProgramBuilder, block: usize, group: IntReg, tag: &str) {
+    b.mv(x(9), group); // ki read pointer
+    b.li(x(26), (3 * block * 8) as i32);
+    b.add(x(22), group, x(26)); // t write pointer
+    b.li(x(26), (block / 4) as i32);
+    b.label(tag);
+    for e in 0..4u8 {
+        b.lw(x(10 + e), x(9), 8 * i32::from(e));
+    }
+    for e in 0..4u8 {
+        b.andi(x(14 + e), x(10 + e), 0x1f);
+    }
+    for e in 0..4u8 {
+        b.slli(x(14 + e), x(14 + e), 3);
+    }
+    for e in 0..4u8 {
+        b.add(x(14 + e), x(8), x(14 + e));
+    }
+    for e in 0..4u8 {
+        b.lw(x(18 + e), x(14 + e), 0);
+    }
+    for e in 0..4u8 {
+        b.lw(x(14 + e), x(14 + e), 4);
+    }
+    for e in 0..4u8 {
+        b.slli(x(10 + e), x(10 + e), 15);
+    }
+    for e in 0..4u8 {
+        b.sw(x(18 + e), x(22), 8 * i32::from(e));
+    }
+    for e in 0..4u8 {
+        b.add(x(10 + e), x(10 + e), x(14 + e));
+    }
+    for e in 0..4u8 {
+        b.sw(x(10 + e), x(22), 8 * i32::from(e) + 4);
+    }
+    b.addi(x(9), x(9), 32);
+    b.addi(x(22), x(22), 32);
+    b.addi(x(26), x(26), -1);
+    b.bnez(x(26), tag);
+}
+
+/// Configures SSR0 (reads) for a block: `dims3` selects the fused x+t shape.
+fn cfg_ssr0(b: &mut ProgramBuilder, block: usize, dims3: bool) {
+    if dims3 {
+        b.li(x(29), 0b100); // read, 3-D
+        b.scfgwi(x(29), 0, SsrCfgWord::Status);
+        b.li(x(29), 3);
+        b.scfgwi(x(29), 0, SsrCfgWord::Bound(0));
+        b.li(x(29), 8);
+        b.scfgwi(x(29), 0, SsrCfgWord::Stride(0));
+        b.li(x(29), 1);
+        b.scfgwi(x(29), 0, SsrCfgWord::Bound(1));
+        // Stride(1) (t - x delta) is block-dependent: set by caller.
+        b.li(x(29), (block / 4 - 1) as i32);
+        b.scfgwi(x(29), 0, SsrCfgWord::Bound(2));
+        b.li(x(29), 32);
+        b.scfgwi(x(29), 0, SsrCfgWord::Stride(2));
+    } else {
+        b.li(x(29), 0); // read, 1-D
+        b.scfgwi(x(29), 0, SsrCfgWord::Status);
+        b.li(x(29), (block - 1) as i32);
+        b.scfgwi(x(29), 0, SsrCfgWord::Bound(0));
+        b.li(x(29), 8);
+        b.scfgwi(x(29), 0, SsrCfgWord::Stride(0));
+    }
+}
+
+/// Configures SSR2 (fused writes) shape: `sections` = 2 (ki,w), 3 (ki,w,y)
+/// or 1 (y only).
+fn cfg_ssr2(b: &mut ProgramBuilder, block: usize, sections: u32) {
+    if sections == 1 {
+        b.li(x(29), 0b1);
+        b.scfgwi(x(29), 2, SsrCfgWord::Status);
+        b.li(x(29), (block - 1) as i32);
+        b.scfgwi(x(29), 2, SsrCfgWord::Bound(0));
+        b.li(x(29), 8);
+        b.scfgwi(x(29), 2, SsrCfgWord::Stride(0));
+    } else {
+        b.li(x(29), 0b101); // write, 3-D
+        b.scfgwi(x(29), 2, SsrCfgWord::Status);
+        b.li(x(29), 3);
+        b.scfgwi(x(29), 2, SsrCfgWord::Bound(0));
+        b.li(x(29), 8);
+        b.scfgwi(x(29), 2, SsrCfgWord::Stride(0));
+        b.li(x(29), sections as i32 - 1);
+        b.scfgwi(x(29), 2, SsrCfgWord::Bound(1));
+        b.li(x(29), (block * 8) as i32);
+        b.scfgwi(x(29), 2, SsrCfgWord::Stride(1));
+        b.li(x(29), (block / 4 - 1) as i32);
+        b.scfgwi(x(29), 2, SsrCfgWord::Bound(2));
+        b.li(x(29), 32);
+        b.scfgwi(x(29), 2, SsrCfgWord::Stride(2));
+    }
+}
+
+/// Configures SSR1 (w reads) shape once.
+fn cfg_ssr1(b: &mut ProgramBuilder, block: usize) {
+    b.li(x(29), 0);
+    b.scfgwi(x(29), 1, SsrCfgWord::Status);
+    b.li(x(29), (block - 1) as i32);
+    b.scfgwi(x(29), 1, SsrCfgWord::Bound(0));
+    b.li(x(29), 8);
+    b.scfgwi(x(29), 1, SsrCfgWord::Stride(0));
+}
+
+/// Builds the COPIFT-accelerated program.
+///
+/// # Panics
+///
+/// Panics unless `block` is a multiple of 4 and `n / block >= 4`.
+#[must_use]
+pub fn copift(n: usize, block: usize) -> Program {
+    assert!(block.is_multiple_of(4) && block > 0 && n.is_multiple_of(block));
+    let nb = n / block;
+    assert!(nb >= 4, "copift expf needs at least 4 blocks");
+    let bs = block * 8;
+    let mut b = ProgramBuilder::new();
+    let tab = b.tcdm_u64("exp_table", &exp_table());
+    let xbuf0 = b.tcdm_reserve("xbuf0", bs, 8);
+    let xbuf1 = b.tcdm_reserve("xbuf1", bs, 8);
+    // Pipeline groups: [ki | w | y | t], rotated over three slots.
+    let g0 = b.tcdm_reserve("group0", 4 * bs, 8);
+    let g1 = b.tcdm_reserve("group1", 4 * bs, 8);
+    let g2 = b.tcdm_reserve("group2", 4 * bs, 8);
+    let (x_main, y_main) = alloc_io(&mut b, n, block);
+
+    setup_fp_consts(&mut b);
+    b.li_u(x(1), xbuf0); // x buffer of the current block (j % 2)
+    b.li_u(x(2), xbuf1);
+    // Rotation invariant: at iteration j, gcur = group[j % 3],
+    // gm1 = group[(j-1) % 3], gm2 = group[(j-2) % 3]; so at j = 0 the
+    // "previous" groups start as g2 and g1.
+    b.li_u(x(3), g0); // gcur (block j)
+    b.li_u(x(4), g2); // gm1 (block j-1)
+    b.li_u(x(5), g1); // gm2 (block j-2)
+    b.li_u(x(6), x_main);
+    b.li_u(x(7), y_main);
+    b.li(x(28), bs as i32);
+    b.add(x(7), x(7), x(28)); // y block 0 lands after the dummy block
+    b.li_u(x(8), tab);
+    b.li(x(25), (block / 4 - 1) as i32); // FREP repetitions - 1
+
+    cfg_ssr1(&mut b, block);
+    b.ssr_enable();
+
+    // Preload x0 and x1.
+    dma_copy(&mut b, x(6), x(1), bs);
+    b.li(x(28), bs as i32);
+    b.add(x(6), x(6), x(28));
+    dma_copy(&mut b, x(6), x(2), bs);
+    b.add(x(6), x(6), x(28));
+    dma_wait(&mut b, "dma_pre");
+
+    // ---- j = 0: phase 0 on block 0 ----
+    cfg_ssr0(&mut b, block, false);
+    b.scfgwi(x(1), 0, SsrCfgWord::Base); // x0
+    cfg_ssr2(&mut b, block, 2);
+    b.scfgwi(x(3), 2, SsrCfgWord::Base); // ki/w of g(0) — wait: gcur is x(3)
+    b.frep_o(x(25), (PH0_OPS * 4) as u8, 0, 0);
+    emit_fp_body(&mut b, true, false);
+    // rotate: j=1 → gcur g1? Keep explicit: rotation happens at iteration end.
+    rotate_groups(&mut b);
+    swap_xbufs(&mut b);
+
+    // ---- j = 1: phase 0 on block 1, int phase on block 0 ----
+    b.scfgwi(x(1), 0, SsrCfgWord::Base); // x1 (stalls until x0 stream done)
+    b.scfgwi(x(3), 2, SsrCfgWord::Base);
+    dma_copy(&mut b, x(6), x(2), bs); // prefetch x2
+    b.li(x(28), bs as i32);
+    b.add(x(6), x(6), x(28));
+    b.frep_o(x(25), (PH0_OPS * 4) as u8, 0, 0);
+    emit_fp_body(&mut b, true, false);
+    emit_int_phase(&mut b, block, x(4), "int_j1");
+    dma_wait(&mut b, "dma_j1");
+    rotate_groups(&mut b);
+    swap_xbufs(&mut b);
+
+    // ---- j = 2: first full iteration (programs the steady 3-D shapes) ----
+    cfg_ssr0(&mut b, block, true);
+    cfg_ssr2(&mut b, block, 3);
+    emit_steady_iteration(&mut b, block, false, "j2");
+
+    // ---- steady loop: j = 3 .. nb-1 (nb - 3 iterations) ----
+    b.li(x(24), (nb - 3) as i32);
+    b.label("steady");
+    emit_steady_iteration(&mut b, block, true, "steady_body");
+    b.addi(x(24), x(24), -1);
+    b.bnez(x(24), "steady");
+
+    // ---- j = nb: phase 2 on block nb-2, int phase on block nb-1 ----
+    cfg_ssr0(&mut b, block, false);
+    b.li(x(26), (3 * bs) as i32);
+    b.add(x(27), x(5), x(26)); // t section of gm2
+    b.scfgwi(x(27), 0, SsrCfgWord::Base);
+    b.li(x(26), bs as i32);
+    b.add(x(27), x(5), x(26));
+    b.scfgwi(x(27), 1, SsrCfgWord::Base); // w of gm2
+    cfg_ssr2(&mut b, block, 1);
+    b.li(x(26), (2 * bs) as i32);
+    b.add(x(27), x(3), x(26));
+    b.scfgwi(x(27), 2, SsrCfgWord::Base); // y section of gcur
+    dma_out_y(&mut b, bs, "out_nb"); // y_{nb-3}
+    b.frep_o(x(25), (PH2_OPS * 4) as u8, 0, 0);
+    emit_fp_body(&mut b, false, true);
+    emit_int_phase(&mut b, block, x(4), "int_last");
+    dma_wait(&mut b, "dma_nb");
+    rotate_groups(&mut b);
+
+    // ---- j = nb+1: phase 2 on block nb-1 ----
+    b.li(x(26), (3 * bs) as i32);
+    b.add(x(27), x(5), x(26));
+    b.scfgwi(x(27), 0, SsrCfgWord::Base);
+    b.li(x(26), bs as i32);
+    b.add(x(27), x(5), x(26));
+    b.scfgwi(x(27), 1, SsrCfgWord::Base);
+    b.li(x(26), (2 * bs) as i32);
+    b.add(x(27), x(3), x(26));
+    b.scfgwi(x(27), 2, SsrCfgWord::Base);
+    dma_out_y(&mut b, bs, "out_nb1"); // y_{nb-2}
+    b.frep_o(x(25), (PH2_OPS * 4) as u8, 0, 0);
+    emit_fp_body(&mut b, false, true);
+    b.fpu_fence();
+    b.ssr_disable();
+    // Final y block: written into gcur's y section by the last FREP.
+    b.li(x(26), (2 * bs) as i32);
+    b.add(x(27), x(3), x(26));
+    dma_copy(&mut b, x(27), x(7), bs);
+    dma_wait(&mut b, "dma_final");
+    b.ecall();
+    b.build().expect("expf copift assembles")
+}
+
+/// One steady block iteration (j = 2..nb-1): reconfigure bases, prefetch,
+/// write out, fused FREP, integer phase, rotate.
+fn emit_steady_iteration(b: &mut ProgramBuilder, block: usize, with_yout: bool, tag: &str) {
+    let bs = block * 8;
+    // SSR0: 3-D x+t; mid stride = t_section(gm2) - xbuf_cur.
+    b.li(x(26), (3 * bs) as i32);
+    b.add(x(27), x(5), x(26)); // t section of gm2
+    b.sub(x(28), x(27), x(1)); // delta
+    b.scfgwi(x(28), 0, SsrCfgWord::Stride(1));
+    b.scfgwi(x(1), 0, SsrCfgWord::Base);
+    b.li(x(26), bs as i32);
+    b.add(x(27), x(5), x(26));
+    b.scfgwi(x(27), 1, SsrCfgWord::Base); // w of gm2
+    b.scfgwi(x(3), 2, SsrCfgWord::Base); // ki/w/y of gcur
+    // Prefetch x_{j+1} (slack block absorbs the final overshoot).
+    dma_copy(b, x(6), x(2), bs);
+    b.li(x(28), bs as i32);
+    b.add(x(6), x(6), x(28));
+    if with_yout {
+        dma_out_y(b, bs, &format!("{tag}_yout"));
+    }
+    b.frep_o(x(25), ((PH0_OPS + PH2_OPS) * 4) as u8, 0, 0);
+    emit_fp_body(b, true, true);
+    emit_int_phase(b, block, x(4), &format!("{tag}_int"));
+    dma_wait(b, &format!("{tag}_dma"));
+    rotate_groups(b);
+    swap_xbufs(b);
+}
+
+/// Writes out the oldest pending y block (y section of gm2's *predecessor*;
+/// by rotation invariants that is gcur's y from three iterations ago, i.e.
+/// the section the pipeline has fully drained: gm1's y holds block j-3's
+/// results at the start of iteration j ... the section used is `gm1 + 2·bs`.
+fn dma_out_y(b: &mut ProgramBuilder, bs: usize, tag: &str) {
+    b.li(x(26), (2 * bs) as i32);
+    b.add(x(27), x(4), x(26)); // y section of gm1
+    b.dmsrc(x(27));
+    b.dmdst(x(7));
+    b.li(x(29), bs as i32);
+    b.dmcpyi(IntReg::ZERO, x(29));
+    b.add(x(7), x(7), x(29));
+    let _ = tag;
+}
+
+fn rotate_groups(b: &mut ProgramBuilder) {
+    b.mv(x(28), x(5));
+    b.mv(x(5), x(4));
+    b.mv(x(4), x(3));
+    b.mv(x(3), x(28));
+}
+
+fn swap_xbufs(b: &mut ProgramBuilder) {
+    b.mv(x(28), x(1));
+    b.mv(x(1), x(2));
+    b.mv(x(2), x(28));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_mix_matches_table1_shape() {
+        let p = baseline(64, 32);
+        // Inner body: 52 FP + 40 int per 4 elements (plus setup/outer code).
+        let mix = copift::MixCounts::of(p.text());
+        assert!(mix.n_fp >= 52);
+        assert!(mix.n_int > mix.n_fp / 2);
+    }
+
+    #[test]
+    fn copift_body_lengths() {
+        let mut b = ProgramBuilder::new();
+        assert_eq!(emit_fp_body(&mut b, true, false), 36);
+        assert_eq!(emit_fp_body(&mut b, false, true), 4);
+        assert_eq!(emit_fp_body(&mut b, true, true), 40);
+    }
+}

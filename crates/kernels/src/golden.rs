@@ -1,0 +1,422 @@
+//! Golden (bit-exact) reference models for all six workloads.
+//!
+//! Every model performs the *same* floating-point operations in the *same*
+//! order as the corresponding simulated kernels, so simulator output is
+//! validated bit-for-bit, not approximately.
+
+/// LCG multiplier (Numerical Recipes).
+pub const LCG_A: u32 = 1_664_525;
+/// LCG increment.
+pub const LCG_C: u32 = 1_013_904_223;
+/// Base seed for the four parallel generator streams.
+pub const SEED0: u32 = 0x1234_5678;
+/// Stream seed spacing (golden ratio hash constant).
+pub const SEED_GAMMA: u32 = 0x9E37_79B9;
+
+/// One LCG step: `s = s*A + C`, returning the new state as the draw.
+#[must_use]
+pub fn lcg_next(state: &mut u32) -> u32 {
+    *state = state.wrapping_mul(LCG_A).wrapping_add(LCG_C);
+    *state
+}
+
+/// Initial states of the four parallel LCG streams.
+#[must_use]
+pub fn lcg_seeds() -> [u32; 4] {
+    std::array::from_fn(|s| SEED0.wrapping_add(SEED_GAMMA.wrapping_mul(s as u32)))
+}
+
+/// xoshiro128+ state for one stream.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Xoshiro128p {
+    /// The four state words.
+    pub s: [u32; 4],
+}
+
+impl Xoshiro128p {
+    /// Seeds a stream with splitmix32 (so streams are decorrelated).
+    #[must_use]
+    pub fn seeded(stream: u32) -> Self {
+        let mut x = SEED0.wrapping_add(SEED_GAMMA.wrapping_mul(stream)).wrapping_add(1);
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9);
+            let mut z = x;
+            z = (z ^ (z >> 16)).wrapping_mul(0x21F0_AAAD);
+            z = (z ^ (z >> 15)).wrapping_mul(0x735A_2D97);
+            z ^ (z >> 15)
+        };
+        Xoshiro128p { s: [next(), next(), next(), next()] }
+    }
+
+    /// One xoshiro128+ step (the generator's conventional method name).
+    #[must_use]
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> u32 {
+        let result = self.s[0].wrapping_add(self.s[3]);
+        let t = self.s[1] << 9;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(11);
+        result
+    }
+}
+
+/// The two pseudo-random number generators of the paper's Monte Carlo
+/// kernels.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Rng {
+    /// 32-bit linear congruential generator (integer mul/add — exercises
+    /// the write-back port hazard).
+    Lcg,
+    /// xoshiro128+ (xor/shift/rotate — integer-heavy, no multiplies).
+    Xoshiro128p,
+}
+
+/// Generates `n_points` coordinate pairs with four interleaved streams in
+/// the exact draw order of the assembly kernels: batches of 8 points =
+/// 16 draws, draw `d` of a batch taken from stream `d % 4`, filling
+/// x[0..4], y[0..4], x[4..8], y[4..8].
+#[must_use]
+pub fn gen_points(rng: Rng, n_points: usize) -> (Vec<u32>, Vec<u32>) {
+    assert!(n_points.is_multiple_of(8), "points must come in batches of 8");
+    let mut xs = vec![0u32; n_points];
+    let mut ys = vec![0u32; n_points];
+    let mut lcg = lcg_seeds();
+    let mut xo: [Xoshiro128p; 4] = std::array::from_fn(|s| Xoshiro128p::seeded(s as u32));
+    for batch in 0..n_points / 8 {
+        let base = batch * 8;
+        for k in 0..4 {
+            for s in 0..4 {
+                let v = match rng {
+                    Rng::Lcg => lcg_next(&mut lcg[s]),
+                    Rng::Xoshiro128p => xo[s].next(),
+                };
+                match k {
+                    0 => xs[base + s] = v,
+                    1 => ys[base + s] = v,
+                    2 => xs[base + 4 + s] = v,
+                    _ => ys[base + 4 + s] = v,
+                }
+            }
+        }
+    }
+    (xs, ys)
+}
+
+/// 2⁻³² as a double (exact).
+pub const INV_2_32: f64 = 1.0 / 4_294_967_296.0;
+
+/// Degree-5 integrand `g(u) = 0.15 + 0.7·v + 0.7·v²` with `v = u(1-u)`,
+/// expanded to coefficients `c5..c0`; range ⊂ (0, 0.4) on [0, 1).
+pub const POLY_C: [f64; 6] = [0.05, 0.7, -1.4, 0.0, 0.7, 0.15];
+
+/// The two hit-and-miss integration problems.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Integrand {
+    /// Quarter-circle area (π/4): hit when `x² + y² < 1`.
+    Pi,
+    /// Degree-5 polynomial: hit when `y < g(x)`.
+    Poly,
+}
+
+/// Baseline hit test for one point, with the paper-style [0,1) scaling
+/// (`fcvt.d.wu` then multiply by 2⁻³²). Exactly 7 (Pi) / 10 (Poly) FP
+/// operations, mirroring the RV32G kernels.
+#[must_use]
+pub fn hit_scaled(integrand: Integrand, xu: u32, yu: u32) -> bool {
+    let x = f64::from(xu) * INV_2_32;
+    let y = f64::from(yu) * INV_2_32;
+    match integrand {
+        Integrand::Pi => {
+            let xx = x * x;
+            let s = y.mul_add(y, xx);
+            s < 1.0
+        }
+        Integrand::Poly => {
+            let mut p = POLY_C[0];
+            for c in &POLY_C[1..] {
+                p = p.mul_add(x, *c);
+            }
+            y < p
+        }
+    }
+}
+
+/// COPIFT-variant hit test operating on raw 32-bit draws (scaling folded
+/// into the comparison bound / coefficients). Produces *bit-identical* hits
+/// to [`hit_scaled`] because all rescalings are exact powers of two.
+#[must_use]
+pub fn hit_raw(integrand: Integrand, xu: u32, yu: u32) -> bool {
+    let x = f64::from(xu);
+    let y = f64::from(yu);
+    match integrand {
+        Integrand::Pi => {
+            let xx = x * x;
+            let s = y.mul_add(y, xx);
+            s < 18_446_744_073_709_551_616.0 // 2^64
+        }
+        Integrand::Poly => {
+            // c_k' = c_k · 2^(32·(1-k)) — exact power-of-two rescale.
+            let c = scaled_poly_coeffs();
+            let mut p = c[0];
+            for ck in &c[1..] {
+                p = p.mul_add(x, *ck);
+            }
+            y < p
+        }
+    }
+}
+
+/// The raw-domain polynomial coefficients `c_k' = c_k · 2^(32(1-k))`
+/// (`POLY_C[i]` multiplies `x^(5-i)`).
+#[must_use]
+pub fn scaled_poly_coeffs() -> [f64; 6] {
+    std::array::from_fn(|i| {
+        let k = 5 - i as i32;
+        POLY_C[i] * 2.0_f64.powi(32 * (1 - k))
+    })
+}
+
+/// Monte Carlo result: hit counts accumulated in four rotating f64
+/// accumulators (`acc[p % 4]`), reduced as `(a0+a1) + (a2+a3)` — the exact
+/// reduction the kernels perform.
+#[must_use]
+pub fn mc_hits(integrand: Integrand, rng: Rng, n_points: usize) -> f64 {
+    let (xs, ys) = gen_points(rng, n_points);
+    let mut acc = [0.0f64; 4];
+    for p in 0..n_points {
+        let hit = hit_scaled(integrand, xs[p], ys[p]);
+        acc[p % 4] += f64::from(i32::from(hit));
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3])
+}
+
+// --------------------------------------------------------------------- expf
+
+/// `N/ln2` with N = 32 (the exp2 table size).
+pub const EXP_INVLN2N: f64 = 46.166_241_308_446_83;
+/// Rounding shift: 1.5 × 2⁵².
+pub const EXP_SHIFT: f64 = 6_755_399_441_055_744.0;
+/// Polynomial coefficients (glibc `expf` method, N-scaled domain):
+/// `p(r) = (C0·r + C1)·r² + (C2·r + C3)`.
+pub const EXP_C: [f64; 4] = [
+    0.055_503_615_593_130_85 / (32.0 * 32.0 * 32.0),
+    0.240_226_511_029_239_8 / (32.0 * 32.0),
+    0.693_147_182_040_323_2 / 32.0,
+    1.0,
+];
+
+/// The 32-entry exp2 table: `T[i] = bits(2^(i/32)) - (i << 47)`, so adding
+/// `ki << 47` reconstructs the scale factor including the exponent.
+#[must_use]
+pub fn exp_table() -> [u64; 32] {
+    std::array::from_fn(|i| {
+        let v = 2.0f64.powf(i as f64 / 32.0);
+        v.to_bits().wrapping_sub((i as u64) << 47)
+    })
+}
+
+/// One element of the paper's Fig. 1b expf kernel (double in, double out),
+/// bit-exact with the simulated instruction sequence.
+#[must_use]
+pub fn expf_elem(x: f64, table: &[u64; 32]) -> f64 {
+    let z = x * EXP_INVLN2N;
+    let kd = z + EXP_SHIFT;
+    let ki = kd.to_bits() as u32; // low word
+    let idx = (ki & 31) as usize;
+    let lo = table[idx] as u32;
+    let hi = (table[idx] >> 32) as u32;
+    let hi2 = hi.wrapping_add(ki << 15);
+    let s = f64::from_bits((u64::from(hi2) << 32) | u64::from(lo));
+    let kdr = kd - EXP_SHIFT;
+    let r = z - kdr;
+    let p = EXP_C[0].mul_add(r, EXP_C[1]);
+    let q = EXP_C[2].mul_add(r, EXP_C[3]);
+    let r2 = r * r;
+    let y = p.mul_add(r2, q);
+    y * s
+}
+
+/// Vector expf over `xs`.
+#[must_use]
+pub fn expf_vec(xs: &[f64]) -> Vec<f64> {
+    let t = exp_table();
+    xs.iter().map(|&x| expf_elem(x, &t)).collect()
+}
+
+// --------------------------------------------------------------------- logf
+
+/// `OFF` constant of glibc `logf` (bits of ~0.6992).
+pub const LOG_OFF: u32 = 0x3f33_0000;
+/// ln(2).
+pub const LOG_LN2: f64 = std::f64::consts::LN_2;
+/// Polynomial coefficients of glibc `logf` (degree 3):
+/// `y = (A0·r + A1)·r² + (A2·r + (y0 + r))` evaluated as in the kernel.
+pub const LOG_A: [f64; 3] = [
+    -0.308_428_103_550_667_44,
+    0.498_540_461_252_356_74,
+    -0.666_676_082_866_880_5,
+];
+
+/// 16-entry `(invc, logc)` table of the glibc logf method, flattened to
+/// `[invc0, logc0, invc1, logc1, ...]`.
+#[must_use]
+pub fn log_table() -> [f64; 32] {
+    let mut t = [0.0f64; 32];
+    for i in 0..16 {
+        // Midpoint of the i-th mantissa interval after the OFF shift.
+        let m_bits: u32 = LOG_OFF.wrapping_add(((i as u32) << 19) | (1 << 18));
+        let m = f64::from(f32::from_bits(m_bits));
+        let invc = 1.0 / m;
+        let logc = m.ln();
+        t[2 * i] = invc;
+        t[2 * i + 1] = logc;
+    }
+    t
+}
+
+/// One element of logf (f32 in, f64 out), bit-exact with the simulated
+/// kernels (which keep the result in double precision).
+#[must_use]
+pub fn logf_elem(x: f32, table: &[f64; 32]) -> f64 {
+    let ix = x.to_bits();
+    let tmp = ix.wrapping_sub(LOG_OFF);
+    let i = ((tmp >> 19) & 15) as usize;
+    let k = (tmp as i32) >> 23;
+    let iz = ix.wrapping_sub(tmp & 0xff80_0000);
+    let z = f64::from(f32::from_bits(iz));
+    let invc = table[2 * i];
+    let logc = table[2 * i + 1];
+    let r = z.mul_add(invc, -1.0);
+    let kd = f64::from(k);
+    let y0 = kd.mul_add(LOG_LN2, logc);
+    let r2 = r * r;
+    let q = LOG_A[0].mul_add(r, LOG_A[1]);
+    let p = q.mul_add(r, LOG_A[2]);
+    let w0 = y0 + r;
+    p.mul_add(r2, w0)
+}
+
+/// Vector logf over `xs`.
+#[must_use]
+pub fn logf_vec(xs: &[f32]) -> Vec<f64> {
+    let t = log_table();
+    xs.iter().map(|&x| logf_elem(x, &t)).collect()
+}
+
+/// Deterministic pseudo-random input generator for the vector kernels.
+#[must_use]
+pub fn input_doubles(n: usize, lo: f64, hi: f64) -> Vec<f64> {
+    let mut s = SEED0;
+    (0..n)
+        .map(|_| {
+            let u = f64::from(lcg_next(&mut s)) * INV_2_32;
+            lo + u * (hi - lo)
+        })
+        .collect()
+}
+
+/// Deterministic pseudo-random f32 inputs.
+#[must_use]
+pub fn input_floats(n: usize, lo: f32, hi: f32) -> Vec<f32> {
+    input_doubles(n, f64::from(lo), f64::from(hi)).iter().map(|&v| v as f32).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lcg_streams_are_distinct_and_deterministic() {
+        let mut a = lcg_seeds();
+        let mut b = lcg_seeds();
+        for s in 0..4 {
+            assert_eq!(lcg_next(&mut a[s]), lcg_next(&mut b[s]));
+        }
+        assert_ne!(a[0], a[1]);
+    }
+
+    #[test]
+    fn xoshiro_reference_vector() {
+        // Self-consistency + basic distribution sanity.
+        let mut g = Xoshiro128p::seeded(0);
+        let first: Vec<u32> = (0..4).map(|_| g.next()).collect();
+        let mut g2 = Xoshiro128p::seeded(0);
+        let again: Vec<u32> = (0..4).map(|_| g2.next()).collect();
+        assert_eq!(first, again);
+        assert_ne!(first[0], first[1]);
+    }
+
+    #[test]
+    fn scaled_and_raw_hits_agree_bitwise() {
+        let (xs, ys) = gen_points(Rng::Lcg, 256);
+        for p in 0..256 {
+            for integrand in [Integrand::Pi, Integrand::Poly] {
+                assert_eq!(
+                    hit_scaled(integrand, xs[p], ys[p]),
+                    hit_raw(integrand, xs[p], ys[p]),
+                    "power-of-two rescaling must not change any hit ({integrand:?}, p={p})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pi_estimate_converges() {
+        let n = 32768;
+        let hits = mc_hits(Integrand::Pi, Rng::Xoshiro128p, n);
+        let pi = 4.0 * hits / n as f64;
+        assert!((pi - std::f64::consts::PI).abs() < 0.05, "pi estimate {pi}");
+    }
+
+    #[test]
+    fn poly_estimate_matches_analytic_integral() {
+        // ∫ g = 0.15 + 0.7/2 - 1.4/4 + 0.7/5 + 0.05/6 ≈ 0.2983.
+        let exact = 0.05 / 6.0 + 0.7 / 5.0 - 1.4 / 4.0 + 0.7 / 2.0 + 0.15;
+        let n = 32768;
+        let est = mc_hits(Integrand::Poly, Rng::Lcg, n) / n as f64;
+        assert!((est - exact).abs() < 0.02, "poly estimate {est} vs {exact}");
+    }
+
+    #[test]
+    fn expf_accuracy_against_std() {
+        let t = exp_table();
+        for &x in &[-10.0, -1.5, -0.1, 0.0, 0.3, 1.0, 5.7, 10.0] {
+            let got = expf_elem(x, &t);
+            let want = f64::exp(x);
+            let rel = ((got - want) / want).abs();
+            assert!(rel < 1e-7, "expf({x}) = {got}, want {want} (rel {rel})");
+        }
+    }
+
+    #[test]
+    fn logf_accuracy_against_std() {
+        let t = log_table();
+        for &x in &[0.1f32, 0.5, 0.99, 1.0, 1.7, 2.0, 9.9, 100.0] {
+            let got = logf_elem(x, &t);
+            let want = f64::ln(f64::from(x));
+            assert!((got - want).abs() < 2e-4, "logf({x}) = {got}, want {want}");
+        }
+    }
+
+    #[test]
+    fn scaled_poly_coeffs_are_exact_rescalings() {
+        let c = scaled_poly_coeffs();
+        assert_eq!(c[5], POLY_C[5] * 2.0f64.powi(32)); // x^0 term × 2^32
+        assert_eq!(c[4], POLY_C[4]); // x^1 term unscaled
+        assert_eq!(c[3], POLY_C[3] * 2.0f64.powi(-32));
+    }
+
+    #[test]
+    fn inputs_are_in_range_and_deterministic() {
+        let a = input_doubles(128, -10.0, 10.0);
+        let b = input_doubles(128, -10.0, 10.0);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&v| (-10.0..10.0).contains(&v)));
+        let f = input_floats(64, 0.1, 10.0);
+        assert!(f.iter().all(|&v| (0.1..10.0).contains(&v)));
+    }
+}

@@ -1,0 +1,192 @@
+//! Run-and-validate harness: executes kernel programs on the simulator,
+//! checks results bit-exactly against the golden models, and measures
+//! steady-state metrics by differencing two problem sizes (which cancels
+//! setup, prologue and epilogue contributions — the paper's "steady-state
+//! iteration" measurements).
+
+use snitch_asm::program::Program;
+use snitch_energy::EnergyModel;
+use snitch_sim::cluster::Cluster;
+use snitch_sim::config::ClusterConfig;
+use snitch_sim::error::RunError;
+use snitch_sim::stats::Stats;
+
+/// Result of one validated kernel run.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// Full-run statistics.
+    pub stats: Stats,
+    /// Total cycles (convenience alias of `stats.cycles`).
+    pub total_cycles: u64,
+    /// Average power over the run (calibrated model), mW.
+    pub power_mw: f64,
+    /// Total energy, µJ.
+    pub energy_uj: f64,
+}
+
+/// Validation or execution failure.
+#[derive(Debug)]
+pub enum HarnessError {
+    /// The simulator aborted.
+    Run(RunError),
+    /// Simulated output disagrees with the golden model.
+    Mismatch {
+        /// What was being compared.
+        what: String,
+        /// Element index.
+        index: usize,
+        /// Simulated bits.
+        got: u64,
+        /// Golden bits.
+        want: u64,
+    },
+}
+
+impl std::fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HarnessError::Run(e) => write!(f, "simulation failed: {e}"),
+            HarnessError::Mismatch { what, index, got, want } => write!(
+                f,
+                "golden mismatch in {what}[{index}]: got {got:#018x}, want {want:#018x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for HarnessError {}
+
+impl From<RunError> for HarnessError {
+    fn from(e: RunError) -> Self {
+        HarnessError::Run(e)
+    }
+}
+
+/// Runs `program` to completion and returns the cluster for inspection.
+///
+/// # Errors
+///
+/// Returns [`HarnessError::Run`] if the simulation faults, deadlocks or
+/// times out.
+pub fn run_program(program: &Program, cfg: ClusterConfig) -> Result<(Cluster, Stats), HarnessError> {
+    let mut cluster = Cluster::new(cfg);
+    cluster.load_program(program);
+    let stats = cluster.run()?;
+    Ok((cluster, stats))
+}
+
+/// Runs and validates a program whose outputs are `(symbol, golden bits)`
+/// arrays of 64-bit values.
+///
+/// # Errors
+///
+/// Returns [`HarnessError`] on simulation failure or any bit mismatch.
+pub fn run_validated(
+    program: &Program,
+    cfg: ClusterConfig,
+    expected: &[(&str, Vec<u64>)],
+) -> Result<RunOutcome, HarnessError> {
+    let (cluster, stats) = run_program(program, cfg)?;
+    for (symbol, golden) in expected {
+        let base = program
+            .symbol(symbol)
+            .unwrap_or_else(|| panic!("program lacks output symbol `{symbol}`"));
+        for (i, want) in golden.iter().enumerate() {
+            let got = cluster
+                .mem()
+                .read(base + (i as u32) * 8, 8)
+                .map_err(|e| HarnessError::Run(RunError::Fault(e.into())))?;
+            if got != *want {
+                return Err(HarnessError::Mismatch {
+                    what: (*symbol).to_string(),
+                    index: i,
+                    got,
+                    want: *want,
+                });
+            }
+        }
+    }
+    let report = EnergyModel::gf12lp().report(&stats);
+    Ok(RunOutcome {
+        total_cycles: stats.cycles,
+        power_mw: report.avg_power_mw,
+        energy_uj: report.energy_uj,
+        stats,
+    })
+}
+
+/// Steady-state metrics derived by differencing two runs of the same kernel
+/// at different problem sizes.
+#[derive(Clone, Debug)]
+pub struct SteadyState {
+    /// Steady-state instructions per cycle.
+    pub ipc: f64,
+    /// Cycles per processed element (point / vector entry).
+    pub cycles_per_elem: f64,
+    /// Steady-state average power, mW.
+    pub power_mw: f64,
+    /// Steady-state energy per element, nJ.
+    pub energy_per_elem_nj: f64,
+    /// The differenced counters.
+    pub delta: Stats,
+}
+
+/// Computes steady-state metrics from two validated runs: `(stats_small,
+/// n_small)` and `(stats_large, n_large)`.
+#[must_use]
+pub fn steady_state(small: &Stats, n_small: usize, large: &Stats, n_large: usize) -> SteadyState {
+    assert!(n_large > n_small, "need two distinct problem sizes");
+    let delta = large.delta_since(small);
+    let elems = (n_large - n_small) as f64;
+    let ipc = delta.ipc();
+    let cycles_per_elem = delta.cycles as f64 / elems;
+    let report = EnergyModel::gf12lp().report(&delta);
+    SteadyState {
+        ipc,
+        cycles_per_elem,
+        power_mw: report.avg_power_mw,
+        energy_per_elem_nj: report.energy_uj * 1e3 / elems,
+        delta,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snitch_asm::builder::ProgramBuilder;
+    use snitch_riscv::reg::IntReg;
+
+    #[test]
+    fn validation_catches_wrong_output() {
+        let mut b = ProgramBuilder::new();
+        let out = b.tcdm_reserve("out", 8, 8);
+        b.li_u(IntReg::A0, out);
+        b.li(IntReg::A1, 41);
+        b.sw(IntReg::A1, IntReg::A0, 0);
+        b.ecall();
+        let p = b.build().unwrap();
+        let err = run_validated(&p, ClusterConfig::default(), &[("out", vec![42u64])])
+            .expect_err("must detect mismatch");
+        match err {
+            HarnessError::Mismatch { got, want, .. } => {
+                assert_eq!(got, 41);
+                assert_eq!(want, 42);
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn validation_accepts_correct_output() {
+        let mut b = ProgramBuilder::new();
+        let out = b.tcdm_reserve("out", 8, 8);
+        b.li_u(IntReg::A0, out);
+        b.li(IntReg::A1, 42);
+        b.sw(IntReg::A1, IntReg::A0, 0);
+        b.ecall();
+        let p = b.build().unwrap();
+        let r = run_validated(&p, ClusterConfig::default(), &[("out", vec![42u64])]).unwrap();
+        assert!(r.total_cycles > 0);
+        assert!(r.power_mw > 0.0);
+    }
+}

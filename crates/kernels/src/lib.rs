@@ -1,0 +1,22 @@
+//! The six mixed integer/floating-point workloads evaluated in the COPIFT
+//! paper, each as a golden Rust model, an optimized RV32G baseline program
+//! and a COPIFT-accelerated program, plus the run/validate harness.
+//!
+//! | Kernel | Domain | Module |
+//! |--------|--------|--------|
+//! | `expf` | vector exponential (softmax motif) | [`expf`] |
+//! | `logf` | vector logarithm (ISSR showcase) | [`logf`] |
+//! | `poly_lcg`, `pi_lcg`, `poly_xoshiro128p`, `pi_xoshiro128p` | hit-and-miss Monte Carlo | [`mc`] |
+//!
+//! All simulated results are validated **bit-exactly** against [`golden`].
+//! [`registry::Kernel`] is the enumeration the benchmarks drive.
+
+pub mod expf;
+pub mod golden;
+pub mod harness;
+pub mod logf;
+pub mod mc;
+pub mod registry;
+
+pub use harness::{HarnessError, RunOutcome, SteadyState};
+pub use registry::{Kernel, Variant};

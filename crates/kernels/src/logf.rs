@@ -1,0 +1,385 @@
+//! The `logf` vector-logarithm kernel (glibc method) — the paper's ISSR
+//! showcase: the table lookup index depends on the input data (a Type 1
+//! dependency), which the COPIFT variant maps to an *indirection* stream.
+//!
+//! Input is an `f32` array and output an `f64` array, both TCDM-resident
+//! (unlike `expf`, no DMA streaming — the deviation is recorded in
+//! EXPERIMENTS.md).
+//!
+//! * **Baseline**: mixed loop, 4×-unrolled; the integer thread extracts
+//!   exponent/index/mantissa bits, the FP thread evaluates the polynomial;
+//!   `fcvt.d.w` on the exponent is the Type 3 crossing.
+//! * **COPIFT**: two phases (Int → FP). The integer thread writes, per
+//!   element, the normalized mantissa **as double bits** (an exact integer
+//!   reconstruction), the exponent word, and two 16-bit table indices
+//!   (`2i`, `2i+1`). The FP thread pops the z/k stream (fused 3-D on
+//!   SSR 0), the `(invc, logc)` pairs through the **ISSR** (SSR 1), and
+//!   writes results on SSR 2; `copift.fcvt.d.w` converts the exponent
+//!   entirely inside the FP register file.
+
+use snitch_asm::builder::ProgramBuilder;
+use snitch_asm::program::Program;
+use snitch_riscv::csr::SsrCfgWord;
+use snitch_riscv::reg::{FpReg, IntReg};
+
+use crate::golden::{input_floats, log_table, logf_vec, LOG_A, LOG_LN2, LOG_OFF};
+
+fn x(i: u8) -> IntReg {
+    IntReg::new(i)
+}
+fn f(i: u8) -> FpReg {
+    FpReg::new(i)
+}
+
+/// Exponent-bias adjustment for the f32→f64 bit reconstruction:
+/// `(1023 - 127) << 20`.
+const Z_ADJ: u32 = 0x3800_0000;
+
+/// Deterministic input vector.
+#[must_use]
+pub fn inputs(n: usize) -> Vec<f32> {
+    input_floats(n, 0.1, 10.0)
+}
+
+/// Golden outputs (f64 bits) for the standard inputs.
+#[must_use]
+pub fn golden_outputs(n: usize) -> Vec<u64> {
+    logf_vec(&inputs(n)).iter().map(|v| v.to_bits()).collect()
+}
+
+fn setup_fp_consts(b: &mut ProgramBuilder) {
+    let caddr = b.tcdm_f64("log_consts", &[1.0, LOG_LN2, LOG_A[0], LOG_A[1], LOG_A[2]]);
+    b.li_u(x(30), caddr);
+    for i in 0..5u8 {
+        b.fld(f(19 + i), x(30), 8 * i32::from(i));
+    }
+}
+
+/// Builds the RV32G baseline program.
+///
+/// # Panics
+///
+/// Panics unless `n` is a positive multiple of 4.
+#[must_use]
+pub fn baseline(n: usize) -> Program {
+    assert!(n > 0 && n.is_multiple_of(4));
+    let mut b = ProgramBuilder::new();
+    let tab = b.tcdm_f64("log_table", &log_table());
+    let xs = b.tcdm_f32("x_data", &inputs(n));
+    let ys = b.tcdm_reserve("y_data", n * 8, 8);
+    let iz_spill = b.tcdm_reserve("iz_spill", 16, 8);
+
+    setup_fp_consts(&mut b);
+    b.li_u(x(1), xs);
+    b.li_u(x(2), ys);
+    b.li_u(x(3), iz_spill);
+    b.li_u(x(4), tab);
+    b.li(x(5), (n / 4) as i32);
+    b.li_u(x(6), LOG_OFF);
+    b.li_u(x(7), 0xff80_0000);
+
+    b.label("loop");
+    // Integer bit extraction, 4-way interleaved: temps a=x10+e (ix/iz),
+    // b=x14+e (tmp/k), c=x18+e (taddr), d=x22+e (masked).
+    for e in 0..4u8 {
+        b.lw(x(10 + e), x(1), 4 * i32::from(e));
+    }
+    for e in 0..4u8 {
+        b.sub(x(14 + e), x(10 + e), x(6)); // tmp = ix - OFF
+    }
+    for e in 0..4u8 {
+        b.srli(x(18 + e), x(14 + e), 19);
+    }
+    for e in 0..4u8 {
+        b.andi(x(18 + e), x(18 + e), 15); // i
+    }
+    for e in 0..4u8 {
+        b.slli(x(18 + e), x(18 + e), 4); // ×16 (table row)
+    }
+    for e in 0..4u8 {
+        b.add(x(18 + e), x(4), x(18 + e)); // taddr
+    }
+    for e in 0..4u8 {
+        b.and(x(22 + e), x(14 + e), x(7)); // tmp & 0xff800000
+    }
+    for e in 0..4u8 {
+        b.sub(x(10 + e), x(10 + e), x(22 + e)); // iz
+    }
+    for e in 0..4u8 {
+        b.srai(x(14 + e), x(14 + e), 23); // k
+    }
+    for e in 0..4u8 {
+        b.sw(x(10 + e), x(3), 4 * i32::from(e)); // spill iz
+    }
+    // FP evaluation.
+    for e in 0..4u8 {
+        b.flw(f(e), x(3), 4 * i32::from(e)); // z as f32 (waits on stores? int stores complete at issue)
+    }
+    for e in 0..4u8 {
+        b.fcvt_d_s(f(e), f(e)); // z
+    }
+    for e in 0..4u8 {
+        b.fld(f(4 + e), x(18 + e), 0); // invc
+    }
+    for e in 0..4u8 {
+        b.fld(f(8 + e), x(18 + e), 8); // logc
+    }
+    for e in 0..4u8 {
+        b.fcvt_d_w(f(12 + e), x(14 + e)); // kd (Type 3)
+    }
+    for e in 0..4u8 {
+        b.fmsub_d(f(e), f(e), f(4 + e), f(19)); // r = z·invc - 1
+    }
+    for e in 0..4u8 {
+        b.fmadd_d(f(8 + e), f(12 + e), f(20), f(8 + e)); // y0 = kd·Ln2 + logc
+    }
+    for e in 0..4u8 {
+        b.fmul_d(f(4 + e), f(e), f(e)); // r²
+    }
+    for e in 0..4u8 {
+        b.fmadd_d(f(12 + e), f(21), f(e), f(22)); // q = A0·r + A1
+    }
+    for e in 0..4u8 {
+        b.fmadd_d(f(12 + e), f(12 + e), f(e), f(23)); // p = q·r + A2
+    }
+    for e in 0..4u8 {
+        b.fadd_d(f(8 + e), f(8 + e), f(e)); // w0 = y0 + r
+    }
+    for e in 0..4u8 {
+        b.fmadd_d(f(8 + e), f(12 + e), f(4 + e), f(8 + e)); // y
+    }
+    for e in 0..4u8 {
+        b.fsd(f(8 + e), x(2), 8 * i32::from(e));
+    }
+    b.addi(x(1), x(1), 16);
+    b.addi(x(2), x(2), 32);
+    b.addi(x(5), x(5), -1);
+    b.bnez(x(5), "loop");
+    b.fpu_fence();
+    b.ecall();
+    b.build().expect("logf baseline assembles")
+}
+
+/// COPIFT FREP body length (8 FP ops × 4 elements).
+const BODY: u8 = 32;
+
+fn emit_fp_body(b: &mut ProgramBuilder) {
+    for e in 0..4u8 {
+        b.fmsub_d(f(3 + e), f(0), f(1), f(19)); // r = pop(z)·pop(invc) - 1
+    }
+    for e in 0..4u8 {
+        b.copift_fcvt_d_w(f(7 + e), f(0)); // kd from pop(k)
+    }
+    for e in 0..4u8 {
+        b.fmadd_d(f(7 + e), f(7 + e), f(20), f(1)); // y0 = kd·Ln2 + pop(logc)
+    }
+    for e in 0..4u8 {
+        b.fmul_d(f(11 + e), f(3 + e), f(3 + e)); // r²
+    }
+    for e in 0..4u8 {
+        b.fmadd_d(f(15 + e), f(21), f(3 + e), f(22)); // q
+    }
+    for e in 0..4u8 {
+        b.fmadd_d(f(15 + e), f(15 + e), f(3 + e), f(23)); // p
+    }
+    for e in 0..4u8 {
+        b.fadd_d(f(7 + e), f(7 + e), f(3 + e)); // w0
+    }
+    for e in 0..4u8 {
+        b.fmadd_d(f(2), f(15 + e), f(11 + e), f(7 + e)); // push y
+    }
+}
+
+/// Emits the integer phase over one block into the slot at `slot`
+/// (layout: `[z/k pairs: z(block·8) | k(block·8) | idx(block·2·2)]`).
+fn emit_int_phase(b: &mut ProgramBuilder, block: usize, tag: &str) {
+    // x9 = x read ptr (from global x6), x22 = slot ptr, x23 = idx ptr.
+    b.mv(x(22), x(8)); // slot base (z section)
+    b.li(x(26), (2 * block * 8) as i32);
+    b.add(x(23), x(8), x(26)); // idx section
+    b.li(x(26), (block / 4) as i32);
+    b.label(tag);
+    for e in 0..4u8 {
+        b.lw(x(10 + e), x(6), 4 * i32::from(e)); // ix
+    }
+    for e in 0..4u8 {
+        b.sub(x(14 + e), x(10 + e), x(24)); // tmp = ix - OFF
+    }
+    for e in 0..4u8 {
+        b.and(x(18 + e), x(14 + e), x(25)); // tmp & 0xff800000
+    }
+    for e in 0..4u8 {
+        b.sub(x(10 + e), x(10 + e), x(18 + e)); // iz
+    }
+    for e in 0..4u8 {
+        b.srli(x(18 + e), x(14 + e), 19);
+    }
+    for e in 0..4u8 {
+        b.andi(x(18 + e), x(18 + e), 15);
+    }
+    for e in 0..4u8 {
+        b.slli(x(18 + e), x(18 + e), 1); // 2i
+    }
+    for e in 0..4u8 {
+        b.sh(x(18 + e), x(23), 2 * i32::from(e)); // idx: invc
+    }
+    for e in 0..4u8 {
+        b.addi(x(18 + e), x(18 + e), 1);
+    }
+    for e in 0..4u8 {
+        b.sh(x(18 + e), x(23), 8 + 2 * i32::from(e)); // idx: logc
+    }
+    for e in 0..4u8 {
+        b.srai(x(14 + e), x(14 + e), 23); // k
+    }
+    for e in 0..4u8 {
+        b.sw(x(14 + e), x(22), i32::try_from(block * 8).unwrap() + 8 * i32::from(e));
+        // k slot low word (high stays zero)
+    }
+    for e in 0..4u8 {
+        b.srli(x(14 + e), x(10 + e), 3); // z hi = (iz >> 3) + ADJ
+    }
+    for e in 0..4u8 {
+        b.add(x(14 + e), x(14 + e), x(27));
+    }
+    for e in 0..4u8 {
+        b.slli(x(10 + e), x(10 + e), 29); // z lo
+    }
+    for e in 0..4u8 {
+        b.sw(x(10 + e), x(22), 8 * i32::from(e));
+    }
+    for e in 0..4u8 {
+        b.sw(x(14 + e), x(22), 8 * i32::from(e) + 4);
+    }
+    b.addi(x(6), x(6), 16);
+    b.addi(x(22), x(22), 32);
+    b.addi(x(23), x(23), 16);
+    b.addi(x(26), x(26), -1);
+    b.bnez(x(26), tag);
+}
+
+/// Builds the COPIFT-accelerated program.
+///
+/// # Panics
+///
+/// Panics unless `block` is a multiple of 4 and `n / block >= 2`.
+///
+/// Note: `k` slots rely on zero-initialized high words, so blocks beyond
+/// the first reuse already-zero halves (`sw` touches low words only).
+#[must_use]
+pub fn copift(n: usize, block: usize) -> Program {
+    assert!(block.is_multiple_of(4) && block > 0 && n.is_multiple_of(block));
+    assert!(block <= 252, "k-slot immediates require block <= 252");
+    let nb = n / block;
+    assert!(nb >= 2, "copift logf needs at least two blocks");
+    let slot_bytes = 2 * block * 8 + block * 4; // z + k + idx sections
+    let mut b = ProgramBuilder::new();
+    let tab = b.tcdm_f64("log_table", &log_table());
+    let xs = b.tcdm_f32("x_data", &inputs(n));
+    let ys = b.tcdm_reserve("y_data", n * 8, 8);
+    let slot0 = b.tcdm_reserve("slot0", slot_bytes, 8);
+    let slot1 = b.tcdm_reserve("slot1", slot_bytes, 8);
+
+    setup_fp_consts(&mut b);
+    b.li_u(x(4), tab);
+    b.li_u(x(6), xs); // x read pointer (advances)
+    b.li_u(x(7), ys); // y stream base (advances per block)
+    b.li_u(x(1), slot0); // previous slot (consumed by FP)
+    b.li_u(x(2), slot1); // current slot (filled by int)
+    b.li_u(x(24), LOG_OFF);
+    b.li_u(x(25), 0xff80_0000);
+    b.li_u(x(27), Z_ADJ);
+    b.li(x(5), (block / 4 - 1) as i32); // FREP reps - 1
+
+    // SSR0: fused z+k reads, 3-D (4 elems, 2 sections, block/4 groups).
+    b.li(x(29), 0b100);
+    b.scfgwi(x(29), 0, SsrCfgWord::Status);
+    b.li(x(29), 3);
+    b.scfgwi(x(29), 0, SsrCfgWord::Bound(0));
+    b.li(x(29), 8);
+    b.scfgwi(x(29), 0, SsrCfgWord::Stride(0));
+    b.li(x(29), 1);
+    b.scfgwi(x(29), 0, SsrCfgWord::Bound(1));
+    b.li(x(29), (block * 8) as i32);
+    b.scfgwi(x(29), 0, SsrCfgWord::Stride(1));
+    b.li(x(29), (block / 4 - 1) as i32);
+    b.scfgwi(x(29), 0, SsrCfgWord::Bound(2));
+    b.li(x(29), 32);
+    b.scfgwi(x(29), 0, SsrCfgWord::Stride(2));
+    // SSR1: ISSR over the (invc, logc) table with 16-bit indices.
+    b.li(x(29), 0b1000);
+    b.scfgwi(x(29), 1, SsrCfgWord::Status);
+    b.li(x(29), (2 * block - 1) as i32);
+    b.scfgwi(x(29), 1, SsrCfgWord::Bound(0));
+    b.li(x(29), 1);
+    b.scfgwi(x(29), 1, SsrCfgWord::IdxSize); // 2-byte indices
+    // SSR2: y writes, 1-D.
+    b.li(x(29), 0b1);
+    b.scfgwi(x(29), 2, SsrCfgWord::Status);
+    b.li(x(29), (block - 1) as i32);
+    b.scfgwi(x(29), 2, SsrCfgWord::Bound(0));
+    b.li(x(29), 8);
+    b.scfgwi(x(29), 2, SsrCfgWord::Stride(0));
+    b.ssr_enable();
+
+    // Prologue: integer phase on block 0 into slot0 (x8 = slot under fill).
+    b.mv(x(8), x(1));
+    emit_int_phase(&mut b, block, "int0");
+
+    // Main loop: iteration j = 1..nb-1 — FP on block j-1, int on block j.
+    if nb > 1 {
+        b.li(x(28), (nb - 1) as i32);
+        b.label("outer");
+        b.scfgwi(x(1), 0, SsrCfgWord::Base); // z/k of previous slot
+        b.li(x(29), (2 * block * 8) as i32);
+        b.add(x(29), x(1), x(29));
+        b.scfgwi(x(29), 1, SsrCfgWord::IdxBase);
+        b.scfgwi(x(4), 1, SsrCfgWord::Base); // arm ISSR (table base)
+        b.scfgwi(x(7), 2, SsrCfgWord::Base); // y of block j-1
+        b.li(x(29), (block * 8) as i32);
+        b.add(x(7), x(7), x(29));
+        b.frep_o(x(5), BODY, 0, 0);
+        emit_fp_body(&mut b);
+        b.mv(x(8), x(2));
+        emit_int_phase(&mut b, block, "int_loop");
+        // Swap slots.
+        b.mv(x(29), x(1));
+        b.mv(x(1), x(2));
+        b.mv(x(2), x(29));
+        b.addi(x(28), x(28), -1);
+        b.bnez(x(28), "outer");
+    }
+
+    // Epilogue: FP on the final block.
+    b.scfgwi(x(1), 0, SsrCfgWord::Base);
+    b.li(x(29), (2 * block * 8) as i32);
+    b.add(x(29), x(1), x(29));
+    b.scfgwi(x(29), 1, SsrCfgWord::IdxBase);
+    b.scfgwi(x(4), 1, SsrCfgWord::Base);
+    b.scfgwi(x(7), 2, SsrCfgWord::Base);
+    b.frep_o(x(5), BODY, 0, 0);
+    emit_fp_body(&mut b);
+    b.fpu_fence();
+    b.ssr_disable();
+    b.ecall();
+    b.build().expect("logf copift assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_mix_close_to_table1() {
+        let p = baseline(8);
+        let mix = copift::MixCounts::of(p.text());
+        assert!(mix.n_fp >= 26, "13 FP/elem in the body");
+    }
+
+    #[test]
+    fn body_is_32_ops() {
+        let mut b = ProgramBuilder::new();
+        emit_fp_body(&mut b);
+        assert_eq!(b.len(), 32);
+    }
+}

@@ -1,0 +1,406 @@
+//! The four hit-and-miss Monte Carlo kernels (`{poly,pi}_{lcg,xoshiro128p}`).
+//!
+//! Structure (both variants work in batches of 8 points = 16 draws from four
+//! interleaved PRNG streams, matching [`crate::golden::gen_points`]):
+//!
+//! * **Baseline (RV32G)**: single instruction stream; draws feed
+//!   `fcvt.d.wu` (a Type 3 crossing), coordinates are scaled into [0,1) as
+//!   glibc-style code would, `flt.d` writes the hit flag to the *integer*
+//!   RF (the second Type 3 crossing) and an integer add accumulates.
+//! * **COPIFT**: the integer thread generates draws and spills them to a
+//!   double-buffered block of 64-bit slots (`sw` low + `sw` zero high — the
+//!   SSRs stream 64-bit elements); the FP thread runs under FREP, converting
+//!   with `copift.fcvt.d.wu`, comparing with `copift.flt.d` against
+//!   power-of-two-rescaled bounds (bit-identical hits, see
+//!   [`crate::golden::hit_raw`]) and accumulating in four rotating FP
+//!   registers. SSR 0 streams the draws; reconfiguring it at each block
+//!   boundary doubles as the pipeline synchronization.
+
+use snitch_asm::builder::ProgramBuilder;
+use snitch_asm::program::Program;
+use snitch_riscv::reg::{FpReg, IntReg};
+
+use crate::golden::{scaled_poly_coeffs, Integrand, Rng, INV_2_32, LCG_A, LCG_C, POLY_C};
+
+/// Points per batch (16 draws).
+pub const BATCH_POINTS: usize = 8;
+
+fn x(i: u8) -> IntReg {
+    IntReg::new(i)
+}
+fn f(i: u8) -> FpReg {
+    FpReg::new(i)
+}
+
+/// Emits the 16 draws of one batch. `sink` receives `(draw_index, value_reg)`
+/// right after each 4-draw group so values are consumed before the stream's
+/// next draw overwrites the register.
+///
+/// Register map: LCG states in `x5..x8`; xoshiro states in `x5..x20`
+/// (stream-major), results in `x21..x24`, scratch `x25`.
+/// LCG constants A, C in `x26`, `x27`.
+fn emit_draw_batch(
+    b: &mut ProgramBuilder,
+    rng: Rng,
+    mut sink: impl FnMut(&mut ProgramBuilder, usize, IntReg),
+) {
+    for k in 0..4 {
+        match rng {
+            Rng::Lcg => {
+                // muls first, adds second: the adds collide with the mul
+                // write-backs on the single RF port (the paper's hazard).
+                for s in 0..4u8 {
+                    b.mul(x(5 + s), x(5 + s), x(26));
+                }
+                for s in 0..4u8 {
+                    b.add(x(5 + s), x(5 + s), x(27));
+                }
+                for s in 0..4u8 {
+                    sink(b, k * 4 + s as usize, x(5 + s));
+                }
+            }
+            Rng::Xoshiro128p => {
+                for s in 0..4u8 {
+                    let st = |w: u8| x(5 + 4 * s + w);
+                    let r = x(21 + s);
+                    let tmp = x(25);
+                    b.add(r, st(0), st(3));
+                    b.slli(tmp, st(1), 9);
+                    b.xor(st(2), st(2), st(0));
+                    b.xor(st(3), st(3), st(1));
+                    b.xor(st(1), st(1), st(2));
+                    b.xor(st(0), st(0), st(3));
+                    b.xor(st(2), st(2), tmp);
+                    b.slli(tmp, st(3), 11);
+                    b.srli(st(3), st(3), 21);
+                    b.or(st(3), st(3), tmp);
+                }
+                for s in 0..4u8 {
+                    sink(b, k * 4 + s as usize, x(21 + s));
+                }
+            }
+        }
+    }
+}
+
+/// Point index and coordinate of draw `d` within a batch
+/// (the k-major mapping of [`crate::golden::gen_points`]).
+fn draw_slot(d: usize) -> (usize, bool) {
+    let k = d / 4;
+    let s = d % 4;
+    match k {
+        0 => (s, false),
+        1 => (s, true),
+        2 => (4 + s, false),
+        _ => (4 + s, true),
+    }
+}
+
+/// Initializes RNG state registers to match the golden seeds.
+fn emit_rng_setup(b: &mut ProgramBuilder, rng: Rng) {
+    match rng {
+        Rng::Lcg => {
+            for (s, seed) in crate::golden::lcg_seeds().iter().enumerate() {
+                b.li_u(x(5 + s as u8), *seed);
+            }
+            b.li_u(x(26), LCG_A);
+            b.li_u(x(27), LCG_C);
+        }
+        Rng::Xoshiro128p => {
+            for s in 0..4u8 {
+                let st = crate::golden::Xoshiro128p::seeded(u32::from(s));
+                for w in 0..4u8 {
+                    b.li_u(x(5 + 4 * s + w), st.s[w as usize]);
+                }
+            }
+        }
+    }
+}
+
+/// Builds the RV32G baseline program for `n` points.
+///
+/// # Panics
+///
+/// Panics unless `n` is a positive multiple of 8.
+#[must_use]
+pub fn baseline(integrand: Integrand, rng: Rng, n: usize) -> Program {
+    assert!(n > 0 && n.is_multiple_of(BATCH_POINTS), "n must be a positive multiple of 8");
+    let mut b = ProgramBuilder::new();
+    let result = b.tcdm_reserve("result", 8, 8);
+    // FP constants live in TCDM and are loaded once.
+    let consts: Vec<f64> = match integrand {
+        Integrand::Pi => vec![INV_2_32, 1.0],
+        Integrand::Poly => {
+            let mut v = vec![INV_2_32];
+            v.extend_from_slice(&POLY_C);
+            v
+        }
+    };
+    let caddr = b.tcdm_f64("consts", &consts);
+
+    emit_rng_setup(&mut b, rng);
+    b.li_u(x(28), caddr);
+    // Constants: f26 = 2^-32; Pi: f16 = 1.0; Poly: f20..f25 = c5..c0.
+    b.fld(f(26), x(28), 0);
+    match integrand {
+        Integrand::Pi => b.fld(f(16), x(28), 8),
+        Integrand::Poly => {
+            for i in 0..6u8 {
+                b.fld(f(20 + i), x(28), 8 + 8 * i32::from(i));
+            }
+        }
+    }
+    b.li(x(29), (n / BATCH_POINTS) as i32); // batch counter
+    b.li(x(31), 0); // integer hit accumulator
+
+    b.label("batch");
+    // Draws + conversions + scaling: x in f0..f7, y in f8..f15.
+    emit_draw_batch(&mut b, rng, |b, d, reg| {
+        let (p, is_y) = draw_slot(d);
+        let dst = f(if is_y { 8 } else { 0 } + p as u8);
+        b.fcvt_d_wu(dst, reg);
+        b.fmul_d(dst, dst, f(26));
+    });
+    match integrand {
+        Integrand::Pi => {
+            for p in 0..8u8 {
+                b.fmul_d(f(p), f(p), f(p)); // x²
+            }
+            for p in 0..8u8 {
+                b.fmadd_d(f(8 + p), f(8 + p), f(8 + p), f(p)); // y² + x²
+            }
+            // flt in two groups of 4 with immediate accumulation.
+            for g in 0..2u8 {
+                for i in 0..4u8 {
+                    b.flt_d(x(21 + i), f(8 + 4 * g + i), f(16));
+                }
+                for i in 0..4u8 {
+                    b.add(x(31), x(31), x(21 + i));
+                }
+            }
+        }
+        Integrand::Poly => {
+            // Horner ×8, coefficient-level-major so the eight point chains
+            // interleave (distance 8 ≥ FPU latency). Temps in
+            // f16..f19, f27..f30.
+            let t = |p: u8| if p < 4 { f(16 + p) } else { f(23 + p) };
+            for p in 0..8u8 {
+                b.fmadd_d(t(p), f(20), f(p), f(21)); // c5·x + c4
+            }
+            for c in 0..4u8 {
+                for p in 0..8u8 {
+                    b.fmadd_d(t(p), t(p), f(p), f(22 + c));
+                }
+            }
+            for g in 0..2u8 {
+                for i in 0..4u8 {
+                    b.flt_d(x(21 + i), f(8 + 4 * g + i), t(4 * g + i));
+                }
+                for i in 0..4u8 {
+                    b.add(x(31), x(31), x(21 + i));
+                }
+            }
+        }
+    }
+    b.addi(x(29), x(29), -1);
+    b.bnez(x(29), "batch");
+    b.li_u(x(30), result);
+    b.sw(x(31), x(30), 0);
+    b.ecall();
+    b.build().expect("mc baseline assembles")
+}
+
+/// Emits the COPIFT FREP body for one batch: two 4-point sub-bodies.
+/// Register map: x `f3..f6`, y `f7..f10`, poly temps `f11..f14`,
+/// accumulators `f15..f18`, constants from `f20`.
+fn emit_copift_fp_body(b: &mut ProgramBuilder, integrand: Integrand) -> u8 {
+    let start = b.len();
+    for _sub in 0..2 {
+        for p in 0..4u8 {
+            b.copift_fcvt_d_wu(f(3 + p), f(0)); // pop x from SSR0
+        }
+        for p in 0..4u8 {
+            b.copift_fcvt_d_wu(f(7 + p), f(0)); // pop y
+        }
+        match integrand {
+            Integrand::Pi => {
+                for p in 0..4u8 {
+                    b.fmul_d(f(3 + p), f(3 + p), f(3 + p));
+                }
+                for p in 0..4u8 {
+                    b.fmadd_d(f(7 + p), f(7 + p), f(7 + p), f(3 + p));
+                }
+                for p in 0..4u8 {
+                    b.copift_flt_d(f(3 + p), f(7 + p), f(20)); // < 2^64
+                }
+            }
+            Integrand::Poly => {
+                for p in 0..4u8 {
+                    b.fmadd_d(f(11 + p), f(20), f(3 + p), f(21));
+                }
+                for c in 0..4u8 {
+                    for p in 0..4u8 {
+                        b.fmadd_d(f(11 + p), f(11 + p), f(3 + p), f(22 + c));
+                    }
+                }
+                for p in 0..4u8 {
+                    b.copift_flt_d(f(3 + p), f(7 + p), f(11 + p));
+                }
+            }
+        }
+        for p in 0..4u8 {
+            b.copift_fcvt_d_w(f(3 + p), f(3 + p));
+        }
+        for p in 0..4u8 {
+            b.fadd_d(f(15 + p), f(15 + p), f(3 + p));
+        }
+    }
+    u8::try_from(b.len() - start).expect("frep body fits u8")
+}
+
+/// Emits the integer generation of one block (`points` points) into the
+/// buffer at register `buf`, as a loop over batches. Uses `x30` as inner
+/// counter and `x28` as running pointer.
+fn emit_copift_gen_block(b: &mut ProgramBuilder, rng: Rng, points: usize, buf: IntReg, tag: &str) {
+    b.mv(x(28), buf);
+    b.li(x(30), (points / BATCH_POINTS) as i32);
+    b.label(tag);
+    emit_draw_batch(b, rng, |b, d, reg| {
+        // Buffer layout matches the FP body's pop order — two 4-point
+        // sub-batches of [x0..x3 | y0..y3 | x4..x7 | y4..y7] — which is
+        // exactly draw order: offset = draw_index · 8.
+        let off = (d * 8) as i32;
+        b.sw(reg, x(28), off);
+        b.sw(IntReg::ZERO, x(28), off + 4); // zero high word: 64-bit slots
+    });
+    b.addi(x(28), x(28), 128);
+    b.addi(x(30), x(30), -1);
+    b.bnez(x(30), tag);
+}
+
+/// Builds the COPIFT-accelerated program for `n` points with block size
+/// `block` points.
+///
+/// # Panics
+///
+/// Panics unless `n` and `block` are multiples of 8, `block` divides `n`,
+/// and at least two blocks exist.
+#[must_use]
+pub fn copift(integrand: Integrand, rng: Rng, n: usize, block: usize) -> Program {
+    assert!(block.is_multiple_of(BATCH_POINTS) && block > 0, "block must be a multiple of 8");
+    assert!(n.is_multiple_of(block) && n / block >= 2, "need at least two blocks");
+    let nb = n / block;
+    let mut b = ProgramBuilder::new();
+    let result = b.tcdm_reserve("result", 8, 8);
+    let consts: Vec<f64> = match integrand {
+        Integrand::Pi => vec![18_446_744_073_709_551_616.0], // 2^64
+        Integrand::Poly => scaled_poly_coeffs().to_vec(),
+    };
+    let caddr = b.tcdm_f64("consts", &consts);
+    let buf0 = b.tcdm_reserve("rnd0", block * 16, 8); // 2 draws/point × 8 B
+    let buf1 = b.tcdm_reserve("rnd1", block * 16, 8);
+
+    emit_rng_setup(&mut b, rng);
+    b.li_u(x(28), caddr);
+    match integrand {
+        Integrand::Pi => b.fld(f(20), x(28), 0),
+        Integrand::Poly => {
+            for i in 0..6u8 {
+                b.fld(f(20 + i), x(28), 8 * i32::from(i));
+            }
+        }
+    }
+    // Zero the accumulators.
+    for p in 0..4u8 {
+        b.fcvt_d_w(f(15 + p), IntReg::ZERO);
+    }
+    // SSR0: 1-D read stream of 2·block 64-bit elements (fixed shape).
+    use snitch_riscv::csr::SsrCfgWord;
+    b.li(x(29), 0);
+    b.scfgwi(x(29), 0, SsrCfgWord::Status); // read, 1-D, 8-byte
+    b.scfgwi(x(29), 0, SsrCfgWord::Repeat);
+    b.li(x(29), (2 * block - 1) as i32);
+    b.scfgwi(x(29), 0, SsrCfgWord::Bound(0));
+    b.li(x(29), 8);
+    b.scfgwi(x(29), 0, SsrCfgWord::Stride(0));
+    b.ssr_enable();
+
+    // Control registers live in ra/sp/gp/tp, which are free in these
+    // bare-metal programs (xoshiro's 16 state words occupy x5..x20).
+    let rep = x(1); // FREP repetitions per block (body covers 8 points)
+    b.li(rep, (block / BATCH_POINTS - 1) as i32);
+    let cur = x(2); // buffer being consumed by the FP thread
+    let nxt = x(3); // buffer being filled by the integer thread
+    b.li_u(cur, buf0);
+    b.li_u(nxt, buf1);
+
+    // Prologue: generate block 0.
+    emit_copift_gen_block(&mut b, rng, block, cur, "gen0");
+
+    // Steady loop: iteration j consumes block j-1 and generates block j.
+    let outer = x(4);
+    b.li(outer, (nb - 1) as i32);
+    b.label("outer");
+    b.scfgwi(cur, 0, SsrCfgWord::Base); // arms SSR0; stalls on prior stream
+    b.frep_o(rep, body_len(integrand), 0, 0);
+    let emitted = emit_copift_fp_body(&mut b, integrand);
+    debug_assert_eq!(emitted, body_len(integrand));
+    emit_copift_gen_block(&mut b, rng, block, nxt, "gen_loop");
+    // Swap buffers.
+    b.mv(x(31), cur);
+    b.mv(cur, nxt);
+    b.mv(nxt, x(31));
+    b.addi(outer, outer, -1);
+    b.bnez(outer, "outer");
+
+    // Epilogue: consume the final block, reduce, store.
+    b.scfgwi(cur, 0, SsrCfgWord::Base);
+    b.frep_o(rep, body_len(integrand), 0, 0);
+    let emitted = emit_copift_fp_body(&mut b, integrand);
+    debug_assert_eq!(emitted, body_len(integrand));
+    b.fpu_fence();
+    b.ssr_disable();
+    b.fadd_d(f(3), f(15), f(16));
+    b.fadd_d(f(4), f(17), f(18));
+    b.fadd_d(f(3), f(3), f(4));
+    b.li_u(x(28), result);
+    b.fsd(f(3), x(28), 0);
+    b.fpu_fence();
+    b.ecall();
+    b.build().expect("mc copift assembles")
+}
+
+/// FREP body length per batch: 7 (Pi) or 10 (Poly) FP ops per point × 8.
+#[must_use]
+pub fn body_len(integrand: Integrand) -> u8 {
+    match integrand {
+        Integrand::Pi => 56,
+        Integrand::Poly => 80,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_counts_match_paper_shape() {
+        let p = baseline(Integrand::Pi, Rng::Lcg, 8);
+        let mix = copift::MixCounts::of(p.text());
+        // Per batch + setup; the FP count is dominated by 7 ops/point.
+        assert!(mix.n_fp >= 56, "pi needs ≥ 7 FP ops per point, got {}", mix.n_fp);
+        let p = baseline(Integrand::Poly, Rng::Xoshiro128p, 8);
+        let mix = copift::MixCounts::of(p.text());
+        assert!(mix.n_fp >= 80);
+        assert!(mix.n_int >= 160);
+    }
+
+    #[test]
+    fn draw_slot_mapping_is_k_major() {
+        assert_eq!(draw_slot(0), (0, false));
+        assert_eq!(draw_slot(3), (3, false));
+        assert_eq!(draw_slot(4), (0, true));
+        assert_eq!(draw_slot(8), (4, false));
+        assert_eq!(draw_slot(15), (7, true));
+    }
+}

@@ -1,0 +1,224 @@
+//! Kernel registry: the paper's six workloads behind one enumeration.
+
+use snitch_asm::program::Program;
+use snitch_sim::config::ClusterConfig;
+
+use crate::golden::{mc_hits, Integrand, Rng};
+use crate::harness::{run_validated, HarnessError, RunOutcome};
+use crate::{expf, logf, mc};
+
+/// Code variant.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Variant {
+    /// Snitch-optimized RV32G baseline.
+    Baseline,
+    /// COPIFT-accelerated (FREP + SSR + custom-1 extensions).
+    Copift,
+}
+
+impl Variant {
+    /// Display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Variant::Baseline => "base",
+            Variant::Copift => "copift",
+        }
+    }
+}
+
+/// The six evaluated kernels, in the paper's Figure 2 order
+/// (increasing expected speedup `S′`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Kernel {
+    /// Monte Carlo π with xoshiro128+.
+    PiXoshiro,
+    /// Monte Carlo polynomial with xoshiro128+.
+    PolyXoshiro,
+    /// Monte Carlo π with the LCG.
+    PiLcg,
+    /// Monte Carlo polynomial with the LCG.
+    PolyLcg,
+    /// Vector logarithm.
+    Logf,
+    /// Vector exponential.
+    Expf,
+}
+
+impl Kernel {
+    /// All kernels in Figure 2 order.
+    #[must_use]
+    pub fn all() -> [Kernel; 6] {
+        [
+            Kernel::PiXoshiro,
+            Kernel::PolyXoshiro,
+            Kernel::PiLcg,
+            Kernel::PolyLcg,
+            Kernel::Logf,
+            Kernel::Expf,
+        ]
+    }
+
+    /// The paper's kernel name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::PiXoshiro => "pi_xoshiro128p",
+            Kernel::PolyXoshiro => "poly_xoshiro128p",
+            Kernel::PiLcg => "pi_lcg",
+            Kernel::PolyLcg => "poly_lcg",
+            Kernel::Logf => "log",
+            Kernel::Expf => "exp",
+        }
+    }
+
+    fn mc_parts(self) -> Option<(Integrand, Rng)> {
+        Some(match self {
+            Kernel::PiXoshiro => (Integrand::Pi, Rng::Xoshiro128p),
+            Kernel::PolyXoshiro => (Integrand::Poly, Rng::Xoshiro128p),
+            Kernel::PiLcg => (Integrand::Pi, Rng::Lcg),
+            Kernel::PolyLcg => (Integrand::Poly, Rng::Lcg),
+            Kernel::Logf | Kernel::Expf => return None,
+        })
+    }
+
+    /// Whether this is a Monte Carlo kernel.
+    #[must_use]
+    pub fn is_mc(self) -> bool {
+        self.mc_parts().is_some()
+    }
+
+    /// Builds the program for `variant` with problem size `n` (points or
+    /// vector elements) and block size `block` (ignored by the Monte Carlo
+    /// and `logf` baselines, which have no DMA blocking).
+    ///
+    /// # Panics
+    ///
+    /// Panics on size constraints violated (see the kernel modules).
+    #[must_use]
+    pub fn build(self, variant: Variant, n: usize, block: usize) -> Program {
+        match (self.mc_parts(), variant) {
+            (Some((i, r)), Variant::Baseline) => mc::baseline(i, r, n),
+            (Some((i, r)), Variant::Copift) => mc::copift(i, r, n, block),
+            (None, Variant::Baseline) => match self {
+                Kernel::Expf => expf::baseline(n, block),
+                Kernel::Logf => logf::baseline(n),
+                _ => unreachable!(),
+            },
+            (None, Variant::Copift) => match self {
+                Kernel::Expf => expf::copift(n, block),
+                Kernel::Logf => logf::copift(n, block),
+                _ => unreachable!(),
+            },
+        }
+    }
+
+    /// Golden expectations: `(symbol, values)` checked after a run.
+    #[must_use]
+    pub fn expected(self, variant: Variant, n: usize, block: usize) -> Vec<(&'static str, Vec<u64>)> {
+        match self.mc_parts() {
+            Some((i, r)) => {
+                let hits = mc_hits(i, r, n);
+                let bits = match variant {
+                    Variant::Baseline => hits as u64, // u32 count, zero-padded
+                    Variant::Copift => hits.to_bits(),
+                };
+                vec![("result", vec![bits])]
+            }
+            None => match self {
+                Kernel::Expf => {
+                    // y lands after one dummy block in y_main.
+                    let mut v = vec![0u64; block];
+                    v.extend(expf::golden_outputs(n));
+                    let _ = v.drain(..block);
+                    vec![("y_check", v)] // resolved via offset below
+                }
+                Kernel::Logf => vec![("y_data", logf::golden_outputs(n))],
+                _ => unreachable!(),
+            },
+        }
+    }
+
+    /// Runs and validates; returns the outcome.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarnessError`] on simulation failure or golden mismatch.
+    pub fn run(self, variant: Variant, n: usize, block: usize) -> Result<RunOutcome, HarnessError> {
+        self.run_with(variant, n, block, ClusterConfig::default())
+    }
+
+    /// Runs with a custom cluster configuration (for ablations).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarnessError`] on simulation failure or golden mismatch.
+    pub fn run_with(
+        self,
+        variant: Variant,
+        n: usize,
+        block: usize,
+        cfg: ClusterConfig,
+    ) -> Result<RunOutcome, HarnessError> {
+        let program = self.build(variant, n, block);
+        if self == Kernel::Expf {
+            // expf's y output sits one block after the y_main symbol.
+            let (cluster, stats) = crate::harness::run_program(&program, cfg)?;
+            let base = program.symbol("y_main").expect("y_main") + (block as u32) * 8;
+            let golden = expf::golden_outputs(n);
+            for (i, want) in golden.iter().enumerate() {
+                let got = cluster
+                    .mem()
+                    .read(base + (i as u32) * 8, 8)
+                    .map_err(|e| HarnessError::Run(snitch_sim::RunError::Fault(e.into())))?;
+                if got != *want {
+                    return Err(HarnessError::Mismatch {
+                        what: "y".into(),
+                        index: i,
+                        got,
+                        want: *want,
+                    });
+                }
+            }
+            let report = snitch_energy::EnergyModel::gf12lp().report(&stats);
+            return Ok(RunOutcome {
+                total_cycles: stats.cycles,
+                power_mw: report.avg_power_mw,
+                energy_uj: report.energy_uj,
+                stats,
+            });
+        }
+        let expected = self.expected(variant, n, block);
+        run_validated(&program, cfg, &expected)
+    }
+
+    /// A representative operating point `(n, block)` for steady-state
+    /// measurements (Figure 2).
+    #[must_use]
+    pub fn operating_point(self) -> (usize, usize) {
+        match self {
+            Kernel::Expf | Kernel::Logf => (2048, 128),
+            _ => (8192, 256),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_follow_figure2_order() {
+        let names: Vec<&str> = Kernel::all().iter().map(|k| k.name()).collect();
+        assert_eq!(
+            names,
+            vec!["pi_xoshiro128p", "poly_xoshiro128p", "pi_lcg", "poly_lcg", "log", "exp"]
+        );
+    }
+
+    #[test]
+    fn mc_baseline_pi_lcg_validates() {
+        let r = Kernel::PiLcg.run(Variant::Baseline, 64, 0).expect("runs and validates");
+        assert!(r.total_cycles > 0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Control-and-status register addresses and SSR configuration word layout.
+
+/// SSR enable CSR (Snitch: setting bit 0 remaps `ft0..ft2` to streams).
+pub const CSR_SSR: u16 = 0x7C0;
+
+/// FPU-synchronisation CSR: reading it stalls the integer core until the FP
+/// subsystem has drained (offload FIFO, sequencer and FPU pipeline empty).
+/// Models Snitch's FPU fence used at kernel epilogues.
+pub const CSR_FPU_FENCE: u16 = 0x7C2;
+
+/// Cycle counter (read-only).
+pub const CSR_MCYCLE: u16 = 0xB00;
+
+/// Retired-instruction counter (read-only).
+pub const CSR_MINSTRET: u16 = 0xB02;
+
+/// Number of SSR data movers in a Snitch core.
+pub const NUM_SSRS: usize = 3;
+
+/// Per-streamer configuration word indices for `scfgwi`/`scfgri`.
+///
+/// The 12-bit config address is `(word << 4) | ssr_index`, mirroring the
+/// reg/SSR split of Snitch's SSR configuration space.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SsrCfgWord {
+    /// Status/control: bit 0 = write mode (0 = read stream, 1 = write
+    /// stream), bits 2:1 = active dimension count minus one, bit 3 =
+    /// indirection (ISSR) enable.
+    Status,
+    /// Repetition count minus one (each element served `rep + 1` times).
+    Repeat,
+    /// Loop bound minus one for dimension `d` (0..4).
+    Bound(u8),
+    /// Byte stride for dimension `d` (0..4).
+    Stride(u8),
+    /// Index base address (ISSR mode).
+    IdxBase,
+    /// Index element size in bytes log2 (ISSR mode: 1, 2 or 4).
+    IdxSize,
+    /// Data base address; writing this word arms the streamer.
+    Base,
+}
+
+impl SsrCfgWord {
+    /// Encodes this word selector together with an SSR index into the 12-bit
+    /// `scfgwi`/`scfgri` address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ssr >= NUM_SSRS` or a dimension is out of range.
+    #[must_use]
+    pub fn addr(self, ssr: usize) -> u16 {
+        assert!(ssr < NUM_SSRS, "ssr index {ssr} out of range");
+        let word: u16 = match self {
+            SsrCfgWord::Status => 0,
+            SsrCfgWord::Repeat => 1,
+            SsrCfgWord::Bound(d) => {
+                assert!(d < 4, "ssr dimension {d} out of range");
+                2 + u16::from(d)
+            }
+            SsrCfgWord::Stride(d) => {
+                assert!(d < 4, "ssr dimension {d} out of range");
+                6 + u16::from(d)
+            }
+            SsrCfgWord::IdxBase => 10,
+            SsrCfgWord::IdxSize => 11,
+            SsrCfgWord::Base => 12,
+        };
+        (word << 4) | ssr as u16
+    }
+
+    /// Decodes a 12-bit config address back into `(word, ssr_index)`.
+    #[must_use]
+    pub fn from_addr(addr: u16) -> Option<(Self, usize)> {
+        let ssr = (addr & 0xf) as usize;
+        if ssr >= NUM_SSRS {
+            return None;
+        }
+        let word = match addr >> 4 {
+            0 => SsrCfgWord::Status,
+            1 => SsrCfgWord::Repeat,
+            d @ 2..=5 => SsrCfgWord::Bound((d - 2) as u8),
+            d @ 6..=9 => SsrCfgWord::Stride((d - 6) as u8),
+            10 => SsrCfgWord::IdxBase,
+            11 => SsrCfgWord::IdxSize,
+            12 => SsrCfgWord::Base,
+            _ => return None,
+        };
+        Some((word, ssr))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_addr_roundtrip() {
+        for ssr in 0..NUM_SSRS {
+            for word in [
+                SsrCfgWord::Status,
+                SsrCfgWord::Repeat,
+                SsrCfgWord::Bound(0),
+                SsrCfgWord::Bound(3),
+                SsrCfgWord::Stride(0),
+                SsrCfgWord::Stride(3),
+                SsrCfgWord::IdxBase,
+                SsrCfgWord::IdxSize,
+                SsrCfgWord::Base,
+            ] {
+                let addr = word.addr(ssr);
+                assert_eq!(SsrCfgWord::from_addr(addr), Some((word, ssr)));
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_addresses_rejected() {
+        assert_eq!(SsrCfgWord::from_addr(0x3), None, "ssr index 3 does not exist");
+        assert_eq!(SsrCfgWord::from_addr(0xd0), None, "word 13 does not exist");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn addr_rejects_bad_ssr() {
+        let _ = SsrCfgWord::Status.addr(3);
+    }
+}

@@ -1,0 +1,361 @@
+//! Binary instruction decoding.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::encode::*;
+use crate::inst::Inst;
+use crate::ops::*;
+use crate::reg::{FpReg, IntReg};
+
+/// Error returned when a 32-bit word does not decode to a supported
+/// instruction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DecodeError {
+    word: u32,
+}
+
+impl DecodeError {
+    /// The word that failed to decode.
+    #[must_use]
+    pub fn word(&self) -> u32 {
+        self.word
+    }
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unsupported instruction word {:#010x}", self.word)
+    }
+}
+
+impl Error for DecodeError {}
+
+fn rd(word: u32) -> IntReg {
+    IntReg::new(((word >> 7) & 0x1f) as u8)
+}
+fn rs1(word: u32) -> IntReg {
+    IntReg::new(((word >> 15) & 0x1f) as u8)
+}
+fn rs2(word: u32) -> IntReg {
+    IntReg::new(((word >> 20) & 0x1f) as u8)
+}
+fn frd(word: u32) -> FpReg {
+    FpReg::new(((word >> 7) & 0x1f) as u8)
+}
+fn frs1(word: u32) -> FpReg {
+    FpReg::new(((word >> 15) & 0x1f) as u8)
+}
+fn frs2(word: u32) -> FpReg {
+    FpReg::new(((word >> 20) & 0x1f) as u8)
+}
+fn frs3(word: u32) -> FpReg {
+    FpReg::new(((word >> 27) & 0x1f) as u8)
+}
+fn funct3(word: u32) -> u32 {
+    (word >> 12) & 0x7
+}
+fn funct7(word: u32) -> u32 {
+    word >> 25
+}
+fn imm_i(word: u32) -> i32 {
+    (word as i32) >> 20
+}
+fn imm_s(word: u32) -> i32 {
+    (((word as i32) >> 25) << 5) | (((word >> 7) & 0x1f) as i32)
+}
+fn imm_b(word: u32) -> i32 {
+    let sign = (word as i32) >> 31; // bit 12
+    (sign << 12)
+        | ((((word >> 7) & 1) as i32) << 11)
+        | ((((word >> 25) & 0x3f) as i32) << 5)
+        | ((((word >> 8) & 0xf) as i32) << 1)
+}
+fn imm_j(word: u32) -> i32 {
+    let sign = (word as i32) >> 31; // bit 20
+    (sign << 20)
+        | ((((word >> 12) & 0xff) as i32) << 12)
+        | ((((word >> 20) & 1) as i32) << 11)
+        | ((((word >> 21) & 0x3ff) as i32) << 1)
+}
+
+impl Inst {
+    /// Decodes a 32-bit instruction word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] if the word is not a supported instruction.
+    pub fn decode(word: u32) -> Result<Inst, DecodeError> {
+        let err = Err(DecodeError { word });
+        let inst = match word & 0x7f {
+            OPC_LUI => Inst::Lui { rd: rd(word), imm: (word & 0xffff_f000) as i32 },
+            OPC_AUIPC => Inst::Auipc { rd: rd(word), imm: (word & 0xffff_f000) as i32 },
+            OPC_JAL => Inst::Jal { rd: rd(word), offset: imm_j(word) },
+            OPC_JALR if funct3(word) == 0 => {
+                Inst::Jalr { rd: rd(word), rs1: rs1(word), offset: imm_i(word) }
+            }
+            OPC_BRANCH => match BranchOp::from_funct3(funct3(word)) {
+                Some(op) => {
+                    Inst::Branch { op, rs1: rs1(word), rs2: rs2(word), offset: imm_b(word) }
+                }
+                None => return err,
+            },
+            OPC_LOAD => match LoadOp::from_funct3(funct3(word)) {
+                Some(op) => Inst::Load { op, rd: rd(word), rs1: rs1(word), offset: imm_i(word) },
+                None => return err,
+            },
+            OPC_STORE => match StoreOp::from_funct3(funct3(word)) {
+                Some(op) => Inst::Store { op, rs2: rs2(word), rs1: rs1(word), offset: imm_s(word) },
+                None => return err,
+            },
+            OPC_OP_IMM => {
+                let imm = imm_i(word);
+                let op = match funct3(word) {
+                    0b000 => AluImmOp::Addi,
+                    0b010 => AluImmOp::Slti,
+                    0b011 => AluImmOp::Sltiu,
+                    0b100 => AluImmOp::Xori,
+                    0b110 => AluImmOp::Ori,
+                    0b111 => AluImmOp::Andi,
+                    0b001 if funct7(word) == 0 => AluImmOp::Slli,
+                    0b101 if funct7(word) == 0 => AluImmOp::Srli,
+                    0b101 if funct7(word) == 0x20 => AluImmOp::Srai,
+                    _ => return err,
+                };
+                let imm = match op {
+                    AluImmOp::Slli | AluImmOp::Srli | AluImmOp::Srai => imm & 0x1f,
+                    _ => imm,
+                };
+                Inst::OpImm { op, rd: rd(word), rs1: rs1(word), imm }
+            }
+            OPC_OP => {
+                let op = match (funct7(word), funct3(word)) {
+                    (0x00, 0b000) => AluOp::Add,
+                    (0x20, 0b000) => AluOp::Sub,
+                    (0x00, 0b001) => AluOp::Sll,
+                    (0x00, 0b010) => AluOp::Slt,
+                    (0x00, 0b011) => AluOp::Sltu,
+                    (0x00, 0b100) => AluOp::Xor,
+                    (0x00, 0b101) => AluOp::Srl,
+                    (0x20, 0b101) => AluOp::Sra,
+                    (0x00, 0b110) => AluOp::Or,
+                    (0x00, 0b111) => AluOp::And,
+                    (0x01, 0b000) => AluOp::Mul,
+                    (0x01, 0b001) => AluOp::Mulh,
+                    (0x01, 0b010) => AluOp::Mulhsu,
+                    (0x01, 0b011) => AluOp::Mulhu,
+                    (0x01, 0b100) => AluOp::Div,
+                    (0x01, 0b101) => AluOp::Divu,
+                    (0x01, 0b110) => AluOp::Rem,
+                    (0x01, 0b111) => AluOp::Remu,
+                    _ => return err,
+                };
+                Inst::OpReg { op, rd: rd(word), rs1: rs1(word), rs2: rs2(word) }
+            }
+            OPC_MISC_MEM if funct3(word) == 0 => Inst::Fence,
+            OPC_SYSTEM => match funct3(word) {
+                0 if word == 0x0000_0073 => Inst::Ecall,
+                0 if word == 0x0010_0073 => Inst::Ebreak,
+                f3 => match CsrOp::from_funct3(f3) {
+                    Some(op) => Inst::Csr {
+                        op,
+                        rd: rd(word),
+                        csr: (word >> 20) as u16,
+                        src: ((word >> 15) & 0x1f) as u8,
+                    },
+                    None => return err,
+                },
+            },
+            OPC_LOAD_FP => match funct3(word) {
+                0b010 => Inst::Flw { rd: frd(word), rs1: rs1(word), offset: imm_i(word) },
+                0b011 => Inst::Fld { rd: frd(word), rs1: rs1(word), offset: imm_i(word) },
+                _ => return err,
+            },
+            OPC_STORE_FP => match funct3(word) {
+                0b010 => Inst::Fsw { rs2: frs2(word), rs1: rs1(word), offset: imm_s(word) },
+                0b011 => Inst::Fsd { rs2: frs2(word), rs1: rs1(word), offset: imm_s(word) },
+                _ => return err,
+            },
+            OPC_MADD | 0x47 | 0x4B | 0x4F => {
+                let op = match word & 0x7f {
+                    OPC_MADD => FmaOp::Madd,
+                    0x47 => FmaOp::Msub,
+                    0x4B => FmaOp::Nmsub,
+                    0x4F => FmaOp::Nmadd,
+                    _ => unreachable!(),
+                };
+                let fmt = match FpFmt::from_field((word >> 25) & 0x3) {
+                    Some(f) => f,
+                    None => return err,
+                };
+                Inst::FpFma {
+                    op,
+                    fmt,
+                    rd: frd(word),
+                    rs1: frs1(word),
+                    rs2: frs2(word),
+                    rs3: frs3(word),
+                }
+            }
+            OPC_OP_FP => return decode_op_fp(word).ok_or(DecodeError { word }),
+            OPC_CUSTOM0 => {
+                let max_inst = ((word >> 20) & 0xff) as u8 + 1;
+                let stagger_mask = ((word >> 28) & 0xf) as u8;
+                let stagger_max = ((word >> 7) & 0x1f) as u8;
+                let rep = rs1(word);
+                match funct3(word) {
+                    0b000 => Inst::FrepO { rep, max_inst, stagger_max, stagger_mask },
+                    0b001 => Inst::FrepI { rep, max_inst, stagger_max, stagger_mask },
+                    _ => return err,
+                }
+            }
+            OPC_CUSTOM1 => return decode_copift(word).ok_or(DecodeError { word }),
+            OPC_CUSTOM2 => match funct3(word) {
+                0b010 => Inst::Scfgwi { value: rs1(word), addr: ((word >> 20) & 0xfff) as u16 },
+                0b011 => Inst::Scfgri { rd: rd(word), addr: ((word >> 20) & 0xfff) as u16 },
+                0b100 => {
+                    let (op, uses_imm) = match funct7(word) {
+                        0 => (DmaOp::Src, false),
+                        1 => (DmaOp::Dst, false),
+                        2 => (DmaOp::Str, false),
+                        3 => (DmaOp::Rep, false),
+                        4 => (DmaOp::CpyI, true),
+                        5 => (DmaOp::StatI, true),
+                        _ => return err,
+                    };
+                    let (r2, imm5) = if uses_imm {
+                        (IntReg::ZERO, ((word >> 20) & 0x1f) as u8)
+                    } else {
+                        (rs2(word), 0)
+                    };
+                    Inst::Dma { op, rd: rd(word), rs1: rs1(word), rs2: r2, imm5 }
+                }
+                _ => return err,
+            },
+            _ => return err,
+        };
+        Ok(inst)
+    }
+}
+
+fn decode_op_fp(word: u32) -> Option<Inst> {
+    let f7 = funct7(word);
+    let fmt = FpFmt::from_field(f7 & 1)?;
+    let base = f7 & !1;
+    Some(match base {
+        0x00 => Inst::FpOp { op: FpAluOp::Add, fmt, rd: frd(word), rs1: frs1(word), rs2: frs2(word) },
+        0x04 => Inst::FpOp { op: FpAluOp::Sub, fmt, rd: frd(word), rs1: frs1(word), rs2: frs2(word) },
+        0x08 => Inst::FpOp { op: FpAluOp::Mul, fmt, rd: frd(word), rs1: frs1(word), rs2: frs2(word) },
+        0x0C => Inst::FpOp { op: FpAluOp::Div, fmt, rd: frd(word), rs1: frs1(word), rs2: frs2(word) },
+        0x2C => Inst::FpOp { op: FpAluOp::Sqrt, fmt, rd: frd(word), rs1: frs1(word), rs2: FpReg::FT0 },
+        0x10 => {
+            let op = match funct3(word) {
+                0b000 => SgnjOp::Sgnj,
+                0b001 => SgnjOp::Sgnjn,
+                0b010 => SgnjOp::Sgnjx,
+                _ => return None,
+            };
+            Inst::FpSgnj { op, fmt, rd: frd(word), rs1: frs1(word), rs2: frs2(word) }
+        }
+        0x14 => {
+            let op = match funct3(word) {
+                0b000 => FpAluOp::Min,
+                0b001 => FpAluOp::Max,
+                _ => return None,
+            };
+            Inst::FpOp { op, fmt, rd: frd(word), rs1: frs1(word), rs2: frs2(word) }
+        }
+        0x50 => {
+            let op = FpCmpOp::from_funct3(funct3(word))?;
+            Inst::FpCmp { op, fmt, rd: rd(word), rs1: frs1(word), rs2: frs2(word) }
+        }
+        0x60 => {
+            let to = IntCvt::from_field((word >> 20) & 0x1f)?;
+            Inst::FpCvtF2I { to, fmt, rd: rd(word), rs1: frs1(word) }
+        }
+        0x68 => {
+            let from = IntCvt::from_field((word >> 20) & 0x1f)?;
+            Inst::FpCvtI2F { from, fmt, rd: frd(word), rs1: rs1(word) }
+        }
+        0x20 => {
+            // fcvt.s.d / fcvt.d.s: funct7 low bit is the *destination* format.
+            let to = fmt;
+            let from = FpFmt::from_field((word >> 20) & 0x1f)?;
+            if to == from {
+                return None;
+            }
+            Inst::FpCvtF2F { to, rd: frd(word), rs1: frs1(word) }
+        }
+        0x70 => match (fmt, funct3(word)) {
+            (FpFmt::S, 0b000) => Inst::FpMvF2X { rd: rd(word), rs1: frs1(word) },
+            (_, 0b001) => Inst::FpClass { fmt, rd: rd(word), rs1: frs1(word) },
+            _ => return None,
+        },
+        0x78 => match (fmt, funct3(word)) {
+            (FpFmt::S, 0b000) => Inst::FpMvX2F { rd: frd(word), rs1: rs1(word) },
+            _ => return None,
+        },
+        _ => return None,
+    })
+}
+
+fn decode_copift(word: u32) -> Option<Inst> {
+    let f7 = funct7(word);
+    if FpFmt::from_field(f7 & 1)? != FpFmt::D {
+        return None;
+    }
+    Some(match f7 & !1 {
+        0x50 => {
+            let op = FpCmpOp::from_funct3(funct3(word))?;
+            Inst::CopiftCmp { op, rd: frd(word), rs1: frs1(word), rs2: frs2(word) }
+        }
+        0x60 => {
+            let to = IntCvt::from_field((word >> 20) & 0x1f)?;
+            Inst::CopiftCvtF2I { to, rd: frd(word), rs1: frs1(word) }
+        }
+        0x68 => {
+            let from = IntCvt::from_field((word >> 20) & 0x1f)?;
+            Inst::CopiftCvtI2F { from, rd: frd(word), rs1: frs1(word) }
+        }
+        0x70 if funct3(word) == 0b001 => Inst::CopiftClass { rd: frd(word), rs1: frs1(word) },
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Inst::decode(0xffff_ffff).is_err());
+        assert!(Inst::decode(0x0000_0000).is_err());
+        let e = Inst::decode(0xffff_ffff).unwrap_err();
+        assert_eq!(e.word(), 0xffff_ffff);
+        assert!(e.to_string().contains("0xffffffff"));
+    }
+
+    #[test]
+    fn roundtrip_known_words() {
+        // A handful of externally assembled words.
+        for word in [
+            0x02a5_8513u32, // addi a0, a1, 42
+            0x00c5_8533,    // add a0, a1, a2
+            0x0081_2283,    // lw t0, 8(sp)
+            0x0000_0073,    // ecall
+            0x02c5_f553,    // fadd.d fa0, fa1, fa2
+            0x0006_b687,    // fld fa3, 0(a3)
+        ] {
+            let inst = Inst::decode(word).expect("decodes");
+            assert_eq!(inst.encode(), word, "word {word:#010x} re-encodes identically");
+        }
+    }
+
+    #[test]
+    fn decode_fcvt_between_formats() {
+        let cvt_sd = Inst::FpCvtF2F { to: FpFmt::S, rd: FpReg::FA0, rs1: FpReg::FA1 };
+        assert_eq!(Inst::decode(cvt_sd.encode()).unwrap(), cvt_sd);
+        let cvt_ds = Inst::FpCvtF2F { to: FpFmt::D, rd: FpReg::FA0, rs1: FpReg::FA1 };
+        assert_eq!(Inst::decode(cvt_ds.encode()).unwrap(), cvt_ds);
+    }
+}

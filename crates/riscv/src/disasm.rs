@@ -1,0 +1,211 @@
+//! Textual disassembly (the `Display` impl for [`Inst`]).
+
+use std::fmt;
+
+use crate::inst::Inst;
+use crate::ops::{AluImmOp, AluOp, BranchOp, CsrOp, DmaOp, FmaOp, FpAluOp, LoadOp, SgnjOp, StoreOp};
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Inst::Lui { rd, imm } => write!(f, "lui {rd}, {:#x}", (imm as u32) >> 12),
+            Inst::Auipc { rd, imm } => write!(f, "auipc {rd}, {:#x}", (imm as u32) >> 12),
+            Inst::Jal { rd, offset } => write!(f, "jal {rd}, {offset}"),
+            Inst::Jalr { rd, rs1, offset } => write!(f, "jalr {rd}, {offset}({rs1})"),
+            Inst::Branch { op, rs1, rs2, offset } => {
+                let m = match op {
+                    BranchOp::Eq => "beq",
+                    BranchOp::Ne => "bne",
+                    BranchOp::Lt => "blt",
+                    BranchOp::Ge => "bge",
+                    BranchOp::Ltu => "bltu",
+                    BranchOp::Geu => "bgeu",
+                };
+                write!(f, "{m} {rs1}, {rs2}, {offset}")
+            }
+            Inst::Load { op, rd, rs1, offset } => {
+                let m = match op {
+                    LoadOp::Lb => "lb",
+                    LoadOp::Lh => "lh",
+                    LoadOp::Lw => "lw",
+                    LoadOp::Lbu => "lbu",
+                    LoadOp::Lhu => "lhu",
+                };
+                write!(f, "{m} {rd}, {offset}({rs1})")
+            }
+            Inst::Store { op, rs2, rs1, offset } => {
+                let m = match op {
+                    StoreOp::Sb => "sb",
+                    StoreOp::Sh => "sh",
+                    StoreOp::Sw => "sw",
+                };
+                write!(f, "{m} {rs2}, {offset}({rs1})")
+            }
+            Inst::OpImm { op, rd, rs1, imm } => {
+                let m = match op {
+                    AluImmOp::Addi => "addi",
+                    AluImmOp::Slti => "slti",
+                    AluImmOp::Sltiu => "sltiu",
+                    AluImmOp::Xori => "xori",
+                    AluImmOp::Ori => "ori",
+                    AluImmOp::Andi => "andi",
+                    AluImmOp::Slli => "slli",
+                    AluImmOp::Srli => "srli",
+                    AluImmOp::Srai => "srai",
+                };
+                write!(f, "{m} {rd}, {rs1}, {imm}")
+            }
+            Inst::OpReg { op, rd, rs1, rs2 } => {
+                let m = match op {
+                    AluOp::Add => "add",
+                    AluOp::Sub => "sub",
+                    AluOp::Sll => "sll",
+                    AluOp::Slt => "slt",
+                    AluOp::Sltu => "sltu",
+                    AluOp::Xor => "xor",
+                    AluOp::Srl => "srl",
+                    AluOp::Sra => "sra",
+                    AluOp::Or => "or",
+                    AluOp::And => "and",
+                    AluOp::Mul => "mul",
+                    AluOp::Mulh => "mulh",
+                    AluOp::Mulhsu => "mulhsu",
+                    AluOp::Mulhu => "mulhu",
+                    AluOp::Div => "div",
+                    AluOp::Divu => "divu",
+                    AluOp::Rem => "rem",
+                    AluOp::Remu => "remu",
+                };
+                write!(f, "{m} {rd}, {rs1}, {rs2}")
+            }
+            Inst::Fence => f.write_str("fence"),
+            Inst::Ecall => f.write_str("ecall"),
+            Inst::Ebreak => f.write_str("ebreak"),
+            Inst::Csr { op, rd, csr, src } => {
+                let m = match op {
+                    CsrOp::Rw => "csrrw",
+                    CsrOp::Rs => "csrrs",
+                    CsrOp::Rc => "csrrc",
+                    CsrOp::Rwi => "csrrwi",
+                    CsrOp::Rsi => "csrrsi",
+                    CsrOp::Rci => "csrrci",
+                };
+                if op.is_imm() {
+                    write!(f, "{m} {rd}, {csr:#x}, {src}")
+                } else {
+                    write!(f, "{m} {rd}, {csr:#x}, {}", crate::reg::IntReg::new(src))
+                }
+            }
+            Inst::Flw { rd, rs1, offset } => write!(f, "flw {rd}, {offset}({rs1})"),
+            Inst::Fsw { rs2, rs1, offset } => write!(f, "fsw {rs2}, {offset}({rs1})"),
+            Inst::Fld { rd, rs1, offset } => write!(f, "fld {rd}, {offset}({rs1})"),
+            Inst::Fsd { rs2, rs1, offset } => write!(f, "fsd {rs2}, {offset}({rs1})"),
+            Inst::FpOp { op, fmt, rd, rs1, rs2 } => {
+                let m = match op {
+                    FpAluOp::Add => "fadd",
+                    FpAluOp::Sub => "fsub",
+                    FpAluOp::Mul => "fmul",
+                    FpAluOp::Div => "fdiv",
+                    FpAluOp::Sqrt => "fsqrt",
+                    FpAluOp::Min => "fmin",
+                    FpAluOp::Max => "fmax",
+                };
+                if op == FpAluOp::Sqrt {
+                    write!(f, "{m}.{} {rd}, {rs1}", fmt.suffix())
+                } else {
+                    write!(f, "{m}.{} {rd}, {rs1}, {rs2}", fmt.suffix())
+                }
+            }
+            Inst::FpFma { op, fmt, rd, rs1, rs2, rs3 } => {
+                let m = match op {
+                    FmaOp::Madd => "fmadd",
+                    FmaOp::Msub => "fmsub",
+                    FmaOp::Nmsub => "fnmsub",
+                    FmaOp::Nmadd => "fnmadd",
+                };
+                write!(f, "{m}.{} {rd}, {rs1}, {rs2}, {rs3}", fmt.suffix())
+            }
+            Inst::FpSgnj { op, fmt, rd, rs1, rs2 } => {
+                let m = match op {
+                    SgnjOp::Sgnj => "fsgnj",
+                    SgnjOp::Sgnjn => "fsgnjn",
+                    SgnjOp::Sgnjx => "fsgnjx",
+                };
+                write!(f, "{m}.{} {rd}, {rs1}, {rs2}", fmt.suffix())
+            }
+            Inst::FpCmp { op, fmt, rd, rs1, rs2 } => {
+                write!(f, "{}.{} {rd}, {rs1}, {rs2}", op.mnemonic(), fmt.suffix())
+            }
+            Inst::FpCvtF2I { to, fmt, rd, rs1 } => {
+                write!(f, "fcvt.{}.{} {rd}, {rs1}", to.suffix(), fmt.suffix())
+            }
+            Inst::FpCvtI2F { from, fmt, rd, rs1 } => {
+                write!(f, "fcvt.{}.{} {rd}, {rs1}", fmt.suffix(), from.suffix())
+            }
+            Inst::FpCvtF2F { to, rd, rs1 } => match to {
+                crate::ops::FpFmt::S => write!(f, "fcvt.s.d {rd}, {rs1}"),
+                crate::ops::FpFmt::D => write!(f, "fcvt.d.s {rd}, {rs1}"),
+            },
+            Inst::FpMvF2X { rd, rs1 } => write!(f, "fmv.x.w {rd}, {rs1}"),
+            Inst::FpMvX2F { rd, rs1 } => write!(f, "fmv.w.x {rd}, {rs1}"),
+            Inst::FpClass { fmt, rd, rs1 } => write!(f, "fclass.{} {rd}, {rs1}", fmt.suffix()),
+            Inst::FrepO { rep, max_inst, stagger_max, stagger_mask } => {
+                write!(f, "frep.o {rep}, {max_inst}, {stagger_max}, {stagger_mask:#x}")
+            }
+            Inst::FrepI { rep, max_inst, stagger_max, stagger_mask } => {
+                write!(f, "frep.i {rep}, {max_inst}, {stagger_max}, {stagger_mask:#x}")
+            }
+            Inst::Scfgwi { value, addr } => write!(f, "scfgwi {value}, {addr:#x}"),
+            Inst::Scfgri { rd, addr } => write!(f, "scfgri {rd}, {addr:#x}"),
+            Inst::Dma { op, rd, rs1, rs2, imm5 } => match op {
+                DmaOp::Src | DmaOp::Dst | DmaOp::Str => write!(f, "{op} {rs1}, {rs2}"),
+                DmaOp::Rep => write!(f, "{op} {rs1}"),
+                DmaOp::CpyI => write!(f, "{op} {rd}, {rs1}, {imm5}"),
+                DmaOp::StatI => write!(f, "{op} {rd}, {imm5}"),
+            },
+            Inst::CopiftCmp { op, rd, rs1, rs2 } => {
+                write!(f, "copift.{}.d {rd}, {rs1}, {rs2}", op.mnemonic())
+            }
+            Inst::CopiftCvtF2I { to, rd, rs1 } => {
+                write!(f, "copift.fcvt.{}.d {rd}, {rs1}", to.suffix())
+            }
+            Inst::CopiftCvtI2F { from, rd, rs1 } => {
+                write!(f, "copift.fcvt.d.{} {rd}, {rs1}", from.suffix())
+            }
+            Inst::CopiftClass { rd, rs1 } => write!(f, "copift.fclass.d {rd}, {rs1}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::inst::Inst;
+    use crate::ops::*;
+    use crate::reg::{FpReg, IntReg};
+
+    #[test]
+    fn renders_core_instructions() {
+        assert_eq!(Inst::NOP.to_string(), "addi zero, zero, 0");
+        let lw = Inst::Load { op: LoadOp::Lw, rd: IntReg::A0, rs1: IntReg::SP, offset: -8 };
+        assert_eq!(lw.to_string(), "lw a0, -8(sp)");
+        let fma = Inst::FpFma {
+            op: FmaOp::Madd,
+            fmt: FpFmt::D,
+            rd: FpReg::FA4,
+            rs1: FpReg::FA2,
+            rs2: FpReg::FA1,
+            rs3: FpReg::FA3,
+        };
+        assert_eq!(fma.to_string(), "fmadd.d fa4, fa2, fa1, fa3");
+    }
+
+    #[test]
+    fn renders_extensions() {
+        let frep = Inst::FrepO { rep: IntReg::T0, max_inst: 9, stagger_max: 0, stagger_mask: 0 };
+        assert_eq!(frep.to_string(), "frep.o t0, 9, 0, 0x0");
+        let cvt = Inst::CopiftCvtI2F { from: IntCvt::Wu, rd: FpReg::FA0, rs1: FpReg::FT0 };
+        assert_eq!(cvt.to_string(), "copift.fcvt.d.wu fa0, ft0");
+        let cmp = Inst::CopiftCmp { op: FpCmpOp::Lt, rd: FpReg::FA0, rs1: FpReg::FA1, rs2: FpReg::FA2 };
+        assert_eq!(cmp.to_string(), "copift.flt.d fa0, fa1, fa2");
+    }
+}

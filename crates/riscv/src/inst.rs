@@ -1,0 +1,242 @@
+//! The structured instruction type.
+
+use crate::ops::{
+    AluImmOp, AluOp, BranchOp, CsrOp, DmaOp, FmaOp, FpAluOp, FpCmpOp, FpFmt, IntCvt, LoadOp,
+    SgnjOp, StoreOp,
+};
+use crate::reg::{FpReg, IntReg};
+
+/// A decoded instruction.
+///
+/// Variants are grouped by encoding format and execution resource rather than
+/// one variant per mnemonic; the sub-operation enums in [`crate::ops`] carry
+/// the mnemonic-level distinction. The set covers RV32I, M, the F/D subset
+/// exercised by the COPIFT workloads, Zicsr, and the Snitch / COPIFT custom
+/// extensions (see the crate docs for the inventory).
+///
+/// # Example
+///
+/// ```
+/// use snitch_riscv::inst::Inst;
+/// use snitch_riscv::reg::IntReg;
+/// use snitch_riscv::ops::AluImmOp;
+///
+/// let addi = Inst::OpImm {
+///     op: AluImmOp::Addi,
+///     rd: IntReg::A0,
+///     rs1: IntReg::A0,
+///     imm: -1,
+/// };
+/// assert_eq!(addi.to_string(), "addi a0, a0, -1");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Inst {
+    // ----- RV32I -----
+    /// `lui rd, imm20` — `imm` carries the already-shifted 32-bit value
+    /// (low 12 bits zero).
+    Lui { rd: IntReg, imm: i32 },
+    /// `auipc rd, imm20` — same immediate convention as [`Inst::Lui`].
+    Auipc { rd: IntReg, imm: i32 },
+    /// `jal rd, offset`
+    Jal { rd: IntReg, offset: i32 },
+    /// `jalr rd, offset(rs1)`
+    Jalr { rd: IntReg, rs1: IntReg, offset: i32 },
+    /// Conditional branches `beq`/`bne`/`blt`/`bge`/`bltu`/`bgeu`.
+    Branch { op: BranchOp, rs1: IntReg, rs2: IntReg, offset: i32 },
+    /// Integer loads `lb`/`lh`/`lw`/`lbu`/`lhu`.
+    Load { op: LoadOp, rd: IntReg, rs1: IntReg, offset: i32 },
+    /// Integer stores `sb`/`sh`/`sw`.
+    Store { op: StoreOp, rs2: IntReg, rs1: IntReg, offset: i32 },
+    /// Register-immediate ALU operations.
+    OpImm { op: AluImmOp, rd: IntReg, rs1: IntReg, imm: i32 },
+    /// Register-register ALU operations (including M).
+    OpReg { op: AluOp, rd: IntReg, rs1: IntReg, rs2: IntReg },
+    /// `fence` (modelled as a full memory barrier).
+    Fence,
+    /// `ecall` — terminates simulation in this environment.
+    Ecall,
+    /// `ebreak`
+    Ebreak,
+    /// Zicsr accesses. `src` is `rs1` for register forms and the zero-extended
+    /// immediate for `*i` forms (stored in the `rs1` encoding field).
+    Csr { op: CsrOp, rd: IntReg, csr: u16, src: u8 },
+
+    // ----- F/D loads and stores -----
+    /// `flw rd, offset(rs1)`
+    Flw { rd: FpReg, rs1: IntReg, offset: i32 },
+    /// `fsw rs2, offset(rs1)`
+    Fsw { rs2: FpReg, rs1: IntReg, offset: i32 },
+    /// `fld rd, offset(rs1)`
+    Fld { rd: FpReg, rs1: IntReg, offset: i32 },
+    /// `fsd rs2, offset(rs1)`
+    Fsd { rs2: FpReg, rs1: IntReg, offset: i32 },
+
+    // ----- F/D arithmetic -----
+    /// `fadd`/`fsub`/`fmul`/`fdiv`/`fsqrt`/`fmin`/`fmax` (`fsqrt` ignores `rs2`).
+    FpOp { op: FpAluOp, fmt: FpFmt, rd: FpReg, rs1: FpReg, rs2: FpReg },
+    /// Fused multiply-add family.
+    FpFma { op: FmaOp, fmt: FpFmt, rd: FpReg, rs1: FpReg, rs2: FpReg, rs3: FpReg },
+    /// Sign injection (`fsgnj*`; also `fmv.s/d`, `fneg`, `fabs` idioms).
+    FpSgnj { op: SgnjOp, fmt: FpFmt, rd: FpReg, rs1: FpReg, rs2: FpReg },
+    /// Comparisons writing the *integer* register file (`feq`/`flt`/`fle`).
+    /// A Type 3 cross-thread dependency source in COPIFT terms.
+    FpCmp { op: FpCmpOp, fmt: FpFmt, rd: IntReg, rs1: FpReg, rs2: FpReg },
+    /// `fcvt.w[u].{s,d}`: float → integer RF (Type 3 dependency source).
+    FpCvtF2I { to: IntCvt, fmt: FpFmt, rd: IntReg, rs1: FpReg },
+    /// `fcvt.{s,d}.w[u]`: integer RF → float (Type 3 dependency source).
+    FpCvtI2F { from: IntCvt, fmt: FpFmt, rd: FpReg, rs1: IntReg },
+    /// `fcvt.s.d` / `fcvt.d.s`: between FP formats (stays in the FP RF).
+    FpCvtF2F { to: FpFmt, rd: FpReg, rs1: FpReg },
+    /// `fmv.x.w`: FP bits → integer RF (Type 3 dependency source).
+    FpMvF2X { rd: IntReg, rs1: FpReg },
+    /// `fmv.w.x`: integer bits → FP RF (Type 3 dependency source).
+    FpMvX2F { rd: FpReg, rs1: IntReg },
+    /// `fclass.{s,d}` writing the integer RF.
+    FpClass { fmt: FpFmt, rd: IntReg, rs1: FpReg },
+
+    // ----- Snitch FREP (custom-0) -----
+    /// `frep.o rs1, max_inst, stagger_max, stagger_mask`: repeat the next
+    /// `max_inst` FP instructions as a sequence, `rs1`+1 times in total.
+    FrepO { rep: IntReg, max_inst: u8, stagger_max: u8, stagger_mask: u8 },
+    /// `frep.i`: like `frep.o` but repeats each instruction back-to-back.
+    FrepI { rep: IntReg, max_inst: u8, stagger_max: u8, stagger_mask: u8 },
+
+    // ----- Snitch SSR configuration (custom-2) -----
+    /// `scfgwi rs1, addr`: write `rs1` to the SSR configuration word `addr`
+    /// (see [`crate::csr::ssr_cfg_addr`] for the address layout).
+    Scfgwi { value: IntReg, addr: u16 },
+    /// `scfgri rd, addr`: read an SSR configuration word.
+    Scfgri { rd: IntReg, addr: u16 },
+
+    // ----- Snitch xdma (custom-2) -----
+    /// DMA programming. Field use per [`DmaOp`]: `rd` for `dmcpyi`/`dmstati`
+    /// results, `rs1`/`rs2` for operands, `imm5` for the config immediate.
+    Dma { op: DmaOp, rd: IntReg, rs1: IntReg, rs2: IntReg, imm5: u8 },
+
+    // ----- COPIFT extensions (custom-1), paper §II-B -----
+    /// `copift.feq.d` / `copift.flt.d` / `copift.fle.d`: like the standard
+    /// comparison but the 0/1 result is written to the *FP* register file
+    /// (low 32 bits, high bits zero), so the instruction is legal under FREP.
+    CopiftCmp { op: FpCmpOp, rd: FpReg, rs1: FpReg, rs2: FpReg },
+    /// `copift.fcvt.w[u].d`: convert double → int32, result into FP rd's low
+    /// 32 bits.
+    CopiftCvtF2I { to: IntCvt, rd: FpReg, rs1: FpReg },
+    /// `copift.fcvt.d.w[u]`: interpret FP rs1's low 32 bits as int32/uint32
+    /// and convert to double.
+    CopiftCvtI2F { from: IntCvt, rd: FpReg, rs1: FpReg },
+    /// `copift.fclass.d`: classification mask into FP rd's low bits.
+    CopiftClass { rd: FpReg, rs1: FpReg },
+}
+
+impl Inst {
+    /// Canonical `nop` (`addi x0, x0, 0`).
+    pub const NOP: Inst = Inst::OpImm {
+        op: AluImmOp::Addi,
+        rd: IntReg::ZERO,
+        rs1: IntReg::ZERO,
+        imm: 0,
+    };
+
+    /// Whether this instruction is executed by the FP subsystem (offloaded by
+    /// the integer core). This includes FP loads/stores and the COPIFT
+    /// extensions, but *not* FREP/SSR/DMA configuration, which execute on the
+    /// integer side.
+    #[must_use]
+    pub fn is_fp(&self) -> bool {
+        matches!(
+            self,
+            Inst::Flw { .. }
+                | Inst::Fsw { .. }
+                | Inst::Fld { .. }
+                | Inst::Fsd { .. }
+                | Inst::FpOp { .. }
+                | Inst::FpFma { .. }
+                | Inst::FpSgnj { .. }
+                | Inst::FpCmp { .. }
+                | Inst::FpCvtF2I { .. }
+                | Inst::FpCvtI2F { .. }
+                | Inst::FpCvtF2F { .. }
+                | Inst::FpMvF2X { .. }
+                | Inst::FpMvX2F { .. }
+                | Inst::FpClass { .. }
+                | Inst::CopiftCmp { .. }
+                | Inst::CopiftCvtF2I { .. }
+                | Inst::CopiftCvtI2F { .. }
+                | Inst::CopiftClass { .. }
+        )
+    }
+
+    /// Whether this is one of the COPIFT custom-1 extension instructions.
+    #[must_use]
+    pub fn is_copift_ext(&self) -> bool {
+        matches!(
+            self,
+            Inst::CopiftCmp { .. }
+                | Inst::CopiftCvtF2I { .. }
+                | Inst::CopiftCvtI2F { .. }
+                | Inst::CopiftClass { .. }
+        )
+    }
+
+    /// Whether this instruction changes control flow.
+    #[must_use]
+    pub fn is_control_flow(&self) -> bool {
+        matches!(
+            self,
+            Inst::Jal { .. } | Inst::Jalr { .. } | Inst::Branch { .. } | Inst::Ecall | Inst::Ebreak
+        )
+    }
+
+    /// Whether this is an FREP configuration instruction.
+    #[must_use]
+    pub fn is_frep(&self) -> bool {
+        matches!(self, Inst::FrepO { .. } | Inst::FrepI { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nop_is_addi_zero() {
+        match Inst::NOP {
+            Inst::OpImm { op, rd, rs1, imm } => {
+                assert_eq!(op, AluImmOp::Addi);
+                assert!(rd.is_zero());
+                assert!(rs1.is_zero());
+                assert_eq!(imm, 0);
+            }
+            other => panic!("unexpected nop shape: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fp_classification() {
+        let fadd = Inst::FpOp {
+            op: FpAluOp::Add,
+            fmt: FpFmt::D,
+            rd: FpReg::FA0,
+            rs1: FpReg::FA1,
+            rs2: FpReg::FA2,
+        };
+        assert!(fadd.is_fp());
+        assert!(!fadd.is_copift_ext());
+        assert!(!Inst::NOP.is_fp());
+
+        let frep = Inst::FrepO { rep: IntReg::T0, max_inst: 4, stagger_max: 0, stagger_mask: 0 };
+        assert!(!frep.is_fp(), "frep executes (issues) on the integer side");
+        assert!(frep.is_frep());
+
+        let ccmp = Inst::CopiftCmp { op: FpCmpOp::Lt, rd: FpReg::FA0, rs1: FpReg::FA1, rs2: FpReg::FA2 };
+        assert!(ccmp.is_fp());
+        assert!(ccmp.is_copift_ext());
+    }
+
+    #[test]
+    fn control_flow_classification() {
+        assert!(Inst::Ecall.is_control_flow());
+        assert!(Inst::Jal { rd: IntReg::ZERO, offset: 8 }.is_control_flow());
+        assert!(!Inst::NOP.is_control_flow());
+    }
+}

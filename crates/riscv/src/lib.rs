@@ -1,0 +1,56 @@
+//! RISC-V instruction-set model for the COPIFT reproduction.
+//!
+//! This crate models the instruction set executed by the [Snitch] core as
+//! evaluated in the COPIFT paper (Colagrande & Benini, DAC 2025):
+//!
+//! * the RV32I base integer ISA and the "M" standard extension,
+//! * the "F" and "D" floating-point extensions (the subset exercised by the
+//!   paper's workloads: loads/stores, arithmetic, fused multiply-add,
+//!   comparisons, conversions, sign injection, moves and classification),
+//! * Zicsr (CSR accesses, used among other things to enable SSRs),
+//! * the Snitch extensions: **FREP** hardware loops, **SSR** stream
+//!   configuration and the **xdma** cluster DMA instructions,
+//! * the **COPIFT ISA extensions** of the paper's §II-B: copies of the
+//!   cross-register-file "D" instructions re-encoded in the `custom-1` opcode
+//!   space so that they operate entirely on the floating-point register file
+//!   and therefore remain legal inside FREP loops.
+//!
+//! The crate provides typed [registers](reg), a structured [instruction
+//! enum](inst::Inst), binary [encoding](encode) and [decoding](decode),
+//! [disassembly](disasm) and the [def/use and classification
+//! metadata](meta) that both the cycle-accurate simulator (`snitch-sim`) and
+//! the COPIFT transformation library (`copift`) build on.
+//!
+//! # Example
+//!
+//! ```
+//! use snitch_riscv::inst::Inst;
+//! use snitch_riscv::reg::{IntReg, FpReg};
+//! use snitch_riscv::ops::{FpFmt, FpAluOp};
+//!
+//! let inst = Inst::FpOp {
+//!     op: FpAluOp::Add,
+//!     fmt: FpFmt::D,
+//!     rd: FpReg::FA0,
+//!     rs1: FpReg::FA1,
+//!     rs2: FpReg::FA2,
+//! };
+//! let word = inst.encode();
+//! assert_eq!(Inst::decode(word)?, inst);
+//! assert_eq!(inst.to_string(), "fadd.d fa0, fa1, fa2");
+//! # Ok::<(), snitch_riscv::DecodeError>(())
+//! ```
+
+pub mod csr;
+pub mod decode;
+pub mod disasm;
+pub mod encode;
+pub mod inst;
+pub mod meta;
+pub mod ops;
+pub mod reg;
+
+pub use decode::DecodeError;
+pub use inst::Inst;
+pub use meta::{InstClass, MemClass, RegRef};
+pub use reg::{FpReg, IntReg};

@@ -1,0 +1,447 @@
+//! Def/use and classification metadata.
+//!
+//! Both the COPIFT data-flow analysis (Step 1 of the methodology) and the
+//! cycle-accurate simulator need to know, for every instruction, which
+//! registers it reads and writes, which register *file* each access targets,
+//! and which execution resource it occupies. All of that is derived here from
+//! the structured [`Inst`] type in one place.
+
+use crate::inst::Inst;
+use crate::ops::{DmaOp, FpAluOp};
+use crate::reg::{FpReg, IntReg};
+
+/// A reference to a register in one of the two architectural register files.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum RegRef {
+    /// Integer register file (`x0..x31`).
+    Int(IntReg),
+    /// Floating-point register file (`f0..f31`).
+    Fp(FpReg),
+}
+
+impl RegRef {
+    /// Whether this refers to the integer register file.
+    #[must_use]
+    pub fn is_int(self) -> bool {
+        matches!(self, RegRef::Int(_))
+    }
+
+    /// Whether this refers to the floating-point register file.
+    #[must_use]
+    pub fn is_fp(self) -> bool {
+        matches!(self, RegRef::Fp(_))
+    }
+}
+
+impl std::fmt::Display for RegRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegRef::Int(r) => write!(f, "{r}"),
+            RegRef::Fp(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+/// Execution-resource class of an instruction (drives simulator timing).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum InstClass {
+    /// Single-cycle integer ALU operation (including `lui`/`auipc`).
+    IntAlu,
+    /// Integer multiply (multi-cycle `muldiv` unit, pipelined).
+    IntMul,
+    /// Integer divide/remainder (long-latency, non-pipelined).
+    IntDiv,
+    /// Integer load.
+    IntLoad,
+    /// Integer store.
+    IntStore,
+    /// Conditional branch.
+    Branch,
+    /// Unconditional jump (`jal`/`jalr`).
+    Jump,
+    /// CSR access.
+    Csr,
+    /// System (`ecall`/`ebreak`/`fence`).
+    Sys,
+    /// FP load (offloaded; LSU access from the FP subsystem).
+    FpLoad,
+    /// FP store.
+    FpStore,
+    /// FP add/sub/mul and fused multiply-add (pipelined FPU path).
+    FpMulAdd,
+    /// FP divide/square root (iterative unit).
+    FpDivSqrt,
+    /// Short FP operations: sign injection, min/max, compares, moves,
+    /// classification and the COPIFT custom-1 instructions.
+    FpShort,
+    /// FP conversions.
+    FpCvt,
+    /// FREP configuration.
+    Frep,
+    /// SSR configuration (`scfgwi`/`scfgri`).
+    SsrCfg,
+    /// DMA programming.
+    Dma,
+}
+
+/// Memory-access class, when the instruction accesses data memory.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MemClass {
+    /// Integer-side load of `bytes` bytes.
+    Load { bytes: u32 },
+    /// Integer-side store.
+    Store { bytes: u32 },
+    /// FP-side load.
+    FpLoad { bytes: u32 },
+    /// FP-side store.
+    FpStore { bytes: u32 },
+}
+
+impl Inst {
+    /// The execution-resource class of this instruction.
+    #[must_use]
+    pub fn class(&self) -> InstClass {
+        match self {
+            Inst::Lui { .. } | Inst::Auipc { .. } | Inst::OpImm { .. } => InstClass::IntAlu,
+            Inst::OpReg { op, .. } => {
+                if op.is_div() {
+                    InstClass::IntDiv
+                } else if op.is_muldiv() {
+                    InstClass::IntMul
+                } else {
+                    InstClass::IntAlu
+                }
+            }
+            Inst::Jal { .. } | Inst::Jalr { .. } => InstClass::Jump,
+            Inst::Branch { .. } => InstClass::Branch,
+            Inst::Load { .. } => InstClass::IntLoad,
+            Inst::Store { .. } => InstClass::IntStore,
+            Inst::Fence | Inst::Ecall | Inst::Ebreak => InstClass::Sys,
+            Inst::Csr { .. } => InstClass::Csr,
+            Inst::Flw { .. } | Inst::Fld { .. } => InstClass::FpLoad,
+            Inst::Fsw { .. } | Inst::Fsd { .. } => InstClass::FpStore,
+            Inst::FpOp { op, .. } => match op {
+                FpAluOp::Div | FpAluOp::Sqrt => InstClass::FpDivSqrt,
+                FpAluOp::Min | FpAluOp::Max => InstClass::FpShort,
+                _ => InstClass::FpMulAdd,
+            },
+            Inst::FpFma { .. } => InstClass::FpMulAdd,
+            Inst::FpSgnj { .. }
+            | Inst::FpCmp { .. }
+            | Inst::FpMvF2X { .. }
+            | Inst::FpMvX2F { .. }
+            | Inst::FpClass { .. }
+            | Inst::CopiftCmp { .. }
+            | Inst::CopiftClass { .. } => InstClass::FpShort,
+            Inst::FpCvtF2I { .. }
+            | Inst::FpCvtI2F { .. }
+            | Inst::FpCvtF2F { .. }
+            | Inst::CopiftCvtF2I { .. }
+            | Inst::CopiftCvtI2F { .. } => InstClass::FpCvt,
+            Inst::FrepO { .. } | Inst::FrepI { .. } => InstClass::Frep,
+            Inst::Scfgwi { .. } | Inst::Scfgri { .. } => InstClass::SsrCfg,
+            Inst::Dma { .. } => InstClass::Dma,
+        }
+    }
+
+    /// The registers this instruction reads, in operand order.
+    #[must_use]
+    pub fn uses(&self) -> Vec<RegRef> {
+        use RegRef::{Fp, Int};
+        let mut v = Vec::with_capacity(3);
+        match *self {
+            Inst::Lui { .. } | Inst::Auipc { .. } | Inst::Jal { .. } | Inst::Fence
+            | Inst::Ecall | Inst::Ebreak => {}
+            Inst::Jalr { rs1, .. } => v.push(Int(rs1)),
+            Inst::Branch { rs1, rs2, .. } => {
+                v.push(Int(rs1));
+                v.push(Int(rs2));
+            }
+            Inst::Load { rs1, .. } => v.push(Int(rs1)),
+            Inst::Store { rs2, rs1, .. } => {
+                v.push(Int(rs2));
+                v.push(Int(rs1));
+            }
+            Inst::OpImm { rs1, .. } => v.push(Int(rs1)),
+            Inst::OpReg { rs1, rs2, .. } => {
+                v.push(Int(rs1));
+                v.push(Int(rs2));
+            }
+            Inst::Csr { op, src, .. } => {
+                if !op.is_imm() {
+                    v.push(Int(IntReg::new(src)));
+                }
+            }
+            Inst::Flw { rs1, .. } | Inst::Fld { rs1, .. } => v.push(Int(rs1)),
+            Inst::Fsw { rs2, rs1, .. } | Inst::Fsd { rs2, rs1, .. } => {
+                v.push(Fp(rs2));
+                v.push(Int(rs1));
+            }
+            Inst::FpOp { op, rs1, rs2, .. } => {
+                v.push(Fp(rs1));
+                if op != FpAluOp::Sqrt {
+                    v.push(Fp(rs2));
+                }
+            }
+            Inst::FpFma { rs1, rs2, rs3, .. } => {
+                v.push(Fp(rs1));
+                v.push(Fp(rs2));
+                v.push(Fp(rs3));
+            }
+            Inst::FpSgnj { rs1, rs2, .. } => {
+                v.push(Fp(rs1));
+                v.push(Fp(rs2));
+            }
+            Inst::FpCmp { rs1, rs2, .. } => {
+                v.push(Fp(rs1));
+                v.push(Fp(rs2));
+            }
+            Inst::FpCvtF2I { rs1, .. } => v.push(Fp(rs1)),
+            Inst::FpCvtI2F { rs1, .. } => v.push(Int(rs1)),
+            Inst::FpCvtF2F { rs1, .. } => v.push(Fp(rs1)),
+            Inst::FpMvF2X { rs1, .. } => v.push(Fp(rs1)),
+            Inst::FpMvX2F { rs1, .. } => v.push(Int(rs1)),
+            Inst::FpClass { rs1, .. } => v.push(Fp(rs1)),
+            Inst::FrepO { rep, .. } | Inst::FrepI { rep, .. } => v.push(Int(rep)),
+            Inst::Scfgwi { value, .. } => v.push(Int(value)),
+            Inst::Scfgri { .. } => {}
+            Inst::Dma { op, rs1, rs2, .. } => match op {
+                DmaOp::Src | DmaOp::Dst | DmaOp::Str => {
+                    v.push(Int(rs1));
+                    v.push(Int(rs2));
+                }
+                DmaOp::Rep | DmaOp::CpyI => v.push(Int(rs1)),
+                DmaOp::StatI => {}
+            },
+            Inst::CopiftCmp { rs1, rs2, .. } => {
+                v.push(Fp(rs1));
+                v.push(Fp(rs2));
+            }
+            Inst::CopiftCvtF2I { rs1, .. }
+            | Inst::CopiftCvtI2F { rs1, .. }
+            | Inst::CopiftClass { rs1, .. } => v.push(Fp(rs1)),
+        }
+        v
+    }
+
+    /// The registers this instruction writes. Writes to `x0` are omitted
+    /// (they are architectural no-ops).
+    #[must_use]
+    pub fn defs(&self) -> Vec<RegRef> {
+        use RegRef::{Fp, Int};
+        let mut v = Vec::with_capacity(1);
+        let mut int_def = |r: IntReg| {
+            if !r.is_zero() {
+                v.push(Int(r));
+            }
+        };
+        match *self {
+            Inst::Lui { rd, .. }
+            | Inst::Auipc { rd, .. }
+            | Inst::Jal { rd, .. }
+            | Inst::Jalr { rd, .. }
+            | Inst::Load { rd, .. }
+            | Inst::OpImm { rd, .. }
+            | Inst::OpReg { rd, .. }
+            | Inst::Csr { rd, .. }
+            | Inst::FpCmp { rd, .. }
+            | Inst::FpCvtF2I { rd, .. }
+            | Inst::FpMvF2X { rd, .. }
+            | Inst::FpClass { rd, .. }
+            | Inst::Scfgri { rd, .. } => int_def(rd),
+            Inst::Dma { op, rd, .. } => {
+                if matches!(op, DmaOp::CpyI | DmaOp::StatI) {
+                    int_def(rd);
+                }
+            }
+            Inst::Branch { .. }
+            | Inst::Store { .. }
+            | Inst::Fence
+            | Inst::Ecall
+            | Inst::Ebreak
+            | Inst::Fsw { .. }
+            | Inst::Fsd { .. }
+            | Inst::FrepO { .. }
+            | Inst::FrepI { .. }
+            | Inst::Scfgwi { .. } => {}
+            Inst::Flw { rd, .. }
+            | Inst::Fld { rd, .. }
+            | Inst::FpOp { rd, .. }
+            | Inst::FpFma { rd, .. }
+            | Inst::FpSgnj { rd, .. }
+            | Inst::FpCvtI2F { rd, .. }
+            | Inst::FpCvtF2F { rd, .. }
+            | Inst::FpMvX2F { rd, .. }
+            | Inst::CopiftCmp { rd, .. }
+            | Inst::CopiftCvtF2I { rd, .. }
+            | Inst::CopiftCvtI2F { rd, .. }
+            | Inst::CopiftClass { rd, .. } => v.push(Fp(rd)),
+        }
+        v
+    }
+
+    /// Memory access performed by this instruction, if any.
+    #[must_use]
+    pub fn mem_class(&self) -> Option<MemClass> {
+        Some(match self {
+            Inst::Load { op, .. } => MemClass::Load { bytes: op.size() },
+            Inst::Store { op, .. } => MemClass::Store { bytes: op.size() },
+            Inst::Flw { .. } => MemClass::FpLoad { bytes: 4 },
+            Inst::Fld { .. } => MemClass::FpLoad { bytes: 8 },
+            Inst::Fsw { .. } => MemClass::FpStore { bytes: 4 },
+            Inst::Fsd { .. } => MemClass::FpStore { bytes: 8 },
+            _ => return None,
+        })
+    }
+
+    /// Whether this FP-domain instruction *writes* the integer register
+    /// file — the cross-thread direction that serializes pseudo dual-issue
+    /// execution (a COPIFT *Type 3* dependency source), e.g. `feq.d`,
+    /// `fcvt.w.d`, `fmv.x.w`, `fclass.d`.
+    #[must_use]
+    pub fn fp_writes_int_rf(&self) -> bool {
+        matches!(
+            self,
+            Inst::FpCmp { .. } | Inst::FpCvtF2I { .. } | Inst::FpMvF2X { .. } | Inst::FpClass { .. }
+        )
+    }
+
+    /// Whether this FP-domain instruction *reads* the integer register file
+    /// beyond a load/store base address, e.g. `fcvt.d.w`, `fmv.w.x`.
+    #[must_use]
+    pub fn fp_reads_int_rf(&self) -> bool {
+        matches!(self, Inst::FpCvtI2F { .. } | Inst::FpMvX2F { .. })
+    }
+
+    /// Whether the instruction can legally appear in an FREP loop body:
+    /// it must be executed by the FP subsystem and must not touch the integer
+    /// register file. This is exactly the restriction the COPIFT ISA
+    /// extensions (paper §II-B) lift for conversions/comparisons.
+    #[must_use]
+    pub fn frep_legal(&self) -> bool {
+        if !self.is_fp() {
+            return false;
+        }
+        if self.fp_writes_int_rf() || self.fp_reads_int_rf() {
+            return false;
+        }
+        // FP loads/stores consume an integer base address; under FREP the
+        // address would be stale. They are only legal when the access has
+        // been mapped to an SSR (checked by the assembler/kernels, since
+        // register ft0..ft2 semantics depend on the SSR-enable CSR).
+        !matches!(self, Inst::Flw { .. } | Inst::Fld { .. } | Inst::Fsw { .. } | Inst::Fsd { .. })
+    }
+
+    /// Whether this is an integer multiply executed in the shared `muldiv`
+    /// unit (used by the simulator's write-back port hazard model).
+    #[must_use]
+    pub fn is_int_mul(&self) -> bool {
+        matches!(self, Inst::OpReg { op, .. } if op.is_muldiv() && !op.is_div())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::*;
+
+    #[test]
+    fn def_use_int_ops() {
+        let add = Inst::OpReg { op: AluOp::Add, rd: IntReg::A0, rs1: IntReg::A1, rs2: IntReg::A2 };
+        assert_eq!(add.uses(), vec![RegRef::Int(IntReg::A1), RegRef::Int(IntReg::A2)]);
+        assert_eq!(add.defs(), vec![RegRef::Int(IntReg::A0)]);
+        assert!(Inst::NOP.defs().is_empty(), "writes to x0 are not defs");
+    }
+
+    #[test]
+    fn def_use_fp_load_store() {
+        let fld = Inst::Fld { rd: FpReg::FA3, rs1: IntReg::A3, offset: 0 };
+        assert_eq!(fld.uses(), vec![RegRef::Int(IntReg::A3)]);
+        assert_eq!(fld.defs(), vec![RegRef::Fp(FpReg::FA3)]);
+        let fsd = Inst::Fsd { rs2: FpReg::FA4, rs1: IntReg::A4, offset: 8 };
+        assert_eq!(fsd.uses(), vec![RegRef::Fp(FpReg::FA4), RegRef::Int(IntReg::A4)]);
+        assert!(fsd.defs().is_empty());
+    }
+
+    #[test]
+    fn def_use_fma() {
+        let fma = Inst::FpFma {
+            op: FmaOp::Madd,
+            fmt: FpFmt::D,
+            rd: FpReg::FA4,
+            rs1: FpReg::FA2,
+            rs2: FpReg::FA1,
+            rs3: FpReg::FA3,
+        };
+        assert_eq!(fma.uses().len(), 3);
+        assert_eq!(fma.defs(), vec![RegRef::Fp(FpReg::FA4)]);
+        assert_eq!(fma.class(), InstClass::FpMulAdd);
+    }
+
+    #[test]
+    fn type3_sources_detected() {
+        let cmp = Inst::FpCmp {
+            op: FpCmpOp::Lt,
+            fmt: FpFmt::D,
+            rd: IntReg::A0,
+            rs1: FpReg::FA0,
+            rs2: FpReg::FA1,
+        };
+        assert!(cmp.fp_writes_int_rf());
+        assert!(!cmp.frep_legal());
+
+        let cvt = Inst::FpCvtI2F { from: IntCvt::W, fmt: FpFmt::D, rd: FpReg::FA0, rs1: IntReg::A0 };
+        assert!(cvt.fp_reads_int_rf());
+        assert!(!cvt.frep_legal());
+
+        // The COPIFT replacements are FREP-legal.
+        let ccmp = Inst::CopiftCmp { op: FpCmpOp::Lt, rd: FpReg::FA0, rs1: FpReg::FA1, rs2: FpReg::FA2 };
+        assert!(ccmp.frep_legal());
+        let ccvt = Inst::CopiftCvtI2F { from: IntCvt::W, rd: FpReg::FA0, rs1: FpReg::FA1 };
+        assert!(ccvt.frep_legal());
+    }
+
+    #[test]
+    fn frep_legality_of_loads() {
+        let fld = Inst::Fld { rd: FpReg::FA0, rs1: IntReg::A0, offset: 0 };
+        assert!(!fld.frep_legal(), "explicit FP loads are not FREP-legal (must use SSRs)");
+        let fadd = Inst::FpOp {
+            op: FpAluOp::Add,
+            fmt: FpFmt::D,
+            rd: FpReg::FA0,
+            rs1: FpReg::FT0,
+            rs2: FpReg::FA1,
+        };
+        assert!(fadd.frep_legal());
+    }
+
+    #[test]
+    fn classes() {
+        assert_eq!(Inst::NOP.class(), InstClass::IntAlu);
+        let mul = Inst::OpReg { op: AluOp::Mul, rd: IntReg::A0, rs1: IntReg::A1, rs2: IntReg::A2 };
+        assert_eq!(mul.class(), InstClass::IntMul);
+        assert!(mul.is_int_mul());
+        let div = Inst::OpReg { op: AluOp::Div, rd: IntReg::A0, rs1: IntReg::A1, rs2: IntReg::A2 };
+        assert_eq!(div.class(), InstClass::IntDiv);
+        assert!(!div.is_int_mul());
+        let fdiv = Inst::FpOp {
+            op: FpAluOp::Div,
+            fmt: FpFmt::D,
+            rd: FpReg::FA0,
+            rs1: FpReg::FA1,
+            rs2: FpReg::FA2,
+        };
+        assert_eq!(fdiv.class(), InstClass::FpDivSqrt);
+        let frep = Inst::FrepO { rep: IntReg::T0, max_inst: 1, stagger_max: 0, stagger_mask: 0 };
+        assert_eq!(frep.class(), InstClass::Frep);
+    }
+
+    #[test]
+    fn mem_class() {
+        let lw = Inst::Load { op: LoadOp::Lw, rd: IntReg::A0, rs1: IntReg::A1, offset: 0 };
+        assert_eq!(lw.mem_class(), Some(MemClass::Load { bytes: 4 }));
+        let fsd = Inst::Fsd { rs2: FpReg::FA0, rs1: IntReg::A0, offset: 0 };
+        assert_eq!(fsd.mem_class(), Some(MemClass::FpStore { bytes: 8 }));
+        assert_eq!(Inst::NOP.mem_class(), None);
+    }
+}

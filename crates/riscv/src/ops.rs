@@ -1,0 +1,773 @@
+//! Sub-operation enums shared by the instruction type.
+//!
+//! Grouping mnemonics that share an encoding format and a pipeline behaviour
+//! into small enums keeps [`Inst`](crate::inst::Inst) compact and lets the
+//! simulator and the COPIFT analyses match on whole families at once.
+
+use std::fmt;
+
+/// Conditional branch comparisons (`BRANCH` major opcode).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BranchOp {
+    /// `beq`
+    Eq,
+    /// `bne`
+    Ne,
+    /// `blt`
+    Lt,
+    /// `bge`
+    Ge,
+    /// `bltu`
+    Ltu,
+    /// `bgeu`
+    Geu,
+}
+
+impl BranchOp {
+    /// The `funct3` field encoding this comparison.
+    #[must_use]
+    pub fn funct3(self) -> u32 {
+        match self {
+            BranchOp::Eq => 0b000,
+            BranchOp::Ne => 0b001,
+            BranchOp::Lt => 0b100,
+            BranchOp::Ge => 0b101,
+            BranchOp::Ltu => 0b110,
+            BranchOp::Geu => 0b111,
+        }
+    }
+
+    /// Inverse of [`funct3`](Self::funct3).
+    #[must_use]
+    pub fn from_funct3(funct3: u32) -> Option<Self> {
+        Some(match funct3 {
+            0b000 => BranchOp::Eq,
+            0b001 => BranchOp::Ne,
+            0b100 => BranchOp::Lt,
+            0b101 => BranchOp::Ge,
+            0b110 => BranchOp::Ltu,
+            0b111 => BranchOp::Geu,
+            _ => return None,
+        })
+    }
+
+    /// Evaluates the branch condition on two register values.
+    #[must_use]
+    pub fn taken(self, lhs: u32, rhs: u32) -> bool {
+        match self {
+            BranchOp::Eq => lhs == rhs,
+            BranchOp::Ne => lhs != rhs,
+            BranchOp::Lt => (lhs as i32) < (rhs as i32),
+            BranchOp::Ge => (lhs as i32) >= (rhs as i32),
+            BranchOp::Ltu => lhs < rhs,
+            BranchOp::Geu => lhs >= rhs,
+        }
+    }
+}
+
+/// Integer load widths (`LOAD` major opcode).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum LoadOp {
+    /// `lb`: sign-extended byte
+    Lb,
+    /// `lh`: sign-extended halfword
+    Lh,
+    /// `lw`: word
+    Lw,
+    /// `lbu`: zero-extended byte
+    Lbu,
+    /// `lhu`: zero-extended halfword
+    Lhu,
+}
+
+impl LoadOp {
+    /// The `funct3` field encoding this width.
+    #[must_use]
+    pub fn funct3(self) -> u32 {
+        match self {
+            LoadOp::Lb => 0b000,
+            LoadOp::Lh => 0b001,
+            LoadOp::Lw => 0b010,
+            LoadOp::Lbu => 0b100,
+            LoadOp::Lhu => 0b101,
+        }
+    }
+
+    /// Inverse of [`funct3`](Self::funct3).
+    #[must_use]
+    pub fn from_funct3(funct3: u32) -> Option<Self> {
+        Some(match funct3 {
+            0b000 => LoadOp::Lb,
+            0b001 => LoadOp::Lh,
+            0b010 => LoadOp::Lw,
+            0b100 => LoadOp::Lbu,
+            0b101 => LoadOp::Lhu,
+            _ => return None,
+        })
+    }
+
+    /// Access size in bytes.
+    #[must_use]
+    pub fn size(self) -> u32 {
+        match self {
+            LoadOp::Lb | LoadOp::Lbu => 1,
+            LoadOp::Lh | LoadOp::Lhu => 2,
+            LoadOp::Lw => 4,
+        }
+    }
+}
+
+/// Integer store widths (`STORE` major opcode).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum StoreOp {
+    /// `sb`
+    Sb,
+    /// `sh`
+    Sh,
+    /// `sw`
+    Sw,
+}
+
+impl StoreOp {
+    /// The `funct3` field encoding this width.
+    #[must_use]
+    pub fn funct3(self) -> u32 {
+        match self {
+            StoreOp::Sb => 0b000,
+            StoreOp::Sh => 0b001,
+            StoreOp::Sw => 0b010,
+        }
+    }
+
+    /// Inverse of [`funct3`](Self::funct3).
+    #[must_use]
+    pub fn from_funct3(funct3: u32) -> Option<Self> {
+        Some(match funct3 {
+            0b000 => StoreOp::Sb,
+            0b001 => StoreOp::Sh,
+            0b010 => StoreOp::Sw,
+            _ => return None,
+        })
+    }
+
+    /// Access size in bytes.
+    #[must_use]
+    pub fn size(self) -> u32 {
+        match self {
+            StoreOp::Sb => 1,
+            StoreOp::Sh => 2,
+            StoreOp::Sw => 4,
+        }
+    }
+}
+
+/// Register-immediate ALU operations (`OP-IMM` major opcode).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AluImmOp {
+    /// `addi`
+    Addi,
+    /// `slti`
+    Slti,
+    /// `sltiu`
+    Sltiu,
+    /// `xori`
+    Xori,
+    /// `ori`
+    Ori,
+    /// `andi`
+    Andi,
+    /// `slli` (shamt in `imm[4:0]`)
+    Slli,
+    /// `srli`
+    Srli,
+    /// `srai`
+    Srai,
+}
+
+impl AluImmOp {
+    /// Evaluates the operation.
+    #[must_use]
+    pub fn eval(self, rs1: u32, imm: i32) -> u32 {
+        let sh = (imm as u32) & 0x1f;
+        match self {
+            AluImmOp::Addi => rs1.wrapping_add(imm as u32),
+            AluImmOp::Slti => u32::from((rs1 as i32) < imm),
+            AluImmOp::Sltiu => u32::from(rs1 < imm as u32),
+            AluImmOp::Xori => rs1 ^ imm as u32,
+            AluImmOp::Ori => rs1 | imm as u32,
+            AluImmOp::Andi => rs1 & imm as u32,
+            AluImmOp::Slli => rs1 << sh,
+            AluImmOp::Srli => rs1 >> sh,
+            AluImmOp::Srai => ((rs1 as i32) >> sh) as u32,
+        }
+    }
+}
+
+/// Register-register ALU operations, including the "M" extension
+/// (`OP` major opcode).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AluOp {
+    /// `add`
+    Add,
+    /// `sub`
+    Sub,
+    /// `sll`
+    Sll,
+    /// `slt`
+    Slt,
+    /// `sltu`
+    Sltu,
+    /// `xor`
+    Xor,
+    /// `srl`
+    Srl,
+    /// `sra`
+    Sra,
+    /// `or`
+    Or,
+    /// `and`
+    And,
+    /// `mul` (M extension)
+    Mul,
+    /// `mulh`
+    Mulh,
+    /// `mulhsu`
+    Mulhsu,
+    /// `mulhu`
+    Mulhu,
+    /// `div`
+    Div,
+    /// `divu`
+    Divu,
+    /// `rem`
+    Rem,
+    /// `remu`
+    Remu,
+}
+
+impl AluOp {
+    /// Whether the operation belongs to the "M" multiply/divide extension
+    /// (and therefore executes in the multi-cycle `muldiv` unit).
+    #[must_use]
+    pub fn is_muldiv(self) -> bool {
+        matches!(
+            self,
+            AluOp::Mul
+                | AluOp::Mulh
+                | AluOp::Mulhsu
+                | AluOp::Mulhu
+                | AluOp::Div
+                | AluOp::Divu
+                | AluOp::Rem
+                | AluOp::Remu
+        )
+    }
+
+    /// Whether the operation is a divide/remainder (long-latency).
+    #[must_use]
+    pub fn is_div(self) -> bool {
+        matches!(self, AluOp::Div | AluOp::Divu | AluOp::Rem | AluOp::Remu)
+    }
+
+    /// Evaluates the operation. Division follows the RISC-V corner-case
+    /// rules explicitly (divide-by-zero yields all-ones, overflow wraps),
+    /// which is clearer here than `checked_div` chains.
+    #[must_use]
+    #[allow(clippy::manual_div_ceil, clippy::if_same_then_else, clippy::manual_checked_ops)]
+    pub fn eval(self, rs1: u32, rs2: u32) -> u32 {
+        let sh = rs2 & 0x1f;
+        match self {
+            AluOp::Add => rs1.wrapping_add(rs2),
+            AluOp::Sub => rs1.wrapping_sub(rs2),
+            AluOp::Sll => rs1 << sh,
+            AluOp::Slt => u32::from((rs1 as i32) < (rs2 as i32)),
+            AluOp::Sltu => u32::from(rs1 < rs2),
+            AluOp::Xor => rs1 ^ rs2,
+            AluOp::Srl => rs1 >> sh,
+            AluOp::Sra => ((rs1 as i32) >> sh) as u32,
+            AluOp::Or => rs1 | rs2,
+            AluOp::And => rs1 & rs2,
+            AluOp::Mul => rs1.wrapping_mul(rs2),
+            AluOp::Mulh => ((i64::from(rs1 as i32) * i64::from(rs2 as i32)) >> 32) as u32,
+            AluOp::Mulhsu => ((i64::from(rs1 as i32) * i64::from(rs2)) >> 32) as u32,
+            AluOp::Mulhu => ((u64::from(rs1) * u64::from(rs2)) >> 32) as u32,
+            AluOp::Div => {
+                if rs2 == 0 {
+                    u32::MAX
+                } else if rs1 as i32 == i32::MIN && rs2 as i32 == -1 {
+                    rs1
+                } else {
+                    ((rs1 as i32) / (rs2 as i32)) as u32
+                }
+            }
+            AluOp::Divu => {
+                if rs2 == 0 {
+                    u32::MAX
+                } else {
+                    rs1 / rs2
+                }
+            }
+            AluOp::Rem => {
+                if rs2 == 0 {
+                    rs1
+                } else if rs1 as i32 == i32::MIN && rs2 as i32 == -1 {
+                    0
+                } else {
+                    ((rs1 as i32) % (rs2 as i32)) as u32
+                }
+            }
+            AluOp::Remu => {
+                if rs2 == 0 {
+                    rs1
+                } else {
+                    rs1 % rs2
+                }
+            }
+        }
+    }
+}
+
+/// Floating-point formats supported by the F/D extensions.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum FpFmt {
+    /// Single precision (32-bit, "F" extension).
+    S,
+    /// Double precision (64-bit, "D" extension).
+    D,
+}
+
+impl FpFmt {
+    /// The `fmt` field value used inside OP-FP `funct7` encodings.
+    #[must_use]
+    pub fn field(self) -> u32 {
+        match self {
+            FpFmt::S => 0,
+            FpFmt::D => 1,
+        }
+    }
+
+    /// Inverse of [`field`](Self::field).
+    #[must_use]
+    pub fn from_field(field: u32) -> Option<Self> {
+        Some(match field {
+            0 => FpFmt::S,
+            1 => FpFmt::D,
+            _ => return None,
+        })
+    }
+
+    /// Operand width in bytes.
+    #[must_use]
+    pub fn size(self) -> u32 {
+        match self {
+            FpFmt::S => 4,
+            FpFmt::D => 8,
+        }
+    }
+
+    /// Mnemonic suffix (`"s"` or `"d"`).
+    #[must_use]
+    pub fn suffix(self) -> &'static str {
+        match self {
+            FpFmt::S => "s",
+            FpFmt::D => "d",
+        }
+    }
+}
+
+/// Two- and one-operand floating-point arithmetic (`OP-FP`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum FpAluOp {
+    /// `fadd`
+    Add,
+    /// `fsub`
+    Sub,
+    /// `fmul`
+    Mul,
+    /// `fdiv`
+    Div,
+    /// `fsqrt` (ignores `rs2`)
+    Sqrt,
+    /// `fmin`
+    Min,
+    /// `fmax`
+    Max,
+}
+
+/// Fused multiply-add family (dedicated major opcodes).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum FmaOp {
+    /// `fmadd`: `rs1*rs2 + rs3`
+    Madd,
+    /// `fmsub`: `rs1*rs2 - rs3`
+    Msub,
+    /// `fnmsub`: `-(rs1*rs2) + rs3`
+    Nmsub,
+    /// `fnmadd`: `-(rs1*rs2) - rs3`
+    Nmadd,
+}
+
+impl FmaOp {
+    /// The major opcode carrying this operation.
+    #[must_use]
+    pub fn opcode(self) -> u32 {
+        match self {
+            FmaOp::Madd => 0x43,
+            FmaOp::Msub => 0x47,
+            FmaOp::Nmsub => 0x4B,
+            FmaOp::Nmadd => 0x4F,
+        }
+    }
+
+    /// Evaluates the fused operation on `f64` operands.
+    #[must_use]
+    pub fn eval_f64(self, a: f64, b: f64, c: f64) -> f64 {
+        match self {
+            FmaOp::Madd => a.mul_add(b, c),
+            FmaOp::Msub => a.mul_add(b, -c),
+            FmaOp::Nmsub => (-a).mul_add(b, c),
+            FmaOp::Nmadd => (-a).mul_add(b, -c),
+        }
+    }
+
+    /// Evaluates the fused operation on `f32` operands.
+    #[must_use]
+    pub fn eval_f32(self, a: f32, b: f32, c: f32) -> f32 {
+        match self {
+            FmaOp::Madd => a.mul_add(b, c),
+            FmaOp::Msub => a.mul_add(b, -c),
+            FmaOp::Nmsub => (-a).mul_add(b, c),
+            FmaOp::Nmadd => (-a).mul_add(b, -c),
+        }
+    }
+}
+
+/// Sign-injection operations (`fsgnj`, `fsgnjn`, `fsgnjx`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SgnjOp {
+    /// `fsgnj` (also `fmv.{s,d}` when `rs1 == rs2`)
+    Sgnj,
+    /// `fsgnjn` (also `fneg`)
+    Sgnjn,
+    /// `fsgnjx` (also `fabs`)
+    Sgnjx,
+}
+
+impl SgnjOp {
+    /// The `funct3` field encoding this operation.
+    #[must_use]
+    pub fn funct3(self) -> u32 {
+        match self {
+            SgnjOp::Sgnj => 0b000,
+            SgnjOp::Sgnjn => 0b001,
+            SgnjOp::Sgnjx => 0b010,
+        }
+    }
+}
+
+/// Floating-point comparisons (`feq`, `flt`, `fle`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum FpCmpOp {
+    /// `feq`
+    Eq,
+    /// `flt`
+    Lt,
+    /// `fle`
+    Le,
+}
+
+impl FpCmpOp {
+    /// The `funct3` field encoding this comparison.
+    #[must_use]
+    pub fn funct3(self) -> u32 {
+        match self {
+            FpCmpOp::Le => 0b000,
+            FpCmpOp::Lt => 0b001,
+            FpCmpOp::Eq => 0b010,
+        }
+    }
+
+    /// Inverse of [`funct3`](Self::funct3).
+    #[must_use]
+    pub fn from_funct3(funct3: u32) -> Option<Self> {
+        Some(match funct3 {
+            0b000 => FpCmpOp::Le,
+            0b001 => FpCmpOp::Lt,
+            0b010 => FpCmpOp::Eq,
+            _ => return None,
+        })
+    }
+
+    /// Evaluates the comparison on `f64` operands (quiet for `feq`,
+    /// signaling semantics are not modelled).
+    #[must_use]
+    pub fn eval_f64(self, a: f64, b: f64) -> bool {
+        match self {
+            FpCmpOp::Eq => a == b,
+            FpCmpOp::Lt => a < b,
+            FpCmpOp::Le => a <= b,
+        }
+    }
+
+    /// Evaluates the comparison on `f32` operands.
+    #[must_use]
+    pub fn eval_f32(self, a: f32, b: f32) -> bool {
+        match self {
+            FpCmpOp::Eq => a == b,
+            FpCmpOp::Lt => a < b,
+            FpCmpOp::Le => a <= b,
+        }
+    }
+
+    /// Mnemonic stem (`"feq"`, `"flt"`, `"fle"`).
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            FpCmpOp::Eq => "feq",
+            FpCmpOp::Lt => "flt",
+            FpCmpOp::Le => "fle",
+        }
+    }
+}
+
+/// Integer operand type of a conversion (`w` = signed, `wu` = unsigned).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum IntCvt {
+    /// Signed 32-bit (`.w`)
+    W,
+    /// Unsigned 32-bit (`.wu`)
+    Wu,
+}
+
+impl IntCvt {
+    /// The `rs2` discriminator field in conversion encodings.
+    #[must_use]
+    pub fn field(self) -> u32 {
+        match self {
+            IntCvt::W => 0,
+            IntCvt::Wu => 1,
+        }
+    }
+
+    /// Inverse of [`field`](Self::field).
+    #[must_use]
+    pub fn from_field(field: u32) -> Option<Self> {
+        Some(match field {
+            0 => IntCvt::W,
+            1 => IntCvt::Wu,
+            _ => return None,
+        })
+    }
+
+    /// Mnemonic suffix (`"w"` or `"wu"`).
+    #[must_use]
+    pub fn suffix(self) -> &'static str {
+        match self {
+            IntCvt::W => "w",
+            IntCvt::Wu => "wu",
+        }
+    }
+}
+
+/// CSR access operations (Zicsr).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CsrOp {
+    /// `csrrw`
+    Rw,
+    /// `csrrs`
+    Rs,
+    /// `csrrc`
+    Rc,
+    /// `csrrwi`
+    Rwi,
+    /// `csrrsi`
+    Rsi,
+    /// `csrrci`
+    Rci,
+}
+
+impl CsrOp {
+    /// The `funct3` field encoding this operation.
+    #[must_use]
+    pub fn funct3(self) -> u32 {
+        match self {
+            CsrOp::Rw => 0b001,
+            CsrOp::Rs => 0b010,
+            CsrOp::Rc => 0b011,
+            CsrOp::Rwi => 0b101,
+            CsrOp::Rsi => 0b110,
+            CsrOp::Rci => 0b111,
+        }
+    }
+
+    /// Inverse of [`funct3`](Self::funct3).
+    #[must_use]
+    pub fn from_funct3(funct3: u32) -> Option<Self> {
+        Some(match funct3 {
+            0b001 => CsrOp::Rw,
+            0b010 => CsrOp::Rs,
+            0b011 => CsrOp::Rc,
+            0b101 => CsrOp::Rwi,
+            0b110 => CsrOp::Rsi,
+            0b111 => CsrOp::Rci,
+            _ => return None,
+        })
+    }
+
+    /// Whether the source operand is a 5-bit immediate rather than `rs1`.
+    #[must_use]
+    pub fn is_imm(self) -> bool {
+        matches!(self, CsrOp::Rwi | CsrOp::Rsi | CsrOp::Rci)
+    }
+}
+
+/// Snitch xdma instructions (cluster DMA programming).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum DmaOp {
+    /// `dmsrc rs1, rs2`: source address (low, high)
+    Src,
+    /// `dmdst rs1, rs2`: destination address (low, high)
+    Dst,
+    /// `dmstr rs1, rs2`: source / destination strides
+    Str,
+    /// `dmrep rs1`: repetition count (2-D transfers)
+    Rep,
+    /// `dmcpyi rd, rs1, imm`: start transfer of `rs1` bytes, returns id
+    CpyI,
+    /// `dmstati rd, imm`: poll transfer status
+    StatI,
+}
+
+impl fmt::Display for DmaOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DmaOp::Src => "dmsrc",
+            DmaOp::Dst => "dmdst",
+            DmaOp::Str => "dmstr",
+            DmaOp::Rep => "dmrep",
+            DmaOp::CpyI => "dmcpyi",
+            DmaOp::StatI => "dmstati",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn branch_funct3_roundtrip() {
+        for op in [
+            BranchOp::Eq,
+            BranchOp::Ne,
+            BranchOp::Lt,
+            BranchOp::Ge,
+            BranchOp::Ltu,
+            BranchOp::Geu,
+        ] {
+            assert_eq!(BranchOp::from_funct3(op.funct3()), Some(op));
+        }
+        assert_eq!(BranchOp::from_funct3(0b010), None);
+    }
+
+    #[test]
+    fn branch_semantics() {
+        assert!(BranchOp::Eq.taken(5, 5));
+        assert!(!BranchOp::Eq.taken(5, 6));
+        assert!(BranchOp::Lt.taken(-1i32 as u32, 0));
+        assert!(!BranchOp::Ltu.taken(-1i32 as u32, 0));
+        assert!(BranchOp::Geu.taken(-1i32 as u32, 0));
+        assert!(BranchOp::Ge.taken(3, 3));
+    }
+
+    #[test]
+    fn alu_imm_semantics() {
+        assert_eq!(AluImmOp::Addi.eval(7, -3), 4);
+        assert_eq!(AluImmOp::Andi.eval(0xff, 0x1f), 0x1f);
+        assert_eq!(AluImmOp::Slli.eval(1, 5), 32);
+        assert_eq!(AluImmOp::Srli.eval(0x8000_0000, 31), 1);
+        assert_eq!(AluImmOp::Srai.eval(0x8000_0000, 31), 0xffff_ffff);
+        assert_eq!(AluImmOp::Slti.eval(-5i32 as u32, -4), 1);
+        assert_eq!(AluImmOp::Sltiu.eval(3, 4), 1);
+        assert_eq!(AluImmOp::Xori.eval(0b1010, 0b0110), 0b1100);
+        assert_eq!(AluImmOp::Ori.eval(0b1010, 0b0110), 0b1110);
+    }
+
+    #[test]
+    fn alu_mul_div_semantics() {
+        assert_eq!(AluOp::Mul.eval(6, 7), 42);
+        assert_eq!(AluOp::Mulhu.eval(u32::MAX, u32::MAX), 0xffff_fffe);
+        assert_eq!(AluOp::Mulh.eval(-2i32 as u32, 3), 0xffff_ffff);
+        // Division corner cases mandated by the RISC-V spec.
+        assert_eq!(AluOp::Div.eval(7, 0), u32::MAX);
+        assert_eq!(AluOp::Rem.eval(7, 0), 7);
+        assert_eq!(AluOp::Div.eval(i32::MIN as u32, -1i32 as u32), i32::MIN as u32);
+        assert_eq!(AluOp::Rem.eval(i32::MIN as u32, -1i32 as u32), 0);
+        assert_eq!(AluOp::Divu.eval(7, 2), 3);
+        assert_eq!(AluOp::Remu.eval(7, 2), 1);
+    }
+
+    #[test]
+    fn muldiv_classification() {
+        assert!(AluOp::Mul.is_muldiv());
+        assert!(AluOp::Remu.is_muldiv());
+        assert!(!AluOp::Add.is_muldiv());
+        assert!(AluOp::Div.is_div());
+        assert!(!AluOp::Mul.is_div());
+    }
+
+    #[test]
+    fn fma_semantics() {
+        assert_eq!(FmaOp::Madd.eval_f64(2.0, 3.0, 1.0), 7.0);
+        assert_eq!(FmaOp::Msub.eval_f64(2.0, 3.0, 1.0), 5.0);
+        assert_eq!(FmaOp::Nmsub.eval_f64(2.0, 3.0, 1.0), -5.0);
+        assert_eq!(FmaOp::Nmadd.eval_f64(2.0, 3.0, 1.0), -7.0);
+    }
+
+    #[test]
+    fn fma_is_fused() {
+        // A fused madd must not round the intermediate product: pick values
+        // where (a*b) rounds away the low bits that the addend cancels.
+        let a = 1.0 + f64::EPSILON;
+        let fused = FmaOp::Madd.eval_f64(a, a, -(a * a));
+        let unfused = a * a - a * a;
+        assert_ne!(fused, f64::mul_add(0.0, 0.0, f64::NAN).is_nan() as i32 as f64 - 1.0);
+        assert_eq!(unfused, 0.0);
+        assert!(fused != 0.0, "mul_add must keep the unrounded product");
+    }
+
+    #[test]
+    fn cmp_semantics() {
+        assert!(FpCmpOp::Eq.eval_f64(1.0, 1.0));
+        assert!(FpCmpOp::Lt.eval_f64(1.0, 2.0));
+        assert!(FpCmpOp::Le.eval_f64(2.0, 2.0));
+        assert!(!FpCmpOp::Lt.eval_f64(f64::NAN, 1.0));
+        assert!(!FpCmpOp::Eq.eval_f64(f64::NAN, f64::NAN));
+    }
+
+    #[test]
+    fn fmt_fields() {
+        assert_eq!(FpFmt::from_field(0), Some(FpFmt::S));
+        assert_eq!(FpFmt::from_field(1), Some(FpFmt::D));
+        assert_eq!(FpFmt::from_field(2), None);
+        assert_eq!(FpFmt::S.size(), 4);
+        assert_eq!(FpFmt::D.size(), 8);
+    }
+
+    #[test]
+    fn csr_ops() {
+        for op in [CsrOp::Rw, CsrOp::Rs, CsrOp::Rc, CsrOp::Rwi, CsrOp::Rsi, CsrOp::Rci] {
+            assert_eq!(CsrOp::from_funct3(op.funct3()), Some(op));
+        }
+        assert!(CsrOp::Rwi.is_imm());
+        assert!(!CsrOp::Rs.is_imm());
+    }
+
+    #[test]
+    fn load_store_sizes() {
+        assert_eq!(LoadOp::Lw.size(), 4);
+        assert_eq!(LoadOp::Lbu.size(), 1);
+        assert_eq!(StoreOp::Sh.size(), 2);
+    }
+}

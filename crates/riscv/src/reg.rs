@@ -1,0 +1,263 @@
+//! Integer and floating-point register types.
+//!
+//! RISC-V defines two architecturally separate register files: the integer
+//! registers `x0..x31` and (with the F/D extensions) the floating-point
+//! registers `f0..f31`. This separation is the key property COPIFT builds on
+//! ("integer and FP instructions operate mostly on independent sets of
+//! registers"), so the two files are distinct types here and cannot be
+//! confused at compile time.
+
+use std::fmt;
+
+/// An integer register `x0..x31`.
+///
+/// `x0` is hard-wired to zero. Associated constants expose both the raw names
+/// and the standard ABI names (`A0`, `T0`, `S0`, ...).
+///
+/// # Example
+///
+/// ```
+/// use snitch_riscv::reg::IntReg;
+/// assert_eq!(IntReg::A0.index(), 10);
+/// assert_eq!(IntReg::A0.to_string(), "a0");
+/// assert_eq!(IntReg::new(10), IntReg::A0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct IntReg(u8);
+
+/// A floating-point register `f0..f31`.
+///
+/// With SSRs enabled, reads and writes of `ft0`/`ft1`/`ft2` (i.e. `f0..f2`)
+/// are redirected to the stream semantic registers.
+///
+/// # Example
+///
+/// ```
+/// use snitch_riscv::reg::FpReg;
+/// assert_eq!(FpReg::FT0.index(), 0);
+/// assert!(FpReg::FT0.is_ssr_candidate());
+/// assert!(!FpReg::FA0.is_ssr_candidate());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FpReg(u8);
+
+impl IntReg {
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    #[must_use]
+    pub const fn new(index: u8) -> Self {
+        assert!(index < 32, "integer register index out of range");
+        IntReg(index)
+    }
+
+    /// The register's index in `0..32`.
+    #[must_use]
+    pub fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this is the hard-wired zero register `x0`.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// All 32 integer registers in index order.
+    pub fn all() -> impl Iterator<Item = IntReg> {
+        (0..32).map(IntReg)
+    }
+
+    pub const ZERO: IntReg = IntReg(0);
+    pub const RA: IntReg = IntReg(1);
+    pub const SP: IntReg = IntReg(2);
+    pub const GP: IntReg = IntReg(3);
+    pub const TP: IntReg = IntReg(4);
+    pub const T0: IntReg = IntReg(5);
+    pub const T1: IntReg = IntReg(6);
+    pub const T2: IntReg = IntReg(7);
+    pub const S0: IntReg = IntReg(8);
+    pub const S1: IntReg = IntReg(9);
+    pub const A0: IntReg = IntReg(10);
+    pub const A1: IntReg = IntReg(11);
+    pub const A2: IntReg = IntReg(12);
+    pub const A3: IntReg = IntReg(13);
+    pub const A4: IntReg = IntReg(14);
+    pub const A5: IntReg = IntReg(15);
+    pub const A6: IntReg = IntReg(16);
+    pub const A7: IntReg = IntReg(17);
+    pub const S2: IntReg = IntReg(18);
+    pub const S3: IntReg = IntReg(19);
+    pub const S4: IntReg = IntReg(20);
+    pub const S5: IntReg = IntReg(21);
+    pub const S6: IntReg = IntReg(22);
+    pub const S7: IntReg = IntReg(23);
+    pub const S8: IntReg = IntReg(24);
+    pub const S9: IntReg = IntReg(25);
+    pub const S10: IntReg = IntReg(26);
+    pub const S11: IntReg = IntReg(27);
+    pub const T3: IntReg = IntReg(28);
+    pub const T4: IntReg = IntReg(29);
+    pub const T5: IntReg = IntReg(30);
+    pub const T6: IntReg = IntReg(31);
+}
+
+impl FpReg {
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    #[must_use]
+    pub const fn new(index: u8) -> Self {
+        assert!(index < 32, "fp register index out of range");
+        FpReg(index)
+    }
+
+    /// The register's index in `0..32`.
+    #[must_use]
+    pub fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this register is remapped to a stream when SSRs are enabled
+    /// (`ft0`/`ft1`/`ft2`, i.e. `f0..f2`).
+    #[must_use]
+    pub fn is_ssr_candidate(self) -> bool {
+        self.0 < 3
+    }
+
+    /// All 32 floating-point registers in index order.
+    pub fn all() -> impl Iterator<Item = FpReg> {
+        (0..32).map(FpReg)
+    }
+
+    pub const FT0: FpReg = FpReg(0);
+    pub const FT1: FpReg = FpReg(1);
+    pub const FT2: FpReg = FpReg(2);
+    pub const FT3: FpReg = FpReg(3);
+    pub const FT4: FpReg = FpReg(4);
+    pub const FT5: FpReg = FpReg(5);
+    pub const FT6: FpReg = FpReg(6);
+    pub const FT7: FpReg = FpReg(7);
+    pub const FS0: FpReg = FpReg(8);
+    pub const FS1: FpReg = FpReg(9);
+    pub const FA0: FpReg = FpReg(10);
+    pub const FA1: FpReg = FpReg(11);
+    pub const FA2: FpReg = FpReg(12);
+    pub const FA3: FpReg = FpReg(13);
+    pub const FA4: FpReg = FpReg(14);
+    pub const FA5: FpReg = FpReg(15);
+    pub const FA6: FpReg = FpReg(16);
+    pub const FA7: FpReg = FpReg(17);
+    pub const FS2: FpReg = FpReg(18);
+    pub const FS3: FpReg = FpReg(19);
+    pub const FS4: FpReg = FpReg(20);
+    pub const FS5: FpReg = FpReg(21);
+    pub const FS6: FpReg = FpReg(22);
+    pub const FS7: FpReg = FpReg(23);
+    pub const FS8: FpReg = FpReg(24);
+    pub const FS9: FpReg = FpReg(25);
+    pub const FS10: FpReg = FpReg(26);
+    pub const FS11: FpReg = FpReg(27);
+    pub const FT8: FpReg = FpReg(28);
+    pub const FT9: FpReg = FpReg(29);
+    pub const FT10: FpReg = FpReg(30);
+    pub const FT11: FpReg = FpReg(31);
+}
+
+const INT_NAMES: [&str; 32] = [
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3", "a4",
+    "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11", "t3", "t4",
+    "t5", "t6",
+];
+
+const FP_NAMES: [&str; 32] = [
+    "ft0", "ft1", "ft2", "ft3", "ft4", "ft5", "ft6", "ft7", "fs0", "fs1", "fa0", "fa1", "fa2",
+    "fa3", "fa4", "fa5", "fa6", "fa7", "fs2", "fs3", "fs4", "fs5", "fs6", "fs7", "fs8", "fs9",
+    "fs10", "fs11", "ft8", "ft9", "ft10", "ft11",
+];
+
+impl fmt::Display for IntReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(INT_NAMES[self.0 as usize])
+    }
+}
+
+impl fmt::Debug for IntReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "IntReg({self})")
+    }
+}
+
+impl fmt::Display for FpReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(FP_NAMES[self.0 as usize])
+    }
+}
+
+impl fmt::Debug for FpReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FpReg({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abi_names_map_to_indices() {
+        assert_eq!(IntReg::ZERO.index(), 0);
+        assert_eq!(IntReg::RA.index(), 1);
+        assert_eq!(IntReg::SP.index(), 2);
+        assert_eq!(IntReg::T0.index(), 5);
+        assert_eq!(IntReg::S0.index(), 8);
+        assert_eq!(IntReg::A7.index(), 17);
+        assert_eq!(IntReg::S11.index(), 27);
+        assert_eq!(IntReg::T6.index(), 31);
+        assert_eq!(FpReg::FT0.index(), 0);
+        assert_eq!(FpReg::FS0.index(), 8);
+        assert_eq!(FpReg::FA7.index(), 17);
+        assert_eq!(FpReg::FT11.index(), 31);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(IntReg::ZERO.to_string(), "zero");
+        assert_eq!(IntReg::new(15).to_string(), "a5");
+        assert_eq!(FpReg::new(0).to_string(), "ft0");
+        assert_eq!(FpReg::new(26).to_string(), "fs10");
+    }
+
+    #[test]
+    fn zero_detection() {
+        assert!(IntReg::ZERO.is_zero());
+        assert!(!IntReg::A0.is_zero());
+    }
+
+    #[test]
+    fn ssr_candidates_are_ft0_to_ft2() {
+        let cands: Vec<_> = FpReg::all().filter(|r| r.is_ssr_candidate()).collect();
+        assert_eq!(cands, vec![FpReg::FT0, FpReg::FT1, FpReg::FT2]);
+    }
+
+    #[test]
+    fn all_iterates_each_register_once() {
+        assert_eq!(IntReg::all().count(), 32);
+        assert_eq!(FpReg::all().count(), 32);
+        let mut seen = [false; 32];
+        for r in IntReg::all() {
+            assert!(!seen[r.index() as usize]);
+            seen[r.index() as usize] = true;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_rejects_out_of_range() {
+        let _ = IntReg::new(32);
+    }
+}

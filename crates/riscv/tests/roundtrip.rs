@@ -1,0 +1,263 @@
+//! Property tests: every constructible instruction encodes to a word that
+//! decodes back to the identical instruction.
+
+use proptest::prelude::*;
+use snitch_riscv::inst::Inst;
+use snitch_riscv::ops::*;
+use snitch_riscv::reg::{FpReg, IntReg};
+
+fn int_reg() -> impl Strategy<Value = IntReg> {
+    (0u8..32).prop_map(IntReg::new)
+}
+
+fn fp_reg() -> impl Strategy<Value = FpReg> {
+    (0u8..32).prop_map(FpReg::new)
+}
+
+fn imm12() -> impl Strategy<Value = i32> {
+    -2048i32..=2047
+}
+
+fn branch_offset() -> impl Strategy<Value = i32> {
+    (-2048i32..=2047).prop_map(|x| x * 2)
+}
+
+fn jal_offset() -> impl Strategy<Value = i32> {
+    (-(1i32 << 19)..(1 << 19)).prop_map(|x| x * 2)
+}
+
+fn fmt() -> impl Strategy<Value = FpFmt> {
+    prop_oneof![Just(FpFmt::S), Just(FpFmt::D)]
+}
+
+fn cmp_op() -> impl Strategy<Value = FpCmpOp> {
+    prop_oneof![Just(FpCmpOp::Eq), Just(FpCmpOp::Lt), Just(FpCmpOp::Le)]
+}
+
+fn cvt() -> impl Strategy<Value = IntCvt> {
+    prop_oneof![Just(IntCvt::W), Just(IntCvt::Wu)]
+}
+
+fn alu_imm_op() -> impl Strategy<Value = AluImmOp> {
+    prop_oneof![
+        Just(AluImmOp::Addi),
+        Just(AluImmOp::Slti),
+        Just(AluImmOp::Sltiu),
+        Just(AluImmOp::Xori),
+        Just(AluImmOp::Ori),
+        Just(AluImmOp::Andi),
+        Just(AluImmOp::Slli),
+        Just(AluImmOp::Srli),
+        Just(AluImmOp::Srai),
+    ]
+}
+
+fn alu_op() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::Sll),
+        Just(AluOp::Slt),
+        Just(AluOp::Sltu),
+        Just(AluOp::Xor),
+        Just(AluOp::Srl),
+        Just(AluOp::Sra),
+        Just(AluOp::Or),
+        Just(AluOp::And),
+        Just(AluOp::Mul),
+        Just(AluOp::Mulh),
+        Just(AluOp::Mulhsu),
+        Just(AluOp::Mulhu),
+        Just(AluOp::Div),
+        Just(AluOp::Divu),
+        Just(AluOp::Rem),
+        Just(AluOp::Remu),
+    ]
+}
+
+fn arb_inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        (int_reg(), (-(1i32 << 19)..(1 << 19)).prop_map(|x| x << 12))
+            .prop_map(|(rd, imm)| Inst::Lui { rd, imm }),
+        (int_reg(), (-(1i32 << 19)..(1 << 19)).prop_map(|x| x << 12))
+            .prop_map(|(rd, imm)| Inst::Auipc { rd, imm }),
+        (int_reg(), jal_offset()).prop_map(|(rd, offset)| Inst::Jal { rd, offset }),
+        (int_reg(), int_reg(), imm12()).prop_map(|(rd, rs1, offset)| Inst::Jalr { rd, rs1, offset }),
+        (
+            prop_oneof![
+                Just(BranchOp::Eq),
+                Just(BranchOp::Ne),
+                Just(BranchOp::Lt),
+                Just(BranchOp::Ge),
+                Just(BranchOp::Ltu),
+                Just(BranchOp::Geu)
+            ],
+            int_reg(),
+            int_reg(),
+            branch_offset()
+        )
+            .prop_map(|(op, rs1, rs2, offset)| Inst::Branch { op, rs1, rs2, offset }),
+        (
+            prop_oneof![Just(LoadOp::Lb), Just(LoadOp::Lh), Just(LoadOp::Lw), Just(LoadOp::Lbu), Just(LoadOp::Lhu)],
+            int_reg(),
+            int_reg(),
+            imm12()
+        )
+            .prop_map(|(op, rd, rs1, offset)| Inst::Load { op, rd, rs1, offset }),
+        (
+            prop_oneof![Just(StoreOp::Sb), Just(StoreOp::Sh), Just(StoreOp::Sw)],
+            int_reg(),
+            int_reg(),
+            imm12()
+        )
+            .prop_map(|(op, rs2, rs1, offset)| Inst::Store { op, rs2, rs1, offset }),
+        (alu_imm_op(), int_reg(), int_reg(), imm12()).prop_map(|(op, rd, rs1, imm)| {
+            let imm = match op {
+                AluImmOp::Slli | AluImmOp::Srli | AluImmOp::Srai => imm & 0x1f,
+                _ => imm,
+            };
+            Inst::OpImm { op, rd, rs1, imm }
+        }),
+        (alu_op(), int_reg(), int_reg(), int_reg())
+            .prop_map(|(op, rd, rs1, rs2)| Inst::OpReg { op, rd, rs1, rs2 }),
+        Just(Inst::Fence),
+        Just(Inst::Ecall),
+        Just(Inst::Ebreak),
+        (
+            prop_oneof![Just(CsrOp::Rw), Just(CsrOp::Rs), Just(CsrOp::Rc), Just(CsrOp::Rwi), Just(CsrOp::Rsi), Just(CsrOp::Rci)],
+            int_reg(),
+            0u16..4096,
+            0u8..32
+        )
+            .prop_map(|(op, rd, csr, src)| Inst::Csr { op, rd, csr, src }),
+        (fp_reg(), int_reg(), imm12()).prop_map(|(rd, rs1, offset)| Inst::Flw { rd, rs1, offset }),
+        (fp_reg(), int_reg(), imm12()).prop_map(|(rd, rs1, offset)| Inst::Fld { rd, rs1, offset }),
+        (fp_reg(), int_reg(), imm12()).prop_map(|(rs2, rs1, offset)| Inst::Fsw { rs2, rs1, offset }),
+        (fp_reg(), int_reg(), imm12()).prop_map(|(rs2, rs1, offset)| Inst::Fsd { rs2, rs1, offset }),
+        (
+            prop_oneof![
+                Just(FpAluOp::Add),
+                Just(FpAluOp::Sub),
+                Just(FpAluOp::Mul),
+                Just(FpAluOp::Div),
+                Just(FpAluOp::Min),
+                Just(FpAluOp::Max)
+            ],
+            fmt(),
+            fp_reg(),
+            fp_reg(),
+            fp_reg()
+        )
+            .prop_map(|(op, fmt, rd, rs1, rs2)| Inst::FpOp { op, fmt, rd, rs1, rs2 }),
+        (fmt(), fp_reg(), fp_reg()).prop_map(|(fmt, rd, rs1)| Inst::FpOp {
+            op: FpAluOp::Sqrt,
+            fmt,
+            rd,
+            rs1,
+            rs2: FpReg::FT0,
+        }),
+        (
+            prop_oneof![Just(FmaOp::Madd), Just(FmaOp::Msub), Just(FmaOp::Nmsub), Just(FmaOp::Nmadd)],
+            fmt(),
+            fp_reg(),
+            fp_reg(),
+            fp_reg(),
+            fp_reg()
+        )
+            .prop_map(|(op, fmt, rd, rs1, rs2, rs3)| Inst::FpFma { op, fmt, rd, rs1, rs2, rs3 }),
+        (
+            prop_oneof![Just(SgnjOp::Sgnj), Just(SgnjOp::Sgnjn), Just(SgnjOp::Sgnjx)],
+            fmt(),
+            fp_reg(),
+            fp_reg(),
+            fp_reg()
+        )
+            .prop_map(|(op, fmt, rd, rs1, rs2)| Inst::FpSgnj { op, fmt, rd, rs1, rs2 }),
+        (cmp_op(), fmt(), int_reg(), fp_reg(), fp_reg())
+            .prop_map(|(op, fmt, rd, rs1, rs2)| Inst::FpCmp { op, fmt, rd, rs1, rs2 }),
+        (cvt(), fmt(), int_reg(), fp_reg())
+            .prop_map(|(to, fmt, rd, rs1)| Inst::FpCvtF2I { to, fmt, rd, rs1 }),
+        (cvt(), fmt(), fp_reg(), int_reg())
+            .prop_map(|(from, fmt, rd, rs1)| Inst::FpCvtI2F { from, fmt, rd, rs1 }),
+        (fmt(), fp_reg(), fp_reg()).prop_map(|(to, rd, rs1)| Inst::FpCvtF2F { to, rd, rs1 }),
+        (int_reg(), fp_reg()).prop_map(|(rd, rs1)| Inst::FpMvF2X { rd, rs1 }),
+        (fp_reg(), int_reg()).prop_map(|(rd, rs1)| Inst::FpMvX2F { rd, rs1 }),
+        (fmt(), int_reg(), fp_reg()).prop_map(|(fmt, rd, rs1)| Inst::FpClass { fmt, rd, rs1 }),
+        (int_reg(), 1u8..=255, 0u8..16, 0u8..16).prop_map(|(rep, max_inst, stagger_max, stagger_mask)| {
+            Inst::FrepO { rep, max_inst, stagger_max, stagger_mask }
+        }),
+        (int_reg(), 1u8..=255, 0u8..16, 0u8..16).prop_map(|(rep, max_inst, stagger_max, stagger_mask)| {
+            Inst::FrepI { rep, max_inst, stagger_max, stagger_mask }
+        }),
+        (int_reg(), 0u16..0xd0).prop_filter_map("valid ssr addr", |(value, addr)| {
+            snitch_riscv::csr::SsrCfgWord::from_addr(addr).map(|_| Inst::Scfgwi { value, addr })
+        }),
+        (int_reg(), 0u16..0xd0).prop_filter_map("valid ssr addr", |(rd, addr)| {
+            snitch_riscv::csr::SsrCfgWord::from_addr(addr).map(|_| Inst::Scfgri { rd, addr })
+        }),
+        (int_reg(), int_reg()).prop_map(|(rs1, rs2)| Inst::Dma {
+            op: DmaOp::Src,
+            rd: IntReg::ZERO,
+            rs1,
+            rs2,
+            imm5: 0
+        }),
+        (int_reg(), int_reg()).prop_map(|(rs1, rs2)| Inst::Dma {
+            op: DmaOp::Dst,
+            rd: IntReg::ZERO,
+            rs1,
+            rs2,
+            imm5: 0
+        }),
+        (int_reg(), int_reg(), 0u8..32).prop_map(|(rd, rs1, imm5)| Inst::Dma {
+            op: DmaOp::CpyI,
+            rd,
+            rs1,
+            rs2: IntReg::ZERO,
+            imm5
+        }),
+        (int_reg(), 0u8..32).prop_map(|(rd, imm5)| Inst::Dma {
+            op: DmaOp::StatI,
+            rd,
+            rs1: IntReg::ZERO,
+            rs2: IntReg::ZERO,
+            imm5
+        }),
+        (cmp_op(), fp_reg(), fp_reg(), fp_reg())
+            .prop_map(|(op, rd, rs1, rs2)| Inst::CopiftCmp { op, rd, rs1, rs2 }),
+        (cvt(), fp_reg(), fp_reg()).prop_map(|(to, rd, rs1)| Inst::CopiftCvtF2I { to, rd, rs1 }),
+        (cvt(), fp_reg(), fp_reg()).prop_map(|(from, rd, rs1)| Inst::CopiftCvtI2F { from, rd, rs1 }),
+        (fp_reg(), fp_reg()).prop_map(|(rd, rs1)| Inst::CopiftClass { rd, rs1 }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2048))]
+
+    #[test]
+    fn encode_decode_roundtrip(inst in arb_inst()) {
+        let word = inst.encode();
+        let decoded = Inst::decode(word).expect("every encodable instruction must decode");
+        prop_assert_eq!(decoded, inst);
+    }
+
+    #[test]
+    fn disassembly_is_nonempty_and_stable(inst in arb_inst()) {
+        let text = inst.to_string();
+        prop_assert!(!text.is_empty());
+        // Disassembly of the decoded instruction matches the original's.
+        let decoded = Inst::decode(inst.encode()).unwrap();
+        prop_assert_eq!(decoded.to_string(), text);
+    }
+
+    #[test]
+    fn decode_never_panics(word in any::<u32>()) {
+        let _ = Inst::decode(word);
+    }
+
+    #[test]
+    fn defs_and_uses_are_bounded(inst in arb_inst()) {
+        prop_assert!(inst.uses().len() <= 3);
+        prop_assert!(inst.defs().len() <= 1);
+    }
+}

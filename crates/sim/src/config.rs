@@ -1,0 +1,117 @@
+//! Cluster configuration.
+
+/// Microarchitectural parameters of the simulated Snitch cluster.
+///
+/// Defaults follow the published Snitch core (Zaruba et al., IEEE TC 2021)
+/// and the configuration used in the COPIFT paper (§III); every deviation is
+/// called out in `DESIGN.md`.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    // ---- integer core ----
+    /// Extra cycles lost on a taken branch or jump (pipeline refill).
+    pub branch_penalty: u32,
+    /// Cycles from issue of a TCDM load until the result writes back
+    /// (dependent instructions can issue that cycle): load-use distance.
+    pub load_latency: u32,
+    /// Additional load latency when the access targets main memory instead
+    /// of the TCDM.
+    pub main_mem_extra_latency: u32,
+    /// Integer multiply write-back latency. With a single RF write port this
+    /// is the source of the structural hazards the paper blames for the LCG
+    /// kernels' residual stalls.
+    pub mul_latency: u32,
+    /// Integer divide latency (non-pipelined).
+    pub div_latency: u32,
+    /// Number of integer register-file write ports (Snitch: 1).
+    pub int_wb_ports: u32,
+
+    // ---- instruction fetch ----
+    /// L0 instruction-buffer capacity in instructions. The paper: loop bodies
+    /// "less than 64 instructions ... entirely fit in Snitch's L0 I$".
+    pub l0_capacity: usize,
+
+    // ---- FP subsystem ----
+    /// Depth of the accelerator offload FIFO between the integer core and
+    /// the FP subsystem. Bounds integer-thread run-ahead.
+    pub offload_fifo_depth: usize,
+    /// FREP sequencer ring-buffer capacity in instructions.
+    pub sequencer_depth: usize,
+    /// FPU latency of add/sub/mul/FMA (pipelined).
+    pub fpu_lat_muladd: u32,
+    /// FPU latency of comparisons, sign injection, min/max, moves,
+    /// classification and the COPIFT custom-1 instructions.
+    pub fpu_lat_short: u32,
+    /// FPU latency of conversions.
+    pub fpu_lat_cvt: u32,
+    /// FPU latency of divide/sqrt (iterative, non-pipelined).
+    pub fpu_lat_divsqrt: u32,
+    /// FP load latency from the TCDM.
+    pub fp_load_latency: u32,
+
+    // ---- SSR streamers ----
+    /// Per-streamer data FIFO depth.
+    pub ssr_fifo_depth: usize,
+
+    // ---- TCDM ----
+    /// Number of 64-bit TCDM banks.
+    pub tcdm_banks: usize,
+
+    // ---- DMA ----
+    /// DMA throughput in bytes per cycle.
+    pub dma_bytes_per_cycle: u32,
+
+    // ---- harness ----
+    /// Watchdog: abort the run after this many cycles.
+    pub max_cycles: u64,
+    /// Record a full instruction trace (costly; for debugging).
+    pub trace: bool,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            branch_penalty: 2,
+            load_latency: 2,
+            main_mem_extra_latency: 8,
+            mul_latency: 2,
+            div_latency: 12,
+            int_wb_ports: 1,
+            l0_capacity: 64,
+            offload_fifo_depth: 8,
+            sequencer_depth: 128,
+            fpu_lat_muladd: 3,
+            fpu_lat_short: 1,
+            fpu_lat_cvt: 2,
+            fpu_lat_divsqrt: 21,
+            fp_load_latency: 2,
+            ssr_fifo_depth: 4,
+            tcdm_banks: 32,
+            dma_bytes_per_cycle: 8,
+            max_cycles: 200_000_000,
+            trace: false,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// Configuration with tracing enabled.
+    #[must_use]
+    pub fn traced() -> Self {
+        ClusterConfig { trace: true, ..ClusterConfig::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_design_document() {
+        let c = ClusterConfig::default();
+        assert_eq!(c.l0_capacity, 64);
+        assert_eq!(c.tcdm_banks, 32);
+        assert_eq!(c.int_wb_ports, 1);
+        assert_eq!(c.mul_latency, 2);
+        assert!(!c.trace);
+    }
+}

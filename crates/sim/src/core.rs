@@ -1,0 +1,612 @@
+//! The in-order single-issue integer core.
+//!
+//! Timing model (see `DESIGN.md` §3):
+//!
+//! * one instruction issued per cycle at most; FP instructions occupy the
+//!   issue slot and are pushed into the FPSS offload FIFO;
+//! * a scoreboard tracks per-register readiness; reads of a register pending
+//!   an FP→int write-back stall (Type 3 serialization);
+//! * the ALU and the multi-cycle mul/div unit share one register-file
+//!   write-back port: an instruction whose write-back cycle is already
+//!   claimed stalls at issue — the structural hazard the paper identifies in
+//!   the LCG kernels. Loads and FPSS responses return on a separate port;
+//! * taken branches pay a fixed refill penalty;
+//! * `scfgwi` to a busy streamer stalls until the stream completes, and the
+//!   FPU-fence CSR stalls until the FP subsystem and streamers drain.
+
+use snitch_riscv::csr::{SsrCfgWord, CSR_FPU_FENCE, CSR_MCYCLE, CSR_MINSTRET, CSR_SSR};
+use snitch_riscv::inst::Inst;
+use snitch_riscv::meta::RegRef;
+use snitch_riscv::ops::{CsrOp, DmaOp};
+use snitch_riscv::reg::IntReg;
+
+use crate::config::ClusterConfig;
+use crate::dma::Dma;
+use crate::error::SimFault;
+use crate::fpss::{Fpss, OffloadEntry};
+use crate::icache::L0Cache;
+use crate::mem::{Memory, TcdmArbiter};
+use crate::ssr::Ssr;
+use crate::stats::Stats;
+use snitch_asm::layout;
+
+/// Sentinel `ready_at` for a register awaiting an FP→int write-back.
+const PENDING_FP: u64 = u64::MAX;
+
+/// A pre-decoded instruction with the integer-side metadata the issue stage
+/// needs every cycle.
+#[derive(Clone, Copy, Debug)]
+pub struct Decoded {
+    /// The instruction.
+    pub inst: Inst,
+    /// Integer source registers (at most two).
+    pub int_srcs: [Option<IntReg>; 2],
+    /// Integer destination register, if any.
+    pub int_dst: Option<IntReg>,
+}
+
+impl Decoded {
+    /// Pre-decodes an instruction.
+    #[must_use]
+    pub fn new(inst: Inst) -> Self {
+        let mut int_srcs = [None, None];
+        let mut n = 0;
+        for u in inst.uses() {
+            if let RegRef::Int(r) = u {
+                if !r.is_zero() && n < 2 && !int_srcs.contains(&Some(r)) {
+                    int_srcs[n] = Some(r);
+                    n += 1;
+                }
+            }
+        }
+        let int_dst = inst.defs().into_iter().find_map(|d| match d {
+            RegRef::Int(r) => Some(r),
+            RegRef::Fp(_) => None,
+        });
+        // FP instructions that write the integer RF also define an int reg.
+        let int_dst = int_dst.or(match inst {
+            Inst::FpCmp { rd, .. }
+            | Inst::FpCvtF2I { rd, .. }
+            | Inst::FpMvF2X { rd, .. }
+            | Inst::FpClass { rd, .. } => {
+                if rd.is_zero() {
+                    None
+                } else {
+                    Some(rd)
+                }
+            }
+            _ => None,
+        });
+        Decoded { inst, int_srcs, int_dst }
+    }
+}
+
+/// The integer core.
+#[derive(Clone, Debug)]
+pub struct IntCore {
+    pc: u32,
+    regs: [u32; 32],
+    ready_at: [u64; 32],
+    stall_until: u64,
+    /// Claimed ALU/mul write-back port slots: (cycle, claims).
+    wb_claims: Vec<(u64, u32)>,
+    halted: bool,
+}
+
+impl IntCore {
+    /// Creates a core with `pc` at the text base.
+    #[must_use]
+    pub fn new() -> Self {
+        IntCore {
+            pc: layout::TEXT_BASE,
+            regs: [0; 32],
+            ready_at: [0; 32],
+            stall_until: 0,
+            wb_claims: Vec::with_capacity(8),
+            halted: false,
+        }
+    }
+
+    /// Current program counter.
+    #[must_use]
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Whether the core has executed `ecall`/`ebreak`.
+    #[must_use]
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Reads an integer register (for the harness).
+    #[must_use]
+    pub fn reg(&self, r: IntReg) -> u32 {
+        self.regs[r.index() as usize]
+    }
+
+    /// Delivers a completed FP→int write-back.
+    pub fn apply_writeback(&mut self, rd: IntReg, value: u32, now: u64) {
+        if !rd.is_zero() {
+            self.regs[rd.index() as usize] = value;
+            self.ready_at[rd.index() as usize] = now;
+        }
+    }
+
+    fn can_claim_wb(&self, cycle: u64, ports: u32) -> bool {
+        self.wb_claims.iter().find(|&&(c, _)| c == cycle).is_none_or(|&(_, n)| n < ports)
+    }
+
+    fn claim_wb(&mut self, cycle: u64) {
+        if let Some(e) = self.wb_claims.iter_mut().find(|e| e.0 == cycle) {
+            e.1 += 1;
+        } else {
+            self.wb_claims.push((cycle, 1));
+        }
+    }
+
+    fn write_reg(&mut self, rd: IntReg, value: u32, ready_at: u64) {
+        if !rd.is_zero() {
+            self.regs[rd.index() as usize] = value;
+            self.ready_at[rd.index() as usize] = ready_at;
+        }
+    }
+
+    /// One issue attempt. Returns `Err` on machine faults; sets
+    /// [`halted`](Self::halted) on `ecall`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn step(
+        &mut self,
+        now: u64,
+        cfg: &ClusterConfig,
+        text: &[Decoded],
+        l0: &mut L0Cache,
+        mem: &mut Memory,
+        arb: &mut TcdmArbiter,
+        fpss: &mut Fpss,
+        ssrs: &mut [Ssr; 3],
+        dma: &mut Dma,
+        stats: &mut Stats,
+    ) -> Result<(), SimFault> {
+        if self.halted {
+            return Ok(());
+        }
+        self.wb_claims.retain(|&(c, _)| c >= now);
+        if self.stall_until > now {
+            return Ok(());
+        }
+        let idx = (self.pc.wrapping_sub(layout::TEXT_BASE) / 4) as usize;
+        let Some(d) = text.get(idx) else {
+            return Err(SimFault::new(format!("pc {:#010x} outside text section", self.pc)));
+        };
+        let d = *d;
+
+        // ---- operand readiness ----
+        for src in d.int_srcs.iter().flatten() {
+            let r = self.ready_at[src.index() as usize];
+            if r > now {
+                if r == PENDING_FP {
+                    stats.stall_fp_pending += 1;
+                } else {
+                    stats.stall_int_raw += 1;
+                }
+                return Ok(());
+            }
+        }
+        if let Some(rd) = d.int_dst {
+            let r = self.ready_at[rd.index() as usize];
+            if r > now {
+                if r == PENDING_FP {
+                    stats.stall_fp_pending += 1;
+                } else {
+                    stats.stall_int_raw += 1;
+                }
+                return Ok(());
+            }
+        }
+
+        // ---- FP-domain offload (incl. FREP markers) ----
+        if d.inst.is_fp() || d.inst.is_frep() {
+            if !fpss.can_accept() {
+                stats.stall_offload_full += 1;
+                return Ok(());
+            }
+            let int_val = match d.inst {
+                Inst::Flw { rs1, offset, .. }
+                | Inst::Fld { rs1, offset, .. }
+                | Inst::Fsw { rs1, offset, .. }
+                | Inst::Fsd { rs1, offset, .. } => {
+                    Some(self.regs[rs1.index() as usize].wrapping_add(offset as u32))
+                }
+                Inst::FpCvtI2F { rs1, .. } | Inst::FpMvX2F { rs1, .. } => {
+                    Some(self.regs[rs1.index() as usize])
+                }
+                Inst::FrepO { rep, .. } | Inst::FrepI { rep, .. } => {
+                    Some(self.regs[rep.index() as usize])
+                }
+                _ => None,
+            };
+            if d.inst.fp_writes_int_rf() {
+                if let Some(rd) = d.int_dst {
+                    self.ready_at[rd.index() as usize] = PENDING_FP;
+                }
+            }
+            fpss.offload(OffloadEntry { inst: d.inst, int_val });
+            self.fetched(l0, stats);
+            if d.inst.is_frep() {
+                stats.int_issued += 1;
+            } else {
+                stats.fp_issued_core += 1;
+            }
+            self.pc = self.pc.wrapping_add(4);
+            return Ok(());
+        }
+
+        // ---- integer-side execution ----
+        match d.inst {
+            Inst::Lui { rd, imm } => {
+                if !self.issue_alu_like(now, cfg, l0, rd, imm as u32, 1, stats) {
+                    return Ok(());
+                }
+            }
+            Inst::Auipc { rd, imm } => {
+                let v = self.pc.wrapping_add(imm as u32);
+                if !self.issue_alu_like(now, cfg, l0, rd, v, 1, stats) {
+                    return Ok(());
+                }
+            }
+            Inst::OpImm { op, rd, rs1, imm } => {
+                let v = op.eval(self.regs[rs1.index() as usize], imm);
+                if !self.issue_alu_like(now, cfg, l0, rd, v, 1, stats) {
+                    return Ok(());
+                }
+            }
+            Inst::OpReg { op, rd, rs1, rs2 } => {
+                let lat = if op.is_div() {
+                    cfg.div_latency
+                } else if op.is_muldiv() {
+                    cfg.mul_latency
+                } else {
+                    1
+                };
+                let v = op.eval(self.regs[rs1.index() as usize], self.regs[rs2.index() as usize]);
+                if !self.issue_alu_like(now, cfg, l0, rd, v, lat, stats) {
+                    return Ok(());
+                }
+            }
+            Inst::Jal { rd, offset } => {
+                if !rd.is_zero() && !self.can_claim_wb(now + 1, cfg.int_wb_ports) {
+                    stats.stall_wb_port += 1;
+                    return Ok(());
+                }
+                let link = self.pc.wrapping_add(4);
+                if !rd.is_zero() {
+                    self.claim_wb(now + 1);
+                }
+                self.write_reg(rd, link, now + 1);
+                self.fetched(l0, stats);
+                stats.int_issued += 1;
+                self.pc = self.pc.wrapping_add(offset as u32);
+                self.stall_until = now + 1 + u64::from(cfg.branch_penalty);
+                stats.stall_branch += u64::from(cfg.branch_penalty);
+                return Ok(());
+            }
+            Inst::Jalr { rd, rs1, offset } => {
+                if !rd.is_zero() && !self.can_claim_wb(now + 1, cfg.int_wb_ports) {
+                    stats.stall_wb_port += 1;
+                    return Ok(());
+                }
+                let target = self.regs[rs1.index() as usize].wrapping_add(offset as u32) & !1;
+                let link = self.pc.wrapping_add(4);
+                if !rd.is_zero() {
+                    self.claim_wb(now + 1);
+                }
+                self.write_reg(rd, link, now + 1);
+                self.fetched(l0, stats);
+                stats.int_issued += 1;
+                self.pc = target;
+                self.stall_until = now + 1 + u64::from(cfg.branch_penalty);
+                stats.stall_branch += u64::from(cfg.branch_penalty);
+                return Ok(());
+            }
+            Inst::Branch { op, rs1, rs2, offset } => {
+                let taken =
+                    op.taken(self.regs[rs1.index() as usize], self.regs[rs2.index() as usize]);
+                self.fetched(l0, stats);
+                stats.int_issued += 1;
+                if taken {
+                    self.pc = self.pc.wrapping_add(offset as u32);
+                    self.stall_until = now + 1 + u64::from(cfg.branch_penalty);
+                    stats.stall_branch += u64::from(cfg.branch_penalty);
+                } else {
+                    self.pc = self.pc.wrapping_add(4);
+                }
+                return Ok(());
+            }
+            Inst::Load { op, rd, rs1, offset } => {
+                // Integer loads may not bypass queued FP stores (single-
+                // thread memory ordering; see Fpss::has_pending_stores).
+                if fpss.has_pending_stores() {
+                    stats.stall_store_order += 1;
+                    return Ok(());
+                }
+                let addr = self.regs[rs1.index() as usize].wrapping_add(offset as u32);
+                let lat = if layout::is_tcdm(addr) {
+                    if !arb.request(addr) {
+                        stats.stall_tcdm_conflict += 1;
+                        return Ok(());
+                    }
+                    stats.tcdm_core_accesses += 1;
+                    cfg.load_latency
+                } else {
+                    stats.main_mem_accesses += 1;
+                    cfg.load_latency + cfg.main_mem_extra_latency
+                };
+                let raw = mem.read(addr, op.size()).map_err(SimFault::from)? as u32;
+                let v = match op {
+                    snitch_riscv::ops::LoadOp::Lb => (raw as i8) as i32 as u32,
+                    snitch_riscv::ops::LoadOp::Lh => (raw as i16) as i32 as u32,
+                    _ => raw,
+                };
+                self.write_reg(rd, v, now + u64::from(lat));
+                self.fetched(l0, stats);
+                stats.int_issued += 1;
+            }
+            Inst::Store { op, rs2, rs1, offset } => {
+                let addr = self.regs[rs1.index() as usize].wrapping_add(offset as u32);
+                if layout::is_tcdm(addr) {
+                    if !arb.request(addr) {
+                        stats.stall_tcdm_conflict += 1;
+                        return Ok(());
+                    }
+                    stats.tcdm_core_accesses += 1;
+                } else {
+                    stats.main_mem_accesses += 1;
+                }
+                mem.write(addr, op.size(), u64::from(self.regs[rs2.index() as usize]))
+                    .map_err(SimFault::from)?;
+                self.fetched(l0, stats);
+                stats.int_issued += 1;
+            }
+            Inst::Fence => {
+                self.fetched(l0, stats);
+                stats.int_issued += 1;
+            }
+            Inst::Ecall | Inst::Ebreak => {
+                self.fetched(l0, stats);
+                stats.int_issued += 1;
+                self.halted = true;
+                return Ok(());
+            }
+            Inst::Csr { op, rd, csr, src } => {
+                if !self.issue_csr(now, cfg, l0, op, rd, csr, src, fpss, ssrs, stats) {
+                    return Ok(());
+                }
+            }
+            Inst::Scfgwi { value, addr } => {
+                let Some((word, i)) = SsrCfgWord::from_addr(addr) else {
+                    return Err(SimFault::new(format!("invalid ssr config address {addr:#x}")));
+                };
+                if ssrs[i].busy() {
+                    stats.stall_ssr_cfg += 1;
+                    return Ok(());
+                }
+                ssrs[i].write_cfg(word, self.regs[value.index() as usize]);
+                self.fetched(l0, stats);
+                stats.int_issued += 1;
+            }
+            Inst::Scfgri { rd, addr } => {
+                let Some((word, i)) = SsrCfgWord::from_addr(addr) else {
+                    return Err(SimFault::new(format!("invalid ssr config address {addr:#x}")));
+                };
+                let v = ssrs[i].read_cfg(word);
+                if !self.issue_alu_like(now, cfg, l0, rd, v, 1, stats) {
+                    return Ok(());
+                }
+            }
+            Inst::Dma { op, rd, rs1, rs2, imm5: _ } => {
+                let a = self.regs[rs1.index() as usize];
+                let b = self.regs[rs2.index() as usize];
+                match op {
+                    DmaOp::Src => dma.set_src(a),
+                    DmaOp::Dst => dma.set_dst(a),
+                    DmaOp::Str => dma.set_strides(a, b),
+                    DmaOp::Rep => dma.set_reps(a),
+                    DmaOp::CpyI => {
+                        let id = dma.start(a);
+                        if !self.issue_alu_like(now, cfg, l0, rd, id, 1, stats) {
+                            return Ok(());
+                        }
+                        self.pc = self.pc.wrapping_add(4);
+                        return Ok(());
+                    }
+                    DmaOp::StatI => {
+                        let v = dma.outstanding();
+                        if !self.issue_alu_like(now, cfg, l0, rd, v, 1, stats) {
+                            return Ok(());
+                        }
+                        self.pc = self.pc.wrapping_add(4);
+                        return Ok(());
+                    }
+                }
+                self.fetched(l0, stats);
+                stats.int_issued += 1;
+            }
+            other => {
+                return Err(SimFault::new(format!("unhandled integer instruction `{other}`")));
+            }
+        }
+        self.pc = self.pc.wrapping_add(4);
+        Ok(())
+    }
+
+    /// Issues an ALU-like operation writing `rd` with `latency` on the shared
+    /// write-back port. Returns false (and counts a stall) if the port is
+    /// already claimed for the write-back cycle.
+    #[allow(clippy::too_many_arguments)]
+    fn issue_alu_like(
+        &mut self,
+        now: u64,
+        cfg: &ClusterConfig,
+        l0: &mut L0Cache,
+        rd: IntReg,
+        value: u32,
+        latency: u32,
+        stats: &mut Stats,
+    ) -> bool {
+        let wb_cycle = now + u64::from(latency);
+        if !rd.is_zero() {
+            if !self.can_claim_wb(wb_cycle, cfg.int_wb_ports) {
+                stats.stall_wb_port += 1;
+                return false;
+            }
+            self.claim_wb(wb_cycle);
+        }
+        self.write_reg(rd, value, wb_cycle);
+        self.fetched(l0, stats);
+        stats.int_issued += 1;
+        true
+    }
+
+    /// Fetch-path accounting; called exactly once per issued instruction.
+    fn fetched(&mut self, l0: &mut L0Cache, stats: &mut Stats) {
+        if l0.fetch(self.pc) {
+            stats.l0_hits += 1;
+        } else {
+            stats.l0_misses += 1;
+        }
+    }
+}
+
+impl Default for IntCore {
+    fn default() -> Self {
+        IntCore::new()
+    }
+}
+
+impl IntCore {
+    #[allow(clippy::too_many_arguments)]
+    fn issue_csr(
+        &mut self,
+        now: u64,
+        cfg: &ClusterConfig,
+        l0: &mut L0Cache,
+        op: CsrOp,
+        rd: IntReg,
+        csr: u16,
+        src: u8,
+        fpss: &mut Fpss,
+        ssrs: &mut [Ssr; 3],
+        stats: &mut Stats,
+    ) -> bool {
+        let old: u32 = match csr {
+            CSR_SSR => u32::from(fpss.ssr_enabled()),
+            CSR_FPU_FENCE => {
+                let drained = fpss.drained(now) && ssrs.iter().all(|s| !s.busy());
+                if !drained {
+                    stats.stall_fence += 1;
+                    return false;
+                }
+                0
+            }
+            CSR_MCYCLE => now as u32,
+            CSR_MINSTRET => stats.instructions() as u32,
+            _ => 0,
+        };
+        let wmask: Option<u32> = match op {
+            CsrOp::Rw | CsrOp::Rwi => Some(self.src_value(op, src)),
+            CsrOp::Rs | CsrOp::Rsi => {
+                let v = self.src_value(op, src);
+                if v == 0 {
+                    None
+                } else {
+                    Some(old | v)
+                }
+            }
+            CsrOp::Rc | CsrOp::Rci => {
+                let v = self.src_value(op, src);
+                if v == 0 {
+                    None
+                } else {
+                    Some(old & !v)
+                }
+            }
+        };
+        if let Some(new) = wmask {
+            if csr == CSR_SSR {
+                fpss.set_ssr_enabled(new & 1 != 0);
+            }
+            // Other CSRs are read-only or scratch in this model.
+        }
+        self.issue_alu_like(now, cfg, l0, rd, old, 1, stats)
+    }
+
+    fn src_value(&self, op: CsrOp, src: u8) -> u32 {
+        if op.is_imm() {
+            u32::from(src)
+        } else {
+            self.regs[usize::from(src)]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snitch_riscv::ops::{AluImmOp, AluOp};
+
+    #[test]
+    fn decoded_extracts_int_metadata() {
+        let d = Decoded::new(Inst::OpReg {
+            op: AluOp::Add,
+            rd: IntReg::A0,
+            rs1: IntReg::A1,
+            rs2: IntReg::A2,
+        });
+        assert_eq!(d.int_srcs, [Some(IntReg::A1), Some(IntReg::A2)]);
+        assert_eq!(d.int_dst, Some(IntReg::A0));
+
+        // Duplicate sources collapse; x0 is ignored.
+        let d = Decoded::new(Inst::OpReg {
+            op: AluOp::Add,
+            rd: IntReg::ZERO,
+            rs1: IntReg::A1,
+            rs2: IntReg::A1,
+        });
+        assert_eq!(d.int_srcs, [Some(IntReg::A1), None]);
+        assert_eq!(d.int_dst, None);
+    }
+
+    #[test]
+    fn decoded_flags_fp_to_int_destinations() {
+        let d = Decoded::new(Inst::FpCmp {
+            op: snitch_riscv::ops::FpCmpOp::Lt,
+            fmt: snitch_riscv::ops::FpFmt::D,
+            rd: IntReg::A0,
+            rs1: snitch_riscv::reg::FpReg::FA0,
+            rs2: snitch_riscv::reg::FpReg::FA1,
+        });
+        assert_eq!(d.int_dst, Some(IntReg::A0));
+    }
+
+    #[test]
+    fn wb_port_claims() {
+        let mut c = IntCore::new();
+        assert!(c.can_claim_wb(5, 1));
+        c.claim_wb(5);
+        assert!(!c.can_claim_wb(5, 1));
+        assert!(c.can_claim_wb(5, 2));
+        assert!(c.can_claim_wb(6, 1));
+    }
+
+    #[test]
+    fn decoded_addi_sources() {
+        let d = Decoded::new(Inst::OpImm {
+            op: AluImmOp::Addi,
+            rd: IntReg::A0,
+            rs1: IntReg::ZERO,
+            imm: 5,
+        });
+        assert_eq!(d.int_srcs, [None, None]);
+    }
+}

@@ -1,0 +1,253 @@
+//! Cluster DMA engine (Snitch xdma).
+//!
+//! Programmed through `dmsrc`/`dmdst`/`dmstr`/`dmrep`/`dmcpyi`; moves data
+//! between main memory and the TCDM at a configurable rate (default
+//! 8 B/cycle), arbitrating for TCDM banks against the cores and SSRs.
+//! 2-D transfers (`dmrep` + `dmstr`) are expanded into row segments.
+
+use std::collections::VecDeque;
+
+use crate::mem::{Memory, TcdmArbiter};
+use snitch_asm::layout;
+
+#[derive(Clone, Copy, Debug)]
+struct Segment {
+    src: u32,
+    dst: u32,
+    remaining: u32,
+}
+
+/// The DMA engine.
+#[derive(Clone, Debug)]
+pub struct Dma {
+    bytes_per_cycle: u32,
+    src: u32,
+    dst: u32,
+    src_stride: u32,
+    dst_stride: u32,
+    reps: u32,
+    queue: VecDeque<Segment>,
+    current: Option<Segment>,
+    next_id: u32,
+    busy_cycles: u64,
+    beats: u64,
+}
+
+impl Dma {
+    /// Creates an idle engine.
+    #[must_use]
+    pub fn new(bytes_per_cycle: u32) -> Self {
+        assert!(bytes_per_cycle > 0);
+        Dma {
+            bytes_per_cycle,
+            src: 0,
+            dst: 0,
+            src_stride: 0,
+            dst_stride: 0,
+            reps: 0,
+            queue: VecDeque::new(),
+            current: None,
+            next_id: 0,
+            busy_cycles: 0,
+            beats: 0,
+        }
+    }
+
+    /// `dmsrc`: sets the source address.
+    pub fn set_src(&mut self, addr: u32) {
+        self.src = addr;
+    }
+
+    /// `dmdst`: sets the destination address.
+    pub fn set_dst(&mut self, addr: u32) {
+        self.dst = addr;
+    }
+
+    /// `dmstr`: sets source and destination strides for 2-D transfers.
+    pub fn set_strides(&mut self, src_stride: u32, dst_stride: u32) {
+        self.src_stride = src_stride;
+        self.dst_stride = dst_stride;
+    }
+
+    /// `dmrep`: sets the repetition count for 2-D transfers.
+    pub fn set_reps(&mut self, reps: u32) {
+        self.reps = reps;
+    }
+
+    /// `dmcpyi`: enqueues a transfer of `size` bytes (per row, if 2-D) and
+    /// returns the transfer id.
+    pub fn start(&mut self, size: u32) -> u32 {
+        let rows = self.reps.max(1);
+        for r in 0..rows {
+            self.queue.push_back(Segment {
+                src: self.src.wrapping_add(r * self.src_stride),
+                dst: self.dst.wrapping_add(r * self.dst_stride),
+                remaining: size,
+            });
+        }
+        // One-shot: 2-D state does not persist across transfers.
+        self.reps = 0;
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// `dmstati`: number of outstanding transfers (queued + active).
+    #[must_use]
+    pub fn outstanding(&self) -> u32 {
+        self.queue.len() as u32 + u32::from(self.current.is_some())
+    }
+
+    /// Whether the engine is idle.
+    #[must_use]
+    pub fn idle(&self) -> bool {
+        self.outstanding() == 0
+    }
+
+    /// Cycles spent moving data (or blocked on arbitration).
+    #[must_use]
+    pub fn busy_cycles(&self) -> u64 {
+        self.busy_cycles
+    }
+
+    /// 64-bit (or partial) beats transferred.
+    #[must_use]
+    pub fn beats(&self) -> u64 {
+        self.beats
+    }
+
+    /// One cycle of DMA work. Returns the number of TCDM accesses performed.
+    pub fn step(&mut self, mem: &mut Memory, arb: &mut TcdmArbiter) -> u32 {
+        if self.current.is_none() {
+            self.current = self.queue.pop_front();
+        }
+        let Some(seg) = &mut self.current else {
+            return 0;
+        };
+        self.busy_cycles += 1;
+        let chunk = seg.remaining.min(self.bytes_per_cycle);
+        // Arbitrate for whichever side (or both) touches the TCDM.
+        let mut tcdm_accesses = 0;
+        if layout::is_tcdm(seg.src) {
+            if !arb.request(seg.src) {
+                return 0;
+            }
+            tcdm_accesses += 1;
+        }
+        if layout::is_tcdm(seg.dst) && !arb.request(seg.dst) {
+            return tcdm_accesses;
+        } else if layout::is_tcdm(seg.dst) {
+            tcdm_accesses += 1;
+        }
+        let val = mem.read(seg.src, chunk).expect("dma source read");
+        mem.write(seg.dst, chunk, val).expect("dma destination write");
+        seg.src = seg.src.wrapping_add(chunk);
+        seg.dst = seg.dst.wrapping_add(chunk);
+        seg.remaining -= chunk;
+        self.beats += 1;
+        if seg.remaining == 0 {
+            self.current = None;
+        }
+        tcdm_accesses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snitch_asm::layout::{MAIN_BASE, TCDM_BASE};
+
+    #[test]
+    fn one_dimensional_copy_main_to_tcdm() {
+        let mut mem = Memory::new();
+        for i in 0..8u32 {
+            mem.write(MAIN_BASE + i * 8, 8, u64::from(i) + 50).unwrap();
+        }
+        let mut arb = TcdmArbiter::new(32);
+        let mut dma = Dma::new(8);
+        dma.set_src(MAIN_BASE);
+        dma.set_dst(TCDM_BASE + 256);
+        let id = dma.start(64);
+        assert_eq!(id, 0);
+        assert_eq!(dma.outstanding(), 1);
+        let mut cycles = 0;
+        while !dma.idle() {
+            arb.begin_cycle();
+            dma.step(&mut mem, &mut arb);
+            cycles += 1;
+            assert!(cycles < 100);
+        }
+        for i in 0..8u32 {
+            assert_eq!(mem.read(TCDM_BASE + 256 + i * 8, 8).unwrap(), u64::from(i) + 50);
+        }
+        assert_eq!(dma.beats(), 8);
+        assert_eq!(cycles, 8, "8 bytes per cycle");
+    }
+
+    #[test]
+    fn two_dimensional_copy_expands_rows() {
+        let mut mem = Memory::new();
+        for i in 0..16u32 {
+            mem.write(MAIN_BASE + i * 4, 4, u64::from(i)).unwrap();
+        }
+        let mut arb = TcdmArbiter::new(32);
+        let mut dma = Dma::new(8);
+        dma.set_src(MAIN_BASE);
+        dma.set_dst(TCDM_BASE);
+        dma.set_strides(32, 16); // gather every other 16-byte row
+        dma.set_reps(2);
+        dma.start(16);
+        while !dma.idle() {
+            arb.begin_cycle();
+            dma.step(&mut mem, &mut arb);
+        }
+        // Row 0 = words 0..3, row 1 = words 8..11.
+        assert_eq!(mem.read(TCDM_BASE, 4).unwrap(), 0);
+        assert_eq!(mem.read(TCDM_BASE + 16, 4).unwrap(), 8);
+        // 2-D state is one-shot.
+        dma.set_src(MAIN_BASE);
+        dma.set_dst(TCDM_BASE + 1024);
+        dma.start(8);
+        assert_eq!(dma.outstanding(), 1);
+    }
+
+    #[test]
+    fn second_transfer_queues_behind_first() {
+        let mut mem = Memory::new();
+        let mut arb = TcdmArbiter::new(32);
+        let mut dma = Dma::new(8);
+        dma.set_src(MAIN_BASE);
+        dma.set_dst(TCDM_BASE);
+        dma.start(32);
+        dma.set_src(MAIN_BASE + 64);
+        dma.set_dst(TCDM_BASE + 64);
+        let id = dma.start(32);
+        assert_eq!(id, 1);
+        assert_eq!(dma.outstanding(), 2);
+        arb.begin_cycle();
+        dma.step(&mut mem, &mut arb);
+        assert_eq!(dma.outstanding(), 2, "first still active");
+        for _ in 0..16 {
+            arb.begin_cycle();
+            dma.step(&mut mem, &mut arb);
+        }
+        assert!(dma.idle());
+    }
+
+    #[test]
+    fn blocked_bank_stalls_dma() {
+        let mut mem = Memory::new();
+        let mut arb = TcdmArbiter::new(32);
+        let mut dma = Dma::new(8);
+        dma.set_src(MAIN_BASE);
+        dma.set_dst(TCDM_BASE);
+        dma.start(8);
+        arb.begin_cycle();
+        assert!(arb.request(TCDM_BASE)); // someone else owns bank 0
+        assert_eq!(dma.step(&mut mem, &mut arb), 0);
+        assert!(!dma.idle());
+        arb.begin_cycle();
+        dma.step(&mut mem, &mut arb);
+        assert!(dma.idle());
+    }
+}

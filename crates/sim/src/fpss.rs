@@ -1,0 +1,1038 @@
+//! The FP subsystem (FPSS): offload FIFO, FREP sequencer, FPU timing and the
+//! SSR register interface.
+//!
+//! FP instructions are issued by the integer core and pushed into an offload
+//! FIFO (each push consumes one integer issue slot — this is why baseline
+//! RV32G code can never exceed IPC 1). The sequencer pops the FIFO in order;
+//! an `frep.o` marker makes it capture the next `max_inst` FP instructions
+//! into a ring buffer while issuing them once (iteration 0), then replay the
+//! ring `rep` more times *without* involving the integer core — Snitch's
+//! *pseudo dual-issue*. Only one hardware loop is active at a time; later
+//! offloads queue in the FIFO, whose backpressure bounds how far the integer
+//! thread can run ahead (this is what makes COPIFT's double/triple buffering
+//! sufficient).
+
+use std::collections::VecDeque;
+
+use snitch_riscv::inst::Inst;
+use snitch_riscv::meta::InstClass;
+use snitch_riscv::ops::{FpAluOp, FpCmpOp, FpFmt, IntCvt, SgnjOp};
+use snitch_riscv::reg::{FpReg, IntReg};
+
+use crate::config::ClusterConfig;
+use crate::error::SimFault;
+use crate::mem::{Memory, TcdmArbiter};
+use crate::ssr::Ssr;
+use crate::stats::Stats;
+use snitch_asm::layout;
+
+/// An instruction offloaded by the integer core, with any integer operand
+/// captured at issue time (register value, computed address, or FREP
+/// repetition count).
+#[derive(Clone, Copy, Debug)]
+pub struct OffloadEntry {
+    /// The offloaded instruction (an FP instruction or an FREP marker).
+    pub inst: Inst,
+    /// Captured integer operand, if the instruction consumes one.
+    pub int_val: Option<u32>,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SeqState {
+    Idle,
+    Capture { remaining: u8, rep: u32, stagger_max: u8, stagger_mask: u8, inst_major: bool },
+    /// `inst_major` = `frep.i`: each instruction repeats back-to-back before
+    /// the next; otherwise (`frep.o`) the whole sequence repeats.
+    Replay { iter: u32, total: u32, pos: usize, stagger_max: u8, stagger_mask: u8, inst_major: bool },
+}
+
+/// A completed FP→integer write-back to deliver to the core.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IntWriteback {
+    /// Destination integer register.
+    pub rd: IntReg,
+    /// Value to write.
+    pub value: u32,
+}
+
+/// The FP subsystem.
+#[derive(Clone, Debug)]
+pub struct Fpss {
+    fifo: VecDeque<OffloadEntry>,
+    fifo_capacity: usize,
+    ring: Vec<OffloadEntry>,
+    ring_capacity: usize,
+    seq: SeqState,
+    regs: [u64; 32],
+    ready_at: [u64; 32],
+    ssr_enabled: bool,
+    pending_stores: usize,
+    divsqrt_busy_until: u64,
+    busy_until: u64,
+    int_wb: Vec<(u64, IntWriteback)>,
+    ssr_pushes: Vec<(u64, usize, u64)>,
+}
+
+impl Fpss {
+    /// Creates an idle FP subsystem.
+    #[must_use]
+    pub fn new(cfg: &ClusterConfig) -> Self {
+        Fpss {
+            fifo: VecDeque::with_capacity(cfg.offload_fifo_depth),
+            fifo_capacity: cfg.offload_fifo_depth,
+            ring: Vec::with_capacity(cfg.sequencer_depth),
+            ring_capacity: cfg.sequencer_depth,
+            seq: SeqState::Idle,
+            regs: [0; 32],
+            ready_at: [0; 32],
+            ssr_enabled: false,
+            pending_stores: 0,
+            divsqrt_busy_until: 0,
+            busy_until: 0,
+            int_wb: Vec::new(),
+            ssr_pushes: Vec::new(),
+        }
+    }
+
+    /// Whether the offload FIFO can accept another instruction.
+    #[must_use]
+    pub fn can_accept(&self) -> bool {
+        self.fifo.len() < self.fifo_capacity
+    }
+
+    /// Pushes an offloaded instruction (the core's issue slot for it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the FIFO is full; callers check [`can_accept`](Self::can_accept).
+    pub fn offload(&mut self, entry: OffloadEntry) {
+        assert!(self.can_accept(), "offload into full FIFO");
+        if matches!(entry.inst, Inst::Fsw { .. } | Inst::Fsd { .. }) {
+            self.pending_stores += 1;
+        }
+        self.fifo.push_back(entry);
+    }
+
+    /// Whether FP stores are still queued (not yet performed). Integer loads
+    /// must wait for them to preserve the single-thread memory ordering the
+    /// baseline RV32G kernels rely on (e.g. `fsd ki; lw ki` in the paper's
+    /// Fig. 1b).
+    #[must_use]
+    pub fn has_pending_stores(&self) -> bool {
+        self.pending_stores > 0
+    }
+
+    /// Sets the SSR register-semantics enable (CSR 0x7C0 bit 0).
+    pub fn set_ssr_enabled(&mut self, enabled: bool) {
+        self.ssr_enabled = enabled;
+    }
+
+    /// Whether SSR semantics are currently enabled.
+    #[must_use]
+    pub fn ssr_enabled(&self) -> bool {
+        self.ssr_enabled
+    }
+
+    /// Reads an FP register (for the harness / debugging).
+    #[must_use]
+    pub fn reg(&self, r: FpReg) -> u64 {
+        self.regs[r.index() as usize]
+    }
+
+    /// Whether everything issued has completed and nothing is pending
+    /// (the FPU-fence condition, not counting SSR streamer drain).
+    #[must_use]
+    pub fn drained(&self, now: u64) -> bool {
+        self.fifo.is_empty()
+            && self.seq == SeqState::Idle
+            && self.int_wb.is_empty()
+            && self.ssr_pushes.is_empty()
+            && self.busy_until <= now
+    }
+
+    /// Delivers FP→integer write-backs due at `now` (called by the cluster
+    /// before the core issues, so results are visible the cycle they retire).
+    pub fn take_int_writebacks(&mut self, now: u64) -> Vec<IntWriteback> {
+        let mut due = Vec::new();
+        self.int_wb.retain(|&(cycle, wb)| {
+            if cycle <= now {
+                due.push(wb);
+                false
+            } else {
+                true
+            }
+        });
+        due
+    }
+
+    /// One cycle of FPSS work: deliver due SSR pushes, then let the
+    /// sequencer/FPU issue at most one operation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimFault`] on malformed programs (FREP body overflow or
+    /// non-FP instructions inside a capture) and on memory faults.
+    pub fn step(
+        &mut self,
+        now: u64,
+        cfg: &ClusterConfig,
+        mem: &mut Memory,
+        arb: &mut TcdmArbiter,
+        ssrs: &mut [Ssr; 3],
+        stats: &mut Stats,
+    ) -> Result<(), SimFault> {
+        // Deliver FPU results into SSR write FIFOs.
+        let mut idx = 0;
+        while idx < self.ssr_pushes.len() {
+            if self.ssr_pushes[idx].0 <= now {
+                let (_, ssr, bits) = self.ssr_pushes.swap_remove(idx);
+                ssrs[ssr].push(bits);
+            } else {
+                idx += 1;
+            }
+        }
+
+        if matches!(self.seq, SeqState::Replay { .. }) {
+            stats.seq_active_cycles += 1;
+        }
+
+        match self.seq {
+            SeqState::Idle => {
+                // Process at most one FREP marker, then try to issue.
+                if let Some(front) = self.fifo.front().copied() {
+                    let frep = match front.inst {
+                        Inst::FrepO { max_inst, stagger_max, stagger_mask, .. } => {
+                            Some((max_inst, stagger_max, stagger_mask, false))
+                        }
+                        Inst::FrepI { max_inst, stagger_max, stagger_mask, .. } => {
+                            Some((max_inst, stagger_max, stagger_mask, true))
+                        }
+                        _ => None,
+                    };
+                    if let Some((max_inst, stagger_max, stagger_mask, inst_major)) = frep {
+                        if usize::from(max_inst) > self.ring_capacity {
+                            return Err(SimFault::new(format!(
+                                "frep body of {max_inst} exceeds sequencer depth {}",
+                                self.ring_capacity
+                            )));
+                        }
+                        self.fifo.pop_front();
+                        self.ring.clear();
+                        let rep = front.int_val.unwrap_or(0);
+                        self.seq = SeqState::Capture {
+                            remaining: max_inst,
+                            rep,
+                            stagger_max,
+                            stagger_mask,
+                            inst_major,
+                        };
+                        return self.step_capture(now, cfg, mem, arb, ssrs, stats);
+                    }
+                    if self.try_issue(front, 0, now, cfg, mem, arb, ssrs, stats)? {
+                        self.fifo.pop_front();
+                        stats.fpu_busy_cycles += 1;
+                    }
+                }
+                Ok(())
+            }
+            SeqState::Capture { .. } => self.step_capture(now, cfg, mem, arb, ssrs, stats),
+            SeqState::Replay { iter, total, pos, stagger_max, stagger_mask, inst_major } => {
+                let entry = self.ring[pos];
+                let offset = if stagger_max == 0 { 0 } else { (iter % (u32::from(stagger_max) + 1)) as u8 };
+                let staggered = stagger_entry(entry, stagger_mask, offset);
+                if self.try_issue(staggered, offset, now, cfg, mem, arb, ssrs, stats)? {
+                    stats.fp_issued_seq += 1;
+                    stats.fpu_busy_cycles += 1;
+                    // Advance: sequence-major (frep.o) wraps positions per
+                    // iteration; instruction-major (frep.i) exhausts each
+                    // instruction's repetitions before moving on. Note the
+                    // first (capture) pass already issued each instruction
+                    // once, so frep.i replays instruction `pos` from
+                    // iteration `iter` onwards.
+                    let (next_pos, next_iter, done) = if inst_major {
+                        if iter + 1 == total {
+                            if pos + 1 == self.ring.len() {
+                                (0, 0, true)
+                            } else {
+                                (pos + 1, 1, false)
+                            }
+                        } else {
+                            (pos, iter + 1, false)
+                        }
+                    } else if pos + 1 == self.ring.len() {
+                        if iter + 1 == total {
+                            (0, 0, true)
+                        } else {
+                            (0, iter + 1, false)
+                        }
+                    } else {
+                        (pos + 1, iter, false)
+                    };
+                    if done {
+                        self.seq = SeqState::Idle;
+                        self.ring.clear();
+                    } else {
+                        self.seq = SeqState::Replay {
+                            iter: next_iter,
+                            total,
+                            pos: next_pos,
+                            stagger_max,
+                            stagger_mask,
+                            inst_major,
+                        };
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn step_capture(
+        &mut self,
+        now: u64,
+        cfg: &ClusterConfig,
+        mem: &mut Memory,
+        arb: &mut TcdmArbiter,
+        ssrs: &mut [Ssr; 3],
+        stats: &mut Stats,
+    ) -> Result<(), SimFault> {
+        let SeqState::Capture { remaining, rep, stagger_max, stagger_mask, inst_major } = self.seq
+        else {
+            unreachable!("step_capture outside capture state");
+        };
+        let Some(front) = self.fifo.front().copied() else {
+            return Ok(());
+        };
+        if !front.inst.is_fp() {
+            return Err(SimFault::new(format!(
+                "non-FP instruction `{}` inside an FREP body",
+                front.inst
+            )));
+        }
+        if self.try_issue(front, 0, now, cfg, mem, arb, ssrs, stats)? {
+            self.fifo.pop_front();
+            stats.fpu_busy_cycles += 1;
+            self.ring.push(front);
+            let remaining = remaining - 1;
+            if remaining == 0 {
+                self.seq = if rep > 0 {
+                    SeqState::Replay {
+                        iter: 1,
+                        total: rep + 1,
+                        pos: 0,
+                        stagger_max,
+                        stagger_mask,
+                        inst_major,
+                    }
+                } else {
+                    self.ring.clear();
+                    SeqState::Idle
+                };
+            } else {
+                self.seq =
+                    SeqState::Capture { remaining, rep, stagger_max, stagger_mask, inst_major };
+            }
+        }
+        Ok(())
+    }
+
+    fn ssr_of(&self, r: FpReg) -> Option<usize> {
+        if self.ssr_enabled && r.is_ssr_candidate() {
+            Some(r.index() as usize)
+        } else {
+            None
+        }
+    }
+
+    /// Attempts to issue one FP instruction to the FPU. Returns whether it
+    /// issued (false = stall this cycle).
+    #[allow(clippy::too_many_arguments)]
+    fn try_issue(
+        &mut self,
+        entry: OffloadEntry,
+        _stagger_offset: u8,
+        now: u64,
+        cfg: &ClusterConfig,
+        mem: &mut Memory,
+        arb: &mut TcdmArbiter,
+        ssrs: &mut [Ssr; 3],
+        stats: &mut Stats,
+    ) -> Result<bool, SimFault> {
+        let inst = entry.inst;
+
+        // --- hazard checks (no side effects until all pass) ---
+        // An instruction reading a stream register in several operand slots
+        // pops one element per slot, so availability is counted per SSR.
+        let srcs = fp_sources(&inst);
+        let mut pops_needed = [0usize; 3];
+        for &r in srcs.iter().flatten() {
+            match self.ssr_of(r) {
+                Some(i) => pops_needed[i] += 1,
+                None => {
+                    if self.ready_at[r.index() as usize] > now {
+                        stats.fpu_stall_raw += 1;
+                        return Ok(false);
+                    }
+                }
+            }
+        }
+        for (i, &needed) in pops_needed.iter().enumerate() {
+            if needed > 0 && ssrs[i].available_elements() < needed {
+                stats.fpu_stall_ssr += 1;
+                return Ok(false);
+            }
+        }
+        let fp_dst = fp_dest(&inst);
+        if let Some(rd) = fp_dst {
+            match self.ssr_of(rd) {
+                Some(i) => {
+                    if !ssrs[i].write_ready() {
+                        stats.fpu_stall_ssr += 1;
+                        return Ok(false);
+                    }
+                }
+                None => {
+                    if self.ready_at[rd.index() as usize] > now {
+                        stats.fpu_stall_raw += 1;
+                        return Ok(false);
+                    }
+                }
+            }
+        }
+        let class = inst.class();
+        if class == InstClass::FpDivSqrt && self.divsqrt_busy_until > now {
+            stats.fpu_stall_raw += 1;
+            return Ok(false);
+        }
+        // Memory operations arbitrate last (a grant must not be wasted).
+        if matches!(class, InstClass::FpLoad | InstClass::FpStore) {
+            let addr = entry.int_val.expect("fp load/store carries its address");
+            if layout::is_tcdm(addr) {
+                if !arb.request(addr) {
+                    stats.fpu_stall_tcdm += 1;
+                    return Ok(false);
+                }
+                stats.tcdm_fp_accesses += 1;
+            } else {
+                stats.main_mem_accesses += 1;
+            }
+        }
+
+        // --- execute ---
+        let latency = match class {
+            InstClass::FpMulAdd => cfg.fpu_lat_muladd,
+            InstClass::FpShort => cfg.fpu_lat_short,
+            InstClass::FpCvt => cfg.fpu_lat_cvt,
+            InstClass::FpDivSqrt => cfg.fpu_lat_divsqrt,
+            InstClass::FpLoad => {
+                let addr = entry.int_val.expect("checked above");
+                let mut l = cfg.fp_load_latency;
+                if !layout::is_tcdm(addr) {
+                    l += cfg.main_mem_extra_latency;
+                }
+                l
+            }
+            InstClass::FpStore => 1,
+            other => {
+                return Err(SimFault::new(format!(
+                    "instruction `{inst}` (class {other:?}) reached the FPU"
+                )))
+            }
+        };
+        match class {
+            InstClass::FpMulAdd => stats.fpu_muladd_ops += 1,
+            InstClass::FpShort => stats.fpu_short_ops += 1,
+            InstClass::FpCvt => stats.fpu_cvt_ops += 1,
+            InstClass::FpDivSqrt => {
+                stats.fpu_divsqrt_ops += 1;
+                self.divsqrt_busy_until = now + u64::from(latency);
+            }
+            InstClass::FpLoad | InstClass::FpStore => stats.fp_mem_ops += 1,
+            _ => unreachable!(),
+        }
+        if class == InstClass::FpStore {
+            debug_assert!(self.pending_stores > 0);
+            self.pending_stores -= 1;
+        }
+
+        // Gather operand bits, popping SSR streams.
+        let mut bits = [0u64; 3];
+        for (slot, r) in srcs.iter().enumerate() {
+            if let Some(r) = r {
+                bits[slot] = match self.ssr_of(*r) {
+                    Some(i) => ssrs[i].pop(),
+                    None => self.regs[r.index() as usize],
+                };
+            }
+        }
+
+        let outcome = exec_fp(&inst, bits, entry.int_val, mem)?;
+        let done_at = now + u64::from(latency);
+        self.busy_until = self.busy_until.max(done_at);
+        match outcome {
+            Outcome::Fp(value) => {
+                let rd = fp_dst.expect("fp-result instruction has an fp destination");
+                match self.ssr_of(rd) {
+                    Some(i) => {
+                        ssrs[i].reserve_write();
+                        self.ssr_pushes.push((done_at, i, value));
+                    }
+                    None => {
+                        self.regs[rd.index() as usize] = value;
+                        self.ready_at[rd.index() as usize] = done_at;
+                    }
+                }
+            }
+            Outcome::Int(rd, value) => {
+                if !rd.is_zero() {
+                    self.int_wb.push((done_at, IntWriteback { rd, value }));
+                }
+            }
+            Outcome::None => {}
+        }
+        Ok(true)
+    }
+}
+
+/// Result routing of one FP instruction.
+enum Outcome {
+    Fp(u64),
+    Int(IntReg, u32),
+    None,
+}
+
+/// FP source registers of an instruction, in operand order.
+fn fp_sources(inst: &Inst) -> [Option<FpReg>; 3] {
+    match *inst {
+        Inst::FpOp { op: FpAluOp::Sqrt, rs1, .. } => [Some(rs1), None, None],
+        Inst::FpOp { rs1, rs2, .. } | Inst::FpSgnj { rs1, rs2, .. } => {
+            [Some(rs1), Some(rs2), None]
+        }
+        Inst::FpFma { rs1, rs2, rs3, .. } => [Some(rs1), Some(rs2), Some(rs3)],
+        Inst::FpCmp { rs1, rs2, .. } | Inst::CopiftCmp { rs1, rs2, .. } => {
+            [Some(rs1), Some(rs2), None]
+        }
+        Inst::FpCvtF2I { rs1, .. }
+        | Inst::FpCvtF2F { rs1, .. }
+        | Inst::FpMvF2X { rs1, .. }
+        | Inst::FpClass { rs1, .. }
+        | Inst::CopiftCvtF2I { rs1, .. }
+        | Inst::CopiftCvtI2F { rs1, .. }
+        | Inst::CopiftClass { rs1, .. } => [Some(rs1), None, None],
+        Inst::Fsw { rs2, .. } | Inst::Fsd { rs2, .. } => [Some(rs2), None, None],
+        // Integer-sourced and load instructions have no FP sources.
+        Inst::FpCvtI2F { .. } | Inst::FpMvX2F { .. } | Inst::Flw { .. } | Inst::Fld { .. } => {
+            [None, None, None]
+        }
+        _ => [None, None, None],
+    }
+}
+
+/// FP destination register of an instruction, if any.
+fn fp_dest(inst: &Inst) -> Option<FpReg> {
+    match *inst {
+        Inst::Flw { rd, .. }
+        | Inst::Fld { rd, .. }
+        | Inst::FpOp { rd, .. }
+        | Inst::FpFma { rd, .. }
+        | Inst::FpSgnj { rd, .. }
+        | Inst::FpCvtI2F { rd, .. }
+        | Inst::FpCvtF2F { rd, .. }
+        | Inst::FpMvX2F { rd, .. }
+        | Inst::CopiftCmp { rd, .. }
+        | Inst::CopiftCvtF2I { rd, .. }
+        | Inst::CopiftCvtI2F { rd, .. }
+        | Inst::CopiftClass { rd, .. } => Some(rd),
+        _ => None,
+    }
+}
+
+/// Applies FREP register staggering: operand fields selected by `mask`
+/// (bit 0 = rd, 1 = rs1, 2 = rs2, 3 = rs3) are offset by the iteration
+/// index. SSR-candidate registers (`ft0..ft2`) are never staggered, and
+/// staggered indices wrap within `f3..f31` so they cannot collide with the
+/// stream registers.
+fn stagger_entry(entry: OffloadEntry, mask: u8, offset: u8) -> OffloadEntry {
+    if mask == 0 || offset == 0 {
+        return entry;
+    }
+    let remap = |r: FpReg, bit: u8| -> FpReg {
+        if mask & (1 << bit) == 0 || r.is_ssr_candidate() {
+            r
+        } else {
+            FpReg::new(3 + (r.index() - 3 + offset) % 29)
+        }
+    };
+    let inst = match entry.inst {
+        Inst::FpOp { op, fmt, rd, rs1, rs2 } => {
+            Inst::FpOp { op, fmt, rd: remap(rd, 0), rs1: remap(rs1, 1), rs2: remap(rs2, 2) }
+        }
+        Inst::FpFma { op, fmt, rd, rs1, rs2, rs3 } => Inst::FpFma {
+            op,
+            fmt,
+            rd: remap(rd, 0),
+            rs1: remap(rs1, 1),
+            rs2: remap(rs2, 2),
+            rs3: remap(rs3, 3),
+        },
+        Inst::FpSgnj { op, fmt, rd, rs1, rs2 } => {
+            Inst::FpSgnj { op, fmt, rd: remap(rd, 0), rs1: remap(rs1, 1), rs2: remap(rs2, 2) }
+        }
+        Inst::CopiftCmp { op, rd, rs1, rs2 } => {
+            Inst::CopiftCmp { op, rd: remap(rd, 0), rs1: remap(rs1, 1), rs2: remap(rs2, 2) }
+        }
+        Inst::CopiftCvtF2I { to, rd, rs1 } => {
+            Inst::CopiftCvtF2I { to, rd: remap(rd, 0), rs1: remap(rs1, 1) }
+        }
+        Inst::CopiftCvtI2F { from, rd, rs1 } => {
+            Inst::CopiftCvtI2F { from, rd: remap(rd, 0), rs1: remap(rs1, 1) }
+        }
+        Inst::CopiftClass { rd, rs1 } => {
+            Inst::CopiftClass { rd: remap(rd, 0), rs1: remap(rs1, 1) }
+        }
+        Inst::FpCvtF2F { to, rd, rs1 } => {
+            Inst::FpCvtF2F { to, rd: remap(rd, 0), rs1: remap(rs1, 1) }
+        }
+        other => other,
+    };
+    OffloadEntry { inst, int_val: entry.int_val }
+}
+
+const F32_SIGN: u32 = 0x8000_0000;
+const F64_SIGN: u64 = 0x8000_0000_0000_0000;
+
+fn nan_box(bits32: u32) -> u64 {
+    0xFFFF_FFFF_0000_0000 | u64::from(bits32)
+}
+
+fn f32_of(bits: u64) -> f32 {
+    f32::from_bits(bits as u32)
+}
+
+/// RISC-V `fclass` result mask.
+fn classify_f64(v: f64) -> u32 {
+    let bits = v.to_bits();
+    let sign = bits & F64_SIGN != 0;
+    if v.is_nan() {
+        // Signaling vs quiet: MSB of the mantissa.
+        if bits & 0x0008_0000_0000_0000 == 0 {
+            1 << 8
+        } else {
+            1 << 9
+        }
+    } else if v.is_infinite() {
+        if sign {
+            1 << 0
+        } else {
+            1 << 7
+        }
+    } else if v == 0.0 {
+        if sign {
+            1 << 3
+        } else {
+            1 << 4
+        }
+    } else if v.is_subnormal() {
+        if sign {
+            1 << 2
+        } else {
+            1 << 5
+        }
+    } else if sign {
+        1 << 1
+    } else {
+        1 << 6
+    }
+}
+
+/// `fcvt.w.d` semantics: truncate with RISC-V saturation rules.
+/// (The NaN arm intentionally matches the +overflow arm, per the spec.)
+#[allow(clippy::if_same_then_else)]
+fn f64_to_i32(v: f64) -> i32 {
+    if v.is_nan() {
+        i32::MAX
+    } else if v >= i32::MAX as f64 {
+        i32::MAX
+    } else if v <= i32::MIN as f64 {
+        i32::MIN
+    } else {
+        v as i32
+    }
+}
+
+#[allow(clippy::if_same_then_else)]
+fn f64_to_u32(v: f64) -> u32 {
+    if v.is_nan() {
+        u32::MAX
+    } else if v >= u32::MAX as f64 {
+        u32::MAX
+    } else if v <= 0.0 {
+        0
+    } else {
+        v as u32
+    }
+}
+
+/// Functional evaluation of one FP instruction on operand `bits`
+/// (gathered in [`fp_sources`] order).
+fn exec_fp(
+    inst: &Inst,
+    bits: [u64; 3],
+    int_val: Option<u32>,
+    mem: &mut Memory,
+) -> Result<Outcome, SimFault> {
+    Ok(match *inst {
+        Inst::Flw { .. } => {
+            let addr = int_val.expect("flw address");
+            let v = mem.read(addr, 4).map_err(SimFault::from)?;
+            Outcome::Fp(nan_box(v as u32))
+        }
+        Inst::Fld { .. } => {
+            let addr = int_val.expect("fld address");
+            Outcome::Fp(mem.read(addr, 8).map_err(SimFault::from)?)
+        }
+        Inst::Fsw { .. } => {
+            let addr = int_val.expect("fsw address");
+            mem.write(addr, 4, bits[0] & 0xFFFF_FFFF).map_err(SimFault::from)?;
+            Outcome::None
+        }
+        Inst::Fsd { .. } => {
+            let addr = int_val.expect("fsd address");
+            mem.write(addr, 8, bits[0]).map_err(SimFault::from)?;
+            Outcome::None
+        }
+        Inst::FpOp { op, fmt: FpFmt::D, .. } => {
+            let (a, b) = (f64::from_bits(bits[0]), f64::from_bits(bits[1]));
+            let r = match op {
+                FpAluOp::Add => a + b,
+                FpAluOp::Sub => a - b,
+                FpAluOp::Mul => a * b,
+                FpAluOp::Div => a / b,
+                FpAluOp::Sqrt => a.sqrt(),
+                FpAluOp::Min => a.min(b),
+                FpAluOp::Max => a.max(b),
+            };
+            Outcome::Fp(r.to_bits())
+        }
+        Inst::FpOp { op, fmt: FpFmt::S, .. } => {
+            let (a, b) = (f32_of(bits[0]), f32_of(bits[1]));
+            let r = match op {
+                FpAluOp::Add => a + b,
+                FpAluOp::Sub => a - b,
+                FpAluOp::Mul => a * b,
+                FpAluOp::Div => a / b,
+                FpAluOp::Sqrt => a.sqrt(),
+                FpAluOp::Min => a.min(b),
+                FpAluOp::Max => a.max(b),
+            };
+            Outcome::Fp(nan_box(r.to_bits()))
+        }
+        Inst::FpFma { op, fmt: FpFmt::D, .. } => {
+            let r = op.eval_f64(f64::from_bits(bits[0]), f64::from_bits(bits[1]), f64::from_bits(bits[2]));
+            Outcome::Fp(r.to_bits())
+        }
+        Inst::FpFma { op, fmt: FpFmt::S, .. } => {
+            let r = op.eval_f32(f32_of(bits[0]), f32_of(bits[1]), f32_of(bits[2]));
+            Outcome::Fp(nan_box(r.to_bits()))
+        }
+        Inst::FpSgnj { op, fmt: FpFmt::D, .. } => {
+            let (a, b) = (bits[0], bits[1]);
+            let sign = match op {
+                SgnjOp::Sgnj => b & F64_SIGN,
+                SgnjOp::Sgnjn => !b & F64_SIGN,
+                SgnjOp::Sgnjx => (a ^ b) & F64_SIGN,
+            };
+            Outcome::Fp((a & !F64_SIGN) | sign)
+        }
+        Inst::FpSgnj { op, fmt: FpFmt::S, .. } => {
+            let (a, b) = (bits[0] as u32, bits[1] as u32);
+            let sign = match op {
+                SgnjOp::Sgnj => b & F32_SIGN,
+                SgnjOp::Sgnjn => !b & F32_SIGN,
+                SgnjOp::Sgnjx => (a ^ b) & F32_SIGN,
+            };
+            Outcome::Fp(nan_box((a & !F32_SIGN) | sign))
+        }
+        Inst::FpCmp { op, fmt, rd, .. } => {
+            let r = cmp_bits(op, fmt, bits);
+            Outcome::Int(rd, r)
+        }
+        Inst::FpCvtF2I { to, fmt, rd, .. } => {
+            let v = match fmt {
+                FpFmt::D => f64::from_bits(bits[0]),
+                FpFmt::S => f64::from(f32_of(bits[0])),
+            };
+            let r = match to {
+                IntCvt::W => f64_to_i32(v) as u32,
+                IntCvt::Wu => f64_to_u32(v),
+            };
+            Outcome::Int(rd, r)
+        }
+        Inst::FpCvtI2F { from, fmt, .. } => {
+            let iv = int_val.expect("fcvt from integer operand");
+            let v = match from {
+                IntCvt::W => f64::from(iv as i32),
+                IntCvt::Wu => f64::from(iv),
+            };
+            match fmt {
+                FpFmt::D => Outcome::Fp(v.to_bits()),
+                FpFmt::S => Outcome::Fp(nan_box((v as f32).to_bits())),
+            }
+        }
+        Inst::FpCvtF2F { to: FpFmt::D, .. } => {
+            Outcome::Fp(f64::from(f32_of(bits[0])).to_bits())
+        }
+        Inst::FpCvtF2F { to: FpFmt::S, .. } => {
+            Outcome::Fp(nan_box((f64::from_bits(bits[0]) as f32).to_bits()))
+        }
+        Inst::FpMvF2X { rd, .. } => Outcome::Int(rd, bits[0] as u32),
+        Inst::FpMvX2F { .. } => Outcome::Fp(nan_box(int_val.expect("fmv.w.x operand"))),
+        Inst::FpClass { fmt, rd, .. } => {
+            let mask = match fmt {
+                FpFmt::D => classify_f64(f64::from_bits(bits[0])),
+                FpFmt::S => classify_f64(f64::from(f32_of(bits[0]))),
+            };
+            Outcome::Int(rd, mask)
+        }
+        // ---- COPIFT custom-1: identical arithmetic, FP register file only.
+        Inst::CopiftCmp { op, .. } => {
+            Outcome::Fp(u64::from(cmp_bits(op, FpFmt::D, bits)))
+        }
+        Inst::CopiftCvtF2I { to, .. } => {
+            let v = f64::from_bits(bits[0]);
+            let r = match to {
+                IntCvt::W => f64_to_i32(v) as u32,
+                IntCvt::Wu => f64_to_u32(v),
+            };
+            Outcome::Fp(u64::from(r))
+        }
+        Inst::CopiftCvtI2F { from, .. } => {
+            let low = bits[0] as u32;
+            let v = match from {
+                IntCvt::W => f64::from(low as i32),
+                IntCvt::Wu => f64::from(low),
+            };
+            Outcome::Fp(v.to_bits())
+        }
+        Inst::CopiftClass { .. } => {
+            Outcome::Fp(u64::from(classify_f64(f64::from_bits(bits[0]))))
+        }
+        ref other => {
+            return Err(SimFault::new(format!("`{other}` is not an FP instruction")));
+        }
+    })
+}
+
+fn cmp_bits(op: FpCmpOp, fmt: FpFmt, bits: [u64; 3]) -> u32 {
+    let r = match fmt {
+        FpFmt::D => op.eval_f64(f64::from_bits(bits[0]), f64::from_bits(bits[1])),
+        FpFmt::S => op.eval_f32(f32_of(bits[0]), f32_of(bits[1])),
+    };
+    u32::from(r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snitch_riscv::ops::FmaOp;
+
+    fn harness() -> (ClusterConfig, Memory, TcdmArbiter, [Ssr; 3], Stats) {
+        let cfg = ClusterConfig::default();
+        let ssrs = [
+            Ssr::new(cfg.ssr_fifo_depth),
+            Ssr::new(cfg.ssr_fifo_depth),
+            Ssr::new(cfg.ssr_fifo_depth),
+        ];
+        (cfg, Memory::new(), TcdmArbiter::new(32), ssrs, Stats::default())
+    }
+
+    fn fp(inst: Inst) -> OffloadEntry {
+        OffloadEntry { inst, int_val: None }
+    }
+
+    #[test]
+    fn fadd_completes_with_latency() {
+        let (cfg, mut mem, mut arb, mut ssrs, mut stats) = harness();
+        let mut fpss = Fpss::new(&cfg);
+        fpss.regs[FpReg::FA1.index() as usize] = 2.0f64.to_bits();
+        fpss.regs[FpReg::FA2.index() as usize] = 3.0f64.to_bits();
+        fpss.offload(fp(Inst::FpOp {
+            op: FpAluOp::Add,
+            fmt: FpFmt::D,
+            rd: FpReg::FA0,
+            rs1: FpReg::FA1,
+            rs2: FpReg::FA2,
+        }));
+        arb.begin_cycle();
+        fpss.step(0, &cfg, &mut mem, &mut arb, &mut ssrs, &mut stats).unwrap();
+        assert_eq!(f64::from_bits(fpss.reg(FpReg::FA0)), 5.0);
+        assert!(!fpss.drained(0), "latency still in flight");
+        assert!(fpss.drained(u64::from(cfg.fpu_lat_muladd)));
+        assert_eq!(stats.fpu_muladd_ops, 1);
+    }
+
+    #[test]
+    fn raw_dependency_stalls_issue() {
+        let (cfg, mut mem, mut arb, mut ssrs, mut stats) = harness();
+        let mut fpss = Fpss::new(&cfg);
+        fpss.offload(fp(Inst::FpOp {
+            op: FpAluOp::Add,
+            fmt: FpFmt::D,
+            rd: FpReg::FA0,
+            rs1: FpReg::FA1,
+            rs2: FpReg::FA2,
+        }));
+        fpss.offload(fp(Inst::FpOp {
+            op: FpAluOp::Mul,
+            fmt: FpFmt::D,
+            rd: FpReg::FA3,
+            rs1: FpReg::FA0, // depends on previous
+            rs2: FpReg::FA2,
+        }));
+        let mut issue_cycles = Vec::new();
+        for now in 0..10u64 {
+            arb.begin_cycle();
+            let before = stats.fpu_busy_cycles;
+            fpss.step(now, &cfg, &mut mem, &mut arb, &mut ssrs, &mut stats).unwrap();
+            if stats.fpu_busy_cycles > before {
+                issue_cycles.push(now);
+            }
+        }
+        assert_eq!(issue_cycles, vec![0, u64::from(ClusterConfig::default().fpu_lat_muladd)]);
+        assert!(stats.fpu_stall_raw > 0);
+    }
+
+    #[test]
+    fn frep_replays_without_core_issues() {
+        let (cfg, mut mem, mut arb, mut ssrs, mut stats) = harness();
+        let mut fpss = Fpss::new(&cfg);
+        fpss.regs[FpReg::FA1.index() as usize] = 1.0f64.to_bits();
+        // frep.o with rep = 3 (4 total iterations) over a 1-instruction body
+        // accumulating fa0 += fa1.
+        fpss.offload(OffloadEntry {
+            inst: Inst::FrepO { rep: IntReg::T0, max_inst: 1, stagger_max: 0, stagger_mask: 0 },
+            int_val: Some(3),
+        });
+        fpss.offload(fp(Inst::FpOp {
+            op: FpAluOp::Add,
+            fmt: FpFmt::D,
+            rd: FpReg::FA0,
+            rs1: FpReg::FA0,
+            rs2: FpReg::FA1,
+        }));
+        let mut now = 0;
+        while !fpss.drained(now) {
+            arb.begin_cycle();
+            fpss.step(now, &cfg, &mut mem, &mut arb, &mut ssrs, &mut stats).unwrap();
+            now += 1;
+            assert!(now < 100, "frep must converge");
+        }
+        assert_eq!(f64::from_bits(fpss.reg(FpReg::FA0)), 4.0);
+        assert_eq!(stats.fp_issued_seq, 3, "three replayed iterations");
+        assert!(stats.seq_active_cycles >= 3);
+    }
+
+    #[test]
+    fn frep_body_overflow_is_a_fault() {
+        let (mut cfg, mut mem, mut arb, mut ssrs, mut stats) = harness();
+        cfg.sequencer_depth = 2;
+        let mut fpss = Fpss::new(&cfg);
+        fpss.offload(OffloadEntry {
+            inst: Inst::FrepO { rep: IntReg::T0, max_inst: 3, stagger_max: 0, stagger_mask: 0 },
+            int_val: Some(1),
+        });
+        arb.begin_cycle();
+        let err = fpss.step(0, &cfg, &mut mem, &mut arb, &mut ssrs, &mut stats).unwrap_err();
+        assert!(err.to_string().contains("sequencer depth"));
+    }
+
+    #[test]
+    fn int_writeback_is_delivered_after_latency() {
+        let (cfg, mut mem, mut arb, mut ssrs, mut stats) = harness();
+        let mut fpss = Fpss::new(&cfg);
+        fpss.regs[FpReg::FA0.index() as usize] = 1.0f64.to_bits();
+        fpss.regs[FpReg::FA1.index() as usize] = 2.0f64.to_bits();
+        fpss.offload(fp(Inst::FpCmp {
+            op: FpCmpOp::Lt,
+            fmt: FpFmt::D,
+            rd: IntReg::A0,
+            rs1: FpReg::FA0,
+            rs2: FpReg::FA1,
+        }));
+        arb.begin_cycle();
+        fpss.step(0, &cfg, &mut mem, &mut arb, &mut ssrs, &mut stats).unwrap();
+        assert!(fpss.take_int_writebacks(0).is_empty());
+        let wbs = fpss.take_int_writebacks(u64::from(cfg.fpu_lat_short));
+        assert_eq!(wbs, vec![IntWriteback { rd: IntReg::A0, value: 1 }]);
+    }
+
+    #[test]
+    fn copift_ops_stay_in_fp_rf() {
+        let (cfg, mut mem, mut arb, mut ssrs, mut stats) = harness();
+        let mut fpss = Fpss::new(&cfg);
+        fpss.regs[FpReg::FA1.index() as usize] = 3.0f64.to_bits();
+        fpss.regs[FpReg::FA2.index() as usize] = 7.0f64.to_bits();
+        fpss.offload(fp(Inst::CopiftCmp {
+            op: FpCmpOp::Lt,
+            rd: FpReg::FA0,
+            rs1: FpReg::FA1,
+            rs2: FpReg::FA2,
+        }));
+        fpss.offload(fp(Inst::CopiftCvtI2F { from: IntCvt::W, rd: FpReg::FA3, rs1: FpReg::FA0 }));
+        let mut now = 0;
+        while !fpss.drained(now) {
+            arb.begin_cycle();
+            fpss.step(now, &cfg, &mut mem, &mut arb, &mut ssrs, &mut stats).unwrap();
+            now += 1;
+        }
+        assert_eq!(fpss.reg(FpReg::FA0), 1, "comparison result as integer bits");
+        assert_eq!(f64::from_bits(fpss.reg(FpReg::FA3)), 1.0, "converted to double");
+        assert!(fpss.take_int_writebacks(now).is_empty(), "no integer RF traffic");
+    }
+
+    #[test]
+    fn classify_covers_all_classes() {
+        assert_eq!(classify_f64(f64::NEG_INFINITY), 1 << 0);
+        assert_eq!(classify_f64(-1.5), 1 << 1);
+        assert_eq!(classify_f64(-f64::MIN_POSITIVE / 2.0), 1 << 2);
+        assert_eq!(classify_f64(-0.0), 1 << 3);
+        assert_eq!(classify_f64(0.0), 1 << 4);
+        assert_eq!(classify_f64(f64::MIN_POSITIVE / 2.0), 1 << 5);
+        assert_eq!(classify_f64(2.5), 1 << 6);
+        assert_eq!(classify_f64(f64::INFINITY), 1 << 7);
+        assert_eq!(classify_f64(f64::NAN), 1 << 9);
+    }
+
+    #[test]
+    fn cvt_saturation() {
+        assert_eq!(f64_to_i32(f64::NAN), i32::MAX);
+        assert_eq!(f64_to_i32(1e300), i32::MAX);
+        assert_eq!(f64_to_i32(-1e300), i32::MIN);
+        assert_eq!(f64_to_i32(-3.7), -3, "truncation toward zero");
+        assert_eq!(f64_to_u32(-1.0), 0);
+        assert_eq!(f64_to_u32(4.9), 4);
+        assert_eq!(f64_to_u32(1e300), u32::MAX);
+    }
+
+    #[test]
+    fn stagger_remaps_selected_fields() {
+        let entry = fp(Inst::FpFma {
+            op: FmaOp::Madd,
+            fmt: FpFmt::D,
+            rd: FpReg::FA0,
+            rs1: FpReg::FT0, // SSR candidate: never staggered
+            rs2: FpReg::FA1,
+            rs3: FpReg::FA0,
+        });
+        let s = stagger_entry(entry, 0b1001, 2); // rd and rs3
+        match s.inst {
+            Inst::FpFma { rd, rs1, rs2, rs3, .. } => {
+                assert_eq!(rd, FpReg::new(12));
+                assert_eq!(rs1, FpReg::FT0);
+                assert_eq!(rs2, FpReg::FA1, "unselected field untouched");
+                assert_eq!(rs3, FpReg::new(12));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

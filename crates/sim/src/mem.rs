@@ -1,0 +1,259 @@
+//! Data memory: TCDM scratchpad, main memory, and the per-cycle bank
+//! arbiter.
+//!
+//! Functional state (byte contents) is separated from timing (bank grants).
+//! Units request a bank through [`TcdmArbiter`] each cycle; a denied request
+//! is retried the next cycle by the requesting unit.
+
+use snitch_asm::layout;
+
+/// Identifies a TCDM master port for arbitration and statistics.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TcdmPort {
+    /// Integer-core load/store unit.
+    CoreLsu,
+    /// FP-subsystem load/store unit.
+    FpLsu,
+    /// SSR data mover 0..2.
+    Ssr(usize),
+    /// Cluster DMA engine.
+    Dma,
+}
+
+/// Per-cycle TCDM bank arbiter.
+///
+/// Banks are 64-bit wide and interleaved at 8-byte granularity. Each bank
+/// serves one request per cycle; the caller order in `Cluster::step`
+/// establishes the fixed priority (core > FP LSU > SSR0..2 > DMA).
+#[derive(Clone, Debug)]
+pub struct TcdmArbiter {
+    banks: usize,
+    granted: Vec<bool>,
+    conflicts: u64,
+}
+
+impl TcdmArbiter {
+    /// Creates an arbiter for `banks` banks.
+    #[must_use]
+    pub fn new(banks: usize) -> Self {
+        assert!(banks.is_power_of_two(), "bank count must be a power of two");
+        TcdmArbiter { banks, granted: vec![false; banks], conflicts: 0 }
+    }
+
+    /// Clears all grants at the start of a cycle.
+    pub fn begin_cycle(&mut self) {
+        self.granted.fill(false);
+    }
+
+    /// The bank index serving `addr`.
+    #[must_use]
+    pub fn bank_of(&self, addr: u32) -> usize {
+        ((addr >> 3) as usize) & (self.banks - 1)
+    }
+
+    /// Requests the bank serving `addr` for this cycle. Returns whether the
+    /// request was granted; denied requests are counted as conflicts.
+    pub fn request(&mut self, addr: u32) -> bool {
+        let bank = self.bank_of(addr);
+        if self.granted[bank] {
+            self.conflicts += 1;
+            false
+        } else {
+            self.granted[bank] = true;
+            true
+        }
+    }
+
+    /// Total denied requests so far.
+    #[must_use]
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts
+    }
+}
+
+/// Byte-addressable cluster memory (functional contents).
+#[derive(Clone, Debug)]
+pub struct Memory {
+    tcdm: Vec<u8>,
+    main: Vec<u8>,
+}
+
+/// Error for an access outside the mapped regions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MemFault {
+    /// Faulting byte address.
+    pub addr: u32,
+}
+
+impl std::fmt::Display for MemFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "access to unmapped address {:#010x}", self.addr)
+    }
+}
+
+impl std::error::Error for MemFault {}
+
+impl Memory {
+    /// Creates zeroed memory.
+    #[must_use]
+    pub fn new() -> Self {
+        Memory {
+            tcdm: vec![0; layout::TCDM_SIZE as usize],
+            main: vec![0; layout::MAIN_SIZE as usize],
+        }
+    }
+
+    /// Loads initial images (from an assembled program).
+    pub fn load_images(&mut self, tcdm: &[u8], main: &[u8]) {
+        self.tcdm[..tcdm.len()].copy_from_slice(tcdm);
+        self.main[..main.len()].copy_from_slice(main);
+    }
+
+    /// Whether `addr..addr+len` is mapped.
+    #[must_use]
+    pub fn is_mapped(&self, addr: u32, len: u32) -> bool {
+        let end = addr.wrapping_add(len.saturating_sub(1));
+        (layout::is_tcdm(addr) && layout::is_tcdm(end))
+            || (layout::is_main(addr) && layout::is_main(end))
+    }
+
+    fn slice(&self, addr: u32, len: u32) -> Result<&[u8], MemFault> {
+        if layout::is_tcdm(addr) && layout::is_tcdm(addr + len - 1) {
+            let off = (addr - layout::TCDM_BASE) as usize;
+            Ok(&self.tcdm[off..off + len as usize])
+        } else if layout::is_main(addr) && layout::is_main(addr + len - 1) {
+            let off = (addr - layout::MAIN_BASE) as usize;
+            Ok(&self.main[off..off + len as usize])
+        } else {
+            Err(MemFault { addr })
+        }
+    }
+
+    fn slice_mut(&mut self, addr: u32, len: u32) -> Result<&mut [u8], MemFault> {
+        if layout::is_tcdm(addr) && layout::is_tcdm(addr + len - 1) {
+            let off = (addr - layout::TCDM_BASE) as usize;
+            Ok(&mut self.tcdm[off..off + len as usize])
+        } else if layout::is_main(addr) && layout::is_main(addr + len - 1) {
+            let off = (addr - layout::MAIN_BASE) as usize;
+            Ok(&mut self.main[off..off + len as usize])
+        } else {
+            Err(MemFault { addr })
+        }
+    }
+
+    /// Reads `len` (1, 2, 4 or 8) bytes as a little-endian value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault`] for unmapped addresses.
+    pub fn read(&self, addr: u32, len: u32) -> Result<u64, MemFault> {
+        let s = self.slice(addr, len)?;
+        let mut v = 0u64;
+        for (i, b) in s.iter().enumerate() {
+            v |= u64::from(*b) << (8 * i);
+        }
+        Ok(v)
+    }
+
+    /// Writes `len` (1, 2, 4 or 8) low-order bytes of `value`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault`] for unmapped addresses.
+    pub fn write(&mut self, addr: u32, len: u32, value: u64) -> Result<(), MemFault> {
+        let s = self.slice_mut(addr, len)?;
+        for (i, b) in s.iter_mut().enumerate() {
+            *b = (value >> (8 * i)) as u8;
+        }
+        Ok(())
+    }
+
+    /// Convenience: reads an `f64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault`] for unmapped addresses.
+    pub fn read_f64(&self, addr: u32) -> Result<f64, MemFault> {
+        Ok(f64::from_bits(self.read(addr, 8)?))
+    }
+
+    /// Convenience: reads an `f32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault`] for unmapped addresses.
+    pub fn read_f32(&self, addr: u32) -> Result<f32, MemFault> {
+        Ok(f32::from_bits(self.read(addr, 4)? as u32))
+    }
+
+    /// Convenience: reads a `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault`] for unmapped addresses.
+    pub fn read_u32(&self, addr: u32) -> Result<u32, MemFault> {
+        Ok(self.read(addr, 4)? as u32)
+    }
+}
+
+impl Default for Memory {
+    fn default() -> Self {
+        Memory::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_roundtrip_tcdm() {
+        let mut m = Memory::new();
+        m.write(layout::TCDM_BASE + 16, 8, 0x1122_3344_5566_7788).unwrap();
+        assert_eq!(m.read(layout::TCDM_BASE + 16, 8).unwrap(), 0x1122_3344_5566_7788);
+        assert_eq!(m.read(layout::TCDM_BASE + 16, 4).unwrap(), 0x5566_7788);
+        assert_eq!(m.read(layout::TCDM_BASE + 20, 4).unwrap(), 0x1122_3344);
+        assert_eq!(m.read(layout::TCDM_BASE + 16, 1).unwrap(), 0x88);
+    }
+
+    #[test]
+    fn read_write_roundtrip_main() {
+        let mut m = Memory::new();
+        m.write(layout::MAIN_BASE, 4, 0xdead_beef).unwrap();
+        assert_eq!(m.read_u32(layout::MAIN_BASE).unwrap(), 0xdead_beef);
+    }
+
+    #[test]
+    fn unmapped_access_faults() {
+        let m = Memory::new();
+        assert!(m.read(0x4000_0000, 4).is_err());
+        assert!(m.read(layout::TCDM_BASE + layout::TCDM_SIZE - 2, 8).is_err());
+    }
+
+    #[test]
+    fn f64_roundtrip() {
+        let mut m = Memory::new();
+        m.write(layout::TCDM_BASE, 8, std::f64::consts::PI.to_bits()).unwrap();
+        assert_eq!(m.read_f64(layout::TCDM_BASE).unwrap(), std::f64::consts::PI);
+    }
+
+    #[test]
+    fn arbiter_grants_one_per_bank() {
+        let mut a = TcdmArbiter::new(4);
+        a.begin_cycle();
+        assert!(a.request(layout::TCDM_BASE)); // bank 0
+        assert!(a.request(layout::TCDM_BASE + 8)); // bank 1
+        assert!(!a.request(layout::TCDM_BASE + 4 * 8)); // bank 0 again: conflict
+        assert_eq!(a.conflicts(), 1);
+        a.begin_cycle();
+        assert!(a.request(layout::TCDM_BASE + 4 * 8)); // free again
+    }
+
+    #[test]
+    fn bank_interleave_is_8_bytes() {
+        let a = TcdmArbiter::new(32);
+        assert_eq!(a.bank_of(layout::TCDM_BASE), a.bank_of(layout::TCDM_BASE + 7));
+        assert_ne!(a.bank_of(layout::TCDM_BASE), a.bank_of(layout::TCDM_BASE + 8));
+        assert_eq!(a.bank_of(layout::TCDM_BASE), a.bank_of(layout::TCDM_BASE + 32 * 8));
+    }
+}

@@ -1,0 +1,265 @@
+//! Execution statistics and activity counters.
+//!
+//! [`Stats`] is both the performance report (cycles, issues, stalls) and the
+//! activity interface consumed by the `snitch-energy` power model: every
+//! energy-relevant event in the cluster increments exactly one counter here.
+
+/// Counters collected over a simulation run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Total elapsed cycles.
+    pub cycles: u64,
+
+    // ---- instruction issue ----
+    /// Integer-side instructions issued by the core (everything that is not
+    /// offloaded to the FP subsystem, including FREP/SSR/DMA configuration).
+    pub int_issued: u64,
+    /// FP instructions issued by the integer core (offload pass-through,
+    /// i.e. iteration 0 of FREP bodies and all non-FREP FP instructions).
+    pub fp_issued_core: u64,
+    /// FP instructions issued by the FREP sequencer (replayed iterations) —
+    /// the *pseudo dual-issue* instructions.
+    pub fp_issued_seq: u64,
+
+    // ---- integer core stalls (cycles) ----
+    /// Core stalled waiting on a busy integer source/destination register.
+    pub stall_int_raw: u64,
+    /// Core stalled because the single RF write-back port was already claimed
+    /// for the cycle its result would retire (the paper's LCG hazard).
+    pub stall_wb_port: u64,
+    /// Core stalled pushing into a full offload FIFO.
+    pub stall_offload_full: u64,
+    /// Core stalled on an integer register pending an FP→int write-back
+    /// (Type 3 serialization).
+    pub stall_fp_pending: u64,
+    /// Core stalled reconfiguring a still-active SSR streamer.
+    pub stall_ssr_cfg: u64,
+    /// Core stalled on the FPU fence CSR.
+    pub stall_fence: u64,
+    /// Cycles lost to taken-branch pipeline refill.
+    pub stall_branch: u64,
+    /// Core stalled on a TCDM bank conflict.
+    pub stall_tcdm_conflict: u64,
+    /// Integer load stalled behind queued FP stores (memory ordering).
+    pub stall_store_order: u64,
+
+    // ---- instruction fetch ----
+    /// Fetches served by the L0 loop buffer.
+    pub l0_hits: u64,
+    /// Fetches that missed L0 and were served by the L1 instruction cache.
+    pub l0_misses: u64,
+
+    // ---- FP subsystem ----
+    /// FPU operations executed, by latency class.
+    pub fpu_muladd_ops: u64,
+    /// Short FP ops (compare/sign-inject/move/classify/COPIFT).
+    pub fpu_short_ops: u64,
+    /// Conversions.
+    pub fpu_cvt_ops: u64,
+    /// Divide/sqrt operations.
+    pub fpu_divsqrt_ops: u64,
+    /// FP loads/stores executed by the FP LSU (explicit, non-SSR).
+    pub fp_mem_ops: u64,
+    /// Cycles the FPU issued an operation.
+    pub fpu_busy_cycles: u64,
+    /// Cycles the sequencer was replaying (hardware-loop active).
+    pub seq_active_cycles: u64,
+    /// FPU issue stalled on a busy FP register.
+    pub fpu_stall_raw: u64,
+    /// FPU issue stalled on an empty SSR read FIFO or full SSR write FIFO.
+    pub fpu_stall_ssr: u64,
+    /// FPU issue stalled on a TCDM conflict for an FP load/store.
+    pub fpu_stall_tcdm: u64,
+
+    // ---- memory system ----
+    /// TCDM accesses by the core LSU.
+    pub tcdm_core_accesses: u64,
+    /// TCDM accesses by the FP LSU.
+    pub tcdm_fp_accesses: u64,
+    /// TCDM accesses by the SSR streamers (data + index beats).
+    pub tcdm_ssr_accesses: u64,
+    /// TCDM accesses by the DMA engine.
+    pub tcdm_dma_accesses: u64,
+    /// Requests denied by the bank arbiter (retried next cycle).
+    pub tcdm_conflicts: u64,
+    /// Core accesses to main memory (slow path).
+    pub main_mem_accesses: u64,
+
+    // ---- SSR / DMA ----
+    /// Data elements streamed per SSR.
+    pub ssr_beats: [u64; 3],
+    /// Cycles each SSR streamer was enabled (armed and not done).
+    pub ssr_active_cycles: [u64; 3],
+    /// Cycles the DMA engine was moving data.
+    pub dma_busy_cycles: u64,
+    /// 64-bit beats transferred by the DMA.
+    pub dma_beats: u64,
+}
+
+impl Stats {
+    /// Total instructions executed (integer + FP pass-through + sequencer
+    /// replays).
+    #[must_use]
+    pub fn instructions(&self) -> u64 {
+        self.int_issued + self.fp_issued_core + self.fp_issued_seq
+    }
+
+    /// Total FP instructions executed.
+    #[must_use]
+    pub fn fp_instructions(&self) -> u64 {
+        self.fp_issued_core + self.fp_issued_seq
+    }
+
+    /// Instructions per cycle over the whole run.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions() as f64 / self.cycles as f64
+        }
+    }
+
+    /// Difference of two stats snapshots (for steady-state windows):
+    /// `self - earlier`, field by field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` was taken after `self` (any counter larger).
+    #[must_use]
+    pub fn delta_since(&self, earlier: &Stats) -> Stats {
+        macro_rules! sub {
+            ($($f:ident),* $(,)?) => {
+                Stats {
+                    $( $f: self.$f.checked_sub(earlier.$f)
+                        .unwrap_or_else(|| panic!(concat!("stats counter `", stringify!($f), "` went backwards"))), )*
+                    ssr_beats: std::array::from_fn(|i| self.ssr_beats[i] - earlier.ssr_beats[i]),
+                    ssr_active_cycles: std::array::from_fn(|i| {
+                        self.ssr_active_cycles[i] - earlier.ssr_active_cycles[i]
+                    }),
+                }
+            };
+        }
+        sub!(
+            cycles,
+            int_issued,
+            fp_issued_core,
+            fp_issued_seq,
+            stall_int_raw,
+            stall_wb_port,
+            stall_offload_full,
+            stall_fp_pending,
+            stall_ssr_cfg,
+            stall_fence,
+            stall_branch,
+            stall_tcdm_conflict,
+            stall_store_order,
+            l0_hits,
+            l0_misses,
+            fpu_muladd_ops,
+            fpu_short_ops,
+            fpu_cvt_ops,
+            fpu_divsqrt_ops,
+            fp_mem_ops,
+            fpu_busy_cycles,
+            seq_active_cycles,
+            fpu_stall_raw,
+            fpu_stall_ssr,
+            fpu_stall_tcdm,
+            tcdm_core_accesses,
+            tcdm_fp_accesses,
+            tcdm_ssr_accesses,
+            tcdm_dma_accesses,
+            tcdm_conflicts,
+            main_mem_accesses,
+            dma_busy_cycles,
+            dma_beats,
+        )
+    }
+}
+
+impl std::fmt::Display for Stats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "cycles            {:>12}", self.cycles)?;
+        writeln!(
+            f,
+            "instructions      {:>12}  (int {} + fp-core {} + fp-seq {})",
+            self.instructions(),
+            self.int_issued,
+            self.fp_issued_core,
+            self.fp_issued_seq
+        )?;
+        writeln!(f, "ipc               {:>12.3}", self.ipc())?;
+        writeln!(
+            f,
+            "stalls: raw {} wb-port {} offload {} fp-pending {} ssr-cfg {} fence {} branch {} tcdm {}",
+            self.stall_int_raw,
+            self.stall_wb_port,
+            self.stall_offload_full,
+            self.stall_fp_pending,
+            self.stall_ssr_cfg,
+            self.stall_fence,
+            self.stall_branch,
+            self.stall_tcdm_conflict
+        )?;
+        writeln!(f, "l0: hits {} misses {}", self.l0_hits, self.l0_misses)?;
+        writeln!(
+            f,
+            "fpu ops: muladd {} short {} cvt {} divsqrt {} mem {}",
+            self.fpu_muladd_ops,
+            self.fpu_short_ops,
+            self.fpu_cvt_ops,
+            self.fpu_divsqrt_ops,
+            self.fp_mem_ops
+        )?;
+        writeln!(
+            f,
+            "tcdm: core {} fp {} ssr {} dma {} conflicts {}",
+            self.tcdm_core_accesses,
+            self.tcdm_fp_accesses,
+            self.tcdm_ssr_accesses,
+            self.tcdm_dma_accesses,
+            self.tcdm_conflicts
+        )?;
+        write!(
+            f,
+            "ssr beats {:?}  dma: busy {} beats {}",
+            self.ssr_beats, self.dma_busy_cycles, self.dma_beats
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_handles_zero_cycles() {
+        assert_eq!(Stats::default().ipc(), 0.0);
+    }
+
+    #[test]
+    fn instructions_sum_all_sources() {
+        let s = Stats { int_issued: 10, fp_issued_core: 5, fp_issued_seq: 20, ..Stats::default() };
+        assert_eq!(s.instructions(), 35);
+        assert_eq!(s.fp_instructions(), 25);
+    }
+
+    #[test]
+    fn delta_subtracts_fieldwise() {
+        let early = Stats { cycles: 100, int_issued: 50, ssr_beats: [1, 2, 3], ..Stats::default() };
+        let late = Stats { cycles: 300, int_issued: 170, ssr_beats: [11, 22, 33], ..Stats::default() };
+        let d = late.delta_since(&early);
+        assert_eq!(d.cycles, 200);
+        assert_eq!(d.int_issued, 120);
+        assert_eq!(d.ssr_beats, [10, 20, 30]);
+    }
+
+    #[test]
+    #[should_panic(expected = "went backwards")]
+    fn delta_rejects_reversed_order() {
+        let early = Stats { cycles: 100, ..Stats::default() };
+        let late = Stats { cycles: 300, ..Stats::default() };
+        let _ = early.delta_since(&late);
+    }
+}

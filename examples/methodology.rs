@@ -1,0 +1,102 @@
+//! The COPIFT methodology as a library: runs Steps 1–7 on the paper's
+//! Figure 1b loop body and prints every artifact — the DFG's cross-thread
+//! dependencies, the phase partition, the buffer/replication plan, FREP
+//! legality diagnostics, and the Table I estimators.
+//!
+//! Run with: `cargo run --example methodology`
+
+use copift_repro::asm::builder::ProgramBuilder;
+use copift_repro::copift::dfg::CrossDepType;
+use copift_repro::copift::{analyze, estimate};
+use copift_repro::riscv::reg::{FpReg, IntReg};
+
+fn main() {
+    // The paper's Fig. 1b: one iteration of the expf kernel.
+    let mut b = ProgramBuilder::new();
+    let (xp, yp, ki, t, tbl) = (IntReg::A3, IntReg::A4, IntReg::S2, IntReg::S3, IntReg::S4);
+    b.fld(FpReg::FA3, xp, 0);
+    b.fmul_d(FpReg::FA3, FpReg::FA3, FpReg::FS4);
+    b.fadd_d(FpReg::FA1, FpReg::FA3, FpReg::FS5);
+    b.fsd(FpReg::FA1, ki, 0);
+    b.lw(IntReg::A0, ki, 0);
+    b.andi(IntReg::A1, IntReg::A0, 0x1f);
+    b.slli(IntReg::A1, IntReg::A1, 3);
+    b.add(IntReg::A1, tbl, IntReg::A1);
+    b.lw(IntReg::A2, IntReg::A1, 0);
+    b.lw(IntReg::A1, IntReg::A1, 4);
+    b.slli(IntReg::A0, IntReg::A0, 0xf);
+    b.sw(IntReg::A2, t, 0);
+    b.add(IntReg::A0, IntReg::A0, IntReg::A1);
+    b.sw(IntReg::A0, t, 4);
+    b.fsub_d(FpReg::FA2, FpReg::FA1, FpReg::FS5);
+    b.fsub_d(FpReg::FA3, FpReg::FA3, FpReg::FA2);
+    b.fmadd_d(FpReg::FA2, FpReg::FS6, FpReg::FA3, FpReg::FS7);
+    b.fld(FpReg::FA0, t, 0);
+    b.fmadd_d(FpReg::FA4, FpReg::FS8, FpReg::FA3, FpReg::FS9);
+    b.fmul_d(FpReg::FA1, FpReg::FA3, FpReg::FA3);
+    b.fmadd_d(FpReg::FA4, FpReg::FA2, FpReg::FA1, FpReg::FA4);
+    b.fmul_d(FpReg::FA4, FpReg::FA4, FpReg::FA0);
+    b.fsd(FpReg::FA4, yp, 0);
+    let body = b.build().expect("assembles").text().to_vec();
+
+    let a = analyze(&body).expect("straight-line body");
+
+    println!("=== Step 1: DFG ({} nodes, {} edges) ===", body.len(), a.dfg.edges().len());
+    for e in a.dfg.cross_edges() {
+        let kind = match e.cross {
+            Some(CrossDepType::Type1 { affine }) => {
+                if affine {
+                    "Type 1 (affine)"
+                } else {
+                    "Type 1"
+                }
+            }
+            Some(CrossDepType::Type2) => "Type 2",
+            Some(CrossDepType::Type3) => "Type 3",
+            None => unreachable!(),
+        };
+        println!(
+            "  {kind}: [{:>2}] {} -> [{:>2}] {}",
+            e.from + 1,
+            body[e.from],
+            e.to + 1,
+            body[e.to]
+        );
+    }
+
+    println!("\n=== Step 2: partition into {} phases ===", a.partition.len());
+    for (i, phase) in a.partition.phases.iter().enumerate() {
+        let members: Vec<String> = phase.nodes.iter().map(|n| (n + 1).to_string()).collect();
+        println!("  phase {i} ({:?}): instructions {}", phase.domain, members.join(", "));
+    }
+    println!("  cut edges: {}", a.partition.cut_edges.len());
+
+    println!("\n=== Steps 4-5: buffers and replication ===");
+    for buf in &a.tiling.buffers {
+        println!(
+            "  {:?}: {} B/elem, phases {} -> {}, {} replicas",
+            buf.kind, buf.elem_bytes, buf.producer, buf.consumer, buf.replicas
+        );
+    }
+    println!(
+        "  {} B of buffers per block element; max block in 128 KiB TCDM: {}",
+        a.tiling.bytes_per_element(),
+        a.tiling.max_block(128 * 1024, 16 * 1024)
+    );
+
+    println!("\n=== Step 7: FREP legality of the fused FP body ===");
+    for v in &a.frep.violations {
+        println!("  [{:>2}] {}", v.node + 1, v.reason);
+    }
+    println!("  ({} violations; Step 6 SSR mapping and the COPIFT", a.frep.violations.len());
+    println!("   custom-1 instructions resolve all of them, as in the paper)");
+
+    println!("\n=== Estimators (Eqs. 1-3) ===");
+    println!("  mix: {} int + {} FP", a.mix.n_int, a.mix.n_fp);
+    println!("  TI = {:.3}, S'' = 1 + TI = {:.3}, I' = {:.3}", a.ti, a.s_double_prime, a.i_prime);
+    let copift_mix = estimate::MixCounts { n_int: a.mix.n_int, n_fp: a.mix.n_fp - 4 };
+    println!(
+        "  with the 4 FP load/stores mapped to SSRs: S' = {:.3}",
+        estimate::s_prime(a.mix, copift_mix)
+    );
+}

@@ -1,0 +1,58 @@
+//! Quickstart: assemble a small mixed integer/FP program, run it on the
+//! cycle-accurate Snitch cluster, and read back results and statistics.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use copift_repro::asm::builder::ProgramBuilder;
+use copift_repro::energy::EnergyModel;
+use copift_repro::riscv::reg::{FpReg, IntReg};
+use copift_repro::sim::cluster::Cluster;
+use copift_repro::sim::config::ClusterConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A dot product of two 8-element vectors, with an FREP hardware loop
+    // streaming both inputs through SSRs — dual-issue in ~30 lines.
+    let mut b = ProgramBuilder::new();
+    let xs = b.tcdm_f64("xs", &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+    let ys = b.tcdm_f64("ys", &[0.5; 8]);
+    let out = b.tcdm_reserve("out", 8, 8);
+
+    use copift_repro::riscv::csr::SsrCfgWord;
+    for (ssr, base) in [(0usize, xs), (1usize, ys)] {
+        b.li(IntReg::T1, 0);
+        b.scfgwi(IntReg::T1, ssr, SsrCfgWord::Status);
+        b.li(IntReg::T1, 7);
+        b.scfgwi(IntReg::T1, ssr, SsrCfgWord::Bound(0));
+        b.li(IntReg::T1, 8);
+        b.scfgwi(IntReg::T1, ssr, SsrCfgWord::Stride(0));
+        b.li_u(IntReg::T1, base);
+        b.scfgwi(IntReg::T1, ssr, SsrCfgWord::Base);
+    }
+    b.ssr_enable();
+    b.li(IntReg::T0, 7); // 8 iterations
+    b.frep_o(IntReg::T0, 1, 0, 0);
+    b.fmadd_d(FpReg::FS0, FpReg::FT0, FpReg::FT1, FpReg::FS0); // acc += x·y
+    // The integer core is free while the FPU accumulates:
+    b.li(IntReg::A0, 100);
+    b.label("busy");
+    b.addi(IntReg::A0, IntReg::A0, -1);
+    b.bnez(IntReg::A0, "busy");
+    b.fpu_fence();
+    b.ssr_disable();
+    b.li_u(IntReg::A1, out);
+    b.fsd(FpReg::FS0, IntReg::A1, 0);
+    b.fpu_fence();
+    b.ecall();
+    let program = b.build()?;
+
+    let mut cluster = Cluster::new(ClusterConfig::default());
+    cluster.load_program(&program);
+    let stats = cluster.run()?;
+
+    let dot = cluster.mem().read_f64(out)?;
+    println!("dot product = {dot} (expected {})", (1..=8).sum::<i32>() as f64 * 0.5);
+    println!("\n{stats}");
+    println!("\n{}", EnergyModel::gf12lp().report(&stats));
+    assert_eq!(dot, 18.0);
+    Ok(())
+}

@@ -1,0 +1,40 @@
+//! # copift-repro
+//!
+//! A from-scratch Rust reproduction of *Dual-Issue Execution of Mixed Integer
+//! and Floating-Point Workloads on Energy-Efficient In-Order RISC-V Cores*
+//! (Colagrande & Benini, DAC 2025) — the **COPIFT** methodology and ISA
+//! extensions, evaluated on a cycle-accurate model of the Snitch RISC-V core.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`riscv`] — instruction-set model (RV32IMFD + Snitch + COPIFT extensions)
+//! * [`asm`] — typed assembler / program builder
+//! * [`sim`] — cycle-accurate Snitch cluster simulator
+//! * [`energy`] — activity-based power and energy model
+//! * [`copift`] — the COPIFT transformation methodology (the paper's core
+//!   contribution)
+//! * [`kernels`] — the six evaluated workloads with golden models
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the architecture and
+//! the experiment index.
+//!
+//! # Example
+//!
+//! Run the paper's `expf` kernel in both baseline and COPIFT form and compare
+//! steady-state IPC:
+//!
+//! ```
+//! use copift_repro::kernels::registry::{Kernel, Variant};
+//!
+//! let kernel = Kernel::Expf;
+//! let base = kernel.run(Variant::Baseline, 256, 32).expect("baseline runs");
+//! let fast = kernel.run(Variant::Copift, 256, 32).expect("copift runs");
+//! assert!(fast.total_cycles < base.total_cycles, "COPIFT must be faster");
+//! ```
+
+pub use copift;
+pub use snitch_asm as asm;
+pub use snitch_energy as energy;
+pub use snitch_kernels as kernels;
+pub use snitch_riscv as riscv;
+pub use snitch_sim as sim;

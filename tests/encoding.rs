@@ -1,0 +1,56 @@
+//! Whole-program encode/decode coverage: every instruction of every kernel
+//! program round-trips through its 32-bit binary form, and the disassembly
+//! listing is well-formed.
+
+use copift_repro::kernels::registry::{Kernel, Variant};
+use copift_repro::riscv::inst::Inst;
+
+#[test]
+fn every_kernel_program_roundtrips_through_binary() {
+    for kernel in Kernel::all() {
+        for variant in [Variant::Baseline, Variant::Copift] {
+            let (n, block) = match kernel {
+                Kernel::Expf | Kernel::Logf => (128, 32),
+                _ => (128, 64),
+            };
+            let program = kernel.build(variant, n, block);
+            for (i, inst) in program.text().iter().enumerate() {
+                let word = inst.encode();
+                let back = Inst::decode(word).unwrap_or_else(|e| {
+                    panic!("{} {}: [{i}] `{inst}` failed to decode: {e}", kernel.name(), variant.name())
+                });
+                assert_eq!(
+                    back,
+                    *inst,
+                    "{} {}: [{i}] {word:#010x} round-trip",
+                    kernel.name(),
+                    variant.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn kernel_disassembly_is_well_formed() {
+    let program = Kernel::Expf.build(Variant::Copift, 128, 32);
+    let listing = program.disassemble();
+    assert!(listing.contains("frep.o"));
+    assert!(listing.contains("scfgwi"));
+    assert!(listing.contains("fmadd.d"));
+    // One line per instruction plus label lines.
+    assert!(listing.lines().count() >= program.text().len());
+}
+
+#[test]
+fn copift_programs_use_custom1_extensions() {
+    for kernel in [Kernel::PiLcg, Kernel::PolyXoshiro, Kernel::Logf] {
+        let (n, block) = if kernel == Kernel::Logf { (128, 32) } else { (128, 64) };
+        let program = kernel.build(Variant::Copift, n, block);
+        let n_copift = program.text().iter().filter(|i| i.is_copift_ext()).count();
+        assert!(n_copift > 0, "{} must use the custom-1 extensions", kernel.name());
+        // And the baseline must not.
+        let base = kernel.build(Variant::Baseline, n, block);
+        assert_eq!(base.text().iter().filter(|i| i.is_copift_ext()).count(), 0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Cross-crate integration tests: every kernel, both variants, validated
+//! bit-exactly against the golden models, plus the paper's headline claims
+//! as assertions.
+
+use copift_repro::kernels::registry::{Kernel, Variant};
+use copift_repro::sim::config::ClusterConfig;
+
+fn sizes_for(kernel: Kernel) -> (usize, usize) {
+    match kernel {
+        Kernel::Expf | Kernel::Logf => (256, 32),
+        _ => (256, 64),
+    }
+}
+
+#[test]
+fn all_kernels_validate_bit_exactly() {
+    for kernel in Kernel::all() {
+        for variant in [Variant::Baseline, Variant::Copift] {
+            let (n, block) = sizes_for(kernel);
+            let r = kernel
+                .run(variant, n, block)
+                .unwrap_or_else(|e| panic!("{} {} failed: {e}", kernel.name(), variant.name()));
+            assert!(r.total_cycles > 0);
+        }
+    }
+}
+
+#[test]
+fn copift_always_beats_baseline() {
+    for kernel in Kernel::all() {
+        let (n, block) = sizes_for(kernel);
+        let base = kernel.run(Variant::Baseline, n, block).unwrap();
+        let fast = kernel.run(Variant::Copift, n, block).unwrap();
+        assert!(
+            fast.total_cycles < base.total_cycles,
+            "{}: copift {} >= base {}",
+            kernel.name(),
+            fast.total_cycles,
+            base.total_cycles
+        );
+    }
+}
+
+#[test]
+fn baseline_ipc_below_one_copift_above_one() {
+    // Single issue bounds the baseline at IPC 1; dual issue must exceed it
+    // in steady state (larger sizes reduce prologue effects).
+    for kernel in Kernel::all() {
+        let (n, block) = sizes_for(kernel);
+        let base = kernel.run(Variant::Baseline, 2 * n, block).unwrap();
+        let fast = kernel.run(Variant::Copift, 2 * n, block).unwrap();
+        assert!(base.stats.ipc() <= 1.0, "{} base ipc {}", kernel.name(), base.stats.ipc());
+        assert!(fast.stats.ipc() > 1.0, "{} copift ipc {}", kernel.name(), fast.stats.ipc());
+        assert!(fast.stats.ipc() <= 2.0, "ipc can never exceed 2");
+    }
+}
+
+#[test]
+fn copift_replays_dominate_fp_issue() {
+    // Pseudo dual-issue: most FP instructions must come from the sequencer,
+    // not the core's issue slots.
+    for kernel in Kernel::all() {
+        let (n, block) = sizes_for(kernel);
+        let fast = kernel.run(Variant::Copift, n, block).unwrap();
+        assert!(
+            fast.stats.fp_issued_seq > fast.stats.fp_issued_core,
+            "{}: seq {} vs core {}",
+            kernel.name(),
+            fast.stats.fp_issued_seq,
+            fast.stats.fp_issued_core
+        );
+    }
+}
+
+#[test]
+fn copift_saves_energy_despite_higher_power() {
+    for kernel in Kernel::all() {
+        let (n, block) = sizes_for(kernel);
+        let base = kernel.run(Variant::Baseline, n, block).unwrap();
+        let fast = kernel.run(Variant::Copift, n, block).unwrap();
+        assert!(
+            fast.power_mw > base.power_mw,
+            "{}: dual issue should raise power",
+            kernel.name()
+        );
+        assert!(
+            fast.energy_uj < base.energy_uj,
+            "{}: dual issue must still save energy",
+            kernel.name()
+        );
+    }
+}
+
+#[test]
+fn lcg_baselines_suffer_wb_port_hazard() {
+    let base = Kernel::PiLcg.run(Variant::Baseline, 256, 0).unwrap();
+    assert!(base.stats.stall_wb_port > 0, "LCG multiplies must collide on the WB port");
+    let xo = Kernel::PiXoshiro.run(Variant::Baseline, 256, 0).unwrap();
+    assert_eq!(xo.stats.stall_wb_port, 0, "xoshiro has no multiplies");
+}
+
+#[test]
+fn exp_baseline_thrashes_l0_copift_does_not() {
+    // Steady-state comparison (differencing removes setup/prologue fetches).
+    let b1 = Kernel::Expf.run(Variant::Baseline, 256, 64).unwrap();
+    let b2 = Kernel::Expf.run(Variant::Baseline, 512, 64).unwrap();
+    let f1 = Kernel::Expf.run(Variant::Copift, 256, 64).unwrap();
+    let f2 = Kernel::Expf.run(Variant::Copift, 512, 64).unwrap();
+    let db = b2.stats.delta_since(&b1.stats);
+    let df = f2.stats.delta_since(&f1.stats);
+    let base_miss = db.l0_misses as f64 / (db.l0_misses + db.l0_hits) as f64;
+    let fast_miss = df.l0_misses as f64 / (df.l0_misses + df.l0_hits) as f64;
+    assert!(
+        base_miss > 0.5,
+        "the 96-instruction baseline loop must thrash the 64-entry L0 ({base_miss:.2})"
+    );
+    assert!(
+        fast_miss < 0.4,
+        "the separated integer loop must mostly hit the L0 ({fast_miss:.2})"
+    );
+    assert!(fast_miss < base_miss / 2.0, "COPIFT must at least halve the miss rate");
+}
+
+#[test]
+fn logf_copift_uses_issr() {
+    let fast = Kernel::Logf.run(Variant::Copift, 256, 32).unwrap();
+    assert!(fast.stats.ssr_beats[1] > 0, "SSR1 must stream the indirection table");
+    // Two table reads per element.
+    assert!(fast.stats.ssr_beats[1] >= 2 * 256);
+}
+
+#[test]
+fn mc_kernels_have_no_explicit_fp_memory_ops_under_copift() {
+    // Steady state: differencing removes the handful of constant loads in
+    // the setup code.
+    let r1 = Kernel::PolyLcg.run(Variant::Copift, 256, 64).unwrap();
+    let r2 = Kernel::PolyLcg.run(Variant::Copift, 512, 64).unwrap();
+    let d = r2.stats.delta_since(&r1.stats);
+    assert_eq!(
+        d.fp_mem_ops, 0,
+        "all steady-state FP memory traffic must flow through the SSRs"
+    );
+    assert!(d.tcdm_ssr_accesses > 0);
+}
+
+#[test]
+fn expf_uses_dma_mc_does_not() {
+    let exp = Kernel::Expf.run(Variant::Baseline, 256, 32).unwrap();
+    assert!(exp.stats.dma_beats > 0, "exp streams x/y via DMA");
+    let mc = Kernel::PiLcg.run(Variant::Baseline, 256, 0).unwrap();
+    assert_eq!(mc.stats.dma_beats, 0, "the Monte Carlo kernels leave the DMA idle");
+    // The paper's observation: the idle DMA is part of why MC base power is
+    // lower than exp/log base power.
+    assert!(mc.power_mw < exp.power_mw);
+}
+
+#[test]
+fn two_wb_ports_remove_lcg_stalls() {
+    let cfg = ClusterConfig { int_wb_ports: 2, ..ClusterConfig::default() };
+    let two = Kernel::PiLcg.run_with(Variant::Baseline, 256, 0, cfg).unwrap();
+    assert_eq!(two.stats.stall_wb_port, 0);
+    let one = Kernel::PiLcg.run(Variant::Baseline, 256, 0).unwrap();
+    assert!(two.total_cycles < one.total_cycles);
+}
+
+#[test]
+fn fig3_trend_ipc_rises_with_problem_size() {
+    let small = Kernel::PolyLcg.run(Variant::Copift, 768, 96).unwrap();
+    let large = Kernel::PolyLcg.run(Variant::Copift, 6144, 96).unwrap();
+    assert!(large.stats.ipc() > small.stats.ipc());
+}
