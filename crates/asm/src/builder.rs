@@ -133,10 +133,8 @@ impl ProgramBuilder {
             return Err(AsmError::TcdmOverflow { required: self.tcdm.len() });
         }
         for (idx, label, kind) in std::mem::take(&mut self.fixups) {
-            let &target = self
-                .labels
-                .get(&label)
-                .ok_or_else(|| AsmError::UndefinedLabel(label.clone()))?;
+            let &target =
+                self.labels.get(&label).ok_or_else(|| AsmError::UndefinedLabel(label.clone()))?;
             let offset = (target as i64 - idx as i64) * 4;
             let (min, max) = match kind {
                 FixKind::Branch => (-4096, 4094),
@@ -170,6 +168,17 @@ impl ProgramBuilder {
     fn record_symbol(&mut self, name: &str, addr: u32) {
         let prev = self.symbols.insert(name.to_string(), addr);
         assert!(prev.is_none(), "duplicate data symbol `{name}`");
+    }
+
+    /// Records a named symbol at an explicit address — an alias into a
+    /// larger allocation, e.g. the live output window inside a working
+    /// buffer that starts with scratch blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate symbol names.
+    pub fn symbol_at(&mut self, name: &str, addr: u32) {
+        self.record_symbol(name, addr);
     }
 
     /// Allocates initialized bytes in the TCDM and returns their address.
@@ -267,10 +276,9 @@ impl ProgramBuilder {
     ///
     /// Panics if the symbol has not been allocated yet.
     pub fn la(&mut self, rd: IntReg, symbol: &str) {
-        let addr = *self
-            .symbols
-            .get(symbol)
-            .unwrap_or_else(|| panic!("unknown data symbol `{symbol}` (allocate data before code)"));
+        let addr = *self.symbols.get(symbol).unwrap_or_else(|| {
+            panic!("unknown data symbol `{symbol}` (allocate data before code)")
+        });
         self.li_u(rd, addr);
     }
 
@@ -624,7 +632,13 @@ impl ProgramBuilder {
 
     /// `dmstati rd, 0`: number of pending DMA transfers.
     pub fn dmstati(&mut self, rd: IntReg) {
-        self.inst(Inst::Dma { op: DmaOp::StatI, rd, rs1: IntReg::ZERO, rs2: IntReg::ZERO, imm5: 0 });
+        self.inst(Inst::Dma {
+            op: DmaOp::StatI,
+            rd,
+            rs1: IntReg::ZERO,
+            rs2: IntReg::ZERO,
+            imm5: 0,
+        });
     }
 
     // ----------------------------------------------------- COPIFT custom-1

@@ -1,69 +1,60 @@
-//! Criterion benches, one per paper table/figure: each benchmark executes
-//! the workload that regenerates the corresponding result (host wall-clock
-//! is what Criterion reports; the architectural numbers come from the
-//! `table1`/`fig2`/`fig3`/`experiments` binaries).
+//! Wall-clock micro-benchmarks, one per paper table/figure: each benchmark
+//! times the host-side workload that regenerates the corresponding result
+//! (the architectural numbers come from the `table1`/`fig2`/`fig3`/
+//! `experiments`/`ablations` binaries).
+//!
+//! Hand-rolled `harness = false` timing loop — no external bench framework.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use snitch_kernels::registry::{Kernel, Variant};
 
-fn table1_static_analysis(c: &mut Criterion) {
-    // The COPIFT methodology pipeline on a representative mixed body.
-    let program = Kernel::PiLcg.build(Variant::Baseline, 8, 0);
-    // Strip control flow: analyze the straight-line prefix.
-    let body: Vec<_> = program
-        .text()
-        .iter()
-        .copied()
-        .take_while(|i| !i.is_control_flow())
-        .collect();
-    c.bench_function("table1_static_analysis", |b| {
-        b.iter(|| copift::analyze(black_box(&body)).expect("analyzes"));
-    });
+const SAMPLES: u32 = 10;
+
+fn bench(name: &str, mut f: impl FnMut()) {
+    // Warm-up, then a fixed sample count; report min/mean.
+    f();
+    let mut total = std::time::Duration::ZERO;
+    let mut best = std::time::Duration::MAX;
+    for _ in 0..SAMPLES {
+        let t0 = Instant::now();
+        f();
+        let dt = t0.elapsed();
+        total += dt;
+        best = best.min(dt);
+    }
+    println!("{name:<28} min {best:>12.3?}   mean {:>12.3?}", total / SAMPLES);
 }
 
-fn fig2a_ipc(c: &mut Criterion) {
-    c.bench_function("fig2a_ipc_pi_lcg_copift", |b| {
-        b.iter(|| {
-            let r = Kernel::PiLcg.run(Variant::Copift, 1024, 128).expect("validates");
-            black_box(r.stats.ipc())
-        });
+fn main() {
+    println!("paper benches ({SAMPLES} samples each, after warm-up)");
+
+    bench("table1_static_analysis", || {
+        let program = Kernel::PiLcg.build(Variant::Baseline, 8, 0);
+        let body: Vec<_> =
+            program.text().iter().copied().take_while(|i| !i.is_control_flow()).collect();
+        black_box(copift::analyze(black_box(&body)).expect("analyzes"));
+    });
+
+    bench("fig2a_ipc_pi_lcg_copift", || {
+        let r = Kernel::PiLcg.run(Variant::Copift, 1024, 128).expect("validates");
+        black_box(r.stats.ipc());
+    });
+
+    bench("fig2b_power_exp_base", || {
+        let r = Kernel::Expf.run(Variant::Baseline, 512, 64).expect("validates");
+        black_box(r.power_mw);
+    });
+
+    bench("fig2c_speedup_exp", || {
+        let base = Kernel::Expf.run(Variant::Baseline, 512, 64).expect("base");
+        let fast = Kernel::Expf.run(Variant::Copift, 512, 64).expect("copift");
+        black_box(base.total_cycles as f64 / fast.total_cycles as f64);
+    });
+
+    bench("fig3_cell_poly_lcg", || {
+        let r = Kernel::PolyLcg.run(Variant::Copift, 1536, 96).expect("validates");
+        black_box(r.stats.ipc());
     });
 }
-
-fn fig2b_power(c: &mut Criterion) {
-    c.bench_function("fig2b_power_exp_base", |b| {
-        b.iter(|| {
-            let r = Kernel::Expf.run(Variant::Baseline, 512, 64).expect("validates");
-            black_box(r.power_mw)
-        });
-    });
-}
-
-fn fig2c_speedup_energy(c: &mut Criterion) {
-    c.bench_function("fig2c_speedup_exp", |b| {
-        b.iter(|| {
-            let base = Kernel::Expf.run(Variant::Baseline, 512, 64).expect("base");
-            let fast = Kernel::Expf.run(Variant::Copift, 512, 64).expect("copift");
-            black_box(base.total_cycles as f64 / fast.total_cycles as f64)
-        });
-    });
-}
-
-fn fig3_block_sweep(c: &mut Criterion) {
-    c.bench_function("fig3_cell_poly_lcg", |b| {
-        b.iter(|| {
-            let r = Kernel::PolyLcg.run(Variant::Copift, 1536, 96).expect("validates");
-            black_box(r.stats.ipc())
-        });
-    });
-}
-
-criterion_group! {
-    name = paper;
-    config = Criterion::default().sample_size(10);
-    targets = table1_static_analysis, fig2a_ipc, fig2b_power, fig2c_speedup_energy,
-              fig3_block_sweep
-}
-criterion_main!(paper);

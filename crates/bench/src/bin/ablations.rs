@@ -1,0 +1,85 @@
+//! Ablations of the design choices DESIGN.md calls out, run as
+//! `snitch-engine` configuration sweeps: each ablation replicates one job
+//! across cluster configurations (sharing a single compiled program) and
+//! prints the architectural effect. The claims that used to be bench
+//! assertions are verified here, loudly.
+
+use snitch_engine::{job, Engine, JobSpec, RunRecord};
+use snitch_kernels::registry::{Kernel, Variant};
+use snitch_sim::config::ClusterConfig;
+
+fn cycles(records: &[RunRecord]) -> Vec<u64> {
+    records
+        .iter()
+        .map(|r| {
+            assert!(
+                r.ok,
+                "{} failed: {}",
+                r.job.label(),
+                r.error.as_deref().unwrap_or("unknown error")
+            );
+            r.cycles
+        })
+        .collect()
+}
+
+fn main() {
+    let engine = Engine::default();
+
+    // 1 vs 2 integer RF write-back ports: isolates the paper's LCG
+    // structural-hazard explanation.
+    let base_job = JobSpec::new(Kernel::PiLcg, Variant::Baseline, 512, 0);
+    let configs: Vec<ClusterConfig> = [1, 2]
+        .iter()
+        .map(|&p| ClusterConfig { int_wb_ports: p, ..ClusterConfig::default() })
+        .collect();
+    let wb = cycles(&engine.run(&job::config_sweep(&base_job, &configs)));
+    println!("[ablation_wb_port] pi_lcg base cycles: 1 port {}, 2 ports {}", wb[0], wb[1]);
+    assert!(wb[1] < wb[0], "a second write-back port must remove LCG stalls");
+
+    // L0 capacity sweep: the exp/log I$ energy story.
+    let exp_job = JobSpec::new(Kernel::Expf, Variant::Baseline, 256, 32);
+    let configs: Vec<ClusterConfig> = [32usize, 64, 128]
+        .iter()
+        .map(|&cap| ClusterConfig { l0_capacity: cap, ..ClusterConfig::default() })
+        .collect();
+    for (cap, r) in
+        [32usize, 64, 128].iter().zip(engine.run(&job::config_sweep(&exp_job, &configs)))
+    {
+        let stats = r.stats.as_ref().expect("l0 ablation run validates");
+        println!(
+            "[ablation_l0] exp base, L0 {cap:>3}: hits {} misses {}",
+            stats.l0_hits, stats.l0_misses
+        );
+    }
+
+    // Offload FIFO depth: bounds integer-thread run-ahead.
+    let poly_job = JobSpec::new(Kernel::PolyLcg, Variant::Copift, 512, 128);
+    let configs: Vec<ClusterConfig> = [2usize, 8, 16]
+        .iter()
+        .map(|&d| ClusterConfig { offload_fifo_depth: d, ..ClusterConfig::default() })
+        .collect();
+    let fifo = cycles(&engine.run(&job::config_sweep(&poly_job, &configs)));
+    for (depth, cy) in [2usize, 8, 16].iter().zip(&fifo) {
+        println!("[ablation_fifo] poly_lcg copift, fifo {depth:>2}: {cy} cycles");
+    }
+    assert!(fifo[0] >= fifo[1], "a deeper FIFO must never slow the kernel");
+
+    // Sequencer ring depth: the documented deviation from Snitch's small
+    // FREP buffer (bodies up to 80 instructions need a deeper ring).
+    let configs: Vec<ClusterConfig> = [80usize, 128]
+        .iter()
+        .map(|&d| ClusterConfig { sequencer_depth: d, ..ClusterConfig::default() })
+        .collect();
+    let seq = cycles(&engine.run(&job::config_sweep(&poly_job, &configs)));
+    for (depth, cy) in [80usize, 128].iter().zip(&seq) {
+        println!("[ablation_seq] poly_lcg copift, ring {depth:>3}: {cy} cycles");
+    }
+
+    println!(
+        "[ablations] {} simulations, {} programs compiled ({} cache hits)",
+        engine.cache().hits() + engine.cache().misses(),
+        engine.cache().misses(),
+        engine.cache().hits()
+    );
+}

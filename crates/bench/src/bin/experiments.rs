@@ -1,10 +1,14 @@
 //! Runs every experiment and writes `EXPERIMENTS.md` (paper vs measured for
 //! every table and figure).
+//!
+//! All measurements run through `snitch-engine` batches (80 simulations
+//! total), fanned across the host cores with one compiled program per
+//! distinct spec.
 
 use std::fmt::Write as _;
 
-use snitch_bench::{fig3_ipc, geomean, Fig2Row, FIG3_BLOCKS, FIG3_SIZES};
-use snitch_kernels::registry::Kernel;
+use snitch_bench::{fig3_grid, geomean, Fig2Row, FIG3_BLOCKS, FIG3_SIZES};
+use snitch_engine::Engine;
 
 fn main() {
     let mut out = String::new();
@@ -21,14 +25,18 @@ fn main() {
     );
 
     // ---- Figure 2 ----
-    let rows: Vec<Fig2Row> = Kernel::all().iter().map(|k| Fig2Row::measure(*k)).collect();
-    let paper_ipc = [(0.96, 1.24), (0.96, 1.36), (0.86, 1.50), (0.89, 1.75), (0.92, 1.48), (0.92, 1.63)];
-    let paper_power = [(37.9, 39.0), (37.4, 38.4), (41.5, 43.6), (38.7, 40.1), (42.1, 45.1), (41.8, 46.2)];
+    let engine = Engine::default();
+    let rows: Vec<Fig2Row> = Fig2Row::measure_all(&engine);
+    let paper_ipc =
+        [(0.96, 1.24), (0.96, 1.36), (0.86, 1.50), (0.89, 1.75), (0.92, 1.48), (0.92, 1.63)];
+    let paper_power =
+        [(37.9, 39.0), (37.4, 38.4), (41.5, 43.6), (38.7, 40.1), (42.1, 45.1), (41.8, 46.2)];
     let paper_speedup = [1.15, 1.26, 1.32, 1.58, 1.62, 2.05];
     let paper_energy = [1.12, 1.22, 1.17, 1.34, 1.61, 1.93];
 
     let _ = writeln!(out, "## Figure 2a — steady-state IPC\n");
-    let _ = writeln!(out, "| kernel | base (paper) | base (ours) | COPIFT (paper) | COPIFT (ours) |");
+    let _ =
+        writeln!(out, "| kernel | base (paper) | base (ours) | COPIFT (paper) | COPIFT (ours) |");
     let _ = writeln!(out, "|---|---|---|---|---|");
     for (r, p) in rows.iter().zip(paper_ipc) {
         let _ = writeln!(
@@ -50,7 +58,8 @@ fn main() {
     );
 
     let _ = writeln!(out, "## Figure 2b — average power (mW)\n");
-    let _ = writeln!(out, "| kernel | base (paper) | base (ours) | COPIFT (paper) | COPIFT (ours) |");
+    let _ =
+        writeln!(out, "| kernel | base (paper) | base (ours) | COPIFT (paper) | COPIFT (ours) |");
     let _ = writeln!(out, "|---|---|---|---|---|");
     for (r, p) in rows.iter().zip(paper_power) {
         let _ = writeln!(
@@ -64,11 +73,7 @@ fn main() {
         );
     }
     let ratios: Vec<f64> = rows.iter().map(Fig2Row::power_ratio).collect();
-    let _ = writeln!(
-        out,
-        "\nGeomean power ratio **{:.3}×** (paper 1.07×).\n",
-        geomean(&ratios)
-    );
+    let _ = writeln!(out, "\nGeomean power ratio **{:.3}×** (paper 1.07×).\n", geomean(&ratios));
 
     let _ = writeln!(out, "## Figure 2c — speedup and energy improvement\n");
     let _ = writeln!(
@@ -106,11 +111,12 @@ fn main() {
     }
     let _ = writeln!(out, "{header} peak |");
     let _ = writeln!(out, "|{}", "---|".repeat(FIG3_BLOCKS.len() + 2));
-    for &n in &FIG3_SIZES {
+    let grid = fig3_grid(&engine);
+    for (i, &n) in FIG3_SIZES.iter().enumerate() {
         let mut line = format!("| {n} |");
         let mut best = (0usize, 0.0f64);
-        for (j, &b) in FIG3_BLOCKS.iter().enumerate() {
-            let v = fig3_ipc(n, b);
+        for (j, _) in FIG3_BLOCKS.iter().enumerate() {
+            let v = grid[i][j];
             if v > best.1 {
                 best = (j, v);
             }

@@ -1,16 +1,25 @@
 //! Regenerates **Figure 2**: steady-state IPC (a), power (b), and
 //! speedup / energy improvement (c) for all six kernels, baseline vs COPIFT.
+//!
+//! The 24 simulations run as one `snitch-engine` batch across all host
+//! cores; results are identical to the serial drivers.
 
 use snitch_bench::{geomean, Fig2Row};
-use snitch_kernels::registry::Kernel;
+use snitch_engine::Engine;
 
 fn main() {
-    let panel = std::env::args().nth(2).unwrap_or_else(|| "all".to_string());
-    let rows: Vec<Fig2Row> = Kernel::all().iter().map(|k| Fig2Row::measure(*k)).collect();
+    let panel = std::env::args()
+        .skip(1)
+        .find(|a| a != "all" && !a.starts_with("--"))
+        .unwrap_or_else(|| "all".to_string());
+    let rows: Vec<Fig2Row> = Fig2Row::measure_all(&Engine::default());
 
     if panel == "ipc" || panel == "all" {
         println!("Figure 2a — steady-state IPC (paper: base 0.86–0.96, COPIFT 1.24–1.75)");
-        println!("{:<18} {:>8} {:>8} {:>7} {:>10}", "kernel", "base", "copift", "gain", "I' (exp.)");
+        println!(
+            "{:<18} {:>8} {:>8} {:>7} {:>10}",
+            "kernel", "base", "copift", "gain", "I' (exp.)"
+        );
         for r in &rows {
             println!(
                 "{:<18} {:>8.2} {:>8.2} {:>6.1}x {:>10.2}",
@@ -43,10 +52,7 @@ fn main() {
     }
     if panel == "speedup" || panel == "all" {
         println!("Figure 2c — speedup and energy improvement (paper: 1.47x / 1.37x geomean)");
-        println!(
-            "{:<18} {:>8} {:>10} {:>10}",
-            "kernel", "speedup", "energy-imp", "S' (exp.)"
-        );
+        println!("{:<18} {:>8} {:>10} {:>10}", "kernel", "speedup", "energy-imp", "S' (exp.)");
         for r in &rows {
             println!(
                 "{:<18} {:>7.2}x {:>9.2}x {:>10.2}",

@@ -1,8 +1,11 @@
 //! Regenerates **Figure 3**: IPC of the `poly_lcg` COPIFT kernel over
 //! problem size × block size, with the paper's ">99.5%" and per-size "peak"
 //! annotations.
+//!
+//! The 56-cell grid runs as one `snitch-engine` batch across all host cores.
 
-use snitch_bench::{fig3_ipc, FIG3_BLOCKS, FIG3_SIZES};
+use snitch_bench::{fig3_grid, FIG3_BLOCKS, FIG3_SIZES};
+use snitch_engine::Engine;
 
 fn main() {
     println!("Figure 3 — poly_lcg COPIFT IPC over problem size (rows) x block size (cols)");
@@ -11,12 +14,7 @@ fn main() {
         print!(" {b:>6}");
     }
     println!(" | peak");
-    let mut grid = vec![vec![0.0f64; FIG3_BLOCKS.len()]; FIG3_SIZES.len()];
-    for (i, &n) in FIG3_SIZES.iter().enumerate() {
-        for (j, &b) in FIG3_BLOCKS.iter().enumerate() {
-            grid[i][j] = fig3_ipc(n, b);
-        }
-    }
+    let grid = fig3_grid(&Engine::default());
     // Per-block maximum IPC (for the >99.5% annotation).
     let col_max: Vec<f64> =
         (0..FIG3_BLOCKS.len()).map(|j| grid.iter().map(|r| r[j]).fold(0.0, f64::max)).collect();

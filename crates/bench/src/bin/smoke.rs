@@ -1,16 +1,29 @@
-use snitch_kernels::registry::{Kernel, Variant};
+//! Quick validation pass: every kernel, both variants, one engine batch.
+
+use snitch_engine::{job, Engine};
+
 fn main() {
-    for k in Kernel::all() {
-        for v in [Variant::Baseline, Variant::Copift] {
-            let (n, block) = match k {
-                Kernel::Expf | Kernel::Logf => (512, 64),
-                _ => (512, 128),
-            };
-            match k.run(v, n, block) {
-                Ok(r) => println!("{:<18} {:<7} ok: cycles {:>8} ipc {:.3} power {:.1} mW",
-                    k.name(), v.name(), r.total_cycles, r.stats.ipc(), r.power_mw),
-                Err(e) => println!("{:<18} {:<7} FAILED: {e}", k.name(), v.name()),
-            }
+    let records = Engine::default().run(&job::smoke());
+    let mut failed = false;
+    for r in &records {
+        if r.ok {
+            println!(
+                "{:<18} {:<7} ok: cycles {:>8} ipc {:.3} power {:.1} mW",
+                r.job.kernel.name(),
+                r.job.variant.name(),
+                r.cycles,
+                r.ipc,
+                r.power_mw
+            );
+        } else {
+            failed = true;
+            println!(
+                "{:<18} {:<7} FAILED: {}",
+                r.job.kernel.name(),
+                r.job.variant.name(),
+                r.error.as_deref().unwrap_or("unknown error")
+            );
         }
     }
+    assert!(!failed, "smoke batch had failures");
 }

@@ -4,8 +4,10 @@
 //! 4 elements for the vector kernels, 8 points for Monte Carlo).
 
 use copift::estimate::{i_prime, s_double_prime, s_prime, thread_imbalance, MixCounts};
-use snitch_bench::measure_steady;
-use snitch_kernels::registry::{Kernel, Variant};
+use snitch_bench::Fig2Row;
+use snitch_engine::Engine;
+use snitch_kernels::registry::Kernel;
+use snitch_kernels::SteadyState;
 
 fn unit_of(kernel: Kernel) -> f64 {
     if kernel.is_mc() {
@@ -15,8 +17,7 @@ fn unit_of(kernel: Kernel) -> f64 {
     }
 }
 
-fn mix_per_unit(kernel: Kernel, variant: Variant) -> MixCounts {
-    let ss = measure_steady(kernel, variant);
+fn mix_per_unit(kernel: Kernel, ss: &SteadyState) -> MixCounts {
     let elems = ss.delta.cycles as f64 / ss.cycles_per_elem;
     let scale = unit_of(kernel) / elems;
     MixCounts {
@@ -43,9 +44,11 @@ fn main() {
         "{:<18} {:>9} {:>9} {:>6} | {:>9} {:>9} | {:>6} {:>6} {:>6} | paper: I' S'' S'",
         "kernel", "base#Int", "base#FP", "TI", "cop#Int", "cop#FP", "I'", "S''", "S'"
     );
-    for k in Kernel::all().iter().rev() {
-        let base = mix_per_unit(*k, Variant::Baseline);
-        let cop = mix_per_unit(*k, Variant::Copift);
+    let rows: Vec<Fig2Row> = Fig2Row::measure_all(&Engine::default());
+    for fig2_row in rows.iter().rev() {
+        let k = &fig2_row.kernel;
+        let base = mix_per_unit(*k, &fig2_row.base);
+        let cop = mix_per_unit(*k, &fig2_row.copift);
         let row = paper.iter().find(|r| r.0 == k.name());
         let paper_str = row.map_or_else(String::new, |r| {
             format!(

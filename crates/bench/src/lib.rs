@@ -1,9 +1,17 @@
 //! Shared measurement code for the experiment drivers that regenerate the
 //! COPIFT paper's Table I and Figures 2–3.
+//!
+//! All batched measurements run through [`snitch_engine`]: the drivers
+//! expand their experiment matrix into a job batch, the engine fans the
+//! batch across worker threads (caching compiled programs), and the
+//! steady-state derivations here consume the ordered records. This module
+//! is the **only** place steady-state measure logic lives.
 
+use snitch_engine::{job, Engine, RunRecord};
 use snitch_kernels::harness::steady_state;
 use snitch_kernels::registry::{Kernel, Variant};
 use snitch_kernels::SteadyState;
+use snitch_sim::stats::Stats;
 
 /// Steady-state measurement of one (kernel, variant) pair at its Figure 2
 /// operating point, derived by differencing two problem sizes.
@@ -19,6 +27,17 @@ pub fn measure_steady(kernel: Kernel, variant: Variant) -> SteadyState {
     steady_state(&small.stats, n, &large.stats, 2 * n)
 }
 
+/// The stats of a record, panicking loudly on a failed job.
+fn stats_of(record: &RunRecord) -> &Stats {
+    assert!(
+        record.ok,
+        "{} failed: {}",
+        record.job.label(),
+        record.error.as_deref().unwrap_or("unknown error")
+    );
+    record.stats.as_ref().expect("successful records carry stats")
+}
+
 /// One Figure 2 row: baseline and COPIFT steady-state measurements plus the
 /// derived comparisons.
 #[derive(Clone, Debug)]
@@ -32,7 +51,7 @@ pub struct Fig2Row {
 }
 
 impl Fig2Row {
-    /// Measures one kernel.
+    /// Measures one kernel serially.
     #[must_use]
     pub fn measure(kernel: Kernel) -> Fig2Row {
         Fig2Row {
@@ -40,6 +59,32 @@ impl Fig2Row {
             base: measure_steady(kernel, Variant::Baseline),
             copift: measure_steady(kernel, Variant::Copift),
         }
+    }
+
+    /// Measures all six kernels as one engine batch (24 simulations fanned
+    /// across the engine's workers). Results are identical to six serial
+    /// [`measure`](Self::measure) calls; only wall-clock differs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any run fails validation.
+    #[must_use]
+    pub fn measure_all(engine: &Engine) -> Vec<Fig2Row> {
+        let jobs = job::figure2();
+        let records = engine.run(&jobs);
+        // figure2() is kernel-major: [base n, base 2n, copift n, copift 2n].
+        Kernel::all()
+            .iter()
+            .zip(records.chunks_exact(4))
+            .map(|(&kernel, chunk)| {
+                let (n, _) = kernel.operating_point();
+                Fig2Row {
+                    kernel,
+                    base: steady_state(stats_of(&chunk[0]), n, stats_of(&chunk[1]), 2 * n),
+                    copift: steady_state(stats_of(&chunk[2]), n, stats_of(&chunk[3]), 2 * n),
+                }
+            })
+            .collect()
     }
 
     /// Steady-state speedup (cycles per element ratio).
@@ -91,22 +136,24 @@ pub fn geomean(values: &[f64]) -> f64 {
     (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
 }
 
-/// One Figure 3 cell: full-run IPC of `poly_lcg` COPIFT (prologue and
-/// epilogue included — the point of the figure).
+/// The full Figure 3 IPC grid, `grid[size_index][block_index]` — full-run
+/// IPC of `poly_lcg` COPIFT with prologue and epilogue included (the point
+/// of the figure) — computed as one engine batch (56 simulations).
 ///
 /// # Panics
 ///
-/// Panics if the run fails validation.
+/// Panics if any run fails validation.
 #[must_use]
-pub fn fig3_ipc(n: usize, block: usize) -> f64 {
-    let r = Kernel::PolyLcg.run(Variant::Copift, n, block).expect("fig3 run validates");
-    r.stats.ipc()
+pub fn fig3_grid(engine: &Engine) -> Vec<Vec<f64>> {
+    let jobs = job::figure3_paper();
+    let records = engine.run(&jobs);
+    records
+        .chunks_exact(FIG3_BLOCKS.len())
+        .map(|row| row.iter().map(|r| stats_of(r).ipc()).collect())
+        .collect()
 }
 
-/// The paper's Figure 3 block sizes.
-pub const FIG3_BLOCKS: [usize; 7] = [32, 48, 64, 96, 128, 192, 256];
-/// Figure 3 problem sizes.
-pub const FIG3_SIZES: [usize; 8] = [768, 1536, 3072, 6144, 12288, 24576, 49152, 98304];
+pub use snitch_engine::job::{FIG3_BLOCKS, FIG3_SIZES};
 
 #[cfg(test)]
 mod tests {
@@ -127,5 +174,16 @@ mod tests {
                 assert_eq!(b % 8, 0);
             }
         }
+    }
+
+    #[test]
+    fn engine_rows_match_serial_measurement() {
+        // The engine path must reproduce the serial path bit-for-bit.
+        let rows = Fig2Row::measure_all(&Engine::new(2));
+        let serial = Fig2Row::measure(Kernel::PiLcg);
+        let row = rows.iter().find(|r| r.kernel == Kernel::PiLcg).expect("pi_lcg row");
+        assert_eq!(row.base.delta, serial.base.delta);
+        assert_eq!(row.copift.delta, serial.copift.delta);
+        assert!((row.speedup() - serial.speedup()).abs() < 1e-12);
     }
 }

@@ -98,10 +98,10 @@ impl std::error::Error for CodegenError {}
 
 /// Registers the generator claims for itself.
 const GEN_REGS: [IntReg; 6] = [
-    IntReg::new(1), // buffer A
-    IntReg::new(2), // buffer B
-    IntReg::new(3), // spill write pointer
-    IntReg::new(4), // outer counter
+    IntReg::new(1),  // buffer A
+    IntReg::new(2),  // buffer B
+    IntReg::new(3),  // spill write pointer
+    IntReg::new(4),  // outer counter
     IntReg::new(29), // scratch (config values)
     IntReg::new(30), // inner counter
 ];
@@ -134,13 +134,8 @@ pub fn compile(spec: &KernelSpec, n: usize, block: usize) -> Result<Program, Cod
     assert!(block > 0 && n.is_multiple_of(block) && n / block >= 2, "need >= 2 blocks");
     // Strip the induction-pointer bumps of the declared streams: the SSR
     // address generators absorb them (the paper's affine Type 1 elision).
-    let stream_ptrs: Vec<IntReg> = spec
-        .input
-        .as_ref()
-        .map(|(r, _)| *r)
-        .into_iter()
-        .chain(spec.output)
-        .collect();
+    let stream_ptrs: Vec<IntReg> =
+        spec.input.as_ref().map(|(r, _)| *r).into_iter().chain(spec.output).collect();
     let body: Vec<Inst> = spec
         .body
         .iter()
@@ -284,11 +279,8 @@ fn rewrite_fp_phase(
     input_nodes: &[usize],
     output_nodes: &[usize],
 ) -> Result<Vec<Inst>, CodegenError> {
-    let phase = part
-        .phases
-        .iter()
-        .find(|p| p.domain == Domain::Fp)
-        .expect("checked shape has an FP phase");
+    let phase =
+        part.phases.iter().find(|p| p.domain == Domain::Fp).expect("checked shape has an FP phase");
     let spill_by_consumer: HashMap<usize, &Spill> =
         spills.iter().map(|s| (s.consumer, s)).collect();
     let mut out = Vec::new();
@@ -366,8 +358,7 @@ fn emit_full(
     let buf0 = b.tcdm_reserve("spill0", slot_bytes * block, 8);
     let buf1 = b.tcdm_reserve("spill1", slot_bytes * block, 8);
     let fp_const_img: Vec<f64> = spec.fp_init.iter().map(|(_, v)| *v).collect();
-    let caddr =
-        if fp_const_img.is_empty() { 0 } else { b.tcdm_f64("fp_consts", &fp_const_img) };
+    let caddr = if fp_const_img.is_empty() { 0 } else { b.tcdm_f64("fp_consts", &fp_const_img) };
     let x_in = spec.input.as_ref().map(|(_, vals)| {
         assert!(vals.len() >= n, "input data shorter than n");
         b.tcdm_f64("x_in", &vals[..n])
@@ -533,11 +524,7 @@ mod tests {
                 (IntReg::new(11), crate::codegen::tests::A),
                 (IntReg::new(12), crate::codegen::tests::C),
             ],
-            fp_init: vec![
-                (FpReg::FS0, 0.5),
-                (FpReg::FS1, 1.25),
-                (FpReg::FS2, 0.0),
-            ],
+            fp_init: vec![(FpReg::FS0, 0.5), (FpReg::FS1, 1.25), (FpReg::FS2, 0.0)],
             input: None,
             output: None,
         }

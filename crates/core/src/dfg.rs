@@ -143,10 +143,8 @@ impl Dfg {
     /// Builds the DFG of `body` (one loop iteration, straight-line code).
     #[must_use]
     pub fn build(body: &[Inst]) -> Self {
-        let domains: Vec<Domain> = body
-            .iter()
-            .map(|i| if i.is_fp() { Domain::Fp } else { Domain::Int })
-            .collect();
+        let domains: Vec<Domain> =
+            body.iter().map(|i| if i.is_fp() { Domain::Fp } else { Domain::Int }).collect();
 
         // Track, per integer register, a symbolic value for address math:
         // either "live-in base + constant" or opaque.
@@ -165,7 +163,9 @@ impl Dfg {
         // Memory accesses seen so far: (node, is_store, addr, bytes, fp-side)
         let mut mem_ops: Vec<(usize, bool, SymAddr, u32, bool)> = Vec::new();
 
-        let addr_of = |inst: &Inst, sym: &HashMap<IntReg, SymVal>| -> Option<(SymAddr, u32, bool)> {
+        let addr_of = |inst: &Inst,
+                       sym: &HashMap<IntReg, SymVal>|
+         -> Option<(SymAddr, u32, bool)> {
             let (rs1, offset, bytes, fp) = match *inst {
                 Inst::Load { op, rs1, offset, .. } => (rs1, offset, op.size(), false),
                 Inst::Store { op, rs1, offset, .. } => (rs1, offset, op.size(), false),
@@ -201,11 +201,8 @@ impl Dfg {
             for u in inst.uses() {
                 match last_def.get(&u) {
                     Some(&d) => {
-                        let cross = if domains[d] != domains[i] {
-                            Some(CrossDepType::Type3)
-                        } else {
-                            None
-                        };
+                        let cross =
+                            if domains[d] == domains[i] { None } else { Some(CrossDepType::Type3) };
                         edges.push(DepEdge { from: d, to: i, kind: DepKind::Reg(u), cross });
                     }
                     None => {
@@ -218,10 +215,8 @@ impl Dfg {
 
             // Memory dependencies.
             if let Some((addr, bytes, fp)) = addr_of(inst, &sym) {
-                let is_store = matches!(
-                    inst,
-                    Inst::Store { .. } | Inst::Fsw { .. } | Inst::Fsd { .. }
-                );
+                let is_store =
+                    matches!(inst, Inst::Store { .. } | Inst::Fsw { .. } | Inst::Fsd { .. });
                 for &(j, j_store, j_addr, j_bytes, j_fp) in &mem_ops {
                     if !(is_store || j_store) {
                         continue; // load-load never conflicts
@@ -380,8 +375,10 @@ fn may_alias(a: SymAddr, a_bytes: u32, b: SymAddr, b_bytes: u32) -> bool {
             ba == bb && oa < ob + b_bytes as i32 && ob < oa + a_bytes as i32
         }
         // Base-indexed accesses stay within their base object.
-        (SymAddr::Indexed { base: ba }, SymAddr::Indexed { base: bb })
-        | (SymAddr::Indexed { base: ba }, SymAddr::Static { base: bb, .. })
+        (
+            SymAddr::Indexed { base: ba },
+            SymAddr::Indexed { base: bb } | SymAddr::Static { base: bb, .. },
+        )
         | (SymAddr::Static { base: ba, .. }, SymAddr::Indexed { base: bb }) => ba == bb,
         // A fully dynamic address may alias anything (conservative).
         (SymAddr::Dynamic, _) | (_, SymAddr::Dynamic) => true,
@@ -454,12 +451,8 @@ mod tests {
         let dfg = Dfg::build(&body);
         // Paper Fig. 1c: fsd ki → lw ki (4→5), sw t → fld t (12→18, 14→18).
         // 0-based: 3→4, 11→17, 13→17, all static (Type 2).
-        let mem_cross: Vec<(usize, usize)> = dfg
-            .cross_edges()
-            .iter()
-            .filter(|e| e.kind.is_mem())
-            .map(|e| (e.from, e.to))
-            .collect();
+        let mem_cross: Vec<(usize, usize)> =
+            dfg.cross_edges().iter().filter(|e| e.kind.is_mem()).map(|e| (e.from, e.to)).collect();
         assert_eq!(mem_cross, vec![(3, 4), (11, 17), (13, 17)]);
         for e in dfg.cross_edges() {
             if e.kind.is_mem() {
@@ -541,8 +534,7 @@ mod tests {
         b.fld(FpReg::FA1, IntReg::A2, 0); // indirect table access
         let body = b.build().unwrap().text().to_vec();
         let dfg = Dfg::build(&body);
-        let patterns: Vec<AccessPattern> =
-            dfg.fp_accesses().iter().map(|a| a.pattern).collect();
+        let patterns: Vec<AccessPattern> = dfg.fp_accesses().iter().map(|a| a.pattern).collect();
         assert_eq!(
             patterns,
             vec![
@@ -560,10 +552,7 @@ mod tests {
         // 4 FP memory ops: fld x, fsd ki, fld t, fsd y (pointer bumps are
         // omitted in the Fig. 1b excerpt, so x/y classify as static too).
         assert_eq!(dfg.fp_accesses().len(), 4);
-        assert!(dfg
-            .fp_accesses()
-            .iter()
-            .all(|a| a.pattern == AccessPattern::SpillStatic));
+        assert!(dfg.fp_accesses().iter().all(|a| a.pattern == AccessPattern::SpillStatic));
     }
 
     #[test]

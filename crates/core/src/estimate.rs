@@ -120,10 +120,8 @@ mod tests {
     fn table1_thread_imbalance() {
         // Paper TI column: expf 0.83, logf 0.75, poly_lcg 0.55, pi_lcg 0.79,
         // poly_xoshiro 0.47, pi_xoshiro 0.33.
-        let ti: Vec<f64> = TABLE1
-            .iter()
-            .map(|&(_, (bi, bf), ..)| thread_imbalance(mix(bi, bf)))
-            .collect();
+        let ti: Vec<f64> =
+            TABLE1.iter().map(|&(_, (bi, bf), ..)| thread_imbalance(mix(bi, bf))).collect();
         let paper = [0.83, 0.75, 0.55, 0.79, 0.47, 0.33];
         for (t, p) in ti.iter().zip(paper) {
             assert!((t - p).abs() < 0.01, "{t} vs {p}");

@@ -72,9 +72,9 @@ impl FrepPlan {
 
 fn remedy(inst: &Inst) -> String {
     match inst {
-        Inst::Flw { .. } | Inst::Fld { .. } | Inst::Fsw { .. } | Inst::Fsd { .. } => format!(
-            "`{inst}` consumes an integer base address: map the access to an SSR (Step 6)"
-        ),
+        Inst::Flw { .. } | Inst::Fld { .. } | Inst::Fsw { .. } | Inst::Fsd { .. } => {
+            format!("`{inst}` consumes an integer base address: map the access to an SSR (Step 6)")
+        }
         i if i.fp_writes_int_rf() || i.fp_reads_int_rf() => format!(
             "`{inst}` crosses register files: use the COPIFT custom-1 replacement and spill \
              the integer communication through memory (paper §II-B)"

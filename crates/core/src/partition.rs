@@ -15,7 +15,7 @@
 //! (≲ 100 nodes) this reproduces the published partitions exactly (see the
 //! `expf` test).
 
-use crate::dfg::{Dfg, DepEdge, Domain};
+use crate::dfg::{DepEdge, Dfg, Domain};
 
 /// One phase: a maximal single-domain group of instructions with a fixed
 /// position in the phase order.
@@ -59,9 +59,8 @@ impl Partition {
 
         let k = best.iter().copied().max().unwrap_or(0) + 1;
         let start_domain = phase_domain_table(&best, domains);
-        let mut phases: Vec<Phase> = (0..k)
-            .map(|p| Phase { domain: start_domain(p), nodes: Vec::new() })
-            .collect();
+        let mut phases: Vec<Phase> =
+            (0..k).map(|p| Phase { domain: start_domain(p), nodes: Vec::new() }).collect();
         for (node, &p) in best.iter().enumerate() {
             phases[p].nodes.push(node);
         }
@@ -75,11 +74,8 @@ impl Partition {
             }
         }
         let assignment: Vec<usize> = best.iter().map(|&p| remap[p]).collect();
-        let cut_edges = edges
-            .iter()
-            .copied()
-            .filter(|e| assignment[e.from] != assignment[e.to])
-            .collect();
+        let cut_edges =
+            edges.iter().copied().filter(|e| assignment[e.from] != assignment[e.to]).collect();
         Some(Partition { phases: compact, assignment, cut_edges })
     }
 
@@ -142,7 +138,8 @@ fn assign(domains: &[Domain], edges: &[DepEdge], start: Domain) -> Vec<usize> {
         let mut p = max_phase - (max_phase + parity_of(domains[i], start)) % 2;
         // ^ largest phase ≤ max_phase with this node's parity
         for e in edges.iter().filter(|e| e.from == i) {
-            let limit = if domains[e.to] == domains[i] { alap[e.to] } else { alap[e.to].saturating_sub(1) };
+            let limit =
+                if domains[e.to] == domains[i] { alap[e.to] } else { alap[e.to].saturating_sub(1) };
             while p > limit {
                 p = p.saturating_sub(2);
             }
@@ -198,7 +195,8 @@ fn legal_move(
 ) -> bool {
     edges.iter().all(|e| {
         if e.to == node {
-            let min = if domains[e.from] == domains[node] { phase[e.from] } else { phase[e.from] + 1 };
+            let min =
+                if domains[e.from] == domains[node] { phase[e.from] } else { phase[e.from] + 1 };
             p >= min
         } else if e.from == node {
             let max = if domains[e.to] == domains[node] { phase[e.to] } else { phase[e.to] - 1 };
@@ -218,9 +216,7 @@ fn node_cut_cost(
 ) -> usize {
     edges
         .iter()
-        .filter(|e| {
-            (e.to == node && phase[e.from] != p) || (e.from == node && phase[e.to] != p)
-        })
+        .filter(|e| (e.to == node && phase[e.from] != p) || (e.from == node && phase[e.to] != p))
         .count()
 }
 
@@ -246,8 +242,7 @@ mod tests {
         assert!(part.is_acyclic(&dfg));
         // The paper's cut: 4→5, 12→18, 14→18 (memory) and 21→22 (fa4),
         // 0-based: (3,4), (11,17), (13,17), (20,21).
-        let mut cut: Vec<(usize, usize)> =
-            part.cut_edges.iter().map(|e| (e.from, e.to)).collect();
+        let mut cut: Vec<(usize, usize)> = part.cut_edges.iter().map(|e| (e.from, e.to)).collect();
         cut.sort_unstable();
         cut.dedup();
         assert_eq!(cut, vec![(3, 4), (11, 17), (13, 17), (20, 21)]);

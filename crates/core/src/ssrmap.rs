@@ -237,10 +237,7 @@ mod tests {
             fuse(&[a, Stream1d { write: true, ..a }]).unwrap_err(),
             FusionError::MixedDirection
         );
-        assert_eq!(
-            fuse(&[a, Stream1d { count: 5, ..a }]).unwrap_err(),
-            FusionError::UnequalCounts
-        );
+        assert_eq!(fuse(&[a, Stream1d { count: 5, ..a }]).unwrap_err(), FusionError::UnequalCounts);
         assert_eq!(
             fuse(&[a, Stream1d { stride: 16, ..a }]).unwrap_err(),
             FusionError::UnequalStrides

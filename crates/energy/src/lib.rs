@@ -1,7 +1,7 @@
 //! Activity-based power and energy model for the Snitch cluster.
 //!
 //! The COPIFT paper extracts switching activity from post-layout simulation
-//! and estimates power with PrimeTime (GF 12LP+, 1 GHz, 0.8 V, 25 °C). This
+//! and estimates power with `PrimeTime` (GF 12LP+, 1 GHz, 0.8 V, 25 °C). This
 //! crate substitutes an event-energy model: the simulator counts every
 //! energy-relevant event ([`snitch_sim::stats::Stats`]), and the model
 //! multiplies by per-event energies plus a constant clock-tree/leakage

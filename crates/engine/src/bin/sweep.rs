@@ -1,0 +1,277 @@
+//! `sweep` — run batched experiment sweeps through `snitch-engine`.
+//!
+//! ```text
+//! sweep fig2 --workers 8 --jsonl fig2.jsonl
+//! sweep --kernels pi_lcg,exp --variants base,copift --n 256,512 --block 32 --csv out.csv
+//! sweep --kernels poly_lcg --variants copift --n 512 --block 128 --fifo-depth 2,4,8,16
+//! ```
+//!
+//! Any comma-separated configuration flag expands into a configuration axis
+//! and the engine sweeps the full cross product — ablations (write-back
+//! ports, FPU latency, FIFO depth, bank count, ...) are one flag away.
+
+use std::io::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use snitch_engine::{job, sink, Engine, JobSpec};
+use snitch_kernels::registry::{Kernel, Variant};
+use snitch_sim::config::ClusterConfig;
+
+const USAGE: &str = "\
+usage: sweep [PRESET] [OPTIONS]
+
+Presets (job batch templates):
+  fig2            all 6 kernels x 2 variants at (n, 2n) operating points (24 jobs)
+  fig3            poly_lcg COPIFT over the paper's size x block grid (56 jobs)
+  smoke           all kernels x variants at small sizes (12 jobs)
+
+Job axes (ignored when a preset is given):
+  --kernels K,..  paper kernel names (pi_xoshiro128p, poly_xoshiro128p,
+                  pi_lcg, poly_lcg, log, exp); default: all
+  --variants V,.. base, copift; default: both
+  --n N,..        problem sizes; default: 256
+  --block B,..    block sizes; default: 32
+
+Configuration axes (comma lists expand into sweep dimensions; these also
+apply to presets, replicating the preset batch per configuration):
+  --wb-ports N,..         integer RF write-back ports
+  --l0 N,..               L0 instruction-buffer capacity
+  --fifo-depth N,..       offload FIFO depth
+  --seq-depth N,..        FREP sequencer ring depth
+  --banks N,..            TCDM bank count (power of two)
+  --fpu-lat-muladd N,..   FPU add/mul/FMA latency
+  --mul-latency N,..      integer multiply write-back latency
+  --branch-penalty N,..   taken-branch penalty
+
+Execution and output:
+  --workers N     worker threads (default: all hardware threads)
+  --jsonl PATH    write JSON-lines records (\"-\" for stdout)
+  --csv PATH      write CSV records (\"-\" for stdout)
+  --quiet         suppress the summary table
+";
+
+struct Args {
+    preset: Option<String>,
+    kernels: Vec<Kernel>,
+    variants: Vec<Variant>,
+    sizes: Vec<usize>,
+    blocks: Vec<usize>,
+    config_axes: Vec<(String, Vec<u32>)>,
+    workers: Option<usize>,
+    jsonl: Option<String>,
+    csv: Option<String>,
+    quiet: bool,
+}
+
+fn parse_list<T: std::str::FromStr>(flag: &str, value: &str) -> Result<Vec<T>, String> {
+    value
+        .split(',')
+        .map(|v| v.trim().parse::<T>().map_err(|_| format!("{flag}: bad value `{v}`")))
+        .collect()
+}
+
+#[allow(clippy::too_many_lines)]
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        preset: None,
+        kernels: Kernel::all().to_vec(),
+        variants: Variant::all().to_vec(),
+        sizes: vec![256],
+        blocks: vec![32],
+        config_axes: Vec::new(),
+        workers: None,
+        jsonl: None,
+        csv: None,
+        quiet: false,
+    };
+    let mut it = argv.iter().peekable();
+    let config_flags = [
+        "--wb-ports",
+        "--l0",
+        "--fifo-depth",
+        "--seq-depth",
+        "--banks",
+        "--fpu-lat-muladd",
+        "--mul-latency",
+        "--branch-penalty",
+    ];
+    while let Some(arg) = it.next() {
+        let mut value_of = |flag: &str| -> Result<String, String> {
+            it.next().cloned().ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "fig2" | "fig3" | "smoke" => args.preset = Some(arg.clone()),
+            "--kernels" => {
+                let v = value_of("--kernels")?;
+                args.kernels = v
+                    .split(',')
+                    .map(|name| {
+                        Kernel::from_name(name.trim())
+                            .ok_or_else(|| format!("unknown kernel `{name}`"))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--variants" => {
+                let v = value_of("--variants")?;
+                args.variants = v
+                    .split(',')
+                    .map(|name| {
+                        Variant::from_name(name.trim())
+                            .ok_or_else(|| format!("unknown variant `{name}`"))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--n" => args.sizes = parse_list("--n", &value_of("--n")?)?,
+            "--block" => args.blocks = parse_list("--block", &value_of("--block")?)?,
+            "--workers" => {
+                args.workers = Some(
+                    value_of("--workers")?
+                        .parse()
+                        .map_err(|_| "--workers: expected a number".to_string())?,
+                );
+            }
+            "--jsonl" => args.jsonl = Some(value_of("--jsonl")?),
+            "--csv" => args.csv = Some(value_of("--csv")?),
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => return Err(String::new()),
+            flag if config_flags.contains(&flag) => {
+                let values = parse_list(flag, &value_of(flag)?)?;
+                args.config_axes.push((flag.to_string(), values));
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+/// Expands the configuration axes into the cross product of all overrides.
+fn expand_configs(axes: &[(String, Vec<u32>)]) -> Vec<ClusterConfig> {
+    let mut configs = vec![ClusterConfig::default()];
+    for (flag, values) in axes {
+        configs = configs
+            .iter()
+            .flat_map(|cfg| {
+                values.iter().map(|&v| {
+                    let mut c = cfg.clone();
+                    match flag.as_str() {
+                        "--wb-ports" => c.int_wb_ports = v,
+                        "--l0" => c.l0_capacity = v as usize,
+                        "--fifo-depth" => c.offload_fifo_depth = v as usize,
+                        "--seq-depth" => c.sequencer_depth = v as usize,
+                        "--banks" => c.tcdm_banks = v as usize,
+                        "--fpu-lat-muladd" => c.fpu_lat_muladd = v,
+                        "--mul-latency" => c.mul_latency = v,
+                        "--branch-penalty" => c.branch_penalty = v,
+                        other => unreachable!("unhandled config flag {other}"),
+                    }
+                    c
+                })
+            })
+            .collect();
+    }
+    configs
+}
+
+fn build_jobs(args: &Args) -> Vec<JobSpec> {
+    let configs = expand_configs(&args.config_axes);
+    let preset_jobs = match args.preset.as_deref() {
+        Some("fig2") => job::figure2(),
+        Some("fig3") => job::figure3_paper(),
+        Some("smoke") => job::smoke(),
+        _ => {
+            let points: Vec<(usize, usize)> =
+                args.sizes.iter().flat_map(|&n| args.blocks.iter().map(move |&b| (n, b))).collect();
+            return JobSpec::grid_with_configs(&args.kernels, &args.variants, &points, &configs);
+        }
+    };
+    // Configuration axes apply to presets too: replicate the preset batch
+    // job-major across the expanded configurations.
+    preset_jobs
+        .into_iter()
+        .flat_map(|j| configs.iter().map(move |c| j.clone().with_config(c.clone())))
+        .collect()
+}
+
+fn write_out(path: &str, contents: &str) -> std::io::Result<()> {
+    if path == "-" {
+        std::io::stdout().write_all(contents.as_bytes())
+    } else {
+        std::fs::write(path, contents)
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("sweep: {msg}");
+            eprint!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let jobs = build_jobs(&args);
+    if jobs.is_empty() {
+        eprintln!("sweep: empty job batch");
+        return ExitCode::FAILURE;
+    }
+    let engine = args.workers.map_or_else(Engine::default, Engine::new);
+    let t0 = Instant::now();
+    let records = engine.run(&jobs);
+    let wall = t0.elapsed();
+
+    if let Some(path) = &args.jsonl {
+        if let Err(e) = write_out(path, &sink::to_jsonl(&records)) {
+            eprintln!("sweep: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = &args.csv {
+        if let Err(e) = write_out(path, &sink::to_csv(&records)) {
+            eprintln!("sweep: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let failed = records.iter().filter(|r| !r.ok).count();
+    if !args.quiet {
+        println!(
+            "{:<18} {:<7} {:>7} {:>6} {:>4} {:>10} {:>7} {:>8} {:>9}",
+            "kernel", "variant", "n", "block", "ok", "cycles", "ipc", "power", "energy"
+        );
+        for r in &records {
+            println!(
+                "{:<18} {:<7} {:>7} {:>6} {:>4} {:>10} {:>7.3} {:>7.1}m {:>8.2}u",
+                r.job.kernel.name(),
+                r.job.variant.name(),
+                r.job.n,
+                r.job.block,
+                if r.ok { "ok" } else { "FAIL" },
+                r.cycles,
+                r.ipc,
+                r.power_mw,
+                r.energy_uj,
+            );
+        }
+    }
+    eprintln!(
+        "sweep: {} jobs, {} workers, {:.2?} wall; program cache: {} built, {} reused{}",
+        records.len(),
+        engine.workers(),
+        wall,
+        engine.cache().misses(),
+        engine.cache().hits(),
+        if failed > 0 { format!("; {failed} FAILED") } else { String::new() },
+    );
+    if failed > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,137 @@
+//! Keyed cache of compiled programs.
+//!
+//! A sweep typically runs the same program under many configurations (and a
+//! steady-state measurement runs each program at two sizes); assembling a
+//! kernel is pure, so the cache keys on exactly the inputs of
+//! [`Kernel::build`] and shares the result across worker threads via `Arc`.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use snitch_asm::program::Program;
+use snitch_kernels::registry::{Kernel, Variant};
+
+/// Cache key: the full input domain of [`Kernel::build`]. The cluster
+/// configuration is deliberately absent — it affects timing, never code.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ProgramKey {
+    /// Workload.
+    pub kernel: Kernel,
+    /// Code variant.
+    pub variant: Variant,
+    /// Problem size.
+    pub n: usize,
+    /// Block size.
+    pub block: usize,
+}
+
+/// Thread-safe compiled-program cache.
+///
+/// Builds happen outside the map lock, so a slow assembly never blocks
+/// unrelated lookups; if two workers race on the same key, the first insert
+/// wins and every later [`get`](Self::get) returns that same `Arc`.
+#[derive(Default, Debug)]
+pub struct ProgramCache {
+    map: Mutex<HashMap<ProgramKey, Arc<Program>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ProgramCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the compiled program for `key`, assembling it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel's size constraints reject `(n, block)` — exactly
+    /// as [`Kernel::build`] does.
+    #[must_use]
+    pub fn get(&self, key: ProgramKey) -> Arc<Program> {
+        if let Some(p) = self.map.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(p);
+        }
+        // Miss: assemble outside the lock, then re-check — another worker
+        // may have inserted while we were building. The counters stay
+        // exact: hits + misses == lookups and misses == distinct programs,
+        // regardless of races (a lost race counts as a hit).
+        let program = Arc::new(key.kernel.build(key.variant, key.n, key.block));
+        match self.map.lock().unwrap().entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Arc::clone(e.get())
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                Arc::clone(v.insert(program))
+            }
+        }
+    }
+
+    /// Number of lookups served from the cache.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that assembled a program.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct programs held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_keys_share_one_program() {
+        let cache = ProgramCache::new();
+        let key = ProgramKey { kernel: Kernel::PiLcg, variant: Variant::Baseline, n: 64, block: 0 };
+        let a = cache.get(key);
+        let b = cache.get(key);
+        assert!(Arc::ptr_eq(&a, &b), "duplicate specs must return the same program");
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_build_distinct_programs() {
+        let cache = ProgramCache::new();
+        let a = cache.get(ProgramKey {
+            kernel: Kernel::PiLcg,
+            variant: Variant::Baseline,
+            n: 64,
+            block: 0,
+        });
+        let b = cache.get(ProgramKey {
+            kernel: Kernel::PiLcg,
+            variant: Variant::Baseline,
+            n: 128,
+            block: 0,
+        });
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.len(), 2);
+    }
+}

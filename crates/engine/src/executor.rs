@@ -1,0 +1,191 @@
+//! The parallel executor: a scoped-thread worker pool over a job batch.
+//!
+//! Workers pull jobs from a shared atomic cursor, so load-balancing is
+//! dynamic, but each result lands in the slot of its job index — the
+//! returned `Vec<RunRecord>` is always in batch order regardless of how the
+//! OS schedules the workers. Each worker keeps one `Cluster` alive and
+//! [`reset`](snitch_sim::cluster::Cluster::reset)s it between jobs with the
+//! same configuration, reusing the multi-MiB memory allocations.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use snitch_sim::cluster::Cluster;
+
+use crate::cache::ProgramCache;
+use crate::job::JobSpec;
+use crate::record::RunRecord;
+
+/// Batched experiment executor.
+#[derive(Debug)]
+pub struct Engine {
+    workers: usize,
+    cache: ProgramCache,
+}
+
+impl Default for Engine {
+    /// An engine with one worker per available hardware thread.
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+        Engine::new(workers)
+    }
+}
+
+impl Engine {
+    /// An engine with a fixed worker count (clamped to at least 1).
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        Engine { workers: workers.max(1), cache: ProgramCache::new() }
+    }
+
+    /// The worker count.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The program cache (counters survive across batches, so several
+    /// batches run through one engine share compiled programs).
+    #[must_use]
+    pub fn cache(&self) -> &ProgramCache {
+        &self.cache
+    }
+
+    /// Runs every job in `jobs` and returns one record per job, **in job
+    /// order**. Simulation failures and validation mismatches are captured
+    /// in the records (`ok = false`), never panicked, so one bad
+    /// configuration cannot take down a sweep.
+    #[must_use]
+    pub fn run(&self, jobs: &[JobSpec]) -> Vec<RunRecord> {
+        let slots: Vec<OnceLock<RunRecord>> = jobs.iter().map(|_| OnceLock::new()).collect();
+        let cursor = AtomicUsize::new(0);
+        let workers = self.workers.min(jobs.len()).max(1);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| {
+                    // One cluster per worker, rebuilt only on config change.
+                    let mut cluster: Option<Cluster> = None;
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(job) = jobs.get(i) else { break };
+                        // An illegal spec panics in Kernel::build (size
+                        // asserts); contain it to this job's record so one
+                        // bad spec cannot abort the whole sweep.
+                        let record = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            self.exec(job, &mut cluster)
+                        }))
+                        .unwrap_or_else(|panic| {
+                            // A panicked run leaves the cluster in an
+                            // unknown state; drop it.
+                            cluster = None;
+                            RunRecord::failure(job.clone(), panic_message(panic.as_ref()))
+                        });
+                        slots[i].set(record).expect("each job index is claimed once");
+                    }
+                });
+            }
+        });
+        slots.into_iter().map(|s| s.into_inner().expect("every job slot is filled")).collect()
+    }
+
+    /// Runs one job, reusing `cluster` when its configuration matches.
+    fn exec(&self, job: &JobSpec, cluster: &mut Option<Cluster>) -> RunRecord {
+        let program = self.cache.get(job.program_key());
+        let reusable = cluster.as_ref().is_some_and(|c| *c.config() == job.config);
+        if !reusable {
+            *cluster = Some(Cluster::new(job.config.clone()));
+        }
+        let cluster = cluster.as_mut().expect("cluster was just ensured");
+        match job.kernel.run_on(cluster, job.variant, job.n, &program) {
+            Ok(outcome) => RunRecord::success(job.clone(), &outcome),
+            Err(e) => RunRecord::failure(job.clone(), e.to_string()),
+        }
+    }
+}
+
+/// Extracts the human-readable message from a caught panic payload. The
+/// caller must pass the payload itself (`Box::as_ref`), not a reference to
+/// the `Box` — the latter would coerce the box into a second `dyn Any` layer
+/// and defeat the downcasts.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    let msg = panic
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| panic.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string());
+    format!("illegal job spec: {msg}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job;
+    use snitch_kernels::registry::{Kernel, Variant};
+    use snitch_sim::config::ClusterConfig;
+
+    #[test]
+    fn results_arrive_in_job_order() {
+        // Mix job sizes so completion order differs from submission order.
+        let jobs = vec![
+            JobSpec::new(Kernel::PiLcg, Variant::Baseline, 256, 0),
+            JobSpec::new(Kernel::PiLcg, Variant::Baseline, 16, 0),
+            JobSpec::new(Kernel::PiLcg, Variant::Copift, 128, 32),
+            JobSpec::new(Kernel::PiLcg, Variant::Baseline, 64, 0),
+        ];
+        let records = Engine::new(4).run(&jobs);
+        assert_eq!(records.len(), 4);
+        for (r, j) in records.iter().zip(&jobs) {
+            assert_eq!(r.job, *j, "record order must match job order");
+            assert!(r.ok, "{} must validate", j.label());
+        }
+    }
+
+    #[test]
+    fn failures_are_recorded_not_panicked() {
+        // A one-cycle watchdog guarantees a timeout.
+        let strangled = ClusterConfig { max_cycles: 1, ..ClusterConfig::default() };
+        let jobs = vec![
+            JobSpec::new(Kernel::PiLcg, Variant::Baseline, 64, 0),
+            JobSpec::new(Kernel::PiLcg, Variant::Baseline, 64, 0).with_config(strangled),
+        ];
+        let records = Engine::new(2).run(&jobs);
+        assert!(records[0].ok);
+        assert!(!records[1].ok);
+        assert!(records[1].error.as_deref().unwrap_or("").contains("simulation failed"));
+    }
+
+    #[test]
+    fn illegal_spec_is_recorded_not_fatal() {
+        // block 3 violates the MC COPIFT block constraints and panics in
+        // Kernel::build; the sweep must survive and the other jobs succeed.
+        let jobs = vec![
+            JobSpec::new(Kernel::PiLcg, Variant::Baseline, 64, 0),
+            JobSpec::new(Kernel::PiLcg, Variant::Copift, 64, 3),
+            JobSpec::new(Kernel::PiLcg, Variant::Copift, 64, 32),
+        ];
+        let records = Engine::new(2).run(&jobs);
+        assert!(records[0].ok);
+        assert!(!records[1].ok);
+        let error = records[1].error.as_deref().unwrap_or("");
+        assert!(error.starts_with("illegal job spec:"), "got {error:?}");
+        assert!(error.contains("block"), "the kernel's assert message must survive: {error:?}");
+        assert!(records[2].ok, "jobs after the bad spec still run");
+    }
+
+    #[test]
+    fn config_sweep_builds_each_program_once() {
+        let base = JobSpec::new(Kernel::PiLcg, Variant::Baseline, 64, 0);
+        let configs: Vec<ClusterConfig> = (1..=4)
+            .map(|p| ClusterConfig { int_wb_ports: p, ..ClusterConfig::default() })
+            .collect();
+        let jobs = job::config_sweep(&base, &configs);
+        let engine = Engine::new(2);
+        let records = engine.run(&jobs);
+        assert_eq!(records.len(), 4);
+        assert!(records.iter().all(|r| r.ok));
+        assert_eq!(engine.cache().misses(), 1, "one program serves all configs");
+        assert_eq!(engine.cache().hits(), 3);
+        // More write-back ports never hurt.
+        assert!(records[1].cycles <= records[0].cycles);
+    }
+}

@@ -1,0 +1,206 @@
+//! The job model: one simulation job and the constructors that expand
+//! experiment matrices into batches.
+//!
+//! All constructors produce jobs in a **deterministic order** (row-major
+//! over their input axes); the executor preserves that order in its results,
+//! so batch expansion fully defines the layout of every result file.
+
+use snitch_kernels::registry::{Kernel, Variant};
+use snitch_sim::config::ClusterConfig;
+
+use crate::cache::ProgramKey;
+
+/// One simulation job: which program to run under which configuration.
+#[derive(Clone, PartialEq, Debug)]
+pub struct JobSpec {
+    /// Workload.
+    pub kernel: Kernel,
+    /// Code variant.
+    pub variant: Variant,
+    /// Problem size (points or vector elements).
+    pub n: usize,
+    /// DMA/tiling block size (ignored by kernels without blocking).
+    pub block: usize,
+    /// Cluster configuration to simulate under.
+    pub config: ClusterConfig,
+}
+
+impl JobSpec {
+    /// A job at the default cluster configuration.
+    #[must_use]
+    pub fn new(kernel: Kernel, variant: Variant, n: usize, block: usize) -> Self {
+        JobSpec { kernel, variant, n, block, config: ClusterConfig::default() }
+    }
+
+    /// Replaces the cluster configuration.
+    #[must_use]
+    pub fn with_config(mut self, config: ClusterConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The program-cache key: configuration changes never rebuild programs.
+    #[must_use]
+    pub fn program_key(&self) -> ProgramKey {
+        ProgramKey { kernel: self.kernel, variant: self.variant, n: self.n, block: self.block }
+    }
+
+    /// Human-readable job label, e.g. `exp/copift/n2048/b128`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!("{}/{}/n{}/b{}", self.kernel.name(), self.variant.name(), self.n, self.block)
+    }
+
+    /// Full four-axis matrix expansion: every `kernel × variant × (n, block)
+    /// × config` combination, row-major in that axis order.
+    #[must_use]
+    pub fn grid_with_configs(
+        kernels: &[Kernel],
+        variants: &[Variant],
+        points: &[(usize, usize)],
+        configs: &[ClusterConfig],
+    ) -> Vec<JobSpec> {
+        let mut jobs =
+            Vec::with_capacity(kernels.len() * variants.len() * points.len() * configs.len());
+        for &kernel in kernels {
+            for &variant in variants {
+                for &(n, block) in points {
+                    for config in configs {
+                        jobs.push(JobSpec { kernel, variant, n, block, config: config.clone() });
+                    }
+                }
+            }
+        }
+        jobs
+    }
+
+    /// Three-axis matrix at the default configuration.
+    #[must_use]
+    pub fn grid(
+        kernels: &[Kernel],
+        variants: &[Variant],
+        points: &[(usize, usize)],
+    ) -> Vec<JobSpec> {
+        Self::grid_with_configs(kernels, variants, points, &[ClusterConfig::default()])
+    }
+}
+
+/// Free-function alias of [`JobSpec::grid`], for readable call sites.
+#[must_use]
+pub fn grid(kernels: &[Kernel], variants: &[Variant], points: &[(usize, usize)]) -> Vec<JobSpec> {
+    JobSpec::grid(kernels, variants, points)
+}
+
+/// The full Figure 2 batch: every kernel, both variants, at the kernel's
+/// operating point `n` and at `2n` (steady-state measurements difference the
+/// two sizes). 24 jobs, ordered kernel-major in Figure 2 order.
+#[must_use]
+pub fn figure2() -> Vec<JobSpec> {
+    let mut jobs = Vec::with_capacity(24);
+    for kernel in Kernel::all() {
+        let (n, block) = kernel.operating_point();
+        for variant in Variant::all() {
+            jobs.push(JobSpec::new(kernel, variant, n, block));
+            jobs.push(JobSpec::new(kernel, variant, 2 * n, block));
+        }
+    }
+    jobs
+}
+
+/// The paper's Figure 3 block sizes.
+pub const FIG3_BLOCKS: [usize; 7] = [32, 48, 64, 96, 128, 192, 256];
+/// The paper's Figure 3 problem sizes.
+pub const FIG3_SIZES: [usize; 8] = [768, 1536, 3072, 6144, 12288, 24576, 49152, 98304];
+
+/// A Figure 3-style grid: `poly_lcg` COPIFT over `sizes × blocks`,
+/// size-major (one row of the figure at a time).
+#[must_use]
+pub fn figure3(sizes: &[usize], blocks: &[usize]) -> Vec<JobSpec> {
+    let points: Vec<(usize, usize)> =
+        sizes.iter().flat_map(|&n| blocks.iter().map(move |&b| (n, b))).collect();
+    JobSpec::grid(&[Kernel::PolyLcg], &[Variant::Copift], &points)
+}
+
+/// [`figure3`] at the paper's own axes ([`FIG3_SIZES`] × [`FIG3_BLOCKS`]):
+/// the full 56-cell grid.
+#[must_use]
+pub fn figure3_paper() -> Vec<JobSpec> {
+    figure3(&FIG3_SIZES, &FIG3_BLOCKS)
+}
+
+/// The smoke batch: every kernel, both variants, at small
+/// validation-friendly sizes (12 jobs, kernel-major).
+#[must_use]
+pub fn smoke() -> Vec<JobSpec> {
+    let mut jobs = Vec::with_capacity(12);
+    for kernel in Kernel::all() {
+        let (n, block) = match kernel {
+            Kernel::Expf | Kernel::Logf => (512, 64),
+            _ => (512, 128),
+        };
+        for variant in Variant::all() {
+            jobs.push(JobSpec::new(kernel, variant, n, block));
+        }
+    }
+    jobs
+}
+
+/// Replicates one job across many cluster configurations (ablations). The
+/// compiled program is shared by all replicas through the program cache.
+#[must_use]
+pub fn config_sweep(base: &JobSpec, configs: &[ClusterConfig]) -> Vec<JobSpec> {
+    configs.iter().map(|c| base.clone().with_config(c.clone())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_is_row_major_and_complete() {
+        let jobs = grid(&[Kernel::PiLcg, Kernel::Logf], &Variant::all(), &[(64, 16), (128, 16)]);
+        assert_eq!(jobs.len(), 8);
+        let labels: Vec<String> = jobs.iter().map(JobSpec::label).collect();
+        assert_eq!(labels[0], "pi_lcg/base/n64/b16");
+        assert_eq!(labels[1], "pi_lcg/base/n128/b16");
+        assert_eq!(labels[2], "pi_lcg/copift/n64/b16");
+        assert_eq!(labels[7], "log/copift/n128/b16");
+    }
+
+    #[test]
+    fn figure2_covers_all_kernels_twice_per_variant() {
+        let jobs = figure2();
+        assert_eq!(jobs.len(), 24);
+        for kernel in Kernel::all() {
+            let (n, block) = kernel.operating_point();
+            for variant in Variant::all() {
+                for size in [n, 2 * n] {
+                    assert!(
+                        jobs.iter().any(|j| j.kernel == kernel
+                            && j.variant == variant
+                            && j.n == size
+                            && j.block == block),
+                        "missing {}/{}/{size}",
+                        kernel.name(),
+                        variant.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn config_sweep_shares_the_program_key() {
+        let base = JobSpec::new(Kernel::PiLcg, Variant::Baseline, 64, 0);
+        let sweep = config_sweep(
+            &base,
+            &[
+                ClusterConfig::default(),
+                ClusterConfig { int_wb_ports: 2, ..ClusterConfig::default() },
+            ],
+        );
+        assert_eq!(sweep.len(), 2);
+        assert_eq!(sweep[0].program_key(), sweep[1].program_key());
+        assert_ne!(sweep[0].config, sweep[1].config);
+    }
+}

@@ -1,0 +1,57 @@
+//! Result sinks: stream a batch of records to JSON-lines or CSV.
+//!
+//! Output is written in job order (the order of the batch passed to the
+//! executor), which the engine guarantees is independent of worker
+//! scheduling — so a sweep's files are byte-identical across worker counts.
+
+use std::io::{self, Write};
+
+use crate::record::RunRecord;
+
+/// Writes one JSON object per line.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_jsonl<W: Write>(records: &[RunRecord], w: &mut W) -> io::Result<()> {
+    for r in records {
+        writeln!(w, "{}", r.json_line())?;
+    }
+    Ok(())
+}
+
+/// Renders a whole batch as one JSON-lines string.
+#[must_use]
+pub fn to_jsonl(records: &[RunRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        out.push_str(&r.json_line());
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes a CSV table with a header row.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_csv<W: Write>(records: &[RunRecord], w: &mut W) -> io::Result<()> {
+    writeln!(w, "{}", RunRecord::csv_header())?;
+    for r in records {
+        writeln!(w, "{}", r.csv_row())?;
+    }
+    Ok(())
+}
+
+/// Renders a whole batch as one CSV string (with header).
+#[must_use]
+pub fn to_csv(records: &[RunRecord]) -> String {
+    let mut out = String::from(RunRecord::csv_header());
+    out.push('\n');
+    for r in records {
+        out.push_str(&r.csv_row());
+        out.push('\n');
+    }
+    out
+}

@@ -1,0 +1,61 @@
+//! Golden determinism tests: a sweep's serialized output must not depend on
+//! the worker count or on scheduling.
+
+use snitch_engine::{job, sink, Engine, JobSpec};
+use snitch_kernels::registry::{Kernel, Variant};
+use snitch_sim::config::ClusterConfig;
+
+fn four_job_batch() -> Vec<JobSpec> {
+    vec![
+        JobSpec::new(Kernel::PiLcg, Variant::Baseline, 128, 0),
+        JobSpec::new(Kernel::PiLcg, Variant::Copift, 128, 32),
+        JobSpec::new(Kernel::Logf, Variant::Baseline, 64, 16),
+        JobSpec::new(Kernel::PiXoshiro, Variant::Baseline, 64, 0)
+            .with_config(ClusterConfig { int_wb_ports: 2, ..ClusterConfig::default() }),
+    ]
+}
+
+#[test]
+fn jsonl_is_byte_identical_across_worker_counts() {
+    let jobs = four_job_batch();
+    let serial = sink::to_jsonl(&Engine::new(1).run(&jobs));
+    for workers in [2, 4, 8] {
+        let parallel = sink::to_jsonl(&Engine::new(workers).run(&jobs));
+        assert_eq!(serial, parallel, "JSON-lines output diverged at {workers} workers");
+    }
+    // Sanity on the content itself.
+    assert_eq!(serial.lines().count(), 4);
+    assert!(serial.lines().all(|l| l.contains("\"ok\":true")));
+}
+
+#[test]
+fn csv_is_byte_identical_across_worker_counts() {
+    let jobs = four_job_batch();
+    let serial = sink::to_csv(&Engine::new(1).run(&jobs));
+    let parallel = sink::to_csv(&Engine::new(4).run(&jobs));
+    assert_eq!(serial, parallel);
+    assert_eq!(serial.lines().count(), 5, "header plus four rows");
+}
+
+#[test]
+fn figure2_batch_matches_direct_serial_runs() {
+    // The engine must reproduce exactly what `Kernel::run` reports —
+    // cluster reuse, caching and threading may not perturb a single cycle.
+    let jobs = job::figure2();
+    let records = Engine::default().run(&jobs);
+    assert_eq!(records.len(), 24);
+    // Spot-check a quarter of the batch against the direct path (checking
+    // all 24 would double the test's runtime for no extra coverage).
+    for record in records.iter().step_by(4) {
+        let job = &record.job;
+        let direct =
+            job.kernel.run(job.variant, job.n, job.block).expect("direct serial run validates");
+        assert!(record.ok, "{} must validate through the engine", job.label());
+        assert_eq!(
+            record.stats.as_ref().unwrap(),
+            &direct.stats,
+            "{}: engine and serial stats diverge",
+            job.label()
+        );
+    }
+}

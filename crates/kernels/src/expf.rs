@@ -48,20 +48,18 @@ fn alloc_io(b: &mut ProgramBuilder, n: usize, block: usize) -> (u32, u32) {
     let xs = inputs(n);
     let mut img: Vec<f64> = xs;
     img.extend(std::iter::repeat_n(0.0, block)); // prefetch slack
-    let x_main = b.main_bytes(
-        "x_main",
-        8,
-        &img.iter().flat_map(|v| v.to_le_bytes()).collect::<Vec<u8>>(),
-    );
+    let x_main =
+        b.main_bytes("x_main", 8, &img.iter().flat_map(|v| v.to_le_bytes()).collect::<Vec<u8>>());
     let y_main = b.main_reserve("y_main", (n + 2 * block) * 8, 8);
+    // The real y output starts one (dummy) block into y_main; name that
+    // window so validation can address it like any other output symbol.
+    b.symbol_at("y_out", y_main + (block as u32) * 8);
     (x_main, y_main)
 }
 
 fn setup_fp_consts(b: &mut ProgramBuilder) {
-    let caddr = b.tcdm_f64(
-        "exp_consts",
-        &[EXP_INVLN2N, EXP_SHIFT, EXP_C[0], EXP_C[1], EXP_C[2], EXP_C[3]],
-    );
+    let caddr =
+        b.tcdm_f64("exp_consts", &[EXP_INVLN2N, EXP_SHIFT, EXP_C[0], EXP_C[1], EXP_C[2], EXP_C[3]]);
     b.li_u(x(30), caddr);
     for i in 0..6u8 {
         b.fld(f(19 + i), x(30), 8 * i32::from(i));
@@ -522,7 +520,7 @@ fn emit_steady_iteration(b: &mut ProgramBuilder, block: usize, with_yout: bool, 
     b.add(x(27), x(5), x(26));
     b.scfgwi(x(27), 1, SsrCfgWord::Base); // w of gm2
     b.scfgwi(x(3), 2, SsrCfgWord::Base); // ki/w/y of gcur
-    // Prefetch x_{j+1} (slack block absorbs the final overshoot).
+                                         // Prefetch x_{j+1} (slack block absorbs the final overshoot).
     dma_copy(b, x(6), x(2), bs);
     b.li(x(28), bs as i32);
     b.add(x(6), x(6), x(28));

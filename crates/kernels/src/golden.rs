@@ -255,11 +255,8 @@ pub const LOG_OFF: u32 = 0x3f33_0000;
 pub const LOG_LN2: f64 = std::f64::consts::LN_2;
 /// Polynomial coefficients of glibc `logf` (degree 3):
 /// `y = (A0·r + A1)·r² + (A2·r + (y0 + r))` evaluated as in the kernel.
-pub const LOG_A: [f64; 3] = [
-    -0.308_428_103_550_667_44,
-    0.498_540_461_252_356_74,
-    -0.666_676_082_866_880_5,
-];
+pub const LOG_A: [f64; 3] =
+    [-0.308_428_103_550_667_44, 0.498_540_461_252_356_74, -0.666_676_082_866_880_5];
 
 /// 16-entry `(invc, logc)` table of the glibc logf method, flattened to
 /// `[invc0, logc0, invc1, logc1, ...]`.

@@ -46,10 +46,9 @@ impl std::fmt::Display for HarnessError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             HarnessError::Run(e) => write!(f, "simulation failed: {e}"),
-            HarnessError::Mismatch { what, index, got, want } => write!(
-                f,
-                "golden mismatch in {what}[{index}]: got {got:#018x}, want {want:#018x}"
-            ),
+            HarnessError::Mismatch { what, index, got, want } => {
+                write!(f, "golden mismatch in {what}[{index}]: got {got:#018x}, want {want:#018x}")
+            }
         }
     }
 }
@@ -68,7 +67,10 @@ impl From<RunError> for HarnessError {
 ///
 /// Returns [`HarnessError::Run`] if the simulation faults, deadlocks or
 /// times out.
-pub fn run_program(program: &Program, cfg: ClusterConfig) -> Result<(Cluster, Stats), HarnessError> {
+pub fn run_program(
+    program: &Program,
+    cfg: ClusterConfig,
+) -> Result<(Cluster, Stats), HarnessError> {
     let mut cluster = Cluster::new(cfg);
     cluster.load_program(program);
     let stats = cluster.run()?;
@@ -91,20 +93,7 @@ pub fn run_validated(
         let base = program
             .symbol(symbol)
             .unwrap_or_else(|| panic!("program lacks output symbol `{symbol}`"));
-        for (i, want) in golden.iter().enumerate() {
-            let got = cluster
-                .mem()
-                .read(base + (i as u32) * 8, 8)
-                .map_err(|e| HarnessError::Run(RunError::Fault(e.into())))?;
-            if got != *want {
-                return Err(HarnessError::Mismatch {
-                    what: (*symbol).to_string(),
-                    index: i,
-                    got,
-                    want: *want,
-                });
-            }
-        }
+        check_words(&cluster, base, golden, symbol)?;
     }
     let report = EnergyModel::gf12lp().report(&stats);
     Ok(RunOutcome {
@@ -113,6 +102,36 @@ pub fn run_validated(
         energy_uj: report.energy_uj,
         stats,
     })
+}
+
+/// Compares `golden` 64-bit words against cluster memory starting at `base`
+/// — the one bit-exact comparison loop every validation path shares.
+///
+/// # Errors
+///
+/// Returns [`HarnessError::Mismatch`] on the first differing word, or
+/// [`HarnessError::Run`] if an address is unmapped.
+pub fn check_words(
+    cluster: &Cluster,
+    base: u32,
+    golden: &[u64],
+    what: &str,
+) -> Result<(), HarnessError> {
+    for (i, want) in golden.iter().enumerate() {
+        let got = cluster
+            .mem()
+            .read(base + (i as u32) * 8, 8)
+            .map_err(|e| HarnessError::Run(RunError::Fault(e.into())))?;
+        if got != *want {
+            return Err(HarnessError::Mismatch {
+                what: what.to_string(),
+                index: i,
+                got,
+                want: *want,
+            });
+        }
+    }
+    Ok(())
 }
 
 /// Steady-state metrics derived by differencing two runs of the same kernel
@@ -172,7 +191,7 @@ mod tests {
                 assert_eq!(got, 41);
                 assert_eq!(want, 42);
             }
-            other => panic!("unexpected error {other}"),
+            other @ HarnessError::Run(_) => panic!("unexpected error {other}"),
         }
     }
 

@@ -313,7 +313,7 @@ pub fn copift(n: usize, block: usize) -> Program {
     b.scfgwi(x(29), 1, SsrCfgWord::Bound(0));
     b.li(x(29), 1);
     b.scfgwi(x(29), 1, SsrCfgWord::IdxSize); // 2-byte indices
-    // SSR2: y writes, 1-D.
+                                             // SSR2: y writes, 1-D.
     b.li(x(29), 0b1);
     b.scfgwi(x(29), 2, SsrCfgWord::Status);
     b.li(x(29), (block - 1) as i32);

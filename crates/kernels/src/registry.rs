@@ -1,10 +1,12 @@
 //! Kernel registry: the paper's six workloads behind one enumeration.
 
 use snitch_asm::program::Program;
+use snitch_energy::EnergyModel;
+use snitch_sim::cluster::Cluster;
 use snitch_sim::config::ClusterConfig;
 
 use crate::golden::{mc_hits, Integrand, Rng};
-use crate::harness::{run_validated, HarnessError, RunOutcome};
+use crate::harness::{HarnessError, RunOutcome};
 use crate::{expf, logf, mc};
 
 /// Code variant.
@@ -17,6 +19,12 @@ pub enum Variant {
 }
 
 impl Variant {
+    /// Both variants, baseline first.
+    #[must_use]
+    pub fn all() -> [Variant; 2] {
+        [Variant::Baseline, Variant::Copift]
+    }
+
     /// Display name.
     #[must_use]
     pub fn name(self) -> &'static str {
@@ -24,6 +32,12 @@ impl Variant {
             Variant::Baseline => "base",
             Variant::Copift => "copift",
         }
+    }
+
+    /// Parses a display name (as printed by [`name`](Self::name)).
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Variant> {
+        Variant::all().into_iter().find(|v| v.name() == name)
     }
 }
 
@@ -57,6 +71,12 @@ impl Kernel {
             Kernel::Logf,
             Kernel::Expf,
         ]
+    }
+
+    /// Parses a paper kernel name (as printed by [`name`](Self::name)).
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Kernel> {
+        Kernel::all().into_iter().find(|k| k.name() == name)
     }
 
     /// The paper's kernel name.
@@ -115,7 +135,7 @@ impl Kernel {
 
     /// Golden expectations: `(symbol, values)` checked after a run.
     #[must_use]
-    pub fn expected(self, variant: Variant, n: usize, block: usize) -> Vec<(&'static str, Vec<u64>)> {
+    pub fn expected(self, variant: Variant, n: usize) -> Vec<(&'static str, Vec<u64>)> {
         match self.mc_parts() {
             Some((i, r)) => {
                 let hits = mc_hits(i, r, n);
@@ -126,13 +146,9 @@ impl Kernel {
                 vec![("result", vec![bits])]
             }
             None => match self {
-                Kernel::Expf => {
-                    // y lands after one dummy block in y_main.
-                    let mut v = vec![0u64; block];
-                    v.extend(expf::golden_outputs(n));
-                    let _ = v.drain(..block);
-                    vec![("y_check", v)] // resolved via offset below
-                }
+                // `y_out` aliases the live output window inside `y_main`
+                // (one dummy block in; see `expf::alloc_io`).
+                Kernel::Expf => vec![("y_out", expf::golden_outputs(n))],
                 Kernel::Logf => vec![("y_data", logf::golden_outputs(n))],
                 _ => unreachable!(),
             },
@@ -161,35 +177,89 @@ impl Kernel {
         cfg: ClusterConfig,
     ) -> Result<RunOutcome, HarnessError> {
         let program = self.build(variant, n, block);
-        if self == Kernel::Expf {
-            // expf's y output sits one block after the y_main symbol.
-            let (cluster, stats) = crate::harness::run_program(&program, cfg)?;
-            let base = program.symbol("y_main").expect("y_main") + (block as u32) * 8;
-            let golden = expf::golden_outputs(n);
-            for (i, want) in golden.iter().enumerate() {
-                let got = cluster
-                    .mem()
-                    .read(base + (i as u32) * 8, 8)
-                    .map_err(|e| HarnessError::Run(snitch_sim::RunError::Fault(e.into())))?;
-                if got != *want {
-                    return Err(HarnessError::Mismatch {
-                        what: "y".into(),
-                        index: i,
-                        got,
-                        want: *want,
-                    });
-                }
-            }
-            let report = snitch_energy::EnergyModel::gf12lp().report(&stats);
-            return Ok(RunOutcome {
-                total_cycles: stats.cycles,
-                power_mw: report.avg_power_mw,
-                energy_uj: report.energy_uj,
-                stats,
-            });
+        self.run_prebuilt(variant, n, cfg, &program)
+    }
+
+    /// Runs a pre-assembled program (e.g. one served by `snitch-engine`'s
+    /// program cache) on a fresh cluster. A pure function of its arguments —
+    /// safe to call concurrently from worker threads sharing the `Program`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarnessError`] on simulation failure or golden mismatch.
+    pub fn run_prebuilt(
+        self,
+        variant: Variant,
+        n: usize,
+        cfg: ClusterConfig,
+        program: &Program,
+    ) -> Result<RunOutcome, HarnessError> {
+        // A fresh cluster needs no reset.
+        self.run_loaded(&mut Cluster::new(cfg), variant, n, program)
+    }
+
+    /// Runs a pre-assembled program on an existing cluster, resetting it
+    /// first so allocations are reused across a stream of jobs. The cluster's
+    /// configuration must describe the intended experiment; `program` must be
+    /// the result of [`build`](Self::build) with the same `variant` and `n`
+    /// (the block size is baked into the program and its output symbols).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarnessError`] on simulation failure or golden mismatch.
+    pub fn run_on(
+        self,
+        cluster: &mut Cluster,
+        variant: Variant,
+        n: usize,
+        program: &Program,
+    ) -> Result<RunOutcome, HarnessError> {
+        cluster.reset();
+        self.run_loaded(cluster, variant, n, program)
+    }
+
+    /// Runs on a cluster known to be in its just-constructed (or freshly
+    /// reset) state: load, run, validate, report.
+    fn run_loaded(
+        self,
+        cluster: &mut Cluster,
+        variant: Variant,
+        n: usize,
+        program: &Program,
+    ) -> Result<RunOutcome, HarnessError> {
+        cluster.load_program(program);
+        let stats = cluster.run()?;
+        self.check(variant, n, program, cluster)?;
+        let report = EnergyModel::gf12lp().report(&stats);
+        Ok(RunOutcome {
+            total_cycles: stats.cycles,
+            power_mw: report.avg_power_mw,
+            energy_uj: report.energy_uj,
+            stats,
+        })
+    }
+
+    /// Validates a completed run's outputs bit-exactly against the golden
+    /// model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarnessError::Mismatch`] on any output bit difference, or
+    /// [`HarnessError::Run`] if an output address is unmapped.
+    pub fn check(
+        self,
+        variant: Variant,
+        n: usize,
+        program: &Program,
+        cluster: &Cluster,
+    ) -> Result<(), HarnessError> {
+        for (symbol, golden) in self.expected(variant, n) {
+            let base = program
+                .symbol(symbol)
+                .unwrap_or_else(|| panic!("program lacks output symbol `{symbol}`"));
+            crate::harness::check_words(cluster, base, &golden, symbol)?;
         }
-        let expected = self.expected(variant, n, block);
-        run_validated(&program, cfg, &expected)
+        Ok(())
     }
 
     /// A representative operating point `(n, block)` for steady-state
@@ -220,5 +290,36 @@ mod tests {
     fn mc_baseline_pi_lcg_validates() {
         let r = Kernel::PiLcg.run(Variant::Baseline, 64, 0).expect("runs and validates");
         assert!(r.total_cycles > 0);
+    }
+
+    #[test]
+    fn names_round_trip_through_from_name() {
+        for k in Kernel::all() {
+            assert_eq!(Kernel::from_name(k.name()), Some(k));
+        }
+        for v in Variant::all() {
+            assert_eq!(Variant::from_name(v.name()), Some(v));
+        }
+        assert_eq!(Kernel::from_name("nope"), None);
+        assert_eq!(Variant::from_name("nope"), None);
+    }
+
+    #[test]
+    fn run_on_reused_cluster_matches_fresh_run() {
+        let (n, block) = (64, 16);
+        let program = Kernel::PolyLcg.build(Variant::Copift, n, block);
+        let fresh = Kernel::PolyLcg
+            .run_prebuilt(Variant::Copift, n, ClusterConfig::default(), &program)
+            .expect("fresh run validates");
+        let mut cluster = Cluster::new(ClusterConfig::default());
+        // Dirty the cluster with an unrelated kernel first.
+        let other = Kernel::PiLcg.build(Variant::Baseline, 64, 0);
+        Kernel::PiLcg
+            .run_on(&mut cluster, Variant::Baseline, 64, &other)
+            .expect("warm-up run validates");
+        let reused = Kernel::PolyLcg
+            .run_on(&mut cluster, Variant::Copift, n, &program)
+            .expect("reused run validates");
+        assert_eq!(fresh.stats, reused.stats, "reuse must not perturb timing");
     }
 }

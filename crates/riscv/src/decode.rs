@@ -184,9 +184,8 @@ impl Inst {
                     0x4F => FmaOp::Nmadd,
                     _ => unreachable!(),
                 };
-                let fmt = match FpFmt::from_field((word >> 25) & 0x3) {
-                    Some(f) => f,
-                    None => return err,
+                let Some(fmt) = FpFmt::from_field((word >> 25) & 0x3) else {
+                    return err;
                 };
                 Inst::FpFma {
                     op,
@@ -199,7 +198,12 @@ impl Inst {
             }
             OPC_OP_FP => return decode_op_fp(word).ok_or(DecodeError { word }),
             OPC_CUSTOM0 => {
-                let max_inst = ((word >> 20) & 0xff) as u8 + 1;
+                // imm[7:0] holds `max_inst - 1`; the all-ones field would
+                // mean a 256-instruction body, which `Inst` (and the
+                // assembler) cap at 255 — reject rather than overflow.
+                let Some(max_inst) = (((word >> 20) & 0xff) as u8).checked_add(1) else {
+                    return err;
+                };
                 let stagger_mask = ((word >> 28) & 0xf) as u8;
                 let stagger_max = ((word >> 7) & 0x1f) as u8;
                 let rep = rs1(word);
@@ -243,11 +247,21 @@ fn decode_op_fp(word: u32) -> Option<Inst> {
     let fmt = FpFmt::from_field(f7 & 1)?;
     let base = f7 & !1;
     Some(match base {
-        0x00 => Inst::FpOp { op: FpAluOp::Add, fmt, rd: frd(word), rs1: frs1(word), rs2: frs2(word) },
-        0x04 => Inst::FpOp { op: FpAluOp::Sub, fmt, rd: frd(word), rs1: frs1(word), rs2: frs2(word) },
-        0x08 => Inst::FpOp { op: FpAluOp::Mul, fmt, rd: frd(word), rs1: frs1(word), rs2: frs2(word) },
-        0x0C => Inst::FpOp { op: FpAluOp::Div, fmt, rd: frd(word), rs1: frs1(word), rs2: frs2(word) },
-        0x2C => Inst::FpOp { op: FpAluOp::Sqrt, fmt, rd: frd(word), rs1: frs1(word), rs2: FpReg::FT0 },
+        0x00 => {
+            Inst::FpOp { op: FpAluOp::Add, fmt, rd: frd(word), rs1: frs1(word), rs2: frs2(word) }
+        }
+        0x04 => {
+            Inst::FpOp { op: FpAluOp::Sub, fmt, rd: frd(word), rs1: frs1(word), rs2: frs2(word) }
+        }
+        0x08 => {
+            Inst::FpOp { op: FpAluOp::Mul, fmt, rd: frd(word), rs1: frs1(word), rs2: frs2(word) }
+        }
+        0x0C => {
+            Inst::FpOp { op: FpAluOp::Div, fmt, rd: frd(word), rs1: frs1(word), rs2: frs2(word) }
+        }
+        0x2C => {
+            Inst::FpOp { op: FpAluOp::Sqrt, fmt, rd: frd(word), rs1: frs1(word), rs2: FpReg::FT0 }
+        }
         0x10 => {
             let op = match funct3(word) {
                 0b000 => SgnjOp::Sgnj,

@@ -3,7 +3,9 @@
 use std::fmt;
 
 use crate::inst::Inst;
-use crate::ops::{AluImmOp, AluOp, BranchOp, CsrOp, DmaOp, FmaOp, FpAluOp, LoadOp, SgnjOp, StoreOp};
+use crate::ops::{
+    AluImmOp, AluOp, BranchOp, CsrOp, DmaOp, FmaOp, FpAluOp, LoadOp, SgnjOp, StoreOp,
+};
 
 impl fmt::Display for Inst {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -205,7 +207,8 @@ mod tests {
         assert_eq!(frep.to_string(), "frep.o t0, 9, 0, 0x0");
         let cvt = Inst::CopiftCvtI2F { from: IntCvt::Wu, rd: FpReg::FA0, rs1: FpReg::FT0 };
         assert_eq!(cvt.to_string(), "copift.fcvt.d.wu fa0, ft0");
-        let cmp = Inst::CopiftCmp { op: FpCmpOp::Lt, rd: FpReg::FA0, rs1: FpReg::FA1, rs2: FpReg::FA2 };
+        let cmp =
+            Inst::CopiftCmp { op: FpCmpOp::Lt, rd: FpReg::FA0, rs1: FpReg::FA1, rs2: FpReg::FA2 };
         assert_eq!(cmp.to_string(), "copift.flt.d fa0, fa1, fa2");
     }
 }

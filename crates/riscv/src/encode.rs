@@ -57,7 +57,12 @@ fn i_type(imm: i32, rs1: u32, funct3: u32, rd: u32, opcode: u32) -> u32 {
 fn s_type(imm: i32, rs2: u32, rs1: u32, funct3: u32, opcode: u32) -> u32 {
     debug_assert!((-2048..=2047).contains(&imm), "S-type immediate {imm} out of range");
     let imm = imm as u32;
-    ((imm >> 5 & 0x7f) << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | ((imm & 0x1f) << 7) | opcode
+    ((imm >> 5 & 0x7f) << 25)
+        | (rs2 << 20)
+        | (rs1 << 15)
+        | (funct3 << 12)
+        | ((imm & 0x1f) << 7)
+        | opcode
 }
 
 fn b_type(offset: i32, rs2: u32, rs1: u32, funct3: u32, opcode: u32) -> u32 {
@@ -115,13 +120,9 @@ impl Inst {
             Inst::Jalr { rd, rs1, offset } => {
                 i_type(offset, rs1.index().into(), 0b000, rd.index().into(), OPC_JALR)
             }
-            Inst::Branch { op, rs1, rs2, offset } => b_type(
-                offset,
-                rs2.index().into(),
-                rs1.index().into(),
-                op.funct3(),
-                OPC_BRANCH,
-            ),
+            Inst::Branch { op, rs1, rs2, offset } => {
+                b_type(offset, rs2.index().into(), rs1.index().into(), op.funct3(), OPC_BRANCH)
+            }
             Inst::Load { op, rd, rs1, offset } => {
                 i_type(offset, rs1.index().into(), op.funct3(), rd.index().into(), OPC_LOAD)
             }
@@ -414,7 +415,8 @@ mod tests {
 
     #[test]
     fn copift_encodings_use_custom1() {
-        let cmp = Inst::CopiftCmp { op: FpCmpOp::Lt, rd: FpReg::FA0, rs1: FpReg::FA1, rs2: FpReg::FA2 };
+        let cmp =
+            Inst::CopiftCmp { op: FpCmpOp::Lt, rd: FpReg::FA0, rs1: FpReg::FA1, rs2: FpReg::FA2 };
         assert_eq!(cmp.encode() & 0x7f, OPC_CUSTOM1);
         // Same funct7/funct3 as the OP-FP original, only the opcode differs.
         let std_cmp = Inst::FpCmp {

@@ -130,12 +130,8 @@ pub enum Inst {
 
 impl Inst {
     /// Canonical `nop` (`addi x0, x0, 0`).
-    pub const NOP: Inst = Inst::OpImm {
-        op: AluImmOp::Addi,
-        rd: IntReg::ZERO,
-        rs1: IntReg::ZERO,
-        imm: 0,
-    };
+    pub const NOP: Inst =
+        Inst::OpImm { op: AluImmOp::Addi, rd: IntReg::ZERO, rs1: IntReg::ZERO, imm: 0 };
 
     /// Whether this instruction is executed by the FP subsystem (offloaded by
     /// the integer core). This includes FP loads/stores and the COPIFT
@@ -228,7 +224,8 @@ mod tests {
         assert!(!frep.is_fp(), "frep executes (issues) on the integer side");
         assert!(frep.is_frep());
 
-        let ccmp = Inst::CopiftCmp { op: FpCmpOp::Lt, rd: FpReg::FA0, rs1: FpReg::FA1, rs2: FpReg::FA2 };
+        let ccmp =
+            Inst::CopiftCmp { op: FpCmpOp::Lt, rd: FpReg::FA0, rs1: FpReg::FA1, rs2: FpReg::FA2 };
         assert!(ccmp.is_fp());
         assert!(ccmp.is_copift_ext());
     }

@@ -150,8 +150,12 @@ impl Inst {
         use RegRef::{Fp, Int};
         let mut v = Vec::with_capacity(3);
         match *self {
-            Inst::Lui { .. } | Inst::Auipc { .. } | Inst::Jal { .. } | Inst::Fence
-            | Inst::Ecall | Inst::Ebreak => {}
+            Inst::Lui { .. }
+            | Inst::Auipc { .. }
+            | Inst::Jal { .. }
+            | Inst::Fence
+            | Inst::Ecall
+            | Inst::Ebreak => {}
             Inst::Jalr { rs1, .. } => v.push(Int(rs1)),
             Inst::Branch { rs1, rs2, .. } => {
                 v.push(Int(rs1));
@@ -302,7 +306,10 @@ impl Inst {
     pub fn fp_writes_int_rf(&self) -> bool {
         matches!(
             self,
-            Inst::FpCmp { .. } | Inst::FpCvtF2I { .. } | Inst::FpMvF2X { .. } | Inst::FpClass { .. }
+            Inst::FpCmp { .. }
+                | Inst::FpCvtF2I { .. }
+                | Inst::FpMvF2X { .. }
+                | Inst::FpClass { .. }
         )
     }
 
@@ -390,12 +397,14 @@ mod tests {
         assert!(cmp.fp_writes_int_rf());
         assert!(!cmp.frep_legal());
 
-        let cvt = Inst::FpCvtI2F { from: IntCvt::W, fmt: FpFmt::D, rd: FpReg::FA0, rs1: IntReg::A0 };
+        let cvt =
+            Inst::FpCvtI2F { from: IntCvt::W, fmt: FpFmt::D, rd: FpReg::FA0, rs1: IntReg::A0 };
         assert!(cvt.fp_reads_int_rf());
         assert!(!cvt.frep_legal());
 
         // The COPIFT replacements are FREP-legal.
-        let ccmp = Inst::CopiftCmp { op: FpCmpOp::Lt, rd: FpReg::FA0, rs1: FpReg::FA1, rs2: FpReg::FA2 };
+        let ccmp =
+            Inst::CopiftCmp { op: FpCmpOp::Lt, rd: FpReg::FA0, rs1: FpReg::FA1, rs2: FpReg::FA2 };
         assert!(ccmp.frep_legal());
         let ccvt = Inst::CopiftCvtI2F { from: IntCvt::W, rd: FpReg::FA0, rs1: FpReg::FA1 };
         assert!(ccvt.frep_legal());

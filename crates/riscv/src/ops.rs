@@ -658,14 +658,9 @@ mod tests {
 
     #[test]
     fn branch_funct3_roundtrip() {
-        for op in [
-            BranchOp::Eq,
-            BranchOp::Ne,
-            BranchOp::Lt,
-            BranchOp::Ge,
-            BranchOp::Ltu,
-            BranchOp::Geu,
-        ] {
+        for op in
+            [BranchOp::Eq, BranchOp::Ne, BranchOp::Lt, BranchOp::Ge, BranchOp::Ltu, BranchOp::Geu]
+        {
             assert_eq!(BranchOp::from_funct3(op.funct3()), Some(op));
         }
         assert_eq!(BranchOp::from_funct3(0b010), None);

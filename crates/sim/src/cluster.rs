@@ -61,6 +61,13 @@ impl Cluster {
     /// Creates an empty cluster.
     #[must_use]
     pub fn new(cfg: ClusterConfig) -> Self {
+        Self::with_memory(cfg, Memory::new())
+    }
+
+    /// The single construction path: every field of a just-built cluster is
+    /// initialized here, so [`reset`](Self::reset) (which routes through
+    /// this with reused memory) can never drift from `new`.
+    fn with_memory(cfg: ClusterConfig, mem: Memory) -> Self {
         let fpss = Fpss::new(&cfg);
         let ssrs = [
             Ssr::new(cfg.ssr_fifo_depth),
@@ -78,7 +85,7 @@ impl Cluster {
             ssrs,
             dma,
             l0,
-            mem: Memory::new(),
+            mem,
             arb,
             stats: Stats::default(),
             cycle: 0,
@@ -92,6 +99,26 @@ impl Cluster {
         self.text = program.text().iter().copied().map(Decoded::new).collect();
         self.mem.load_images(program.tcdm_image(), program.main_image());
         self.core = IntCore::new();
+    }
+
+    /// Restores the cluster to its just-constructed state while reusing the
+    /// large memory allocations, so one `Cluster` can execute a stream of
+    /// jobs without re-allocating per run.
+    ///
+    /// After `reset()` + [`load_program`](Self::load_program), a run is
+    /// bit-identical (results *and* [`Stats`]) to one on a fresh
+    /// `Cluster::new(cfg)` — the determinism guarantee `snitch-engine`'s
+    /// worker pool relies on.
+    pub fn reset(&mut self) {
+        let mut mem = std::mem::replace(&mut self.mem, Memory::empty());
+        mem.clear();
+        *self = Cluster::with_memory(self.cfg.clone(), mem);
+    }
+
+    /// The configuration this cluster was built with.
+    #[must_use]
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
     }
 
     /// The collected statistics so far.
@@ -556,20 +583,67 @@ mod tests {
             b.scfgwi(IntReg::T1, 0, SsrCfgWord::Base);
             b.ssr_enable();
             b.li(IntReg::T0, 15); // 16 iterations
-            // stagger_max 3 (4-way), mask 0b011: rd and rs1.
+                                  // stagger_max 3 (4-way), mask 0b011: rd and rs1.
             b.frep_o(IntReg::T0, 1, 3, 0b011);
             b.fadd_d(FpReg::FS0, FpReg::FS0, FpReg::FT0);
             b.fpu_fence();
             b.ssr_disable();
             b.ecall();
         });
-        let parts: Vec<f64> =
-            (8..12).map(|i| f64::from_bits(c.fp_reg(FpReg::new(i)))).collect();
+        let parts: Vec<f64> = (8..12).map(|i| f64::from_bits(c.fp_reg(FpReg::new(i)))).collect();
         // Iteration n accumulates into f(8 + n%4): fs0 = 1+5+9+13, etc.
         assert_eq!(parts, vec![28.0, 32.0, 36.0, 40.0]);
         assert_eq!(parts.iter().sum::<f64>(), 136.0);
         // The staggered chains avoid back-to-back RAW stalls.
         assert!(stats.fpu_stall_raw < 16);
+    }
+
+    #[test]
+    fn reset_makes_back_to_back_runs_identical() {
+        // A program exercising every stateful unit: DMA, SSR streaming,
+        // FREP replay, TCDM traffic and integer work.
+        let mut b = ProgramBuilder::new();
+        {
+            use snitch_riscv::csr::SsrCfgWord;
+            let xs = b.tcdm_f64("xs", &[1.0, 2.0, 3.0, 4.0]);
+            b.li(IntReg::T1, 3);
+            b.scfgwi(IntReg::T1, 0, SsrCfgWord::Bound(0));
+            b.li(IntReg::T1, 8);
+            b.scfgwi(IntReg::T1, 0, SsrCfgWord::Stride(0));
+            b.li(IntReg::T1, 0);
+            b.scfgwi(IntReg::T1, 0, SsrCfgWord::Status);
+            b.scfgwi(IntReg::T1, 0, SsrCfgWord::Repeat);
+            b.li_u(IntReg::T1, xs);
+            b.scfgwi(IntReg::T1, 0, SsrCfgWord::Base);
+            b.ssr_enable();
+            b.li(IntReg::T0, 3);
+            b.frep_o(IntReg::T0, 1, 0, 0);
+            b.fadd_d(FpReg::FS0, FpReg::FS0, FpReg::FT0);
+            b.fpu_fence();
+            b.ssr_disable();
+            b.ecall();
+        }
+        let p = b.build().unwrap();
+
+        let mut c = Cluster::new(ClusterConfig::default());
+        c.load_program(&p);
+        let first = c.run().expect("first run");
+        let result1 = f64::from_bits(c.fp_reg(FpReg::FS0));
+
+        c.reset();
+        c.load_program(&p);
+        let second = c.run().expect("second run");
+        let result2 = f64::from_bits(c.fp_reg(FpReg::FS0));
+
+        assert_eq!(first, second, "stats must be bit-identical across reset");
+        assert_eq!(result1, result2);
+        assert_eq!(result1, 10.0);
+
+        // And both match a completely fresh cluster.
+        let mut fresh = Cluster::new(ClusterConfig::default());
+        fresh.load_program(&p);
+        let third = fresh.run().expect("fresh run");
+        assert_eq!(first, third, "reset must be indistinguishable from fresh construction");
     }
 
     #[test]

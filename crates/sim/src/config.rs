@@ -5,7 +5,7 @@
 /// Defaults follow the published Snitch core (Zaruba et al., IEEE TC 2021)
 /// and the configuration used in the COPIFT paper (§III); every deviation is
 /// called out in `DESIGN.md`.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ClusterConfig {
     // ---- integer core ----
     /// Extra cycles lost on a taken branch or jump (pipeline refill).
@@ -99,6 +99,49 @@ impl ClusterConfig {
     pub fn traced() -> Self {
         ClusterConfig { trace: true, ..ClusterConfig::default() }
     }
+
+    /// Canonical textual form of every timing-relevant parameter, used as
+    /// the cache/sweep identity of a configuration. Two configs with equal
+    /// `canonical()` produce identical simulations; `trace` and `max_cycles`
+    /// are excluded because they do not change architectural behavior (a
+    /// watchdog abort is an error, not a result).
+    #[must_use]
+    pub fn canonical(&self) -> String {
+        format!(
+            "bp{};ll{};mm{};mul{};div{};wb{};l0:{};fifo{};seq{};fma{};fshort{};fcvt{};fdiv{};fld{};ssr{};banks{};dma{}",
+            self.branch_penalty,
+            self.load_latency,
+            self.main_mem_extra_latency,
+            self.mul_latency,
+            self.div_latency,
+            self.int_wb_ports,
+            self.l0_capacity,
+            self.offload_fifo_depth,
+            self.sequencer_depth,
+            self.fpu_lat_muladd,
+            self.fpu_lat_short,
+            self.fpu_lat_cvt,
+            self.fpu_lat_divsqrt,
+            self.fp_load_latency,
+            self.ssr_fifo_depth,
+            self.tcdm_banks,
+            self.dma_bytes_per_cycle,
+        )
+    }
+
+    /// Stable 64-bit fingerprint of [`canonical`](Self::canonical) (FNV-1a;
+    /// independent of platform, process and `HashMap` seeding). Sweep result
+    /// records carry this so rows can be joined back to the exact
+    /// configuration that produced them.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.canonical().bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
 }
 
 #[cfg(test)]
@@ -113,5 +156,29 @@ mod tests {
         assert_eq!(c.int_wb_ports, 1);
         assert_eq!(c.mul_latency, 2);
         assert!(!c.trace);
+    }
+
+    #[test]
+    fn fingerprint_tracks_timing_parameters_only() {
+        let base = ClusterConfig::default();
+        assert_eq!(base.fingerprint(), ClusterConfig::default().fingerprint());
+        // Harness knobs do not change the identity...
+        let traced = ClusterConfig { trace: true, max_cycles: 1, ..ClusterConfig::default() };
+        assert_eq!(base.fingerprint(), traced.fingerprint());
+        // ...but every timing knob does.
+        let variants = [
+            ClusterConfig { branch_penalty: 3, ..ClusterConfig::default() },
+            ClusterConfig { int_wb_ports: 2, ..ClusterConfig::default() },
+            ClusterConfig { l0_capacity: 32, ..ClusterConfig::default() },
+            ClusterConfig { offload_fifo_depth: 2, ..ClusterConfig::default() },
+            ClusterConfig { sequencer_depth: 80, ..ClusterConfig::default() },
+            ClusterConfig { fpu_lat_muladd: 4, ..ClusterConfig::default() },
+            ClusterConfig { tcdm_banks: 16, ..ClusterConfig::default() },
+        ];
+        let mut prints: Vec<u64> = variants.iter().map(ClusterConfig::fingerprint).collect();
+        prints.push(base.fingerprint());
+        prints.sort_unstable();
+        prints.dedup();
+        assert_eq!(prints.len(), variants.len() + 1, "all fingerprints distinct");
     }
 }

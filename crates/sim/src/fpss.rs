@@ -40,10 +40,23 @@ pub struct OffloadEntry {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum SeqState {
     Idle,
-    Capture { remaining: u8, rep: u32, stagger_max: u8, stagger_mask: u8, inst_major: bool },
+    Capture {
+        remaining: u8,
+        rep: u32,
+        stagger_max: u8,
+        stagger_mask: u8,
+        inst_major: bool,
+    },
     /// `inst_major` = `frep.i`: each instruction repeats back-to-back before
     /// the next; otherwise (`frep.o`) the whole sequence repeats.
-    Replay { iter: u32, total: u32, pos: usize, stagger_max: u8, stagger_mask: u8, inst_major: bool },
+    Replay {
+        iter: u32,
+        total: u32,
+        pos: usize,
+        stagger_max: u8,
+        stagger_mask: u8,
+        inst_major: bool,
+    },
 }
 
 /// A completed FP→integer write-back to deliver to the core.
@@ -238,7 +251,8 @@ impl Fpss {
             SeqState::Capture { .. } => self.step_capture(now, cfg, mem, arb, ssrs, stats),
             SeqState::Replay { iter, total, pos, stagger_max, stagger_mask, inst_major } => {
                 let entry = self.ring[pos];
-                let offset = if stagger_max == 0 { 0 } else { (iter % (u32::from(stagger_max) + 1)) as u8 };
+                let offset =
+                    if stagger_max == 0 { 0 } else { (iter % (u32::from(stagger_max) + 1)) as u8 };
                 let staggered = stagger_entry(entry, stagger_mask, offset);
                 if self.try_issue(staggered, offset, now, cfg, mem, arb, ssrs, stats)? {
                     stats.fp_issued_seq += 1;
@@ -472,15 +486,12 @@ impl Fpss {
         match outcome {
             Outcome::Fp(value) => {
                 let rd = fp_dst.expect("fp-result instruction has an fp destination");
-                match self.ssr_of(rd) {
-                    Some(i) => {
-                        ssrs[i].reserve_write();
-                        self.ssr_pushes.push((done_at, i, value));
-                    }
-                    None => {
-                        self.regs[rd.index() as usize] = value;
-                        self.ready_at[rd.index() as usize] = done_at;
-                    }
+                if let Some(i) = self.ssr_of(rd) {
+                    ssrs[i].reserve_write();
+                    self.ssr_pushes.push((done_at, i, value));
+                } else {
+                    self.regs[rd.index() as usize] = value;
+                    self.ready_at[rd.index() as usize] = done_at;
                 }
             }
             Outcome::Int(rd, value) => {
@@ -505,9 +516,7 @@ enum Outcome {
 fn fp_sources(inst: &Inst) -> [Option<FpReg>; 3] {
     match *inst {
         Inst::FpOp { op: FpAluOp::Sqrt, rs1, .. } => [Some(rs1), None, None],
-        Inst::FpOp { rs1, rs2, .. } | Inst::FpSgnj { rs1, rs2, .. } => {
-            [Some(rs1), Some(rs2), None]
-        }
+        Inst::FpOp { rs1, rs2, .. } | Inst::FpSgnj { rs1, rs2, .. } => [Some(rs1), Some(rs2), None],
         Inst::FpFma { rs1, rs2, rs3, .. } => [Some(rs1), Some(rs2), Some(rs3)],
         Inst::FpCmp { rs1, rs2, .. } | Inst::CopiftCmp { rs1, rs2, .. } => {
             [Some(rs1), Some(rs2), None]
@@ -587,9 +596,7 @@ fn stagger_entry(entry: OffloadEntry, mask: u8, offset: u8) -> OffloadEntry {
         Inst::CopiftCvtI2F { from, rd, rs1 } => {
             Inst::CopiftCvtI2F { from, rd: remap(rd, 0), rs1: remap(rs1, 1) }
         }
-        Inst::CopiftClass { rd, rs1 } => {
-            Inst::CopiftClass { rd: remap(rd, 0), rs1: remap(rs1, 1) }
-        }
+        Inst::CopiftClass { rd, rs1 } => Inst::CopiftClass { rd: remap(rd, 0), rs1: remap(rs1, 1) },
         Inst::FpCvtF2F { to, rd, rs1 } => {
             Inst::FpCvtF2F { to, rd: remap(rd, 0), rs1: remap(rs1, 1) }
         }
@@ -728,7 +735,11 @@ fn exec_fp(
             Outcome::Fp(nan_box(r.to_bits()))
         }
         Inst::FpFma { op, fmt: FpFmt::D, .. } => {
-            let r = op.eval_f64(f64::from_bits(bits[0]), f64::from_bits(bits[1]), f64::from_bits(bits[2]));
+            let r = op.eval_f64(
+                f64::from_bits(bits[0]),
+                f64::from_bits(bits[1]),
+                f64::from_bits(bits[2]),
+            );
             Outcome::Fp(r.to_bits())
         }
         Inst::FpFma { op, fmt: FpFmt::S, .. } => {
@@ -779,9 +790,7 @@ fn exec_fp(
                 FpFmt::S => Outcome::Fp(nan_box((v as f32).to_bits())),
             }
         }
-        Inst::FpCvtF2F { to: FpFmt::D, .. } => {
-            Outcome::Fp(f64::from(f32_of(bits[0])).to_bits())
-        }
+        Inst::FpCvtF2F { to: FpFmt::D, .. } => Outcome::Fp(f64::from(f32_of(bits[0])).to_bits()),
         Inst::FpCvtF2F { to: FpFmt::S, .. } => {
             Outcome::Fp(nan_box((f64::from_bits(bits[0]) as f32).to_bits()))
         }
@@ -795,9 +804,7 @@ fn exec_fp(
             Outcome::Int(rd, mask)
         }
         // ---- COPIFT custom-1: identical arithmetic, FP register file only.
-        Inst::CopiftCmp { op, .. } => {
-            Outcome::Fp(u64::from(cmp_bits(op, FpFmt::D, bits)))
-        }
+        Inst::CopiftCmp { op, .. } => Outcome::Fp(u64::from(cmp_bits(op, FpFmt::D, bits))),
         Inst::CopiftCvtF2I { to, .. } => {
             let v = f64::from_bits(bits[0]);
             let r = match to {
@@ -814,9 +821,7 @@ fn exec_fp(
             };
             Outcome::Fp(v.to_bits())
         }
-        Inst::CopiftClass { .. } => {
-            Outcome::Fp(u64::from(classify_f64(f64::from_bits(bits[0]))))
-        }
+        Inst::CopiftClass { .. } => Outcome::Fp(u64::from(classify_f64(f64::from_bits(bits[0])))),
         ref other => {
             return Err(SimFault::new(format!("`{other}` is not an FP instruction")));
         }

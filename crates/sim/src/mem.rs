@@ -109,6 +109,20 @@ impl Memory {
         self.main[..main.len()].copy_from_slice(main);
     }
 
+    /// Zeroes all contents in place, reusing the allocations. After `clear`
+    /// plus `load_images` the memory is indistinguishable from a freshly
+    /// constructed one.
+    pub fn clear(&mut self) {
+        self.tcdm.fill(0);
+        self.main.fill(0);
+    }
+
+    /// An allocation-free placeholder, used only as a swap target while a
+    /// cluster rebuilds itself around reused memory.
+    pub(crate) fn empty() -> Self {
+        Memory { tcdm: Vec::new(), main: Vec::new() }
+    }
+
     /// Whether `addr..addr+len` is mapped.
     #[must_use]
     pub fn is_mapped(&self, addr: u32, len: u32) -> bool {

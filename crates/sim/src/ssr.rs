@@ -257,10 +257,7 @@ impl Ssr {
             match self.pending_index {
                 None => {
                     let idx_bytes = 1u32 << self.cfg.idx_size_log2;
-                    let idx_addr = self
-                        .cfg
-                        .idx_base
-                        .wrapping_add(self.idx_counter * idx_bytes);
+                    let idx_addr = self.cfg.idx_base.wrapping_add(self.idx_counter * idx_bytes);
                     if !arb.request(idx_addr) {
                         return 0;
                     }

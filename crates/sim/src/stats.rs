@@ -248,7 +248,8 @@ mod tests {
     #[test]
     fn delta_subtracts_fieldwise() {
         let early = Stats { cycles: 100, int_issued: 50, ssr_beats: [1, 2, 3], ..Stats::default() };
-        let late = Stats { cycles: 300, int_issued: 170, ssr_beats: [11, 22, 33], ..Stats::default() };
+        let late =
+            Stats { cycles: 300, int_issued: 170, ssr_beats: [11, 22, 33], ..Stats::default() };
         let d = late.delta_since(&early);
         assert_eq!(d.cycles, 200);
         assert_eq!(d.int_issued, 120);

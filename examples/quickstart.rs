@@ -32,7 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     b.li(IntReg::T0, 7); // 8 iterations
     b.frep_o(IntReg::T0, 1, 0, 0);
     b.fmadd_d(FpReg::FS0, FpReg::FT0, FpReg::FT1, FpReg::FS0); // acc += x·y
-    // The integer core is free while the FPU accumulates:
+                                                               // The integer core is free while the FPU accumulates:
     b.li(IntReg::A0, 100);
     b.label("busy");
     b.addi(IntReg::A0, IntReg::A0, -1);

@@ -1,0 +1,41 @@
+//! Before/after timing of the Figure 2 sweep: the seed's serial
+//! measure-loop (one fresh `Cluster` per run, one assembly per run) versus
+//! the `snitch-engine` batch (worker pool + program cache + cluster reuse).
+//!
+//! ```sh
+//! cargo run --release --example sweep_timing
+//! ```
+
+use std::time::Instant;
+
+use copift_repro::engine::{job, Engine};
+
+fn main() {
+    let jobs = job::figure2();
+
+    // Before: the seed drivers' serial loop — build and run each job on a
+    // fresh cluster, one after another.
+    let t0 = Instant::now();
+    for j in &jobs {
+        let r = j.kernel.run(j.variant, j.n, j.block).expect("serial run validates");
+        assert!(r.total_cycles > 0);
+    }
+    let serial = t0.elapsed();
+
+    // After: one engine batch.
+    let engine = Engine::default();
+    let t0 = Instant::now();
+    let records = engine.run(&jobs);
+    let batched = t0.elapsed();
+    assert!(records.iter().all(|r| r.ok));
+
+    println!("figure-2 sweep ({} simulations):", jobs.len());
+    println!("  serial seed loop : {serial:>10.2?}");
+    println!(
+        "  snitch-engine    : {batched:>10.2?}  ({} workers, {} programs compiled, {} cache hits)",
+        engine.workers(),
+        engine.cache().misses(),
+        engine.cache().hits()
+    );
+    println!("  speedup          : {:>9.2}x", serial.as_secs_f64() / batched.as_secs_f64());
+}

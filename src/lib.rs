@@ -14,6 +14,8 @@
 //! * [`copift`] — the COPIFT transformation methodology (the paper's core
 //!   contribution)
 //! * [`kernels`] — the six evaluated workloads with golden models
+//! * [`engine`] — parallel, batched experiment execution with program
+//!   caching and structured result sinks (the `sweep` CLI)
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the architecture and
 //! the experiment index.
@@ -35,6 +37,7 @@
 pub use copift;
 pub use snitch_asm as asm;
 pub use snitch_energy as energy;
+pub use snitch_engine as engine;
 pub use snitch_kernels as kernels;
 pub use snitch_riscv as riscv;
 pub use snitch_sim as sim;

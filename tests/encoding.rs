@@ -17,7 +17,11 @@ fn every_kernel_program_roundtrips_through_binary() {
             for (i, inst) in program.text().iter().enumerate() {
                 let word = inst.encode();
                 let back = Inst::decode(word).unwrap_or_else(|e| {
-                    panic!("{} {}: [{i}] `{inst}` failed to decode: {e}", kernel.name(), variant.name())
+                    panic!(
+                        "{} {}: [{i}] `{inst}` failed to decode: {e}",
+                        kernel.name(),
+                        variant.name()
+                    )
                 });
                 assert_eq!(
                     back,

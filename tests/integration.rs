@@ -78,11 +78,7 @@ fn copift_saves_energy_despite_higher_power() {
         let (n, block) = sizes_for(kernel);
         let base = kernel.run(Variant::Baseline, n, block).unwrap();
         let fast = kernel.run(Variant::Copift, n, block).unwrap();
-        assert!(
-            fast.power_mw > base.power_mw,
-            "{}: dual issue should raise power",
-            kernel.name()
-        );
+        assert!(fast.power_mw > base.power_mw, "{}: dual issue should raise power", kernel.name());
         assert!(
             fast.energy_uj < base.energy_uj,
             "{}: dual issue must still save energy",
@@ -114,10 +110,7 @@ fn exp_baseline_thrashes_l0_copift_does_not() {
         base_miss > 0.5,
         "the 96-instruction baseline loop must thrash the 64-entry L0 ({base_miss:.2})"
     );
-    assert!(
-        fast_miss < 0.4,
-        "the separated integer loop must mostly hit the L0 ({fast_miss:.2})"
-    );
+    assert!(fast_miss < 0.4, "the separated integer loop must mostly hit the L0 ({fast_miss:.2})");
     assert!(fast_miss < base_miss / 2.0, "COPIFT must at least halve the miss rate");
 }
 
@@ -136,10 +129,7 @@ fn mc_kernels_have_no_explicit_fp_memory_ops_under_copift() {
     let r1 = Kernel::PolyLcg.run(Variant::Copift, 256, 64).unwrap();
     let r2 = Kernel::PolyLcg.run(Variant::Copift, 512, 64).unwrap();
     let d = r2.stats.delta_since(&r1.stats);
-    assert_eq!(
-        d.fp_mem_ops, 0,
-        "all steady-state FP memory traffic must flow through the SSRs"
-    );
+    assert_eq!(d.fp_mem_ops, 0, "all steady-state FP memory traffic must flow through the SSRs");
     assert!(d.tcdm_ssr_accesses > 0);
 }
 
