@@ -2,7 +2,7 @@
 //!
 //! The paper's kernels are "optimized mixed C and assembly"; this crate is
 //! the equivalent authoring layer for the reproduction: a
-//! [`ProgramBuilder`](builder::ProgramBuilder) with one method per mnemonic,
+//! [`ProgramBuilder`] with one method per mnemonic,
 //! labels with forward references, `li`/`la`/`mv`-style pseudo-instructions,
 //! and data allocation in both the TCDM scratchpad and main memory.
 //!

@@ -1,0 +1,28 @@
+//! The extended-suite driver: steady-state measurements for every cataloged
+//! kernel **beyond** the paper's Figure 2 suite (the auto-compiled
+//! `sigmoid`, `dot_lcg` and `softmax` workloads, plus anything added via
+//! `snitch_kernels::register`), printed as EXPERIMENTS.md-style tables.
+//!
+//! The paper has no reference numbers for these kernels; the table reports
+//! the measured shape (IPC gain, power ratio, speedup, energy improvement)
+//! next to the Eq. 1–2 estimators so the extended workloads can be read
+//! exactly like Figure 2.
+
+use snitch_bench::{extended_tables, geomean, Fig2Row};
+use snitch_engine::Engine;
+use snitch_kernels::Kernel;
+
+fn main() {
+    let kernels = Kernel::extended();
+    assert!(!kernels.is_empty(), "the catalog ships extended kernels");
+    let rows: Vec<Fig2Row> = Fig2Row::measure_suite(&Engine::default(), &kernels);
+    print!("{}", extended_tables(&rows));
+    let sp: Vec<f64> = rows.iter().map(Fig2Row::speedup).collect();
+    let ei: Vec<f64> = rows.iter().map(Fig2Row::energy_improvement).collect();
+    println!(
+        "geomean speedup {:.2}x, geomean energy improvement {:.2}x over {} extended kernels",
+        geomean(&sp),
+        geomean(&ei),
+        rows.len()
+    );
+}

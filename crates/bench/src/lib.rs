@@ -61,19 +61,31 @@ impl Fig2Row {
         }
     }
 
-    /// Measures all six kernels as one engine batch (24 simulations fanned
-    /// across the engine's workers). Results are identical to six serial
-    /// [`measure`](Self::measure) calls; only wall-clock differs.
+    /// Measures the paper's six kernels as one engine batch (24 simulations
+    /// fanned across the engine's workers). Results are identical to six
+    /// serial [`measure`](Self::measure) calls; only wall-clock differs.
     ///
     /// # Panics
     ///
     /// Panics if any run fails validation.
     #[must_use]
     pub fn measure_all(engine: &Engine) -> Vec<Fig2Row> {
-        let jobs = job::figure2();
+        Self::measure_suite(engine, &Kernel::paper())
+    }
+
+    /// Measures an arbitrary kernel list (e.g. [`Kernel::extended`] for the
+    /// extended suite, or the whole catalog) as one engine batch of
+    /// steady-state pairs, four simulations per kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any run fails validation.
+    #[must_use]
+    pub fn measure_suite(engine: &Engine, kernels: &[Kernel]) -> Vec<Fig2Row> {
+        let jobs = job::steady_pairs(kernels);
         let records = engine.run(&jobs);
-        // figure2() is kernel-major: [base n, base 2n, copift n, copift 2n].
-        Kernel::all()
+        // steady_pairs() is kernel-major: [base n, base 2n, copift n, copift 2n].
+        kernels
             .iter()
             .zip(records.chunks_exact(4))
             .map(|(&kernel, chunk)| {
@@ -123,6 +135,36 @@ impl Fig2Row {
         (b.int_issued + b.fp_instructions()) as f64
             / (c.int_issued as f64).max(c.fp_instructions() as f64)
     }
+}
+
+/// Renders extended-suite measurement rows as the EXPERIMENTS.md markdown
+/// table (shared by the `extended` driver and the `experiments` generator so
+/// the committed file and the ad-hoc driver can never drift apart).
+#[must_use]
+pub fn extended_tables(rows: &[Fig2Row]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "| kernel | IPC base | IPC COPIFT | power base | power COPIFT | speedup | energy imp. | I′ (exp.) | S′ (exp.) |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|---|---|---|");
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "| {} | {:.2} | {:.2} | {:.1} | {:.1} | {:.2} | {:.2} | {:.2} | {:.2} |",
+            r.kernel.name(),
+            r.base.ipc,
+            r.copift.ipc,
+            r.base.power_mw,
+            r.copift.power_mw,
+            r.speedup(),
+            r.energy_improvement(),
+            r.i_prime(),
+            r.s_prime(),
+        );
+    }
+    out
 }
 
 /// Geometric mean.

@@ -38,6 +38,10 @@ pub struct KernelSpec {
     /// One iteration of the loop (no control flow, no pointer bumps for the
     /// spill traffic — those are generated).
     pub body: Vec<Inst>,
+    /// Elements processed by one copy of `body` (Step 4's unrolling).
+    /// Bodies covering several independent elements hide the FPU latency of
+    /// per-element dependency chains; `block` must be a multiple of this.
+    pub elems_per_iter: usize,
     /// Loop-invariant / loop-carried integer registers and initial values.
     pub int_init: Vec<(IntReg, u32)>,
     /// Loop-invariant FP registers (constants) and initial values.
@@ -47,6 +51,10 @@ pub struct KernelSpec {
     pub input: Option<(IntReg, Vec<f64>)>,
     /// Output stream pointer register (per-iteration `fsd` + bump).
     pub output: Option<IntReg>,
+    /// Loop-carried FP accumulators whose final values are stored, in this
+    /// order, as consecutive 8-byte words at a `result` symbol after the
+    /// pipeline drains (reductions live entirely in registers until then).
+    pub acc_out: Vec<FpReg>,
 }
 
 /// Why a body cannot be compiled automatically.
@@ -120,8 +128,10 @@ struct Spill {
 }
 
 /// Compiles a two-phase kernel into a COPIFT program for `n` elements with
-/// block size `block`. The result (if the body has an output stream) is the
-/// `y_out` symbol; accumulator state stays in FP registers.
+/// block size `block`. Output-stream results land at the `y_out` symbol;
+/// accumulator state stays in FP registers during the run, and the registers
+/// named in [`KernelSpec::acc_out`] are stored to a `result` symbol after
+/// the drain.
 ///
 /// # Errors
 ///
@@ -129,9 +139,13 @@ struct Spill {
 ///
 /// # Panics
 ///
-/// Panics if `n`/`block` violate the usual divisibility constraints.
+/// Panics if `n`/`block` violate the usual divisibility constraints, or if
+/// the body does not touch each declared stream exactly
+/// [`elems_per_iter`](KernelSpec::elems_per_iter) times.
 pub fn compile(spec: &KernelSpec, n: usize, block: usize) -> Result<Program, CodegenError> {
     assert!(block > 0 && n.is_multiple_of(block) && n / block >= 2, "need >= 2 blocks");
+    let epi = spec.elems_per_iter.max(1);
+    assert!(block.is_multiple_of(epi), "block must be a multiple of elems_per_iter");
     // Strip the induction-pointer bumps of the declared streams: the SSR
     // address generators absorb them (the paper's affine Type 1 elision).
     let stream_ptrs: Vec<IntReg> =
@@ -198,6 +212,32 @@ pub fn compile(spec: &KernelSpec, n: usize, block: usize) -> Result<Program, Cod
             }
             _ => {}
         }
+    }
+    // The SSR bounds count elements while the FREP repetition counts body
+    // copies, so each declared stream must be touched exactly once per
+    // element — catch a mismatched spec here rather than as a confusing
+    // golden mismatch half a block downstream.
+    if spec.input.is_some() {
+        assert!(
+            input_nodes.len() == epi,
+            "body must load the input stream elems_per_iter ({epi}) times, found {}",
+            input_nodes.len()
+        );
+    }
+    if spec.output.is_some() {
+        assert!(
+            output_nodes.len() == epi,
+            "body must store the output stream elems_per_iter ({epi}) times, found {}",
+            output_nodes.len()
+        );
+    }
+
+    // SSR0 streams the spill slots sequentially, so the k-th FP-phase pop
+    // reads slot k: slots must follow the consumers' program order, not the
+    // cut-edge enumeration order.
+    spills.sort_by_key(|s| s.consumer);
+    for (slot, s) in spills.iter_mut().enumerate() {
+        s.slot = slot;
     }
 
     let slot_bytes = 8 * spills.len().max(1);
@@ -353,10 +393,12 @@ fn emit_full(
     block: usize,
 ) -> Result<Program, CodegenError> {
     let nb = n / block;
-    let slot_bytes = 8 * spills.len().max(1);
+    let epi = spec.elems_per_iter.max(1);
+    let iters = block / epi; // body repetitions per block
+    let slot_bytes = 8 * spills.len().max(1); // spill record per body iteration
     let mut b = ProgramBuilder::new();
-    let buf0 = b.tcdm_reserve("spill0", slot_bytes * block, 8);
-    let buf1 = b.tcdm_reserve("spill1", slot_bytes * block, 8);
+    let buf0 = b.tcdm_reserve("spill0", slot_bytes * iters, 8);
+    let buf1 = b.tcdm_reserve("spill1", slot_bytes * iters, 8);
     let fp_const_img: Vec<f64> = spec.fp_init.iter().map(|(_, v)| *v).collect();
     let caddr = if fp_const_img.is_empty() { 0 } else { b.tcdm_f64("fp_consts", &fp_const_img) };
     let x_in = spec.input.as_ref().map(|(_, vals)| {
@@ -364,6 +406,8 @@ fn emit_full(
         b.tcdm_f64("x_in", &vals[..n])
     });
     let y_out = spec.output.map(|_| b.tcdm_reserve("y_out", n * 8, 8));
+    let result =
+        (!spec.acc_out.is_empty()).then(|| b.tcdm_reserve("result", spec.acc_out.len() * 8, 8));
 
     for (r, v) in &spec.int_init {
         b.li_u(*r, *v);
@@ -378,7 +422,7 @@ fn emit_full(
         b.li(scratch, 0);
         b.scfgwi(scratch, 0, SsrCfgWord::Status);
         b.scfgwi(scratch, 0, SsrCfgWord::Repeat);
-        b.li(scratch, (spills.len() * block - 1) as i32);
+        b.li(scratch, (spills.len() * iters - 1) as i32);
         b.scfgwi(scratch, 0, SsrCfgWord::Bound(0));
         b.li(scratch, 8);
         b.scfgwi(scratch, 0, SsrCfgWord::Stride(0));
@@ -419,7 +463,7 @@ fn emit_full(
     }
 
     // Prologue: int phase on block 0.
-    emit_int_block(&mut b, int_phase, block, slot_bytes, cur, "gen0");
+    emit_int_block(&mut b, int_phase, iters, epi, cur, "gen0");
 
     b.li(outer, (nb - 1) as i32);
     b.label("outer");
@@ -434,8 +478,8 @@ fn emit_full(
         b.scfgwi(yp, 2, SsrCfgWord::Base);
         b.addi(yp, yp, (block * 8) as i32);
     }
-    emit_frep(&mut b, fp_body, block);
-    emit_int_block(&mut b, int_phase, block, slot_bytes, nxt, "gen");
+    emit_frep(&mut b, fp_body, iters);
+    emit_int_block(&mut b, int_phase, iters, epi, nxt, "gen");
     b.mv(scratch, cur);
     b.mv(cur, nxt);
     b.mv(nxt, scratch);
@@ -452,9 +496,17 @@ fn emit_full(
     if y_out.is_some() {
         b.scfgwi(yp, 2, SsrCfgWord::Base);
     }
-    emit_frep(&mut b, fp_body, block);
+    emit_frep(&mut b, fp_body, iters);
     b.fpu_fence();
     b.ssr_disable();
+    if let Some(raddr) = result {
+        // Drain finished above: store the reduction registers to `result`.
+        b.li_u(scratch, raddr);
+        for (i, acc) in spec.acc_out.iter().enumerate() {
+            b.fsd(*acc, scratch, (i * 8) as i32);
+        }
+        b.fpu_fence();
+    }
     b.ecall();
     let _ = inner;
     b.build().map_err(|e| CodegenError::UnsupportedCut { reason: e.to_string() })
@@ -463,19 +515,20 @@ fn emit_full(
 fn emit_int_block(
     b: &mut ProgramBuilder,
     int_phase: &[Inst],
-    block: usize,
-    _slot_bytes: usize,
+    iters: usize,
+    epi: usize,
     buf: IntReg,
     tag: &str,
 ) {
     if int_phase.is_empty() {
         return;
     }
-    // Unroll to amortize loop overhead (the spill pointer advances inside
-    // each copy, so repetition preserves the serial semantics).
-    let unroll = if block.is_multiple_of(4) { 4 } else { 1 };
+    // Unroll single-element phases to amortize loop overhead (the spill
+    // pointer advances inside each copy, so repetition preserves the serial
+    // semantics); multi-element bodies are already unrolled by the caller.
+    let unroll = if epi == 1 && iters.is_multiple_of(4) { 4 } else { 1 };
     b.mv(IntReg::new(3), buf);
-    b.li(GEN_REGS[5], (block / unroll) as i32);
+    b.li(GEN_REGS[5], (iters / unroll) as i32);
     let label = format!("{tag}_{}", b.len());
     b.label(&label);
     for _ in 0..unroll {
@@ -487,11 +540,11 @@ fn emit_int_block(
     b.bnez(GEN_REGS[5], &label);
 }
 
-fn emit_frep(b: &mut ProgramBuilder, fp_body: &[Inst], block: usize) {
+fn emit_frep(b: &mut ProgramBuilder, fp_body: &[Inst], iters: usize) {
     if fp_body.is_empty() {
         return;
     }
-    b.li(GEN_REGS[4], (block - 1) as i32);
+    b.li(GEN_REGS[4], (iters - 1) as i32);
     b.frep_o(GEN_REGS[4], u8::try_from(fp_body.len()).expect("body fits"), 0, 0);
     for inst in fp_body {
         b.inst(*inst);
@@ -519,6 +572,7 @@ mod tests {
     fn spec() -> KernelSpec {
         KernelSpec {
             body: mixed_body(),
+            elems_per_iter: 1,
             int_init: vec![
                 (IntReg::new(10), 0xDEAD_BEEF),
                 (IntReg::new(11), crate::codegen::tests::A),
@@ -527,6 +581,7 @@ mod tests {
             fp_init: vec![(FpReg::FS0, 0.5), (FpReg::FS1, 1.25), (FpReg::FS2, 0.0)],
             input: None,
             output: None,
+            acc_out: vec![],
         }
     }
 
@@ -611,7 +666,15 @@ mod tests {
         b.fcvt_d_w(FpReg::FA3, IntReg::new(11));
         b.fadd_d(FpReg::FA4, FpReg::FA4, FpReg::FA3);
         let body = b.build().unwrap().text().to_vec();
-        let s = KernelSpec { body, int_init: vec![], fp_init: vec![], input: None, output: None };
+        let s = KernelSpec {
+            body,
+            elems_per_iter: 1,
+            int_init: vec![],
+            fp_init: vec![],
+            input: None,
+            output: None,
+            acc_out: vec![],
+        };
         match compile(&s, 64, 16) {
             Err(CodegenError::UnsupportedShape { .. }) => {}
             other => panic!("expected shape rejection, got {other:?}"),
@@ -624,7 +687,15 @@ mod tests {
         b.add(IntReg::new(1), IntReg::new(10), IntReg::new(10)); // x1 reserved
         b.fcvt_d_w(FpReg::FA0, IntReg::new(1));
         let body = b.build().unwrap().text().to_vec();
-        let s = KernelSpec { body, int_init: vec![], fp_init: vec![], input: None, output: None };
+        let s = KernelSpec {
+            body,
+            elems_per_iter: 1,
+            int_init: vec![],
+            fp_init: vec![],
+            input: None,
+            output: None,
+            acc_out: vec![],
+        };
         match compile(&s, 64, 16) {
             Err(CodegenError::ReservedRegister { .. }) => {}
             other => panic!("expected reserved-register rejection, got {other:?}"),
@@ -648,10 +719,12 @@ mod tests {
         let xs: Vec<f64> = (0..n).map(|i| i as f64 * 0.25).collect();
         let s = KernelSpec {
             body,
+            elems_per_iter: 1,
             int_init: vec![],
             fp_init: vec![(FpReg::FS0, 3.0), (FpReg::FS1, 1.0)],
             input: Some((xp, xs.clone())),
             output: Some(yp),
+            acc_out: vec![],
         };
         let program = compile(&s, n, 16).expect("compiles");
         let mut c = snitch_sim::cluster::Cluster::new(snitch_sim::ClusterConfig::default());
@@ -662,5 +735,61 @@ mod tests {
             let got = c.mem().read_f64(base + (i as u32) * 8).unwrap();
             assert_eq!(got, x.mul_add(3.0, 1.0), "y[{i}]");
         }
+    }
+
+    #[test]
+    fn acc_out_stores_reductions_to_the_result_symbol() {
+        let program =
+            compile(&KernelSpec { acc_out: vec![FpReg::FS2], ..spec() }, 64, 16).expect("compiles");
+        let mut c = snitch_sim::cluster::Cluster::new(snitch_sim::ClusterConfig::default());
+        c.load_program(&program);
+        c.run().expect("runs");
+        let base = program.symbol("result").expect("result symbol exists");
+        let got = c.mem().read_f64(base).unwrap();
+        assert_eq!(got, golden(64), "stored accumulator must equal the register value");
+        assert_eq!(got, f64::from_bits(c.fp_reg(FpReg::FS2)));
+    }
+
+    #[test]
+    fn multi_element_bodies_match_the_serial_semantics() {
+        // Two independent elements per body iteration: the LCG advances
+        // twice, both draws feed separate accumulate chains — results must
+        // equal the one-element body run twice as long.
+        let s = IntReg::new(10);
+        let mut b = ProgramBuilder::new();
+        for acc in [FpReg::FS2, FpReg::FS3] {
+            b.mul(s, s, IntReg::new(11));
+            b.add(s, s, IntReg::new(12));
+            b.fcvt_d_wu(FpReg::FA0, s);
+            b.fmadd_d(FpReg::FA1, FpReg::FA0, FpReg::FS0, FpReg::FS1);
+            b.fadd_d(acc, acc, FpReg::FA1);
+        }
+        let two = KernelSpec {
+            body: b.build().unwrap().text().to_vec(),
+            elems_per_iter: 2,
+            fp_init: vec![
+                (FpReg::FS0, 0.5),
+                (FpReg::FS1, 1.25),
+                (FpReg::FS2, 0.0),
+                (FpReg::FS3, 0.0),
+            ],
+            acc_out: vec![FpReg::FS2, FpReg::FS3],
+            ..spec()
+        };
+        let n = 64;
+        let program = compile(&two, n, 16).expect("compiles");
+        let mut c = snitch_sim::cluster::Cluster::new(snitch_sim::ClusterConfig::default());
+        c.load_program(&program);
+        c.run().expect("runs");
+        // Golden: same draw order, accumulators alternate.
+        let mut state: u32 = 0xDEAD_BEEF;
+        let mut acc = [0.0f64; 2];
+        for i in 0..n {
+            state = state.wrapping_mul(A).wrapping_add(C);
+            acc[i % 2] += f64::from(state).mul_add(0.5, 1.25);
+        }
+        let base = program.symbol("result").unwrap();
+        assert_eq!(c.mem().read_f64(base).unwrap(), acc[0]);
+        assert_eq!(c.mem().read_f64(base + 8).unwrap(), acc[1]);
     }
 }

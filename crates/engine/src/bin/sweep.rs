@@ -22,13 +22,13 @@ const USAGE: &str = "\
 usage: sweep [PRESET] [OPTIONS]
 
 Presets (job batch templates):
-  fig2            all 6 kernels x 2 variants at (n, 2n) operating points (24 jobs)
+  fig2            the 6 paper kernels x 2 variants at (n, 2n) operating points (24 jobs)
   fig3            poly_lcg COPIFT over the paper's size x block grid (56 jobs)
-  smoke           all kernels x variants at small sizes (12 jobs)
+  extended        the extended-suite kernels x 2 variants at (n, 2n) operating points
+  smoke           every cataloged kernel x variants at small sizes
 
 Job axes (ignored when a preset is given):
-  --kernels K,..  paper kernel names (pi_xoshiro128p, poly_xoshiro128p,
-                  pi_lcg, poly_lcg, log, exp); default: all
+  --kernels K,..  cataloged kernel names (see the catalog below); default: all
   --variants V,.. base, copift; default: both
   --n N,..        problem sizes; default: 256
   --block B,..    block sizes; default: 32
@@ -75,7 +75,7 @@ fn parse_list<T: std::str::FromStr>(flag: &str, value: &str) -> Result<Vec<T>, S
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
         preset: None,
-        kernels: Kernel::all().to_vec(),
+        kernels: Kernel::all(),
         variants: Variant::all().to_vec(),
         sizes: vec![256],
         blocks: vec![32],
@@ -101,7 +101,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             it.next().cloned().ok_or_else(|| format!("{flag} requires a value"))
         };
         match arg.as_str() {
-            "fig2" | "fig3" | "smoke" => args.preset = Some(arg.clone()),
+            "fig2" | "fig3" | "smoke" | "extended" => args.preset = Some(arg.clone()),
             "--kernels" => {
                 let v = value_of("--kernels")?;
                 args.kernels = v
@@ -179,6 +179,7 @@ fn build_jobs(args: &Args) -> Vec<JobSpec> {
         Some("fig2") => job::figure2(),
         Some("fig3") => job::figure3_paper(),
         Some("smoke") => job::smoke(),
+        Some("extended") => job::extended(),
         _ => {
             let points: Vec<(usize, usize)> =
                 args.sizes.iter().flat_map(|&n| args.blocks.iter().map(move |&b| (n, b))).collect();
@@ -191,6 +192,24 @@ fn build_jobs(args: &Args) -> Vec<JobSpec> {
         .into_iter()
         .flat_map(|j| configs.iter().map(move |c| j.clone().with_config(c.clone())))
         .collect()
+}
+
+/// The usage text plus the live workload catalog (runtime registrations
+/// included, so the help always matches what `--kernels` accepts).
+fn print_usage(to_stderr: bool) {
+    use std::fmt::Write as _;
+    let mut listing = String::from("Workload catalog (--kernels accepts any of these):\n");
+    let paper = Kernel::paper();
+    for kernel in Kernel::all() {
+        let star = if paper.contains(&kernel) { "*" } else { " " };
+        let _ = writeln!(listing, "  {star}{:<18} {}", kernel.name(), kernel.description());
+    }
+    listing.push_str("  (* = paper Figure 2 suite)\n");
+    if to_stderr {
+        eprint!("{USAGE}\n{listing}");
+    } else {
+        print!("{USAGE}\n{listing}");
+    }
 }
 
 fn write_out(path: &str, contents: &str) -> std::io::Result<()> {
@@ -207,11 +226,11 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(msg) => {
             if msg.is_empty() {
-                print!("{USAGE}");
+                print_usage(false);
                 return ExitCode::SUCCESS;
             }
             eprintln!("sweep: {msg}");
-            eprint!("{USAGE}");
+            print_usage(true);
             return ExitCode::FAILURE;
         }
     };

@@ -91,13 +91,14 @@ pub fn grid(kernels: &[Kernel], variants: &[Variant], points: &[(usize, usize)])
     JobSpec::grid(kernels, variants, points)
 }
 
-/// The full Figure 2 batch: every kernel, both variants, at the kernel's
-/// operating point `n` and at `2n` (steady-state measurements difference the
-/// two sizes). 24 jobs, ordered kernel-major in Figure 2 order.
+/// Steady-state measurement pairs: every given kernel, both variants, at
+/// the kernel's operating point `n` and at `2n` (steady-state measurements
+/// difference the two sizes). `4 × kernels.len()` jobs, kernel-major in the
+/// given order.
 #[must_use]
-pub fn figure2() -> Vec<JobSpec> {
-    let mut jobs = Vec::with_capacity(24);
-    for kernel in Kernel::all() {
+pub fn steady_pairs(kernels: &[Kernel]) -> Vec<JobSpec> {
+    let mut jobs = Vec::with_capacity(4 * kernels.len());
+    for &kernel in kernels {
         let (n, block) = kernel.operating_point();
         for variant in Variant::all() {
             jobs.push(JobSpec::new(kernel, variant, n, block));
@@ -105,6 +106,20 @@ pub fn figure2() -> Vec<JobSpec> {
         }
     }
     jobs
+}
+
+/// The full Figure 2 batch: [`steady_pairs`] over the paper's six kernels
+/// (24 jobs, Figure 2 order).
+#[must_use]
+pub fn figure2() -> Vec<JobSpec> {
+    steady_pairs(&Kernel::paper())
+}
+
+/// The extended-suite batch: [`steady_pairs`] over every cataloged kernel
+/// beyond the paper's Figure 2 suite.
+#[must_use]
+pub fn extended() -> Vec<JobSpec> {
+    steady_pairs(&Kernel::extended())
 }
 
 /// The paper's Figure 3 block sizes.
@@ -128,16 +143,15 @@ pub fn figure3_paper() -> Vec<JobSpec> {
     figure3(&FIG3_SIZES, &FIG3_BLOCKS)
 }
 
-/// The smoke batch: every kernel, both variants, at small
-/// validation-friendly sizes (12 jobs, kernel-major).
+/// The smoke batch: every cataloged kernel, both variants, at each
+/// kernel's small validation-friendly smoke point (kernel-major in catalog
+/// order; 2 jobs per cataloged kernel).
 #[must_use]
 pub fn smoke() -> Vec<JobSpec> {
-    let mut jobs = Vec::with_capacity(12);
-    for kernel in Kernel::all() {
-        let (n, block) = match kernel {
-            Kernel::Expf | Kernel::Logf => (512, 64),
-            _ => (512, 128),
-        };
+    let kernels = Kernel::all();
+    let mut jobs = Vec::with_capacity(2 * kernels.len());
+    for kernel in kernels {
+        let (n, block) = kernel.smoke_point();
         for variant in Variant::all() {
             jobs.push(JobSpec::new(kernel, variant, n, block));
         }
@@ -168,10 +182,10 @@ mod tests {
     }
 
     #[test]
-    fn figure2_covers_all_kernels_twice_per_variant() {
+    fn figure2_covers_all_paper_kernels_twice_per_variant() {
         let jobs = figure2();
         assert_eq!(jobs.len(), 24);
-        for kernel in Kernel::all() {
+        for kernel in Kernel::paper() {
             let (n, block) = kernel.operating_point();
             for variant in Variant::all() {
                 for size in [n, 2 * n] {
@@ -187,6 +201,26 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn smoke_and_extended_enumerate_the_catalog() {
+        let catalog = Kernel::all();
+        let smoke_jobs = smoke();
+        assert_eq!(smoke_jobs.len(), 2 * catalog.len());
+        for kernel in &catalog {
+            assert!(
+                smoke_jobs.iter().any(|j| j.kernel == *kernel),
+                "{} missing from the smoke batch",
+                kernel.name()
+            );
+        }
+        let ext = extended();
+        assert_eq!(ext.len(), 4 * Kernel::extended().len());
+        assert!(ext.iter().all(|j| !Kernel::paper().contains(&j.kernel)));
+        assert!(ext.iter().any(|j| j.kernel.name() == "sigmoid"));
+        assert!(ext.iter().any(|j| j.kernel.name() == "softmax"));
+        assert!(ext.iter().any(|j| j.kernel.name() == "dot_lcg"));
     }
 
     #[test]

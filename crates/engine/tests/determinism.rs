@@ -5,36 +5,39 @@ use snitch_engine::{job, sink, Engine, JobSpec};
 use snitch_kernels::registry::{Kernel, Variant};
 use snitch_sim::config::ClusterConfig;
 
-fn four_job_batch() -> Vec<JobSpec> {
+fn mixed_batch() -> Vec<JobSpec> {
     vec![
         JobSpec::new(Kernel::PiLcg, Variant::Baseline, 128, 0),
         JobSpec::new(Kernel::PiLcg, Variant::Copift, 128, 32),
         JobSpec::new(Kernel::Logf, Variant::Baseline, 64, 16),
         JobSpec::new(Kernel::PiXoshiro, Variant::Baseline, 64, 0)
             .with_config(ClusterConfig { int_wb_ports: 2, ..ClusterConfig::default() }),
+        // Extended-suite kernels flow through the same deterministic sinks.
+        JobSpec::new(Kernel::Sigmoid, Variant::Copift, 128, 32),
+        JobSpec::new(Kernel::Softmax, Variant::Baseline, 64, 16),
     ]
 }
 
 #[test]
 fn jsonl_is_byte_identical_across_worker_counts() {
-    let jobs = four_job_batch();
+    let jobs = mixed_batch();
     let serial = sink::to_jsonl(&Engine::new(1).run(&jobs));
     for workers in [2, 4, 8] {
         let parallel = sink::to_jsonl(&Engine::new(workers).run(&jobs));
         assert_eq!(serial, parallel, "JSON-lines output diverged at {workers} workers");
     }
     // Sanity on the content itself.
-    assert_eq!(serial.lines().count(), 4);
+    assert_eq!(serial.lines().count(), 6);
     assert!(serial.lines().all(|l| l.contains("\"ok\":true")));
 }
 
 #[test]
 fn csv_is_byte_identical_across_worker_counts() {
-    let jobs = four_job_batch();
+    let jobs = mixed_batch();
     let serial = sink::to_csv(&Engine::new(1).run(&jobs));
     let parallel = sink::to_csv(&Engine::new(4).run(&jobs));
     assert_eq!(serial, parallel);
-    assert_eq!(serial.lines().count(), 5, "header plus four rows");
+    assert_eq!(serial.lines().count(), 7, "header plus six rows");
 }
 
 #[test]

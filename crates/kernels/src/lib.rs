@@ -1,22 +1,36 @@
-//! The six mixed integer/floating-point workloads evaluated in the COPIFT
-//! paper, each as a golden Rust model, an optimized RV32G baseline program
-//! and a COPIFT-accelerated program, plus the run/validate harness.
+//! The COPIFT workload catalog: the paper's six mixed integer/floating-point
+//! workloads plus an auto-compiled extended suite, each as a golden Rust
+//! model, an optimized RV32G baseline program and a COPIFT-accelerated
+//! program, plus the run/validate harness.
 //!
 //! | Kernel | Domain | Module |
 //! |--------|--------|--------|
-//! | `expf` | vector exponential (softmax motif) | [`expf`] |
-//! | `logf` | vector logarithm (ISSR showcase) | [`logf`] |
+//! | `exp` | vector exponential (softmax motif) | [`expf`] |
+//! | `log` | vector logarithm (ISSR showcase) | [`logf`] |
 //! | `poly_lcg`, `pi_lcg`, `poly_xoshiro128p`, `pi_xoshiro128p` | hit-and-miss Monte Carlo | [`mc`] |
+//! | `sigmoid` | polynomial logistic over LCG inputs | [`sigmoid`] |
+//! | `dot_lcg` | dot product with an LCG-generated vector | [`dot_lcg`] |
+//! | `softmax` | softmax exp+reduce denominator pass | [`softmax`] |
 //!
-//! All simulated results are validated **bit-exactly** against [`golden`].
-//! [`registry::Kernel`] is the enumeration the benchmarks drive.
+//! The first six are hand-scheduled reproductions of the paper's Figure 2
+//! suite; the extended three are *compiled* from plain loop bodies by
+//! [`copift::codegen`] — the paper's Steps 3–7 applied automatically.
+//!
+//! All simulated results are validated **bit-exactly** against the golden
+//! models. [`registry`] is the open catalog the benchmarks drive: the
+//! [`registry::Workload`] trait describes one workload, [`registry::Kernel`]
+//! is the copyable handle grids and caches key on, and
+//! [`registry::register`] adds workloads at runtime.
 
+pub mod dot_lcg;
 pub mod expf;
 pub mod golden;
 pub mod harness;
 pub mod logf;
 pub mod mc;
 pub mod registry;
+pub mod sigmoid;
+pub mod softmax;
 
 pub use harness::{HarnessError, RunOutcome, SteadyState};
-pub use registry::{Kernel, Variant};
+pub use registry::{register, Kernel, RegistryError, Variant, Workload};

@@ -1,4 +1,19 @@
-//! Kernel registry: the paper's six workloads behind one enumeration.
+//! The open workload registry: every kernel the harness can run, behind one
+//! pluggable catalog.
+//!
+//! The paper's six Figure-2 workloads used to be a closed `enum`; the
+//! registry now separates **what a workload is** (the [`Workload`] trait:
+//! name, program builders, golden expectations, operating points) from
+//! **how callers refer to one** (the [`Kernel`] handle, a copyable index
+//! into the catalog). The built-in catalog ships the six paper kernels plus
+//! the auto-compiled extended suite ([`sigmoid`], [`dot_lcg`],
+//! [`softmax`]); downstream code can add more at runtime with [`register`].
+//!
+//! [`Kernel::all`] enumerates the full catalog, [`Kernel::paper`] the six
+//! Figure-2 workloads, and [`Kernel::from_name`] resolves the names the
+//! `sweep` CLI and the result sinks print.
+
+use std::sync::RwLock;
 
 use snitch_asm::program::Program;
 use snitch_energy::EnergyModel;
@@ -7,7 +22,7 @@ use snitch_sim::config::ClusterConfig;
 
 use crate::golden::{mc_hits, Integrand, Rng};
 use crate::harness::{HarnessError, RunOutcome};
-use crate::{expf, logf, mc};
+use crate::{dot_lcg, expf, logf, mc, sigmoid, softmax};
 
 /// Code variant.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -41,118 +56,423 @@ impl Variant {
     }
 }
 
-/// The six evaluated kernels, in the paper's Figure 2 order
-/// (increasing expected speedup `S′`).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-pub enum Kernel {
+/// One runnable workload: everything the engine, the sweep CLI and the
+/// validation harness need to build, run and check a kernel.
+///
+/// Implementations are registered in the static catalog (built-ins) or at
+/// runtime via [`register`]; callers address them through [`Kernel`].
+pub trait Workload: Sync {
+    /// The kernel's catalog name (what `sweep --kernels` accepts and the
+    /// result sinks print). Must be unique within the catalog.
+    fn name(&self) -> &'static str;
+
+    /// One-line description for catalog listings.
+    fn description(&self) -> &'static str;
+
+    /// Builds the program for `variant` with problem size `n` (points or
+    /// vector elements) and block size `block` (ignored by workloads
+    /// without blocking).
+    ///
+    /// # Panics
+    ///
+    /// Panics on violated size constraints (see the kernel modules).
+    fn build(&self, variant: Variant, n: usize, block: usize) -> Program;
+
+    /// Golden expectations: `(symbol, values)` checked bit-exactly after a
+    /// run.
+    fn expected(&self, variant: Variant, n: usize) -> Vec<(&'static str, Vec<u64>)>;
+
+    /// A representative operating point `(n, block)` for steady-state
+    /// measurements (Figure 2 and the extended suite).
+    fn operating_point(&self) -> (usize, usize);
+
+    /// A small validation-friendly `(n, block)` for smoke batches.
+    fn smoke_point(&self) -> (usize, usize) {
+        (512, 64)
+    }
+
+    /// Whether this is a hit-and-miss Monte Carlo workload (Table I groups
+    /// those at 8 points per unit).
+    fn is_mc(&self) -> bool {
+        false
+    }
+
+    /// Whether the workload belongs to the paper's Figure 2 suite (fixed
+    /// paper-comparison batches enumerate only these).
+    fn in_figure2(&self) -> bool {
+        false
+    }
+}
+
+// --------------------------------------------------------------- built-ins
+
+/// One of the four hit-and-miss Monte Carlo workloads.
+struct McWorkload {
+    name: &'static str,
+    description: &'static str,
+    integrand: Integrand,
+    rng: Rng,
+}
+
+impl Workload for McWorkload {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+    fn description(&self) -> &'static str {
+        self.description
+    }
+    fn build(&self, variant: Variant, n: usize, block: usize) -> Program {
+        match variant {
+            Variant::Baseline => mc::baseline(self.integrand, self.rng, n),
+            Variant::Copift => mc::copift(self.integrand, self.rng, n, block),
+        }
+    }
+    fn expected(&self, variant: Variant, n: usize) -> Vec<(&'static str, Vec<u64>)> {
+        let hits = mc_hits(self.integrand, self.rng, n);
+        let bits = match variant {
+            Variant::Baseline => hits as u64, // u32 count, zero-padded
+            Variant::Copift => hits.to_bits(),
+        };
+        vec![("result", vec![bits])]
+    }
+    fn operating_point(&self) -> (usize, usize) {
+        (8192, 256)
+    }
+    fn smoke_point(&self) -> (usize, usize) {
+        (512, 128)
+    }
+    fn is_mc(&self) -> bool {
+        true
+    }
+    fn in_figure2(&self) -> bool {
+        true
+    }
+}
+
+/// The vector-exponential workload (paper Fig. 1).
+struct ExpfWorkload;
+
+impl Workload for ExpfWorkload {
+    fn name(&self) -> &'static str {
+        "exp"
+    }
+    fn description(&self) -> &'static str {
+        "vector exponential (glibc method, hand-written 3-phase pipeline)"
+    }
+    fn build(&self, variant: Variant, n: usize, block: usize) -> Program {
+        match variant {
+            Variant::Baseline => expf::baseline(n, block),
+            Variant::Copift => expf::copift(n, block),
+        }
+    }
+    fn expected(&self, _variant: Variant, n: usize) -> Vec<(&'static str, Vec<u64>)> {
+        // `y_out` aliases the live output window inside `y_main`
+        // (one dummy block in; see `expf::alloc_io`).
+        vec![("y_out", expf::golden_outputs(n))]
+    }
+    fn operating_point(&self) -> (usize, usize) {
+        (2048, 128)
+    }
+    fn in_figure2(&self) -> bool {
+        true
+    }
+}
+
+/// The vector-logarithm workload (ISSR showcase).
+struct LogfWorkload;
+
+impl Workload for LogfWorkload {
+    fn name(&self) -> &'static str {
+        "log"
+    }
+    fn description(&self) -> &'static str {
+        "vector logarithm (glibc method, ISSR indirection showcase)"
+    }
+    fn build(&self, variant: Variant, n: usize, block: usize) -> Program {
+        match variant {
+            Variant::Baseline => logf::baseline(n),
+            Variant::Copift => logf::copift(n, block),
+        }
+    }
+    fn expected(&self, _variant: Variant, n: usize) -> Vec<(&'static str, Vec<u64>)> {
+        vec![("y_data", logf::golden_outputs(n))]
+    }
+    fn operating_point(&self) -> (usize, usize) {
+        (2048, 128)
+    }
+    fn in_figure2(&self) -> bool {
+        true
+    }
+}
+
+/// The auto-compiled polynomial-logistic workload.
+struct SigmoidWorkload;
+
+impl Workload for SigmoidWorkload {
+    fn name(&self) -> &'static str {
+        "sigmoid"
+    }
+    fn description(&self) -> &'static str {
+        "polynomial logistic over LCG-generated inputs (auto-compiled COPIFT)"
+    }
+    fn build(&self, variant: Variant, n: usize, block: usize) -> Program {
+        match variant {
+            Variant::Baseline => sigmoid::baseline(n),
+            Variant::Copift => sigmoid::copift(n, block),
+        }
+    }
+    fn expected(&self, _variant: Variant, n: usize) -> Vec<(&'static str, Vec<u64>)> {
+        vec![("y_out", sigmoid::golden_outputs(n))]
+    }
+    fn operating_point(&self) -> (usize, usize) {
+        // TCDM-resident output: 2n doubles must leave room in the 128 KiB
+        // scratchpad at the steady-state measurement's doubled size.
+        (4096, 256)
+    }
+    fn smoke_point(&self) -> (usize, usize) {
+        (512, 128)
+    }
+}
+
+/// The auto-compiled dot-product workload.
+struct DotLcgWorkload;
+
+impl Workload for DotLcgWorkload {
+    fn name(&self) -> &'static str {
+        "dot_lcg"
+    }
+    fn description(&self) -> &'static str {
+        "dot product with an LCG-generated vector (auto-compiled COPIFT)"
+    }
+    fn build(&self, variant: Variant, n: usize, block: usize) -> Program {
+        match variant {
+            Variant::Baseline => dot_lcg::baseline(n),
+            Variant::Copift => dot_lcg::copift(n, block),
+        }
+    }
+    fn expected(&self, _variant: Variant, n: usize) -> Vec<(&'static str, Vec<u64>)> {
+        vec![("result", dot_lcg::golden_result(n))]
+    }
+    fn operating_point(&self) -> (usize, usize) {
+        // TCDM-resident input: same 128 KiB bound as `sigmoid`.
+        (4096, 256)
+    }
+    fn smoke_point(&self) -> (usize, usize) {
+        (512, 128)
+    }
+}
+
+/// The auto-compiled softmax exp+reduce workload.
+struct SoftmaxWorkload;
+
+impl Workload for SoftmaxWorkload {
+    fn name(&self) -> &'static str {
+        "softmax"
+    }
+    fn description(&self) -> &'static str {
+        "softmax exp+reduce denominator pass (auto-compiled COPIFT, FP-only)"
+    }
+    fn build(&self, variant: Variant, n: usize, block: usize) -> Program {
+        match variant {
+            Variant::Baseline => softmax::baseline(n),
+            Variant::Copift => softmax::copift(n, block),
+        }
+    }
+    fn expected(&self, _variant: Variant, n: usize) -> Vec<(&'static str, Vec<u64>)> {
+        let (ys, sums) = softmax::golden(n);
+        vec![("y_out", ys), ("result", sums)]
+    }
+    fn operating_point(&self) -> (usize, usize) {
+        (2048, 128)
+    }
+}
+
+/// The built-in catalog: the paper's six Figure-2 workloads (in the paper's
+/// order of increasing expected speedup `S′`) followed by the extended
+/// suite.
+static BUILTINS: [&dyn Workload; 9] = [
+    &McWorkload {
+        name: "pi_xoshiro128p",
+        description: "Monte Carlo pi, xoshiro128+ draws (integer-heavy, no multiplies)",
+        integrand: Integrand::Pi,
+        rng: Rng::Xoshiro128p,
+    },
+    &McWorkload {
+        name: "poly_xoshiro128p",
+        description: "Monte Carlo degree-5 polynomial, xoshiro128+ draws",
+        integrand: Integrand::Poly,
+        rng: Rng::Xoshiro128p,
+    },
+    &McWorkload {
+        name: "pi_lcg",
+        description: "Monte Carlo pi, LCG draws (write-back-port hazard)",
+        integrand: Integrand::Pi,
+        rng: Rng::Lcg,
+    },
+    &McWorkload {
+        name: "poly_lcg",
+        description: "Monte Carlo degree-5 polynomial, LCG draws",
+        integrand: Integrand::Poly,
+        rng: Rng::Lcg,
+    },
+    &LogfWorkload,
+    &ExpfWorkload,
+    &SigmoidWorkload,
+    &DotLcgWorkload,
+    &SoftmaxWorkload,
+];
+
+/// Workloads added at runtime via [`register`].
+static EXTENSIONS: RwLock<Vec<&'static dyn Workload>> = RwLock::new(Vec::new());
+
+/// A workload could not be added to the catalog.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RegistryError {
+    /// A cataloged workload already uses this name.
+    DuplicateName(String),
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::DuplicateName(name) => {
+                write!(f, "a workload named `{name}` is already cataloged")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// Adds a workload to the catalog and returns its handle. The workload is
+/// immediately visible to [`Kernel::all`], [`Kernel::from_name`] and every
+/// engine grid built afterwards.
+///
+/// # Errors
+///
+/// Returns [`RegistryError::DuplicateName`] if the name is already taken.
+pub fn register(workload: &'static dyn Workload) -> Result<Kernel, RegistryError> {
+    let mut ext = EXTENSIONS.write().unwrap();
+    let name = workload.name();
+    let taken = BUILTINS.iter().any(|w| w.name() == name) || ext.iter().any(|w| w.name() == name);
+    if taken {
+        return Err(RegistryError::DuplicateName(name.to_string()));
+    }
+    let index = BUILTINS.len() + ext.len();
+    ext.push(workload);
+    Ok(Kernel(u16::try_from(index).expect("catalog smaller than 2^16")))
+}
+
+/// A cataloged kernel: a copyable, hashable handle into the workload
+/// registry (the former closed enum, now open). The paper's six workloads
+/// remain addressable by their historical names (`Kernel::PiLcg`, ...).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Kernel(u16);
+
+#[allow(non_upper_case_globals)]
+impl Kernel {
     /// Monte Carlo π with xoshiro128+.
-    PiXoshiro,
+    pub const PiXoshiro: Kernel = Kernel(0);
     /// Monte Carlo polynomial with xoshiro128+.
-    PolyXoshiro,
+    pub const PolyXoshiro: Kernel = Kernel(1);
     /// Monte Carlo π with the LCG.
-    PiLcg,
+    pub const PiLcg: Kernel = Kernel(2);
     /// Monte Carlo polynomial with the LCG.
-    PolyLcg,
+    pub const PolyLcg: Kernel = Kernel(3);
     /// Vector logarithm.
-    Logf,
+    pub const Logf: Kernel = Kernel(4);
     /// Vector exponential.
-    Expf,
+    pub const Expf: Kernel = Kernel(5);
+    /// Polynomial logistic (extended suite, auto-compiled).
+    pub const Sigmoid: Kernel = Kernel(6);
+    /// LCG dot product (extended suite, auto-compiled).
+    pub const DotLcg: Kernel = Kernel(7);
+    /// Softmax exp+reduce (extended suite, auto-compiled).
+    pub const Softmax: Kernel = Kernel(8);
+}
+
+impl std::fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Kernel({})", self.name())
+    }
 }
 
 impl Kernel {
-    /// All kernels in Figure 2 order.
+    /// The full catalog, built-ins first (the six Figure-2 workloads in the
+    /// paper's order, then the extended suite, then runtime registrations).
     #[must_use]
-    pub fn all() -> [Kernel; 6] {
-        [
-            Kernel::PiXoshiro,
-            Kernel::PolyXoshiro,
-            Kernel::PiLcg,
-            Kernel::PolyLcg,
-            Kernel::Logf,
-            Kernel::Expf,
-        ]
+    pub fn all() -> Vec<Kernel> {
+        let total = BUILTINS.len() + EXTENSIONS.read().unwrap().len();
+        (0..total).map(|i| Kernel(i as u16)).collect()
     }
 
-    /// Parses a paper kernel name (as printed by [`name`](Self::name)).
+    /// The six paper workloads, in Figure 2 order.
+    #[must_use]
+    pub fn paper() -> Vec<Kernel> {
+        Kernel::all().into_iter().filter(|k| k.workload().in_figure2()).collect()
+    }
+
+    /// The cataloged workloads beyond the paper's Figure 2 suite.
+    #[must_use]
+    pub fn extended() -> Vec<Kernel> {
+        Kernel::all().into_iter().filter(|k| !k.workload().in_figure2()).collect()
+    }
+
+    /// Parses a catalog name (as printed by [`name`](Self::name)).
     #[must_use]
     pub fn from_name(name: &str) -> Option<Kernel> {
         Kernel::all().into_iter().find(|k| k.name() == name)
     }
 
-    /// The paper's kernel name.
+    /// The workload behind this handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle does not come from this process's catalog.
     #[must_use]
-    pub fn name(self) -> &'static str {
-        match self {
-            Kernel::PiXoshiro => "pi_xoshiro128p",
-            Kernel::PolyXoshiro => "poly_xoshiro128p",
-            Kernel::PiLcg => "pi_lcg",
-            Kernel::PolyLcg => "poly_lcg",
-            Kernel::Logf => "log",
-            Kernel::Expf => "exp",
+    pub fn workload(self) -> &'static dyn Workload {
+        let i = self.0 as usize;
+        if i < BUILTINS.len() {
+            BUILTINS[i]
+        } else {
+            EXTENSIONS.read().unwrap()[i - BUILTINS.len()]
         }
     }
 
-    fn mc_parts(self) -> Option<(Integrand, Rng)> {
-        Some(match self {
-            Kernel::PiXoshiro => (Integrand::Pi, Rng::Xoshiro128p),
-            Kernel::PolyXoshiro => (Integrand::Poly, Rng::Xoshiro128p),
-            Kernel::PiLcg => (Integrand::Pi, Rng::Lcg),
-            Kernel::PolyLcg => (Integrand::Poly, Rng::Lcg),
-            Kernel::Logf | Kernel::Expf => return None,
-        })
+    /// The kernel's catalog name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        self.workload().name()
+    }
+
+    /// One-line description for catalog listings.
+    #[must_use]
+    pub fn description(self) -> &'static str {
+        self.workload().description()
     }
 
     /// Whether this is a Monte Carlo kernel.
     #[must_use]
     pub fn is_mc(self) -> bool {
-        self.mc_parts().is_some()
+        self.workload().is_mc()
     }
 
     /// Builds the program for `variant` with problem size `n` (points or
-    /// vector elements) and block size `block` (ignored by the Monte Carlo
-    /// and `logf` baselines, which have no DMA blocking).
+    /// vector elements) and block size `block` (ignored by kernels without
+    /// blocking).
     ///
     /// # Panics
     ///
     /// Panics on size constraints violated (see the kernel modules).
     #[must_use]
     pub fn build(self, variant: Variant, n: usize, block: usize) -> Program {
-        match (self.mc_parts(), variant) {
-            (Some((i, r)), Variant::Baseline) => mc::baseline(i, r, n),
-            (Some((i, r)), Variant::Copift) => mc::copift(i, r, n, block),
-            (None, Variant::Baseline) => match self {
-                Kernel::Expf => expf::baseline(n, block),
-                Kernel::Logf => logf::baseline(n),
-                _ => unreachable!(),
-            },
-            (None, Variant::Copift) => match self {
-                Kernel::Expf => expf::copift(n, block),
-                Kernel::Logf => logf::copift(n, block),
-                _ => unreachable!(),
-            },
-        }
+        self.workload().build(variant, n, block)
     }
 
     /// Golden expectations: `(symbol, values)` checked after a run.
     #[must_use]
     pub fn expected(self, variant: Variant, n: usize) -> Vec<(&'static str, Vec<u64>)> {
-        match self.mc_parts() {
-            Some((i, r)) => {
-                let hits = mc_hits(i, r, n);
-                let bits = match variant {
-                    Variant::Baseline => hits as u64, // u32 count, zero-padded
-                    Variant::Copift => hits.to_bits(),
-                };
-                vec![("result", vec![bits])]
-            }
-            None => match self {
-                // `y_out` aliases the live output window inside `y_main`
-                // (one dummy block in; see `expf::alloc_io`).
-                Kernel::Expf => vec![("y_out", expf::golden_outputs(n))],
-                Kernel::Logf => vec![("y_data", logf::golden_outputs(n))],
-                _ => unreachable!(),
-            },
-        }
+        self.workload().expected(variant, n)
     }
 
     /// Runs and validates; returns the outcome.
@@ -266,10 +586,13 @@ impl Kernel {
     /// measurements (Figure 2).
     #[must_use]
     pub fn operating_point(self) -> (usize, usize) {
-        match self {
-            Kernel::Expf | Kernel::Logf => (2048, 128),
-            _ => (8192, 256),
-        }
+        self.workload().operating_point()
+    }
+
+    /// A small validation-friendly `(n, block)` for smoke batches.
+    #[must_use]
+    pub fn smoke_point(self) -> (usize, usize) {
+        self.workload().smoke_point()
     }
 }
 
@@ -278,10 +601,25 @@ mod tests {
     use super::*;
 
     #[test]
-    fn names_follow_figure2_order() {
+    fn names_follow_figure2_order_then_extended() {
         let names: Vec<&str> = Kernel::all().iter().map(|k| k.name()).collect();
         assert_eq!(
-            names,
+            &names[..9],
+            &[
+                "pi_xoshiro128p",
+                "poly_xoshiro128p",
+                "pi_lcg",
+                "poly_lcg",
+                "log",
+                "exp",
+                "sigmoid",
+                "dot_lcg",
+                "softmax"
+            ]
+        );
+        let paper: Vec<&str> = Kernel::paper().iter().map(|k| k.name()).collect();
+        assert_eq!(
+            paper,
             vec!["pi_xoshiro128p", "poly_xoshiro128p", "pi_lcg", "poly_lcg", "log", "exp"]
         );
     }
@@ -302,6 +640,68 @@ mod tests {
         }
         assert_eq!(Kernel::from_name("nope"), None);
         assert_eq!(Variant::from_name("nope"), None);
+    }
+
+    #[test]
+    fn historical_handles_resolve_to_their_names() {
+        assert_eq!(Kernel::PiXoshiro.name(), "pi_xoshiro128p");
+        assert_eq!(Kernel::PolyXoshiro.name(), "poly_xoshiro128p");
+        assert_eq!(Kernel::PiLcg.name(), "pi_lcg");
+        assert_eq!(Kernel::PolyLcg.name(), "poly_lcg");
+        assert_eq!(Kernel::Logf.name(), "log");
+        assert_eq!(Kernel::Expf.name(), "exp");
+        assert_eq!(Kernel::Sigmoid.name(), "sigmoid");
+        assert_eq!(Kernel::DotLcg.name(), "dot_lcg");
+        assert_eq!(Kernel::Softmax.name(), "softmax");
+    }
+
+    /// A minimal runtime-registered workload: writes one constant word.
+    struct ConstWorkload;
+
+    impl Workload for ConstWorkload {
+        fn name(&self) -> &'static str {
+            "const42"
+        }
+        fn description(&self) -> &'static str {
+            "test workload"
+        }
+        fn build(&self, _variant: Variant, _n: usize, _block: usize) -> Program {
+            use snitch_asm::builder::ProgramBuilder;
+            use snitch_riscv::reg::IntReg;
+            let mut b = ProgramBuilder::new();
+            let out = b.tcdm_reserve("result", 8, 8);
+            b.li_u(IntReg::A0, out);
+            b.li(IntReg::A1, 42);
+            b.sw(IntReg::A1, IntReg::A0, 0);
+            b.ecall();
+            b.build().unwrap()
+        }
+        fn expected(&self, _variant: Variant, _n: usize) -> Vec<(&'static str, Vec<u64>)> {
+            vec![("result", vec![42u64])]
+        }
+        fn operating_point(&self) -> (usize, usize) {
+            (64, 16)
+        }
+    }
+
+    #[test]
+    fn runtime_registration_extends_the_catalog() {
+        // Registration mutates the process-wide catalog for the rest of this
+        // test binary: once this test has run, `const42` is part of
+        // `Kernel::all()` and `Kernel::extended()`. Tests in this binary must
+        // therefore never assert an exact catalog size or an exact extended
+        // list — check the first `BUILTINS.len()` entries (a stable prefix)
+        // or membership instead.
+        static W: ConstWorkload = ConstWorkload;
+        let handle = register(&W).expect("first registration succeeds");
+        assert_eq!(Kernel::from_name("const42"), Some(handle));
+        assert!(Kernel::all().contains(&handle));
+        assert!(!Kernel::paper().contains(&handle), "registered kernels are not paper kernels");
+        // The handle runs through the standard harness.
+        let r = handle.run(Variant::Baseline, 64, 16).expect("validates");
+        assert!(r.total_cycles > 0);
+        // Names stay unique.
+        assert_eq!(register(&W), Err(RegistryError::DuplicateName("const42".to_string())));
     }
 
     #[test]

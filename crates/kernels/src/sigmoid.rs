@@ -1,0 +1,217 @@
+//! The `sigmoid` kernel: a polynomial logistic function over on-the-fly
+//! LCG-generated inputs — the first workload *compiled* by
+//! [`copift::codegen`] rather than hand-scheduled.
+//!
+//! Per element, the integer thread draws `u` from a 32-bit LCG; the FP
+//! thread converts the raw draw (`fcvt.d.wu`, the Type 3 crossing that
+//! becomes `copift.fcvt.d.wu` under COPIFT), maps it to `x ∈ [-2, 2)` and
+//! evaluates the odd Taylor polynomial of the logistic function
+//!
+//! ```text
+//! σ̃(x) = 1/2 + x·(C1 + x²·(C3 + x²·C5)),   C1 = 1/4, C3 = -1/48, C5 = 1/480
+//! ```
+//!
+//! (max error ≈ 2·10⁻² on the generated range). Both variants process four
+//! independent elements per unrolled iteration so the per-element FMA chains
+//! interleave past the FPU latency.
+//!
+//! * **Baseline**: one mixed RV32G loop — serial draws (mul/add write-back
+//!   hazard), `fcvt.d.wu` crossings, interleaved polynomial, `fsd` per
+//!   element.
+//! * **COPIFT**: [`copift::compile`] of the same four-element body — the
+//!   integer thread spills draws per block, the FP thread pops them through
+//!   SSR 0 under FREP and pushes results on SSR 2.
+
+use copift::{compile, KernelSpec};
+use snitch_asm::builder::ProgramBuilder;
+use snitch_asm::program::Program;
+use snitch_riscv::reg::{FpReg, IntReg};
+
+use crate::golden::{lcg_next, INV_2_32, LCG_A, LCG_C, SEED0, SEED_GAMMA};
+
+/// Elements per unrolled iteration (both variants).
+pub const UNROLL: usize = 4;
+
+/// Draw-to-input scaling: maps `[0, 2³²)` onto `[-2, 2)`.
+pub const SCALE: f64 = 4.0 * INV_2_32;
+/// Lower bound of the input range.
+pub const LO: f64 = -2.0;
+/// Odd polynomial coefficients `(C1, C3, C5)` of the logistic Taylor series.
+pub const SIG_C: [f64; 3] = [0.25, -1.0 / 48.0, 1.0 / 480.0];
+
+/// LCG stream seed (decorrelated from the Monte Carlo streams).
+#[must_use]
+pub fn seed() -> u32 {
+    SEED0.wrapping_add(SEED_GAMMA.wrapping_mul(5))
+}
+
+/// One element, bit-exact with the simulated instruction sequence.
+#[must_use]
+pub fn sigmoid_elem(draw: u32) -> f64 {
+    let u = f64::from(draw);
+    let x = u.mul_add(SCALE, LO);
+    let x2 = x * x;
+    let t = x2.mul_add(SIG_C[2], SIG_C[1]);
+    let t = x2.mul_add(t, SIG_C[0]);
+    x.mul_add(t, 0.5)
+}
+
+/// Golden outputs (f64 bits) for `n` elements.
+#[must_use]
+pub fn golden_outputs(n: usize) -> Vec<u64> {
+    let mut s = seed();
+    (0..n).map(|_| sigmoid_elem(lcg_next(&mut s)).to_bits()).collect()
+}
+
+fn x(i: u8) -> IntReg {
+    IntReg::new(i)
+}
+fn f(i: u8) -> FpReg {
+    FpReg::new(i)
+}
+
+/// The shared four-element loop body. `copift_form` keeps only what the
+/// code generator needs (the baseline adds its own loads/stores around it).
+fn emit_fp_elem_groups(b: &mut ProgramBuilder) {
+    // x_e = u_e·SCALE + LO  (u_e sits in FA0+e = f10+e)
+    for e in 0..4u8 {
+        b.fmadd_d(f(10 + e), f(10 + e), f(8), f(9));
+    }
+    // x2_e = x_e²
+    for e in 0..4u8 {
+        b.fmul_d(f(14 + e), f(10 + e), f(10 + e));
+    }
+    // t_e = x2_e·C5 + C3
+    for e in 0..4u8 {
+        b.fmadd_d(f(22 + e), f(14 + e), f(18), f(19));
+    }
+    // t_e = x2_e·t_e + C1
+    for e in 0..4u8 {
+        b.fmadd_d(f(22 + e), f(14 + e), f(22 + e), f(20));
+    }
+    // y_e = x_e·t_e + 1/2
+    for e in 0..4u8 {
+        b.fmadd_d(f(14 + e), f(10 + e), f(22 + e), f(21));
+    }
+}
+
+/// FP constants in registers `FS0..FS5` (f8, f9, f18..f21).
+const FP_CONSTS: [f64; 6] = [SCALE, LO, SIG_C[2], SIG_C[1], SIG_C[0], 0.5];
+
+fn fp_const_regs() -> [FpReg; 6] {
+    [f(8), f(9), f(18), f(19), f(20), f(21)]
+}
+
+/// Builds the RV32G baseline program.
+///
+/// # Panics
+///
+/// Panics unless `n` is a positive multiple of 4 (`block` is ignored — the
+/// kernel has no DMA blocking).
+#[must_use]
+pub fn baseline(n: usize) -> Program {
+    assert!(n > 0 && n.is_multiple_of(UNROLL), "n must be a positive multiple of 4");
+    let mut b = ProgramBuilder::new();
+    let ys = b.tcdm_reserve("y_out", n * 8, 8);
+    let caddr = b.tcdm_f64("sig_consts", &FP_CONSTS);
+    b.li_u(x(30), caddr);
+    for (i, reg) in fp_const_regs().into_iter().enumerate() {
+        b.fld(reg, x(30), (i * 8) as i32);
+    }
+    b.li_u(x(10), seed());
+    b.li_u(x(11), LCG_A);
+    b.li_u(x(12), LCG_C);
+    b.li_u(x(13), ys);
+    b.li(x(14), (n / UNROLL) as i32);
+
+    b.label("loop");
+    // Four serial draws (the LCG write-back-port hazard), then the crossings.
+    for e in 0..4u8 {
+        b.mul(x(10), x(10), x(11));
+        b.add(x(10), x(10), x(12));
+        b.mv(x(20 + e), x(10));
+    }
+    for e in 0..4u8 {
+        b.fcvt_d_wu(f(10 + e), x(20 + e));
+    }
+    emit_fp_elem_groups(&mut b);
+    for e in 0..4u8 {
+        b.fsd(f(14 + e), x(13), 8 * i32::from(e));
+    }
+    b.addi(x(13), x(13), 32);
+    b.addi(x(14), x(14), -1);
+    b.bnez(x(14), "loop");
+    b.fpu_fence();
+    b.ecall();
+    b.build().expect("sigmoid baseline assembles")
+}
+
+/// Builds the COPIFT program via the automatic code generator.
+///
+/// # Panics
+///
+/// Panics unless `block` is a multiple of 4 dividing `n` with at least two
+/// blocks.
+#[must_use]
+pub fn copift(n: usize, block: usize) -> Program {
+    // Four serial draws; each feeds one fcvt (the Int→Fp cuts).
+    let mut b = ProgramBuilder::new();
+    for e in 0..4u8 {
+        b.mul(x(10), x(10), x(11));
+        b.add(x(10), x(10), x(12));
+        b.fcvt_d_wu(f(10 + e), x(10));
+    }
+    emit_fp_elem_groups(&mut b);
+    for e in 0..4u8 {
+        b.fsd(f(14 + e), x(13), 8 * i32::from(e));
+    }
+    b.addi(x(13), x(13), 32);
+    let body = b.build().expect("sigmoid body assembles").text().to_vec();
+
+    let spec = KernelSpec {
+        body,
+        elems_per_iter: UNROLL,
+        int_init: vec![(x(10), seed()), (x(11), LCG_A), (x(12), LCG_C)],
+        fp_init: fp_const_regs().into_iter().zip(FP_CONSTS).collect(),
+        input: None,
+        output: Some(x(13)),
+        acc_out: vec![],
+    };
+    compile(&spec, n, block).expect("sigmoid body fits the two-phase codegen shape")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approximates_the_logistic_function() {
+        for i in 0..100 {
+            let x = -2.0 + 4.0 * f64::from(i) / 100.0;
+            let draw = ((x + 2.0) / SCALE) as u32;
+            let got = sigmoid_elem(draw);
+            let x_actual = f64::from(draw).mul_add(SCALE, LO);
+            let want = 1.0 / (1.0 + (-x_actual).exp());
+            assert!((got - want).abs() < 0.05, "sigmoid({x_actual}) = {got}, want {want}");
+        }
+    }
+
+    #[test]
+    fn both_variants_validate_bit_exactly() {
+        use crate::registry::{Kernel, Variant};
+        for variant in Variant::all() {
+            let r = Kernel::Sigmoid.run(variant, 128, 32).expect("validates");
+            assert!(r.total_cycles > 0);
+        }
+    }
+
+    #[test]
+    fn golden_is_deterministic_and_bounded() {
+        let a = golden_outputs(64);
+        assert_eq!(a, golden_outputs(64));
+        for bits in a {
+            let y = f64::from_bits(bits);
+            assert!((-0.1..1.1).contains(&y), "sigmoid output {y} out of range");
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! The `softmax` kernel: the exponential-plus-reduction pass of a softmax
+//! layer (the denominator pass dominating its cost), compiled by
+//! [`copift::codegen`].
+//!
+//! Inputs are max-subtracted scores `x ∈ [-4, 0]`. Per element the FP
+//! thread evaluates `e^x` without any integer work by range-squaring:
+//!
+//! ```text
+//! q = x/4            (q ∈ [-1, 0])
+//! t = P5(q) ≈ e^q    (degree-5 Taylor, |err| ≤ 1/720)
+//! e^x = ((t)²)²      (two squarings)
+//! ```
+//!
+//! (max relative error ≈ 1.5·10⁻² at x = -4), stores `e^x` to the output
+//! stream and folds it into **two interleaved partial sums** — the
+//! cross-iteration FP dependency this workload exists to stress: each
+//! `fadd` chain spans `n/2` elements, and with only one instruction between
+//! consecutive folds of the same chain the FPU latency stays exposed (a
+//! single accumulator serializes the FREP body outright and hands the win
+//! back to the baseline; four rotating sums, as in the Monte Carlo kernels,
+//! would hide the latency completely). Both the exponential vector
+//! (`y_out`) and the two partial denominators (`result`) are validated
+//! bit-exactly.
+//!
+//! * **Baseline**: plain RV32G loop, 4×-unrolled, TCDM-resident.
+//! * **COPIFT**: [`copift::compile`] of the same FP-only body — `x` streams
+//!   through SSR 1, results push on SSR 2, and the accumulator is stored
+//!   via [`KernelSpec::acc_out`]. With no integer phase, the gain comes
+//!   entirely from SSR/FREP issue elision.
+
+use copift::{compile, KernelSpec};
+use snitch_asm::builder::ProgramBuilder;
+use snitch_asm::program::Program;
+use snitch_riscv::reg::{FpReg, IntReg};
+
+use crate::golden::input_doubles;
+
+/// Elements per unrolled iteration (both variants).
+pub const UNROLL: usize = 4;
+
+/// Range-reduction factor: `q = x·QUARTER`.
+pub const QUARTER: f64 = 0.25;
+/// Taylor coefficients of `e^q`, highest order first: 1/120, 1/24, 1/6,
+/// 1/2, 1, 1.
+pub const EXP_TAYLOR: [f64; 6] = [1.0 / 120.0, 1.0 / 24.0, 1.0 / 6.0, 0.5, 1.0, 1.0];
+
+/// Deterministic max-subtracted input scores for `n` elements.
+#[must_use]
+pub fn inputs(n: usize) -> Vec<f64> {
+    input_doubles(n, -4.0, 0.0)
+}
+
+/// One element, bit-exact with the simulated instruction sequence.
+#[must_use]
+pub fn softmax_exp_elem(x: f64) -> f64 {
+    let q = x * QUARTER;
+    let mut t = q.mul_add(EXP_TAYLOR[0], EXP_TAYLOR[1]);
+    for c in &EXP_TAYLOR[2..] {
+        t = q.mul_add(t, *c);
+    }
+    let s2 = t * t;
+    s2 * s2
+}
+
+/// Golden outputs: the exponential vector and the two interleaved partial
+/// sums, in the exact accumulation order of the kernels (element `i` folds
+/// into sum `i mod 2`).
+#[must_use]
+pub fn golden(n: usize) -> (Vec<u64>, Vec<u64>) {
+    let mut acc = [0.0f64; 2];
+    let ys: Vec<u64> = inputs(n)
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| {
+            let e = softmax_exp_elem(x);
+            acc[i % 2] += e;
+            e.to_bits()
+        })
+        .collect();
+    (ys, acc.iter().map(|a| a.to_bits()).collect())
+}
+
+fn x(i: u8) -> IntReg {
+    IntReg::new(i)
+}
+fn f(i: u8) -> FpReg {
+    FpReg::new(i)
+}
+
+/// FP constants in `FS0..FS6` (f8, f9, f18..f22).
+const FP_CONSTS: [f64; 7] = [
+    QUARTER,
+    EXP_TAYLOR[0],
+    EXP_TAYLOR[1],
+    EXP_TAYLOR[2],
+    EXP_TAYLOR[3],
+    EXP_TAYLOR[4],
+    EXP_TAYLOR[5],
+];
+
+fn fp_const_regs() -> [FpReg; 7] {
+    [f(8), f(9), f(18), f(19), f(20), f(21), f(22)]
+}
+
+/// The two partial-sum accumulators (`FT8`, `FT9`).
+fn acc_regs() -> [FpReg; 2] {
+    [f(28), f(29)]
+}
+
+/// The FP work on four elements: inputs in `f10+e`; exponentials end up in
+/// `f14+e`; element `e` folds into accumulator `f28 + (e mod 2)`.
+fn emit_fp_elem_groups(b: &mut ProgramBuilder) {
+    // q_e = x_e·1/4
+    for e in 0..4u8 {
+        b.fmul_d(f(14 + e), f(10 + e), f(8));
+    }
+    // t_e = q_e·C5 + C4, then four more Horner steps.
+    for e in 0..4u8 {
+        b.fmadd_d(f(23 + e), f(14 + e), f(9), f(18));
+    }
+    for c in 0..4u8 {
+        for e in 0..4u8 {
+            b.fmadd_d(f(23 + e), f(14 + e), f(23 + e), f(19 + c));
+        }
+    }
+    // s2_e = t_e², e_e = s2_e²
+    for e in 0..4u8 {
+        b.fmul_d(f(10 + e), f(23 + e), f(23 + e));
+    }
+    for e in 0..4u8 {
+        b.fmul_d(f(14 + e), f(10 + e), f(10 + e));
+    }
+}
+
+fn emit_tail(b: &mut ProgramBuilder) {
+    // Store e_e and fold it, in element order. Interleaving the stores
+    // between the folds leaves exactly one instruction of slack inside each
+    // partial-sum chain: the dependency under test stays on the critical
+    // path without fully serializing the body.
+    for e in 0..4u8 {
+        b.fsd(f(14 + e), x(15), 8 * i32::from(e));
+        b.fadd_d(f(28 + e % 2), f(28 + e % 2), f(14 + e));
+    }
+}
+
+/// Builds the RV32G baseline program.
+///
+/// # Panics
+///
+/// Panics unless `n` is a positive multiple of 4 (`block` is ignored).
+#[must_use]
+pub fn baseline(n: usize) -> Program {
+    assert!(n > 0 && n.is_multiple_of(UNROLL), "n must be a positive multiple of 4");
+    let mut b = ProgramBuilder::new();
+    let result = b.tcdm_reserve("result", 2 * 8, 8);
+    let xs = b.tcdm_f64("x_in", &inputs(n));
+    let ys = b.tcdm_reserve("y_out", n * 8, 8);
+    let caddr = b.tcdm_f64("softmax_consts", &FP_CONSTS);
+    b.li_u(x(30), caddr);
+    for (i, reg) in fp_const_regs().into_iter().enumerate() {
+        b.fld(reg, x(30), (i * 8) as i32);
+    }
+    for reg in acc_regs() {
+        b.fcvt_d_w(reg, IntReg::ZERO); // partial sums = 0
+    }
+    b.li_u(x(13), xs);
+    b.li_u(x(15), ys);
+    b.li(x(14), (n / UNROLL) as i32);
+
+    b.label("loop");
+    for e in 0..4u8 {
+        b.fld(f(10 + e), x(13), 8 * i32::from(e));
+    }
+    emit_fp_elem_groups(&mut b);
+    emit_tail(&mut b);
+    b.addi(x(13), x(13), 32);
+    b.addi(x(15), x(15), 32);
+    b.addi(x(14), x(14), -1);
+    b.bnez(x(14), "loop");
+    b.fpu_fence();
+    b.li_u(x(30), result);
+    for (i, reg) in acc_regs().into_iter().enumerate() {
+        b.fsd(reg, x(30), (i * 8) as i32);
+    }
+    b.fpu_fence();
+    b.ecall();
+    b.build().expect("softmax baseline assembles")
+}
+
+/// Builds the COPIFT program via the automatic code generator.
+///
+/// # Panics
+///
+/// Panics unless `block` is a multiple of 4 dividing `n` with at least two
+/// blocks.
+#[must_use]
+pub fn copift(n: usize, block: usize) -> Program {
+    let mut b = ProgramBuilder::new();
+    for e in 0..4u8 {
+        b.fld(f(10 + e), x(13), 8 * i32::from(e));
+    }
+    emit_fp_elem_groups(&mut b);
+    emit_tail(&mut b);
+    b.addi(x(13), x(13), 32);
+    b.addi(x(15), x(15), 32);
+    let body = b.build().expect("softmax body assembles").text().to_vec();
+
+    let spec = KernelSpec {
+        body,
+        elems_per_iter: UNROLL,
+        int_init: vec![],
+        fp_init: fp_const_regs()
+            .into_iter()
+            .zip(FP_CONSTS)
+            .chain(acc_regs().into_iter().map(|r| (r, 0.0)))
+            .collect(),
+        input: Some((x(13), inputs(n))),
+        output: Some(x(15)),
+        acc_out: acc_regs().to_vec(),
+    };
+    compile(&spec, n, block).expect("softmax body fits the FP-only codegen shape")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approximates_exp_on_the_score_range() {
+        for i in 0..=100 {
+            let x = -4.0 * f64::from(i) / 100.0;
+            let got = softmax_exp_elem(x);
+            let want = x.exp();
+            let rel = ((got - want) / want).abs();
+            assert!(rel < 0.02, "exp({x}) = {got}, want {want} (rel {rel})");
+        }
+    }
+
+    #[test]
+    fn both_variants_validate_bit_exactly() {
+        use crate::registry::{Kernel, Variant};
+        for variant in Variant::all() {
+            let r = Kernel::Softmax.run(variant, 128, 32).expect("validates");
+            assert!(r.total_cycles > 0);
+        }
+    }
+
+    #[test]
+    fn golden_sums_accumulate_the_outputs() {
+        let (ys, sums) = golden(64);
+        let mut acc = [0.0f64; 2];
+        for (i, bits) in ys.iter().enumerate() {
+            acc[i % 2] += f64::from_bits(*bits);
+        }
+        assert_eq!(acc[0].to_bits(), sums[0]);
+        assert_eq!(acc[1].to_bits(), sums[1]);
+        // The two partial sums together are the softmax denominator.
+        let denom = acc[0] + acc[1];
+        assert!(denom > 0.0 && denom < 64.0);
+    }
+}

@@ -103,7 +103,7 @@ pub enum Inst {
 
     // ----- Snitch SSR configuration (custom-2) -----
     /// `scfgwi rs1, addr`: write `rs1` to the SSR configuration word `addr`
-    /// (see [`crate::csr::ssr_cfg_addr`] for the address layout).
+    /// (see [`crate::csr::SsrCfgWord::addr`] for the address layout).
     Scfgwi { value: IntReg, addr: u16 },
     /// `scfgri rd, addr`: read an SSR configuration word.
     Scfgri { rd: IntReg, addr: u16 },

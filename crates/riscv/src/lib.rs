@@ -1,6 +1,6 @@
 //! RISC-V instruction-set model for the COPIFT reproduction.
 //!
-//! This crate models the instruction set executed by the [Snitch] core as
+//! This crate models the instruction set executed by the Snitch core as
 //! evaluated in the COPIFT paper (Colagrande & Benini, DAC 2025):
 //!
 //! * the RV32I base integer ISA and the "M" standard extension,

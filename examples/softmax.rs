@@ -41,4 +41,22 @@ fn main() {
         base.energy_uj / fast.energy_uj
     );
     println!("  softmax checksum: {checksum:.12} (= 1)");
+
+    // The extended catalog also ships a dedicated single-pass `softmax`
+    // kernel (exp + on-core reduction, auto-compiled by copift::codegen)
+    // that keeps the denominator accumulation on the cluster.
+    let base = Kernel::Softmax.run(Variant::Baseline, n, block).expect("baseline validates");
+    let fast = Kernel::Softmax.run(Variant::Copift, n, block).expect("copift validates");
+    println!("\ndedicated softmax kernel (exp + reduce fused, {n} scores):");
+    println!(
+        "  baseline: {:>8} cycles  {:>6.2} mW  {:>8.3} uJ",
+        base.total_cycles, base.power_mw, base.energy_uj
+    );
+    println!(
+        "  COPIFT:   {:>8} cycles  {:>6.2} mW  {:>8.3} uJ  (speedup {:.2}x)",
+        fast.total_cycles,
+        fast.power_mw,
+        fast.energy_uj,
+        base.total_cycles as f64 / fast.total_cycles as f64
+    );
 }

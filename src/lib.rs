@@ -13,7 +13,8 @@
 //! * [`energy`] — activity-based power and energy model
 //! * [`copift`] — the COPIFT transformation methodology (the paper's core
 //!   contribution)
-//! * [`kernels`] — the six evaluated workloads with golden models
+//! * [`kernels`] — the open workload catalog: the six paper workloads plus
+//!   the auto-compiled extended suite, all with golden models
 //! * [`engine`] — parallel, batched experiment execution with program
 //!   caching and structured result sinks (the `sweep` CLI)
 //!

@@ -1,0 +1,112 @@
+//! Extended-suite integration tests: the open registry's catalog contract
+//! and the auto-compiled kernels' (`sigmoid`, `dot_lcg`, `softmax`)
+//! validation and performance claims.
+
+use copift_repro::kernels::registry::{Kernel, Variant};
+
+fn extended_kernels() -> [Kernel; 3] {
+    [Kernel::Sigmoid, Kernel::DotLcg, Kernel::Softmax]
+}
+
+#[test]
+fn catalog_lists_paper_then_extended_kernels() {
+    let all = Kernel::all();
+    assert!(all.len() >= 9, "six paper kernels plus three extended");
+    let paper = Kernel::paper();
+    assert_eq!(paper.len(), 6);
+    for kernel in extended_kernels() {
+        assert!(all.contains(&kernel));
+        assert!(!paper.contains(&kernel), "{} is not a paper kernel", kernel.name());
+        assert!(Kernel::extended().contains(&kernel));
+    }
+}
+
+#[test]
+fn every_cataloged_name_round_trips_and_unknowns_are_rejected() {
+    for kernel in Kernel::all() {
+        assert_eq!(Kernel::from_name(kernel.name()), Some(kernel));
+        assert!(!kernel.description().is_empty(), "{} lacks a description", kernel.name());
+    }
+    for bogus in ["", "exp ", "sigmoid2", "EXP", "softmax\n"] {
+        assert_eq!(Kernel::from_name(bogus), None, "`{bogus}` must not resolve");
+    }
+}
+
+#[test]
+fn extended_kernels_validate_bit_exactly_across_configs() {
+    for kernel in extended_kernels() {
+        for (n, block) in [(64, 16), (256, 64), (512, 128), (768, 96)] {
+            for variant in Variant::all() {
+                let r = kernel.run(variant, n, block).unwrap_or_else(|e| {
+                    panic!("{} {} n={n} b={block} failed: {e}", kernel.name(), variant.name())
+                });
+                assert!(r.total_cycles > 0);
+            }
+        }
+    }
+}
+
+#[test]
+fn extended_copift_beats_baseline() {
+    for kernel in extended_kernels() {
+        let (n, block) = (1024, 128);
+        let base = kernel.run(Variant::Baseline, n, block).unwrap();
+        let fast = kernel.run(Variant::Copift, n, block).unwrap();
+        assert!(
+            fast.total_cycles < base.total_cycles,
+            "{}: copift {} >= base {}",
+            kernel.name(),
+            fast.total_cycles,
+            base.total_cycles
+        );
+        assert!(fast.energy_uj < base.energy_uj, "{}: copift must also save energy", kernel.name());
+    }
+}
+
+#[test]
+fn mixed_extended_kernels_dual_issue_above_ipc_one() {
+    // The two kernels with an integer thread must exceed the single-issue
+    // bound; FP-only softmax cannot, but must still raise IPC over its
+    // baseline (fewer issue slots for the same arithmetic).
+    for kernel in [Kernel::Sigmoid, Kernel::DotLcg] {
+        let fast = kernel.run(Variant::Copift, 2048, 128).unwrap();
+        assert!(
+            fast.stats.ipc() > 1.0,
+            "{} copift ipc {} must exceed single issue",
+            kernel.name(),
+            fast.stats.ipc()
+        );
+    }
+    let base = Kernel::Softmax.run(Variant::Baseline, 2048, 128).unwrap();
+    let fast = Kernel::Softmax.run(Variant::Copift, 2048, 128).unwrap();
+    assert!(base.stats.ipc() <= 1.0, "softmax baseline is single-issue bound");
+    assert!(fast.stats.ipc() > base.stats.ipc());
+}
+
+#[test]
+fn auto_compiled_copift_uses_custom1_extensions_for_mixed_bodies() {
+    for kernel in [Kernel::Sigmoid, Kernel::DotLcg] {
+        let program = kernel.build(Variant::Copift, 128, 32);
+        let n_ext = program.text().iter().filter(|i| i.is_copift_ext()).count();
+        assert!(n_ext > 0, "{} copift must use copift.fcvt", kernel.name());
+        let base = kernel.build(Variant::Baseline, 128, 32);
+        assert_eq!(base.text().iter().filter(|i| i.is_copift_ext()).count(), 0);
+    }
+}
+
+#[test]
+fn softmax_partial_sum_chains_expose_the_fpu_latency() {
+    // Shrinking the FMA/add latency must speed softmax COPIFT up: the
+    // partial-sum folds sit on the critical path (the cross-iteration
+    // dependency the kernel exists to stress).
+    use copift_repro::sim::config::ClusterConfig;
+    let slow = Kernel::Softmax.run(Variant::Copift, 512, 64).unwrap();
+    let cfg = ClusterConfig { fpu_lat_muladd: 1, ..ClusterConfig::default() };
+    let fast = Kernel::Softmax.run_with(Variant::Copift, 512, 64, cfg).unwrap();
+    assert!(
+        fast.total_cycles < slow.total_cycles,
+        "latency 1 {} must beat latency 3 {}",
+        fast.total_cycles,
+        slow.total_cycles
+    );
+}
