@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
-use snitch_riscv::csr::{SsrCfgWord, CSR_FPU_FENCE, CSR_SSR};
+use snitch_riscv::csr::{SsrCfgWord, CSR_BARRIER, CSR_FPU_FENCE, CSR_MHARTID, CSR_SSR};
 use snitch_riscv::inst::Inst;
 use snitch_riscv::ops::{
     AluImmOp, AluOp, BranchOp, CsrOp, DmaOp, FmaOp, FpAluOp, FpCmpOp, FpFmt, IntCvt, LoadOp,
@@ -80,6 +80,7 @@ pub struct ProgramBuilder {
     tcdm: Vec<u8>,
     main: Vec<u8>,
     symbols: HashMap<String, u32>,
+    parallel: bool,
 }
 
 impl ProgramBuilder {
@@ -151,7 +152,7 @@ impl ProgramBuilder {
         for (name, idx) in self.labels {
             self.symbols.insert(name, layout::TEXT_BASE + (idx as u32) * 4);
         }
-        Ok(Program::new(self.insts, self.tcdm, self.main, self.symbols))
+        Ok(Program::new(self.insts, self.tcdm, self.main, self.symbols, self.parallel))
     }
 
     // ---------------------------------------------------------------- data
@@ -611,6 +612,25 @@ impl ProgramBuilder {
     /// FPU fence: stalls the integer core until the FP subsystem has drained.
     pub fn fpu_fence(&mut self) {
         self.inst(Inst::Csr { op: CsrOp::Rs, rd: IntReg::ZERO, csr: CSR_FPU_FENCE, src: 0 });
+    }
+
+    /// Marks the program as SPMD: every compute core of the cluster boots at
+    /// the entry point (code branches on `mhartid`). Without this, only
+    /// hart 0 runs and the program behaves identically on any cluster size.
+    pub fn parallel(&mut self) {
+        self.parallel = true;
+    }
+
+    /// `csrr rd, mhartid`: reads the hart id.
+    pub fn csrr_mhartid(&mut self, rd: IntReg) {
+        self.inst(Inst::Csr { op: CsrOp::Rs, rd, csr: CSR_MHARTID, src: 0 });
+    }
+
+    /// Cluster hardware barrier: stalls this hart until every other hart has
+    /// arrived at a barrier (or halted), then all waiting harts release in
+    /// the same cycle.
+    pub fn barrier(&mut self) {
+        self.inst(Inst::Csr { op: CsrOp::Rs, rd: IntReg::ZERO, csr: CSR_BARRIER, src: 0 });
     }
 
     // -------------------------------------------------------- Snitch: DMA

@@ -14,6 +14,7 @@ pub struct Program {
     tcdm_image: Vec<u8>,
     main_image: Vec<u8>,
     symbols: HashMap<String, u32>,
+    parallel: bool,
 }
 
 impl Program {
@@ -22,8 +23,18 @@ impl Program {
         tcdm_image: Vec<u8>,
         main_image: Vec<u8>,
         symbols: HashMap<String, u32>,
+        parallel: bool,
     ) -> Self {
-        Program { text, tcdm_image, main_image, symbols }
+        Program { text, tcdm_image, main_image, symbols, parallel }
+    }
+
+    /// Whether this is an SPMD program written for every compute core of the
+    /// cluster: all harts boot at the entry point and the code branches on
+    /// `mhartid`. Non-parallel programs (the default) boot only hart 0, so
+    /// they behave identically on a cluster of any size.
+    #[must_use]
+    pub fn parallel(&self) -> bool {
+        self.parallel
     }
 
     /// The instruction stream, starting at [`layout::TEXT_BASE`].

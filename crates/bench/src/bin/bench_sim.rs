@@ -1,0 +1,51 @@
+//! `bench_sim` — host-side simulator-throughput benchmark.
+//!
+//! Runs the fixed smoke batch (every built-in kernel, both variants, small
+//! sizes) on a single worker and reports *simulated instructions per
+//! host-second* — the one number that tracks the simulator's hot-path
+//! performance across PRs. Writes `BENCH_sim.json` into the current
+//! directory; CI runs it as a smoke (no thresholds), so the trajectory is
+//! recorded from this PR onward without gating merges on a noisy metric.
+
+use std::time::Instant;
+
+use snitch_engine::{job, Engine};
+
+fn main() {
+    // One worker: a per-core throughput number, independent of host core
+    // count. The batch is fixed (built-in catalog only, deterministic
+    // order), so runs are comparable across commits.
+    let jobs = job::smoke();
+    let engine = Engine::new(1);
+
+    // Warm-up pass compiles every program into the cache so the measured
+    // pass times simulation, not assembly.
+    let _ = engine.run(&jobs);
+
+    let t0 = Instant::now();
+    let records = engine.run(&jobs);
+    let wall = t0.elapsed().as_secs_f64();
+
+    let failed = records.iter().filter(|r| !r.ok).count();
+    assert_eq!(failed, 0, "smoke batch must validate before its timing means anything");
+    let instructions: u64 = records.iter().map(|r| r.instructions).sum();
+    let cycles: u64 = records.iter().map(|r| r.cycles).sum();
+    let ips = instructions as f64 / wall;
+
+    let json = format!(
+        "{{\"benchmark\":\"sim\",\"workload\":\"smoke\",\"jobs\":{},\"workers\":1,\
+         \"simulated_instructions\":{instructions},\"simulated_cycles\":{cycles},\
+         \"wall_seconds\":{wall:.6},\"instructions_per_second\":{ips:.0},\
+         \"cycles_per_second\":{:.0}}}\n",
+        records.len(),
+        cycles as f64 / wall,
+    );
+    std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
+    print!("{json}");
+    eprintln!(
+        "bench_sim: {} jobs, {instructions} simulated instructions in {wall:.3}s \
+         ({:.2} M inst/s)",
+        records.len(),
+        ips / 1e6,
+    );
+}

@@ -1,0 +1,34 @@
+//! The cluster-scaling driver: runs the data-parallel Monte Carlo kernels
+//! (`pi_lcg_par`, `pi_xoshiro128p_par`) in both variants over 1/2/4/8
+//! compute cores and prints the cores × kernel cycle table that
+//! `EXPERIMENTS.md`'s "Cluster scaling" section carries (the `experiments`
+//! generator emits the same table through the shared
+//! [`snitch_bench::scaling_tables`] renderer, so the committed file and this
+//! driver can never drift apart).
+//!
+//! Every job validates bit-exactly against the *single-core* golden model:
+//! the per-hart seed tables reproduce the global draw sequence chunk for
+//! chunk, and all partial sums are integer-valued doubles, so the tree
+//! reduction is exact at any core count.
+
+use snitch_bench::{scaling_rows, scaling_tables, SCALING_CORES};
+use snitch_engine::Engine;
+use snitch_kernels::Kernel;
+
+fn main() {
+    let (n, block) = Kernel::PiLcgPar.operating_point();
+    let rows = scaling_rows(&Engine::default());
+    println!("cluster scaling at n = {n}, block = {block}, cores = {SCALING_CORES:?}\n");
+    print!("{}", scaling_tables(&rows));
+    for r in &rows {
+        let last = SCALING_CORES.len() - 1;
+        println!(
+            "{}/{}: {:.2}x speedup on {} cores ({} TCDM conflicts under contention)",
+            r.kernel.name(),
+            r.variant.name(),
+            r.speedup(last),
+            SCALING_CORES[last],
+            r.conflicts[last],
+        );
+    }
+}

@@ -167,6 +167,88 @@ pub fn extended_tables(rows: &[Fig2Row]) -> String {
     out
 }
 
+/// The core counts swept by the cluster-scaling driver (re-exported from
+/// the engine's canonical batch definition, so the sweep CLI's `scaling`
+/// preset and this driver can never drift apart).
+pub use snitch_engine::job::SCALING_CORES;
+
+/// One row of the cluster-scaling table: full-run cycles of one
+/// `(kernel, variant)` at every core count of [`SCALING_CORES`], plus the
+/// TCDM conflict counts that prove the harts actually contend.
+#[derive(Clone, Debug)]
+pub struct ScalingRow {
+    /// Data-parallel kernel.
+    pub kernel: Kernel,
+    /// Code variant.
+    pub variant: Variant,
+    /// Total cycles per core count (same order as [`SCALING_CORES`]).
+    pub cycles: Vec<u64>,
+    /// TCDM bank conflicts per core count.
+    pub conflicts: Vec<u64>,
+}
+
+impl ScalingRow {
+    /// Parallel speedup at `cores_index` relative to the single-core run.
+    #[must_use]
+    pub fn speedup(&self, cores_index: usize) -> f64 {
+        self.cycles[0] as f64 / self.cycles[cores_index] as f64
+    }
+}
+
+/// Measures the data-parallel kernels over the [`SCALING_CORES`] axis at
+/// their shared operating point, as one engine batch (16 simulations, one
+/// compiled program per core count). Every run validates bit-exactly
+/// against the single-core golden model — the decomposition guarantee of
+/// the per-hart seed tables.
+///
+/// # Panics
+///
+/// Panics if any run fails validation.
+#[must_use]
+pub fn scaling_rows(engine: &Engine) -> Vec<ScalingRow> {
+    let kernels = job::scaling_kernels();
+    let jobs = job::scaling_default();
+    let records = engine.run(&jobs);
+    let mut rows = Vec::with_capacity(kernels.len() * 2);
+    let mut chunks = records.chunks_exact(SCALING_CORES.len());
+    for &kernel in &kernels {
+        for variant in Variant::all() {
+            let chunk = chunks.next().expect("scaling batch is kernel x variant x cores");
+            rows.push(ScalingRow {
+                kernel,
+                variant,
+                cycles: chunk.iter().map(|r| stats_of(r).cycles).collect(),
+                conflicts: chunk.iter().map(|r| stats_of(r).tcdm_conflicts).collect(),
+            });
+        }
+    }
+    rows
+}
+
+/// Renders cluster-scaling rows as the EXPERIMENTS.md markdown table
+/// (shared by the `scaling` driver and the `experiments` generator).
+#[must_use]
+pub fn scaling_tables(rows: &[ScalingRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let mut header = String::from("| kernel | variant |");
+    for c in SCALING_CORES {
+        let _ = write!(header, " {c} core{} |", if c == 1 { "" } else { "s" });
+    }
+    let top = SCALING_CORES[SCALING_CORES.len() - 1];
+    let _ = writeln!(out, "{header} speedup @{top} | conflicts @{top} |");
+    let _ = writeln!(out, "|{}", "---|".repeat(SCALING_CORES.len() + 4));
+    for r in rows {
+        let mut line = format!("| {} | {} |", r.kernel.name(), r.variant.name());
+        for &cycles in &r.cycles {
+            let _ = write!(line, " {cycles} |");
+        }
+        let last = SCALING_CORES.len() - 1;
+        let _ = writeln!(out, "{line} {:.2}× | {} |", r.speedup(last), r.conflicts[last]);
+    }
+    out
+}
+
 /// Geometric mean.
 ///
 /// # Panics

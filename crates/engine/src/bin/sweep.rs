@@ -26,6 +26,7 @@ Presets (job batch templates):
   fig3            poly_lcg COPIFT over the paper's size x block grid (56 jobs)
   extended        the extended-suite kernels x 2 variants at (n, 2n) operating points
   smoke           every cataloged kernel x variants at small sizes
+  scaling         the data-parallel kernels x 2 variants over 1/2/4/8 cores
 
 Job axes (ignored when a preset is given):
   --kernels K,..  cataloged kernel names (see the catalog below); default: all
@@ -40,6 +41,9 @@ apply to presets, replicating the preset batch per configuration):
   --fifo-depth N,..       offload FIFO depth
   --seq-depth N,..        FREP sequencer ring depth
   --banks N,..            TCDM bank count (power of two)
+  --cores N,..            compute cores per cluster (1..=32; the data-parallel
+                          kernels support up to 8 and rebuild their program
+                          per core count)
   --fpu-lat-muladd N,..   FPU add/mul/FMA latency
   --mul-latency N,..      integer multiply write-back latency
   --branch-penalty N,..   taken-branch penalty
@@ -62,6 +66,12 @@ struct Args {
     jsonl: Option<String>,
     csv: Option<String>,
     quiet: bool,
+}
+
+/// Comma-separated listing of every cataloged kernel name (for error
+/// messages — the same live catalog `--help` prints in full).
+fn kernel_names() -> String {
+    Kernel::all().iter().map(|k| k.name()).collect::<Vec<_>>().join(", ")
 }
 
 fn parse_list<T: std::str::FromStr>(flag: &str, value: &str) -> Result<Vec<T>, String> {
@@ -92,6 +102,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         "--fifo-depth",
         "--seq-depth",
         "--banks",
+        "--cores",
         "--fpu-lat-muladd",
         "--mul-latency",
         "--branch-penalty",
@@ -101,14 +112,19 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             it.next().cloned().ok_or_else(|| format!("{flag} requires a value"))
         };
         match arg.as_str() {
-            "fig2" | "fig3" | "smoke" | "extended" => args.preset = Some(arg.clone()),
+            "fig2" | "fig3" | "smoke" | "extended" | "scaling" => args.preset = Some(arg.clone()),
             "--kernels" => {
                 let v = value_of("--kernels")?;
                 args.kernels = v
                     .split(',')
                     .map(|name| {
-                        Kernel::from_name(name.trim())
-                            .ok_or_else(|| format!("unknown kernel `{name}`"))
+                        Kernel::from_name(name.trim()).ok_or_else(|| {
+                            format!(
+                                "unknown kernel `{}` (valid kernels: {})",
+                                name.trim(),
+                                kernel_names()
+                            )
+                        })
                     })
                     .collect::<Result<_, _>>()?;
             }
@@ -139,6 +155,13 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 let values = parse_list(flag, &value_of(flag)?)?;
                 args.config_axes.push((flag.to_string(), values));
             }
+            other if !other.starts_with('-') => {
+                // A bare word can only be a preset: reject misspellings
+                // loudly instead of silently running the default grid.
+                return Err(format!(
+                    "unknown preset `{other}` (valid presets: fig2, fig3, extended, smoke, scaling)"
+                ));
+            }
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
@@ -160,6 +183,7 @@ fn expand_configs(axes: &[(String, Vec<u32>)]) -> Vec<ClusterConfig> {
                         "--fifo-depth" => c.offload_fifo_depth = v as usize,
                         "--seq-depth" => c.sequencer_depth = v as usize,
                         "--banks" => c.tcdm_banks = v as usize,
+                        "--cores" => c.cores = v as usize,
                         "--fpu-lat-muladd" => c.fpu_lat_muladd = v,
                         "--mul-latency" => c.mul_latency = v,
                         "--branch-penalty" => c.branch_penalty = v,
@@ -180,6 +204,7 @@ fn build_jobs(args: &Args) -> Vec<JobSpec> {
         Some("fig3") => job::figure3_paper(),
         Some("smoke") => job::smoke(),
         Some("extended") => job::extended(),
+        Some("scaling") => job::scaling_default(),
         _ => {
             let points: Vec<(usize, usize)> =
                 args.sizes.iter().flat_map(|&n| args.blocks.iter().map(move |&b| (n, b))).collect();
@@ -187,10 +212,20 @@ fn build_jobs(args: &Args) -> Vec<JobSpec> {
         }
     };
     // Configuration axes apply to presets too: replicate the preset batch
-    // job-major across the expanded configurations.
+    // job-major across the expanded configurations. A preset that sets its
+    // own core counts (scaling) keeps them unless --cores was given.
+    let cores_axis_given = args.config_axes.iter().any(|(flag, _)| flag == "--cores");
     preset_jobs
         .into_iter()
-        .flat_map(|j| configs.iter().map(move |c| j.clone().with_config(c.clone())))
+        .flat_map(|j| {
+            configs.iter().map(move |c| {
+                let mut config = c.clone();
+                if !cores_axis_given {
+                    config.cores = j.config.cores;
+                }
+                j.clone().with_config(config)
+            })
+        })
         .collect()
 }
 

@@ -12,8 +12,11 @@ use std::sync::{Arc, Mutex};
 use snitch_asm::program::Program;
 use snitch_kernels::registry::{Kernel, Variant};
 
-/// Cache key: the full input domain of [`Kernel::build`]. The cluster
-/// configuration is deliberately absent — it affects timing, never code.
+/// Cache key: the full input domain of [`Kernel::build_for`]. The cluster
+/// configuration is deliberately absent — it affects timing, never code —
+/// with one exception: the core count, which data-parallel workloads bake
+/// into their programs (per-hart seed tables, buffer strides, reduction
+/// fan-in), so single- and multi-core programs can never collide.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct ProgramKey {
     /// Workload.
@@ -24,6 +27,8 @@ pub struct ProgramKey {
     pub n: usize,
     /// Block size.
     pub block: usize,
+    /// Compute cores the program is built for.
+    pub cores: usize,
 }
 
 /// Thread-safe compiled-program cache.
@@ -61,7 +66,7 @@ impl ProgramCache {
         // may have inserted while we were building. The counters stay
         // exact: hits + misses == lookups and misses == distinct programs,
         // regardless of races (a lost race counts as a hit).
-        let program = Arc::new(key.kernel.build(key.variant, key.n, key.block));
+        let program = Arc::new(key.kernel.build_for(key.variant, key.n, key.block, key.cores));
         match self.map.lock().unwrap().entry(key) {
             std::collections::hash_map::Entry::Occupied(e) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -106,7 +111,13 @@ mod tests {
     #[test]
     fn duplicate_keys_share_one_program() {
         let cache = ProgramCache::new();
-        let key = ProgramKey { kernel: Kernel::PiLcg, variant: Variant::Baseline, n: 64, block: 0 };
+        let key = ProgramKey {
+            kernel: Kernel::PiLcg,
+            variant: Variant::Baseline,
+            n: 64,
+            block: 0,
+            cores: 1,
+        };
         let a = cache.get(key);
         let b = cache.get(key);
         assert!(Arc::ptr_eq(&a, &b), "duplicate specs must return the same program");
@@ -123,15 +134,36 @@ mod tests {
             variant: Variant::Baseline,
             n: 64,
             block: 0,
+            cores: 1,
         });
         let b = cache.get(ProgramKey {
             kernel: Kernel::PiLcg,
             variant: Variant::Baseline,
             n: 128,
             block: 0,
+            cores: 1,
         });
         assert!(!Arc::ptr_eq(&a, &b));
         assert_eq!(cache.misses(), 2);
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn core_counts_never_share_a_program() {
+        // A data-parallel kernel's code depends on the cluster size; the
+        // key must keep 1- and 8-core programs apart.
+        let cache = ProgramCache::new();
+        let base = ProgramKey {
+            kernel: Kernel::PiLcgPar,
+            variant: Variant::Copift,
+            n: 512,
+            block: 32,
+            cores: 1,
+        };
+        let single = cache.get(base);
+        let octa = cache.get(ProgramKey { cores: 8, ..base });
+        assert!(!Arc::ptr_eq(&single, &octa));
+        assert!(octa.parallel() && single.parallel());
+        assert_eq!(cache.misses(), 2);
     }
 }

@@ -39,16 +39,32 @@ impl JobSpec {
         self
     }
 
-    /// The program-cache key: configuration changes never rebuild programs.
+    /// The program-cache key: timing-configuration changes never rebuild
+    /// programs, but the core count does (data-parallel programs bake the
+    /// cluster size into seed tables, buffer strides and the reduction), so
+    /// single- and multi-core programs never collide in the cache.
     #[must_use]
     pub fn program_key(&self) -> ProgramKey {
-        ProgramKey { kernel: self.kernel, variant: self.variant, n: self.n, block: self.block }
+        ProgramKey {
+            kernel: self.kernel,
+            variant: self.variant,
+            n: self.n,
+            block: self.block,
+            cores: self.config.cores,
+        }
     }
 
-    /// Human-readable job label, e.g. `exp/copift/n2048/b128`.
+    /// Human-readable job label, e.g. `exp/copift/n2048/b128` (multi-core
+    /// jobs append `/cN`).
     #[must_use]
     pub fn label(&self) -> String {
-        format!("{}/{}/n{}/b{}", self.kernel.name(), self.variant.name(), self.n, self.block)
+        use std::fmt::Write as _;
+        let mut label =
+            format!("{}/{}/n{}/b{}", self.kernel.name(), self.variant.name(), self.n, self.block);
+        if self.config.cores > 1 {
+            let _ = write!(label, "/c{}", self.config.cores);
+        }
+        label
     }
 
     /// Full four-axis matrix expansion: every `kernel × variant × (n, block)
@@ -166,6 +182,45 @@ pub fn config_sweep(base: &JobSpec, configs: &[ClusterConfig]) -> Vec<JobSpec> {
     configs.iter().map(|c| base.clone().with_config(c.clone())).collect()
 }
 
+/// The canonical cluster-scaling axis, shared by the sweep CLI's `scaling`
+/// preset and the bench `scaling` driver so both always produce the same
+/// batch.
+pub const SCALING_CORES: [usize; 4] = [1, 2, 4, 8];
+
+/// The data-parallel kernels of the canonical scaling batch.
+#[must_use]
+pub fn scaling_kernels() -> [Kernel; 2] {
+    [Kernel::PiLcgPar, Kernel::PiXoshiroPar]
+}
+
+/// The canonical cluster-scaling batch: [`scaling_kernels`] ×
+/// both variants × [`SCALING_CORES`] at the kernels' shared operating
+/// point (16 jobs; the EXPERIMENTS.md "Cluster scaling" table).
+#[must_use]
+pub fn scaling_default() -> Vec<JobSpec> {
+    let (n, block) = Kernel::PiLcgPar.operating_point();
+    scaling(&scaling_kernels(), &SCALING_CORES, n, block)
+}
+
+/// Cluster-scaling batch: every `kernel × variant × cores` combination at a
+/// fixed `(n, block)` operating point, kernel-major then variant-major then
+/// cores in the given order (the layout the `scaling` driver's table
+/// assumes). Each cores value builds its own program — data-parallel
+/// workloads bake the cluster size into their code.
+#[must_use]
+pub fn scaling(kernels: &[Kernel], cores: &[usize], n: usize, block: usize) -> Vec<JobSpec> {
+    let mut jobs = Vec::with_capacity(kernels.len() * 2 * cores.len());
+    for &kernel in kernels {
+        for variant in Variant::all() {
+            for &c in cores {
+                let config = ClusterConfig { cores: c, ..ClusterConfig::default() };
+                jobs.push(JobSpec::new(kernel, variant, n, block).with_config(config));
+            }
+        }
+    }
+    jobs
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -221,6 +276,18 @@ mod tests {
         assert!(ext.iter().any(|j| j.kernel.name() == "sigmoid"));
         assert!(ext.iter().any(|j| j.kernel.name() == "softmax"));
         assert!(ext.iter().any(|j| j.kernel.name() == "dot_lcg"));
+    }
+
+    #[test]
+    fn scaling_batch_layout_labels_and_keys() {
+        let jobs = scaling(&[Kernel::PiLcgPar], &[1, 8], 512, 32);
+        assert_eq!(jobs.len(), 4);
+        assert_eq!(jobs[0].label(), "pi_lcg_par/base/n512/b32");
+        assert_eq!(jobs[1].label(), "pi_lcg_par/base/n512/b32/c8");
+        assert_eq!(jobs[1].config.cores, 8);
+        // Different core counts never share a compiled program.
+        assert_ne!(jobs[0].program_key(), jobs[1].program_key());
+        assert_eq!(jobs[1].program_key().cores, 8);
     }
 
     #[test]

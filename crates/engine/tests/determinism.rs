@@ -41,6 +41,29 @@ fn csv_is_byte_identical_across_worker_counts() {
 }
 
 #[test]
+fn multicore_grid_is_byte_identical_across_worker_counts() {
+    // The multi-core scaling grid mixes cluster sizes 1..=8 — worker-local
+    // cluster reuse must rebuild on every cores change and the serialized
+    // output must not depend on how jobs land on workers.
+    let jobs = job::scaling(&[Kernel::PiLcgPar, Kernel::PiXoshiroPar], &[1, 2, 4, 8], 512, 32);
+    assert_eq!(jobs.len(), 16);
+    let serial = sink::to_jsonl(&Engine::new(1).run(&jobs));
+    for workers in [2, 8] {
+        let parallel = sink::to_jsonl(&Engine::new(workers).run(&jobs));
+        assert_eq!(serial, parallel, "multi-core grid output diverged at {workers} workers");
+    }
+    assert!(serial.lines().all(|l| l.contains("\"ok\":true")), "all scaling jobs validate");
+    // More cores must never slow the fixed-size COPIFT workload down at
+    // this operating point… at minimum, the records must carry distinct
+    // config fingerprints per core count.
+    let fingerprints: std::collections::HashSet<&str> = serial
+        .lines()
+        .filter_map(|l| l.split("\"config\":\"").nth(1).and_then(|r| r.split('"').next()))
+        .collect();
+    assert_eq!(fingerprints.len(), 4, "one fingerprint per core count");
+}
+
+#[test]
 fn figure2_batch_matches_direct_serial_runs() {
     // The engine must reproduce exactly what `Kernel::run` reports —
     // cluster reuse, caching and threading may not perturb a single cycle.

@@ -106,6 +106,36 @@ pub fn gen_points(rng: Rng, n_points: usize) -> (Vec<u32>, Vec<u32>) {
     (xs, ys)
 }
 
+/// The four parallel LCG stream states after `batches` whole batches have
+/// been drawn (each batch advances every stream by 4 draws). Used to seed
+/// hart `h` of a data-parallel run at the exact point of the global draw
+/// sequence where its chunk begins, so the union of all harts' points equals
+/// the single-core point set draw for draw.
+#[must_use]
+pub fn lcg_states_after(batches: usize) -> [u32; 4] {
+    let mut states = lcg_seeds();
+    for _ in 0..4 * batches {
+        for s in &mut states {
+            let _ = lcg_next(s);
+        }
+    }
+    states
+}
+
+/// The four parallel xoshiro128+ generators after `batches` whole batches
+/// (4 draws per stream per batch) — the xoshiro analogue of
+/// [`lcg_states_after`].
+#[must_use]
+pub fn xoshiro_states_after(batches: usize) -> [Xoshiro128p; 4] {
+    let mut gens: [Xoshiro128p; 4] = std::array::from_fn(|s| Xoshiro128p::seeded(s as u32));
+    for _ in 0..4 * batches {
+        for g in &mut gens {
+            let _ = g.next();
+        }
+    }
+    gens
+}
+
 /// 2⁻³² as a double (exact).
 pub const INV_2_32: f64 = 1.0 / 4_294_967_296.0;
 
@@ -357,6 +387,45 @@ mod tests {
                     hit_raw(integrand, xs[p], ys[p]),
                     "power-of-two rescaling must not change any hit ({integrand:?}, p={p})"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_streams_reproduce_the_global_draw_sequence() {
+        // Splitting n points over H harts with seed tables from
+        // *_states_after must reproduce the single-stream point set draw
+        // for draw — the property the data-parallel MC kernels rely on for
+        // bit-exact aggregates.
+        let (n, harts) = (256usize, 4usize);
+        let pph = n / harts;
+        for rng in [Rng::Lcg, Rng::Xoshiro128p] {
+            let (gx, gy) = gen_points(rng, n);
+            for h in 0..harts {
+                // Reconstruct hart h's draws from its advanced states.
+                let mut lcg = lcg_states_after(h * pph / 8);
+                let mut xo = xoshiro_states_after(h * pph / 8);
+                let mut xs = vec![0u32; pph];
+                let mut ys = vec![0u32; pph];
+                for batch in 0..pph / 8 {
+                    let base = batch * 8;
+                    for k in 0..4 {
+                        for s in 0..4 {
+                            let v = match rng {
+                                Rng::Lcg => lcg_next(&mut lcg[s]),
+                                Rng::Xoshiro128p => xo[s].next(),
+                            };
+                            match k {
+                                0 => xs[base + s] = v,
+                                1 => ys[base + s] = v,
+                                2 => xs[base + 4 + s] = v,
+                                _ => ys[base + 4 + s] = v,
+                            }
+                        }
+                    }
+                }
+                assert_eq!(xs, gx[h * pph..(h + 1) * pph], "{rng:?} hart {h} x draws");
+                assert_eq!(ys, gy[h * pph..(h + 1) * pph], "{rng:?} hart {h} y draws");
             }
         }
     }

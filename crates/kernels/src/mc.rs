@@ -20,7 +20,10 @@ use snitch_asm::builder::ProgramBuilder;
 use snitch_asm::program::Program;
 use snitch_riscv::reg::{FpReg, IntReg};
 
-use crate::golden::{scaled_poly_coeffs, Integrand, Rng, INV_2_32, LCG_A, LCG_C, POLY_C};
+use crate::golden::{
+    lcg_states_after, scaled_poly_coeffs, xoshiro_states_after, Integrand, Rng, INV_2_32, LCG_A,
+    LCG_C, POLY_C,
+};
 
 /// Points per batch (16 draws).
 pub const BATCH_POINTS: usize = 8;
@@ -368,6 +371,313 @@ pub fn copift(integrand: Integrand, rng: Rng, n: usize, block: usize) -> Program
     b.fpu_fence();
     b.ecall();
     b.build().expect("mc copift assembles")
+}
+
+// ------------------------------------------------------- data-parallel SPMD
+
+/// Maximum cluster size of the data-parallel variants (the paper's cluster
+/// has 8 compute cores; the tree reduction loads one partial per hart into
+/// `f4..f11`).
+pub const MAX_CORES: usize = 8;
+
+/// Per-hart RNG seed table: hart `h` starts each of its four streams at the
+/// state the *global* draw sequence has after `h · batches_per_hart`
+/// batches, so the union of all harts' points is exactly the single-core
+/// point set.
+fn par_seed_table(rng: Rng, cores: usize, batches_per_hart: usize) -> Vec<u32> {
+    let mut table = Vec::with_capacity(cores * if rng == Rng::Lcg { 4 } else { 16 });
+    for h in 0..cores {
+        match rng {
+            Rng::Lcg => table.extend_from_slice(&lcg_states_after(h * batches_per_hart)),
+            Rng::Xoshiro128p => {
+                for g in xoshiro_states_after(h * batches_per_hart) {
+                    table.extend_from_slice(&g.s);
+                }
+            }
+        }
+    }
+    table
+}
+
+/// Emits the per-hart RNG state setup: loads this hart's stream states from
+/// the seed table into the registers [`emit_draw_batch`] expects. Expects
+/// the hart id in `x28`; clobbers `x29`/`x30` (and sets the LCG constants).
+fn emit_par_rng_setup(b: &mut ProgramBuilder, rng: Rng, seeds: u32) {
+    // Per-hart stride: 16 B (LCG: 4 states) or 64 B (xoshiro: 16 words).
+    let (shift, words) = match rng {
+        Rng::Lcg => (4, 4u8),
+        Rng::Xoshiro128p => (6, 16),
+    };
+    b.slli(x(29), x(28), shift);
+    b.li_u(x(30), seeds);
+    b.add(x(29), x(29), x(30));
+    for w in 0..words {
+        b.lw(x(5 + w), x(29), 4 * i32::from(w));
+    }
+    if rng == Rng::Lcg {
+        b.li_u(x(26), LCG_A);
+        b.li_u(x(27), LCG_C);
+    }
+}
+
+/// Asserts the size constraints shared by both data-parallel variants and
+/// returns the per-hart point count.
+fn par_points_per_hart(n: usize, cores: usize) -> usize {
+    assert!((1..=MAX_CORES).contains(&cores), "cores must be in 1..={MAX_CORES}");
+    assert!(n.is_multiple_of(cores), "n must split evenly over {cores} harts");
+    let pph = n / cores;
+    assert!(
+        pph > 0 && pph.is_multiple_of(BATCH_POINTS),
+        "per-hart share must be a positive multiple of 8"
+    );
+    pph
+}
+
+/// Builds the data-parallel RV32G baseline: every hart runs the single-core
+/// baseline loop over its `n / cores` chunk (seeded mid-stream from the
+/// seed table), stores its integer hit count, meets at the hardware
+/// barrier, and hart 0 sums the per-hart counts into `result`. The
+/// aggregate equals the single-core count exactly.
+///
+/// # Panics
+///
+/// Panics unless `cores ∈ 1..=8` and `n / cores` is a positive multiple
+/// of 8.
+#[must_use]
+pub fn baseline_par(integrand: Integrand, rng: Rng, n: usize, cores: usize) -> Program {
+    let pph = par_points_per_hart(n, cores);
+    let mut b = ProgramBuilder::new();
+    b.parallel();
+    let result = b.tcdm_reserve("result", 8, 8);
+    let partials = b.tcdm_reserve("partials", cores * 4, 4);
+    let consts: Vec<f64> = match integrand {
+        Integrand::Pi => vec![INV_2_32, 1.0],
+        Integrand::Poly => {
+            let mut v = vec![INV_2_32];
+            v.extend_from_slice(&POLY_C);
+            v
+        }
+    };
+    let caddr = b.tcdm_f64("consts", &consts);
+    let seeds = b.tcdm_u32("seeds", &par_seed_table(rng, cores, pph / BATCH_POINTS));
+
+    // Hart-local RNG state, then the FP constants (x28 is scratch by then).
+    b.csrr_mhartid(x(28));
+    emit_par_rng_setup(&mut b, rng, seeds);
+    b.li_u(x(28), caddr);
+    b.fld(f(26), x(28), 0);
+    match integrand {
+        Integrand::Pi => b.fld(f(16), x(28), 8),
+        Integrand::Poly => {
+            for i in 0..6u8 {
+                b.fld(f(20 + i), x(28), 8 + 8 * i32::from(i));
+            }
+        }
+    }
+    b.li(x(29), (pph / BATCH_POINTS) as i32);
+    b.li(x(31), 0);
+
+    // Identical batch body to the single-core baseline.
+    b.label("batch");
+    emit_draw_batch(&mut b, rng, |b, d, reg| {
+        let (p, is_y) = draw_slot(d);
+        let dst = f(if is_y { 8 } else { 0 } + p as u8);
+        b.fcvt_d_wu(dst, reg);
+        b.fmul_d(dst, dst, f(26));
+    });
+    match integrand {
+        Integrand::Pi => {
+            for p in 0..8u8 {
+                b.fmul_d(f(p), f(p), f(p));
+            }
+            for p in 0..8u8 {
+                b.fmadd_d(f(8 + p), f(8 + p), f(8 + p), f(p));
+            }
+            for g in 0..2u8 {
+                for i in 0..4u8 {
+                    b.flt_d(x(21 + i), f(8 + 4 * g + i), f(16));
+                }
+                for i in 0..4u8 {
+                    b.add(x(31), x(31), x(21 + i));
+                }
+            }
+        }
+        Integrand::Poly => {
+            let t = |p: u8| if p < 4 { f(16 + p) } else { f(23 + p) };
+            for p in 0..8u8 {
+                b.fmadd_d(t(p), f(20), f(p), f(21));
+            }
+            for c in 0..4u8 {
+                for p in 0..8u8 {
+                    b.fmadd_d(t(p), t(p), f(p), f(22 + c));
+                }
+            }
+            for g in 0..2u8 {
+                for i in 0..4u8 {
+                    b.flt_d(x(21 + i), f(8 + 4 * g + i), t(4 * g + i));
+                }
+                for i in 0..4u8 {
+                    b.add(x(31), x(31), x(21 + i));
+                }
+            }
+        }
+    }
+    b.addi(x(29), x(29), -1);
+    b.bnez(x(29), "batch");
+
+    // Publish the hart's count, synchronize, and let hart 0 aggregate.
+    b.csrr_mhartid(x(25));
+    b.slli(x(26), x(25), 2);
+    b.li_u(x(30), partials);
+    b.add(x(30), x(30), x(26));
+    b.sw(x(31), x(30), 0);
+    b.barrier();
+    b.bnez(x(25), "done");
+    b.li_u(x(30), partials);
+    b.li(x(31), 0);
+    for h in 0..cores {
+        b.lw(x(26), x(30), (4 * h) as i32);
+        b.add(x(31), x(31), x(26));
+    }
+    b.li_u(x(30), result);
+    b.sw(x(31), x(30), 0);
+    b.label("done");
+    b.ecall();
+    b.build().expect("mc parallel baseline assembles")
+}
+
+/// Builds the data-parallel COPIFT program: every hart runs the
+/// double-buffered single-core COPIFT pipeline over its `n / cores` chunk
+/// with per-hart TCDM buffers and mid-stream seeds, reduces its four
+/// rotating accumulators to one partial, stores it to the `partials` table,
+/// meets at the hardware barrier, and hart 0 tree-reduces the partials in
+/// TCDM into `result`. All partials are integer-valued doubles, so the
+/// aggregate is bit-exact equal to the single-core golden hit count.
+///
+/// # Panics
+///
+/// Panics unless `cores ∈ 1..=8`, `block` is a positive multiple of 8, and
+/// each hart's `n / cores` share consists of at least two whole blocks.
+#[must_use]
+pub fn copift_par(integrand: Integrand, rng: Rng, n: usize, block: usize, cores: usize) -> Program {
+    assert!(block.is_multiple_of(BATCH_POINTS) && block > 0, "block must be a multiple of 8");
+    let pph = par_points_per_hart(n, cores);
+    assert!(pph.is_multiple_of(block) && pph / block >= 2, "need at least two blocks per hart");
+    let nb = pph / block;
+    let mut b = ProgramBuilder::new();
+    b.parallel();
+    let result = b.tcdm_reserve("result", 8, 8);
+    let partials = b.tcdm_reserve("partials", cores * 8, 8);
+    let consts: Vec<f64> = match integrand {
+        Integrand::Pi => vec![18_446_744_073_709_551_616.0], // 2^64
+        Integrand::Poly => scaled_poly_coeffs().to_vec(),
+    };
+    let caddr = b.tcdm_f64("consts", &consts);
+    let seeds = b.tcdm_u32("seeds", &par_seed_table(rng, cores, pph / BATCH_POINTS));
+    // Per-hart double buffers, hart-major: hart h owns
+    // [h·block·16, (h+1)·block·16) of each arena.
+    let buf0 = b.tcdm_reserve("rnd0", cores * block * 16, 8);
+    let buf1 = b.tcdm_reserve("rnd1", cores * block * 16, 8);
+
+    // --- per-hart setup (hart id in x28 until the buffers are derived) ---
+    b.csrr_mhartid(x(28));
+    emit_par_rng_setup(&mut b, rng, seeds);
+    let cur = x(2);
+    let nxt = x(3);
+    b.li(x(30), (block * 16) as i32);
+    b.mul(x(30), x(30), x(28));
+    b.li_u(cur, buf0);
+    b.add(cur, cur, x(30));
+    b.li_u(nxt, buf1);
+    b.add(nxt, nxt, x(30));
+
+    b.li_u(x(28), caddr);
+    match integrand {
+        Integrand::Pi => b.fld(f(20), x(28), 0),
+        Integrand::Poly => {
+            for i in 0..6u8 {
+                b.fld(f(20 + i), x(28), 8 * i32::from(i));
+            }
+        }
+    }
+    for p in 0..4u8 {
+        b.fcvt_d_w(f(15 + p), IntReg::ZERO);
+    }
+    // SSR0: 1-D read stream of 2·block 64-bit elements (fixed shape; each
+    // hart programs its own streamer).
+    use snitch_riscv::csr::SsrCfgWord;
+    b.li(x(29), 0);
+    b.scfgwi(x(29), 0, SsrCfgWord::Status);
+    b.scfgwi(x(29), 0, SsrCfgWord::Repeat);
+    b.li(x(29), (2 * block - 1) as i32);
+    b.scfgwi(x(29), 0, SsrCfgWord::Bound(0));
+    b.li(x(29), 8);
+    b.scfgwi(x(29), 0, SsrCfgWord::Stride(0));
+    b.ssr_enable();
+
+    let rep = x(1);
+    b.li(rep, (block / BATCH_POINTS - 1) as i32);
+
+    // Prologue: generate block 0.
+    emit_copift_gen_block(&mut b, rng, block, cur, "gen0");
+
+    // Steady loop: iteration j consumes block j-1 and generates block j.
+    let outer = x(4);
+    b.li(outer, (nb - 1) as i32);
+    b.label("outer");
+    b.scfgwi(cur, 0, SsrCfgWord::Base);
+    b.frep_o(rep, body_len(integrand), 0, 0);
+    let emitted = emit_copift_fp_body(&mut b, integrand);
+    debug_assert_eq!(emitted, body_len(integrand));
+    emit_copift_gen_block(&mut b, rng, block, nxt, "gen_loop");
+    b.mv(x(31), cur);
+    b.mv(cur, nxt);
+    b.mv(nxt, x(31));
+    b.addi(outer, outer, -1);
+    b.bnez(outer, "outer");
+
+    // Epilogue: consume the final block, reduce to this hart's partial.
+    b.scfgwi(cur, 0, SsrCfgWord::Base);
+    b.frep_o(rep, body_len(integrand), 0, 0);
+    let emitted = emit_copift_fp_body(&mut b, integrand);
+    debug_assert_eq!(emitted, body_len(integrand));
+    b.fpu_fence();
+    b.ssr_disable();
+    b.fadd_d(f(3), f(15), f(16));
+    b.fadd_d(f(4), f(17), f(18));
+    b.fadd_d(f(3), f(3), f(4));
+    // Publish the partial; the fence commits the store before the barrier.
+    b.csrr_mhartid(x(28));
+    b.slli(x(29), x(28), 3);
+    b.li_u(x(30), partials);
+    b.add(x(30), x(30), x(29));
+    b.fsd(f(3), x(30), 0);
+    b.fpu_fence();
+    b.barrier();
+    b.bnez(x(28), "done");
+
+    // Hart 0: tree reduction over the TCDM partials table.
+    b.li_u(x(30), partials);
+    let mut vals: Vec<FpReg> = (0..cores).map(|h| f(4 + h as u8)).collect();
+    for (h, &reg) in vals.iter().enumerate() {
+        b.fld(reg, x(30), (8 * h) as i32);
+    }
+    while vals.len() > 1 {
+        let mut next = Vec::with_capacity(vals.len().div_ceil(2));
+        for pair in vals.chunks(2) {
+            if let [a, c] = *pair {
+                b.fadd_d(a, a, c);
+            }
+            next.push(pair[0]);
+        }
+        vals = next;
+    }
+    b.li_u(x(28), result);
+    b.fsd(vals[0], x(28), 0);
+    b.fpu_fence();
+    b.label("done");
+    b.ecall();
+    b.build().expect("mc parallel copift assembles")
 }
 
 /// FREP body length per batch: 7 (Pi) or 10 (Poly) FP ops per point × 8.

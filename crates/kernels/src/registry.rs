@@ -78,6 +78,15 @@ pub trait Workload: Sync {
     /// Panics on violated size constraints (see the kernel modules).
     fn build(&self, variant: Variant, n: usize, block: usize) -> Program;
 
+    /// Cores-aware build for data-parallel workloads: the program for a
+    /// cluster of `cores` compute cores. The default ignores `cores` and
+    /// builds the (hart-0-only) single-core program, which behaves
+    /// identically on any cluster size.
+    fn build_for(&self, variant: Variant, n: usize, block: usize, cores: usize) -> Program {
+        let _ = cores;
+        self.build(variant, n, block)
+    }
+
     /// Golden expectations: `(symbol, values)` checked bit-exactly after a
     /// run.
     fn expected(&self, variant: Variant, n: usize) -> Vec<(&'static str, Vec<u64>)>;
@@ -287,10 +296,63 @@ impl Workload for SoftmaxWorkload {
     }
 }
 
+/// A data-parallel (SPMD) Monte Carlo workload: trials split over every
+/// compute core of the cluster, per-hart mid-stream seeds, a hardware
+/// barrier, and a TCDM tree reduction on hart 0. The aggregate is bit-exact
+/// equal to the single-core golden model for **any** core count, because
+/// the per-hart seed tables reproduce the global draw sequence chunk for
+/// chunk and all partial sums are integer-valued doubles.
+struct McParWorkload {
+    name: &'static str,
+    description: &'static str,
+    integrand: Integrand,
+    rng: Rng,
+}
+
+impl Workload for McParWorkload {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+    fn description(&self) -> &'static str {
+        self.description
+    }
+    fn build(&self, variant: Variant, n: usize, block: usize) -> Program {
+        self.build_for(variant, n, block, 1)
+    }
+    fn build_for(&self, variant: Variant, n: usize, block: usize, cores: usize) -> Program {
+        match variant {
+            Variant::Baseline => mc::baseline_par(self.integrand, self.rng, n, cores),
+            Variant::Copift => mc::copift_par(self.integrand, self.rng, n, block, cores),
+        }
+    }
+    fn expected(&self, variant: Variant, n: usize) -> Vec<(&'static str, Vec<u64>)> {
+        // The cluster-wide aggregate equals the single-core golden model
+        // regardless of how many harts produced it.
+        let hits = mc_hits(self.integrand, self.rng, n);
+        let bits = match variant {
+            Variant::Baseline => hits as u64,
+            Variant::Copift => hits.to_bits(),
+        };
+        vec![("result", vec![bits])]
+    }
+    fn operating_point(&self) -> (usize, usize) {
+        // Valid across the whole 1..=8 cores scaling axis: at 8 cores each
+        // hart still owns 16 blocks of 128 points.
+        (16384, 128)
+    }
+    fn smoke_point(&self) -> (usize, usize) {
+        // 8 harts × 2 blocks of 32 points at the largest cluster.
+        (512, 32)
+    }
+    fn is_mc(&self) -> bool {
+        true
+    }
+}
+
 /// The built-in catalog: the paper's six Figure-2 workloads (in the paper's
 /// order of increasing expected speedup `S′`) followed by the extended
 /// suite.
-static BUILTINS: [&dyn Workload; 9] = [
+static BUILTINS: [&dyn Workload; 11] = [
     &McWorkload {
         name: "pi_xoshiro128p",
         description: "Monte Carlo pi, xoshiro128+ draws (integer-heavy, no multiplies)",
@@ -320,6 +382,18 @@ static BUILTINS: [&dyn Workload; 9] = [
     &SigmoidWorkload,
     &DotLcgWorkload,
     &SoftmaxWorkload,
+    &McParWorkload {
+        name: "pi_lcg_par",
+        description: "data-parallel Monte Carlo pi, LCG draws (cluster scaling)",
+        integrand: Integrand::Pi,
+        rng: Rng::Lcg,
+    },
+    &McParWorkload {
+        name: "pi_xoshiro128p_par",
+        description: "data-parallel Monte Carlo pi, xoshiro128+ draws (cluster scaling)",
+        integrand: Integrand::Pi,
+        rng: Rng::Xoshiro128p,
+    },
 ];
 
 /// Workloads added at runtime via [`register`].
@@ -389,6 +463,10 @@ impl Kernel {
     pub const DotLcg: Kernel = Kernel(7);
     /// Softmax exp+reduce (extended suite, auto-compiled).
     pub const Softmax: Kernel = Kernel(8);
+    /// Data-parallel Monte Carlo π with the LCG (cluster scaling).
+    pub const PiLcgPar: Kernel = Kernel(9);
+    /// Data-parallel Monte Carlo π with xoshiro128+ (cluster scaling).
+    pub const PiXoshiroPar: Kernel = Kernel(10);
 }
 
 impl std::fmt::Debug for Kernel {
@@ -469,6 +547,18 @@ impl Kernel {
         self.workload().build(variant, n, block)
     }
 
+    /// Builds the program for a cluster of `cores` compute cores. For
+    /// workloads without a data-parallel implementation this is the
+    /// single-core program (which boots only hart 0 on any cluster).
+    ///
+    /// # Panics
+    ///
+    /// Panics on violated size constraints (see the kernel modules).
+    #[must_use]
+    pub fn build_for(self, variant: Variant, n: usize, block: usize, cores: usize) -> Program {
+        self.workload().build_for(variant, n, block, cores)
+    }
+
     /// Golden expectations: `(symbol, values)` checked after a run.
     #[must_use]
     pub fn expected(self, variant: Variant, n: usize) -> Vec<(&'static str, Vec<u64>)> {
@@ -484,7 +574,8 @@ impl Kernel {
         self.run_with(variant, n, block, ClusterConfig::default())
     }
 
-    /// Runs with a custom cluster configuration (for ablations).
+    /// Runs with a custom cluster configuration (for ablations and
+    /// multi-core scaling — the program is built for `cfg.cores`).
     ///
     /// # Errors
     ///
@@ -496,7 +587,7 @@ impl Kernel {
         block: usize,
         cfg: ClusterConfig,
     ) -> Result<RunOutcome, HarnessError> {
-        let program = self.build(variant, n, block);
+        let program = self.build_for(variant, n, block, cfg.cores);
         self.run_prebuilt(variant, n, cfg, &program)
     }
 
@@ -604,7 +695,7 @@ mod tests {
     fn names_follow_figure2_order_then_extended() {
         let names: Vec<&str> = Kernel::all().iter().map(|k| k.name()).collect();
         assert_eq!(
-            &names[..9],
+            &names[..11],
             &[
                 "pi_xoshiro128p",
                 "poly_xoshiro128p",
@@ -614,7 +705,9 @@ mod tests {
                 "exp",
                 "sigmoid",
                 "dot_lcg",
-                "softmax"
+                "softmax",
+                "pi_lcg_par",
+                "pi_xoshiro128p_par"
             ]
         );
         let paper: Vec<&str> = Kernel::paper().iter().map(|k| k.name()).collect();
@@ -653,6 +746,59 @@ mod tests {
         assert_eq!(Kernel::Sigmoid.name(), "sigmoid");
         assert_eq!(Kernel::DotLcg.name(), "dot_lcg");
         assert_eq!(Kernel::Softmax.name(), "softmax");
+        assert_eq!(Kernel::PiLcgPar.name(), "pi_lcg_par");
+        assert_eq!(Kernel::PiXoshiroPar.name(), "pi_xoshiro128p_par");
+    }
+
+    #[test]
+    fn eight_core_pi_lcg_par_matches_the_single_core_golden_model() {
+        // The acceptance bar of the multi-core tentpole: 8 harts, trials
+        // split with mid-stream seeds, barrier, TCDM tree reduction — the
+        // aggregate must be BIT-exact equal to the single-core golden model,
+        // with real TCDM contention and per-hart statistics rolling up.
+        let (n, block, cores) = (1024usize, 32usize, 8usize);
+        let cfg = ClusterConfig { cores, ..ClusterConfig::default() };
+        let program = Kernel::PiLcgPar.build_for(Variant::Copift, n, block, cores);
+        assert!(program.parallel(), "the data-parallel program is SPMD");
+        let mut cluster = Cluster::new(cfg);
+        cluster.load_program(&program);
+        let stats = cluster.run().expect("8-core run completes");
+        // Bit-exact aggregate (run_prebuilt would also validate; assert the
+        // raw memory word explicitly here).
+        let result = cluster.mem().read(program.symbol("result").unwrap(), 8).unwrap();
+        let golden = crate::golden::mc_hits(Integrand::Pi, Rng::Lcg, n);
+        assert_eq!(result, golden.to_bits(), "aggregate must equal the single-core golden model");
+        // Eight harts hammering a shared TCDM must actually contend.
+        assert!(stats.tcdm_conflicts > 0, "expected TCDM bank contention across 8 harts");
+        assert!(stats.stall_barrier > 0, "harts synchronized at the hardware barrier");
+        // Per-hart statistics exist and roll up.
+        let per_hart: u64 = (0..cores).map(|h| cluster.core_stats(h).int_issued).sum();
+        assert_eq!(stats.int_issued, per_hart);
+        assert!((0..cores).all(|h| cluster.core_stats(h).fp_issued_seq > 0));
+        // And the full harness path validates the same program.
+        Kernel::PiLcgPar
+            .run_with(
+                Variant::Copift,
+                n,
+                block,
+                ClusterConfig { cores, ..ClusterConfig::default() },
+            )
+            .expect("harness validation of the 8-core run");
+    }
+
+    #[test]
+    fn parallel_kernels_validate_across_core_counts_and_variants() {
+        for kernel in [Kernel::PiLcgPar, Kernel::PiXoshiroPar] {
+            for cores in [1usize, 2, 3, 8] {
+                let cfg = ClusterConfig { cores, ..ClusterConfig::default() };
+                kernel
+                    .run_with(Variant::Baseline, 768, 0, cfg.clone())
+                    .unwrap_or_else(|e| panic!("{} base x{cores}: {e}", kernel.name()));
+                kernel
+                    .run_with(Variant::Copift, 768, 16, cfg)
+                    .unwrap_or_else(|e| panic!("{} copift x{cores}: {e}", kernel.name()));
+            }
+        }
     }
 
     /// A minimal runtime-registered workload: writes one constant word.

@@ -8,11 +8,20 @@ pub const CSR_SSR: u16 = 0x7C0;
 /// Models Snitch's FPU fence used at kernel epilogues.
 pub const CSR_FPU_FENCE: u16 = 0x7C2;
 
+/// Cluster hardware-barrier CSR: reading it stalls the hart until every
+/// other hart in the cluster has either reached the barrier or halted, then
+/// releases all waiting harts in the same cycle. Models the Snitch cluster's
+/// `hw_barrier` register.
+pub const CSR_BARRIER: u16 = 0x7C3;
+
 /// Cycle counter (read-only).
 pub const CSR_MCYCLE: u16 = 0xB00;
 
 /// Retired-instruction counter (read-only).
 pub const CSR_MINSTRET: u16 = 0xB02;
+
+/// Hart id (read-only): the compute core's index within the cluster.
+pub const CSR_MHARTID: u16 = 0xF14;
 
 /// Number of SSR data movers in a Snitch core.
 pub const NUM_SSRS: usize = 3;

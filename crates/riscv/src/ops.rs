@@ -539,6 +539,42 @@ pub enum IntCvt {
     Wu,
 }
 
+/// `fcvt.w.d` semantics: truncation toward zero with the RISC-V saturation
+/// rules (spec table "FCVT behavior"): NaN and +overflow convert to
+/// `i32::MAX`, −overflow to `i32::MIN`. The NaN arm intentionally matches
+/// the +overflow arm — RISC-V mandates the *maximum* value for NaN, not 0.
+#[must_use]
+#[allow(clippy::if_same_then_else)]
+pub fn f64_to_i32(v: f64) -> i32 {
+    if v.is_nan() {
+        i32::MAX
+    } else if v >= i32::MAX as f64 {
+        i32::MAX
+    } else if v <= i32::MIN as f64 {
+        i32::MIN
+    } else {
+        v as i32
+    }
+}
+
+/// `fcvt.wu.d` semantics: truncation toward zero with RISC-V saturation —
+/// NaN and +overflow convert to `u32::MAX`, anything at or below zero
+/// (after truncation) to 0.
+#[must_use]
+#[allow(clippy::if_same_then_else)]
+pub fn f64_to_u32(v: f64) -> u32 {
+    if v.is_nan() {
+        u32::MAX
+    } else if v >= u32::MAX as f64 {
+        u32::MAX
+    } else if v <= 0.0 {
+        // (-1, 0) truncates toward zero to 0; ≤ -1 saturates to 0.
+        0
+    } else {
+        v as u32
+    }
+}
+
 impl IntCvt {
     /// The `rs2` discriminator field in conversion encodings.
     #[must_use]
@@ -757,6 +793,44 @@ mod tests {
         }
         assert!(CsrOp::Rwi.is_imm());
         assert!(!CsrOp::Rs.is_imm());
+    }
+
+    #[test]
+    fn fcvt_w_d_nan_inf_zero_and_boundaries() {
+        // NaN converts to the MAXIMUM value (not 0) — RISC-V FCVT table.
+        assert_eq!(f64_to_i32(f64::NAN), i32::MAX);
+        assert_eq!(f64_to_i32(-f64::NAN), i32::MAX, "sign of NaN is irrelevant");
+        assert_eq!(f64_to_i32(f64::INFINITY), i32::MAX);
+        assert_eq!(f64_to_i32(f64::NEG_INFINITY), i32::MIN);
+        assert_eq!(f64_to_i32(0.0), 0);
+        assert_eq!(f64_to_i32(-0.0), 0);
+        // Truncation toward zero.
+        assert_eq!(f64_to_i32(-3.7), -3);
+        assert_eq!(f64_to_i32(3.7), 3);
+        // Just out of range saturates; fractional overshoot truncates back
+        // into range (2^31 - 0.5 truncates to 2^31 - 1: representable).
+        assert_eq!(f64_to_i32(2_147_483_648.0), i32::MAX);
+        assert_eq!(f64_to_i32(2_147_483_647.5), i32::MAX, "truncates to i32::MAX exactly");
+        assert_eq!(f64_to_i32(2_147_483_646.99), 2_147_483_646);
+        assert_eq!(f64_to_i32(-2_147_483_648.0), i32::MIN);
+        assert_eq!(f64_to_i32(-2_147_483_648.7), i32::MIN, "truncates to i32::MIN exactly");
+        assert_eq!(f64_to_i32(-2_147_483_649.0), i32::MIN);
+    }
+
+    #[test]
+    fn fcvt_wu_d_nan_inf_zero_and_boundaries() {
+        assert_eq!(f64_to_u32(f64::NAN), u32::MAX, "NaN converts to the maximum value");
+        assert_eq!(f64_to_u32(f64::INFINITY), u32::MAX);
+        assert_eq!(f64_to_u32(f64::NEG_INFINITY), 0);
+        assert_eq!(f64_to_u32(0.0), 0);
+        assert_eq!(f64_to_u32(-0.0), 0);
+        assert_eq!(f64_to_u32(4.9), 4, "truncation toward zero");
+        assert_eq!(f64_to_u32(-0.9), 0, "(-1, 0) truncates into range");
+        assert_eq!(f64_to_u32(-1.0), 0, "≤ -1 saturates to 0");
+        assert_eq!(f64_to_u32(4_294_967_295.0), u32::MAX);
+        assert_eq!(f64_to_u32(4_294_967_295.5), u32::MAX, "truncates to u32::MAX exactly");
+        assert_eq!(f64_to_u32(4_294_967_296.0), u32::MAX, "just out of range saturates");
+        assert_eq!(f64_to_u32(1e300), u32::MAX);
     }
 
     #[test]

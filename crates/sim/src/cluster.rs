@@ -9,15 +9,50 @@ use crate::dma::Dma;
 use crate::error::RunError;
 use crate::fpss::Fpss;
 use crate::icache::L0Cache;
-use crate::mem::{Memory, TcdmArbiter};
+use crate::mem::{Memory, TcdmArbiter, TcdmPort};
 use crate::ssr::Ssr;
 use crate::stats::Stats;
 
 /// Cycles without any unit making progress before a deadlock is declared.
 const DEADLOCK_WINDOW: u64 = 50_000;
 
-/// A simulated Snitch compute cluster: one integer core with FP subsystem,
-/// three SSR streamers, banked TCDM, L0 instruction buffer and a DMA engine.
+/// Everything private to one compute core (hart): the integer pipeline, its
+/// FP subsystem, the three SSR streamers, the L0 instruction buffer and the
+/// hart's own statistics. The TCDM, its bank arbiter, the DMA engine and the
+/// hardware barrier are cluster-shared.
+#[derive(Clone, Debug)]
+struct CoreUnit {
+    core: IntCore,
+    fpss: Fpss,
+    ssrs: [Ssr; 3],
+    l0: L0Cache,
+    stats: Stats,
+}
+
+impl CoreUnit {
+    fn new(hart: u32, cfg: &ClusterConfig) -> Self {
+        CoreUnit {
+            core: IntCore::new(hart),
+            fpss: Fpss::new(cfg),
+            ssrs: [
+                Ssr::new(cfg.ssr_fifo_depth),
+                Ssr::new(cfg.ssr_fifo_depth),
+                Ssr::new(cfg.ssr_fifo_depth),
+            ],
+            l0: L0Cache::new(cfg.l0_capacity),
+            stats: Stats::default(),
+        }
+    }
+}
+
+/// A simulated Snitch compute cluster: `cores` integer cores, each with its
+/// own FP subsystem, three SSR streamers and L0 instruction buffer, all
+/// sharing the banked TCDM (through the bank arbiter), one DMA engine and a
+/// hardware barrier.
+///
+/// Single-core programs (the default) boot only hart 0; SPMD programs built
+/// with [`ProgramBuilder::parallel`](snitch_asm::builder::ProgramBuilder::parallel)
+/// boot every hart at the entry point and branch on `mhartid`.
 ///
 /// # Example
 ///
@@ -44,14 +79,15 @@ const DEADLOCK_WINDOW: u64 = 50_000;
 pub struct Cluster {
     cfg: ClusterConfig,
     text: Vec<Decoded>,
-    core: IntCore,
-    fpss: Fpss,
-    ssrs: [Ssr; 3],
+    units: Vec<CoreUnit>,
     dma: Dma,
-    l0: L0Cache,
     mem: Memory,
     arb: TcdmArbiter,
+    /// Cluster-level rollup of all per-hart statistics plus the shared
+    /// counters (refreshed at the end of every public `step`/`run`).
     stats: Stats,
+    /// TCDM accesses performed by the shared DMA engine.
+    tcdm_dma_accesses: u64,
     cycle: u64,
     last_progress_cycle: u64,
     last_progress_sig: u64,
@@ -68,26 +104,23 @@ impl Cluster {
     /// initialized here, so [`reset`](Self::reset) (which routes through
     /// this with reused memory) can never drift from `new`.
     fn with_memory(cfg: ClusterConfig, mem: Memory) -> Self {
-        let fpss = Fpss::new(&cfg);
-        let ssrs = [
-            Ssr::new(cfg.ssr_fifo_depth),
-            Ssr::new(cfg.ssr_fifo_depth),
-            Ssr::new(cfg.ssr_fifo_depth),
-        ];
+        assert!(
+            (1..=32).contains(&cfg.cores),
+            "cluster size {} outside the supported 1..=32 cores",
+            cfg.cores
+        );
+        let units = (0..cfg.cores).map(|h| CoreUnit::new(h as u32, &cfg)).collect();
         let dma = Dma::new(cfg.dma_bytes_per_cycle);
-        let l0 = L0Cache::new(cfg.l0_capacity);
         let arb = TcdmArbiter::new(cfg.tcdm_banks);
         Cluster {
             cfg,
             text: Vec::new(),
-            core: IntCore::new(),
-            fpss,
-            ssrs,
+            units,
             dma,
-            l0,
             mem,
             arb,
             stats: Stats::default(),
+            tcdm_dma_accesses: 0,
             cycle: 0,
             last_progress_cycle: 0,
             last_progress_sig: 0,
@@ -95,10 +128,17 @@ impl Cluster {
     }
 
     /// Loads a program (text + memory images) and resets execution state.
+    /// Non-parallel programs boot only hart 0 (secondary harts park halted);
+    /// [`Program::parallel`] programs boot every hart at the entry point.
     pub fn load_program(&mut self, program: &Program) {
         self.text = program.text().iter().copied().map(Decoded::new).collect();
         self.mem.load_images(program.tcdm_image(), program.main_image());
-        self.core = IntCore::new();
+        for (h, unit) in self.units.iter_mut().enumerate() {
+            unit.core = IntCore::new(h as u32);
+            if h > 0 && !program.parallel() {
+                unit.core.force_halt();
+            }
+        }
     }
 
     /// Restores the cluster to its just-constructed state while reusing the
@@ -121,10 +161,29 @@ impl Cluster {
         &self.cfg
     }
 
-    /// The collected statistics so far.
+    /// Number of compute cores in this cluster.
+    #[must_use]
+    pub fn cores(&self) -> usize {
+        self.units.len()
+    }
+
+    /// The cluster-level statistics rollup: per-hart counters summed, plus
+    /// the shared DMA/arbiter counters. With `cores = 1` this is exactly the
+    /// single core's statistics.
     #[must_use]
     pub fn stats(&self) -> &Stats {
         &self.stats
+    }
+
+    /// The statistics of one hart (cluster-shared counters — DMA, TCDM
+    /// conflicts — are reported only in the [`stats`](Self::stats) rollup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hart >= cores`.
+    #[must_use]
+    pub fn core_stats(&self, hart: usize) -> &Stats {
+        &self.units[hart].stats
     }
 
     /// The data memory (for result validation after a run).
@@ -133,79 +192,144 @@ impl Cluster {
         &self.mem
     }
 
-    /// Reads an integer register.
+    /// Reads an integer register of hart 0.
     #[must_use]
     pub fn int_reg(&self, r: IntReg) -> u32 {
-        self.core.reg(r)
+        self.int_reg_of(0, r)
     }
 
-    /// Reads an FP register's raw bits.
+    /// Reads an integer register of `hart`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hart >= cores`.
+    #[must_use]
+    pub fn int_reg_of(&self, hart: usize, r: IntReg) -> u32 {
+        self.units[hart].core.reg(r)
+    }
+
+    /// Reads an FP register's raw bits (hart 0).
     #[must_use]
     pub fn fp_reg(&self, r: FpReg) -> u64 {
-        self.fpss.reg(r)
+        self.fp_reg_of(0, r)
     }
 
-    /// Whether the core has halted (`ecall`).
+    /// Reads an FP register's raw bits of `hart`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hart >= cores`.
+    #[must_use]
+    pub fn fp_reg_of(&self, hart: usize, r: FpReg) -> u64 {
+        self.units[hart].fpss.reg(r)
+    }
+
+    /// Whether every hart has halted (`ecall`).
     #[must_use]
     pub fn halted(&self) -> bool {
-        self.core.halted()
+        self.units.iter().all(|u| u.core.halted())
     }
 
-    /// Advances the cluster by one cycle.
+    /// Advances the cluster by one cycle and refreshes the statistics
+    /// rollup.
     ///
     /// # Errors
     ///
     /// Returns [`RunError::Fault`] on machine faults.
     pub fn step(&mut self) -> Result<(), RunError> {
+        let result = self.step_units();
+        self.refresh_rollup();
+        result
+    }
+
+    /// One cycle of work for every unit, without the rollup refresh (the
+    /// hot path; `run` refreshes once at the end).
+    fn step_units(&mut self) -> Result<(), RunError> {
         let now = self.cycle;
         self.arb.begin_cycle();
 
-        // FP→int write-backs land before the core issues, so results are
-        // visible the cycle they retire.
-        for wb in self.fpss.take_int_writebacks(now) {
-            self.core.apply_writeback(wb.rd, wb.value, now);
-        }
-
-        self.core
-            .step(
-                now,
-                &self.cfg,
-                &self.text,
-                &mut self.l0,
-                &mut self.mem,
-                &mut self.arb,
-                &mut self.fpss,
-                &mut self.ssrs,
-                &mut self.dma,
-                &mut self.stats,
-            )
-            .map_err(RunError::Fault)?;
-
-        self.fpss
-            .step(now, &self.cfg, &mut self.mem, &mut self.arb, &mut self.ssrs, &mut self.stats)
-            .map_err(RunError::Fault)?;
-
-        for (i, ssr) in self.ssrs.iter_mut().enumerate() {
-            let accesses = ssr.step(&mut self.mem, &mut self.arb);
-            self.stats.tcdm_ssr_accesses += u64::from(accesses);
-            if ssr.armed() {
-                self.stats.ssr_active_cycles[i] += 1;
+        for unit in &mut self.units {
+            // FP→int write-backs land before the core issues, so results
+            // are visible the cycle they retire.
+            for wb in unit.fpss.take_int_writebacks(now) {
+                unit.core.apply_writeback(wb.rd, wb.value, now);
             }
-            self.stats.ssr_beats[i] = ssr.beats();
+
+            unit.core
+                .step(
+                    now,
+                    &self.cfg,
+                    &self.text,
+                    &mut unit.l0,
+                    &mut self.mem,
+                    &mut self.arb,
+                    &mut unit.fpss,
+                    &mut unit.ssrs,
+                    &mut self.dma,
+                    &mut unit.stats,
+                )
+                .map_err(RunError::Fault)?;
+
+            let hart = unit.core.hart_id() as u8;
+            unit.fpss
+                .step(
+                    now,
+                    hart,
+                    &self.cfg,
+                    &mut self.mem,
+                    &mut self.arb,
+                    &mut unit.ssrs,
+                    &mut unit.stats,
+                )
+                .map_err(RunError::Fault)?;
+
+            for (i, ssr) in unit.ssrs.iter_mut().enumerate() {
+                let accesses = ssr.step(&mut self.mem, &mut self.arb, TcdmPort::Ssr(hart, i as u8));
+                unit.stats.tcdm_ssr_accesses += u64::from(accesses);
+                if ssr.armed() {
+                    unit.stats.ssr_active_cycles[i] += 1;
+                }
+                unit.stats.ssr_beats[i] = ssr.beats();
+            }
         }
 
         let dma_accesses = self.dma.step(&mut self.mem, &mut self.arb);
-        self.stats.tcdm_dma_accesses += u64::from(dma_accesses);
-        self.stats.dma_busy_cycles = self.dma.busy_cycles();
-        self.stats.dma_beats = self.dma.beats();
-        self.stats.tcdm_conflicts = self.arb.conflicts();
+        self.tcdm_dma_accesses += u64::from(dma_accesses);
+
+        // Hardware barrier: release every waiting hart in the same cycle
+        // once each hart has either arrived or halted. Halted harts count
+        // as arrived so a partial shutdown can never deadlock the rest.
+        if self.units.iter().any(|u| u.core.barrier_waiting())
+            && self.units.iter().all(|u| u.core.halted() || u.core.barrier_waiting())
+        {
+            for unit in &mut self.units {
+                if unit.core.barrier_waiting() {
+                    unit.core.release_barrier();
+                }
+            }
+        }
 
         self.cycle += 1;
-        self.stats.cycles = self.cycle;
         Ok(())
     }
 
-    /// Runs until the program executes `ecall`.
+    /// Recomputes the cluster rollup from the per-hart statistics and the
+    /// shared DMA/arbiter counters.
+    fn refresh_rollup(&mut self) {
+        let mut roll = Stats::default();
+        for unit in &mut self.units {
+            unit.stats.cycles = self.cycle;
+            roll.accumulate(&unit.stats);
+        }
+        roll.cycles = self.cycle;
+        roll.tcdm_dma_accesses = self.tcdm_dma_accesses;
+        roll.dma_busy_cycles = self.dma.busy_cycles();
+        roll.dma_beats = self.dma.beats();
+        roll.tcdm_conflicts = self.arb.conflicts();
+        self.stats = roll;
+    }
+
+    /// Runs until every hart executes `ecall`.
     ///
     /// # Errors
     ///
@@ -213,42 +337,61 @@ impl Cluster {
     /// [`RunError::Deadlock`] if no unit makes progress for an extended
     /// window, and [`RunError::Fault`] on machine faults.
     pub fn run(&mut self) -> Result<Stats, RunError> {
+        let result = self.run_inner();
+        self.refresh_rollup();
+        result.map(|()| self.stats.clone())
+    }
+
+    fn run_inner(&mut self) -> Result<(), RunError> {
         if self.text.is_empty() {
-            return Err(RunError::PcOutOfRange { pc: self.core.pc() });
+            return Err(RunError::PcOutOfRange { pc: self.units[0].core.pc() });
         }
-        while !self.core.halted() {
+        while !self.halted() {
             if self.cycle >= self.cfg.max_cycles {
                 return Err(RunError::Timeout { cycles: self.cycle });
             }
-            self.step()?;
+            self.step_units()?;
             let sig = self.progress_signature();
             if sig != self.last_progress_sig {
                 self.last_progress_sig = sig;
                 self.last_progress_cycle = self.cycle;
             } else if self.cycle - self.last_progress_cycle > DEADLOCK_WINDOW {
-                return Err(RunError::Deadlock { cycle: self.cycle, pc: self.core.pc() });
+                return Err(RunError::Deadlock { cycle: self.cycle, pc: self.stuck_pc() });
             }
         }
         // Let in-flight FP work retire so post-run register/memory reads are
         // complete (bounded by the deadlock window).
         let mut extra = 0u64;
-        while !self.fpss.drained(self.cycle) || self.ssrs.iter().any(super::ssr::Ssr::busy) {
-            self.step()?;
+        while self
+            .units
+            .iter()
+            .any(|u| !u.fpss.drained(self.cycle) || u.ssrs.iter().any(super::ssr::Ssr::busy))
+        {
+            self.step_units()?;
             extra += 1;
             if extra > DEADLOCK_WINDOW {
-                return Err(RunError::Deadlock { cycle: self.cycle, pc: self.core.pc() });
+                return Err(RunError::Deadlock { cycle: self.cycle, pc: self.stuck_pc() });
             }
         }
-        Ok(self.stats.clone())
+        Ok(())
+    }
+
+    /// The program counter of the first non-halted hart (hart 0 when all
+    /// have halted) — the most useful single pc for a deadlock report.
+    fn stuck_pc(&self) -> u32 {
+        self.units.iter().find(|u| !u.core.halted()).unwrap_or(&self.units[0]).core.pc()
     }
 
     fn progress_signature(&self) -> u64 {
-        self.stats
-            .instructions()
-            .wrapping_add(self.stats.fpu_busy_cycles)
-            .wrapping_add(self.stats.dma_beats)
-            .wrapping_add(self.stats.ssr_beats.iter().sum::<u64>())
-            .wrapping_add(self.stats.tcdm_ssr_accesses)
+        let mut sig = self.dma.beats();
+        for unit in &self.units {
+            sig = sig
+                .wrapping_add(unit.stats.instructions())
+                .wrapping_add(unit.stats.fpu_busy_cycles)
+                .wrapping_add(unit.stats.ssr_beats.iter().sum::<u64>())
+                .wrapping_add(unit.stats.tcdm_ssr_accesses);
+        }
+        sig
     }
 }
 
@@ -644,6 +787,85 @@ mod tests {
         fresh.load_program(&p);
         let third = fresh.run().expect("fresh run");
         assert_eq!(first, third, "reset must be indistinguishable from fresh construction");
+    }
+
+    #[test]
+    fn spmd_barrier_and_mhartid_synchronize_harts() {
+        // Each hart writes (hart id + 1) into its slot, everyone meets at
+        // the barrier, then hart 0 sums the slots.
+        let cores = 4usize;
+        let mut b = ProgramBuilder::new();
+        b.parallel();
+        let slots = b.tcdm_reserve("slots", cores * 4, 4);
+        b.csrr_mhartid(IntReg::A0);
+        b.slli(IntReg::A1, IntReg::A0, 2);
+        b.li_u(IntReg::A2, slots);
+        b.add(IntReg::A1, IntReg::A1, IntReg::A2);
+        b.addi(IntReg::A3, IntReg::A0, 1);
+        b.sw(IntReg::A3, IntReg::A1, 0);
+        b.barrier();
+        b.bnez(IntReg::A0, "done");
+        b.li(IntReg::A4, 0);
+        for h in 0..cores {
+            b.lw(IntReg::A5, IntReg::A2, (4 * h) as i32);
+            b.add(IntReg::A4, IntReg::A4, IntReg::A5);
+        }
+        b.label("done");
+        b.ecall();
+        let p = b.build().unwrap();
+
+        let mut c = Cluster::new(ClusterConfig { cores, ..ClusterConfig::default() });
+        c.load_program(&p);
+        let stats = c.run().expect("spmd program runs");
+        assert_eq!(c.int_reg_of(0, IntReg::A4), (1..=cores as u32).sum::<u32>());
+        assert!(stats.stall_barrier > 0, "someone waited at the barrier");
+        // Every hart saw its own id.
+        for h in 0..cores {
+            assert_eq!(c.int_reg_of(h, IntReg::A0), h as u32);
+        }
+        // The rollup is the sum of the per-hart counters.
+        let issued: u64 = (0..cores).map(|h| c.core_stats(h).int_issued).sum();
+        assert_eq!(stats.int_issued, issued);
+        assert!(c.core_stats(1).int_issued > 0);
+    }
+
+    #[test]
+    fn non_parallel_program_boots_only_hart_zero() {
+        // A hart-0-only program must behave bit-identically on any cluster
+        // size: secondary harts park halted and never touch the TCDM.
+        let mut b = ProgramBuilder::new();
+        b.li(IntReg::A0, 21);
+        b.add(IntReg::A0, IntReg::A0, IntReg::A0);
+        b.ecall();
+        let p = b.build().unwrap();
+
+        let mut single = Cluster::new(ClusterConfig::default());
+        single.load_program(&p);
+        let s1 = single.run().unwrap();
+
+        let mut octa = Cluster::new(ClusterConfig { cores: 8, ..ClusterConfig::default() });
+        octa.load_program(&p);
+        let s8 = octa.run().unwrap();
+
+        assert_eq!(octa.int_reg_of(0, IntReg::A0), 42);
+        assert_eq!(s1, s8, "idle harts must not perturb a single-core program");
+        for h in 1..8 {
+            assert_eq!(octa.core_stats(h).int_issued, 0);
+        }
+    }
+
+    #[test]
+    fn barrier_on_a_single_core_is_cheap() {
+        let (_, stats) = run_program(|b| {
+            b.parallel();
+            b.li(IntReg::A0, 7);
+            b.barrier();
+            b.addi(IntReg::A0, IntReg::A0, 1);
+            b.ecall();
+        });
+        // Arrive (stall one cycle), release, retire: no deadlock, tiny cost.
+        assert!(stats.stall_barrier >= 1);
+        assert!(stats.cycles < 20);
     }
 
     #[test]

@@ -7,6 +7,14 @@
 /// called out in `DESIGN.md`.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ClusterConfig {
+    // ---- cluster topology ----
+    /// Number of compute cores (harts). Each core has its own integer
+    /// pipeline, FP subsystem, SSR streamers and L0 buffer; all cores share
+    /// the banked TCDM, the DMA engine and the hardware barrier. The paper's
+    /// cluster has 8 compute cores (plus the DMA core, modelled as the
+    /// shared engine).
+    pub cores: usize,
+
     // ---- integer core ----
     /// Extra cycles lost on a taken branch or jump (pipeline refill).
     pub branch_penalty: u32,
@@ -70,6 +78,7 @@ pub struct ClusterConfig {
 impl Default for ClusterConfig {
     fn default() -> Self {
         ClusterConfig {
+            cores: 1,
             branch_penalty: 2,
             load_latency: 2,
             main_mem_extra_latency: 8,
@@ -108,7 +117,8 @@ impl ClusterConfig {
     #[must_use]
     pub fn canonical(&self) -> String {
         format!(
-            "bp{};ll{};mm{};mul{};div{};wb{};l0:{};fifo{};seq{};fma{};fshort{};fcvt{};fdiv{};fld{};ssr{};banks{};dma{}",
+            "cores{};bp{};ll{};mm{};mul{};div{};wb{};l0:{};fifo{};seq{};fma{};fshort{};fcvt{};fdiv{};fld{};ssr{};banks{};dma{}",
+            self.cores,
             self.branch_penalty,
             self.load_latency,
             self.main_mem_extra_latency,
@@ -151,6 +161,7 @@ mod tests {
     #[test]
     fn defaults_match_design_document() {
         let c = ClusterConfig::default();
+        assert_eq!(c.cores, 1);
         assert_eq!(c.l0_capacity, 64);
         assert_eq!(c.tcdm_banks, 32);
         assert_eq!(c.int_wb_ports, 1);
@@ -167,6 +178,7 @@ mod tests {
         assert_eq!(base.fingerprint(), traced.fingerprint());
         // ...but every timing knob does.
         let variants = [
+            ClusterConfig { cores: 8, ..ClusterConfig::default() },
             ClusterConfig { branch_penalty: 3, ..ClusterConfig::default() },
             ClusterConfig { int_wb_ports: 2, ..ClusterConfig::default() },
             ClusterConfig { l0_capacity: 32, ..ClusterConfig::default() },

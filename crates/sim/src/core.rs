@@ -14,7 +14,9 @@
 //! * `scfgwi` to a busy streamer stalls until the stream completes, and the
 //!   FPU-fence CSR stalls until the FP subsystem and streamers drain.
 
-use snitch_riscv::csr::{SsrCfgWord, CSR_FPU_FENCE, CSR_MCYCLE, CSR_MINSTRET, CSR_SSR};
+use snitch_riscv::csr::{
+    SsrCfgWord, CSR_BARRIER, CSR_FPU_FENCE, CSR_MCYCLE, CSR_MHARTID, CSR_MINSTRET, CSR_SSR,
+};
 use snitch_riscv::inst::Inst;
 use snitch_riscv::meta::RegRef;
 use snitch_riscv::ops::{CsrOp, DmaOp};
@@ -25,7 +27,7 @@ use crate::dma::Dma;
 use crate::error::SimFault;
 use crate::fpss::{Fpss, OffloadEntry};
 use crate::icache::L0Cache;
-use crate::mem::{Memory, TcdmArbiter};
+use crate::mem::{Memory, TcdmArbiter, TcdmPort};
 use crate::ssr::Ssr;
 use crate::stats::Stats;
 use snitch_asm::layout;
@@ -81,9 +83,21 @@ impl Decoded {
     }
 }
 
+/// Progress of a hart through the cluster hardware barrier.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum BarrierState {
+    /// Not at a barrier.
+    Idle,
+    /// Arrived; stalled until every hart arrives (or halts).
+    Waiting,
+    /// Released by the cluster; the barrier CSR read completes next issue.
+    Released,
+}
+
 /// The integer core.
 #[derive(Clone, Debug)]
 pub struct IntCore {
+    hart_id: u32,
     pc: u32,
     regs: [u32; 32],
     ready_at: [u64; 32],
@@ -91,20 +105,48 @@ pub struct IntCore {
     /// Claimed ALU/mul write-back port slots: (cycle, claims).
     wb_claims: Vec<(u64, u32)>,
     halted: bool,
+    barrier: BarrierState,
 }
 
 impl IntCore {
-    /// Creates a core with `pc` at the text base.
+    /// Creates core `hart_id` with `pc` at the text base.
     #[must_use]
-    pub fn new() -> Self {
+    pub fn new(hart_id: u32) -> Self {
         IntCore {
+            hart_id,
             pc: layout::TEXT_BASE,
             regs: [0; 32],
             ready_at: [0; 32],
             stall_until: 0,
             wb_claims: Vec::with_capacity(8),
             halted: false,
+            barrier: BarrierState::Idle,
         }
+    }
+
+    /// This core's hart id (the `mhartid` CSR value).
+    #[must_use]
+    pub fn hart_id(&self) -> u32 {
+        self.hart_id
+    }
+
+    /// Whether the core is stalled at the cluster hardware barrier.
+    #[must_use]
+    pub fn barrier_waiting(&self) -> bool {
+        self.barrier == BarrierState::Waiting
+    }
+
+    /// Releases the core from the barrier (called by the cluster once every
+    /// hart has arrived or halted).
+    pub fn release_barrier(&mut self) {
+        debug_assert_eq!(self.barrier, BarrierState::Waiting);
+        self.barrier = BarrierState::Released;
+    }
+
+    /// Parks the core in the halted state without executing anything — used
+    /// for secondary harts booting a non-parallel (hart-0-only) program.
+    pub fn force_halt(&mut self) {
+        self.halted = true;
     }
 
     /// Current program counter.
@@ -332,7 +374,7 @@ impl IntCore {
                 }
                 let addr = self.regs[rs1.index() as usize].wrapping_add(offset as u32);
                 let lat = if layout::is_tcdm(addr) {
-                    if !arb.request(addr) {
+                    if !arb.request(TcdmPort::CoreLsu(self.hart_id as u8), addr) {
                         stats.stall_tcdm_conflict += 1;
                         return Ok(());
                     }
@@ -355,7 +397,7 @@ impl IntCore {
             Inst::Store { op, rs2, rs1, offset } => {
                 let addr = self.regs[rs1.index() as usize].wrapping_add(offset as u32);
                 if layout::is_tcdm(addr) {
-                    if !arb.request(addr) {
+                    if !arb.request(TcdmPort::CoreLsu(self.hart_id as u8), addr) {
                         stats.stall_tcdm_conflict += 1;
                         return Ok(());
                     }
@@ -480,7 +522,7 @@ impl IntCore {
 
 impl Default for IntCore {
     fn default() -> Self {
-        IntCore::new()
+        IntCore::new(0)
     }
 }
 
@@ -509,6 +551,21 @@ impl IntCore {
                 }
                 0
             }
+            CSR_BARRIER => match self.barrier {
+                BarrierState::Released => {
+                    // Every hart has arrived; the read completes now.
+                    self.barrier = BarrierState::Idle;
+                    0
+                }
+                BarrierState::Idle | BarrierState::Waiting => {
+                    // Arrive (idempotently) and stall until the cluster
+                    // releases all waiting harts in one cycle.
+                    self.barrier = BarrierState::Waiting;
+                    stats.stall_barrier += 1;
+                    return false;
+                }
+            },
+            CSR_MHARTID => self.hart_id,
             CSR_MCYCLE => now as u32,
             CSR_MINSTRET => stats.instructions() as u32,
             _ => 0,
@@ -591,7 +648,7 @@ mod tests {
 
     #[test]
     fn wb_port_claims() {
-        let mut c = IntCore::new();
+        let mut c = IntCore::new(0);
         assert!(c.can_claim_wb(5, 1));
         c.claim_wb(5);
         assert!(!c.can_claim_wb(5, 1));

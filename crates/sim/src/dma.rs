@@ -7,7 +7,7 @@
 
 use std::collections::VecDeque;
 
-use crate::mem::{Memory, TcdmArbiter};
+use crate::mem::{Memory, TcdmArbiter, TcdmPort};
 use snitch_asm::layout;
 
 #[derive(Clone, Copy, Debug)]
@@ -129,12 +129,12 @@ impl Dma {
         // Arbitrate for whichever side (or both) touches the TCDM.
         let mut tcdm_accesses = 0;
         if layout::is_tcdm(seg.src) {
-            if !arb.request(seg.src) {
+            if !arb.request(TcdmPort::DmaSrc, seg.src) {
                 return 0;
             }
             tcdm_accesses += 1;
         }
-        if layout::is_tcdm(seg.dst) && !arb.request(seg.dst) {
+        if layout::is_tcdm(seg.dst) && !arb.request(TcdmPort::DmaDst, seg.dst) {
             return tcdm_accesses;
         } else if layout::is_tcdm(seg.dst) {
             tcdm_accesses += 1;
@@ -243,7 +243,7 @@ mod tests {
         dma.set_dst(TCDM_BASE);
         dma.start(8);
         arb.begin_cycle();
-        assert!(arb.request(TCDM_BASE)); // someone else owns bank 0
+        assert!(arb.request(TcdmPort::CoreLsu(0), TCDM_BASE)); // someone else owns bank 0
         assert_eq!(dma.step(&mut mem, &mut arb), 0);
         assert!(!dma.idle());
         arb.begin_cycle();

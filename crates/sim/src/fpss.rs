@@ -16,7 +16,7 @@ use std::collections::VecDeque;
 
 use snitch_riscv::inst::Inst;
 use snitch_riscv::meta::InstClass;
-use snitch_riscv::ops::{FpAluOp, FpCmpOp, FpFmt, IntCvt, SgnjOp};
+use snitch_riscv::ops::{f64_to_i32, f64_to_u32, FpAluOp, FpCmpOp, FpFmt, IntCvt, SgnjOp};
 use snitch_riscv::reg::{FpReg, IntReg};
 
 use crate::config::ClusterConfig;
@@ -185,9 +185,11 @@ impl Fpss {
     ///
     /// Returns a [`SimFault`] on malformed programs (FREP body overflow or
     /// non-FP instructions inside a capture) and on memory faults.
+    #[allow(clippy::too_many_arguments)]
     pub fn step(
         &mut self,
         now: u64,
+        hart: u8,
         cfg: &ClusterConfig,
         mem: &mut Memory,
         arb: &mut TcdmArbiter,
@@ -239,22 +241,22 @@ impl Fpss {
                             stagger_mask,
                             inst_major,
                         };
-                        return self.step_capture(now, cfg, mem, arb, ssrs, stats);
+                        return self.step_capture(now, hart, cfg, mem, arb, ssrs, stats);
                     }
-                    if self.try_issue(front, 0, now, cfg, mem, arb, ssrs, stats)? {
+                    if self.try_issue(front, 0, now, hart, cfg, mem, arb, ssrs, stats)? {
                         self.fifo.pop_front();
                         stats.fpu_busy_cycles += 1;
                     }
                 }
                 Ok(())
             }
-            SeqState::Capture { .. } => self.step_capture(now, cfg, mem, arb, ssrs, stats),
+            SeqState::Capture { .. } => self.step_capture(now, hart, cfg, mem, arb, ssrs, stats),
             SeqState::Replay { iter, total, pos, stagger_max, stagger_mask, inst_major } => {
                 let entry = self.ring[pos];
                 let offset =
                     if stagger_max == 0 { 0 } else { (iter % (u32::from(stagger_max) + 1)) as u8 };
                 let staggered = stagger_entry(entry, stagger_mask, offset);
-                if self.try_issue(staggered, offset, now, cfg, mem, arb, ssrs, stats)? {
+                if self.try_issue(staggered, offset, now, hart, cfg, mem, arb, ssrs, stats)? {
                     stats.fp_issued_seq += 1;
                     stats.fpu_busy_cycles += 1;
                     // Advance: sequence-major (frep.o) wraps positions per
@@ -301,9 +303,11 @@ impl Fpss {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn step_capture(
         &mut self,
         now: u64,
+        hart: u8,
         cfg: &ClusterConfig,
         mem: &mut Memory,
         arb: &mut TcdmArbiter,
@@ -323,7 +327,7 @@ impl Fpss {
                 front.inst
             )));
         }
-        if self.try_issue(front, 0, now, cfg, mem, arb, ssrs, stats)? {
+        if self.try_issue(front, 0, now, hart, cfg, mem, arb, ssrs, stats)? {
             self.fifo.pop_front();
             stats.fpu_busy_cycles += 1;
             self.ring.push(front);
@@ -366,6 +370,7 @@ impl Fpss {
         entry: OffloadEntry,
         _stagger_offset: u8,
         now: u64,
+        hart: u8,
         cfg: &ClusterConfig,
         mem: &mut Memory,
         arb: &mut TcdmArbiter,
@@ -422,7 +427,7 @@ impl Fpss {
         if matches!(class, InstClass::FpLoad | InstClass::FpStore) {
             let addr = entry.int_val.expect("fp load/store carries its address");
             if layout::is_tcdm(addr) {
-                if !arb.request(addr) {
+                if !arb.request(crate::mem::TcdmPort::FpLsu(hart), addr) {
                     stats.fpu_stall_tcdm += 1;
                     return Ok(false);
                 }
@@ -652,34 +657,6 @@ fn classify_f64(v: f64) -> u32 {
     }
 }
 
-/// `fcvt.w.d` semantics: truncate with RISC-V saturation rules.
-/// (The NaN arm intentionally matches the +overflow arm, per the spec.)
-#[allow(clippy::if_same_then_else)]
-fn f64_to_i32(v: f64) -> i32 {
-    if v.is_nan() {
-        i32::MAX
-    } else if v >= i32::MAX as f64 {
-        i32::MAX
-    } else if v <= i32::MIN as f64 {
-        i32::MIN
-    } else {
-        v as i32
-    }
-}
-
-#[allow(clippy::if_same_then_else)]
-fn f64_to_u32(v: f64) -> u32 {
-    if v.is_nan() {
-        u32::MAX
-    } else if v >= u32::MAX as f64 {
-        u32::MAX
-    } else if v <= 0.0 {
-        0
-    } else {
-        v as u32
-    }
-}
-
 /// Functional evaluation of one FP instruction on operand `bits`
 /// (gathered in [`fp_sources`] order).
 fn exec_fp(
@@ -869,7 +846,7 @@ mod tests {
             rs2: FpReg::FA2,
         }));
         arb.begin_cycle();
-        fpss.step(0, &cfg, &mut mem, &mut arb, &mut ssrs, &mut stats).unwrap();
+        fpss.step(0, 0, &cfg, &mut mem, &mut arb, &mut ssrs, &mut stats).unwrap();
         assert_eq!(f64::from_bits(fpss.reg(FpReg::FA0)), 5.0);
         assert!(!fpss.drained(0), "latency still in flight");
         assert!(fpss.drained(u64::from(cfg.fpu_lat_muladd)));
@@ -898,7 +875,7 @@ mod tests {
         for now in 0..10u64 {
             arb.begin_cycle();
             let before = stats.fpu_busy_cycles;
-            fpss.step(now, &cfg, &mut mem, &mut arb, &mut ssrs, &mut stats).unwrap();
+            fpss.step(now, 0, &cfg, &mut mem, &mut arb, &mut ssrs, &mut stats).unwrap();
             if stats.fpu_busy_cycles > before {
                 issue_cycles.push(now);
             }
@@ -928,7 +905,7 @@ mod tests {
         let mut now = 0;
         while !fpss.drained(now) {
             arb.begin_cycle();
-            fpss.step(now, &cfg, &mut mem, &mut arb, &mut ssrs, &mut stats).unwrap();
+            fpss.step(now, 0, &cfg, &mut mem, &mut arb, &mut ssrs, &mut stats).unwrap();
             now += 1;
             assert!(now < 100, "frep must converge");
         }
@@ -947,7 +924,7 @@ mod tests {
             int_val: Some(1),
         });
         arb.begin_cycle();
-        let err = fpss.step(0, &cfg, &mut mem, &mut arb, &mut ssrs, &mut stats).unwrap_err();
+        let err = fpss.step(0, 0, &cfg, &mut mem, &mut arb, &mut ssrs, &mut stats).unwrap_err();
         assert!(err.to_string().contains("sequencer depth"));
     }
 
@@ -965,7 +942,7 @@ mod tests {
             rs2: FpReg::FA1,
         }));
         arb.begin_cycle();
-        fpss.step(0, &cfg, &mut mem, &mut arb, &mut ssrs, &mut stats).unwrap();
+        fpss.step(0, 0, &cfg, &mut mem, &mut arb, &mut ssrs, &mut stats).unwrap();
         assert!(fpss.take_int_writebacks(0).is_empty());
         let wbs = fpss.take_int_writebacks(u64::from(cfg.fpu_lat_short));
         assert_eq!(wbs, vec![IntWriteback { rd: IntReg::A0, value: 1 }]);
@@ -987,7 +964,7 @@ mod tests {
         let mut now = 0;
         while !fpss.drained(now) {
             arb.begin_cycle();
-            fpss.step(now, &cfg, &mut mem, &mut arb, &mut ssrs, &mut stats).unwrap();
+            fpss.step(now, 0, &cfg, &mut mem, &mut arb, &mut ssrs, &mut stats).unwrap();
             now += 1;
         }
         assert_eq!(fpss.reg(FpReg::FA0), 1, "comparison result as integer bits");

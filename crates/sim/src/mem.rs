@@ -7,29 +7,43 @@
 
 use snitch_asm::layout;
 
-/// Identifies a TCDM master port for arbitration and statistics.
+/// Identifies a TCDM master port for arbitration and statistics. With a
+/// multi-core cluster every per-core unit is a distinct port, so the arbiter
+/// can attribute a stalled request to its requester.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum TcdmPort {
-    /// Integer-core load/store unit.
-    CoreLsu,
-    /// FP-subsystem load/store unit.
-    FpLsu,
-    /// SSR data mover 0..2.
-    Ssr(usize),
-    /// Cluster DMA engine.
-    Dma,
+    /// Integer-core load/store unit of hart `h`.
+    CoreLsu(u8),
+    /// FP-subsystem load/store unit of hart `h`.
+    FpLsu(u8),
+    /// SSR data mover `(hart, streamer 0..2)`.
+    Ssr(u8, u8),
+    /// Cluster DMA engine, source side.
+    DmaSrc,
+    /// Cluster DMA engine, destination side.
+    DmaDst,
 }
 
 /// Per-cycle TCDM bank arbiter.
 ///
-/// Banks are 64-bit wide and interleaved at 8-byte granularity. Each bank
-/// serves one request per cycle; the caller order in `Cluster::step`
-/// establishes the fixed priority (core > FP LSU > SSR0..2 > DMA).
+/// Banks are 64-bit wide and interleaved at 8-byte granularity (`addr >> 3`
+/// selects the bank — matching the 64-bit banking the SSR and LSU data paths
+/// assume). Each bank serves one request per cycle; the caller order in
+/// `Cluster::step` establishes the fixed priority (hart 0 > hart 1 > ... and,
+/// within a hart, core > FP LSU > SSR0..2; the DMA engine arbitrates last).
+///
+/// A denied request is retried by the requesting unit every cycle until
+/// granted, but is counted as **one** conflict, not one per retry cycle —
+/// `conflicts` counts distinct stalled requests, so the statistic stays
+/// linear in the amount of contention rather than in its duration.
 #[derive(Clone, Debug)]
 pub struct TcdmArbiter {
     banks: usize,
     granted: Vec<bool>,
     conflicts: u64,
+    /// Ports whose in-flight request has already been counted as a conflict
+    /// (cleared when the port's retry is finally granted).
+    stalled: Vec<TcdmPort>,
 }
 
 impl TcdmArbiter {
@@ -37,10 +51,12 @@ impl TcdmArbiter {
     #[must_use]
     pub fn new(banks: usize) -> Self {
         assert!(banks.is_power_of_two(), "bank count must be a power of two");
-        TcdmArbiter { banks, granted: vec![false; banks], conflicts: 0 }
+        TcdmArbiter { banks, granted: vec![false; banks], conflicts: 0, stalled: Vec::new() }
     }
 
-    /// Clears all grants at the start of a cycle.
+    /// Clears all grants at the start of a cycle. (Stall tracking persists:
+    /// a request denied last cycle that retries this cycle is the same
+    /// request.)
     pub fn begin_cycle(&mut self) {
         self.granted.fill(false);
     }
@@ -51,20 +67,28 @@ impl TcdmArbiter {
         ((addr >> 3) as usize) & (self.banks - 1)
     }
 
-    /// Requests the bank serving `addr` for this cycle. Returns whether the
-    /// request was granted; denied requests are counted as conflicts.
-    pub fn request(&mut self, addr: u32) -> bool {
+    /// Requests the bank serving `addr` for `port` this cycle. Returns
+    /// whether the request was granted; a denied request is counted as one
+    /// conflict the first time it is denied (retries of the same stalled
+    /// request do not re-count).
+    pub fn request(&mut self, port: TcdmPort, addr: u32) -> bool {
         let bank = self.bank_of(addr);
         if self.granted[bank] {
-            self.conflicts += 1;
+            if !self.stalled.contains(&port) {
+                self.conflicts += 1;
+                self.stalled.push(port);
+            }
             false
         } else {
             self.granted[bank] = true;
+            if let Some(i) = self.stalled.iter().position(|p| *p == port) {
+                self.stalled.swap_remove(i);
+            }
             true
         }
     }
 
-    /// Total denied requests so far.
+    /// Total distinct stalled requests so far.
     #[must_use]
     pub fn conflicts(&self) -> u64 {
         self.conflicts
@@ -251,16 +275,65 @@ mod tests {
         assert_eq!(m.read_f64(layout::TCDM_BASE).unwrap(), std::f64::consts::PI);
     }
 
+    const P0: TcdmPort = TcdmPort::CoreLsu(0);
+    const P1: TcdmPort = TcdmPort::CoreLsu(1);
+
     #[test]
     fn arbiter_grants_one_per_bank() {
         let mut a = TcdmArbiter::new(4);
         a.begin_cycle();
-        assert!(a.request(layout::TCDM_BASE)); // bank 0
-        assert!(a.request(layout::TCDM_BASE + 8)); // bank 1
-        assert!(!a.request(layout::TCDM_BASE + 4 * 8)); // bank 0 again: conflict
+        assert!(a.request(P0, layout::TCDM_BASE)); // bank 0
+        assert!(a.request(P0, layout::TCDM_BASE + 8)); // bank 1
+        assert!(!a.request(P1, layout::TCDM_BASE + 4 * 8)); // bank 0 again: conflict
         assert_eq!(a.conflicts(), 1);
         a.begin_cycle();
-        assert!(a.request(layout::TCDM_BASE + 4 * 8)); // free again
+        assert!(a.request(P1, layout::TCDM_BASE + 4 * 8)); // free again
+    }
+
+    #[test]
+    fn stalled_request_counts_one_conflict_across_retries() {
+        // Port 1 loses bank 0 to port 0 for five consecutive cycles, then
+        // finally wins: that is ONE stalled request, not five conflicts.
+        let mut a = TcdmArbiter::new(32);
+        for _ in 0..5 {
+            a.begin_cycle();
+            assert!(a.request(P0, layout::TCDM_BASE));
+            assert!(!a.request(P1, layout::TCDM_BASE));
+        }
+        a.begin_cycle();
+        assert!(a.request(P1, layout::TCDM_BASE), "uncontended retry is granted");
+        assert_eq!(a.conflicts(), 1, "retries of one stalled request must not re-count");
+    }
+
+    #[test]
+    fn two_stream_conflict_count_is_pinned() {
+        // Regression: two SSR-style streams walking the TCDM with 8-byte
+        // stride, offset so they collide on every second element. Stream A
+        // (higher priority) always wins; stream B conflicts once per
+        // colliding element and then drains it the next cycle.
+        // Pattern per element pair: cycle k — A@bank b granted, B@bank b
+        // denied (1 conflict); cycle k+1 — B@bank b granted (A idle).
+        let mut a = TcdmArbiter::new(32);
+        let sa = TcdmPort::Ssr(0, 0);
+        let sb = TcdmPort::Ssr(1, 0);
+        let mut granted_b = 0;
+        for elem in 0..8u32 {
+            a.begin_cycle();
+            assert!(a.request(sa, layout::TCDM_BASE + elem * 8));
+            assert!(!a.request(sb, layout::TCDM_BASE + elem * 8));
+            a.begin_cycle();
+            assert!(a.request(sb, layout::TCDM_BASE + elem * 8));
+            granted_b += 1;
+        }
+        assert_eq!(granted_b, 8);
+        assert_eq!(a.conflicts(), 8, "exactly one conflict per colliding element");
+        // Distinct ports stall independently: both denied in one cycle is
+        // two conflicts.
+        a.begin_cycle();
+        assert!(a.request(P0, layout::TCDM_BASE));
+        assert!(!a.request(sa, layout::TCDM_BASE));
+        assert!(!a.request(sb, layout::TCDM_BASE));
+        assert_eq!(a.conflicts(), 10);
     }
 
     #[test]

@@ -15,7 +15,7 @@ use std::collections::VecDeque;
 
 use snitch_riscv::csr::SsrCfgWord;
 
-use crate::mem::{Memory, TcdmArbiter};
+use crate::mem::{Memory, TcdmArbiter, TcdmPort};
 
 /// Shadow configuration written by `scfgwi`.
 #[derive(Clone, Copy, Debug, Default)]
@@ -229,21 +229,21 @@ impl Ssr {
     // ------------------------------------------------------------- timing
 
     /// One cycle of streamer work: fill the read FIFO or drain the write
-    /// FIFO, with TCDM bank arbitration. Returns the number of TCDM accesses
-    /// performed (0 or 1).
-    pub fn step(&mut self, mem: &mut Memory, arb: &mut TcdmArbiter) -> u32 {
+    /// FIFO, with TCDM bank arbitration as `port`. Returns the number of
+    /// TCDM accesses performed (0 or 1).
+    pub fn step(&mut self, mem: &mut Memory, arb: &mut TcdmArbiter, port: TcdmPort) -> u32 {
         if !self.active || self.done_generating && self.cfg.write_mode && self.data_fifo.is_empty()
         {
             return 0;
         }
         if self.cfg.write_mode {
-            self.step_write(mem, arb)
+            self.step_write(mem, arb, port)
         } else {
-            self.step_read(mem, arb)
+            self.step_read(mem, arb, port)
         }
     }
 
-    fn step_read(&mut self, mem: &mut Memory, arb: &mut TcdmArbiter) -> u32 {
+    fn step_read(&mut self, mem: &mut Memory, arb: &mut TcdmArbiter, port: TcdmPort) -> u32 {
         if self.done_generating {
             return 0;
         }
@@ -258,7 +258,7 @@ impl Ssr {
                 None => {
                     let idx_bytes = 1u32 << self.cfg.idx_size_log2;
                     let idx_addr = self.cfg.idx_base.wrapping_add(self.idx_counter * idx_bytes);
-                    if !arb.request(idx_addr) {
+                    if !arb.request(port, idx_addr) {
                         return 0;
                     }
                     let idx = mem.read(idx_addr, idx_bytes).expect("issr index fetch") as u32;
@@ -268,7 +268,7 @@ impl Ssr {
                 }
                 Some(idx) => {
                     let addr = self.cfg.base.wrapping_add(idx * self.elem_bytes());
-                    if !arb.request(addr) {
+                    if !arb.request(port, addr) {
                         return 0;
                     }
                     let bits = self.read_elem(mem, addr);
@@ -279,7 +279,7 @@ impl Ssr {
             }
         } else {
             let addr = self.current_addr();
-            if !arb.request(addr) {
+            if !arb.request(port, addr) {
                 return 0;
             }
             let bits = self.read_elem(mem, addr);
@@ -302,12 +302,12 @@ impl Ssr {
         }
     }
 
-    fn step_write(&mut self, mem: &mut Memory, arb: &mut TcdmArbiter) -> u32 {
+    fn step_write(&mut self, mem: &mut Memory, arb: &mut TcdmArbiter, port: TcdmPort) -> u32 {
         let Some(&bits) = self.data_fifo.front() else {
             return 0;
         };
         let addr = self.current_addr();
-        if !arb.request(addr) {
+        if !arb.request(port, addr) {
             return 0;
         }
         mem.write(addr, self.elem_bytes(), bits).expect("ssr data store");
@@ -349,7 +349,7 @@ mod tests {
         let mut popped = Vec::new();
         for _ in 0..16 {
             arb.begin_cycle();
-            s.step(&mut mem, &mut arb);
+            s.step(&mut mem, &mut arb, TcdmPort::Ssr(0, 0));
             if s.read_available() {
                 popped.push(s.pop());
             }
@@ -374,7 +374,7 @@ mod tests {
         let mut popped = Vec::new();
         for _ in 0..16 {
             arb.begin_cycle();
-            s.step(&mut mem, &mut arb);
+            s.step(&mut mem, &mut arb, TcdmPort::Ssr(0, 0));
             while s.read_available() {
                 popped.push(s.pop());
             }
@@ -402,7 +402,7 @@ mod tests {
         let mut popped = Vec::new();
         for _ in 0..20 {
             arb.begin_cycle();
-            s.step(&mut mem, &mut arb);
+            s.step(&mut mem, &mut arb, TcdmPort::Ssr(0, 0));
             while s.read_available() {
                 popped.push(s.pop());
             }
@@ -427,7 +427,7 @@ mod tests {
         assert!(s.busy());
         for _ in 0..8 {
             arb.begin_cycle();
-            s.step(&mut mem, &mut arb);
+            s.step(&mut mem, &mut arb, TcdmPort::Ssr(0, 0));
         }
         assert!(!s.busy());
         assert_eq!(mem.read(TCDM_BASE + 64, 8).unwrap(), 10);
@@ -456,7 +456,7 @@ mod tests {
         let mut popped = Vec::new();
         for _ in 0..20 {
             arb.begin_cycle();
-            s.step(&mut mem, &mut arb);
+            s.step(&mut mem, &mut arb, TcdmPort::Ssr(0, 0));
             while s.read_available() {
                 popped.push(s.pop());
             }
@@ -480,7 +480,7 @@ mod tests {
         let mut popped = Vec::new();
         for _ in 0..8 {
             arb.begin_cycle();
-            s.step(&mut mem, &mut arb);
+            s.step(&mut mem, &mut arb, TcdmPort::Ssr(0, 0));
             while s.read_available() {
                 popped.push(s.pop());
             }
@@ -496,7 +496,7 @@ mod tests {
         // Never pop: the streamer must stop at FIFO capacity.
         for _ in 0..32 {
             arb.begin_cycle();
-            s.step(&mut mem, &mut arb);
+            s.step(&mut mem, &mut arb, TcdmPort::Ssr(0, 0));
         }
         assert_eq!(s.beats(), 4, "prefetch limited by fifo depth");
     }

@@ -42,6 +42,8 @@ pub struct Stats {
     pub stall_tcdm_conflict: u64,
     /// Integer load stalled behind queued FP stores (memory ordering).
     pub stall_store_order: u64,
+    /// Core stalled at the cluster hardware barrier.
+    pub stall_barrier: u64,
 
     // ---- instruction fetch ----
     /// Fetches served by the L0 loop buffer.
@@ -120,6 +122,56 @@ impl Stats {
         }
     }
 
+    /// Adds `other` field-wise into `self` (the per-core → cluster rollup;
+    /// `cycles` is deliberately excluded — elapsed time does not sum across
+    /// cores stepping in lockstep, the caller sets it).
+    pub fn accumulate(&mut self, other: &Stats) {
+        macro_rules! acc {
+            ($($f:ident),* $(,)?) => {
+                $( self.$f += other.$f; )*
+            };
+        }
+        acc!(
+            int_issued,
+            fp_issued_core,
+            fp_issued_seq,
+            stall_int_raw,
+            stall_wb_port,
+            stall_offload_full,
+            stall_fp_pending,
+            stall_ssr_cfg,
+            stall_fence,
+            stall_branch,
+            stall_tcdm_conflict,
+            stall_store_order,
+            stall_barrier,
+            l0_hits,
+            l0_misses,
+            fpu_muladd_ops,
+            fpu_short_ops,
+            fpu_cvt_ops,
+            fpu_divsqrt_ops,
+            fp_mem_ops,
+            fpu_busy_cycles,
+            seq_active_cycles,
+            fpu_stall_raw,
+            fpu_stall_ssr,
+            fpu_stall_tcdm,
+            tcdm_core_accesses,
+            tcdm_fp_accesses,
+            tcdm_ssr_accesses,
+            tcdm_dma_accesses,
+            tcdm_conflicts,
+            main_mem_accesses,
+            dma_busy_cycles,
+            dma_beats,
+        );
+        for i in 0..3 {
+            self.ssr_beats[i] += other.ssr_beats[i];
+            self.ssr_active_cycles[i] += other.ssr_active_cycles[i];
+        }
+    }
+
     /// Difference of two stats snapshots (for steady-state windows):
     /// `self - earlier`, field by field.
     ///
@@ -154,6 +206,7 @@ impl Stats {
             stall_branch,
             stall_tcdm_conflict,
             stall_store_order,
+            stall_barrier,
             l0_hits,
             l0_misses,
             fpu_muladd_ops,
@@ -192,7 +245,7 @@ impl std::fmt::Display for Stats {
         writeln!(f, "ipc               {:>12.3}", self.ipc())?;
         writeln!(
             f,
-            "stalls: raw {} wb-port {} offload {} fp-pending {} ssr-cfg {} fence {} branch {} tcdm {}",
+            "stalls: raw {} wb-port {} offload {} fp-pending {} ssr-cfg {} fence {} branch {} tcdm {} barrier {}",
             self.stall_int_raw,
             self.stall_wb_port,
             self.stall_offload_full,
@@ -200,7 +253,8 @@ impl std::fmt::Display for Stats {
             self.stall_ssr_cfg,
             self.stall_fence,
             self.stall_branch,
-            self.stall_tcdm_conflict
+            self.stall_tcdm_conflict,
+            self.stall_barrier
         )?;
         writeln!(f, "l0: hits {} misses {}", self.l0_hits, self.l0_misses)?;
         writeln!(

@@ -4,6 +4,7 @@
 
 use copift_repro::copift::estimate::{s_double_prime, thread_imbalance, MixCounts};
 use copift_repro::kernels::registry::{Kernel, Variant};
+use copift_repro::riscv::ops::{AluImmOp, AluOp};
 
 /// Any legal (n, block) configuration of the Monte Carlo kernels validates
 /// bit-exactly in both variants.
@@ -38,6 +39,123 @@ fn logf_validates_for_any_legal_config() {
         let n = blocks * block;
         Kernel::Logf.run(Variant::Baseline, n, block).expect("baseline validates");
         Kernel::Logf.run(Variant::Copift, n, block).expect("copift validates");
+    }
+}
+
+/// Boundary-heavy operand grid for the integer-op properties.
+fn interesting_u32() -> Vec<u32> {
+    vec![
+        0,
+        1,
+        2,
+        3,
+        31,
+        32,
+        0x7fff_ffff, // i32::MAX
+        0x8000_0000, // i32::MIN
+        0x8000_0001,
+        0xffff_fffe,
+        0xffff_ffff, // -1
+        0x1234_5678,
+        0xdead_beef,
+    ]
+}
+
+/// RV32 shifts use only the low five bits of the shift amount, for both the
+/// register (`sll`/`srl`/`sra`) and immediate (`slli`/`srli`/`srai`) forms.
+#[test]
+fn shift_amounts_mask_to_five_bits() {
+    let amounts = [0u32, 1, 5, 31, 32, 33, 63, 64, 255, 0x8000_001f, u32::MAX];
+    for &v in &interesting_u32() {
+        for &sh in &amounts {
+            let m = sh & 31;
+            assert_eq!(AluOp::Sll.eval(v, sh), v << m, "sll {v:#x} by {sh}");
+            assert_eq!(AluOp::Srl.eval(v, sh), v >> m, "srl {v:#x} by {sh}");
+            assert_eq!(AluOp::Sra.eval(v, sh), ((v as i32) >> m) as u32, "sra {v:#x} by {sh}");
+            // Immediate forms see the same masking of their imm field.
+            assert_eq!(AluImmOp::Slli.eval(v, sh as i32), v << m);
+            assert_eq!(AluImmOp::Srli.eval(v, sh as i32), v >> m);
+            assert_eq!(AluImmOp::Srai.eval(v, sh as i32), ((v as i32) >> m) as u32);
+        }
+    }
+}
+
+/// RISC-V division corner cases: divide-by-zero yields all-ones / the
+/// dividend (never a trap), and `i32::MIN / -1` wraps. Everything else must
+/// satisfy the Euclidean reconstruction `div * b + rem == a`.
+#[test]
+fn div_rem_zero_overflow_and_reconstruction() {
+    for &a in &interesting_u32() {
+        // Divide by zero: mandated results, no trap.
+        assert_eq!(AluOp::Div.eval(a, 0), u32::MAX, "div {a:#x} / 0");
+        assert_eq!(AluOp::Divu.eval(a, 0), u32::MAX);
+        assert_eq!(AluOp::Rem.eval(a, 0), a, "rem {a:#x} % 0 keeps the dividend");
+        assert_eq!(AluOp::Remu.eval(a, 0), a);
+        for &b in &interesting_u32() {
+            if b == 0 {
+                continue;
+            }
+            if a as i32 == i32::MIN && b as i32 == -1 {
+                // Signed overflow wraps: quotient i32::MIN, remainder 0.
+                assert_eq!(AluOp::Div.eval(a, b), i32::MIN as u32);
+                assert_eq!(AluOp::Rem.eval(a, b), 0);
+            } else {
+                let (q, r) = (AluOp::Div.eval(a, b) as i32, AluOp::Rem.eval(a, b) as i32);
+                assert_eq!(
+                    (q as i64) * (b as i32 as i64) + i64::from(r),
+                    i64::from(a as i32),
+                    "signed reconstruction for {a:#x} / {b:#x}"
+                );
+                assert!(r == 0 || (r < 0) == ((a as i32) < 0), "remainder sign follows dividend");
+            }
+            let (q, r) = (AluOp::Divu.eval(a, b), AluOp::Remu.eval(a, b));
+            assert_eq!(u64::from(q) * u64::from(b) + u64::from(r), u64::from(a));
+            assert!(r < b);
+        }
+    }
+}
+
+/// `slt`/`sltu` and their immediate forms at the sign boundaries: the
+/// signed/unsigned split flips exactly at `i32::MIN`, and the immediate is
+/// sign-extended *then* compared unsigned for `sltiu` (so `sltiu x, -1`
+/// means "less than 0xffff_ffff").
+#[test]
+fn slt_sign_boundaries() {
+    for &a in &interesting_u32() {
+        for &b in &interesting_u32() {
+            assert_eq!(AluOp::Slt.eval(a, b), u32::from((a as i32) < (b as i32)));
+            assert_eq!(AluOp::Sltu.eval(a, b), u32::from(a < b));
+        }
+        for imm in [-2048i32, -1, 0, 1, 2047] {
+            assert_eq!(AluImmOp::Slti.eval(a, imm), u32::from((a as i32) < imm));
+            assert_eq!(AluImmOp::Sltiu.eval(a, imm), u32::from(a < imm as u32));
+        }
+    }
+    // The canonical flip: -1 is smaller than 0 signed, larger unsigned.
+    assert_eq!(AluOp::Slt.eval(u32::MAX, 0), 1);
+    assert_eq!(AluOp::Sltu.eval(u32::MAX, 0), 0);
+    assert_eq!(AluImmOp::Sltiu.eval(0, -1), 1, "sltiu against sign-extended -1");
+}
+
+/// Any legal (n, block, cores) configuration of the data-parallel Monte
+/// Carlo kernels validates bit-exactly against the single-core golden model
+/// in both variants.
+#[test]
+fn parallel_mc_validates_for_any_legal_config() {
+    use copift_repro::sim::config::ClusterConfig;
+    for kernel in [Kernel::PiLcgPar, Kernel::PiXoshiroPar] {
+        for (cores, blocks_per_hart, block_batches) in [(2, 2, 2), (4, 3, 1), (8, 2, 1), (5, 2, 3)]
+        {
+            let block = block_batches * 8;
+            let n = cores * blocks_per_hart * block;
+            let cfg = ClusterConfig { cores, ..ClusterConfig::default() };
+            kernel
+                .run_with(Variant::Baseline, n, 0, cfg.clone())
+                .unwrap_or_else(|e| panic!("{} base x{cores} n={n}: {e}", kernel.name()));
+            kernel
+                .run_with(Variant::Copift, n, block, cfg)
+                .unwrap_or_else(|e| panic!("{} copift x{cores} n={n}: {e}", kernel.name()));
+        }
     }
 }
 
