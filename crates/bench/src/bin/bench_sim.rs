@@ -1,15 +1,124 @@
-//! `bench_sim` — host-side simulator-throughput benchmark.
+//! `bench_sim` — host-side simulator-throughput benchmark and tracing
+//! overhead guard.
 //!
 //! Runs the fixed smoke batch (every built-in kernel, both variants, small
 //! sizes) on a single worker and reports *simulated instructions per
 //! host-second* — the one number that tracks the simulator's hot-path
 //! performance across PRs. Writes `BENCH_sim.json` into the current
-//! directory; CI runs it as a smoke (no thresholds), so the trajectory is
-//! recorded from this PR onward without gating merges on a noisy metric.
+//! directory; CI runs it as a smoke (no thresholds on the absolute number),
+//! so the trajectory is recorded without gating merges on a noisy metric.
+//!
+//! It then asserts the **tracing overhead guard**: re-running the batch
+//! with the trace hook compiled in and *attached but disabled* (a paused
+//! `Tracer`, the worst case for the hook's branches) must stay within 2%
+//! of the untraced path. The hook is required to be a no-op branch — no
+//! event construction, no allocation — and this guard is where that
+//! requirement is enforced.
 
 use std::time::Instant;
 
+use snitch_asm::program::Program;
 use snitch_engine::{job, Engine};
+use snitch_sim::cluster::Cluster;
+use snitch_sim::config::ClusterConfig;
+use snitch_trace::Tracer;
+
+/// Timed passes per measurement (the guard compares minima over repeats).
+/// Sized so one measurement spans a few hundred milliseconds: a 2% ratio of
+/// a too-short window would gate CI on scheduler noise rather than on the
+/// hook's cost.
+const GUARD_PASSES: usize = 8;
+/// Interleaved measurement repeats per path.
+const GUARD_REPEATS: usize = 5;
+/// Allowed disabled-hook slowdown relative to the untraced path.
+const GUARD_TOLERANCE: f64 = 1.02;
+
+/// One timed pass over the pre-built batch: reset, (optionally) attach a
+/// paused tracer, load, run. Returns (wall seconds, total simulated cycles).
+fn guard_pass(programs: &[Program], paused_tracer: bool) -> (f64, u64) {
+    let mut cluster = Cluster::new(ClusterConfig::default());
+    let mut cycles = 0u64;
+    let t0 = Instant::now();
+    for _ in 0..GUARD_PASSES {
+        for program in programs {
+            cluster.reset();
+            if paused_tracer {
+                cluster.attach_tracer(Tracer::paused());
+            }
+            cluster.load_program(program);
+            let stats = cluster.run().expect("smoke program completes");
+            cycles += std::hint::black_box(stats.cycles);
+        }
+    }
+    (t0.elapsed().as_secs_f64(), cycles)
+}
+
+/// Re-measurement attempts before the guard fails: wall-clock noise on a
+/// shared/oversubscribed host can exceed the tolerance in either direction,
+/// while a real hook regression (an allocation, event construction on the
+/// cold branch) is systematic and fails every attempt.
+const GUARD_ATTEMPTS: usize = 3;
+
+/// One guard attempt: minimum wall time per path over [`GUARD_REPEATS`]
+/// interleaved measurements, alternating which path runs first so drift
+/// (frequency ramp, cache warm-up) hits both equally. Returns
+/// `(untraced, disabled)` seconds.
+fn guard_attempt(programs: &[Program]) -> (f64, f64) {
+    let mut untraced = f64::INFINITY;
+    let mut disabled = f64::INFINITY;
+    for rep in 0..GUARD_REPEATS {
+        let order = if rep % 2 == 0 { [false, true] } else { [true, false] };
+        for paused in order {
+            let (t, _) = guard_pass(programs, paused);
+            if paused {
+                disabled = disabled.min(t);
+            } else {
+                untraced = untraced.min(t);
+            }
+        }
+    }
+    (untraced, disabled)
+}
+
+/// The tracing overhead guard: wall time with a paused tracer attached must
+/// stay within [`GUARD_TOLERANCE`] of the untraced path on at least one of
+/// [`GUARD_ATTEMPTS`] measurement rounds.
+fn tracing_overhead_guard(programs: &[Program]) {
+    // Simulation equality is exact and checked once, outside the timing.
+    assert_eq!(
+        guard_pass(programs, false).1,
+        guard_pass(programs, true).1,
+        "a paused tracer must not perturb the simulation by a single cycle"
+    );
+    let mut last = (0.0, 0.0);
+    for attempt in 1..=GUARD_ATTEMPTS {
+        let (untraced, disabled) = guard_attempt(programs);
+        last = (untraced, disabled);
+        let ratio = disabled / untraced;
+        if ratio <= GUARD_TOLERANCE {
+            eprintln!(
+                "bench_sim: tracing overhead guard ok — disabled hook {:+.2}% vs untraced \
+                 ({disabled:.4}s vs {untraced:.4}s over {GUARD_PASSES} passes, \
+                 min of {GUARD_REPEATS}, attempt {attempt}/{GUARD_ATTEMPTS})",
+                (ratio - 1.0) * 100.0,
+            );
+            return;
+        }
+        eprintln!(
+            "bench_sim: overhead guard attempt {attempt}/{GUARD_ATTEMPTS}: disabled hook \
+             {:+.2}% vs untraced — re-measuring",
+            (ratio - 1.0) * 100.0,
+        );
+    }
+    panic!(
+        "tracing-disabled path is consistently more than {:.0}% slower than untraced \
+         ({:.4}s vs {:.4}s on the final attempt): the trace hook must stay a no-op \
+         branch with no allocation",
+        (GUARD_TOLERANCE - 1.0) * 100.0,
+        last.1,
+        last.0,
+    );
+}
 
 fn main() {
     // One worker: a per-core throughput number, independent of host core
@@ -48,4 +157,11 @@ fn main() {
         records.len(),
         ips / 1e6,
     );
+
+    // The overhead guard runs the same smoke programs through a bare
+    // cluster loop (no engine, no validation) so the comparison isolates
+    // the simulator hot path the hook sits on.
+    let programs: Vec<Program> =
+        jobs.iter().map(|j| j.kernel.build_for(j.variant, j.n, j.block, j.config.cores)).collect();
+    tracing_overhead_guard(&programs);
 }

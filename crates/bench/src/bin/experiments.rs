@@ -8,10 +8,11 @@
 use std::fmt::Write as _;
 
 use snitch_bench::{
-    extended_tables, fig3_grid, geomean, scaling_rows, scaling_tables, Fig2Row, FIG3_BLOCKS,
-    FIG3_SIZES, SCALING_CORES,
+    extended_tables, fig3_grid, geomean, overlap_rows, overlap_strip, overlap_tables, scaling_rows,
+    scaling_tables, Fig2Row, FIG3_BLOCKS, FIG3_SIZES, SCALING_CORES,
 };
 use snitch_engine::Engine;
+use snitch_kernels::registry::Variant;
 use snitch_kernels::Kernel;
 
 fn main() {
@@ -188,6 +189,45 @@ fn main() {
          conflicts, which are zero on one core and grow with the hart count while\n\
          staying a small fraction of all accesses at 32 banks.\n",
         geomean(&s8),
+    );
+
+    // ---- Overlap profile ----
+    let _ = writeln!(out, "## Overlap profile — per-cycle dual-issue occupancy\n");
+    let _ = writeln!(
+        out,
+        "The headline mechanism, observed directly: `snitch-trace` records every\n\
+         issue slot per cycle and decomposes the run into *overlap* (integer core\n\
+         and FREP sequencer issuing in the same cycle — the pseudo-dual-issue the\n\
+         IPC > 1 numbers come from), *core-only*, *frep-only* and *idle* cycles.\n\
+         Baselines never touch the sequencer, so their lanes are serialized by\n\
+         construction; every COPIFT variant shows substantial concurrent lane\n\
+         occupancy. \"Steady IPC\" is the automatic steady-state window (the longest\n\
+         near-peak-throughput plateau, trimming prologue, per-block fences and\n\
+         epilogue). Six paper kernels at their smoke points, hart 0; regenerate\n\
+         with `cargo run --release -p snitch-bench --bin overlap`.\n"
+    );
+    let orows = overlap_rows(&engine);
+    out.push_str(&overlap_tables(&orows));
+    let _ = writeln!(
+        out,
+        "\nThe LCG kernels dual-issue hardest in their steady state (sequencer lane\n\
+         saturated, steady IPC ≈ 1.9) because COPIFT moves the whole FP stream off\n\
+         the integer thread, whose remaining stalls are the mul write-back-port\n\
+         hazard; full-run IPC is diluted by the per-block fences visible as the\n\
+         `fence` bars in the stall attribution. `pi_lcg/copift`'s steady state,\n\
+         as an ASCII strip of the Perfetto timeline:\n"
+    );
+    if let Some(row) =
+        orows.iter().find(|r| r.kernel == Kernel::PiLcg && r.variant == Variant::Copift)
+    {
+        out.push_str(&overlap_strip(row, 64));
+    }
+    let _ = writeln!(
+        out,
+        "\nTrace-derived stall attribution and IPC are asserted **equal to the\n\
+         `Stats` counters, counter for counter**, for every paper kernel\n\
+         (`crates/engine/tests/trace.rs`), so the timeline and the aggregate\n\
+         tables can never tell different stories.\n"
     );
 
     // ---- Known deviations ----

@@ -1,0 +1,25 @@
+//! The overlap-profile driver: traces the six paper kernels in both
+//! variants and prints the per-cycle dual-issue occupancy decomposition
+//! that `EXPERIMENTS.md`'s "Overlap profile" section carries — the
+//! trace-level view behind the paper's pseudo-dual-issue claim (the
+//! `experiments` generator emits the same table through the shared
+//! [`snitch_bench::overlap_tables`] renderer, so the committed file and
+//! this driver can never drift apart). Every job validates bit-exactly
+//! through the engine before its trace counts.
+
+use snitch_bench::{overlap_rows, overlap_strip, overlap_tables};
+use snitch_engine::Engine;
+use snitch_kernels::registry::{Kernel, Variant};
+
+fn main() {
+    let rows = overlap_rows(&Engine::default());
+    print!("{}", overlap_tables(&rows));
+    // A Perfetto-screenshot-equivalent strip of pi_lcg/copift's steady
+    // state (the dual-issue overlap picture in ASCII).
+    if let Some(row) =
+        rows.iter().find(|r| r.kernel == Kernel::PiLcg && r.variant == Variant::Copift)
+    {
+        println!();
+        print!("{}", overlap_strip(row, 64));
+    }
+}

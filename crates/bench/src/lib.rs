@@ -311,3 +311,106 @@ mod tests {
         assert!((row.speedup() - serial.speedup()).abs() < 1e-12);
     }
 }
+
+/// One row of the overlap-profile table: the trace-level per-cycle lane
+/// occupancy of one `(kernel, variant)` run at its smoke point, plus the
+/// analyzed [`Profile`](snitch_trace::Profile) for further rendering.
+#[derive(Clone, Debug)]
+pub struct OverlapRow {
+    /// Kernel.
+    pub kernel: Kernel,
+    /// Code variant.
+    pub variant: Variant,
+    /// Total cycles of the run.
+    pub cycles: u64,
+    /// Full-run IPC.
+    pub ipc: f64,
+    /// The analyzed trace.
+    pub profile: snitch_trace::Profile,
+    /// Hart-0 lane occupancy over the full run.
+    pub occupancy: snitch_trace::Occupancy,
+}
+
+/// Traces the paper's six kernels in both variants at their smoke points
+/// (one engine batch of 12 traced jobs; every run validates bit-exactly
+/// before its trace counts) and analyzes hart 0's lane occupancy.
+///
+/// # Panics
+///
+/// Panics if any run fails validation.
+#[must_use]
+pub fn overlap_rows(engine: &Engine) -> Vec<OverlapRow> {
+    let mut jobs = Vec::new();
+    for kernel in Kernel::paper() {
+        let (n, block) = kernel.smoke_point();
+        for variant in Variant::all() {
+            jobs.push(snitch_engine::JobSpec::new(kernel, variant, n, block).traced());
+        }
+    }
+    let records = engine.run(&jobs);
+    records
+        .iter()
+        .map(|r| {
+            let stats = stats_of(r);
+            let events = r.trace.as_deref().expect("traced job carries events");
+            let profile = snitch_trace::Profile::new(events, stats.cycles);
+            let occupancy = profile.occupancy(0);
+            OverlapRow {
+                kernel: r.job.kernel,
+                variant: r.job.variant,
+                cycles: stats.cycles,
+                ipc: stats.ipc(),
+                profile,
+                occupancy,
+            }
+        })
+        .collect()
+}
+
+/// Renders overlap rows as the EXPERIMENTS.md markdown table (shared by
+/// the `overlap` driver and the `experiments` generator so the committed
+/// file and the ad-hoc driver can never drift apart).
+#[must_use]
+pub fn overlap_tables(rows: &[OverlapRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "| kernel | variant | cycles | IPC | steady IPC | overlap % | core-only % | frep-only % | idle % |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|---|---|---|");
+    for r in rows {
+        let occ = &r.occupancy;
+        let pct = |n: u64| 100.0 * n as f64 / occ.window as f64;
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {:.3} | {:.3} | {:.1} | {:.1} | {:.1} | {:.1} |",
+            r.kernel.name(),
+            r.variant.name(),
+            r.cycles,
+            r.ipc,
+            r.profile.steady_ipc(),
+            pct(occ.overlap),
+            pct(occ.core_busy - occ.overlap),
+            pct(occ.frep_busy - occ.overlap),
+            pct(occ.idle),
+        );
+    }
+    out
+}
+
+/// An ASCII strip of one row's hart-0 steady-state occupancy (the
+/// Perfetto-screenshot-equivalent text view), at most `width` cycles wide.
+#[must_use]
+pub fn overlap_strip(row: &OverlapRow, width: u64) -> String {
+    let steady = row.profile.steady_window();
+    let window = steady.start..(steady.start + width).min(steady.end);
+    format!(
+        "{}/{} steady-state occupancy, cycles [{}, {}) (█ = lane issued):\n\n```text\n{}```\n",
+        row.kernel.name(),
+        row.variant.name(),
+        window.start,
+        window.end,
+        row.profile.ascii_timeline(0, &window, width as usize),
+    )
+}

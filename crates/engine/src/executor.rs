@@ -97,7 +97,17 @@ impl Engine {
         }
         let cluster = cluster.as_mut().expect("cluster was just ensured");
         match job.kernel.run_on(cluster, job.variant, job.n, &program) {
-            Ok(outcome) => RunRecord::success(job.clone(), &outcome),
+            Ok(outcome) => {
+                let record = RunRecord::success(job.clone(), &outcome);
+                if job.trace() {
+                    // `run_on` resets first, so the attached tracer holds
+                    // exactly this job's events.
+                    let events = cluster.trace_events().unwrap_or_default().to_vec();
+                    record.with_trace(events)
+                } else {
+                    record
+                }
+            }
             Err(e) => RunRecord::failure(job.clone(), e.to_string()),
         }
     }

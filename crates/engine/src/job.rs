@@ -39,6 +39,24 @@ impl JobSpec {
         self
     }
 
+    /// Requests a cycle-accurate event trace of this job: the run's
+    /// [`RunRecord`](crate::record::RunRecord) will carry the recorded
+    /// events. The request rides on `config.trace`, which is excluded from
+    /// both the program-cache key and the configuration fingerprint — a
+    /// traced job compiles no extra program, simulates bit-identically, and
+    /// serializes to the same JSON-lines/CSV rows as its untraced twin.
+    #[must_use]
+    pub fn traced(mut self) -> Self {
+        self.config.trace = true;
+        self
+    }
+
+    /// Whether this job requests an event trace.
+    #[must_use]
+    pub fn trace(&self) -> bool {
+        self.config.trace
+    }
+
     /// The program-cache key: timing-configuration changes never rebuild
     /// programs, but the core count does (data-parallel programs bake the
     /// cluster size into seed tables, buffer strides and the reduction), so

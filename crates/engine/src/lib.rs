@@ -18,7 +18,11 @@
 //!   independent of worker scheduling;
 //! * [`record::RunRecord`] + [`sink`] — per-job results (cycles, IPC,
 //!   stalls, power/energy, validation status, config fingerprint) serialized
-//!   as JSON-lines and CSV, byte-identical for any worker count.
+//!   as JSON-lines and CSV, byte-identical for any worker count;
+//! * tracing — [`JobSpec::traced`] opts a job into a cycle-accurate
+//!   `snitch-trace` event trace carried on [`RunRecord::trace`] (same
+//!   compiled program, bit-identical simulation, identical sink rows); the
+//!   `trace` binary is the CLI entry point.
 //!
 //! [`Program`]: snitch_asm::program::Program
 //!

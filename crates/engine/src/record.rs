@@ -2,6 +2,7 @@
 
 use snitch_kernels::harness::RunOutcome;
 use snitch_sim::stats::Stats;
+use snitch_trace::TraceEvent;
 
 use crate::job::JobSpec;
 
@@ -33,6 +34,10 @@ pub struct RunRecord {
     pub config_fingerprint: u64,
     /// Full counter set of the run (absent on failure).
     pub stats: Option<Stats>,
+    /// The recorded event trace, when the job requested one
+    /// ([`JobSpec::traced`]). Never serialized into the JSON-lines/CSV
+    /// sinks — render it with `snitch_trace::{chrome, text}`.
+    pub trace: Option<Vec<TraceEvent>>,
 }
 
 impl RunRecord {
@@ -51,7 +56,15 @@ impl RunRecord {
             energy_uj: outcome.energy_uj,
             config_fingerprint: fingerprint,
             stats: Some(outcome.stats.clone()),
+            trace: None,
         }
+    }
+
+    /// Attaches a recorded event trace.
+    #[must_use]
+    pub fn with_trace(mut self, events: Vec<TraceEvent>) -> Self {
+        self.trace = Some(events);
+        self
     }
 
     /// Record for a failed (fault/timeout/mismatch) run.
@@ -69,6 +82,7 @@ impl RunRecord {
             energy_uj: 0.0,
             config_fingerprint: fingerprint,
             stats: None,
+            trace: None,
         }
     }
 

@@ -64,6 +64,45 @@ fn multicore_grid_is_byte_identical_across_worker_counts() {
 }
 
 #[test]
+fn traced_runs_are_byte_identical_across_worker_counts() {
+    // Tracing must not perturb determinism: with every job requesting an
+    // event trace, the serialized result sinks AND the rendered trace
+    // output must be byte-identical whether one worker or many ran the
+    // batch (workers reuse clusters, so tracer state must reset cleanly
+    // between jobs).
+    let jobs: Vec<JobSpec> = mixed_batch().into_iter().map(JobSpec::traced).collect();
+    let render = |records: &[snitch_engine::RunRecord]| {
+        let mut out = String::new();
+        for r in records {
+            let events = r.trace.as_deref().expect("every job requested a trace");
+            out.push_str(&snitch_trace::chrome::render(events));
+            out.push_str(&snitch_trace::text::render(events));
+        }
+        out
+    };
+    let serial_records = Engine::new(1).run(&jobs);
+    let serial_sink = sink::to_jsonl(&serial_records);
+    let serial_traces = render(&serial_records);
+    for workers in [2, 8] {
+        let parallel_records = Engine::new(workers).run(&jobs);
+        assert_eq!(
+            serial_sink,
+            sink::to_jsonl(&parallel_records),
+            "traced sink output diverged at {workers} workers"
+        );
+        assert_eq!(
+            serial_traces,
+            render(&parallel_records),
+            "trace output diverged at {workers} workers"
+        );
+    }
+    // And the traced sink matches the untraced batch byte for byte — the
+    // trace request is invisible to the serialized results.
+    let untraced = sink::to_jsonl(&Engine::new(4).run(&mixed_batch()));
+    assert_eq!(serial_sink, untraced);
+}
+
+#[test]
 fn figure2_batch_matches_direct_serial_runs() {
     // The engine must reproduce exactly what `Kernel::run` reports —
     // cluster reuse, caching and threading may not perturb a single cycle.

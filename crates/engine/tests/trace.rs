@@ -1,0 +1,136 @@
+//! Acceptance tests of the tracing subsystem against the `Stats` counters:
+//! for every paper kernel, trace-derived stall attribution and IPC must
+//! agree with the aggregate counters *exactly*, and the emitted Perfetto
+//! JSON must show the paper's dual-issue picture (concurrent lanes under
+//! COPIFT, serialized lanes in the baseline).
+
+use snitch_engine::{Engine, JobSpec};
+use snitch_kernels::registry::{Kernel, Variant};
+use snitch_trace::{chrome, text, Profile, StallCause};
+
+/// Every paper kernel, both variants, at its smoke point, traced.
+fn traced_paper_jobs() -> Vec<JobSpec> {
+    let mut jobs = Vec::new();
+    for kernel in Kernel::paper() {
+        let (n, block) = kernel.smoke_point();
+        for variant in Variant::all() {
+            jobs.push(JobSpec::new(kernel, variant, n, block).traced());
+        }
+    }
+    jobs
+}
+
+#[test]
+fn attribution_and_ipc_match_stats_for_every_paper_kernel() {
+    let jobs = traced_paper_jobs();
+    let records = Engine::new(4).run(&jobs);
+    for record in &records {
+        let label = record.job.label();
+        assert!(record.ok, "{label} must validate");
+        let stats = record.stats.as_ref().expect("stats on success");
+        let events = record.trace.as_deref().expect("traced job carries events");
+        let profile = Profile::new(events, stats.cycles);
+
+        // Stall attribution decomposes into the thirteen causes and matches
+        // the counters counter-for-counter.
+        for cause in StallCause::all() {
+            assert_eq!(
+                profile.stall_cycles(None, cause),
+                stats.stall_by_cause(cause),
+                "{label}: stall attribution for `{cause}` diverged from Stats"
+            );
+        }
+
+        // Per-lane issue-cycle occupancy matches the issue counters: the
+        // core slot issues at most once per cycle, as does the sequencer.
+        let occ = profile.occupancy(0);
+        assert_eq!(occ.core_busy, stats.int_issued + stats.fp_issued_core, "{label}");
+        assert_eq!(occ.frep_busy, stats.fp_issued_seq, "{label}");
+
+        // IPC over the full-run window reproduces Stats::ipc() exactly.
+        let full = 0..stats.cycles;
+        assert_eq!(profile.instructions_in(&full), stats.instructions(), "{label}");
+        assert!(
+            (profile.ipc_in(&full) - stats.ipc()).abs() < f64::EPSILON,
+            "{label}: trace IPC {} != stats IPC {}",
+            profile.ipc_in(&full),
+            stats.ipc()
+        );
+
+        // The steady-state window is a valid sub-window with sane IPC.
+        let steady = profile.steady_window();
+        assert!(steady.start < steady.end && steady.end <= stats.cycles, "{label}");
+        assert!(profile.steady_ipc() > 0.0 && profile.steady_ipc() <= 2.0, "{label}");
+
+        // Both sinks render, and the JSON passes the trace-event schema.
+        let json = chrome::render(events);
+        let summary = chrome::validate(&json)
+            .unwrap_or_else(|e| panic!("{label}: emitted JSON fails its schema: {e}"));
+        assert!(summary.complete as u64 >= stats.instructions(), "{label}");
+        assert!(!text::render(events).is_empty(), "{label}");
+    }
+}
+
+#[test]
+fn copift_overlaps_lanes_where_the_baseline_serializes() {
+    let (n, block) = Kernel::PiLcg.smoke_point();
+    let jobs = vec![
+        JobSpec::new(Kernel::PiLcg, Variant::Baseline, n, block).traced(),
+        JobSpec::new(Kernel::PiLcg, Variant::Copift, n, block).traced(),
+    ];
+    let records = Engine::new(2).run(&jobs);
+    let profile = |i: usize| {
+        let r = &records[i];
+        assert!(r.ok);
+        Profile::new(r.trace.as_deref().unwrap(), r.stats.as_ref().unwrap().cycles)
+    };
+
+    // Baseline RV32G never uses FREP: the sequencer lane stays empty, so
+    // the lanes are serialized by construction and IPC is capped at 1.
+    let base = profile(0);
+    let base_occ = base.occupancy(0);
+    assert_eq!(base_occ.frep_busy, 0, "baseline must not dual-issue");
+    assert_eq!(base_occ.overlap, 0);
+    let base_json = chrome::render(records[0].trace.as_deref().unwrap());
+    assert!(
+        !base_json.contains("\"tid\":1,\"ts\""),
+        "baseline Perfetto trace must have an empty frep track"
+    );
+
+    // COPIFT decouples the streams: the frep lane runs concurrently with
+    // the integer lane for a substantial fraction of the run.
+    let copift = profile(1);
+    let copift_occ = copift.occupancy(0);
+    assert!(copift_occ.frep_busy > 0, "COPIFT replays through the sequencer");
+    assert!(
+        copift_occ.overlap_frac() > 0.2,
+        "COPIFT pi_lcg must show substantial dual-issue overlap, got {:.3}",
+        copift_occ.overlap_frac()
+    );
+    let copift_json = chrome::render(records[1].trace.as_deref().unwrap());
+    assert!(
+        copift_json.contains("\"tid\":1,\"ts\""),
+        "COPIFT Perfetto trace must populate the frep track"
+    );
+    // And its sustained dual-issue plateau beats the baseline's IPC ceiling.
+    assert!(copift.steady_ipc() > 1.0, "steady IPC {:.3}", copift.steady_ipc());
+}
+
+#[test]
+fn trace_request_does_not_perturb_results_or_cache_identity() {
+    let (n, block) = Kernel::PolyLcg.smoke_point();
+    let plain = JobSpec::new(Kernel::PolyLcg, Variant::Copift, n, block);
+    let traced = plain.clone().traced();
+    assert_eq!(plain.program_key(), traced.program_key(), "trace must not split the cache");
+    assert_eq!(plain.config.fingerprint(), traced.config.fingerprint());
+
+    let engine = Engine::new(2);
+    let records = engine.run(&[plain, traced]);
+    assert_eq!(engine.cache().misses(), 1, "both jobs share one compiled program");
+    assert!(records[0].trace.is_none());
+    assert!(records[1].trace.is_some());
+    assert_eq!(records[0].stats, records[1].stats, "tracing must not change a single counter");
+    // Identical serialized rows: the sinks cannot tell the jobs apart.
+    assert_eq!(records[0].json_line(), records[1].json_line());
+    assert_eq!(records[0].csv_row(), records[1].csv_row());
+}

@@ -1,0 +1,192 @@
+//! Disassembly completeness: every constructible [`Inst`] variant — across
+//! every sub-operation enum, including the COPIFT custom-1 twins and the
+//! SSR/FREP/DMA configuration ops — must render non-empty, stable text.
+//! The tracing subsystem's text and Perfetto sinks print instructions via
+//! this `Display` impl, so a silent gap here would produce broken traces.
+
+use snitch_riscv::inst::Inst;
+use snitch_riscv::ops::{
+    AluImmOp, AluOp, BranchOp, CsrOp, DmaOp, FmaOp, FpAluOp, FpCmpOp, FpFmt, IntCvt, LoadOp,
+    SgnjOp, StoreOp,
+};
+use snitch_riscv::reg::{FpReg, IntReg};
+
+const ALU_IMM: [AluImmOp; 9] = [
+    AluImmOp::Addi,
+    AluImmOp::Slti,
+    AluImmOp::Sltiu,
+    AluImmOp::Xori,
+    AluImmOp::Ori,
+    AluImmOp::Andi,
+    AluImmOp::Slli,
+    AluImmOp::Srli,
+    AluImmOp::Srai,
+];
+const ALU: [AluOp; 18] = [
+    AluOp::Add,
+    AluOp::Sub,
+    AluOp::Sll,
+    AluOp::Slt,
+    AluOp::Sltu,
+    AluOp::Xor,
+    AluOp::Srl,
+    AluOp::Sra,
+    AluOp::Or,
+    AluOp::And,
+    AluOp::Mul,
+    AluOp::Mulh,
+    AluOp::Mulhsu,
+    AluOp::Mulhu,
+    AluOp::Div,
+    AluOp::Divu,
+    AluOp::Rem,
+    AluOp::Remu,
+];
+const BRANCH: [BranchOp; 6] =
+    [BranchOp::Eq, BranchOp::Ne, BranchOp::Lt, BranchOp::Ge, BranchOp::Ltu, BranchOp::Geu];
+const LOAD: [LoadOp; 5] = [LoadOp::Lb, LoadOp::Lh, LoadOp::Lw, LoadOp::Lbu, LoadOp::Lhu];
+const STORE: [StoreOp; 3] = [StoreOp::Sb, StoreOp::Sh, StoreOp::Sw];
+const CSR: [CsrOp; 6] = [CsrOp::Rw, CsrOp::Rs, CsrOp::Rc, CsrOp::Rwi, CsrOp::Rsi, CsrOp::Rci];
+const FP_ALU: [FpAluOp; 7] = [
+    FpAluOp::Add,
+    FpAluOp::Sub,
+    FpAluOp::Mul,
+    FpAluOp::Div,
+    FpAluOp::Sqrt,
+    FpAluOp::Min,
+    FpAluOp::Max,
+];
+const FMA: [FmaOp; 4] = [FmaOp::Madd, FmaOp::Msub, FmaOp::Nmsub, FmaOp::Nmadd];
+const SGNJ: [SgnjOp; 3] = [SgnjOp::Sgnj, SgnjOp::Sgnjn, SgnjOp::Sgnjx];
+const FP_CMP: [FpCmpOp; 3] = [FpCmpOp::Eq, FpCmpOp::Lt, FpCmpOp::Le];
+const FMT: [FpFmt; 2] = [FpFmt::S, FpFmt::D];
+const CVT: [IntCvt; 2] = [IntCvt::W, IntCvt::Wu];
+const DMA: [DmaOp; 6] = [DmaOp::Src, DmaOp::Dst, DmaOp::Str, DmaOp::Rep, DmaOp::CpyI, DmaOp::StatI];
+
+/// One representative instance of every `Inst` variant × sub-operation ×
+/// format combination (fixed registers/immediates; the operand fields are
+/// rendered by the shared register/integer formatters).
+fn every_instruction() -> Vec<Inst> {
+    let (rd, rs1, rs2) = (IntReg::A0, IntReg::A1, IntReg::A2);
+    let (fd, fa, fb, fc) = (FpReg::FA0, FpReg::FA1, FpReg::FA2, FpReg::FA3);
+    let mut all = vec![
+        Inst::Lui { rd, imm: 0x12345 << 12 },
+        Inst::Auipc { rd, imm: 0x1 << 12 },
+        Inst::Jal { rd, offset: -8 },
+        Inst::Jalr { rd, rs1, offset: 12 },
+        Inst::Fence,
+        Inst::Ecall,
+        Inst::Ebreak,
+        Inst::Flw { rd: fd, rs1, offset: 4 },
+        Inst::Fsw { rs2: fa, rs1, offset: -4 },
+        Inst::Fld { rd: fd, rs1, offset: 8 },
+        Inst::Fsd { rs2: fa, rs1, offset: -8 },
+        Inst::FpCvtF2F { to: FpFmt::S, rd: fd, rs1: fa },
+        Inst::FpCvtF2F { to: FpFmt::D, rd: fd, rs1: fa },
+        Inst::FpMvF2X { rd, rs1: fa },
+        Inst::FpMvX2F { rd: fd, rs1 },
+        Inst::FrepO { rep: rs1, max_inst: 4, stagger_max: 3, stagger_mask: 0b1001 },
+        Inst::FrepI { rep: rs1, max_inst: 2, stagger_max: 0, stagger_mask: 0 },
+        Inst::Scfgwi { value: rs1, addr: 0x42 },
+        Inst::Scfgri { rd, addr: 0x42 },
+        Inst::CopiftClass { rd: fd, rs1: fa },
+    ];
+    all.extend(BRANCH.iter().map(|&op| Inst::Branch { op, rs1, rs2, offset: 16 }));
+    all.extend(LOAD.iter().map(|&op| Inst::Load { op, rd, rs1, offset: -16 }));
+    all.extend(STORE.iter().map(|&op| Inst::Store { op, rs2, rs1, offset: 20 }));
+    all.extend(ALU_IMM.iter().map(|&op| Inst::OpImm { op, rd, rs1, imm: 5 }));
+    all.extend(ALU.iter().map(|&op| Inst::OpReg { op, rd, rs1, rs2 }));
+    all.extend(CSR.iter().map(|&op| Inst::Csr { op, rd, csr: 0x7C0, src: 3 }));
+    for fmt in FMT {
+        all.extend(FP_ALU.iter().map(|&op| Inst::FpOp { op, fmt, rd: fd, rs1: fa, rs2: fb }));
+        all.extend(FMA.iter().map(|&op| Inst::FpFma {
+            op,
+            fmt,
+            rd: fd,
+            rs1: fa,
+            rs2: fb,
+            rs3: fc,
+        }));
+        all.extend(SGNJ.iter().map(|&op| Inst::FpSgnj { op, fmt, rd: fd, rs1: fa, rs2: fb }));
+        all.extend(FP_CMP.iter().map(|&op| Inst::FpCmp { op, fmt, rd, rs1: fa, rs2: fb }));
+        all.push(Inst::FpClass { fmt, rd, rs1: fa });
+        for to in CVT {
+            all.push(Inst::FpCvtF2I { to, fmt, rd, rs1: fa });
+            all.push(Inst::FpCvtI2F { from: to, fmt, rd: fd, rs1 });
+        }
+    }
+    all.extend(DMA.iter().map(|&op| Inst::Dma { op, rd, rs1, rs2, imm5: 1 }));
+    all.extend(FP_CMP.iter().map(|&op| Inst::CopiftCmp { op, rd: fd, rs1: fa, rs2: fb }));
+    for to in CVT {
+        all.push(Inst::CopiftCvtF2I { to, rd: fd, rs1: fa });
+        all.push(Inst::CopiftCvtI2F { from: to, rd: fd, rs1: fa });
+    }
+    all
+}
+
+#[test]
+fn every_variant_renders_non_empty_stable_text() {
+    let all = every_instruction();
+    assert!(all.len() > 100, "the inventory covers the whole ISA surface");
+    for inst in &all {
+        let first = inst.to_string();
+        assert!(!first.trim().is_empty(), "{inst:?} renders empty");
+        assert!(
+            first.is_ascii() && !first.contains('\n'),
+            "{inst:?} renders non-printable text: {first:?}"
+        );
+        let mnemonic = first.split_whitespace().next().unwrap();
+        assert!(
+            mnemonic.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.'),
+            "{inst:?}: mnemonic `{mnemonic}` is not a lowercase dotted word"
+        );
+        // Stable: rendering is a pure function of the instruction.
+        assert_eq!(first, inst.to_string(), "{inst:?} renders unstably");
+    }
+    // Mnemonic collisions across *different* op enums would make traces
+    // ambiguous; identical renderings must come from identical instructions.
+    let mut seen = std::collections::HashMap::new();
+    for inst in &all {
+        if let Some(prev) = seen.insert(inst.to_string(), *inst) {
+            assert_eq!(prev, *inst, "distinct instructions render identically");
+        }
+    }
+}
+
+#[test]
+fn golden_spot_checks_pin_the_format() {
+    let checks: [(Inst, &str); 8] = [
+        (Inst::Lui { rd: IntReg::A0, imm: 0x12345 << 12 }, "lui a0, 0x12345"),
+        (
+            Inst::Store { op: StoreOp::Sw, rs2: IntReg::A2, rs1: IntReg::A1, offset: 20 },
+            "sw a2, 20(a1)",
+        ),
+        (Inst::Csr { op: CsrOp::Rsi, rd: IntReg::A0, csr: 0x7C0, src: 3 }, "csrrsi a0, 0x7c0, 3"),
+        (
+            Inst::FrepO { rep: IntReg::A1, max_inst: 4, stagger_max: 3, stagger_mask: 0b1001 },
+            "frep.o a1, 4, 3, 0x9",
+        ),
+        (
+            Inst::Dma {
+                op: DmaOp::CpyI,
+                rd: IntReg::A0,
+                rs1: IntReg::A1,
+                rs2: IntReg::A2,
+                imm5: 1,
+            },
+            "dmcpyi a0, a1, 1",
+        ),
+        (
+            Inst::CopiftCmp { op: FpCmpOp::Le, rd: FpReg::FA0, rs1: FpReg::FA1, rs2: FpReg::FA2 },
+            "copift.fle.d fa0, fa1, fa2",
+        ),
+        (
+            Inst::CopiftCvtF2I { to: IntCvt::Wu, rd: FpReg::FA0, rs1: FpReg::FA1 },
+            "copift.fcvt.wu.d fa0, fa1",
+        ),
+        (Inst::CopiftClass { rd: FpReg::FA0, rs1: FpReg::FA1 }, "copift.fclass.d fa0, fa1"),
+    ];
+    for (inst, want) in checks {
+        assert_eq!(inst.to_string(), want);
+    }
+}

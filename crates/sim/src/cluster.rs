@@ -2,6 +2,7 @@
 
 use snitch_asm::program::Program;
 use snitch_riscv::reg::{FpReg, IntReg};
+use snitch_trace::{EventKind, TraceEvent, Tracer, CLUSTER_HART};
 
 use crate::config::ClusterConfig;
 use crate::core::{Decoded, IntCore};
@@ -12,6 +13,7 @@ use crate::icache::L0Cache;
 use crate::mem::{Memory, TcdmArbiter, TcdmPort};
 use crate::ssr::Ssr;
 use crate::stats::Stats;
+use crate::trace_event;
 
 /// Cycles without any unit making progress before a deadlock is declared.
 const DEADLOCK_WINDOW: u64 = 50_000;
@@ -91,6 +93,10 @@ pub struct Cluster {
     cycle: u64,
     last_progress_cycle: u64,
     last_progress_sig: u64,
+    /// Event collector, attached when `cfg.trace` is set (or explicitly via
+    /// [`attach_tracer`](Self::attach_tracer)). `None` is the hot path:
+    /// every emission site is a single branch and constructs nothing.
+    tracer: Option<Tracer>,
 }
 
 impl Cluster {
@@ -112,6 +118,7 @@ impl Cluster {
         let units = (0..cfg.cores).map(|h| CoreUnit::new(h as u32, &cfg)).collect();
         let dma = Dma::new(cfg.dma_bytes_per_cycle);
         let arb = TcdmArbiter::new(cfg.tcdm_banks);
+        let tracer = cfg.trace.then(Tracer::new);
         Cluster {
             cfg,
             text: Vec::new(),
@@ -124,6 +131,7 @@ impl Cluster {
             cycle: 0,
             last_progress_cycle: 0,
             last_progress_sig: 0,
+            tracer,
         }
     }
 
@@ -192,6 +200,29 @@ impl Cluster {
         &self.mem
     }
 
+    /// Attaches an event collector (replacing any existing one). A cluster
+    /// built from a [`ClusterConfig`] with `trace` set already carries a
+    /// recording tracer; this entry point exists for instrumentation that
+    /// needs explicit control (e.g. attaching a [`Tracer::paused`] collector
+    /// to measure the disabled hook's overhead).
+    ///
+    /// Note that [`reset`](Self::reset) restores the config-driven state:
+    /// a fresh (empty) tracer when `cfg.trace` is set, none otherwise.
+    pub fn attach_tracer(&mut self, tracer: Tracer) {
+        self.tracer = Some(tracer);
+    }
+
+    /// The events recorded so far, if a tracer is attached.
+    #[must_use]
+    pub fn trace_events(&self) -> Option<&[TraceEvent]> {
+        self.tracer.as_ref().map(Tracer::events)
+    }
+
+    /// Detaches the tracer (if any) and returns it with its events.
+    pub fn take_tracer(&mut self) -> Option<Tracer> {
+        self.tracer.take()
+    }
+
     /// Reads an integer register of hart 0.
     #[must_use]
     pub fn int_reg(&self, r: IntReg) -> u32 {
@@ -247,8 +278,13 @@ impl Cluster {
     fn step_units(&mut self) -> Result<(), RunError> {
         let now = self.cycle;
         self.arb.begin_cycle();
+        let conflicts_before = self.arb.conflicts();
 
-        for unit in &mut self.units {
+        // Destructured so the per-unit loop can borrow the shared units and
+        // the tracer alongside `self.units` without aliasing `self`.
+        let Cluster { cfg, text, units, dma, mem, arb, tracer, tcdm_dma_accesses, .. } = self;
+
+        for unit in units.iter_mut() {
             // FP→int write-backs land before the core issues, so results
             // are visible the cycle they retire.
             for wb in unit.fpss.take_int_writebacks(now) {
@@ -258,34 +294,35 @@ impl Cluster {
             unit.core
                 .step(
                     now,
-                    &self.cfg,
-                    &self.text,
+                    cfg,
+                    text,
                     &mut unit.l0,
-                    &mut self.mem,
-                    &mut self.arb,
+                    mem,
+                    arb,
                     &mut unit.fpss,
                     &mut unit.ssrs,
-                    &mut self.dma,
+                    dma,
                     &mut unit.stats,
+                    tracer,
                 )
                 .map_err(RunError::Fault)?;
 
             let hart = unit.core.hart_id() as u8;
             unit.fpss
-                .step(
-                    now,
-                    hart,
-                    &self.cfg,
-                    &mut self.mem,
-                    &mut self.arb,
-                    &mut unit.ssrs,
-                    &mut unit.stats,
-                )
+                .step(now, hart, cfg, mem, arb, &mut unit.ssrs, &mut unit.stats, tracer)
                 .map_err(RunError::Fault)?;
 
             for (i, ssr) in unit.ssrs.iter_mut().enumerate() {
-                let accesses = ssr.step(&mut self.mem, &mut self.arb, TcdmPort::Ssr(hart, i as u8));
+                let accesses = ssr.step(mem, arb, TcdmPort::Ssr(hart, i as u8));
                 unit.stats.tcdm_ssr_accesses += u64::from(accesses);
+                if accesses > 0 {
+                    trace_event!(
+                        tracer,
+                        now,
+                        hart,
+                        EventKind::SsrBeat { ssr: i as u8, count: accesses }
+                    );
+                }
                 if ssr.armed() {
                     unit.stats.ssr_active_cycles[i] += 1;
                 }
@@ -293,18 +330,31 @@ impl Cluster {
             }
         }
 
-        let dma_accesses = self.dma.step(&mut self.mem, &mut self.arb);
-        self.tcdm_dma_accesses += u64::from(dma_accesses);
+        let dma_accesses = dma.step(mem, arb);
+        *tcdm_dma_accesses += u64::from(dma_accesses);
+        if dma_accesses > 0 {
+            trace_event!(tracer, now, CLUSTER_HART, EventKind::DmaActive { count: dma_accesses });
+        }
+        let new_conflicts = arb.conflicts() - conflicts_before;
+        if new_conflicts > 0 {
+            trace_event!(
+                tracer,
+                now,
+                CLUSTER_HART,
+                EventKind::BankConflicts { count: new_conflicts as u32 }
+            );
+        }
 
         // Hardware barrier: release every waiting hart in the same cycle
         // once each hart has either arrived or halted. Halted harts count
         // as arrived so a partial shutdown can never deadlock the rest.
-        if self.units.iter().any(|u| u.core.barrier_waiting())
-            && self.units.iter().all(|u| u.core.halted() || u.core.barrier_waiting())
+        if units.iter().any(|u| u.core.barrier_waiting())
+            && units.iter().all(|u| u.core.halted() || u.core.barrier_waiting())
         {
-            for unit in &mut self.units {
+            for unit in units.iter_mut() {
                 if unit.core.barrier_waiting() {
                     unit.core.release_barrier();
+                    trace_event!(tracer, now, unit.core.hart_id() as u8, EventKind::BarrierRelease);
                 }
             }
         }
@@ -866,6 +916,81 @@ mod tests {
         // Arrive (stall one cycle), release, retire: no deadlock, tiny cost.
         assert!(stats.stall_barrier >= 1);
         assert!(stats.cycles < 20);
+    }
+
+    #[test]
+    fn traced_run_mirrors_stats_and_perturbs_nothing() {
+        use snitch_riscv::csr::SsrCfgWord;
+        use snitch_trace::{EventKind, Lane, StallCause};
+        // A program exercising both lanes, SSR streaming and stalls.
+        let mut b = ProgramBuilder::new();
+        let xs = b.tcdm_f64("xs", &[1.0, 2.0, 3.0, 4.0]);
+        b.li(IntReg::T1, 3);
+        b.scfgwi(IntReg::T1, 0, SsrCfgWord::Bound(0));
+        b.li(IntReg::T1, 8);
+        b.scfgwi(IntReg::T1, 0, SsrCfgWord::Stride(0));
+        b.li(IntReg::T1, 0);
+        b.scfgwi(IntReg::T1, 0, SsrCfgWord::Status);
+        b.scfgwi(IntReg::T1, 0, SsrCfgWord::Repeat);
+        b.li_u(IntReg::T1, xs);
+        b.scfgwi(IntReg::T1, 0, SsrCfgWord::Base);
+        b.ssr_enable();
+        b.li(IntReg::T0, 3);
+        b.frep_o(IntReg::T0, 1, 0, 0);
+        b.fadd_d(FpReg::FS0, FpReg::FS0, FpReg::FT0);
+        b.li(IntReg::A1, 8);
+        b.label("l");
+        b.addi(IntReg::A1, IntReg::A1, -1);
+        b.bnez(IntReg::A1, "l");
+        b.fpu_fence();
+        b.ssr_disable();
+        b.ecall();
+        let p = b.build().unwrap();
+
+        let mut plain = Cluster::new(ClusterConfig::default());
+        plain.load_program(&p);
+        let untraced = plain.run().unwrap();
+        assert!(plain.trace_events().is_none(), "tracing is off by default");
+
+        let mut traced = Cluster::new(ClusterConfig::traced());
+        traced.load_program(&p);
+        let stats = traced.run().unwrap();
+        assert_eq!(stats, untraced, "tracing must not perturb the simulation");
+
+        let events = traced.trace_events().expect("cfg.trace attaches a tracer");
+        // Issue events mirror the issue counters lane for lane.
+        let lane_count = |want: Lane| {
+            events
+                .iter()
+                .filter(|e| matches!(e.kind, EventKind::Issue { lane, .. } if lane == want))
+                .count() as u64
+        };
+        assert_eq!(lane_count(Lane::Int), stats.int_issued);
+        assert_eq!(lane_count(Lane::FpCore), stats.fp_issued_core);
+        assert_eq!(lane_count(Lane::FpSeq), stats.fp_issued_seq);
+        // Stall events mirror every stall counter, cause for cause.
+        for cause in StallCause::all() {
+            let traced_cycles: u64 = events
+                .iter()
+                .filter_map(|e| match e.kind {
+                    EventKind::Stall { cause: c, cycles } if c == cause => Some(u64::from(cycles)),
+                    _ => None,
+                })
+                .sum();
+            assert_eq!(traced_cycles, stats.stall_by_cause(cause), "{cause}");
+        }
+        // Stream beats mirror the SSR access counter.
+        let beats: u64 = events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::SsrBeat { count, .. } => Some(u64::from(count)),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(beats, stats.tcdm_ssr_accesses);
+        // Reset restores a fresh, empty tracer (config-driven).
+        traced.reset();
+        assert_eq!(traced.trace_events(), Some(&[][..]));
     }
 
     #[test]

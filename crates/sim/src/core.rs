@@ -21,6 +21,7 @@ use snitch_riscv::inst::Inst;
 use snitch_riscv::meta::RegRef;
 use snitch_riscv::ops::{CsrOp, DmaOp};
 use snitch_riscv::reg::IntReg;
+use snitch_trace::{EventKind, Lane, StallCause, Tracer};
 
 use crate::config::ClusterConfig;
 use crate::dma::Dma;
@@ -30,6 +31,7 @@ use crate::icache::L0Cache;
 use crate::mem::{Memory, TcdmArbiter, TcdmPort};
 use crate::ssr::Ssr;
 use crate::stats::Stats;
+use crate::trace_event;
 use snitch_asm::layout;
 
 /// Sentinel `ready_at` for a register awaiting an FP→int write-back.
@@ -194,6 +196,26 @@ impl IntCore {
         }
     }
 
+    /// Counts a lost issue slot against `cause` and emits the matching
+    /// trace event (both go through the same [`StallCause`], so trace
+    /// attribution can never drift from the counters). `now` is the first
+    /// *lost* cycle: the current cycle for a failed issue attempt, the next
+    /// cycle for a taken branch's refill window (the branch itself issues).
+    fn stall(
+        &self,
+        now: u64,
+        cause: StallCause,
+        cycles: u32,
+        stats: &mut Stats,
+        tracer: &mut Option<Tracer>,
+    ) {
+        if cycles == 0 {
+            return;
+        }
+        stats.add_stall(cause, u64::from(cycles));
+        trace_event!(tracer, now, self.hart_id as u8, EventKind::Stall { cause, cycles });
+    }
+
     /// One issue attempt. Returns `Err` on machine faults; sets
     /// [`halted`](Self::halted) on `ecall`.
     #[allow(clippy::too_many_arguments)]
@@ -209,6 +231,7 @@ impl IntCore {
         ssrs: &mut [Ssr; 3],
         dma: &mut Dma,
         stats: &mut Stats,
+        tracer: &mut Option<Tracer>,
     ) -> Result<(), SimFault> {
         if self.halted {
             return Ok(());
@@ -227,22 +250,18 @@ impl IntCore {
         for src in d.int_srcs.iter().flatten() {
             let r = self.ready_at[src.index() as usize];
             if r > now {
-                if r == PENDING_FP {
-                    stats.stall_fp_pending += 1;
-                } else {
-                    stats.stall_int_raw += 1;
-                }
+                let cause =
+                    if r == PENDING_FP { StallCause::FpPending } else { StallCause::IntRaw };
+                self.stall(now, cause, 1, stats, tracer);
                 return Ok(());
             }
         }
         if let Some(rd) = d.int_dst {
             let r = self.ready_at[rd.index() as usize];
             if r > now {
-                if r == PENDING_FP {
-                    stats.stall_fp_pending += 1;
-                } else {
-                    stats.stall_int_raw += 1;
-                }
+                let cause =
+                    if r == PENDING_FP { StallCause::FpPending } else { StallCause::IntRaw };
+                self.stall(now, cause, 1, stats, tracer);
                 return Ok(());
             }
         }
@@ -250,7 +269,7 @@ impl IntCore {
         // ---- FP-domain offload (incl. FREP markers) ----
         if d.inst.is_fp() || d.inst.is_frep() {
             if !fpss.can_accept() {
-                stats.stall_offload_full += 1;
+                self.stall(now, StallCause::OffloadFull, 1, stats, tracer);
                 return Ok(());
             }
             let int_val = match d.inst {
@@ -274,7 +293,7 @@ impl IntCore {
                 }
             }
             fpss.offload(OffloadEntry { inst: d.inst, int_val });
-            self.fetched(l0, stats);
+            self.fetched(now, d.inst, l0, stats, tracer);
             if d.inst.is_frep() {
                 stats.int_issued += 1;
             } else {
@@ -287,19 +306,19 @@ impl IntCore {
         // ---- integer-side execution ----
         match d.inst {
             Inst::Lui { rd, imm } => {
-                if !self.issue_alu_like(now, cfg, l0, rd, imm as u32, 1, stats) {
+                if !self.issue_alu_like(now, cfg, l0, d.inst, rd, imm as u32, 1, stats, tracer) {
                     return Ok(());
                 }
             }
             Inst::Auipc { rd, imm } => {
                 let v = self.pc.wrapping_add(imm as u32);
-                if !self.issue_alu_like(now, cfg, l0, rd, v, 1, stats) {
+                if !self.issue_alu_like(now, cfg, l0, d.inst, rd, v, 1, stats, tracer) {
                     return Ok(());
                 }
             }
             Inst::OpImm { op, rd, rs1, imm } => {
                 let v = op.eval(self.regs[rs1.index() as usize], imm);
-                if !self.issue_alu_like(now, cfg, l0, rd, v, 1, stats) {
+                if !self.issue_alu_like(now, cfg, l0, d.inst, rd, v, 1, stats, tracer) {
                     return Ok(());
                 }
             }
@@ -312,13 +331,13 @@ impl IntCore {
                     1
                 };
                 let v = op.eval(self.regs[rs1.index() as usize], self.regs[rs2.index() as usize]);
-                if !self.issue_alu_like(now, cfg, l0, rd, v, lat, stats) {
+                if !self.issue_alu_like(now, cfg, l0, d.inst, rd, v, lat, stats, tracer) {
                     return Ok(());
                 }
             }
             Inst::Jal { rd, offset } => {
                 if !rd.is_zero() && !self.can_claim_wb(now + 1, cfg.int_wb_ports) {
-                    stats.stall_wb_port += 1;
+                    self.stall(now, StallCause::WbPort, 1, stats, tracer);
                     return Ok(());
                 }
                 let link = self.pc.wrapping_add(4);
@@ -326,16 +345,16 @@ impl IntCore {
                     self.claim_wb(now + 1);
                 }
                 self.write_reg(rd, link, now + 1);
-                self.fetched(l0, stats);
+                self.fetched(now, d.inst, l0, stats, tracer);
                 stats.int_issued += 1;
                 self.pc = self.pc.wrapping_add(offset as u32);
                 self.stall_until = now + 1 + u64::from(cfg.branch_penalty);
-                stats.stall_branch += u64::from(cfg.branch_penalty);
+                self.stall(now + 1, StallCause::Branch, cfg.branch_penalty, stats, tracer);
                 return Ok(());
             }
             Inst::Jalr { rd, rs1, offset } => {
                 if !rd.is_zero() && !self.can_claim_wb(now + 1, cfg.int_wb_ports) {
-                    stats.stall_wb_port += 1;
+                    self.stall(now, StallCause::WbPort, 1, stats, tracer);
                     return Ok(());
                 }
                 let target = self.regs[rs1.index() as usize].wrapping_add(offset as u32) & !1;
@@ -344,22 +363,22 @@ impl IntCore {
                     self.claim_wb(now + 1);
                 }
                 self.write_reg(rd, link, now + 1);
-                self.fetched(l0, stats);
+                self.fetched(now, d.inst, l0, stats, tracer);
                 stats.int_issued += 1;
                 self.pc = target;
                 self.stall_until = now + 1 + u64::from(cfg.branch_penalty);
-                stats.stall_branch += u64::from(cfg.branch_penalty);
+                self.stall(now + 1, StallCause::Branch, cfg.branch_penalty, stats, tracer);
                 return Ok(());
             }
             Inst::Branch { op, rs1, rs2, offset } => {
                 let taken =
                     op.taken(self.regs[rs1.index() as usize], self.regs[rs2.index() as usize]);
-                self.fetched(l0, stats);
+                self.fetched(now, d.inst, l0, stats, tracer);
                 stats.int_issued += 1;
                 if taken {
                     self.pc = self.pc.wrapping_add(offset as u32);
                     self.stall_until = now + 1 + u64::from(cfg.branch_penalty);
-                    stats.stall_branch += u64::from(cfg.branch_penalty);
+                    self.stall(now + 1, StallCause::Branch, cfg.branch_penalty, stats, tracer);
                 } else {
                     self.pc = self.pc.wrapping_add(4);
                 }
@@ -369,13 +388,13 @@ impl IntCore {
                 // Integer loads may not bypass queued FP stores (single-
                 // thread memory ordering; see Fpss::has_pending_stores).
                 if fpss.has_pending_stores() {
-                    stats.stall_store_order += 1;
+                    self.stall(now, StallCause::StoreOrder, 1, stats, tracer);
                     return Ok(());
                 }
                 let addr = self.regs[rs1.index() as usize].wrapping_add(offset as u32);
                 let lat = if layout::is_tcdm(addr) {
                     if !arb.request(TcdmPort::CoreLsu(self.hart_id as u8), addr) {
-                        stats.stall_tcdm_conflict += 1;
+                        self.stall(now, StallCause::TcdmConflict, 1, stats, tracer);
                         return Ok(());
                     }
                     stats.tcdm_core_accesses += 1;
@@ -391,14 +410,14 @@ impl IntCore {
                     _ => raw,
                 };
                 self.write_reg(rd, v, now + u64::from(lat));
-                self.fetched(l0, stats);
+                self.fetched(now, d.inst, l0, stats, tracer);
                 stats.int_issued += 1;
             }
             Inst::Store { op, rs2, rs1, offset } => {
                 let addr = self.regs[rs1.index() as usize].wrapping_add(offset as u32);
                 if layout::is_tcdm(addr) {
                     if !arb.request(TcdmPort::CoreLsu(self.hart_id as u8), addr) {
-                        stats.stall_tcdm_conflict += 1;
+                        self.stall(now, StallCause::TcdmConflict, 1, stats, tracer);
                         return Ok(());
                     }
                     stats.tcdm_core_accesses += 1;
@@ -407,21 +426,23 @@ impl IntCore {
                 }
                 mem.write(addr, op.size(), u64::from(self.regs[rs2.index() as usize]))
                     .map_err(SimFault::from)?;
-                self.fetched(l0, stats);
+                self.fetched(now, d.inst, l0, stats, tracer);
                 stats.int_issued += 1;
             }
             Inst::Fence => {
-                self.fetched(l0, stats);
+                self.fetched(now, d.inst, l0, stats, tracer);
                 stats.int_issued += 1;
             }
             Inst::Ecall | Inst::Ebreak => {
-                self.fetched(l0, stats);
+                self.fetched(now, d.inst, l0, stats, tracer);
                 stats.int_issued += 1;
                 self.halted = true;
                 return Ok(());
             }
             Inst::Csr { op, rd, csr, src } => {
-                if !self.issue_csr(now, cfg, l0, op, rd, csr, src, fpss, ssrs, stats) {
+                if !self
+                    .issue_csr(now, cfg, l0, d.inst, op, rd, csr, src, fpss, ssrs, stats, tracer)
+                {
                     return Ok(());
                 }
             }
@@ -430,11 +451,11 @@ impl IntCore {
                     return Err(SimFault::new(format!("invalid ssr config address {addr:#x}")));
                 };
                 if ssrs[i].busy() {
-                    stats.stall_ssr_cfg += 1;
+                    self.stall(now, StallCause::SsrCfg, 1, stats, tracer);
                     return Ok(());
                 }
                 ssrs[i].write_cfg(word, self.regs[value.index() as usize]);
-                self.fetched(l0, stats);
+                self.fetched(now, d.inst, l0, stats, tracer);
                 stats.int_issued += 1;
             }
             Inst::Scfgri { rd, addr } => {
@@ -442,7 +463,7 @@ impl IntCore {
                     return Err(SimFault::new(format!("invalid ssr config address {addr:#x}")));
                 };
                 let v = ssrs[i].read_cfg(word);
-                if !self.issue_alu_like(now, cfg, l0, rd, v, 1, stats) {
+                if !self.issue_alu_like(now, cfg, l0, d.inst, rd, v, 1, stats, tracer) {
                     return Ok(());
                 }
             }
@@ -456,7 +477,7 @@ impl IntCore {
                     DmaOp::Rep => dma.set_reps(a),
                     DmaOp::CpyI => {
                         let id = dma.start(a);
-                        if !self.issue_alu_like(now, cfg, l0, rd, id, 1, stats) {
+                        if !self.issue_alu_like(now, cfg, l0, d.inst, rd, id, 1, stats, tracer) {
                             return Ok(());
                         }
                         self.pc = self.pc.wrapping_add(4);
@@ -464,14 +485,14 @@ impl IntCore {
                     }
                     DmaOp::StatI => {
                         let v = dma.outstanding();
-                        if !self.issue_alu_like(now, cfg, l0, rd, v, 1, stats) {
+                        if !self.issue_alu_like(now, cfg, l0, d.inst, rd, v, 1, stats, tracer) {
                             return Ok(());
                         }
                         self.pc = self.pc.wrapping_add(4);
                         return Ok(());
                     }
                 }
-                self.fetched(l0, stats);
+                self.fetched(now, d.inst, l0, stats, tracer);
                 stats.int_issued += 1;
             }
             other => {
@@ -491,32 +512,49 @@ impl IntCore {
         now: u64,
         cfg: &ClusterConfig,
         l0: &mut L0Cache,
+        inst: Inst,
         rd: IntReg,
         value: u32,
         latency: u32,
         stats: &mut Stats,
+        tracer: &mut Option<Tracer>,
     ) -> bool {
         let wb_cycle = now + u64::from(latency);
         if !rd.is_zero() {
             if !self.can_claim_wb(wb_cycle, cfg.int_wb_ports) {
-                stats.stall_wb_port += 1;
+                self.stall(now, StallCause::WbPort, 1, stats, tracer);
                 return false;
             }
             self.claim_wb(wb_cycle);
         }
         self.write_reg(rd, value, wb_cycle);
-        self.fetched(l0, stats);
+        self.fetched(now, inst, l0, stats, tracer);
         stats.int_issued += 1;
         true
     }
 
-    /// Fetch-path accounting; called exactly once per issued instruction.
-    fn fetched(&mut self, l0: &mut L0Cache, stats: &mut Stats) {
+    /// Fetch-path accounting; called exactly once per issued instruction, so
+    /// it is also the single issue-event emission site for the core slot.
+    fn fetched(
+        &mut self,
+        now: u64,
+        inst: Inst,
+        l0: &mut L0Cache,
+        stats: &mut Stats,
+        tracer: &mut Option<Tracer>,
+    ) {
         if l0.fetch(self.pc) {
             stats.l0_hits += 1;
         } else {
             stats.l0_misses += 1;
         }
+        let lane = if inst.is_fp() { Lane::FpCore } else { Lane::Int };
+        trace_event!(
+            tracer,
+            now,
+            self.hart_id as u8,
+            EventKind::Issue { lane, pc: Some(self.pc), inst }
+        );
     }
 }
 
@@ -533,6 +571,7 @@ impl IntCore {
         now: u64,
         cfg: &ClusterConfig,
         l0: &mut L0Cache,
+        inst: Inst,
         op: CsrOp,
         rd: IntReg,
         csr: u16,
@@ -540,13 +579,14 @@ impl IntCore {
         fpss: &mut Fpss,
         ssrs: &mut [Ssr; 3],
         stats: &mut Stats,
+        tracer: &mut Option<Tracer>,
     ) -> bool {
         let old: u32 = match csr {
             CSR_SSR => u32::from(fpss.ssr_enabled()),
             CSR_FPU_FENCE => {
                 let drained = fpss.drained(now) && ssrs.iter().all(|s| !s.busy());
                 if !drained {
-                    stats.stall_fence += 1;
+                    self.stall(now, StallCause::Fence, 1, stats, tracer);
                     return false;
                 }
                 0
@@ -560,8 +600,11 @@ impl IntCore {
                 BarrierState::Idle | BarrierState::Waiting => {
                     // Arrive (idempotently) and stall until the cluster
                     // releases all waiting harts in one cycle.
+                    if self.barrier == BarrierState::Idle {
+                        trace_event!(tracer, now, self.hart_id as u8, EventKind::BarrierArrive);
+                    }
                     self.barrier = BarrierState::Waiting;
-                    stats.stall_barrier += 1;
+                    self.stall(now, StallCause::Barrier, 1, stats, tracer);
                     return false;
                 }
             },
@@ -595,7 +638,7 @@ impl IntCore {
             }
             // Other CSRs are read-only or scratch in this model.
         }
-        self.issue_alu_like(now, cfg, l0, rd, old, 1, stats)
+        self.issue_alu_like(now, cfg, l0, inst, rd, old, 1, stats, tracer)
     }
 
     fn src_value(&self, op: CsrOp, src: u8) -> u32 {

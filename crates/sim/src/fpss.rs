@@ -18,13 +18,27 @@ use snitch_riscv::inst::Inst;
 use snitch_riscv::meta::InstClass;
 use snitch_riscv::ops::{f64_to_i32, f64_to_u32, FpAluOp, FpCmpOp, FpFmt, IntCvt, SgnjOp};
 use snitch_riscv::reg::{FpReg, IntReg};
+use snitch_trace::{EventKind, Lane, StallCause, Tracer};
 
 use crate::config::ClusterConfig;
 use crate::error::SimFault;
 use crate::mem::{Memory, TcdmArbiter};
 use crate::ssr::Ssr;
 use crate::stats::Stats;
+use crate::trace_event;
 use snitch_asm::layout;
+
+/// Counts a lost FPU issue slot and emits the matching trace event.
+fn fpu_stall(
+    now: u64,
+    hart: u8,
+    cause: StallCause,
+    stats: &mut Stats,
+    tracer: &mut Option<Tracer>,
+) {
+    stats.add_stall(cause, 1);
+    trace_event!(tracer, now, hart, EventKind::Stall { cause, cycles: 1 });
+}
 
 /// An instruction offloaded by the integer core, with any integer operand
 /// captured at issue time (register value, computed address, or FREP
@@ -195,6 +209,7 @@ impl Fpss {
         arb: &mut TcdmArbiter,
         ssrs: &mut [Ssr; 3],
         stats: &mut Stats,
+        tracer: &mut Option<Tracer>,
     ) -> Result<(), SimFault> {
         // Deliver FPU results into SSR write FIFOs.
         let mut idx = 0;
@@ -241,24 +256,54 @@ impl Fpss {
                             stagger_mask,
                             inst_major,
                         };
-                        return self.step_capture(now, hart, cfg, mem, arb, ssrs, stats);
+                        return self.step_capture(now, hart, cfg, mem, arb, ssrs, stats, tracer);
                     }
-                    if self.try_issue(front, 0, now, hart, cfg, mem, arb, ssrs, stats)? {
+                    if self.try_issue(
+                        front,
+                        Lane::FpCore,
+                        now,
+                        hart,
+                        cfg,
+                        mem,
+                        arb,
+                        ssrs,
+                        stats,
+                        tracer,
+                    )? {
                         self.fifo.pop_front();
                         stats.fpu_busy_cycles += 1;
                     }
                 }
                 Ok(())
             }
-            SeqState::Capture { .. } => self.step_capture(now, hart, cfg, mem, arb, ssrs, stats),
+            SeqState::Capture { .. } => {
+                self.step_capture(now, hart, cfg, mem, arb, ssrs, stats, tracer)
+            }
             SeqState::Replay { iter, total, pos, stagger_max, stagger_mask, inst_major } => {
                 let entry = self.ring[pos];
                 let offset =
                     if stagger_max == 0 { 0 } else { (iter % (u32::from(stagger_max) + 1)) as u8 };
                 let staggered = stagger_entry(entry, stagger_mask, offset);
-                if self.try_issue(staggered, offset, now, hart, cfg, mem, arb, ssrs, stats)? {
+                if self.try_issue(
+                    staggered,
+                    Lane::FpSeq,
+                    now,
+                    hart,
+                    cfg,
+                    mem,
+                    arb,
+                    ssrs,
+                    stats,
+                    tracer,
+                )? {
                     stats.fp_issued_seq += 1;
                     stats.fpu_busy_cycles += 1;
+                    trace_event!(
+                        tracer,
+                        now,
+                        hart,
+                        EventKind::Issue { lane: Lane::FpSeq, pc: None, inst: staggered.inst }
+                    );
                     // Advance: sequence-major (frep.o) wraps positions per
                     // iteration; instruction-major (frep.i) exhausts each
                     // instruction's repetitions before moving on. Note the
@@ -313,6 +358,7 @@ impl Fpss {
         arb: &mut TcdmArbiter,
         ssrs: &mut [Ssr; 3],
         stats: &mut Stats,
+        tracer: &mut Option<Tracer>,
     ) -> Result<(), SimFault> {
         let SeqState::Capture { remaining, rep, stagger_max, stagger_mask, inst_major } = self.seq
         else {
@@ -327,7 +373,7 @@ impl Fpss {
                 front.inst
             )));
         }
-        if self.try_issue(front, 0, now, hart, cfg, mem, arb, ssrs, stats)? {
+        if self.try_issue(front, Lane::FpCore, now, hart, cfg, mem, arb, ssrs, stats, tracer)? {
             self.fifo.pop_front();
             stats.fpu_busy_cycles += 1;
             self.ring.push(front);
@@ -363,12 +409,13 @@ impl Fpss {
     }
 
     /// Attempts to issue one FP instruction to the FPU. Returns whether it
-    /// issued (false = stall this cycle).
+    /// issued (false = stall this cycle). `lane` tags the trace events with
+    /// the issue slot the instruction came from (core offload vs sequencer).
     #[allow(clippy::too_many_arguments)]
     fn try_issue(
         &mut self,
         entry: OffloadEntry,
-        _stagger_offset: u8,
+        lane: Lane,
         now: u64,
         hart: u8,
         cfg: &ClusterConfig,
@@ -376,6 +423,7 @@ impl Fpss {
         arb: &mut TcdmArbiter,
         ssrs: &mut [Ssr; 3],
         stats: &mut Stats,
+        tracer: &mut Option<Tracer>,
     ) -> Result<bool, SimFault> {
         let inst = entry.inst;
 
@@ -389,7 +437,7 @@ impl Fpss {
                 Some(i) => pops_needed[i] += 1,
                 None => {
                     if self.ready_at[r.index() as usize] > now {
-                        stats.fpu_stall_raw += 1;
+                        fpu_stall(now, hart, StallCause::FpuRaw, stats, tracer);
                         return Ok(false);
                     }
                 }
@@ -397,7 +445,7 @@ impl Fpss {
         }
         for (i, &needed) in pops_needed.iter().enumerate() {
             if needed > 0 && ssrs[i].available_elements() < needed {
-                stats.fpu_stall_ssr += 1;
+                fpu_stall(now, hart, StallCause::FpuSsr, stats, tracer);
                 return Ok(false);
             }
         }
@@ -406,13 +454,13 @@ impl Fpss {
             match self.ssr_of(rd) {
                 Some(i) => {
                     if !ssrs[i].write_ready() {
-                        stats.fpu_stall_ssr += 1;
+                        fpu_stall(now, hart, StallCause::FpuSsr, stats, tracer);
                         return Ok(false);
                     }
                 }
                 None => {
                     if self.ready_at[rd.index() as usize] > now {
-                        stats.fpu_stall_raw += 1;
+                        fpu_stall(now, hart, StallCause::FpuRaw, stats, tracer);
                         return Ok(false);
                     }
                 }
@@ -420,7 +468,7 @@ impl Fpss {
         }
         let class = inst.class();
         if class == InstClass::FpDivSqrt && self.divsqrt_busy_until > now {
-            stats.fpu_stall_raw += 1;
+            fpu_stall(now, hart, StallCause::FpuRaw, stats, tracer);
             return Ok(false);
         }
         // Memory operations arbitrate last (a grant must not be wasted).
@@ -428,7 +476,7 @@ impl Fpss {
             let addr = entry.int_val.expect("fp load/store carries its address");
             if layout::is_tcdm(addr) {
                 if !arb.request(crate::mem::TcdmPort::FpLsu(hart), addr) {
-                    stats.fpu_stall_tcdm += 1;
+                    fpu_stall(now, hart, StallCause::FpuTcdm, stats, tracer);
                     return Ok(false);
                 }
                 stats.tcdm_fp_accesses += 1;
@@ -488,6 +536,7 @@ impl Fpss {
         let outcome = exec_fp(&inst, bits, entry.int_val, mem)?;
         let done_at = now + u64::from(latency);
         self.busy_until = self.busy_until.max(done_at);
+        trace_event!(tracer, done_at, hart, EventKind::Retire { lane, inst });
         match outcome {
             Outcome::Fp(value) => {
                 let rd = fp_dst.expect("fp-result instruction has an fp destination");
@@ -846,7 +895,7 @@ mod tests {
             rs2: FpReg::FA2,
         }));
         arb.begin_cycle();
-        fpss.step(0, 0, &cfg, &mut mem, &mut arb, &mut ssrs, &mut stats).unwrap();
+        fpss.step(0, 0, &cfg, &mut mem, &mut arb, &mut ssrs, &mut stats, &mut None).unwrap();
         assert_eq!(f64::from_bits(fpss.reg(FpReg::FA0)), 5.0);
         assert!(!fpss.drained(0), "latency still in flight");
         assert!(fpss.drained(u64::from(cfg.fpu_lat_muladd)));
@@ -875,7 +924,7 @@ mod tests {
         for now in 0..10u64 {
             arb.begin_cycle();
             let before = stats.fpu_busy_cycles;
-            fpss.step(now, 0, &cfg, &mut mem, &mut arb, &mut ssrs, &mut stats).unwrap();
+            fpss.step(now, 0, &cfg, &mut mem, &mut arb, &mut ssrs, &mut stats, &mut None).unwrap();
             if stats.fpu_busy_cycles > before {
                 issue_cycles.push(now);
             }
@@ -905,7 +954,7 @@ mod tests {
         let mut now = 0;
         while !fpss.drained(now) {
             arb.begin_cycle();
-            fpss.step(now, 0, &cfg, &mut mem, &mut arb, &mut ssrs, &mut stats).unwrap();
+            fpss.step(now, 0, &cfg, &mut mem, &mut arb, &mut ssrs, &mut stats, &mut None).unwrap();
             now += 1;
             assert!(now < 100, "frep must converge");
         }
@@ -924,7 +973,9 @@ mod tests {
             int_val: Some(1),
         });
         arb.begin_cycle();
-        let err = fpss.step(0, 0, &cfg, &mut mem, &mut arb, &mut ssrs, &mut stats).unwrap_err();
+        let err = fpss
+            .step(0, 0, &cfg, &mut mem, &mut arb, &mut ssrs, &mut stats, &mut None)
+            .unwrap_err();
         assert!(err.to_string().contains("sequencer depth"));
     }
 
@@ -942,7 +993,7 @@ mod tests {
             rs2: FpReg::FA1,
         }));
         arb.begin_cycle();
-        fpss.step(0, 0, &cfg, &mut mem, &mut arb, &mut ssrs, &mut stats).unwrap();
+        fpss.step(0, 0, &cfg, &mut mem, &mut arb, &mut ssrs, &mut stats, &mut None).unwrap();
         assert!(fpss.take_int_writebacks(0).is_empty());
         let wbs = fpss.take_int_writebacks(u64::from(cfg.fpu_lat_short));
         assert_eq!(wbs, vec![IntWriteback { rd: IntReg::A0, value: 1 }]);
@@ -964,7 +1015,7 @@ mod tests {
         let mut now = 0;
         while !fpss.drained(now) {
             arb.begin_cycle();
-            fpss.step(now, 0, &cfg, &mut mem, &mut arb, &mut ssrs, &mut stats).unwrap();
+            fpss.step(now, 0, &cfg, &mut mem, &mut arb, &mut ssrs, &mut stats, &mut None).unwrap();
             now += 1;
         }
         assert_eq!(fpss.reg(FpReg::FA0), 1, "comparison result as integer bits");

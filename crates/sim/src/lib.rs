@@ -36,3 +36,15 @@ pub use cluster::Cluster;
 pub use config::ClusterConfig;
 pub use error::{RunError, SimFault};
 pub use stats::Stats;
+
+/// Emits a trace event when a tracer is attached. The `$kind` expression is
+/// only evaluated on the traced path, so the untraced hot path pays exactly
+/// one `Option` branch — no event construction, no allocation.
+macro_rules! trace_event {
+    ($tracer:expr, $cycle:expr, $hart:expr, $kind:expr) => {
+        if let Some(t) = $tracer.as_mut() {
+            t.record($cycle, $hart, $kind);
+        }
+    };
+}
+pub(crate) use trace_event;

@@ -4,6 +4,8 @@
 //! activity interface consumed by the `snitch-energy` power model: every
 //! energy-relevant event in the cluster increments exactly one counter here.
 
+use snitch_trace::StallCause;
+
 /// Counters collected over a simulation run.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Stats {
@@ -122,6 +124,53 @@ impl Stats {
         }
     }
 
+    /// The counter field tracking `cause` — the single mapping between the
+    /// trace-event stall taxonomy and these counters. The simulator counts
+    /// stalls *through* this (see [`add_stall`](Self::add_stall)), so trace
+    /// attribution and counters agree counter-for-counter by construction.
+    fn stall_field(&mut self, cause: StallCause) -> &mut u64 {
+        match cause {
+            StallCause::IntRaw => &mut self.stall_int_raw,
+            StallCause::WbPort => &mut self.stall_wb_port,
+            StallCause::OffloadFull => &mut self.stall_offload_full,
+            StallCause::FpPending => &mut self.stall_fp_pending,
+            StallCause::SsrCfg => &mut self.stall_ssr_cfg,
+            StallCause::Fence => &mut self.stall_fence,
+            StallCause::Branch => &mut self.stall_branch,
+            StallCause::TcdmConflict => &mut self.stall_tcdm_conflict,
+            StallCause::StoreOrder => &mut self.stall_store_order,
+            StallCause::Barrier => &mut self.stall_barrier,
+            StallCause::FpuRaw => &mut self.fpu_stall_raw,
+            StallCause::FpuSsr => &mut self.fpu_stall_ssr,
+            StallCause::FpuTcdm => &mut self.fpu_stall_tcdm,
+        }
+    }
+
+    /// Adds `cycles` lost cycles to the counter tracking `cause`.
+    pub fn add_stall(&mut self, cause: StallCause, cycles: u64) {
+        *self.stall_field(cause) += cycles;
+    }
+
+    /// Reads the counter tracking `cause`.
+    #[must_use]
+    pub fn stall_by_cause(&self, cause: StallCause) -> u64 {
+        match cause {
+            StallCause::IntRaw => self.stall_int_raw,
+            StallCause::WbPort => self.stall_wb_port,
+            StallCause::OffloadFull => self.stall_offload_full,
+            StallCause::FpPending => self.stall_fp_pending,
+            StallCause::SsrCfg => self.stall_ssr_cfg,
+            StallCause::Fence => self.stall_fence,
+            StallCause::Branch => self.stall_branch,
+            StallCause::TcdmConflict => self.stall_tcdm_conflict,
+            StallCause::StoreOrder => self.stall_store_order,
+            StallCause::Barrier => self.stall_barrier,
+            StallCause::FpuRaw => self.fpu_stall_raw,
+            StallCause::FpuSsr => self.fpu_stall_ssr,
+            StallCause::FpuTcdm => self.fpu_stall_tcdm,
+        }
+    }
+
     /// Adds `other` field-wise into `self` (the per-core → cluster rollup;
     /// `cycles` is deliberately excluded — elapsed time does not sum across
     /// cores stepping in lockstep, the caller sets it).
@@ -175,19 +224,21 @@ impl Stats {
     /// Difference of two stats snapshots (for steady-state windows):
     /// `self - earlier`, field by field.
     ///
-    /// # Panics
-    ///
-    /// Panics if `earlier` was taken after `self` (any counter larger).
+    /// Subtraction saturates at zero per counter: steady-state window
+    /// extraction differences snapshots taken mid-run (or from distinct
+    /// runs whose prologues differ by a few cycles), and a window analysis
+    /// must degrade to a zero delta rather than take the caller down.
     #[must_use]
     pub fn delta_since(&self, earlier: &Stats) -> Stats {
         macro_rules! sub {
             ($($f:ident),* $(,)?) => {
                 Stats {
-                    $( $f: self.$f.checked_sub(earlier.$f)
-                        .unwrap_or_else(|| panic!(concat!("stats counter `", stringify!($f), "` went backwards"))), )*
-                    ssr_beats: std::array::from_fn(|i| self.ssr_beats[i] - earlier.ssr_beats[i]),
+                    $( $f: self.$f.saturating_sub(earlier.$f), )*
+                    ssr_beats: std::array::from_fn(|i| {
+                        self.ssr_beats[i].saturating_sub(earlier.ssr_beats[i])
+                    }),
                     ssr_active_cycles: std::array::from_fn(|i| {
-                        self.ssr_active_cycles[i] - earlier.ssr_active_cycles[i]
+                        self.ssr_active_cycles[i].saturating_sub(earlier.ssr_active_cycles[i])
                     }),
                 }
             };
@@ -311,10 +362,33 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "went backwards")]
-    fn delta_rejects_reversed_order() {
-        let early = Stats { cycles: 100, ..Stats::default() };
-        let late = Stats { cycles: 300, ..Stats::default() };
-        let _ = early.delta_since(&late);
+    fn delta_saturates_on_reversed_counters() {
+        // A mid-run snapshot pair can have individual counters "go
+        // backwards" (e.g. comparing windows of two separate runs); the
+        // delta must clamp at zero per field instead of panicking.
+        let early = Stats { cycles: 100, int_issued: 80, ssr_beats: [5, 0, 0], ..Stats::default() };
+        let late = Stats { cycles: 300, int_issued: 40, ssr_beats: [2, 9, 0], ..Stats::default() };
+        let d = late.delta_since(&early);
+        assert_eq!(d.cycles, 200);
+        assert_eq!(d.int_issued, 0, "reversed counter clamps to zero");
+        assert_eq!(d.ssr_beats, [0, 9, 0]);
+        // And the fully reversed pair is all zeros, not a panic.
+        let z = early.delta_since(&late);
+        assert_eq!(z.cycles, 0);
+    }
+
+    #[test]
+    fn stall_accessors_cover_every_cause() {
+        let mut s = Stats::default();
+        for (i, cause) in StallCause::all().into_iter().enumerate() {
+            s.add_stall(cause, (i + 1) as u64);
+        }
+        for (i, cause) in StallCause::all().into_iter().enumerate() {
+            assert_eq!(s.stall_by_cause(cause), (i + 1) as u64, "{cause}");
+        }
+        // Spot-check the mapping against the named fields.
+        assert_eq!(s.stall_int_raw, 1);
+        assert_eq!(s.stall_barrier, 10);
+        assert_eq!(s.fpu_stall_tcdm, 13);
     }
 }

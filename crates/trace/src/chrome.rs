@@ -1,0 +1,531 @@
+//! Chrome trace-event JSON sink (the format Perfetto and `chrome://tracing`
+//! load) plus a dependency-free schema validator.
+//!
+//! Track layout: one *process* per hart (`pid` = hart id, `pid` 255 = the
+//! cluster-shared units) and one *thread* per lane:
+//!
+//! | tid | track        | events                                   |
+//! |-----|--------------|------------------------------------------|
+//! | 0   | `core issue` | every core-slot issue (`X`, 1 cycle) and barrier instants (`i`) |
+//! | 1   | `frep`       | every sequencer replay (`X`, 1 cycle)    |
+//! | 2   | `fpu retire` | FPU completions (`X`, 1 cycle)           |
+//! | 3   | `stall`      | lost issue slots (`X`, duration = lost cycles, name = cause) |
+//!
+//! SSR beats, DMA activity and TCDM bank conflicts render as counter (`C`)
+//! series. Timestamps are cycles (1 cycle = 1 "µs" on the Perfetto axis).
+
+use std::fmt::Write as _;
+
+use crate::event::{EventKind, TraceEvent, CLUSTER_HART};
+
+const TID_CORE: u8 = 0;
+const TID_FREP: u8 = 1;
+const TID_RETIRE: u8 = 2;
+const TID_STALL: u8 = 3;
+
+/// Renders an event stream as a complete Chrome trace-event JSON document.
+#[must_use]
+pub fn render(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + 256);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    let mut emit = |line: &str, first: &mut bool| {
+        if !*first {
+            out.push(',');
+        }
+        out.push('\n');
+        out.push_str(line);
+        *first = false;
+    };
+
+    // Metadata: name every hart process and lane thread that appears.
+    let mut harts: Vec<u8> = events.iter().map(|e| e.hart).collect();
+    harts.sort_unstable();
+    harts.dedup();
+    for &h in &harts {
+        let pname = if h == CLUSTER_HART { "cluster".to_string() } else { format!("hart{h}") };
+        emit(
+            &format!(
+                "{{\"ph\":\"M\",\"pid\":{h},\"name\":\"process_name\",\
+                 \"args\":{{\"name\":\"{pname}\"}}}}"
+            ),
+            &mut first,
+        );
+        if h == CLUSTER_HART {
+            continue;
+        }
+        for (tid, tname) in [
+            (TID_CORE, "core issue"),
+            (TID_FREP, "frep"),
+            (TID_RETIRE, "fpu retire"),
+            (TID_STALL, "stall"),
+        ] {
+            emit(
+                &format!(
+                    "{{\"ph\":\"M\",\"pid\":{h},\"tid\":{tid},\"name\":\"thread_name\",\
+                     \"args\":{{\"name\":\"{tname}\"}}}}"
+                ),
+                &mut first,
+            );
+        }
+    }
+
+    // Counter samples are only emitted on active cycles; Perfetto holds a
+    // counter at its last value, so each series needs a zero sample on the
+    // first inactive cycle after activity or idle spans render as busy.
+    let sampled: std::collections::HashSet<(u8, CounterSeries, u64)> = events
+        .iter()
+        .filter_map(|e| counter_series(&e.kind).map(|s| (e.hart, s, e.cycle)))
+        .collect();
+    let zero_after = |hart: u8, kind: &EventKind, cycle: u64| -> Option<String> {
+        let series = counter_series(kind)?;
+        if sampled.contains(&(hart, series, cycle + 1)) {
+            return None;
+        }
+        let (name, field) = series.labels();
+        Some(format!(
+            "{{\"ph\":\"C\",\"pid\":{hart},\"ts\":{},\"name\":\"{name}\",\
+             \"args\":{{\"{field}\":0}}}}",
+            cycle + 1
+        ))
+    };
+
+    for ev in events {
+        let (cycle, hart) = (ev.cycle, ev.hart);
+        let line = match ev.kind {
+            EventKind::Issue { lane, pc, inst } => {
+                let tid = if lane.is_core_slot() { TID_CORE } else { TID_FREP };
+                let mut s = format!(
+                    "{{\"ph\":\"X\",\"pid\":{hart},\"tid\":{tid},\"ts\":{cycle},\"dur\":1,\
+                     \"name\":{}",
+                    escape(&inst.to_string()),
+                );
+                if let Some(pc) = pc {
+                    let _ = write!(s, ",\"args\":{{\"pc\":\"{pc:#010x}\"}}");
+                }
+                s.push('}');
+                s
+            }
+            EventKind::Retire { lane, inst } => format!(
+                "{{\"ph\":\"X\",\"pid\":{hart},\"tid\":{TID_RETIRE},\"ts\":{cycle},\"dur\":1,\
+                 \"name\":{},\"args\":{{\"lane\":\"{}\"}}}}",
+                escape(&inst.to_string()),
+                lane.tag(),
+            ),
+            EventKind::Stall { cause, cycles } => format!(
+                "{{\"ph\":\"X\",\"pid\":{hart},\"tid\":{TID_STALL},\"ts\":{cycle},\
+                 \"dur\":{cycles},\"name\":\"{cause}\"}}"
+            ),
+            EventKind::SsrBeat { ssr, count } => format!(
+                "{{\"ph\":\"C\",\"pid\":{hart},\"ts\":{cycle},\"name\":\"ssr{ssr}\",\
+                 \"args\":{{\"beats\":{count}}}}}"
+            ),
+            EventKind::BankConflicts { count } => format!(
+                "{{\"ph\":\"C\",\"pid\":{hart},\"ts\":{cycle},\"name\":\"tcdm_conflicts\",\
+                 \"args\":{{\"new\":{count}}}}}"
+            ),
+            EventKind::DmaActive { count } => format!(
+                "{{\"ph\":\"C\",\"pid\":{hart},\"ts\":{cycle},\"name\":\"dma\",\
+                 \"args\":{{\"beats\":{count}}}}}"
+            ),
+            EventKind::BarrierArrive => format!(
+                "{{\"ph\":\"i\",\"pid\":{hart},\"tid\":{TID_CORE},\"ts\":{cycle},\"s\":\"t\",\
+                 \"name\":\"barrier arrive\"}}"
+            ),
+            EventKind::BarrierRelease => format!(
+                "{{\"ph\":\"i\",\"pid\":{hart},\"tid\":{TID_CORE},\"ts\":{cycle},\"s\":\"t\",\
+                 \"name\":\"barrier release\"}}"
+            ),
+        };
+        emit(&line, &mut first);
+        if let Some(zero) = zero_after(hart, &ev.kind, cycle) {
+            emit(&zero, &mut first);
+        }
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"timeUnit\":\"cycle\"}}\n");
+    out
+}
+
+/// Identity of one counter series (per hart).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum CounterSeries {
+    Ssr(u8),
+    Conflicts,
+    Dma,
+}
+
+impl CounterSeries {
+    /// `(track name, args field)` of the series' samples.
+    fn labels(self) -> (String, &'static str) {
+        match self {
+            CounterSeries::Ssr(i) => (format!("ssr{i}"), "beats"),
+            CounterSeries::Conflicts => ("tcdm_conflicts".to_string(), "new"),
+            CounterSeries::Dma => ("dma".to_string(), "beats"),
+        }
+    }
+}
+
+/// The counter series an event samples, if it is a counter event.
+fn counter_series(kind: &EventKind) -> Option<CounterSeries> {
+    match *kind {
+        EventKind::SsrBeat { ssr, .. } => Some(CounterSeries::Ssr(ssr)),
+        EventKind::BankConflicts { .. } => Some(CounterSeries::Conflicts),
+        EventKind::DmaActive { .. } => Some(CounterSeries::Dma),
+        _ => None,
+    }
+}
+
+/// JSON string escaping for instruction disassembly and labels.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// What [`validate`] found in a well-formed trace document.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Summary {
+    /// Total entries in `traceEvents`.
+    pub events: usize,
+    /// Complete (`ph:"X"`) duration events.
+    pub complete: usize,
+    /// Counter (`ph:"C"`) samples.
+    pub counters: usize,
+    /// Instant (`ph:"i"`) events.
+    pub instants: usize,
+    /// Metadata (`ph:"M"`) records.
+    pub metadata: usize,
+}
+
+/// Validates a Chrome trace-event document: the whole string must be
+/// syntactically valid JSON, the top level must carry a `traceEvents`
+/// array, and every event object must carry the keys its phase requires
+/// (`X`: `pid`/`tid`/`ts`/`dur`/`name`; `C`: `pid`/`ts`/`name`/`args`;
+/// `i`: `pid`/`ts`/`name`; `M`: `pid`/`name`/`args`).
+///
+/// # Errors
+///
+/// Returns a description of the first syntax or schema violation.
+pub fn validate(json: &str) -> Result<Summary, String> {
+    let mut p = Parser { s: json.as_bytes(), i: 0 };
+    let summary = p.document()?;
+    p.ws();
+    if p.i != p.s.len() {
+        return Err(format!("trailing bytes at offset {}", p.i));
+    }
+    Ok(summary)
+}
+
+struct Parser<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn ws(&mut self) {
+        while self.s.get(self.i).is_some_and(u8::is_ascii_whitespace) {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.ws();
+        self.s.get(self.i).copied()
+    }
+
+    fn eat(&mut self, want: u8) -> Result<(), String> {
+        match self.peek() {
+            Some(b) if b == want => {
+                self.i += 1;
+                Ok(())
+            }
+            other => Err(format!(
+                "expected `{}` at offset {}, found {:?}",
+                want as char,
+                self.i,
+                other.map(|b| b as char)
+            )),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.s.get(self.i) {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.s.get(self.i) {
+                        Some(b'u') => {
+                            if self.i + 4 >= self.s.len() {
+                                return Err("truncated \\u escape".to_string());
+                            }
+                            self.i += 5;
+                            out.push('?');
+                        }
+                        Some(&c) => {
+                            self.i += 1;
+                            out.push(c as char);
+                        }
+                        None => return Err("truncated escape".to_string()),
+                    }
+                }
+                Some(&c) => {
+                    self.i += 1;
+                    out.push(c as char);
+                }
+            }
+        }
+    }
+
+    /// Skips any JSON value, validating its syntax.
+    fn value(&mut self) -> Result<(), String> {
+        match self.peek() {
+            Some(b'{') => {
+                self.object(|_, _| Ok(()))?;
+                Ok(())
+            }
+            Some(b'[') => {
+                self.eat(b'[')?;
+                if self.peek() == Some(b']') {
+                    self.i += 1;
+                    return Ok(());
+                }
+                loop {
+                    self.value()?;
+                    match self.peek() {
+                        Some(b',') => self.i += 1,
+                        Some(b']') => {
+                            self.i += 1;
+                            return Ok(());
+                        }
+                        other => return Err(format!("bad array at offset {}: {other:?}", self.i)),
+                    }
+                }
+            }
+            Some(b'"') => self.string().map(|_| ()),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(c) if c == b'-' || c.is_ascii_digit() => {
+                self.i += 1;
+                while self.s.get(self.i).is_some_and(|b| {
+                    b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-')
+                }) {
+                    self.i += 1;
+                }
+                Ok(())
+            }
+            other => Err(format!("unexpected {other:?} at offset {}", self.i)),
+        }
+    }
+
+    fn literal(&mut self, word: &str) -> Result<(), String> {
+        if self.s[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(())
+        } else {
+            Err(format!("bad literal at offset {}", self.i))
+        }
+    }
+
+    /// Parses an object, invoking `on_key(key, parser)` positioned at each
+    /// value; the callback must consume the value (default: `value()`).
+    fn object(
+        &mut self,
+        mut on_key: impl FnMut(&str, &mut Self) -> Result<(), String>,
+    ) -> Result<Vec<String>, String> {
+        self.eat(b'{')?;
+        let mut keys = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(keys);
+        }
+        loop {
+            let key = self.string()?;
+            self.eat(b':')?;
+            let before = self.i;
+            on_key(&key, self)?;
+            if self.i == before {
+                self.value()?;
+            }
+            keys.push(key);
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(keys);
+                }
+                other => return Err(format!("bad object at offset {}: {other:?}", self.i)),
+            }
+        }
+    }
+
+    fn document(&mut self) -> Result<Summary, String> {
+        let mut summary = Summary::default();
+        let mut saw_trace_events = false;
+        self.object(|key, p| {
+            if key == "traceEvents" {
+                saw_trace_events = true;
+                p.eat(b'[')?;
+                if p.peek() == Some(b']') {
+                    p.i += 1;
+                    return Ok(());
+                }
+                loop {
+                    p.event(&mut summary)?;
+                    match p.peek() {
+                        Some(b',') => p.i += 1,
+                        Some(b']') => {
+                            p.i += 1;
+                            return Ok(());
+                        }
+                        other => {
+                            return Err(format!("bad traceEvents at offset {}: {other:?}", p.i))
+                        }
+                    }
+                }
+            }
+            Ok(())
+        })?;
+        if !saw_trace_events {
+            return Err("document lacks a `traceEvents` array".to_string());
+        }
+        Ok(summary)
+    }
+
+    fn event(&mut self, summary: &mut Summary) -> Result<(), String> {
+        let mut ph = String::new();
+        let keys = self.object(|key, p| {
+            if key == "ph" {
+                ph = p.string()?;
+            }
+            Ok(())
+        })?;
+        let has = |k: &str| keys.iter().any(|key| key == k);
+        let require = |wanted: &[&str]| -> Result<(), String> {
+            for k in wanted {
+                if !has(k) {
+                    return Err(format!("`{ph}` event #{} lacks key `{k}`", summary.events));
+                }
+            }
+            Ok(())
+        };
+        match ph.as_str() {
+            "X" => {
+                require(&["pid", "tid", "ts", "dur", "name"])?;
+                summary.complete += 1;
+            }
+            "C" => {
+                require(&["pid", "ts", "name", "args"])?;
+                summary.counters += 1;
+            }
+            "i" => {
+                require(&["pid", "ts", "name"])?;
+                summary.instants += 1;
+            }
+            "M" => {
+                require(&["pid", "name", "args"])?;
+                summary.metadata += 1;
+            }
+            other => return Err(format!("unknown event phase `{other}`")),
+        }
+        summary.events += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Lane, StallCause};
+    use snitch_riscv::inst::Inst;
+
+    #[test]
+    fn rendered_trace_validates() {
+        let events = [
+            TraceEvent {
+                cycle: 0,
+                hart: 0,
+                kind: EventKind::Issue { lane: Lane::Int, pc: Some(0x8000_0000), inst: Inst::NOP },
+            },
+            TraceEvent {
+                cycle: 1,
+                hart: 0,
+                kind: EventKind::Issue { lane: Lane::FpSeq, pc: None, inst: Inst::NOP },
+            },
+            TraceEvent {
+                cycle: 1,
+                hart: 0,
+                kind: EventKind::Stall { cause: StallCause::Branch, cycles: 2 },
+            },
+            TraceEvent { cycle: 2, hart: 0, kind: EventKind::SsrBeat { ssr: 1, count: 1 } },
+            TraceEvent { cycle: 2, hart: CLUSTER_HART, kind: EventKind::DmaActive { count: 4 } },
+            TraceEvent { cycle: 3, hart: 0, kind: EventKind::BarrierArrive },
+            TraceEvent { cycle: 4, hart: 0, kind: EventKind::BarrierRelease },
+            TraceEvent {
+                cycle: 5,
+                hart: CLUSTER_HART,
+                kind: EventKind::BankConflicts { count: 2 },
+            },
+            TraceEvent {
+                cycle: 6,
+                hart: 0,
+                kind: EventKind::Retire { lane: Lane::FpSeq, inst: Inst::NOP },
+            },
+        ];
+        let json = render(&events);
+        let summary = validate(&json).expect("rendered trace must validate");
+        assert_eq!(summary.complete, 4, "two issues, one stall, one retire");
+        assert_eq!(summary.counters, 6, "each active sample is followed by a zero sample");
+        assert_eq!(summary.instants, 2);
+        assert!(summary.metadata >= 5, "process + 4 thread names for hart 0, plus cluster");
+        assert!(json.contains("\"name\":\"frep\""), "one track per hart lane");
+        assert!(json.contains("{\"beats\":0}"), "idle cycles drop the counter back to zero");
+    }
+
+    #[test]
+    fn counter_series_zero_only_after_activity_ends() {
+        // Active on cycles 1 and 2, idle from 3: one zero sample at 3, none
+        // between the consecutive active samples.
+        let events = [
+            TraceEvent { cycle: 1, hart: 0, kind: EventKind::SsrBeat { ssr: 0, count: 1 } },
+            TraceEvent { cycle: 2, hart: 0, kind: EventKind::SsrBeat { ssr: 0, count: 2 } },
+        ];
+        let json = render(&events);
+        assert_eq!(validate(&json).unwrap().counters, 3);
+        assert!(json.contains("\"ts\":3,\"name\":\"ssr0\",\"args\":{\"beats\":0}"));
+        assert!(!json.contains("\"ts\":2,\"name\":\"ssr0\",\"args\":{\"beats\":0}"));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        assert!(validate("{}").is_err(), "missing traceEvents");
+        assert!(validate("{\"traceEvents\":[{\"ph\":\"X\"}]}").is_err(), "X without ts");
+        assert!(validate("{\"traceEvents\":[").is_err(), "truncated");
+        assert!(validate("{\"traceEvents\":[{\"ph\":\"Z\",\"pid\":0}]}").is_err(), "unknown phase");
+        let ok = "{\"traceEvents\":[],\"otherData\":{\"x\":[1,2,null,true,-3.5e2]}}";
+        assert_eq!(validate(ok).unwrap().events, 0);
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("a\"b\\c"), "\"a\\\"b\\\\c\"");
+    }
+}

@@ -1,0 +1,244 @@
+//! The typed trace-event vocabulary.
+
+use snitch_riscv::inst::Inst;
+
+/// Synthetic hart id for cluster-shared units (DMA engine, TCDM arbiter)
+/// whose events belong to no single compute core.
+pub const CLUSTER_HART: u8 = 0xFF;
+
+/// The issue lane an instruction occupied.
+///
+/// Snitch's *pseudo dual-issue* has exactly two concurrent issue slots per
+/// hart and cycle: the integer core's (one instruction per cycle, including
+/// FP offload pushes) and the FREP sequencer's (hardware-loop replays that
+/// bypass the core entirely). The occupancy timeline therefore draws two
+/// tracks — [`Lane::Int`] + [`Lane::FpCore`] share the *core issue* track,
+/// [`Lane::FpSeq`] is the *FREP* track — and overlap between the tracks is
+/// the dual-issue the paper measures.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Lane {
+    /// Integer-side instruction issued by the core (ALU, branches, loads,
+    /// stores, CSR, FREP/SSR/DMA configuration).
+    Int,
+    /// FP instruction pushed into the offload FIFO by the integer core —
+    /// it consumed the core's issue slot this cycle (iteration 0 of FREP
+    /// bodies and all non-FREP FP instructions).
+    FpCore,
+    /// FP instruction issued by the FREP sequencer (a replayed iteration):
+    /// the pseudo-dual-issue lane.
+    FpSeq,
+}
+
+impl Lane {
+    /// Short display tag (`int`, `fp`, `frep`).
+    #[must_use]
+    pub fn tag(self) -> &'static str {
+        match self {
+            Lane::Int => "int",
+            Lane::FpCore => "fp",
+            Lane::FpSeq => "frep",
+        }
+    }
+
+    /// Whether this lane occupies the core's issue slot (vs the sequencer's).
+    #[must_use]
+    pub fn is_core_slot(self) -> bool {
+        matches!(self, Lane::Int | Lane::FpCore)
+    }
+}
+
+/// Why an issue slot was lost for a cycle.
+///
+/// The first ten variants map one-to-one onto the simulator's
+/// `Stats::stall_*` counters (the integer core's stall taxonomy); the last
+/// three map onto the FPU-side `fpu_stall_*` counters. Attribution from a
+/// trace is therefore cross-checkable counter-for-counter against `Stats`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum StallCause {
+    /// Busy integer source/destination register (`stall_int_raw`).
+    IntRaw,
+    /// Register-file write-back port already claimed (`stall_wb_port`).
+    WbPort,
+    /// Offload FIFO full (`stall_offload_full`).
+    OffloadFull,
+    /// Integer register pending an FP→int write-back (`stall_fp_pending`).
+    FpPending,
+    /// Reconfiguring a still-active SSR streamer (`stall_ssr_cfg`).
+    SsrCfg,
+    /// FPU fence CSR waiting for the FP subsystem to drain (`stall_fence`).
+    Fence,
+    /// Taken-branch pipeline refill (`stall_branch`).
+    Branch,
+    /// TCDM bank conflict on a core load/store (`stall_tcdm_conflict`).
+    TcdmConflict,
+    /// Integer load ordered behind queued FP stores (`stall_store_order`).
+    StoreOrder,
+    /// Waiting at the cluster hardware barrier (`stall_barrier`).
+    Barrier,
+    /// FPU issue stalled on a busy FP register (`fpu_stall_raw`).
+    FpuRaw,
+    /// FPU issue stalled on an SSR FIFO (`fpu_stall_ssr`).
+    FpuSsr,
+    /// FPU issue stalled on a TCDM conflict (`fpu_stall_tcdm`).
+    FpuTcdm,
+}
+
+impl StallCause {
+    /// Every cause: the ten integer-core categories then the three FPU ones.
+    #[must_use]
+    pub fn all() -> [StallCause; 13] {
+        use StallCause::{
+            Barrier, Branch, Fence, FpPending, FpuRaw, FpuSsr, FpuTcdm, IntRaw, OffloadFull,
+            SsrCfg, StoreOrder, TcdmConflict, WbPort,
+        };
+        [
+            IntRaw,
+            WbPort,
+            OffloadFull,
+            FpPending,
+            SsrCfg,
+            Fence,
+            Branch,
+            TcdmConflict,
+            StoreOrder,
+            Barrier,
+            FpuRaw,
+            FpuSsr,
+            FpuTcdm,
+        ]
+    }
+
+    /// The ten integer-core categories (the `Stats::stall_*` counters).
+    #[must_use]
+    pub fn core() -> [StallCause; 10] {
+        let mut out = [StallCause::IntRaw; 10];
+        out.copy_from_slice(&Self::all()[..10]);
+        out
+    }
+
+    /// Whether this cause stalls the integer core's issue slot (vs the FPU's).
+    #[must_use]
+    pub fn is_core(self) -> bool {
+        !matches!(self, StallCause::FpuRaw | StallCause::FpuSsr | StallCause::FpuTcdm)
+    }
+
+    /// Stable snake-case name, matching the `Stats` field it mirrors.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            StallCause::IntRaw => "int_raw",
+            StallCause::WbPort => "wb_port",
+            StallCause::OffloadFull => "offload_full",
+            StallCause::FpPending => "fp_pending",
+            StallCause::SsrCfg => "ssr_cfg",
+            StallCause::Fence => "fence",
+            StallCause::Branch => "branch",
+            StallCause::TcdmConflict => "tcdm_conflict",
+            StallCause::StoreOrder => "store_order",
+            StallCause::Barrier => "barrier",
+            StallCause::FpuRaw => "fpu_raw",
+            StallCause::FpuSsr => "fpu_ssr",
+            StallCause::FpuTcdm => "fpu_tcdm",
+        }
+    }
+}
+
+impl std::fmt::Display for StallCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What happened.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum EventKind {
+    /// An instruction occupied an issue slot this cycle. `pc` is known for
+    /// core-slot issues; sequencer replays carry `None` (the ring buffer
+    /// holds no addresses, matching the hardware).
+    Issue {
+        /// The issue lane occupied.
+        lane: Lane,
+        /// Program counter, when the core issued (not a replay).
+        pc: Option<u32>,
+        /// The instruction (render with `Display` for the disassembly).
+        inst: Inst,
+    },
+    /// An FPU operation's result became architecturally visible (`cycle` is
+    /// the completion cycle; the event is emitted at issue time, so a trace
+    /// is not globally cycle-sorted — sinks sort where it matters).
+    Retire {
+        /// The lane the instruction was issued on.
+        lane: Lane,
+        /// The completed instruction.
+        inst: Inst,
+    },
+    /// An issue slot was lost for `cycles` cycles (1 for most causes;
+    /// taken branches report the whole refill penalty in one event, exactly
+    /// as `Stats::stall_branch` counts it).
+    Stall {
+        /// Why the slot was lost.
+        cause: StallCause,
+        /// Lost cycles attributed to this event.
+        cycles: u32,
+    },
+    /// An SSR streamer moved data this cycle.
+    SsrBeat {
+        /// Streamer index (0..2).
+        ssr: u8,
+        /// TCDM accesses it performed this cycle.
+        count: u32,
+    },
+    /// The TCDM arbiter denied this many *new* requests this cycle
+    /// (retries of already-stalled requests do not re-count, matching
+    /// `Stats::tcdm_conflicts`). Emitted with [`CLUSTER_HART`].
+    BankConflicts {
+        /// Newly stalled requests.
+        count: u32,
+    },
+    /// The DMA engine moved data this cycle. Emitted with [`CLUSTER_HART`].
+    DmaActive {
+        /// TCDM accesses it performed this cycle.
+        count: u32,
+    },
+    /// The hart arrived at the hardware barrier (first waiting cycle).
+    BarrierArrive,
+    /// The cluster released the hart from the barrier.
+    BarrierRelease,
+}
+
+/// One trace event: what happened, where, and when.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct TraceEvent {
+    /// Cycle the event belongs to ([`EventKind::Retire`]: completion cycle).
+    pub cycle: u64,
+    /// Hart that produced it, or [`CLUSTER_HART`] for shared units.
+    pub hart: u8,
+    /// The event payload.
+    pub kind: EventKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taxonomy_shape() {
+        assert_eq!(StallCause::all().len(), 13);
+        assert_eq!(StallCause::core().len(), 10);
+        assert!(StallCause::core().iter().all(|c| c.is_core()));
+        assert!(!StallCause::FpuSsr.is_core());
+        // Names are unique and non-empty.
+        let mut names: Vec<&str> = StallCause::all().iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 13);
+    }
+
+    #[test]
+    fn lane_tracks() {
+        assert!(Lane::Int.is_core_slot());
+        assert!(Lane::FpCore.is_core_slot());
+        assert!(!Lane::FpSeq.is_core_slot());
+        assert_eq!(Lane::FpSeq.tag(), "frep");
+    }
+}

@@ -1,0 +1,70 @@
+//! Golden trace tests: the sink output formats are stable byte-for-byte.
+//! Trace files are diffed across PRs and parsed by external tooling
+//! (Perfetto), so format drift must be a deliberate, visible change.
+
+use snitch_riscv::inst::Inst;
+use snitch_riscv::reg::IntReg;
+use snitch_trace::{chrome, text, EventKind, Lane, StallCause, TraceEvent};
+
+fn sample_events() -> Vec<TraceEvent> {
+    let addi = Inst::OpImm {
+        op: snitch_riscv::ops::AluImmOp::Addi,
+        rd: IntReg::A0,
+        rs1: IntReg::A0,
+        imm: -1,
+    };
+    vec![
+        TraceEvent {
+            cycle: 0,
+            hart: 0,
+            kind: EventKind::Issue { lane: Lane::Int, pc: Some(0x8000_0000), inst: addi },
+        },
+        TraceEvent {
+            cycle: 1,
+            hart: 0,
+            kind: EventKind::Issue { lane: Lane::FpSeq, pc: None, inst: Inst::NOP },
+        },
+        TraceEvent {
+            cycle: 1,
+            hart: 0,
+            kind: EventKind::Stall { cause: StallCause::WbPort, cycles: 1 },
+        },
+    ]
+}
+
+#[test]
+fn chrome_json_is_stable() {
+    let json = chrome::render(&sample_events());
+    let expected = "{\"traceEvents\":[\n\
+        {\"ph\":\"M\",\"pid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"hart0\"}},\n\
+        {\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"thread_name\",\"args\":{\"name\":\"core issue\"}},\n\
+        {\"ph\":\"M\",\"pid\":0,\"tid\":1,\"name\":\"thread_name\",\"args\":{\"name\":\"frep\"}},\n\
+        {\"ph\":\"M\",\"pid\":0,\"tid\":2,\"name\":\"thread_name\",\"args\":{\"name\":\"fpu retire\"}},\n\
+        {\"ph\":\"M\",\"pid\":0,\"tid\":3,\"name\":\"thread_name\",\"args\":{\"name\":\"stall\"}},\n\
+        {\"ph\":\"X\",\"pid\":0,\"tid\":0,\"ts\":0,\"dur\":1,\"name\":\"addi a0, a0, -1\",\"args\":{\"pc\":\"0x80000000\"}},\n\
+        {\"ph\":\"X\",\"pid\":0,\"tid\":1,\"ts\":1,\"dur\":1,\"name\":\"addi zero, zero, 0\"},\n\
+        {\"ph\":\"X\",\"pid\":0,\"tid\":3,\"ts\":1,\"dur\":1,\"name\":\"wb_port\"}\n\
+        ],\"displayTimeUnit\":\"ms\",\"otherData\":{\"timeUnit\":\"cycle\"}}\n";
+    assert_eq!(json, expected);
+}
+
+#[test]
+fn chrome_json_passes_its_own_schema() {
+    let json = chrome::render(&sample_events());
+    let summary = chrome::validate(&json).expect("golden trace validates");
+    assert_eq!(summary.events, 8);
+    assert_eq!(summary.complete, 3);
+    assert_eq!(summary.metadata, 5);
+}
+
+#[test]
+fn text_trace_is_stable() {
+    let rendered = text::render(&sample_events());
+    let expected = concat!(
+        "#     cycle hart lane   pc          event\n",
+        "          0 h0   int    0x80000000  addi a0, a0, -1\n",
+        "          1 h0   frep               addi zero, zero, 0\n",
+        "          1 h0   stall              wb_port (1)\n",
+    );
+    assert_eq!(rendered, expected);
+}
