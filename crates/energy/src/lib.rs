@@ -43,8 +43,12 @@ pub const CLOCK_HZ: f64 = 1.0e9;
 pub struct EnergyModel {
     /// Clock tree, leakage and always-on infrastructure (mW).
     pub p_static_mw: f64,
-    /// Additional engine power while the DMA is busy (expressed in pJ per
-    /// busy cycle, i.e. mW at 1 GHz).
+    /// Additional engine power while the DMA datapath is moving data
+    /// (expressed in pJ per busy cycle, i.e. mW at 1 GHz). Charged against
+    /// [`Stats::dma_busy_cycles`], which counts only cycles a beat was
+    /// performed — cycles an active transfer lost to TCDM bank arbitration
+    /// are tracked separately (`Stats::dma_blocked_cycles`) and draw only
+    /// static power, like any other stall.
     pub e_dma_busy_cycle: f64,
     /// Integer instruction issue + execute (pJ).
     pub e_int_issue: f64,
@@ -203,6 +207,22 @@ mod tests {
         let r = model.report(&stats);
         let int_mw = r.breakdown_mw.iter().find(|(n, _)| *n == "int core").unwrap().1;
         assert!((int_mw - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn blocked_dma_cycles_draw_no_dma_energy() {
+        // An arbitration-blocked DMA cycle moves nothing: only the moving
+        // (busy) cycles appear in the DMA energy term.
+        let model = EnergyModel::gf12lp();
+        let moving = Stats { cycles: 100, dma_busy_cycles: 10, ..Stats::default() };
+        let blocked =
+            Stats { cycles: 100, dma_busy_cycles: 10, dma_blocked_cycles: 50, ..Stats::default() };
+        assert_eq!(
+            model.dynamic_energy_pj(&moving),
+            model.dynamic_energy_pj(&blocked),
+            "blocked cycles must not be charged as DMA activity"
+        );
+        assert!(model.dynamic_energy_pj(&moving) > 0.0);
     }
 
     #[test]

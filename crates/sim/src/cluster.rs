@@ -91,8 +91,24 @@ pub struct Cluster {
     /// TCDM accesses performed by the shared DMA engine.
     tcdm_dma_accesses: u64,
     cycle: u64,
+    /// Last cycle on which any unit did observable work (issued, streamed a
+    /// beat, moved a DMA byte) — maintained O(1) per cycle from what each
+    /// unit's step reports, replacing the per-cycle `progress_signature()`
+    /// counter scan of earlier revisions.
     last_progress_cycle: u64,
-    last_progress_sig: u64,
+    /// Harts currently halted (maintained on the `ecall` transition, so the
+    /// run loop's exit test is one integer compare instead of an all-units
+    /// scan per cycle).
+    halted_count: usize,
+    /// Harts currently stalled at the hardware barrier (maintained on
+    /// arrive/release transitions, same reasoning).
+    barrier_waiting_count: usize,
+    /// Quiescent-skip fast path enable (on by default; see
+    /// [`set_quiescent_skip`](Self::set_quiescent_skip)).
+    skip: bool,
+    /// Cycles the run loop advanced without stepping any unit (diagnostic;
+    /// not part of [`Stats`] — skipped cycles are ordinary elapsed cycles).
+    skipped_cycles: u64,
     /// Event collector, attached when `cfg.trace` is set (or explicitly via
     /// [`attach_tracer`](Self::attach_tracer)). `None` is the hot path:
     /// every emission site is a single branch and constructs nothing.
@@ -103,13 +119,6 @@ impl Cluster {
     /// Creates an empty cluster.
     #[must_use]
     pub fn new(cfg: ClusterConfig) -> Self {
-        Self::with_memory(cfg, Memory::new())
-    }
-
-    /// The single construction path: every field of a just-built cluster is
-    /// initialized here, so [`reset`](Self::reset) (which routes through
-    /// this with reused memory) can never drift from `new`.
-    fn with_memory(cfg: ClusterConfig, mem: Memory) -> Self {
         assert!(
             (1..=32).contains(&cfg.cores),
             "cluster size {} outside the supported 1..=32 cores",
@@ -124,13 +133,16 @@ impl Cluster {
             text: Vec::new(),
             units,
             dma,
-            mem,
+            mem: Memory::new(),
             arb,
             stats: Stats::default(),
             tcdm_dma_accesses: 0,
             cycle: 0,
             last_progress_cycle: 0,
-            last_progress_sig: 0,
+            halted_count: 0,
+            barrier_waiting_count: 0,
+            skip: true,
+            skipped_cycles: 0,
             tracer,
         }
     }
@@ -141,26 +153,52 @@ impl Cluster {
     pub fn load_program(&mut self, program: &Program) {
         self.text = program.text().iter().copied().map(Decoded::new).collect();
         self.mem.load_images(program.tcdm_image(), program.main_image());
+        let mut halted = 0;
         for (h, unit) in self.units.iter_mut().enumerate() {
-            unit.core = IntCore::new(h as u32);
+            unit.core.reset(h as u32);
             if h > 0 && !program.parallel() {
                 unit.core.force_halt();
+                halted += 1;
             }
         }
+        self.halted_count = halted;
+        self.barrier_waiting_count = 0;
     }
 
-    /// Restores the cluster to its just-constructed state while reusing the
-    /// large memory allocations, so one `Cluster` can execute a stream of
-    /// jobs without re-allocating per run.
+    /// Restores the cluster to its just-constructed state while reusing
+    /// *every* allocation — the memory arrays (cleared only over their dirty
+    /// watermarks), per-unit queues and tables — so one `Cluster` can
+    /// execute a stream of jobs with zero per-job allocation and a clear
+    /// cost proportional to what the previous job touched.
     ///
     /// After `reset()` + [`load_program`](Self::load_program), a run is
     /// bit-identical (results *and* [`Stats`]) to one on a fresh
     /// `Cluster::new(cfg)` — the determinism guarantee `snitch-engine`'s
-    /// worker pool relies on.
+    /// worker pool relies on, pinned by the reset/fresh-equivalence tests.
+    /// The quiescent-skip setting is restored to its default (enabled).
     pub fn reset(&mut self) {
-        let mut mem = std::mem::replace(&mut self.mem, Memory::empty());
-        mem.clear();
-        *self = Cluster::with_memory(self.cfg.clone(), mem);
+        self.text.clear();
+        self.mem.clear();
+        for (h, unit) in self.units.iter_mut().enumerate() {
+            unit.core.reset(h as u32);
+            unit.fpss.reset();
+            for ssr in &mut unit.ssrs {
+                ssr.reset();
+            }
+            unit.l0.reset();
+            unit.stats = Stats::default();
+        }
+        self.dma.reset();
+        self.arb.reset();
+        self.stats = Stats::default();
+        self.tcdm_dma_accesses = 0;
+        self.cycle = 0;
+        self.last_progress_cycle = 0;
+        self.halted_count = 0;
+        self.barrier_waiting_count = 0;
+        self.skip = true;
+        self.skipped_cycles = 0;
+        self.tracer = self.cfg.trace.then(Tracer::new);
     }
 
     /// The configuration this cluster was built with.
@@ -258,7 +296,26 @@ impl Cluster {
     /// Whether every hart has halted (`ecall`).
     #[must_use]
     pub fn halted(&self) -> bool {
-        self.units.iter().all(|u| u.core.halted())
+        self.halted_count == self.units.len()
+    }
+
+    /// Enables or disables the quiescent-skip fast path (on by default).
+    ///
+    /// With skip enabled, `run` advances the cluster clock directly to the
+    /// next wake event whenever every unit is provably silent (see
+    /// `DESIGN.md` §13); results, [`Stats`] and traces are bit-identical
+    /// either way — the force-stepped mode exists as the reference for the
+    /// equivalence tests. [`reset`](Self::reset) restores the default.
+    pub fn set_quiescent_skip(&mut self, enabled: bool) {
+        self.skip = enabled;
+    }
+
+    /// Cycles the run loop fast-forwarded through provably silent windows
+    /// instead of stepping them (0 with skip disabled). Diagnostic only:
+    /// skipped cycles are ordinary elapsed cycles in every statistic.
+    #[must_use]
+    pub fn skipped_cycles(&self) -> u64 {
+        self.skipped_cycles
     }
 
     /// Advances the cluster by one cycle and refreshes the statistics
@@ -268,53 +325,75 @@ impl Cluster {
     ///
     /// Returns [`RunError::Fault`] on machine faults.
     pub fn step(&mut self) -> Result<(), RunError> {
-        let result = self.step_units();
+        let result = self.step_units().map(|_| ());
         self.refresh_rollup();
         result
     }
 
     /// One cycle of work for every unit, without the rollup refresh (the
-    /// hot path; `run` refreshes once at the end).
-    fn step_units(&mut self) -> Result<(), RunError> {
+    /// hot path; `run` refreshes once at the end). Returns whether any unit
+    /// made observable progress (issued an instruction, streamed a beat,
+    /// moved a DMA byte) — the deadlock detector's progress signal,
+    /// gathered here for free instead of re-scanning every counter.
+    fn step_units(&mut self) -> Result<bool, RunError> {
         let now = self.cycle;
         self.arb.begin_cycle();
         let conflicts_before = self.arb.conflicts();
+        let dma_beats_before = self.dma.beats();
+        let mut progressed = false;
+        let mut halted_count = self.halted_count;
+        let mut barrier_waiting = self.barrier_waiting_count;
+        let mut fault = None;
 
         // Destructured so the per-unit loop can borrow the shared units and
         // the tracer alongside `self.units` without aliasing `self`.
         let Cluster { cfg, text, units, dma, mem, arb, tracer, tcdm_dma_accesses, .. } = self;
 
         for unit in units.iter_mut() {
-            // FP→int write-backs land before the core issues, so results
-            // are visible the cycle they retire.
-            for wb in unit.fpss.take_int_writebacks(now) {
-                unit.core.apply_writeback(wb.rd, wb.value, now);
+            let CoreUnit { core, fpss, ssrs, l0, stats } = unit;
+
+            // Parked fast path: a halted hart with an idle FP subsystem and
+            // quiescent streamers has provably nothing to do — every call
+            // below would be a no-op (secondary harts of a non-parallel
+            // program sit here for the whole run).
+            if core.halted() && fpss.idle_now() && ssrs.iter().all(Ssr::quiescent) {
+                continue;
             }
 
-            unit.core
-                .step(
-                    now,
-                    cfg,
-                    text,
-                    &mut unit.l0,
-                    mem,
-                    arb,
-                    &mut unit.fpss,
-                    &mut unit.ssrs,
-                    dma,
-                    &mut unit.stats,
-                    tracer,
-                )
-                .map_err(RunError::Fault)?;
+            let was_halted = core.halted();
+            let was_waiting = core.barrier_waiting();
+            let issued_before = stats.int_issued + stats.fp_issued_core + stats.fpu_busy_cycles;
 
-            let hart = unit.core.hart_id() as u8;
-            unit.fpss
-                .step(now, hart, cfg, mem, arb, &mut unit.ssrs, &mut unit.stats, tracer)
-                .map_err(RunError::Fault)?;
+            // FP→int write-backs land before the core issues, so results
+            // are visible the cycle they retire.
+            fpss.drain_int_writebacks(now, |wb| core.apply_writeback(wb.rd, wb.value, now));
 
-            for (i, ssr) in unit.ssrs.iter_mut().enumerate() {
+            let core_result =
+                core.step(now, cfg, text, l0, mem, arb, fpss, ssrs, dma, stats, tracer);
+            // Halt/barrier transitions happen only inside `core.step`;
+            // commit them even when this or a later unit faults, so
+            // `halted()` can never go stale on an aborted cycle.
+            if !was_halted && core.halted() {
+                halted_count += 1;
+            }
+            if !was_waiting && core.barrier_waiting() {
+                barrier_waiting += 1;
+            }
+            if let Err(e) = core_result {
+                fault = Some(e);
+                break;
+            }
+
+            let hart = core.hart_id() as u8;
+            if let Err(e) = fpss.step(now, hart, cfg, mem, arb, ssrs, stats, tracer) {
+                fault = Some(e);
+                break;
+            }
+
+            for (i, ssr) in ssrs.iter_mut().enumerate() {
                 let accesses = ssr.step(mem, arb, TcdmPort::Ssr(hart, i as u8));
-                unit.stats.tcdm_ssr_accesses += u64::from(accesses);
+                stats.tcdm_ssr_accesses += u64::from(accesses);
+                progressed |= accesses > 0;
                 if accesses > 0 {
                     trace_event!(
                         tracer,
@@ -324,14 +403,28 @@ impl Cluster {
                     );
                 }
                 if ssr.armed() {
-                    unit.stats.ssr_active_cycles[i] += 1;
+                    stats.ssr_active_cycles[i] += 1;
                 }
-                unit.stats.ssr_beats[i] = ssr.beats();
+                stats.ssr_beats[i] = ssr.beats();
             }
+
+            // Issue counters moved ⇔ this unit did work this cycle (core
+            // and FPSS issues both bump one of these three).
+            progressed |=
+                stats.int_issued + stats.fp_issued_core + stats.fpu_busy_cycles != issued_before;
+        }
+
+        if let Some(e) = fault {
+            // The cycle is aborted (no advance), but the transition counts
+            // observed so far are real and must land.
+            self.halted_count = halted_count;
+            self.barrier_waiting_count = barrier_waiting;
+            return Err(RunError::Fault(e));
         }
 
         let dma_accesses = dma.step(mem, arb);
         *tcdm_dma_accesses += u64::from(dma_accesses);
+        progressed |= dma.beats() != dma_beats_before;
         if dma_accesses > 0 {
             trace_event!(tracer, now, CLUSTER_HART, EventKind::DmaActive { count: dma_accesses });
         }
@@ -348,19 +441,20 @@ impl Cluster {
         // Hardware barrier: release every waiting hart in the same cycle
         // once each hart has either arrived or halted. Halted harts count
         // as arrived so a partial shutdown can never deadlock the rest.
-        if units.iter().any(|u| u.core.barrier_waiting())
-            && units.iter().all(|u| u.core.halted() || u.core.barrier_waiting())
-        {
+        if barrier_waiting > 0 && barrier_waiting + halted_count == units.len() {
             for unit in units.iter_mut() {
                 if unit.core.barrier_waiting() {
                     unit.core.release_barrier();
                     trace_event!(tracer, now, unit.core.hart_id() as u8, EventKind::BarrierRelease);
                 }
             }
+            barrier_waiting = 0;
         }
 
+        self.halted_count = halted_count;
+        self.barrier_waiting_count = barrier_waiting;
         self.cycle += 1;
-        Ok(())
+        Ok(progressed)
     }
 
     /// Recomputes the cluster rollup from the per-hart statistics and the
@@ -374,6 +468,7 @@ impl Cluster {
         roll.cycles = self.cycle;
         roll.tcdm_dma_accesses = self.tcdm_dma_accesses;
         roll.dma_busy_cycles = self.dma.busy_cycles();
+        roll.dma_blocked_cycles = self.dma.blocked_cycles();
         roll.dma_beats = self.dma.beats();
         roll.tcdm_conflicts = self.arb.conflicts();
         self.stats = roll;
@@ -396,14 +491,33 @@ impl Cluster {
         if self.text.is_empty() {
             return Err(RunError::PcOutOfRange { pc: self.units[0].core.pc() });
         }
-        while !self.halted() {
+        let cores = self.units.len();
+        while self.halted_count < cores {
             if self.cycle >= self.cfg.max_cycles {
                 return Err(RunError::Timeout { cycles: self.cycle });
             }
-            self.step_units()?;
-            let sig = self.progress_signature();
-            if sig != self.last_progress_sig {
-                self.last_progress_sig = sig;
+            // Quiescent skip: when every unit is provably silent, jump the
+            // clock straight to the next wake event. Clamped to the timeout
+            // and deadlock boundaries so both errors are still reported at
+            // exactly the cycle a force-stepped loop would report them.
+            if self.skip {
+                if let Some(wake) = self.quiescent_wake() {
+                    let deadline = self.last_progress_cycle + DEADLOCK_WINDOW + 1;
+                    let target = wake.min(self.cfg.max_cycles).min(deadline);
+                    if target > self.cycle {
+                        self.skipped_cycles += target - self.cycle;
+                        self.cycle = target;
+                        if self.cycle - self.last_progress_cycle > DEADLOCK_WINDOW {
+                            return Err(RunError::Deadlock {
+                                cycle: self.cycle,
+                                pc: self.stuck_pc(),
+                            });
+                        }
+                        continue;
+                    }
+                }
+            }
+            if self.step_units()? {
                 self.last_progress_cycle = self.cycle;
             } else if self.cycle - self.last_progress_cycle > DEADLOCK_WINDOW {
                 return Err(RunError::Deadlock { cycle: self.cycle, pc: self.stuck_pc() });
@@ -411,15 +525,30 @@ impl Cluster {
         }
         // Let in-flight FP work retire so post-run register/memory reads are
         // complete (bounded by the deadlock window).
-        let mut extra = 0u64;
+        let drain_start = self.cycle;
         while self
             .units
             .iter()
             .any(|u| !u.fpss.drained(self.cycle) || u.ssrs.iter().any(super::ssr::Ssr::busy))
         {
+            if self.skip {
+                if let Some(wake) = self.quiescent_wake() {
+                    let target = wake.min(drain_start + DEADLOCK_WINDOW + 1);
+                    if target > self.cycle {
+                        self.skipped_cycles += target - self.cycle;
+                        self.cycle = target;
+                        if self.cycle - drain_start > DEADLOCK_WINDOW {
+                            return Err(RunError::Deadlock {
+                                cycle: self.cycle,
+                                pc: self.stuck_pc(),
+                            });
+                        }
+                        continue;
+                    }
+                }
+            }
             self.step_units()?;
-            extra += 1;
-            if extra > DEADLOCK_WINDOW {
+            if self.cycle - drain_start > DEADLOCK_WINDOW {
                 return Err(RunError::Deadlock { cycle: self.cycle, pc: self.stuck_pc() });
             }
         }
@@ -432,16 +561,36 @@ impl Cluster {
         self.units.iter().find(|u| !u.core.halted()).unwrap_or(&self.units[0]).core.pc()
     }
 
-    fn progress_signature(&self) -> u64 {
-        let mut sig = self.dma.beats();
-        for unit in &self.units {
-            sig = sig
-                .wrapping_add(unit.stats.instructions())
-                .wrapping_add(unit.stats.fpu_busy_cycles)
-                .wrapping_add(unit.stats.ssr_beats.iter().sum::<u64>())
-                .wrapping_add(unit.stats.tcdm_ssr_accesses);
+    /// When every unit is provably silent this cycle, the earliest future
+    /// cycle at which any unit can act again; `None` when some unit may act
+    /// (and count stalls or activity) on the very next step.
+    ///
+    /// The conditions are conservative by construction: every hart halted or
+    /// inside a pre-charged `stall_until` window, every FP subsystem empty
+    /// with only time-stamped deliveries in flight, every SSR streamer
+    /// unarmed with no write data queued, no hart waiting at the barrier
+    /// (barrier waits re-count a stall each cycle), and the DMA engine idle
+    /// (an active transfer moves — or counts a blocked cycle — every cycle).
+    fn quiescent_wake(&self) -> Option<u64> {
+        if !self.dma.idle() || self.barrier_waiting_count > 0 {
+            return None;
         }
-        sig
+        let now = self.cycle;
+        let mut wake = u64::MAX;
+        for unit in &self.units {
+            if !unit.core.halted() {
+                let resume = unit.core.stall_until();
+                if resume <= now {
+                    return None;
+                }
+                wake = wake.min(resume);
+            }
+            wake = wake.min(unit.fpss.quiescent_until(now)?);
+            if !unit.ssrs.iter().all(Ssr::quiescent) {
+                return None;
+            }
+        }
+        (wake > now && wake < u64::MAX).then_some(wake)
     }
 }
 
@@ -991,6 +1140,32 @@ mod tests {
         // Reset restores a fresh, empty tracer (config-driven).
         traced.reset();
         assert_eq!(traced.trace_events(), Some(&[][..]));
+    }
+
+    #[test]
+    fn fault_mid_cycle_still_commits_halt_transitions() {
+        // Hart 0 halts (`ecall`) in the very cycle hart 1 faults on an
+        // unmapped load. The aborted cycle must still record hart 0's halt
+        // transition — the counter-maintained `halted()` may never go stale.
+        let mut b = ProgramBuilder::new();
+        b.parallel();
+        b.csrr_mhartid(IntReg::A0); // cycle 0
+        b.beqz(IntReg::A0, "h0"); // cycle 1: hart 0 taken (+2 refill)
+        b.li_u(IntReg::A1, 0x4000_0000); // hart 1: cycle 2, unmapped address
+        b.nop(); // hart 1: cycle 3
+        b.lw(IntReg::A2, IntReg::A1, 0); // hart 1: cycle 4 — faults
+        b.label("h0");
+        b.ecall(); // hart 0: cycle 4 — halts
+        let p = b.build().unwrap();
+
+        let mut c = Cluster::new(ClusterConfig { cores: 2, ..ClusterConfig::default() });
+        c.load_program(&p);
+        match c.run() {
+            Err(RunError::Fault(_)) => {}
+            other => panic!("expected a machine fault, got {other:?}"),
+        }
+        assert_eq!(c.halted_count, 1, "hart 0's same-cycle halt must be counted");
+        assert!(!c.halted());
     }
 
     #[test]

@@ -132,6 +132,20 @@ impl IntCore {
         self.hart_id
     }
 
+    /// Restores boot state (pc at the text base, zeroed registers and
+    /// scoreboard, no stalls, not halted), reusing the write-back claim
+    /// buffer — the allocation-free equivalent of `IntCore::new(hart_id)`.
+    pub fn reset(&mut self, hart_id: u32) {
+        self.hart_id = hart_id;
+        self.pc = layout::TEXT_BASE;
+        self.regs = [0; 32];
+        self.ready_at = [0; 32];
+        self.stall_until = 0;
+        self.wb_claims.clear();
+        self.halted = false;
+        self.barrier = BarrierState::Idle;
+    }
+
     /// Whether the core is stalled at the cluster hardware barrier.
     #[must_use]
     pub fn barrier_waiting(&self) -> bool {
@@ -161,6 +175,16 @@ impl IntCore {
     #[must_use]
     pub fn halted(&self) -> bool {
         self.halted
+    }
+
+    /// The first cycle at which this core will attempt to issue again. While
+    /// `stall_until > now` the core is in a *silent* stall (a taken branch's
+    /// refill window, charged in full at branch time): `step` returns
+    /// without touching any counter, which is what makes these cycles
+    /// skippable by the cluster's quiescent fast path.
+    #[must_use]
+    pub fn stall_until(&self) -> u64 {
+        self.stall_until
     }
 
     /// Reads an integer register (for the harness).

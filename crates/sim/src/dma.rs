@@ -28,8 +28,13 @@ pub struct Dma {
     reps: u32,
     queue: VecDeque<Segment>,
     current: Option<Segment>,
+    /// Read data of a same-bank TCDM→TCDM beat awaiting its write cycle
+    /// (`(chunk, value)`): one bank serves one request per cycle, so such a
+    /// beat is serialized into a read cycle and a write cycle.
+    latch: Option<(u32, u64)>,
     next_id: u32,
     busy_cycles: u64,
+    blocked_cycles: u64,
     beats: u64,
 }
 
@@ -47,10 +52,29 @@ impl Dma {
             reps: 0,
             queue: VecDeque::new(),
             current: None,
+            latch: None,
             next_id: 0,
             busy_cycles: 0,
+            blocked_cycles: 0,
             beats: 0,
         }
+    }
+
+    /// Restores the just-constructed idle state, reusing the queue — the
+    /// allocation-free equivalent of `Dma::new(bytes_per_cycle)`.
+    pub fn reset(&mut self) {
+        self.src = 0;
+        self.dst = 0;
+        self.src_stride = 0;
+        self.dst_stride = 0;
+        self.reps = 0;
+        self.queue.clear();
+        self.current = None;
+        self.latch = None;
+        self.next_id = 0;
+        self.busy_cycles = 0;
+        self.blocked_cycles = 0;
+        self.beats = 0;
     }
 
     /// `dmsrc`: sets the source address.
@@ -104,10 +128,20 @@ impl Dma {
         self.outstanding() == 0
     }
 
-    /// Cycles spent moving data (or blocked on arbitration).
+    /// Cycles spent actually moving data (a beat performed). Arbitration-
+    /// blocked cycles are counted separately in
+    /// [`blocked_cycles`](Self::blocked_cycles), so the energy model's
+    /// per-busy-cycle term charges only real datapath activity.
     #[must_use]
     pub fn busy_cycles(&self) -> u64 {
         self.busy_cycles
+    }
+
+    /// Cycles an active transfer was stalled by TCDM bank arbitration
+    /// (no byte moved, nothing charged as datapath activity).
+    #[must_use]
+    pub fn blocked_cycles(&self) -> u64 {
+        self.blocked_cycles
     }
 
     /// 64-bit (or partial) beats transferred.
@@ -117,6 +151,17 @@ impl Dma {
     }
 
     /// One cycle of DMA work. Returns the number of TCDM accesses performed.
+    ///
+    /// A beat happens only if **every** TCDM-side port wins its bank this
+    /// cycle: both sides are arbitrated up front, and a granted side whose
+    /// partner was denied releases its bank ungranted — nothing is counted
+    /// (accesses, beats, busy cycles) for a cycle that moves no data.
+    /// Beats are split at 8-byte bank-line boundaries on each TCDM side, so
+    /// an unaligned beat never touches two banks under one grant; and a
+    /// TCDM→TCDM beat whose sides map to the *same* bank is serialized into
+    /// a read cycle plus a write cycle (one bank serves one request per
+    /// cycle — the pre-fix model wedged forever on this case, with the src
+    /// grant starving its own dst request).
     pub fn step(&mut self, mem: &mut Memory, arb: &mut TcdmArbiter) -> u32 {
         if self.current.is_none() {
             self.current = self.queue.pop_front();
@@ -124,31 +169,66 @@ impl Dma {
         let Some(seg) = &mut self.current else {
             return 0;
         };
-        self.busy_cycles += 1;
-        let chunk = seg.remaining.min(self.bytes_per_cycle);
-        // Arbitrate for whichever side (or both) touches the TCDM.
-        let mut tcdm_accesses = 0;
-        if layout::is_tcdm(seg.src) {
-            if !arb.request(TcdmPort::DmaSrc, seg.src) {
+        // Write phase of a serialized same-bank beat.
+        if let Some((chunk, val)) = self.latch {
+            if !arb.request(TcdmPort::DmaDst, seg.dst) {
+                self.blocked_cycles += 1;
                 return 0;
             }
-            tcdm_accesses += 1;
+            self.busy_cycles += 1;
+            mem.write(seg.dst, chunk, val).expect("dma destination write");
+            self.latch = None;
+            Self::advance(&mut self.current, &mut self.beats, chunk);
+            return 1;
         }
-        if layout::is_tcdm(seg.dst) && !arb.request(TcdmPort::DmaDst, seg.dst) {
-            return tcdm_accesses;
-        } else if layout::is_tcdm(seg.dst) {
-            tcdm_accesses += 1;
+        let src_tcdm = layout::is_tcdm(seg.src);
+        let dst_tcdm = layout::is_tcdm(seg.dst);
+        let mut chunk = seg.remaining.min(self.bytes_per_cycle);
+        if src_tcdm {
+            chunk = chunk.min(8 - (seg.src & 7));
         }
+        if dst_tcdm {
+            chunk = chunk.min(8 - (seg.dst & 7));
+        }
+        if src_tcdm && dst_tcdm && arb.bank_of(seg.src) == arb.bank_of(seg.dst) {
+            // Read phase of a serialized same-bank beat.
+            if !arb.request(TcdmPort::DmaSrc, seg.src) {
+                self.blocked_cycles += 1;
+                return 0;
+            }
+            self.busy_cycles += 1;
+            self.latch = Some((chunk, mem.read(seg.src, chunk).expect("dma source read")));
+            return 1;
+        }
+        let src_ok = !src_tcdm || arb.request(TcdmPort::DmaSrc, seg.src);
+        let dst_ok = !dst_tcdm || arb.request(TcdmPort::DmaDst, seg.dst);
+        if !(src_ok && dst_ok) {
+            if src_ok && src_tcdm {
+                arb.release(seg.src);
+            }
+            if dst_ok && dst_tcdm {
+                arb.release(seg.dst);
+            }
+            self.blocked_cycles += 1;
+            return 0;
+        }
+        self.busy_cycles += 1;
         let val = mem.read(seg.src, chunk).expect("dma source read");
         mem.write(seg.dst, chunk, val).expect("dma destination write");
+        Self::advance(&mut self.current, &mut self.beats, chunk);
+        u32::from(src_tcdm) + u32::from(dst_tcdm)
+    }
+
+    /// Completes one beat of `chunk` bytes on the active segment.
+    fn advance(current: &mut Option<Segment>, beats: &mut u64, chunk: u32) {
+        let seg = current.as_mut().expect("advance with an active segment");
         seg.src = seg.src.wrapping_add(chunk);
         seg.dst = seg.dst.wrapping_add(chunk);
         seg.remaining -= chunk;
-        self.beats += 1;
+        *beats += 1;
         if seg.remaining == 0 {
-            self.current = None;
+            *current = None;
         }
-        tcdm_accesses
     }
 }
 
@@ -232,6 +312,116 @@ mod tests {
             dma.step(&mut mem, &mut arb);
         }
         assert!(dma.idle());
+    }
+
+    /// Regression (src-granted/dst-denied): a TCDM→TCDM beat whose source
+    /// bank is free but whose destination bank is owned by someone else must
+    /// move nothing, count nothing, and give the source bank back — the
+    /// pre-fix `step` consumed the src grant, reported one TCDM access and
+    /// left `busy_cycles` inflated while no byte moved.
+    #[test]
+    fn src_granted_dst_denied_counts_and_holds_nothing() {
+        let mut mem = Memory::new();
+        mem.write(TCDM_BASE, 8, 0xfeed_face_cafe_f00d).unwrap();
+        let mut arb = TcdmArbiter::new(32);
+        let mut dma = Dma::new(8);
+        dma.set_src(TCDM_BASE); // bank 0
+        dma.set_dst(TCDM_BASE + 8 * 32 + 8); // bank 1 (second sweep)
+        dma.start(8);
+
+        arb.begin_cycle();
+        // A core owns the *destination* bank; the source bank is free.
+        assert!(arb.request(TcdmPort::CoreLsu(0), TCDM_BASE + 8));
+        let conflicts_before = arb.conflicts();
+        assert_eq!(dma.step(&mut mem, &mut arb), 0, "no access may be counted");
+        assert_eq!(dma.beats(), 0, "no data moved");
+        assert_eq!(dma.busy_cycles(), 0, "a blocked cycle is not a moving cycle");
+        assert_eq!(dma.blocked_cycles(), 1);
+        assert_eq!(arb.conflicts() - conflicts_before, 1, "one conflict for the denied dst");
+        // The src bank grant was released: another unit can still use it.
+        assert!(
+            arb.request(TcdmPort::Ssr(0, 0), TCDM_BASE),
+            "src bank must not be held by a transfer that made no progress"
+        );
+        assert_eq!(mem.read(TCDM_BASE + 8 * 32 + 8, 8).unwrap(), 0);
+
+        // Retry with both banks free: the whole beat completes.
+        arb.begin_cycle();
+        assert_eq!(dma.step(&mut mem, &mut arb), 2, "both sides are TCDM accesses");
+        assert_eq!(dma.beats(), 1);
+        assert_eq!(dma.busy_cycles(), 1);
+        assert_eq!(dma.blocked_cycles(), 1, "unchanged on the moving cycle");
+        assert!(dma.idle());
+        assert_eq!(mem.read(TCDM_BASE + 8 * 32 + 8, 8).unwrap(), 0xfeed_face_cafe_f00d);
+    }
+
+    /// An 8-byte beat at a non-8-aligned TCDM address spans two banks; it
+    /// must be split at the bank-line boundary (two beats, one bank each),
+    /// not served under a single bank grant.
+    #[test]
+    fn unaligned_beat_splits_at_bank_boundary() {
+        let mut mem = Memory::new();
+        mem.write(MAIN_BASE, 8, 0x1122_3344_5566_7788).unwrap();
+        let mut arb = TcdmArbiter::new(32);
+        let mut dma = Dma::new(8);
+        dma.set_src(MAIN_BASE);
+        dma.set_dst(TCDM_BASE + 4); // straddles banks 0 and 1
+        dma.start(8);
+        let mut cycles = 0;
+        while !dma.idle() {
+            arb.begin_cycle();
+            dma.step(&mut mem, &mut arb);
+            cycles += 1;
+            assert!(cycles < 10);
+        }
+        assert_eq!(cycles, 2, "4 bytes into bank 0's line, then 4 into bank 1's");
+        assert_eq!(dma.beats(), 2);
+        assert_eq!(mem.read(TCDM_BASE + 4, 8).unwrap(), 0x1122_3344_5566_7788);
+
+        // Unaligned TCDM *source*: the first beat is clamped to the 4 bytes
+        // left in bank 0's line, the second moves a full aligned 8.
+        let mut dma = Dma::new(8);
+        dma.set_src(TCDM_BASE + 4);
+        dma.set_dst(MAIN_BASE + 64);
+        dma.start(12);
+        let mut cycles = 0;
+        while !dma.idle() {
+            arb.begin_cycle();
+            dma.step(&mut mem, &mut arb);
+            cycles += 1;
+            assert!(cycles < 10);
+        }
+        assert_eq!(cycles, 2, "4 bytes to the line end, then one aligned 8");
+        assert_eq!(mem.read(MAIN_BASE + 64, 8).unwrap(), 0x1122_3344_5566_7788);
+    }
+
+    /// A TCDM→TCDM beat whose source and destination share a bank cannot be
+    /// served by two grants in one cycle; it is serialized read-then-write.
+    /// (The pre-fix model wedged forever here: the src request won the bank
+    /// every cycle and thereby denied its own dst request.)
+    #[test]
+    fn same_bank_copy_serializes_read_and_write() {
+        let mut mem = Memory::new();
+        mem.write(TCDM_BASE, 8, 77).unwrap();
+        mem.write(TCDM_BASE + 8, 8, 88).unwrap();
+        let mut arb = TcdmArbiter::new(32);
+        let mut dma = Dma::new(8);
+        dma.set_src(TCDM_BASE); // bank 0
+        dma.set_dst(TCDM_BASE + 32 * 8); // also bank 0
+        dma.start(16);
+        let mut cycles = 0;
+        while !dma.idle() {
+            arb.begin_cycle();
+            let accesses = dma.step(&mut mem, &mut arb);
+            assert!(accesses <= 1, "one access per cycle on a shared bank");
+            cycles += 1;
+            assert!(cycles < 20);
+        }
+        assert_eq!(cycles, 4, "two beats, each read + write serialized");
+        assert_eq!(dma.beats(), 2);
+        assert_eq!(dma.busy_cycles(), 4);
+        assert_eq!(mem.read(TCDM_BASE + 32 * 8, 8).unwrap(), 77);
+        assert_eq!(mem.read(TCDM_BASE + 32 * 8 + 8, 8).unwrap(), 88);
     }
 
     #[test]

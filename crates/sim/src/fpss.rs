@@ -121,6 +121,23 @@ impl Fpss {
         }
     }
 
+    /// Restores the just-constructed state (empty queues, zeroed register
+    /// file, SSR semantics off), reusing every buffer — the allocation-free
+    /// equivalent of `Fpss::new(cfg)` for the same configuration.
+    pub fn reset(&mut self) {
+        self.fifo.clear();
+        self.ring.clear();
+        self.seq = SeqState::Idle;
+        self.regs = [0; 32];
+        self.ready_at = [0; 32];
+        self.ssr_enabled = false;
+        self.pending_stores = 0;
+        self.divsqrt_busy_until = 0;
+        self.busy_until = 0;
+        self.int_wb.clear();
+        self.ssr_pushes.clear();
+    }
+
     /// Whether the offload FIFO can accept another instruction.
     #[must_use]
     pub fn can_accept(&self) -> bool {
@@ -177,19 +194,68 @@ impl Fpss {
             && self.busy_until <= now
     }
 
-    /// Delivers FP→integer write-backs due at `now` (called by the cluster
-    /// before the core issues, so results are visible the cycle they retire).
-    pub fn take_int_writebacks(&mut self, now: u64) -> Vec<IntWriteback> {
-        let mut due = Vec::new();
+    /// Delivers FP→integer write-backs due at `now` to `apply`, in issue
+    /// order (called by the cluster before the core issues, so results are
+    /// visible the cycle they retire). Allocation-free: the pending list is
+    /// drained in place — this runs for every hart every cycle.
+    pub fn drain_int_writebacks(&mut self, now: u64, mut apply: impl FnMut(IntWriteback)) {
+        if self.int_wb.is_empty() {
+            return;
+        }
         self.int_wb.retain(|&(cycle, wb)| {
             if cycle <= now {
-                due.push(wb);
+                apply(wb);
                 false
             } else {
                 true
             }
         });
+    }
+
+    /// Collects the write-backs due at `now` into a fresh `Vec` (convenience
+    /// for tests and instrumentation; the cluster hot path uses
+    /// [`drain_int_writebacks`](Self::drain_int_writebacks)).
+    pub fn take_int_writebacks(&mut self, now: u64) -> Vec<IntWriteback> {
+        let mut due = Vec::new();
+        self.drain_int_writebacks(now, |wb| due.push(wb));
         due
+    }
+
+    /// Whether the subsystem has nothing queued and nothing in flight to
+    /// deliver — a cycle of [`step`](Self::step) would be a pure no-op.
+    /// Unlike [`drained`](Self::drained), in-flight latency (`busy_until`)
+    /// does not matter here: it produces no action by itself.
+    #[must_use]
+    pub fn idle_now(&self) -> bool {
+        self.fifo.is_empty()
+            && self.seq == SeqState::Idle
+            && self.int_wb.is_empty()
+            && self.ssr_pushes.is_empty()
+    }
+
+    /// If the subsystem provably does nothing on its own until some future
+    /// cycle, returns the earliest cycle at which it can act again: the next
+    /// write-back or SSR-push delivery, or the pipeline drain point
+    /// (`busy_until`, observable through the fence condition). Returns
+    /// `u64::MAX` when fully idle with nothing in flight, and `None` when it
+    /// has queued work (non-empty FIFO or an active sequencer) and may act —
+    /// and count stalls — on the very next cycle.
+    #[must_use]
+    pub fn quiescent_until(&self, now: u64) -> Option<u64> {
+        if !self.fifo.is_empty() || self.seq != SeqState::Idle {
+            return None;
+        }
+        let mut wake = u64::MAX;
+        for &(cycle, _) in &self.int_wb {
+            wake = wake.min(cycle);
+        }
+        for &(cycle, _, _) in &self.ssr_pushes {
+            wake = wake.min(cycle);
+        }
+        if self.busy_until > now {
+            wake = wake.min(self.busy_until);
+        }
+        Some(wake)
     }
 
     /// One cycle of FPSS work: deliver due SSR pushes, then let the

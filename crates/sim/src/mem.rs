@@ -36,10 +36,19 @@ pub enum TcdmPort {
 /// granted, but is counted as **one** conflict, not one per retry cycle —
 /// `conflicts` counts distinct stalled requests, so the statistic stays
 /// linear in the amount of contention rather than in its duration.
+///
+/// Grants are tracked as a generation-stamped table: a bank is taken this
+/// cycle iff its stamp equals the current cycle generation, so
+/// [`begin_cycle`](Self::begin_cycle) is a single counter increment instead
+/// of clearing the whole grant table (the per-cycle cost the simulator hot
+/// loop pays even on cycles with no memory traffic).
 #[derive(Clone, Debug)]
 pub struct TcdmArbiter {
     banks: usize,
-    granted: Vec<bool>,
+    /// Per-bank grant stamp; the bank is granted iff `granted[b] == gen`.
+    granted: Vec<u64>,
+    /// Current cycle generation (starts at 1 so a zeroed table is all-free).
+    gen: u64,
     conflicts: u64,
     /// Ports whose in-flight request has already been counted as a conflict
     /// (cleared when the port's retry is finally granted).
@@ -51,14 +60,23 @@ impl TcdmArbiter {
     #[must_use]
     pub fn new(banks: usize) -> Self {
         assert!(banks.is_power_of_two(), "bank count must be a power of two");
-        TcdmArbiter { banks, granted: vec![false; banks], conflicts: 0, stalled: Vec::new() }
+        TcdmArbiter { banks, granted: vec![0; banks], gen: 1, conflicts: 0, stalled: Vec::new() }
     }
 
-    /// Clears all grants at the start of a cycle. (Stall tracking persists:
-    /// a request denied last cycle that retries this cycle is the same
-    /// request.)
+    /// Invalidates all grants at the start of a cycle by advancing the grant
+    /// generation. (Stall tracking persists: a request denied last cycle
+    /// that retries this cycle is the same request.)
     pub fn begin_cycle(&mut self) {
-        self.granted.fill(false);
+        self.gen += 1;
+    }
+
+    /// Restores the just-constructed state, reusing the grant table — the
+    /// allocation-free equivalent of `TcdmArbiter::new(banks)`.
+    pub fn reset(&mut self) {
+        self.granted.fill(0);
+        self.gen = 1;
+        self.conflicts = 0;
+        self.stalled.clear();
     }
 
     /// The bank index serving `addr`.
@@ -73,19 +91,30 @@ impl TcdmArbiter {
     /// request do not re-count).
     pub fn request(&mut self, port: TcdmPort, addr: u32) -> bool {
         let bank = self.bank_of(addr);
-        if self.granted[bank] {
+        if self.granted[bank] == self.gen {
             if !self.stalled.contains(&port) {
                 self.conflicts += 1;
                 self.stalled.push(port);
             }
             false
         } else {
-            self.granted[bank] = true;
+            self.granted[bank] = self.gen;
             if let Some(i) = self.stalled.iter().position(|p| *p == port) {
                 self.stalled.swap_remove(i);
             }
             true
         }
+    }
+
+    /// Returns the bank serving `addr` to the free pool for the remainder of
+    /// the cycle. Used by multi-port units (the DMA engine) that must hold
+    /// *all* their banks to make progress: a granted side whose partner was
+    /// denied gives its bank back instead of blocking it for a transfer that
+    /// cannot happen this cycle.
+    pub fn release(&mut self, addr: u32) {
+        let bank = self.bank_of(addr);
+        debug_assert_eq!(self.granted[bank], self.gen, "release of an ungranted bank");
+        self.granted[bank] = 0;
     }
 
     /// Total distinct stalled requests so far.
@@ -96,10 +125,19 @@ impl TcdmArbiter {
 }
 
 /// Byte-addressable cluster memory (functional contents).
+///
+/// Writes maintain per-region dirty watermarks so [`clear`](Self::clear) —
+/// called once per job by the engine's cluster reuse — zeroes only the bytes
+/// actually touched instead of the full multi-MiB address space (which
+/// dominated per-job wall time for small programs).
 #[derive(Clone, Debug)]
 pub struct Memory {
     tcdm: Vec<u8>,
     main: Vec<u8>,
+    /// Dirty byte range of `tcdm` (`lo..hi` offsets; empty when `lo >= hi`).
+    tcdm_dirty: (usize, usize),
+    /// Dirty byte range of `main`.
+    main_dirty: (usize, usize),
 }
 
 /// Error for an access outside the mapped regions.
@@ -124,6 +162,8 @@ impl Memory {
         Memory {
             tcdm: vec![0; layout::TCDM_SIZE as usize],
             main: vec![0; layout::MAIN_SIZE as usize],
+            tcdm_dirty: (usize::MAX, 0),
+            main_dirty: (usize::MAX, 0),
         }
     }
 
@@ -131,20 +171,25 @@ impl Memory {
     pub fn load_images(&mut self, tcdm: &[u8], main: &[u8]) {
         self.tcdm[..tcdm.len()].copy_from_slice(tcdm);
         self.main[..main.len()].copy_from_slice(main);
+        widen(&mut self.tcdm_dirty, 0, tcdm.len());
+        widen(&mut self.main_dirty, 0, main.len());
     }
 
-    /// Zeroes all contents in place, reusing the allocations. After `clear`
-    /// plus `load_images` the memory is indistinguishable from a freshly
-    /// constructed one.
+    /// Zeroes all written contents in place, reusing the allocations. After
+    /// `clear` plus `load_images` the memory is indistinguishable from a
+    /// freshly constructed one. Only the dirty watermark range is touched,
+    /// so the cost is proportional to the bytes a job actually wrote.
     pub fn clear(&mut self) {
-        self.tcdm.fill(0);
-        self.main.fill(0);
-    }
-
-    /// An allocation-free placeholder, used only as a swap target while a
-    /// cluster rebuilds itself around reused memory.
-    pub(crate) fn empty() -> Self {
-        Memory { tcdm: Vec::new(), main: Vec::new() }
+        let (lo, hi) = self.tcdm_dirty;
+        if lo < hi {
+            self.tcdm[lo..hi].fill(0);
+        }
+        let (lo, hi) = self.main_dirty;
+        if lo < hi {
+            self.main[lo..hi].fill(0);
+        }
+        self.tcdm_dirty = (usize::MAX, 0);
+        self.main_dirty = (usize::MAX, 0);
     }
 
     /// Whether `addr..addr+len` is mapped.
@@ -170,9 +215,11 @@ impl Memory {
     fn slice_mut(&mut self, addr: u32, len: u32) -> Result<&mut [u8], MemFault> {
         if layout::is_tcdm(addr) && layout::is_tcdm(addr + len - 1) {
             let off = (addr - layout::TCDM_BASE) as usize;
+            widen(&mut self.tcdm_dirty, off, off + len as usize);
             Ok(&mut self.tcdm[off..off + len as usize])
         } else if layout::is_main(addr) && layout::is_main(addr + len - 1) {
             let off = (addr - layout::MAIN_BASE) as usize;
+            widen(&mut self.main_dirty, off, off + len as usize);
             Ok(&mut self.main[off..off + len as usize])
         } else {
             Err(MemFault { addr })
@@ -240,6 +287,16 @@ impl Default for Memory {
     }
 }
 
+/// Widens a dirty watermark range to cover `lo..hi`.
+fn widen(range: &mut (usize, usize), lo: usize, hi: usize) {
+    if lo < range.0 {
+        range.0 = lo;
+    }
+    if hi > range.1 {
+        range.1 = hi;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -259,6 +316,32 @@ mod tests {
         let mut m = Memory::new();
         m.write(layout::MAIN_BASE, 4, 0xdead_beef).unwrap();
         assert_eq!(m.read_u32(layout::MAIN_BASE).unwrap(), 0xdead_beef);
+    }
+
+    #[test]
+    fn clear_zeroes_exactly_what_was_written() {
+        let mut m = Memory::new();
+        // Dirty both regions through every write path: direct writes and
+        // image loads.
+        m.write(layout::TCDM_BASE + 1000, 8, u64::MAX).unwrap();
+        m.write(layout::TCDM_BASE + 64 * 1024, 4, 0xdead_beef).unwrap();
+        m.write(layout::MAIN_BASE + 12_000_000, 8, 42).unwrap();
+        m.load_images(&[1, 2, 3], &[4, 5]);
+        m.clear();
+        // Everything reads back zero, wherever it was written.
+        for addr in [
+            layout::TCDM_BASE,
+            layout::TCDM_BASE + 1000,
+            layout::TCDM_BASE + 64 * 1024,
+            layout::MAIN_BASE,
+            layout::MAIN_BASE + 12_000_000,
+        ] {
+            assert_eq!(m.read(addr, 8).unwrap(), 0, "{addr:#x} not cleared");
+        }
+        // And a cleared memory behaves like a fresh one for new writes.
+        m.write(layout::TCDM_BASE + 8, 8, 7).unwrap();
+        m.clear();
+        assert_eq!(m.read(layout::TCDM_BASE + 8, 8).unwrap(), 0);
     }
 
     #[test]
@@ -334,6 +417,33 @@ mod tests {
         assert!(!a.request(sa, layout::TCDM_BASE));
         assert!(!a.request(sb, layout::TCDM_BASE));
         assert_eq!(a.conflicts(), 10);
+    }
+
+    #[test]
+    fn released_bank_is_grantable_again_within_the_cycle() {
+        let mut a = TcdmArbiter::new(4);
+        a.begin_cycle();
+        assert!(a.request(P0, layout::TCDM_BASE));
+        a.release(layout::TCDM_BASE);
+        assert!(a.request(P1, layout::TCDM_BASE), "released bank is free again");
+        assert_eq!(a.conflicts(), 0, "a release is not a conflict");
+        // The new grant is a real one: a third request conflicts.
+        assert!(!a.request(TcdmPort::Ssr(0, 0), layout::TCDM_BASE));
+        assert_eq!(a.conflicts(), 1);
+    }
+
+    #[test]
+    fn grant_generations_reset_every_cycle() {
+        // Many begin_cycle calls with no fill: grants never leak across
+        // cycles (the generation-counter equivalent of clearing the table).
+        let mut a = TcdmArbiter::new(4);
+        for _ in 0..1000 {
+            a.begin_cycle();
+            assert!(a.request(P0, layout::TCDM_BASE));
+            assert!(!a.request(P1, layout::TCDM_BASE));
+        }
+        a.begin_cycle();
+        assert!(a.request(P1, layout::TCDM_BASE), "fresh cycle frees every bank");
     }
 
     #[test]

@@ -69,6 +69,21 @@ impl Ssr {
         }
     }
 
+    /// Restores the just-constructed idle state (configuration cleared,
+    /// nothing armed, counters zeroed), reusing the data FIFO allocation —
+    /// the allocation-free equivalent of `Ssr::new(fifo_capacity)`.
+    pub fn reset(&mut self) {
+        self.cfg = SsrConfig::default();
+        self.active = false;
+        self.done_generating = false;
+        self.counters = [0; 4];
+        self.idx_counter = 0;
+        self.pending_index = None;
+        self.data_fifo.clear();
+        self.write_reserved = 0;
+        self.beats = 0;
+    }
+
     /// Whether the streamer still owns its configuration: it has been armed
     /// and has not finished generating/draining its stream. The core must
     /// stall configuration writes while this holds.
@@ -224,6 +239,17 @@ impl Ssr {
     #[must_use]
     pub fn armed(&self) -> bool {
         self.active && !self.done_generating
+    }
+
+    /// Whether a cycle of streamer work would change nothing at all: not
+    /// armed (so no prefetch/drain attempt and no activity accounting) and
+    /// no queued write data left to store. A quiescent streamer can be
+    /// skipped over by the cluster's fast path without perturbing a single
+    /// counter. (Leftover *read* data waiting to be popped is quiescent:
+    /// the streamer itself takes no action until the FPU pops.)
+    #[must_use]
+    pub fn quiescent(&self) -> bool {
+        !self.armed() && (!self.cfg.write_mode || self.data_fifo.is_empty())
     }
 
     // ------------------------------------------------------------- timing

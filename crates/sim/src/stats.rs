@@ -94,8 +94,14 @@ pub struct Stats {
     pub ssr_beats: [u64; 3],
     /// Cycles each SSR streamer was enabled (armed and not done).
     pub ssr_active_cycles: [u64; 3],
-    /// Cycles the DMA engine was moving data.
+    /// Cycles the DMA engine was moving data (a beat performed). This is
+    /// what the energy model charges per-cycle DMA activity against; cycles
+    /// an active transfer lost to bank arbitration are counted separately
+    /// in [`dma_blocked_cycles`](Self::dma_blocked_cycles).
     pub dma_busy_cycles: u64,
+    /// Cycles an active DMA transfer was stalled by TCDM bank arbitration
+    /// (no data moved, no datapath energy charged).
+    pub dma_blocked_cycles: u64,
     /// 64-bit beats transferred by the DMA.
     pub dma_beats: u64,
 }
@@ -213,6 +219,7 @@ impl Stats {
             tcdm_conflicts,
             main_mem_accesses,
             dma_busy_cycles,
+            dma_blocked_cycles,
             dma_beats,
         );
         for i in 0..3 {
@@ -277,6 +284,7 @@ impl Stats {
             tcdm_conflicts,
             main_mem_accesses,
             dma_busy_cycles,
+            dma_blocked_cycles,
             dma_beats,
         )
     }
@@ -328,8 +336,8 @@ impl std::fmt::Display for Stats {
         )?;
         write!(
             f,
-            "ssr beats {:?}  dma: busy {} beats {}",
-            self.ssr_beats, self.dma_busy_cycles, self.dma_beats
+            "ssr beats {:?}  dma: busy {} blocked {} beats {}",
+            self.ssr_beats, self.dma_busy_cycles, self.dma_blocked_cycles, self.dma_beats
         )
     }
 }
