@@ -21,6 +21,7 @@
 //!   construction, no allocation — and this guard is where that
 //!   requirement is enforced.
 
+use std::fmt::Write as _;
 use std::time::Instant;
 
 use snitch_asm::program::Program;
@@ -151,8 +152,12 @@ impl Measurement {
         self.cycles as f64 / self.wall
     }
 
-    fn json_line(&self) -> String {
-        format!(
+    /// One JSON line. Multi-worker entries carry their throughput relative
+    /// to the workers-1 entry of the same run (`scaling_vs_workers1`); the
+    /// workers-1 line keeps the exact historical shape, since
+    /// [`committed_baseline`] of future checkouts parses it.
+    fn json_line(&self, scaling_vs_workers1: Option<f64>) -> String {
+        let mut line = format!(
             "{{\"benchmark\":\"sim\",\"workload\":\"smoke\",\"jobs\":{},\"workers\":{},\
              \"simulated_instructions\":{},\"simulated_cycles\":{},\
              \"wall_seconds\":{:.6},\"instructions_per_second\":{:.0},\
@@ -164,7 +169,12 @@ impl Measurement {
             self.wall,
             self.instructions as f64 / self.wall,
             self.cycles_per_second(),
-        )
+        );
+        if let Some(ratio) = scaling_vs_workers1 {
+            line.pop();
+            let _ = write!(line, ",\"scaling_vs_workers1\":{ratio:.3}}}");
+        }
+        line
     }
 }
 
@@ -254,8 +264,9 @@ fn main() {
 
     // Multi-worker entries: same batch, bigger pools, so the perf
     // trajectory records scaling alongside the per-core number.
-    let mut lines = vec![best.json_line()];
+    let mut lines = vec![best.json_line(None)];
     let reference_cycles = best.cycles;
+    let base_cps = best.cycles_per_second();
     for workers in &WORKER_POOLS[1..] {
         let engine = Engine::new(*workers);
         let _ = engine.run(&jobs);
@@ -264,7 +275,18 @@ fn main() {
             m.cycles, reference_cycles,
             "simulated cycles must be identical across worker counts"
         );
-        lines.push(m.json_line());
+        let ratio = m.cycles_per_second() / base_cps;
+        // Scaling below 1.0 means the pool is a net loss on this batch.
+        // Warn — don't fail CI on it: the ROADMAP tracks the fix, and
+        // `perf-report` attributes the loss phase by phase.
+        if ratio < 1.0 {
+            eprintln!(
+                "bench_sim: WARNING: workers={workers} runs {ratio:.2}x the single-worker \
+                 throughput (< 1.0) — the pool is a net slowdown on the smoke batch; \
+                 run `perf-report` for the phase attribution"
+            );
+        }
+        lines.push(m.json_line(Some(ratio)));
     }
 
     let json = lines.join("\n") + "\n";

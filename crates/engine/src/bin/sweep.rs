@@ -10,13 +10,16 @@
 //! and the engine sweeps the full cross product — ablations (write-back
 //! ports, FPU latency, FIFO depth, bank count, ...) are one flag away.
 
-use std::io::Write as _;
+use std::io::{IsTerminal as _, Write as _};
 use std::process::ExitCode;
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
 
+use snitch_engine::record::RunRecord;
 use snitch_engine::{job, sink, Engine, JobSpec};
 use snitch_kernels::registry::{Kernel, Variant};
 use snitch_sim::config::ClusterConfig;
+use snitch_telemetry::{metrics, Phase, Report, Telemetry, MAIN_WORKER};
 
 const USAGE: &str = "\
 usage: sweep [PRESET] [OPTIONS]
@@ -52,7 +55,11 @@ Execution and output:
   --workers N     worker threads (default: all hardware threads)
   --jsonl PATH    write JSON-lines records (\"-\" for stdout)
   --csv PATH      write CSV records (\"-\" for stdout)
-  --quiet         suppress the summary table
+  --metrics PATH  write host-telemetry METRICS.json lines (\"-\" for stdout)
+  --quiet         suppress the summary table and the progress line
+
+A live progress line (jobs done/total, elapsed, ETA) is printed to stderr
+while the batch runs, when stderr is a terminal and --quiet is absent.
 ";
 
 struct Args {
@@ -65,6 +72,7 @@ struct Args {
     workers: Option<usize>,
     jsonl: Option<String>,
     csv: Option<String>,
+    metrics: Option<String>,
     quiet: bool,
 }
 
@@ -93,6 +101,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         workers: None,
         jsonl: None,
         csv: None,
+        metrics: None,
         quiet: false,
     };
     let mut it = argv.iter().peekable();
@@ -149,6 +158,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "--jsonl" => args.jsonl = Some(value_of("--jsonl")?),
             "--csv" => args.csv = Some(value_of("--csv")?),
+            "--metrics" => args.metrics = Some(value_of("--metrics")?),
             "--quiet" => args.quiet = true,
             "--help" | "-h" => return Err(String::new()),
             flag if config_flags.contains(&flag) => {
@@ -255,6 +265,39 @@ fn write_out(path: &str, contents: &str) -> std::io::Result<()> {
     }
 }
 
+/// Runs the batch with a live stderr progress line (jobs done/total,
+/// elapsed, ETA), polled off the telemetry counters every 200 ms from a
+/// side thread. The line rewrites itself in place and is cleared before
+/// this returns, so it never lands in redirected output.
+fn run_with_progress(engine: &Engine, jobs: &[JobSpec], tel: &Telemetry) -> Vec<RunRecord> {
+    let finished = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            let t0 = Instant::now();
+            let mut width = 0;
+            while !finished.load(Ordering::Relaxed) {
+                if let Some((done, _, total)) = tel.progress().filter(|&(_, _, t)| t > 0) {
+                    let elapsed = t0.elapsed().as_secs_f64();
+                    let eta = if done > 0 {
+                        let remaining = total.saturating_sub(done) as f64;
+                        format!("{:.0}s", elapsed / done as f64 * remaining)
+                    } else {
+                        "--".to_string()
+                    };
+                    let line = format!("sweep: {done}/{total} jobs, {elapsed:.1}s, eta {eta}");
+                    width = width.max(line.len());
+                    eprint!("\r{line:<width$}");
+                }
+                std::thread::sleep(Duration::from_millis(200));
+            }
+            eprint!("\r{:<width$}\r", "");
+        });
+        let records = engine.run_with(jobs, tel);
+        finished.store(true, Ordering::Relaxed);
+        records
+    })
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = match parse_args(&argv) {
@@ -276,10 +319,19 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     let engine = args.workers.map_or_else(Engine::default, Engine::new);
+    // Telemetry powers the progress line and --metrics; with neither wanted
+    // the engine runs with the disabled (no-op) handle.
+    let progress = !args.quiet && std::io::stderr().is_terminal();
+    let tel = if progress || args.metrics.is_some() { Telemetry::new() } else { Telemetry::off() };
     let t0 = Instant::now();
-    let records = engine.run(&jobs);
+    let records = if progress {
+        run_with_progress(&engine, &jobs, &tel)
+    } else {
+        engine.run_with(&jobs, &tel)
+    };
     let wall = t0.elapsed();
 
+    let sink_t0 = tel.start();
     if let Some(path) = &args.jsonl {
         if let Err(e) = write_out(path, &sink::to_jsonl(&records)) {
             eprintln!("sweep: writing {path}: {e}");
@@ -288,6 +340,16 @@ fn main() -> ExitCode {
     }
     if let Some(path) = &args.csv {
         if let Err(e) = write_out(path, &sink::to_csv(&records)) {
+            eprintln!("sweep: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    tel.finish(sink_t0, MAIN_WORKER, None, Phase::Sink);
+
+    if let Some(path) = &args.metrics {
+        let wall_ns = u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX);
+        let report = Report::new(&tel.spans(), wall_ns);
+        if let Err(e) = write_out(path, &metrics::render(engine.workers(), &report)) {
             eprintln!("sweep: writing {path}: {e}");
             return ExitCode::FAILURE;
         }

@@ -58,9 +58,24 @@ impl ProgramCache {
     /// as [`Kernel::build`] does.
     #[must_use]
     pub fn get(&self, key: ProgramKey) -> Arc<Program> {
+        self.get_with_status(key).0
+    }
+
+    /// Like [`get`](Self::get), but also reports whether the lookup was a
+    /// hit (`true`) or assembled the program (`false`) — the engine's
+    /// telemetry uses this to attribute the lookup time to the right phase
+    /// without re-deriving it from the counters (which other workers mutate
+    /// concurrently).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel's size constraints reject `(n, block)` — exactly
+    /// as [`Kernel::build`] does.
+    #[must_use]
+    pub fn get_with_status(&self, key: ProgramKey) -> (Arc<Program>, bool) {
         if let Some(p) = self.map.lock().unwrap().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(p);
+            return (Arc::clone(p), true);
         }
         // Miss: assemble outside the lock, then re-check — another worker
         // may have inserted while we were building. The counters stay
@@ -70,11 +85,11 @@ impl ProgramCache {
         match self.map.lock().unwrap().entry(key) {
             std::collections::hash_map::Entry::Occupied(e) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Arc::clone(e.get())
+                (Arc::clone(e.get()), true)
             }
             std::collections::hash_map::Entry::Vacant(v) => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
-                Arc::clone(v.insert(program))
+                (Arc::clone(v.insert(program)), false)
             }
         }
     }

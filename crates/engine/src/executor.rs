@@ -11,6 +11,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 use snitch_sim::cluster::Cluster;
+use snitch_telemetry::{Phase, Telemetry, MAIN_WORKER};
 
 use crate::cache::ProgramCache;
 use crate::job::JobSpec;
@@ -57,22 +58,39 @@ impl Engine {
     /// configuration cannot take down a sweep.
     #[must_use]
     pub fn run(&self, jobs: &[JobSpec]) -> Vec<RunRecord> {
+        self.run_with(jobs, &Telemetry::off())
+    }
+
+    /// [`run`](Self::run) with host telemetry: phase spans (cache lookup,
+    /// cluster warm-up, reset, simulation, collection) land in `telemetry`
+    /// along with the batch progress counters. `run` delegates here with a
+    /// disabled handle, so there is exactly one execution path and a
+    /// disabled hook costs one `Option` branch. Telemetry never influences
+    /// scheduling, cache keys or records — results are byte-identical with
+    /// it on, off, and at any worker count.
+    #[must_use]
+    pub fn run_with(&self, jobs: &[JobSpec], telemetry: &Telemetry) -> Vec<RunRecord> {
+        telemetry.begin_batch(jobs.len() as u64);
         let slots: Vec<OnceLock<RunRecord>> = jobs.iter().map(|_| OnceLock::new()).collect();
         let cursor = AtomicUsize::new(0);
         let workers = self.workers.min(jobs.len()).max(1);
         std::thread::scope(|s| {
-            for _ in 0..workers {
-                s.spawn(|| {
+            for w in 0..workers {
+                let tel = telemetry.clone();
+                let (slots, cursor) = (&slots, &cursor);
+                s.spawn(move || {
+                    let worker = u32::try_from(w).unwrap_or(u32::MAX - 1);
                     // One cluster per worker, rebuilt only on config change.
                     let mut cluster: Option<Cluster> = None;
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(job) = jobs.get(i) else { break };
+                        tel.job_started();
                         // An illegal spec panics in Kernel::build (size
                         // asserts); contain it to this job's record so one
                         // bad spec cannot abort the whole sweep.
                         let record = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            self.exec(job, &mut cluster)
+                            self.exec(job, &mut cluster, worker, i as u32, &tel)
                         }))
                         .unwrap_or_else(|panic| {
                             // A panicked run leaves the cluster in an
@@ -81,27 +99,47 @@ impl Engine {
                             RunRecord::failure(job.clone(), panic_message(panic.as_ref()))
                         });
                         slots[i].set(record).expect("each job index is claimed once");
+                        tel.job_done();
                     }
                 });
             }
         });
-        slots.into_iter().map(|s| s.into_inner().expect("every job slot is filled")).collect()
+        // The scope exit above is the result barrier; assembling the ordered
+        // vector afterwards is the collection phase.
+        telemetry.time(MAIN_WORKER, None, Phase::Collect, || {
+            slots.into_iter().map(|s| s.into_inner().expect("every job slot is filled")).collect()
+        })
     }
 
     /// Runs one job, reusing `cluster` when its configuration matches.
-    fn exec(&self, job: &JobSpec, cluster: &mut Option<Cluster>) -> RunRecord {
-        let program = self.cache.get(job.program_key());
+    fn exec(
+        &self,
+        job: &JobSpec,
+        cluster: &mut Option<Cluster>,
+        worker: u32,
+        index: u32,
+        tel: &Telemetry,
+    ) -> RunRecord {
+        let job_id = Some(index);
+        let t0 = tel.start();
+        let (program, hit) = self.cache.get_with_status(job.program_key());
+        tel.finish(t0, worker, job_id, if hit { Phase::CacheHit } else { Phase::Compile });
         let reusable = cluster.as_ref().is_some_and(|c| *c.config() == job.config);
         if !reusable {
-            *cluster = Some(Cluster::new(job.config.clone()));
+            let built = tel.time(worker, job_id, Phase::Warm, || Cluster::new(job.config.clone()));
+            *cluster = Some(built);
         }
         let cluster = cluster.as_mut().expect("cluster was just ensured");
-        match job.kernel.run_on(cluster, job.variant, job.n, &program) {
+        tel.time(worker, job_id, Phase::Reset, || cluster.reset());
+        let t0 = tel.start();
+        let result = job.kernel.run_loaded(cluster, job.variant, job.n, &program);
+        tel.finish(t0, worker, job_id, Phase::Simulate);
+        match result {
             Ok(outcome) => {
                 let record = RunRecord::success(job.clone(), &outcome);
                 if job.trace() {
-                    // `run_on` resets first, so the attached tracer holds
-                    // exactly this job's events.
+                    // The reset just above ran before the load, so the
+                    // attached tracer holds exactly this job's events.
                     let events = cluster.trace_events().unwrap_or_default().to_vec();
                     record.with_trace(events)
                 } else {

@@ -630,8 +630,15 @@ impl Kernel {
     }
 
     /// Runs on a cluster known to be in its just-constructed (or freshly
-    /// reset) state: load, run, validate, report.
-    fn run_loaded(
+    /// [`reset`](Cluster::reset)) state: load, run, validate, report.
+    /// [`run_on`](Self::run_on) is this plus the reset; callers that time
+    /// the reset separately (the engine's telemetry) call the two halves
+    /// themselves.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarnessError`] on simulation failure or golden mismatch.
+    pub fn run_loaded(
         self,
         cluster: &mut Cluster,
         variant: Variant,

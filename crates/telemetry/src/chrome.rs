@@ -1,0 +1,137 @@
+//! Chrome trace-event export of host spans: one process (`host`), one
+//! thread track per worker plus one for the main thread, loadable in
+//! Perfetto next to the simulator's own cycle traces.
+//!
+//! Built on the shared [`snitch_trace::chrome::Doc`] assembly layer, so the
+//! document framing is identical to the cycle-trace sink and passes the
+//! same dependency-free schema validator
+//! ([`snitch_trace::chrome::validate`]). Timestamps are microseconds (the
+//! trace-event native unit); span timestamps are nanosecond-precise, so
+//! sub-microsecond spans are emitted with their duration rounded up to
+//! 1 µs rather than dropped.
+
+use snitch_trace::chrome::Doc;
+
+use crate::span::{Span, MAIN_WORKER};
+
+/// The host process id in the exported document.
+const HOST_PID: u32 = 0;
+/// The main thread's track id (workers are `worker + 1`).
+const TID_MAIN: u32 = 0;
+
+/// Track id of a worker (main thread first, pool workers after it).
+fn tid(worker: u32) -> u32 {
+    if worker == MAIN_WORKER {
+        TID_MAIN
+    } else {
+        worker + 1
+    }
+}
+
+/// Renders host spans as a complete Chrome trace-event JSON document:
+/// per-phase duration events on one track per worker, plus a `queue`
+/// counter series (jobs not yet dispatched) sampled at every job-scoped
+/// span start.
+#[must_use]
+pub fn render(spans: &[Span]) -> String {
+    let mut doc = Doc::with_capacity(spans.len() * 96 + 256);
+    doc.process_name(HOST_PID, "host");
+
+    let mut workers: Vec<u32> = spans.iter().map(|s| s.worker).collect();
+    workers.sort_unstable();
+    workers.dedup();
+    // MAIN_WORKER is u32::MAX, so it sorts last; emit its track first.
+    if workers.last() == Some(&MAIN_WORKER) {
+        workers.pop();
+        doc.thread_name(HOST_PID, TID_MAIN, "main");
+    }
+    for &w in &workers {
+        doc.thread_name(HOST_PID, tid(w), &format!("worker {w}"));
+    }
+
+    // The queue-depth counter: total jobs minus jobs dispatched so far. A
+    // job counts as dispatched at its first job-scoped span.
+    let mut starts: Vec<(u64, u32)> = Vec::new();
+    {
+        let mut seen = std::collections::HashSet::new();
+        for s in spans {
+            if let Some(job) = s.job {
+                if seen.insert(job) {
+                    starts.push((s.start_ns, job));
+                }
+            }
+        }
+    }
+    starts.sort_unstable();
+    let total = starts.len() as u64;
+
+    let mut emitted = 0u64;
+    let mut next_start = starts.iter().peekable();
+    for span in spans {
+        // Interleave queue samples so the counter steps exactly where jobs
+        // leave the queue (events stay in timestamp order).
+        while let Some(&&(at, _)) = next_start.peek() {
+            if at > span.start_ns {
+                break;
+            }
+            emitted += 1;
+            doc.counter(HOST_PID, at / 1_000, "queue", "jobs", total - emitted);
+            next_start.next();
+        }
+        let ts = span.start_ns / 1_000;
+        let dur = (span.dur_ns() / 1_000).max(1);
+        let args = span.job.map(|j| format!("{{\"job\":{j}}}"));
+        doc.complete(HOST_PID, tid(span.worker), ts, dur, span.phase.name(), args.as_deref());
+    }
+    for &(at, _) in next_start {
+        emitted += 1;
+        doc.counter(HOST_PID, at / 1_000, "queue", "jobs", total - emitted);
+    }
+    doc.finish("us")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Phase;
+
+    #[test]
+    fn rendered_host_trace_passes_the_shared_validator() {
+        let spans = [
+            Span { worker: 0, job: Some(0), phase: Phase::Compile, start_ns: 0, end_ns: 4_000 },
+            Span {
+                worker: 0,
+                job: Some(0),
+                phase: Phase::Simulate,
+                start_ns: 4_000,
+                end_ns: 90_000,
+            },
+            Span { worker: 1, job: Some(1), phase: Phase::Warm, start_ns: 2_000, end_ns: 52_000 },
+            Span {
+                worker: MAIN_WORKER,
+                job: None,
+                phase: Phase::Collect,
+                start_ns: 95_000,
+                end_ns: 96_500,
+            },
+        ];
+        let json = render(&spans);
+        let summary = snitch_trace::chrome::validate(&json).expect("host trace must validate");
+        assert_eq!(summary.complete, 4, "one duration event per span");
+        assert_eq!(summary.counters, 2, "one queue sample per dispatched job");
+        assert_eq!(summary.metadata, 4, "process + main + two worker tracks");
+        assert!(json.contains("\"name\":\"worker 1\""));
+        assert!(json.contains("\"name\":\"main\""));
+        assert!(json.contains("\"name\":\"simulate\""));
+        assert!(json.contains("\"queue\",\"args\":{\"jobs\":1}"));
+        assert!(json.contains("\"timeUnit\":\"us\""));
+    }
+
+    #[test]
+    fn sub_microsecond_spans_keep_a_visible_duration() {
+        let spans =
+            [Span { worker: 0, job: Some(0), phase: Phase::Reset, start_ns: 100, end_ns: 400 }];
+        let json = render(&spans);
+        assert!(json.contains("\"dur\":1"), "300 ns rounds up to 1 µs, not 0: {json}");
+    }
+}

@@ -1,0 +1,373 @@
+//! Phase attribution and per-worker utilization timelines.
+//!
+//! A [`Report`] turns a span log plus the measured batch wall time into the
+//! numbers the scaling diagnosis needs: where each worker's wall-seconds
+//! went (per [`Phase`]), how much was idle, and how the idle splits into
+//! startup skew, inter-job gaps and the wait at the ordered
+//! result-collection barrier.
+
+use crate::span::{Phase, Span, MAIN_WORKER};
+
+/// Where one worker's share of the batch wall time went.
+#[derive(Clone, Debug)]
+pub struct WorkerSummary {
+    /// Worker index ([`MAIN_WORKER`] for the batch's calling thread).
+    pub worker: u32,
+    /// Distinct jobs this worker simulated.
+    pub jobs: u32,
+    /// Time in spans, per phase.
+    pub phase_ns: [u64; Phase::COUNT],
+    /// Total time in spans.
+    pub busy_ns: u64,
+    /// Start of the worker's first span.
+    pub first_ns: u64,
+    /// End of the worker's last span.
+    pub last_ns: u64,
+    /// Batch wall time (denominator for the idle split).
+    pub wall_ns: u64,
+}
+
+impl WorkerSummary {
+    /// Time before the worker's first span (thread spawn + first dispatch).
+    #[must_use]
+    pub fn startup_ns(&self) -> u64 {
+        self.first_ns
+    }
+
+    /// Unattributed time inside the worker's busy window (between spans:
+    /// queue cursor fetches, slot stores, scheduler preemption).
+    #[must_use]
+    pub fn gap_ns(&self) -> u64 {
+        (self.last_ns - self.first_ns).saturating_sub(self.busy_ns)
+    }
+
+    /// Time from the worker's last span to the end of the batch: the wait
+    /// at the ordered result-collection barrier (the worker ran out of
+    /// jobs while others were still simulating).
+    #[must_use]
+    pub fn barrier_ns(&self) -> u64 {
+        self.wall_ns.saturating_sub(self.last_ns)
+    }
+
+    /// Total idle time (startup + gaps + barrier wait).
+    #[must_use]
+    pub fn idle_ns(&self) -> u64 {
+        self.wall_ns.saturating_sub(self.busy_ns)
+    }
+
+    /// Fraction of the batch wall time this worker spent in spans.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        self.busy_ns as f64 / self.wall_ns as f64
+    }
+}
+
+/// Phase attribution of one batch: per-worker summaries plus totals.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Measured batch wall time (clamped up to the last span end, so a
+    /// slightly-early measurement can never produce negative idle).
+    pub wall_ns: u64,
+    /// Pool workers, sorted by worker index. Main-thread spans (collect,
+    /// sink) are kept separately in [`main`](Report::main).
+    pub workers: Vec<WorkerSummary>,
+    /// The batch's calling thread (result collection, sink writing).
+    pub main: WorkerSummary,
+    /// Span time per phase, summed over pool workers and main.
+    pub phase_ns: [u64; Phase::COUNT],
+    /// Distinct jobs observed in job-scoped spans.
+    pub jobs: u32,
+    spans: Vec<Span>,
+}
+
+impl Report {
+    /// Builds the attribution from a span snapshot and the measured batch
+    /// wall time (nanoseconds).
+    #[must_use]
+    pub fn new(spans: &[Span], wall_ns: u64) -> Self {
+        let wall_ns = wall_ns.max(spans.iter().map(|s| s.end_ns).max().unwrap_or(0));
+        let mut ids: Vec<u32> = spans.iter().map(|s| s.worker).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        let summarize = |worker: u32| -> WorkerSummary {
+            let mut s = WorkerSummary {
+                worker,
+                jobs: 0,
+                phase_ns: [0; Phase::COUNT],
+                busy_ns: 0,
+                first_ns: u64::MAX,
+                last_ns: 0,
+                wall_ns,
+            };
+            let mut jobs = Vec::new();
+            for span in spans.iter().filter(|sp| sp.worker == worker) {
+                s.phase_ns[span.phase.index()] += span.dur_ns();
+                s.busy_ns += span.dur_ns();
+                s.first_ns = s.first_ns.min(span.start_ns);
+                s.last_ns = s.last_ns.max(span.end_ns);
+                if let Some(j) = span.job {
+                    jobs.push(j);
+                }
+            }
+            if s.first_ns == u64::MAX {
+                s.first_ns = 0;
+            }
+            jobs.sort_unstable();
+            jobs.dedup();
+            s.jobs = jobs.len() as u32;
+            s
+        };
+        let workers: Vec<WorkerSummary> =
+            ids.iter().filter(|&&w| w != MAIN_WORKER).map(|&w| summarize(w)).collect();
+        let main = summarize(MAIN_WORKER);
+        let mut phase_ns = [0u64; Phase::COUNT];
+        for w in workers.iter().chain(std::iter::once(&main)) {
+            for (total, ns) in phase_ns.iter_mut().zip(w.phase_ns.iter()) {
+                *total += ns;
+            }
+        }
+        let mut jobs: Vec<u32> = spans.iter().filter_map(|s| s.job).collect();
+        jobs.sort_unstable();
+        jobs.dedup();
+        Report { wall_ns, workers, main, phase_ns, jobs: jobs.len() as u32, spans: spans.to_vec() }
+    }
+
+    /// The span snapshot the report was built from (sorted as delivered by
+    /// `Telemetry::spans`) — for re-export sinks like the Chrome trace.
+    #[must_use]
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Total span time over pool workers and main.
+    #[must_use]
+    pub fn busy_ns(&self) -> u64 {
+        self.phase_ns.iter().sum()
+    }
+
+    /// Total span time in one phase.
+    #[must_use]
+    pub fn phase_total(&self, phase: Phase) -> u64 {
+        self.phase_ns[phase.index()]
+    }
+
+    /// Total idle time over pool workers.
+    #[must_use]
+    pub fn idle_ns(&self) -> u64 {
+        self.workers.iter().map(WorkerSummary::idle_ns).sum()
+    }
+
+    /// Mean pool-worker idle fraction (0 when there are no workers).
+    #[must_use]
+    pub fn idle_frac(&self) -> f64 {
+        if self.workers.is_empty() || self.wall_ns == 0 {
+            return 0.0;
+        }
+        self.idle_ns() as f64 / (self.wall_ns as f64 * self.workers.len() as f64)
+    }
+
+    /// Fraction of total worker wall time (pool size × wall) covered by
+    /// measured spans, counting the main thread's collect/sink spans
+    /// toward the numerator. For a single-worker batch this is the "span
+    /// totals sum to measured wall time" instrumentation-quality number:
+    /// everything uncovered is either real idle (startup, barrier — near
+    /// zero at one worker) or unattributed executor overhead.
+    #[must_use]
+    pub fn span_coverage(&self) -> f64 {
+        if self.workers.is_empty() || self.wall_ns == 0 {
+            return 0.0;
+        }
+        self.busy_ns() as f64 / (self.wall_ns as f64 * self.workers.len() as f64)
+    }
+
+    /// An ASCII utilization timeline of one worker: `width` columns over
+    /// the batch wall time, each column labeled with the [`Phase::tag`] of
+    /// the phase that dominates it (`·` = idle).
+    #[must_use]
+    pub fn timeline(&self, worker: u32, width: usize) -> String {
+        let width = width.max(1);
+        let mut cols = vec![0u64; width * Phase::COUNT];
+        let bucket = (self.wall_ns / width as u64).max(1);
+        for span in self.spans.iter().filter(|s| s.worker == worker) {
+            let (mut start, end) = (span.start_ns, span.end_ns.min(self.wall_ns));
+            while start < end {
+                let col = ((start / bucket) as usize).min(width - 1);
+                // The last column absorbs the rounded-off tail of the wall,
+                // so every span byte lands somewhere and `start` advances.
+                let col_end =
+                    if col == width - 1 { end } else { ((col as u64 + 1) * bucket).min(end) };
+                cols[col * Phase::COUNT + span.phase.index()] += col_end - start;
+                start = col_end;
+            }
+        }
+        let mut out = String::with_capacity(width);
+        for col in 0..width {
+            let slice = &cols[col * Phase::COUNT..(col + 1) * Phase::COUNT];
+            let (best, ns) =
+                slice.iter().enumerate().max_by_key(|&(_, ns)| *ns).expect("non-empty");
+            out.push(if *ns == 0 { '·' } else { Phase::all()[best].tag() });
+        }
+        out
+    }
+
+    /// Renders the human-readable attribution report: phase totals, the
+    /// per-worker table with the idle split, and per-worker timelines.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let wall = self.wall_ns as f64 / 1e6;
+        let _ = writeln!(
+            out,
+            "batch: {} jobs, {} workers, wall {:.2} ms; spans cover {:.1}% of worker-time, \
+             pool idle {:.1}%",
+            self.jobs,
+            self.workers.len(),
+            wall,
+            100.0 * self.busy_total_frac(),
+            100.0 * self.idle_frac(),
+        );
+        out.push_str("phase totals:");
+        for phase in Phase::all() {
+            let ns = self.phase_total(phase);
+            if ns > 0 {
+                let _ = write!(out, " {} {:.2}ms", phase.name(), ns as f64 / 1e6);
+            }
+        }
+        out.push('\n');
+        let _ = writeln!(
+            out,
+            "{:>6} {:>5} {:>6} {:>9} {:>9} {:>9} {:>9} {:>9}  idle split (startup/gap/barrier ms)",
+            "worker", "jobs", "util%", "compile", "warm", "reset", "simulate", "idle",
+        );
+        for w in &self.workers {
+            let ms = |ns: u64| ns as f64 / 1e6;
+            let _ = writeln!(
+                out,
+                "{:>6} {:>5} {:>6.1} {:>8.2}m {:>8.2}m {:>8.2}m {:>8.2}m {:>8.2}m  \
+                 ({:.2}/{:.2}/{:.2})",
+                w.worker,
+                w.jobs,
+                100.0 * w.utilization(),
+                ms(w.phase_ns[Phase::Compile.index()] + w.phase_ns[Phase::CacheHit.index()]),
+                ms(w.phase_ns[Phase::Warm.index()]),
+                ms(w.phase_ns[Phase::Reset.index()]),
+                ms(w.phase_ns[Phase::Simulate.index()]),
+                ms(w.idle_ns()),
+                ms(w.startup_ns()),
+                ms(w.gap_ns()),
+                ms(w.barrier_ns()),
+            );
+        }
+        if self.main.busy_ns > 0 {
+            let _ = writeln!(
+                out,
+                "  main: collect {:.3} ms, sink {:.3} ms",
+                self.main.phase_ns[Phase::Collect.index()] as f64 / 1e6,
+                self.main.phase_ns[Phase::Sink.index()] as f64 / 1e6,
+            );
+        }
+        let width = 64;
+        let _ = writeln!(
+            out,
+            "timeline ({:.2} ms/col; C compile, c cache, W warm, r reset, S simulate, · idle):",
+            self.wall_ns as f64 / 1e6 / width as f64
+        );
+        for w in &self.workers {
+            let _ = writeln!(out, "  w{:<3} |{}|", w.worker, self.timeline(w.worker, width));
+        }
+        out
+    }
+
+    /// Fraction of pool worker wall time spent inside spans (busy).
+    #[must_use]
+    pub fn busy_total_frac(&self) -> f64 {
+        if self.workers.is_empty() || self.wall_ns == 0 {
+            return 0.0;
+        }
+        let busy: u64 = self.workers.iter().map(|w| w.busy_ns).sum();
+        busy as f64 / (self.wall_ns as f64 * self.workers.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(worker: u32, job: Option<u32>, phase: Phase, start: u64, end: u64) -> Span {
+        Span { worker, job, phase, start_ns: start, end_ns: end }
+    }
+
+    #[test]
+    fn attribution_splits_phases_and_idle() {
+        // Worker 0: warm 0..10, sim 10..40; worker 1: warm 5..20, sim 20..30,
+        // then idle until the batch ends at 50. Main collects 40..45.
+        let spans = [
+            span(0, Some(0), Phase::Warm, 0, 10),
+            span(0, Some(0), Phase::Simulate, 10, 40),
+            span(1, Some(1), Phase::Warm, 5, 20),
+            span(1, Some(1), Phase::Simulate, 20, 30),
+            span(MAIN_WORKER, None, Phase::Collect, 40, 45),
+        ];
+        let r = Report::new(&spans, 50);
+        assert_eq!(r.workers.len(), 2);
+        assert_eq!(r.jobs, 2);
+        assert_eq!(r.phase_total(Phase::Warm), 25);
+        assert_eq!(r.phase_total(Phase::Simulate), 40);
+        assert_eq!(r.phase_total(Phase::Collect), 5);
+        let w1 = &r.workers[1];
+        assert_eq!(w1.startup_ns(), 5);
+        assert_eq!(w1.barrier_ns(), 20, "worker 1 waits at the collection barrier");
+        assert_eq!(w1.idle_ns(), 25);
+        assert_eq!(w1.gap_ns(), 0);
+        let w0 = &r.workers[0];
+        assert_eq!(w0.idle_ns(), 10, "wall 50 minus 40 busy");
+        assert!(r.idle_frac() > 0.0);
+    }
+
+    #[test]
+    fn wall_clamps_to_last_span_end() {
+        let spans = [span(0, Some(0), Phase::Simulate, 0, 100)];
+        let r = Report::new(&spans, 10);
+        assert_eq!(r.wall_ns, 100, "a short wall measurement cannot produce negative idle");
+        assert_eq!(r.workers[0].idle_ns(), 0);
+    }
+
+    #[test]
+    fn timeline_marks_dominant_phase_per_column() {
+        let spans =
+            [span(0, Some(0), Phase::Warm, 0, 50), span(0, Some(0), Phase::Simulate, 50, 100)];
+        let r = Report::new(&spans, 200);
+        let line = r.timeline(0, 4);
+        assert_eq!(line, "WS··");
+    }
+
+    #[test]
+    fn timeline_tail_column_absorbs_rounding_remainder() {
+        // wall 100 / width 64 gives bucket 1, so columns cover only 0..64;
+        // a span reaching past that must land in the last column and
+        // terminate (this was an infinite loop once).
+        let spans = [span(0, Some(0), Phase::Simulate, 0, 100)];
+        let r = Report::new(&spans, 100);
+        let line = r.timeline(0, 64);
+        assert_eq!(line.chars().count(), 64);
+        assert!(line.chars().all(|c| c == 'S'), "{line}");
+    }
+
+    #[test]
+    fn render_text_mentions_every_active_phase() {
+        let spans = [
+            span(0, Some(0), Phase::Compile, 0, 10),
+            span(0, Some(0), Phase::Simulate, 10, 90),
+            span(MAIN_WORKER, None, Phase::Collect, 90, 95),
+        ];
+        let text = Report::new(&spans, 100).render_text();
+        assert!(text.contains("compile 0.00ms") || text.contains("compile"), "{text}");
+        assert!(text.contains("simulate"));
+        assert!(text.contains("timeline"));
+        assert!(text.contains("w0"));
+    }
+}

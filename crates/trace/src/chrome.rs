@@ -23,20 +23,127 @@ const TID_FREP: u8 = 1;
 const TID_RETIRE: u8 = 2;
 const TID_STALL: u8 = 3;
 
+/// Incremental Chrome trace-event document builder: the shared assembly
+/// layer under every trace-event sink in the workspace (the cycle-trace
+/// [`render`] here and the host-span export in `snitch-telemetry`).
+///
+/// The builder owns the document framing — the `traceEvents` array, the
+/// one-event-per-line layout, separators, and the closing `otherData`
+/// stanza — so every sink produces documents with identical framing that
+/// [`validate`] and Perfetto both accept. Event helpers emit keys in the
+/// fixed order the golden tests pin (`ph`, `pid`, `tid`, `ts`, ...).
+#[derive(Debug)]
+pub struct Doc {
+    out: String,
+    first: bool,
+}
+
+impl Default for Doc {
+    fn default() -> Self {
+        Doc::new()
+    }
+}
+
+impl Doc {
+    /// An empty document (header written, no events).
+    #[must_use]
+    pub fn new() -> Self {
+        Doc::with_capacity(256)
+    }
+
+    /// An empty document with a pre-sized output buffer.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        let mut out = String::with_capacity(capacity);
+        out.push_str("{\"traceEvents\":[");
+        Doc { out, first: true }
+    }
+
+    /// Appends one pre-rendered event object (a complete `{...}` JSON
+    /// value, no trailing separator).
+    pub fn push(&mut self, event_json: &str) {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.out.push('\n');
+        self.out.push_str(event_json);
+        self.first = false;
+    }
+
+    /// Emits a `process_name` metadata record for `pid`.
+    pub fn process_name(&mut self, pid: u32, name: &str) {
+        self.push(&format!(
+            "{{\"ph\":\"M\",\"pid\":{pid},\"name\":\"process_name\",\
+             \"args\":{{\"name\":{}}}}}",
+            escape(name)
+        ));
+    }
+
+    /// Emits a `thread_name` metadata record for `(pid, tid)`.
+    pub fn thread_name(&mut self, pid: u32, tid: u32, name: &str) {
+        self.push(&format!(
+            "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":{}}}}}",
+            escape(name)
+        ));
+    }
+
+    /// Emits a complete (`ph:"X"`) duration event. `args_json`, when given,
+    /// must be a rendered JSON object (e.g. `{"job":"exp/base"}`).
+    pub fn complete(
+        &mut self,
+        pid: u32,
+        tid: u32,
+        ts: u64,
+        dur: u64,
+        name: &str,
+        args_json: Option<&str>,
+    ) {
+        let mut line = format!(
+            "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts},\"dur\":{dur},\"name\":{}",
+            escape(name)
+        );
+        if let Some(args) = args_json {
+            let _ = write!(line, ",\"args\":{args}");
+        }
+        line.push('}');
+        self.push(&line);
+    }
+
+    /// Emits a thread-scoped instant (`ph:"i"`, `s:"t"`) event.
+    pub fn instant(&mut self, pid: u32, tid: u32, ts: u64, name: &str) {
+        self.push(&format!(
+            "{{\"ph\":\"i\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts},\"s\":\"t\",\"name\":{}}}",
+            escape(name)
+        ));
+    }
+
+    /// Emits a counter (`ph:"C"`) sample: series `name`, one `field: value`
+    /// argument.
+    pub fn counter(&mut self, pid: u32, ts: u64, name: &str, field: &str, value: u64) {
+        self.push(&format!(
+            "{{\"ph\":\"C\",\"pid\":{pid},\"ts\":{ts},\"name\":{},\
+             \"args\":{{\"{field}\":{value}}}}}",
+            escape(name)
+        ));
+    }
+
+    /// Closes the document, labeling the timestamp unit in `otherData`
+    /// (cycle traces use `"cycle"`, host-span traces `"us"`).
+    #[must_use]
+    pub fn finish(mut self, time_unit: &str) -> String {
+        let _ = write!(
+            self.out,
+            "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{{\"timeUnit\":\"{time_unit}\"}}}}\n"
+        );
+        self.out
+    }
+}
+
 /// Renders an event stream as a complete Chrome trace-event JSON document.
 #[must_use]
 pub fn render(events: &[TraceEvent]) -> String {
-    let mut out = String::with_capacity(events.len() * 96 + 256);
-    out.push_str("{\"traceEvents\":[");
-    let mut first = true;
-    let mut emit = |line: &str, first: &mut bool| {
-        if !*first {
-            out.push(',');
-        }
-        out.push('\n');
-        out.push_str(line);
-        *first = false;
-    };
+    let mut doc = Doc::with_capacity(events.len() * 96 + 256);
 
     // Metadata: name every hart process and lane thread that appears.
     let mut harts: Vec<u8> = events.iter().map(|e| e.hart).collect();
@@ -44,13 +151,7 @@ pub fn render(events: &[TraceEvent]) -> String {
     harts.dedup();
     for &h in &harts {
         let pname = if h == CLUSTER_HART { "cluster".to_string() } else { format!("hart{h}") };
-        emit(
-            &format!(
-                "{{\"ph\":\"M\",\"pid\":{h},\"name\":\"process_name\",\
-                 \"args\":{{\"name\":\"{pname}\"}}}}"
-            ),
-            &mut first,
-        );
+        doc.process_name(u32::from(h), &pname);
         if h == CLUSTER_HART {
             continue;
         }
@@ -60,13 +161,7 @@ pub fn render(events: &[TraceEvent]) -> String {
             (TID_RETIRE, "fpu retire"),
             (TID_STALL, "stall"),
         ] {
-            emit(
-                &format!(
-                    "{{\"ph\":\"M\",\"pid\":{h},\"tid\":{tid},\"name\":\"thread_name\",\
-                     \"args\":{{\"name\":\"{tname}\"}}}}"
-                ),
-                &mut first,
-            );
+            doc.thread_name(u32::from(h), u32::from(tid), tname);
         }
     }
 
@@ -77,73 +172,58 @@ pub fn render(events: &[TraceEvent]) -> String {
         .iter()
         .filter_map(|e| counter_series(&e.kind).map(|s| (e.hart, s, e.cycle)))
         .collect();
-    let zero_after = |hart: u8, kind: &EventKind, cycle: u64| -> Option<String> {
+    let zero_after = |hart: u8, kind: &EventKind, cycle: u64| -> Option<(CounterSeries, u64)> {
         let series = counter_series(kind)?;
         if sampled.contains(&(hart, series, cycle + 1)) {
             return None;
         }
-        let (name, field) = series.labels();
-        Some(format!(
-            "{{\"ph\":\"C\",\"pid\":{hart},\"ts\":{},\"name\":\"{name}\",\
-             \"args\":{{\"{field}\":0}}}}",
-            cycle + 1
-        ))
+        Some((series, cycle + 1))
     };
 
     for ev in events {
-        let (cycle, hart) = (ev.cycle, ev.hart);
-        let line = match ev.kind {
+        let (cycle, hart) = (ev.cycle, u32::from(ev.hart));
+        match ev.kind {
             EventKind::Issue { lane, pc, inst } => {
                 let tid = if lane.is_core_slot() { TID_CORE } else { TID_FREP };
-                let mut s = format!(
-                    "{{\"ph\":\"X\",\"pid\":{hart},\"tid\":{tid},\"ts\":{cycle},\"dur\":1,\
-                     \"name\":{}",
-                    escape(&inst.to_string()),
-                );
-                if let Some(pc) = pc {
-                    let _ = write!(s, ",\"args\":{{\"pc\":\"{pc:#010x}\"}}");
-                }
-                s.push('}');
-                s
+                let args = pc.map(|pc| format!("{{\"pc\":\"{pc:#010x}\"}}"));
+                doc.complete(hart, u32::from(tid), cycle, 1, &inst.to_string(), args.as_deref());
             }
-            EventKind::Retire { lane, inst } => format!(
-                "{{\"ph\":\"X\",\"pid\":{hart},\"tid\":{TID_RETIRE},\"ts\":{cycle},\"dur\":1,\
-                 \"name\":{},\"args\":{{\"lane\":\"{}\"}}}}",
-                escape(&inst.to_string()),
-                lane.tag(),
-            ),
-            EventKind::Stall { cause, cycles } => format!(
-                "{{\"ph\":\"X\",\"pid\":{hart},\"tid\":{TID_STALL},\"ts\":{cycle},\
-                 \"dur\":{cycles},\"name\":\"{cause}\"}}"
-            ),
-            EventKind::SsrBeat { ssr, count } => format!(
-                "{{\"ph\":\"C\",\"pid\":{hart},\"ts\":{cycle},\"name\":\"ssr{ssr}\",\
-                 \"args\":{{\"beats\":{count}}}}}"
-            ),
-            EventKind::BankConflicts { count } => format!(
-                "{{\"ph\":\"C\",\"pid\":{hart},\"ts\":{cycle},\"name\":\"tcdm_conflicts\",\
-                 \"args\":{{\"new\":{count}}}}}"
-            ),
-            EventKind::DmaActive { count } => format!(
-                "{{\"ph\":\"C\",\"pid\":{hart},\"ts\":{cycle},\"name\":\"dma\",\
-                 \"args\":{{\"beats\":{count}}}}}"
-            ),
-            EventKind::BarrierArrive => format!(
-                "{{\"ph\":\"i\",\"pid\":{hart},\"tid\":{TID_CORE},\"ts\":{cycle},\"s\":\"t\",\
-                 \"name\":\"barrier arrive\"}}"
-            ),
-            EventKind::BarrierRelease => format!(
-                "{{\"ph\":\"i\",\"pid\":{hart},\"tid\":{TID_CORE},\"ts\":{cycle},\"s\":\"t\",\
-                 \"name\":\"barrier release\"}}"
-            ),
-        };
-        emit(&line, &mut first);
-        if let Some(zero) = zero_after(hart, &ev.kind, cycle) {
-            emit(&zero, &mut first);
+            EventKind::Retire { lane, inst } => {
+                let args = format!("{{\"lane\":\"{}\"}}", lane.tag());
+                doc.complete(hart, u32::from(TID_RETIRE), cycle, 1, &inst.to_string(), Some(&args));
+            }
+            EventKind::Stall { cause, cycles } => {
+                doc.complete(
+                    hart,
+                    u32::from(TID_STALL),
+                    cycle,
+                    u64::from(cycles),
+                    &cause.to_string(),
+                    None,
+                );
+            }
+            EventKind::SsrBeat { ssr, count } => {
+                doc.counter(hart, cycle, &format!("ssr{ssr}"), "beats", u64::from(count));
+            }
+            EventKind::BankConflicts { count } => {
+                doc.counter(hart, cycle, "tcdm_conflicts", "new", u64::from(count));
+            }
+            EventKind::DmaActive { count } => {
+                doc.counter(hart, cycle, "dma", "beats", u64::from(count));
+            }
+            EventKind::BarrierArrive => {
+                doc.instant(hart, u32::from(TID_CORE), cycle, "barrier arrive");
+            }
+            EventKind::BarrierRelease => {
+                doc.instant(hart, u32::from(TID_CORE), cycle, "barrier release");
+            }
+        }
+        if let Some((series, cycle)) = zero_after(ev.hart, &ev.kind, cycle) {
+            let (name, field) = series.labels();
+            doc.counter(hart, cycle, &name, field, 0);
         }
     }
-    out.push_str("\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"timeUnit\":\"cycle\"}}\n");
-    out
+    doc.finish("cycle")
 }
 
 /// Identity of one counter series (per hart).
