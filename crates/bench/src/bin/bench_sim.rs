@@ -217,21 +217,22 @@ fn main() {
     let baseline =
         std::fs::read_to_string("BENCH_sim.json").ok().as_deref().and_then(committed_baseline);
 
-    // The throughput-regression guard: measure workers=1, re-measuring on a
-    // miss so one noisy window cannot fail CI. The best attempt is also the
-    // recorded workers-1 entry (minimum wall time, like the overhead guard).
+    // The throughput-regression guard: measure workers=1 over every attempt
+    // and keep the minimum wall time (like the overhead guard) — on a noisy
+    // host a single timing window over- or under-states systematically-
+    // reproducible throughput by tens of percent in either direction, so
+    // both the recorded entry and the guard compare minima.
     let engine1 = Engine::new(1);
     let _ = engine1.run(&jobs); // warm-up: compile every program into the cache
     let mut best: Option<Measurement> = None;
     for attempt in 1..=REGRESSION_ATTEMPTS {
         let m = measure(&engine1, &jobs, 1);
-        let better = best.as_ref().is_none_or(|b| m.wall < b.wall);
-        if better {
+        if best.as_ref().is_none_or(|b| m.wall < b.wall) {
             best = Some(m);
         }
         let rate = best.as_ref().expect("just set").cycles_per_second();
-        match baseline {
-            Some(base) if rate < base * REGRESSION_TOLERANCE => {
+        if let Some(base) = baseline {
+            if rate < base * REGRESSION_TOLERANCE {
                 eprintln!(
                     "bench_sim: regression guard attempt {attempt}/{REGRESSION_ATTEMPTS}: \
                      {:.2} M cycles/s vs committed {:.2} M — re-measuring",
@@ -239,7 +240,6 @@ fn main() {
                     base / 1e6,
                 );
             }
-            _ => break,
         }
     }
     let best = best.expect("at least one measurement");
@@ -266,20 +266,37 @@ fn main() {
     // trajectory records scaling alongside the per-core number.
     let mut lines = vec![best.json_line(None)];
     let reference_cycles = best.cycles;
-    let base_cps = best.cycles_per_second();
     for workers in &WORKER_POOLS[1..] {
         let engine = Engine::new(*workers);
         let _ = engine.run(&jobs);
-        let m = measure(&engine, &jobs, *workers);
+        // Interleave pool and workers-1 measurements and compare minima:
+        // host clock drift over the benchmark's lifetime would otherwise
+        // masquerade as a pool slowdown (the workers-1 entry is measured
+        // first, when the process tends to run fastest).
+        let mut m: Option<Measurement> = None;
+        let mut base1: Option<Measurement> = None;
+        for _ in 0..REGRESSION_ATTEMPTS {
+            let pool = measure(&engine, &jobs, *workers);
+            if m.as_ref().is_none_or(|best| pool.wall < best.wall) {
+                m = Some(pool);
+            }
+            let one = measure(&engine1, &jobs, 1);
+            if base1.as_ref().is_none_or(|best| one.wall < best.wall) {
+                base1 = Some(one);
+            }
+        }
+        let m = m.expect("at least one attempt");
+        let base_cps = base1.expect("at least one attempt").cycles_per_second();
         assert_eq!(
             m.cycles, reference_cycles,
             "simulated cycles must be identical across worker counts"
         );
         let ratio = m.cycles_per_second() / base_cps;
-        // Scaling below 1.0 means the pool is a net loss on this batch.
-        // Warn — don't fail CI on it: the ROADMAP tracks the fix, and
-        // `perf-report` attributes the loss phase by phase.
-        if ratio < 1.0 {
+        // Scaling clearly below 1.0 means the pool is a net loss on this
+        // batch (the 5% band absorbs measurement noise at parity). Warn —
+        // don't fail CI on it: `perf-report` attributes the loss phase by
+        // phase.
+        if ratio < 0.95 {
             eprintln!(
                 "bench_sim: WARNING: workers={workers} runs {ratio:.2}x the single-worker \
                  throughput (< 1.0) — the pool is a net slowdown on the smoke batch; \

@@ -44,12 +44,23 @@ struct Profile {
     workers: usize,
     wall_ns: u64,
     cycles: u64,
+    /// Cycles the simulator executed on its block-compiled burst path.
+    replayed: u64,
     report: Report,
 }
 
 impl Profile {
     fn cps(&self) -> f64 {
         self.cycles as f64 / (self.wall_ns as f64 / 1e9)
+    }
+
+    /// Fraction of simulated cycles served by the block-compiled burst.
+    fn burst_frac(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.replayed as f64 / self.cycles as f64
+        }
     }
 }
 
@@ -101,6 +112,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
 /// Runs the batch once at `workers` with telemetry on, returning the
 /// attribution profile. Each run uses a fresh engine, so the program-cache
 /// compile cost is part of the profile — exactly what a cold sweep pays.
+/// The profile records the engine's *actual* pool width, which may be
+/// smaller than `workers`: the engine clamps to the host's parallelism.
 fn profile(jobs: &[JobSpec], workers: usize) -> Profile {
     let engine = Engine::new(workers);
     let tel = Telemetry::new();
@@ -108,7 +121,9 @@ fn profile(jobs: &[JobSpec], workers: usize) -> Profile {
     let records = engine.run_with(jobs, &tel);
     let wall_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
     let cycles = records.iter().map(|r| r.cycles).sum();
-    Profile { workers, wall_ns, cycles, report: Report::new(&tel.spans(), wall_ns) }
+    let replayed = records.iter().map(|r| r.block_replayed_cycles).sum();
+    let workers = engine.workers();
+    Profile { workers, wall_ns, cycles, replayed, report: Report::new(&tel.spans(), wall_ns) }
 }
 
 /// The "where did the speedup go" comparison of the base profile and the
@@ -291,11 +306,13 @@ fn main() -> ExitCode {
     let diagnosis = diagnose(base, worst);
     if args.markdown {
         println!("### Host scaling diagnosis (perf-report, smoke grid)\n");
-        println!("| workers | wall ms | Mcycles/s | vs 1w | simulate ms | warm ms | idle % |");
-        println!("|---:|---:|---:|---:|---:|---:|---:|");
+        println!(
+            "| workers | wall ms | Mcycles/s | vs 1w | simulate ms | warm ms | idle % | burst % |"
+        );
+        println!("|---:|---:|---:|---:|---:|---:|---:|---:|");
         for p in &profiles {
             println!(
-                "| {} | {:.2} | {:.2} | {:.2}x | {:.2} | {:.2} | {:.1} |",
+                "| {} | {:.2} | {:.2} | {:.2}x | {:.2} | {:.2} | {:.1} | {:.1} |",
                 p.workers,
                 p.wall_ns as f64 / 1e6,
                 p.cps() / 1e6,
@@ -303,6 +320,7 @@ fn main() -> ExitCode {
                 p.report.phase_total(Phase::Simulate) as f64 / 1e6,
                 p.report.phase_total(Phase::Warm) as f64 / 1e6,
                 100.0 * p.report.idle_frac(),
+                100.0 * p.burst_frac(),
             );
         }
         println!();
@@ -316,10 +334,12 @@ fn main() -> ExitCode {
             println!("=== {} worker(s) ===", p.workers);
             print!("{}", p.report.render_text());
             println!(
-                "throughput: {:.2}M simulated cycles/s ({:.2}x of {}-worker base)\n",
+                "throughput: {:.2}M simulated cycles/s ({:.2}x of {}-worker base), \
+                 block-burst engagement {:.1}%\n",
                 p.cps() / 1e6,
                 p.cps() / base.cps(),
-                base.workers
+                base.workers,
+                100.0 * p.burst_frac(),
             );
         }
         println!("--- scaling diagnosis ---");

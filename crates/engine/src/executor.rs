@@ -33,10 +33,16 @@ impl Default for Engine {
 }
 
 impl Engine {
-    /// An engine with a fixed worker count (clamped to at least 1).
+    /// An engine with a fixed worker count, clamped to at least 1 and to at
+    /// most the host's available parallelism. Simulation workers are pure
+    /// CPU burners, so a pool wider than the hardware only adds context
+    /// switching and scales *backwards*; the run itself further caps the
+    /// pool at the batch size, since an idle worker thread is pure spawn
+    /// cost.
     #[must_use]
     pub fn new(workers: usize) -> Self {
-        Engine { workers: workers.max(1), cache: ProgramCache::new() }
+        let cap = std::thread::available_parallelism().map_or(usize::MAX, std::num::NonZero::get);
+        Engine { workers: workers.clamp(1, cap.max(1)), cache: ProgramCache::new() }
     }
 
     /// The worker count.
@@ -136,7 +142,8 @@ impl Engine {
         tel.finish(t0, worker, job_id, Phase::Simulate);
         match result {
             Ok(outcome) => {
-                let record = RunRecord::success(job.clone(), &outcome);
+                let mut record = RunRecord::success(job.clone(), &outcome);
+                record.block_replayed_cycles = cluster.block_replayed_cycles();
                 if job.trace() {
                     // The reset just above ran before the load, so the
                     // attached tracer holds exactly this job's events.
@@ -186,6 +193,17 @@ mod tests {
             assert_eq!(r.job, *j, "record order must match job order");
             assert!(r.ok, "{} must validate", j.label());
         }
+    }
+
+    #[test]
+    fn worker_pool_is_clamped_to_host_parallelism() {
+        let hw = std::thread::available_parallelism().map_or(usize::MAX, std::num::NonZero::get);
+        assert_eq!(Engine::new(0).workers(), 1, "zero workers clamps up to one");
+        assert!(
+            Engine::new(usize::MAX).workers() <= hw,
+            "an oversubscribed pool must clamp down to the hardware threads"
+        );
+        assert_eq!(Engine::default().workers(), Engine::new(usize::MAX).workers());
     }
 
     #[test]

@@ -38,6 +38,11 @@ pub struct RunRecord {
     /// ([`JobSpec::traced`]). Never serialized into the JSON-lines/CSV
     /// sinks — render it with `snitch_trace::{chrome, text}`.
     pub trace: Option<Vec<TraceEvent>>,
+    /// Cycles the simulator spent on its block-compiled burst path (host
+    /// observability, see `Cluster::block_replayed_cycles`). Like `trace`,
+    /// never serialized: it describes the simulator run, not the simulated
+    /// machine, and would break byte-identical sweep output across hosts.
+    pub block_replayed_cycles: u64,
 }
 
 impl RunRecord {
@@ -57,6 +62,7 @@ impl RunRecord {
             config_fingerprint: fingerprint,
             stats: Some(outcome.stats.clone()),
             trace: None,
+            block_replayed_cycles: 0,
         }
     }
 
@@ -83,6 +89,7 @@ impl RunRecord {
             config_fingerprint: fingerprint,
             stats: None,
             trace: None,
+            block_replayed_cycles: 0,
         }
     }
 

@@ -4,6 +4,7 @@ use snitch_asm::program::Program;
 use snitch_riscv::reg::{FpReg, IntReg};
 use snitch_trace::{EventKind, TraceEvent, Tracer, CLUSTER_HART};
 
+use crate::block::BlockCache;
 use crate::config::ClusterConfig;
 use crate::core::{Decoded, IntCore};
 use crate::dma::Dma;
@@ -17,6 +18,12 @@ use crate::trace_event;
 
 /// Cycles without any unit making progress before a deadlock is declared.
 const DEADLOCK_WINDOW: u64 = 50_000;
+
+/// Consecutive progress-free cycles after which a block burst hands back to
+/// the generic loop. Far below [`DEADLOCK_WINDOW`], so a genuinely stuck
+/// program spends the bulk of its deadlock window — and reports the error —
+/// on the reference path, at exactly the reference cycle.
+const BLOCK_STUCK_EXIT: u64 = 64;
 
 /// Everything private to one compute core (hart): the integer pipeline, its
 /// FP subsystem, the three SSR streamers, the L0 instruction buffer and the
@@ -109,6 +116,15 @@ pub struct Cluster {
     /// Cycles the run loop advanced without stepping any unit (diagnostic;
     /// not part of [`Stats`] — skipped cycles are ordinary elapsed cycles).
     skipped_cycles: u64,
+    /// Block-compiled fast path enable (on by default; see
+    /// [`set_block_compile`](Self::set_block_compile)).
+    block: bool,
+    /// Cycles executed inside block bursts (diagnostic; not part of
+    /// [`Stats`] — replayed cycles are ordinary elapsed cycles).
+    block_replayed_cycles: u64,
+    /// The text section pre-lowered into burst micro-ops (rebuilt by
+    /// [`load_program`](Self::load_program)).
+    blocks: BlockCache,
     /// Event collector, attached when `cfg.trace` is set (or explicitly via
     /// [`attach_tracer`](Self::attach_tracer)). `None` is the hot path:
     /// every emission site is a single branch and constructs nothing.
@@ -143,6 +159,9 @@ impl Cluster {
             barrier_waiting_count: 0,
             skip: true,
             skipped_cycles: 0,
+            block: true,
+            block_replayed_cycles: 0,
+            blocks: BlockCache::default(),
             tracer,
         }
     }
@@ -152,6 +171,7 @@ impl Cluster {
     /// [`Program::parallel`] programs boot every hart at the entry point.
     pub fn load_program(&mut self, program: &Program) {
         self.text = program.text().iter().copied().map(Decoded::new).collect();
+        self.blocks.recompile(&self.text, &self.cfg);
         self.mem.load_images(program.tcdm_image(), program.main_image());
         let mut halted = 0;
         for (h, unit) in self.units.iter_mut().enumerate() {
@@ -198,6 +218,9 @@ impl Cluster {
         self.barrier_waiting_count = 0;
         self.skip = true;
         self.skipped_cycles = 0;
+        self.block = true;
+        self.block_replayed_cycles = 0;
+        self.blocks.clear();
         self.tracer = self.cfg.trace.then(Tracer::new);
     }
 
@@ -316,6 +339,28 @@ impl Cluster {
     #[must_use]
     pub fn skipped_cycles(&self) -> u64 {
         self.skipped_cycles
+    }
+
+    /// Enables or disables the block-compiled fast path (on by default).
+    ///
+    /// With block compilation enabled, `run` executes single-hart stretches
+    /// through pre-lowered micro-ops in a tight burst loop instead of the
+    /// generic all-units stepper (see `DESIGN.md` §15); results, [`Stats`]
+    /// and error cycles are bit-identical either way — the force-stepped
+    /// mode exists as the reference for the differential suite in
+    /// `tests/block_compile.rs`. [`reset`](Self::reset) restores the
+    /// default.
+    pub fn set_block_compile(&mut self, enabled: bool) {
+        self.block = enabled;
+    }
+
+    /// Cycles executed inside block bursts (0 with block compilation
+    /// disabled). Diagnostic only: replayed cycles are ordinary elapsed
+    /// cycles in every statistic, disjoint from
+    /// [`skipped_cycles`](Self::skipped_cycles).
+    #[must_use]
+    pub fn block_replayed_cycles(&self) -> u64 {
+        self.block_replayed_cycles
     }
 
     /// Advances the cluster by one cycle and refreshes the statistics
@@ -496,6 +541,14 @@ impl Cluster {
             if self.cycle >= self.cfg.max_cycles {
                 return Err(RunError::Timeout { cycles: self.cycle });
             }
+            // Block burst: a lone running hart with everything else parked
+            // executes through the pre-lowered micro-ops until an exit
+            // condition hands control back here.
+            if let Some(hart) = self.block_eligible_hart() {
+                if self.block_burst(hart)? {
+                    continue;
+                }
+            }
             // Quiescent skip: when every unit is provably silent, jump the
             // clock straight to the next wake event. Clamped to the timeout
             // and deadlock boundaries so both errors are still reported at
@@ -553,6 +606,177 @@ impl Cluster {
             }
         }
         Ok(())
+    }
+
+    /// The single hart a block burst may drive this cycle, or `None` when
+    /// any entry guard fails. The burst replays pre-lowered micro-ops for
+    /// exactly one running hart, so it engages only when every other unit is
+    /// provably a per-cycle no-op: one non-halted hart, every halted hart
+    /// parked (idle FP subsystem, quiescent streamers — the stepper's own
+    /// skip condition), nobody at the barrier, the DMA engine idle, and no
+    /// recording tracer attached (event emission needs the stepper's hooks).
+    fn block_eligible_hart(&self) -> Option<usize> {
+        if !self.block
+            || self.barrier_waiting_count != 0
+            || self.units.len() - self.halted_count != 1
+            || !self.dma.idle()
+            || self.tracer.as_ref().is_some_and(Tracer::is_recording)
+        {
+            return None;
+        }
+        let mut running = None;
+        for (h, unit) in self.units.iter().enumerate() {
+            if !unit.core.halted() {
+                running = Some(h);
+            } else if !unit.fpss.idle_now() || !unit.ssrs.iter().all(Ssr::quiescent) {
+                return None;
+            }
+        }
+        running
+    }
+
+    /// Runs `hart` in a burst: the per-cycle loop specialized to one running
+    /// hart and driven by the block cache, with the other units statically
+    /// proven idle by [`block_eligible_hart`](Self::block_eligible_hart).
+    /// Exits back to the generic loop at halt, DMA activation, a fault, the
+    /// timeout boundary, or [`BLOCK_STUCK_EXIT`] progress-free cycles.
+    /// Returns whether any cycles elapsed (`false` means the caller must
+    /// fall through to the generic loop to guarantee forward progress).
+    fn block_burst(&mut self, hart: usize) -> Result<bool, RunError> {
+        let start = self.cycle;
+        let max_cycles = self.cfg.max_cycles;
+        let mut now = start;
+        let mut last_progress = self.last_progress_cycle;
+        let mut new_halts = 0usize;
+        let mut fault = None;
+        {
+            let Cluster { cfg, text, units, dma, mem, arb, tcdm_dma_accesses, blocks, .. } = self;
+            let CoreUnit { core, fpss, ssrs, l0, stats } = &mut units[hart];
+            let hart_u8 = core.hart_id() as u8;
+            let mut no_tracer: Option<Tracer> = None;
+            loop {
+                if now >= max_cycles || now - last_progress > BLOCK_STUCK_EXIT {
+                    break;
+                }
+                let fp_quiet = fpss.idle_now();
+                // Silent window: with the FP subsystem idle and the
+                // streamers quiescent, a stalled core makes every call
+                // below a no-op — jump straight to the resume cycle
+                // (clamped so the stuck-exit and timeout boundaries fire
+                // at exactly the cycles the checks above would see).
+                if fp_quiet && core.stall_until() > now && ssrs.iter().all(Ssr::quiescent) {
+                    now = core
+                        .stall_until()
+                        .min(max_cycles)
+                        .min(last_progress + BLOCK_STUCK_EXIT + 1);
+                    continue;
+                }
+                // Pre-lowered pc-relative values assume 4-byte alignment;
+                // a misaligned jump target is the stepper's problem.
+                if core.pc() & 3 != 0 {
+                    break;
+                }
+                arb.begin_cycle();
+                let issued_before = stats.int_issued + stats.fp_issued_core + stats.fpu_busy_cycles;
+                if !fp_quiet {
+                    fpss.drain_int_writebacks(now, |wb| core.apply_writeback(wb.rd, wb.value, now));
+                }
+                if core.stall_until() <= now {
+                    // A core at the canonical FPU fence with FP work still
+                    // queued (`!fp_quiet` implies `!drained`) can only lose
+                    // the slot to a Fence stall: book the stall directly
+                    // instead of the delegated stepper call. (`x0` carries
+                    // no hazards and the write-back claim prune is lazy.)
+                    let idx = (core.pc().wrapping_sub(snitch_asm::layout::TEXT_BASE) / 4) as usize;
+                    if !fp_quiet
+                        && blocks
+                            .ops()
+                            .get(idx)
+                            .is_some_and(|b| matches!(b.op, crate::block::BlockOp::FenceWait))
+                    {
+                        stats.add_stall(snitch_trace::StallCause::Fence, 1);
+                    } else {
+                        let r = core.step_block(
+                            now,
+                            cfg,
+                            text,
+                            blocks.ops(),
+                            l0,
+                            mem,
+                            arb,
+                            fpss,
+                            ssrs,
+                            dma,
+                            stats,
+                        );
+                        if core.halted() {
+                            new_halts += 1;
+                        }
+                        if let Err(e) = r {
+                            fault = Some(e);
+                            break;
+                        }
+                    }
+                }
+                // All other harts are halted, so a barrier arrival releases
+                // in the same cycle (net zero occupancy, like the stepper).
+                if core.barrier_waiting() {
+                    core.release_barrier();
+                }
+                // Re-checked after the issue: a just-offloaded op must step
+                // this cycle. When still idle, `step` is a pure no-op.
+                if !fpss.idle_now() {
+                    if let Err(e) =
+                        fpss.step(now, hart_u8, cfg, mem, arb, ssrs, stats, &mut no_tracer)
+                    {
+                        fault = Some(e);
+                        break;
+                    }
+                }
+                for (i, ssr) in ssrs.iter_mut().enumerate() {
+                    if ssr.quiescent() {
+                        continue;
+                    }
+                    let accesses = ssr.step(mem, arb, TcdmPort::Ssr(hart_u8, i as u8));
+                    stats.tcdm_ssr_accesses += u64::from(accesses);
+                    if accesses > 0 {
+                        last_progress = now + 1;
+                    }
+                    if ssr.armed() {
+                        stats.ssr_active_cycles[i] += 1;
+                    }
+                    stats.ssr_beats[i] = ssr.beats();
+                }
+                let mut progressed =
+                    stats.int_issued + stats.fp_issued_core + stats.fpu_busy_cycles
+                        != issued_before;
+                let dma_active = !dma.idle();
+                if dma_active {
+                    // A transfer the core just enqueued has moved no beats
+                    // yet, so reading the counter here still sees the
+                    // cycle's starting value.
+                    let dma_beats_before = dma.beats();
+                    let dma_accesses = dma.step(mem, arb);
+                    *tcdm_dma_accesses += u64::from(dma_accesses);
+                    progressed |= dma.beats() != dma_beats_before;
+                }
+                now += 1;
+                if progressed {
+                    last_progress = now;
+                }
+                if core.halted() || dma_active {
+                    break;
+                }
+            }
+        }
+        self.cycle = now;
+        self.last_progress_cycle = last_progress;
+        self.halted_count += new_halts;
+        self.block_replayed_cycles += now - start;
+        match fault {
+            Some(e) => Err(RunError::Fault(e)),
+            None => Ok(now > start),
+        }
     }
 
     /// The program counter of the first non-halted hart (hart 0 when all

@@ -316,7 +316,7 @@ impl IntCore {
                     self.ready_at[rd.index() as usize] = PENDING_FP;
                 }
             }
-            fpss.offload(OffloadEntry { inst: d.inst, int_val });
+            fpss.offload(OffloadEntry::new(d.inst, int_val));
             self.fetched(now, d.inst, l0, stats, tracer);
             if d.inst.is_frep() {
                 stats.int_issued += 1;
@@ -670,6 +670,248 @@ impl IntCore {
             u32::from(src)
         } else {
             self.regs[usize::from(src)]
+        }
+    }
+}
+
+/// The block-compiled issue path. Each method here is a semantically exact
+/// mirror of its counterpart in [`step`](IntCore::step) with no tracer
+/// attached — same hazard scan order, same stall causes and counts, same
+/// write-back port claims, same pc updates — but driven by pre-lowered
+/// [`BlockInst`] micro-ops instead of re-matching [`Inst`] every cycle.
+/// The differential suite in `tests/block_compile.rs` pins the equivalence.
+impl IntCore {
+    /// One issue attempt on the fast path. Callers guarantee the core is
+    /// not halted and not inside a `stall_until` window.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn step_block(
+        &mut self,
+        now: u64,
+        cfg: &ClusterConfig,
+        text: &[Decoded],
+        blocks: &[crate::block::BlockInst],
+        l0: &mut L0Cache,
+        mem: &mut Memory,
+        arb: &mut TcdmArbiter,
+        fpss: &mut Fpss,
+        ssrs: &mut [Ssr; 3],
+        dma: &mut Dma,
+        stats: &mut Stats,
+    ) -> Result<(), SimFault> {
+        use crate::block::{BlockOp, OffloadVal};
+        debug_assert!(!self.halted && self.stall_until <= now);
+        let idx = (self.pc.wrapping_sub(layout::TEXT_BASE) / 4) as usize;
+        let Some(b) = blocks.get(idx) else {
+            return Err(SimFault::new(format!("pc {:#010x} outside text section", self.pc)));
+        };
+        let b = *b;
+        // CSR (barrier, fences, SSR enable), SSR-config and DMA micro-ops
+        // keep their stateful semantics by delegating to the reference
+        // stepper, which redoes its own housekeeping and hazard scan.
+        if matches!(b.op, BlockOp::Generic | BlockOp::FenceWait) {
+            return self.step(now, cfg, text, l0, mem, arb, fpss, ssrs, dma, stats, &mut None);
+        }
+        self.wb_claims.retain(|&(c, _)| c >= now);
+        // Operand scoreboard scan in the stepper's order: sources, then the
+        // destination. Index 0 is x0, whose slot is always ready.
+        for r in [b.srcs[0], b.srcs[1], b.dst] {
+            let ready = self.ready_at[r as usize];
+            if ready > now {
+                let cause =
+                    if ready == PENDING_FP { StallCause::FpPending } else { StallCause::IntRaw };
+                stats.add_stall(cause, 1);
+                return Ok(());
+            }
+        }
+        match b.op {
+            BlockOp::Offload { val, meta, is_frep, writes_int_rf } => {
+                if !fpss.can_accept() {
+                    stats.add_stall(StallCause::OffloadFull, 1);
+                    return Ok(());
+                }
+                let int_val = match val {
+                    OffloadVal::None => None,
+                    OffloadVal::Addr { rs1, offset } => {
+                        Some(self.regs[rs1 as usize].wrapping_add(offset as u32))
+                    }
+                    OffloadVal::Reg { rs1 } => Some(self.regs[rs1 as usize]),
+                };
+                if writes_int_rf && b.dst != 0 {
+                    self.ready_at[b.dst as usize] = PENDING_FP;
+                }
+                fpss.offload(OffloadEntry::with_meta(text[idx].inst, int_val, meta));
+                self.fetched_fast(l0, stats);
+                if is_frep {
+                    stats.int_issued += 1;
+                } else {
+                    stats.fp_issued_core += 1;
+                }
+            }
+            BlockOp::Lui { value } | BlockOp::Auipc { value } => {
+                if !self.issue_alu_fast(now, cfg, l0, b.dst, value, 1, stats) {
+                    return Ok(());
+                }
+            }
+            BlockOp::AluImm { op, rs1, imm } => {
+                let v = op.eval(self.regs[rs1 as usize], imm);
+                if !self.issue_alu_fast(now, cfg, l0, b.dst, v, 1, stats) {
+                    return Ok(());
+                }
+            }
+            BlockOp::AluReg { op, rs1, rs2, latency } => {
+                let v = op.eval(self.regs[rs1 as usize], self.regs[rs2 as usize]);
+                if !self.issue_alu_fast(now, cfg, l0, b.dst, v, latency, stats) {
+                    return Ok(());
+                }
+            }
+            BlockOp::Jal { target } => {
+                self.jump_fast(now, cfg, l0, b.dst, target, stats);
+                return Ok(());
+            }
+            BlockOp::Jalr { rs1, offset } => {
+                // Target from the *old* rs1 (rd may alias rs1).
+                let target = self.regs[rs1 as usize].wrapping_add(offset as u32) & !1;
+                self.jump_fast(now, cfg, l0, b.dst, target, stats);
+                return Ok(());
+            }
+            BlockOp::Branch { op, rs1, rs2, taken_pc } => {
+                let taken = op.taken(self.regs[rs1 as usize], self.regs[rs2 as usize]);
+                self.fetched_fast(l0, stats);
+                stats.int_issued += 1;
+                if taken {
+                    self.pc = taken_pc;
+                    self.stall_until = now + 1 + u64::from(cfg.branch_penalty);
+                    stats.add_stall(StallCause::Branch, u64::from(cfg.branch_penalty));
+                } else {
+                    self.pc = self.pc.wrapping_add(4);
+                }
+                return Ok(());
+            }
+            BlockOp::Load { op, rs1, offset } => {
+                if fpss.has_pending_stores() {
+                    stats.add_stall(StallCause::StoreOrder, 1);
+                    return Ok(());
+                }
+                let addr = self.regs[rs1 as usize].wrapping_add(offset as u32);
+                let lat = if layout::is_tcdm(addr) {
+                    if !arb.request(TcdmPort::CoreLsu(self.hart_id as u8), addr) {
+                        stats.add_stall(StallCause::TcdmConflict, 1);
+                        return Ok(());
+                    }
+                    stats.tcdm_core_accesses += 1;
+                    cfg.load_latency
+                } else {
+                    stats.main_mem_accesses += 1;
+                    cfg.load_latency + cfg.main_mem_extra_latency
+                };
+                let raw = mem.read(addr, op.size()).map_err(SimFault::from)? as u32;
+                let v = match op {
+                    snitch_riscv::ops::LoadOp::Lb => (raw as i8) as i32 as u32,
+                    snitch_riscv::ops::LoadOp::Lh => (raw as i16) as i32 as u32,
+                    _ => raw,
+                };
+                if b.dst != 0 {
+                    self.regs[b.dst as usize] = v;
+                    self.ready_at[b.dst as usize] = now + u64::from(lat);
+                }
+                self.fetched_fast(l0, stats);
+                stats.int_issued += 1;
+            }
+            BlockOp::Store { op, rs1, rs2, offset } => {
+                let addr = self.regs[rs1 as usize].wrapping_add(offset as u32);
+                if layout::is_tcdm(addr) {
+                    if !arb.request(TcdmPort::CoreLsu(self.hart_id as u8), addr) {
+                        stats.add_stall(StallCause::TcdmConflict, 1);
+                        return Ok(());
+                    }
+                    stats.tcdm_core_accesses += 1;
+                } else {
+                    stats.main_mem_accesses += 1;
+                }
+                mem.write(addr, op.size(), u64::from(self.regs[rs2 as usize]))
+                    .map_err(SimFault::from)?;
+                self.fetched_fast(l0, stats);
+                stats.int_issued += 1;
+            }
+            BlockOp::Fence => {
+                self.fetched_fast(l0, stats);
+                stats.int_issued += 1;
+            }
+            BlockOp::Ecall => {
+                self.fetched_fast(l0, stats);
+                stats.int_issued += 1;
+                self.halted = true;
+                return Ok(());
+            }
+            BlockOp::Generic | BlockOp::FenceWait => {
+                unreachable!("dispatched to the stepper above")
+            }
+        }
+        self.pc = self.pc.wrapping_add(4);
+        Ok(())
+    }
+
+    /// `jal`/`jalr` tail: link write on the shared port, redirect, refill
+    /// penalty (mirrors the stepper's two jump arms).
+    fn jump_fast(
+        &mut self,
+        now: u64,
+        cfg: &ClusterConfig,
+        l0: &mut L0Cache,
+        dst: u8,
+        target: u32,
+        stats: &mut Stats,
+    ) {
+        if dst != 0 {
+            if !self.can_claim_wb(now + 1, cfg.int_wb_ports) {
+                stats.add_stall(StallCause::WbPort, 1);
+                return;
+            }
+            self.claim_wb(now + 1);
+            self.regs[dst as usize] = self.pc.wrapping_add(4);
+            self.ready_at[dst as usize] = now + 1;
+        }
+        self.fetched_fast(l0, stats);
+        stats.int_issued += 1;
+        self.pc = target;
+        self.stall_until = now + 1 + u64::from(cfg.branch_penalty);
+        stats.add_stall(StallCause::Branch, u64::from(cfg.branch_penalty));
+    }
+
+    /// [`issue_alu_like`](IntCore::issue_alu_like) without the tracer hook.
+    #[allow(clippy::too_many_arguments)]
+    fn issue_alu_fast(
+        &mut self,
+        now: u64,
+        cfg: &ClusterConfig,
+        l0: &mut L0Cache,
+        dst: u8,
+        value: u32,
+        latency: u32,
+        stats: &mut Stats,
+    ) -> bool {
+        let wb_cycle = now + u64::from(latency);
+        if dst != 0 {
+            if !self.can_claim_wb(wb_cycle, cfg.int_wb_ports) {
+                stats.add_stall(StallCause::WbPort, 1);
+                return false;
+            }
+            self.claim_wb(wb_cycle);
+            self.regs[dst as usize] = value;
+            self.ready_at[dst as usize] = wb_cycle;
+        }
+        self.fetched_fast(l0, stats);
+        stats.int_issued += 1;
+        true
+    }
+
+    /// [`fetched`](IntCore::fetched) without the issue-event emission (the
+    /// fast path never runs with a recording tracer).
+    fn fetched_fast(&mut self, l0: &mut L0Cache, stats: &mut Stats) {
+        if l0.fetch(self.pc) {
+            stats.l0_hits += 1;
+        } else {
+            stats.l0_misses += 1;
         }
     }
 }

@@ -40,6 +40,40 @@ fn fpu_stall(
     trace_event!(tracer, now, hart, EventKind::Stall { cause, cycles: 1 });
 }
 
+/// Register-index sentinel in [`FpMeta`]: no register in this slot.
+const NO_REG: u8 = 0xFF;
+
+/// Pre-lowered issue metadata of one FP instruction: operand register
+/// indices and the resource class, extracted from the [`Inst`] once when the
+/// [`OffloadEntry`] is built so the per-cycle issue path (which runs again
+/// on every stall retry and every sequencer replay) never re-matches the
+/// instruction encoding. The block cache precomputes it per pc so the burst
+/// offload path skips even that one-time extraction.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct FpMeta {
+    /// FP source register indices in operand order ([`NO_REG`] = empty slot).
+    srcs: [u8; 3],
+    /// FP destination register index ([`NO_REG`] = none).
+    dst: u8,
+    /// Execution-resource class (drives latency and the op counters).
+    class: InstClass,
+}
+
+impl FpMeta {
+    pub(crate) fn of(inst: &Inst) -> Self {
+        let s = fp_sources(inst);
+        FpMeta {
+            srcs: [
+                s[0].map_or(NO_REG, FpReg::index),
+                s[1].map_or(NO_REG, FpReg::index),
+                s[2].map_or(NO_REG, FpReg::index),
+            ],
+            dst: fp_dest(inst).map_or(NO_REG, FpReg::index),
+            class: inst.class(),
+        }
+    }
+}
+
 /// An instruction offloaded by the integer core, with any integer operand
 /// captured at issue time (register value, computed address, or FREP
 /// repetition count).
@@ -49,6 +83,23 @@ pub struct OffloadEntry {
     pub inst: Inst,
     /// Captured integer operand, if the instruction consumes one.
     pub int_val: Option<u32>,
+    /// Pre-lowered issue metadata (kept consistent with `inst` by
+    /// construction; staggered replays remap both together).
+    meta: FpMeta,
+}
+
+impl OffloadEntry {
+    /// Builds an offload entry, pre-lowering the issue metadata.
+    #[must_use]
+    pub fn new(inst: Inst, int_val: Option<u32>) -> Self {
+        OffloadEntry { inst, int_val, meta: FpMeta::of(&inst) }
+    }
+
+    /// Builds an offload entry from metadata already extracted for this
+    /// exact instruction (the block cache's per-pc copy).
+    pub(crate) fn with_meta(inst: Inst, int_val: Option<u32>, meta: FpMeta) -> Self {
+        OffloadEntry { inst, int_val, meta }
+    }
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -325,7 +376,7 @@ impl Fpss {
                         return self.step_capture(now, hart, cfg, mem, arb, ssrs, stats, tracer);
                     }
                     if self.try_issue(
-                        front,
+                        &front,
                         Lane::FpCore,
                         now,
                         hart,
@@ -346,12 +397,12 @@ impl Fpss {
                 self.step_capture(now, hart, cfg, mem, arb, ssrs, stats, tracer)
             }
             SeqState::Replay { iter, total, pos, stagger_max, stagger_mask, inst_major } => {
-                let entry = self.ring[pos];
+                let mut staggered = self.ring[pos];
                 let offset =
                     if stagger_max == 0 { 0 } else { (iter % (u32::from(stagger_max) + 1)) as u8 };
-                let staggered = stagger_entry(entry, stagger_mask, offset);
+                stagger_entry(&mut staggered, stagger_mask, offset);
                 if self.try_issue(
-                    staggered,
+                    &staggered,
                     Lane::FpSeq,
                     now,
                     hart,
@@ -439,7 +490,7 @@ impl Fpss {
                 front.inst
             )));
         }
-        if self.try_issue(front, Lane::FpCore, now, hart, cfg, mem, arb, ssrs, stats, tracer)? {
+        if self.try_issue(&front, Lane::FpCore, now, hart, cfg, mem, arb, ssrs, stats, tracer)? {
             self.fifo.pop_front();
             stats.fpu_busy_cycles += 1;
             self.ring.push(front);
@@ -466,21 +517,13 @@ impl Fpss {
         Ok(())
     }
 
-    fn ssr_of(&self, r: FpReg) -> Option<usize> {
-        if self.ssr_enabled && r.is_ssr_candidate() {
-            Some(r.index() as usize)
-        } else {
-            None
-        }
-    }
-
     /// Attempts to issue one FP instruction to the FPU. Returns whether it
     /// issued (false = stall this cycle). `lane` tags the trace events with
     /// the issue slot the instruction came from (core offload vs sequencer).
     #[allow(clippy::too_many_arguments)]
     fn try_issue(
         &mut self,
-        entry: OffloadEntry,
+        entry: &OffloadEntry,
         lane: Lane,
         now: u64,
         hart: u8,
@@ -492,47 +535,44 @@ impl Fpss {
         tracer: &mut Option<Tracer>,
     ) -> Result<bool, SimFault> {
         let inst = entry.inst;
+        let meta = entry.meta;
+        let ssr_on = self.ssr_enabled;
 
         // --- hazard checks (no side effects until all pass) ---
         // An instruction reading a stream register in several operand slots
         // pops one element per slot, so availability is counted per SSR.
-        let srcs = fp_sources(&inst);
         let mut pops_needed = [0usize; 3];
-        for &r in srcs.iter().flatten() {
-            match self.ssr_of(r) {
-                Some(i) => pops_needed[i] += 1,
-                None => {
-                    if self.ready_at[r.index() as usize] > now {
-                        fpu_stall(now, hart, StallCause::FpuRaw, stats, tracer);
-                        return Ok(false);
-                    }
-                }
+        for &s in &meta.srcs {
+            if s == NO_REG {
+                continue;
             }
-        }
-        for (i, &needed) in pops_needed.iter().enumerate() {
-            if needed > 0 && ssrs[i].available_elements() < needed {
-                fpu_stall(now, hart, StallCause::FpuSsr, stats, tracer);
+            if ssr_on && s < 3 {
+                pops_needed[s as usize] += 1;
+            } else if self.ready_at[s as usize] > now {
+                fpu_stall(now, hart, StallCause::FpuRaw, stats, tracer);
                 return Ok(false);
             }
         }
-        let fp_dst = fp_dest(&inst);
-        if let Some(rd) = fp_dst {
-            match self.ssr_of(rd) {
-                Some(i) => {
-                    if !ssrs[i].write_ready() {
-                        fpu_stall(now, hart, StallCause::FpuSsr, stats, tracer);
-                        return Ok(false);
-                    }
-                }
-                None => {
-                    if self.ready_at[rd.index() as usize] > now {
-                        fpu_stall(now, hart, StallCause::FpuRaw, stats, tracer);
-                        return Ok(false);
-                    }
+        if ssr_on {
+            for (i, &needed) in pops_needed.iter().enumerate() {
+                if needed > 0 && ssrs[i].available_elements() < needed {
+                    fpu_stall(now, hart, StallCause::FpuSsr, stats, tracer);
+                    return Ok(false);
                 }
             }
         }
-        let class = inst.class();
+        if meta.dst != NO_REG {
+            if ssr_on && meta.dst < 3 {
+                if !ssrs[meta.dst as usize].write_ready() {
+                    fpu_stall(now, hart, StallCause::FpuSsr, stats, tracer);
+                    return Ok(false);
+                }
+            } else if self.ready_at[meta.dst as usize] > now {
+                fpu_stall(now, hart, StallCause::FpuRaw, stats, tracer);
+                return Ok(false);
+            }
+        }
+        let class = meta.class;
         if class == InstClass::FpDivSqrt && self.divsqrt_busy_until > now {
             fpu_stall(now, hart, StallCause::FpuRaw, stats, tracer);
             return Ok(false);
@@ -551,13 +591,27 @@ impl Fpss {
             }
         }
 
-        // --- execute ---
+        // --- execute (latency lookup and op counter in one dispatch) ---
         let latency = match class {
-            InstClass::FpMulAdd => cfg.fpu_lat_muladd,
-            InstClass::FpShort => cfg.fpu_lat_short,
-            InstClass::FpCvt => cfg.fpu_lat_cvt,
-            InstClass::FpDivSqrt => cfg.fpu_lat_divsqrt,
+            InstClass::FpMulAdd => {
+                stats.fpu_muladd_ops += 1;
+                cfg.fpu_lat_muladd
+            }
+            InstClass::FpShort => {
+                stats.fpu_short_ops += 1;
+                cfg.fpu_lat_short
+            }
+            InstClass::FpCvt => {
+                stats.fpu_cvt_ops += 1;
+                cfg.fpu_lat_cvt
+            }
+            InstClass::FpDivSqrt => {
+                stats.fpu_divsqrt_ops += 1;
+                self.divsqrt_busy_until = now + u64::from(cfg.fpu_lat_divsqrt);
+                cfg.fpu_lat_divsqrt
+            }
             InstClass::FpLoad => {
+                stats.fp_mem_ops += 1;
                 let addr = entry.int_val.expect("checked above");
                 let mut l = cfg.fp_load_latency;
                 if !layout::is_tcdm(addr) {
@@ -565,38 +619,27 @@ impl Fpss {
                 }
                 l
             }
-            InstClass::FpStore => 1,
+            InstClass::FpStore => {
+                stats.fp_mem_ops += 1;
+                debug_assert!(self.pending_stores > 0);
+                self.pending_stores -= 1;
+                1
+            }
             other => {
                 return Err(SimFault::new(format!(
                     "instruction `{inst}` (class {other:?}) reached the FPU"
                 )))
             }
         };
-        match class {
-            InstClass::FpMulAdd => stats.fpu_muladd_ops += 1,
-            InstClass::FpShort => stats.fpu_short_ops += 1,
-            InstClass::FpCvt => stats.fpu_cvt_ops += 1,
-            InstClass::FpDivSqrt => {
-                stats.fpu_divsqrt_ops += 1;
-                self.divsqrt_busy_until = now + u64::from(latency);
-            }
-            InstClass::FpLoad | InstClass::FpStore => stats.fp_mem_ops += 1,
-            _ => unreachable!(),
-        }
-        if class == InstClass::FpStore {
-            debug_assert!(self.pending_stores > 0);
-            self.pending_stores -= 1;
-        }
 
         // Gather operand bits, popping SSR streams.
         let mut bits = [0u64; 3];
-        for (slot, r) in srcs.iter().enumerate() {
-            if let Some(r) = r {
-                bits[slot] = match self.ssr_of(*r) {
-                    Some(i) => ssrs[i].pop(),
-                    None => self.regs[r.index() as usize],
-                };
+        for (slot, &s) in meta.srcs.iter().enumerate() {
+            if s == NO_REG {
+                continue;
             }
+            bits[slot] =
+                if ssr_on && s < 3 { ssrs[s as usize].pop() } else { self.regs[s as usize] };
         }
 
         let outcome = exec_fp(&inst, bits, entry.int_val, mem)?;
@@ -605,13 +648,14 @@ impl Fpss {
         trace_event!(tracer, done_at, hart, EventKind::Retire { lane, inst });
         match outcome {
             Outcome::Fp(value) => {
-                let rd = fp_dst.expect("fp-result instruction has an fp destination");
-                if let Some(i) = self.ssr_of(rd) {
+                debug_assert_ne!(meta.dst, NO_REG, "fp-result instruction has an fp destination");
+                if ssr_on && meta.dst < 3 {
+                    let i = meta.dst as usize;
                     ssrs[i].reserve_write();
                     self.ssr_pushes.push((done_at, i, value));
                 } else {
-                    self.regs[rd.index() as usize] = value;
-                    self.ready_at[rd.index() as usize] = done_at;
+                    self.regs[meta.dst as usize] = value;
+                    self.ready_at[meta.dst as usize] = done_at;
                 }
             }
             Outcome::Int(rd, value) => {
@@ -681,9 +725,9 @@ fn fp_dest(inst: &Inst) -> Option<FpReg> {
 /// index. SSR-candidate registers (`ft0..ft2`) are never staggered, and
 /// staggered indices wrap within `f3..f31` so they cannot collide with the
 /// stream registers.
-fn stagger_entry(entry: OffloadEntry, mask: u8, offset: u8) -> OffloadEntry {
+fn stagger_entry(entry: &mut OffloadEntry, mask: u8, offset: u8) {
     if mask == 0 || offset == 0 {
-        return entry;
+        return;
     }
     let remap = |r: FpReg, bit: u8| -> FpReg {
         if mask & (1 << bit) == 0 || r.is_ssr_candidate() {
@@ -720,9 +764,23 @@ fn stagger_entry(entry: OffloadEntry, mask: u8, offset: u8) -> OffloadEntry {
         Inst::FpCvtF2F { to, rd, rs1 } => {
             Inst::FpCvtF2F { to, rd: remap(rd, 0), rs1: remap(rs1, 1) }
         }
-        other => other,
+        _ => return,
     };
-    OffloadEntry { inst, int_val: entry.int_val }
+    entry.inst = inst;
+    // Remap the pre-lowered metadata in lockstep: every staggerable variant
+    // lists its FP sources in `rs1, rs2, rs3` operand order, so source slot
+    // `i` pairs with mask bit `i + 1` and the destination with bit 0.
+    let remap_idx = |r: u8, bit: u8| -> u8 {
+        if r == NO_REG || mask & (1 << bit) == 0 || r < 3 {
+            r
+        } else {
+            3 + (r - 3 + offset) % 29
+        }
+    };
+    entry.meta.dst = remap_idx(entry.meta.dst, 0);
+    for (i, s) in entry.meta.srcs.iter_mut().enumerate() {
+        *s = remap_idx(*s, i as u8 + 1);
+    }
 }
 
 const F32_SIGN: u32 = 0x8000_0000;
@@ -944,7 +1002,7 @@ mod tests {
     }
 
     fn fp(inst: Inst) -> OffloadEntry {
-        OffloadEntry { inst, int_val: None }
+        OffloadEntry::new(inst, None)
     }
 
     #[test]
@@ -1006,10 +1064,10 @@ mod tests {
         fpss.regs[FpReg::FA1.index() as usize] = 1.0f64.to_bits();
         // frep.o with rep = 3 (4 total iterations) over a 1-instruction body
         // accumulating fa0 += fa1.
-        fpss.offload(OffloadEntry {
-            inst: Inst::FrepO { rep: IntReg::T0, max_inst: 1, stagger_max: 0, stagger_mask: 0 },
-            int_val: Some(3),
-        });
+        fpss.offload(OffloadEntry::new(
+            Inst::FrepO { rep: IntReg::T0, max_inst: 1, stagger_max: 0, stagger_mask: 0 },
+            Some(3),
+        ));
         fpss.offload(fp(Inst::FpOp {
             op: FpAluOp::Add,
             fmt: FpFmt::D,
@@ -1034,10 +1092,10 @@ mod tests {
         let (mut cfg, mut mem, mut arb, mut ssrs, mut stats) = harness();
         cfg.sequencer_depth = 2;
         let mut fpss = Fpss::new(&cfg);
-        fpss.offload(OffloadEntry {
-            inst: Inst::FrepO { rep: IntReg::T0, max_inst: 3, stagger_max: 0, stagger_mask: 0 },
-            int_val: Some(1),
-        });
+        fpss.offload(OffloadEntry::new(
+            Inst::FrepO { rep: IntReg::T0, max_inst: 3, stagger_max: 0, stagger_mask: 0 },
+            Some(1),
+        ));
         arb.begin_cycle();
         let err = fpss
             .step(0, 0, &cfg, &mut mem, &mut arb, &mut ssrs, &mut stats, &mut None)
@@ -1123,7 +1181,8 @@ mod tests {
             rs2: FpReg::FA1,
             rs3: FpReg::FA0,
         });
-        let s = stagger_entry(entry, 0b1001, 2); // rd and rs3
+        let mut s = entry;
+        stagger_entry(&mut s, 0b1001, 2); // rd and rs3
         match s.inst {
             Inst::FpFma { rd, rs1, rs2, rs3, .. } => {
                 assert_eq!(rd, FpReg::new(12));

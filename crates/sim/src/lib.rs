@@ -21,6 +21,7 @@
 //! See `DESIGN.md` for parameter provenance and modelled deviations, and
 //! [`cluster::Cluster`] for the entry point.
 
+mod block;
 pub mod cluster;
 pub mod config;
 pub mod core;
@@ -31,6 +32,8 @@ pub mod icache;
 pub mod mem;
 pub mod ssr;
 pub mod stats;
+#[cfg(feature = "testing")]
+pub mod testing;
 
 pub use cluster::Cluster;
 pub use config::ClusterConfig;

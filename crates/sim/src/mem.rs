@@ -233,11 +233,21 @@ impl Memory {
     /// Returns [`MemFault`] for unmapped addresses.
     pub fn read(&self, addr: u32, len: u32) -> Result<u64, MemFault> {
         let s = self.slice(addr, len)?;
-        let mut v = 0u64;
-        for (i, b) in s.iter().enumerate() {
-            v |= u64::from(*b) << (8 * i);
-        }
-        Ok(v)
+        Ok(match *s {
+            [b0] => u64::from(b0),
+            [b0, b1] => u64::from(u16::from_le_bytes([b0, b1])),
+            [b0, b1, b2, b3] => u64::from(u32::from_le_bytes([b0, b1, b2, b3])),
+            [b0, b1, b2, b3, b4, b5, b6, b7] => {
+                u64::from_le_bytes([b0, b1, b2, b3, b4, b5, b6, b7])
+            }
+            _ => {
+                let mut v = 0u64;
+                for (i, b) in s.iter().enumerate() {
+                    v |= u64::from(*b) << (8 * i);
+                }
+                v
+            }
+        })
     }
 
     /// Writes `len` (1, 2, 4 or 8) low-order bytes of `value`.
@@ -247,8 +257,10 @@ impl Memory {
     /// Returns [`MemFault`] for unmapped addresses.
     pub fn write(&mut self, addr: u32, len: u32, value: u64) -> Result<(), MemFault> {
         let s = self.slice_mut(addr, len)?;
-        for (i, b) in s.iter_mut().enumerate() {
-            *b = (value >> (8 * i)) as u8;
+        let bytes = value.to_le_bytes();
+        match s.len() {
+            8 => s.copy_from_slice(&bytes),
+            n => s.copy_from_slice(&bytes[..n]),
         }
         Ok(())
     }

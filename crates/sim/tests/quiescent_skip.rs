@@ -1,169 +1,30 @@
 //! Equivalence of the quiescent-skip fast path against a force-stepped
 //! reference loop: pseudo-random multi-core programs (integer loops, FP and
 //! FREP bodies, SSR streams, DMA copies with wait loops, barriers) must
-//! produce identical [`Stats`], final memory and register state with skip
-//! enabled and disabled — and the deadlock/timeout watchdogs must report
-//! their errors at exactly the same cycles.
+//! produce identical [`Stats`](snitch_sim::Stats), final memory and register
+//! state with skip enabled and disabled — and the deadlock/timeout watchdogs
+//! must report their errors at exactly the same cycles.
 //!
-//! Deterministic generator (seeded xorshift), no external property-testing
-//! dependency — the repo convention since PR 1.
+//! Every cluster here runs with `set_block_compile(false)` so the suite
+//! isolates the quiescent-skip path; the block-compiled path has its own
+//! differential suite in `block_compile.rs`. The program generator is the
+//! shared one in [`snitch_sim::testing`].
 
 use snitch_asm::builder::ProgramBuilder;
-use snitch_asm::layout::{MAIN_BASE, TCDM_BASE};
-use snitch_asm::program::Program;
+use snitch_asm::layout::TCDM_BASE;
 use snitch_riscv::csr::SsrCfgWord;
-use snitch_riscv::reg::{FpReg, IntReg};
+use snitch_riscv::reg::IntReg;
 use snitch_sim::cluster::Cluster;
 use snitch_sim::config::ClusterConfig;
 use snitch_sim::error::RunError;
-use snitch_sim::stats::Stats;
+use snitch_sim::testing::{observe_with, random_program, Observation, Rng};
 
-/// Small xorshift PRNG for deterministic program generation.
-struct Rng(u64);
-
-impl Rng {
-    fn next(&mut self) -> u64 {
-        let mut x = self.0;
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        self.0 = x;
-        x
-    }
-
-    fn below(&mut self, n: u64) -> u64 {
-        self.next() % n
-    }
-}
-
-/// Emits one random program fragment; `tag` uniquifies labels.
-fn fragment(b: &mut ProgramBuilder, rng: &mut Rng, tag: usize, parallel: bool) {
-    match rng.below(if parallel { 7 } else { 6 }) {
-        // Integer loop with a data-dependent tail (taken branches produce
-        // the silent refill windows the skip path targets).
-        0 => {
-            let iters = 2 + rng.below(6) as i32;
-            b.li(IntReg::A1, iters);
-            b.label(&format!("int{tag}"));
-            b.addi(IntReg::T3, IntReg::T3, 3);
-            b.mul(IntReg::T4, IntReg::T3, IntReg::A1);
-            b.addi(IntReg::A1, IntReg::A1, -1);
-            b.bnez(IntReg::A1, &format!("int{tag}"));
-        }
-        // FP block, sometimes fenced (unfenced blocks leave in-flight work
-        // for the post-run drain loop to retire).
-        1 => {
-            b.li(IntReg::A2, 7 + tag as i32);
-            b.fcvt_d_w(FpReg::FA1, IntReg::A2);
-            b.fadd_d(FpReg::FS0, FpReg::FS0, FpReg::FA1);
-            b.fmul_d(FpReg::FS1, FpReg::FA1, FpReg::FA1);
-            if rng.below(2) == 0 {
-                b.fpu_fence();
-            }
-        }
-        // FREP body replayed by the sequencer.
-        2 => {
-            b.li(IntReg::A2, 3 + tag as i32);
-            b.fcvt_d_w(FpReg::FA2, IntReg::A2);
-            b.li(IntReg::T0, rng.below(6) as i32 + 1);
-            b.frep_o(IntReg::T0, 2, 0, 0);
-            b.fadd_d(FpReg::FS2, FpReg::FS2, FpReg::FA2);
-            b.fmadd_d(FpReg::FS3, FpReg::FA2, FpReg::FA2, FpReg::FS3);
-            if rng.below(2) == 0 {
-                b.fpu_fence();
-            }
-        }
-        // SSR read stream summed through an FREP body.
-        3 => {
-            let n = 2 + rng.below(4) as u32; // elements
-            let data: Vec<f64> = (0..n).map(|i| f64::from(i + tag as u32) * 0.5).collect();
-            let xs = b.tcdm_f64(&format!("xs{tag}"), &data);
-            b.li(IntReg::T1, 0);
-            b.scfgwi(IntReg::T1, 0, SsrCfgWord::Status);
-            b.scfgwi(IntReg::T1, 0, SsrCfgWord::Repeat);
-            b.li(IntReg::T1, n as i32 - 1);
-            b.scfgwi(IntReg::T1, 0, SsrCfgWord::Bound(0));
-            b.li(IntReg::T1, 8);
-            b.scfgwi(IntReg::T1, 0, SsrCfgWord::Stride(0));
-            b.li_u(IntReg::T1, xs);
-            b.scfgwi(IntReg::T1, 0, SsrCfgWord::Base);
-            b.ssr_enable();
-            b.li(IntReg::T0, n as i32 - 1);
-            b.frep_o(IntReg::T0, 1, 0, 0);
-            b.fadd_d(FpReg::FS4, FpReg::FS4, FpReg::FT0);
-            b.fpu_fence();
-            b.ssr_disable();
-        }
-        // DMA copy main→TCDM with a busy-wait loop; sometimes unaligned so
-        // beats split at bank-line boundaries.
-        4 => {
-            let unaligned = rng.below(2) == 0;
-            let dst = b.tcdm_reserve(&format!("dma{tag}"), 64, 8);
-            b.li_u(IntReg::A3, MAIN_BASE + 128 * tag as u32);
-            b.li(IntReg::A4, 0x55 + tag as i32);
-            b.sw(IntReg::A4, IntReg::A3, 0);
-            b.sw(IntReg::A4, IntReg::A3, 16);
-            b.dmsrc(IntReg::A3);
-            b.li_u(IntReg::A4, if unaligned { dst + 4 } else { dst });
-            b.dmdst(IntReg::A4);
-            b.li(IntReg::A5, 24);
-            b.dmcpyi(IntReg::A6, IntReg::A5);
-            b.label(&format!("dw{tag}"));
-            b.dmstati(IntReg::A7);
-            b.bnez(IntReg::A7, &format!("dw{tag}"));
-        }
-        // Per-hart store (hart-offset slot so SPMD runs stay racefree).
-        5 => {
-            let slots = b.tcdm_reserve(&format!("sl{tag}"), 32 * 4, 4);
-            b.csrr_mhartid(IntReg::A1);
-            b.slli(IntReg::A2, IntReg::A1, 2);
-            b.li_u(IntReg::A3, slots);
-            b.add(IntReg::A2, IntReg::A2, IntReg::A3);
-            b.addi(IntReg::A4, IntReg::A1, 11 + tag as i32);
-            b.sw(IntReg::A4, IntReg::A2, 0);
-            b.lw(IntReg::A5, IntReg::A2, 0);
-            b.add(IntReg::T5, IntReg::T5, IntReg::A5);
-        }
-        // Barrier (SPMD only; every hart passes through the same sequence).
-        _ => {
-            b.barrier();
-        }
-    }
-}
-
-/// Builds a random program of `frags` fragments.
-fn random_program(rng: &mut Rng, cores: usize, frags: usize) -> Program {
-    let mut b = ProgramBuilder::new();
-    if cores > 1 {
-        b.parallel();
-    }
-    for tag in 0..frags {
-        fragment(&mut b, rng, tag, cores > 1);
-    }
-    if cores > 1 {
-        b.barrier();
-    }
-    b.ecall();
-    b.build().expect("generated program assembles")
-}
-
-/// Runs `program` and captures (stats, per-hart FP registers, TCDM image).
-fn observe(program: &Program, cores: usize, skip: bool) -> (Stats, Vec<u64>, Vec<u64>) {
-    let cfg = ClusterConfig { cores, ..ClusterConfig::default() };
-    let mut c = Cluster::new(cfg);
-    c.set_quiescent_skip(skip);
-    c.load_program(program);
-    let stats = c.run().expect("random program completes");
-    let mut regs = Vec::new();
-    for h in 0..cores {
-        for r in 0..32u8 {
-            regs.push(c.fp_reg_of(h, FpReg::new(r)));
-        }
-    }
-    // The generator allocates all data in the first few KiB of the TCDM.
-    let tcdm: Vec<u64> =
-        (0..2048).map(|i| c.mem().read(TCDM_BASE + i * 8, 8).expect("tcdm read")).collect();
-    (stats, regs, tcdm)
+/// Runs with block compilation off and quiescent skip as given.
+fn observe(program: &snitch_asm::program::Program, cores: usize, skip: bool) -> Observation {
+    observe_with(program, cores, |c| {
+        c.set_block_compile(false);
+        c.set_quiescent_skip(skip);
+    })
 }
 
 #[test]
@@ -175,9 +36,9 @@ fn skip_matches_force_stepped_reference_on_random_programs() {
         let program = random_program(&mut rng, cores, frags);
         let fast = observe(&program, cores, true);
         let reference = observe(&program, cores, false);
-        assert_eq!(fast.0, reference.0, "stats diverge (case {case}, cores {cores})");
-        assert_eq!(fast.1, reference.1, "fp registers diverge (case {case})");
-        assert_eq!(fast.2, reference.2, "memory diverges (case {case})");
+        assert_eq!(fast.stats, reference.stats, "stats diverge (case {case}, cores {cores})");
+        assert_eq!(fast.fp_regs, reference.fp_regs, "fp registers diverge (case {case})");
+        assert_eq!(fast.tcdm, reference.tcdm, "memory diverges (case {case})");
     }
 }
 
@@ -195,6 +56,7 @@ fn skip_engages_on_branch_refill_windows() {
     let p = b.build().unwrap();
 
     let mut c = Cluster::new(ClusterConfig::default());
+    c.set_block_compile(false);
     c.load_program(&p);
     let stats = c.run().unwrap();
     // 499 taken branches x 2 refill cycles, every one of them skipped.
@@ -202,6 +64,7 @@ fn skip_engages_on_branch_refill_windows() {
     assert_eq!(stats.stall_branch, 998, "skipped cycles still count as branch stalls");
 
     let mut reference = Cluster::new(ClusterConfig::default());
+    reference.set_block_compile(false);
     reference.set_quiescent_skip(false);
     reference.load_program(&p);
     let ref_stats = reference.run().unwrap();
@@ -227,6 +90,7 @@ fn deadlock_reported_at_identical_cycles() {
 
     let run = |skip: bool| {
         let mut c = Cluster::new(ClusterConfig::default());
+        c.set_block_compile(false);
         c.set_quiescent_skip(skip);
         c.load_program(&p);
         c.run()
@@ -256,6 +120,7 @@ fn timeout_reported_at_identical_cycles() {
 
     let run = |skip: bool, max_cycles: u64| {
         let mut c = Cluster::new(ClusterConfig { max_cycles, ..ClusterConfig::default() });
+        c.set_block_compile(false);
         c.set_quiescent_skip(skip);
         c.load_program(&p);
         c.run()
