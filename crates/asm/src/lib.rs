@@ -25,6 +25,8 @@
 //! # Ok::<(), snitch_asm::AsmError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod builder;
 pub mod layout;
 pub mod program;

@@ -7,6 +7,8 @@
 //! steady-state derivations here consume the ordered records. This module
 //! is the **only** place steady-state measure logic lives.
 
+#![forbid(unsafe_code)]
+
 use snitch_engine::{job, Engine, RunRecord};
 use snitch_kernels::harness::steady_state;
 use snitch_kernels::registry::{Kernel, Variant};

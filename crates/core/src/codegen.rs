@@ -509,7 +509,26 @@ fn emit_full(
     }
     b.ecall();
     let _ = inner;
-    b.build().map_err(|e| CodegenError::UnsupportedCut { reason: e.to_string() })
+    let program = b.build().map_err(|e| CodegenError::UnsupportedCut { reason: e.to_string() })?;
+    // Debug builds statically verify every generated program: the code
+    // generator must never emit something `snitch-verify` rejects (unarmed
+    // streams, over-popped bounds, illegal FREP bodies, out-of-bounds spill
+    // traffic). Release builds skip this — the engine verifies at load time.
+    #[cfg(debug_assertions)]
+    {
+        let diags = snitch_verify::verify(&program, &snitch_sim::ClusterConfig::default());
+        let errors: Vec<String> = diags
+            .iter()
+            .filter(|d| d.severity == snitch_verify::Severity::Error)
+            .map(ToString::to_string)
+            .collect();
+        assert!(
+            errors.is_empty(),
+            "codegen emitted a program the static verifier rejects:\n{}",
+            errors.join("\n")
+        );
+    }
+    Ok(program)
 }
 
 fn emit_int_block(

@@ -23,6 +23,8 @@
 //! paper's Equations (1)–(3) used throughout Table I; [`codegen::compile`]
 //! turns two-phase kernels into complete runnable COPIFT programs.
 
+#![forbid(unsafe_code)]
+
 pub mod codegen;
 pub mod compiler;
 pub mod dfg;

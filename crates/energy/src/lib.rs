@@ -27,6 +27,8 @@
 //! assert!(report.avg_power_mw > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod calibration;
 
 use snitch_sim::stats::Stats;

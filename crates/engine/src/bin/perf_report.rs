@@ -365,6 +365,33 @@ fn main() -> ExitCode {
         }
     }
 
+    // Static-verification overhead guard, always on. Each profiled batch
+    // runs a fresh engine and so re-verifies cold, but a real sweep (many
+    // seeds and configs per program, one engine) pays verification once per
+    // distinct program and serves cached diagnostics after that. The guard
+    // therefore charges ONE cold verification pass (the base profile's)
+    // against the whole profiled run's wall time — the overhead a sweep
+    // actually pays. A verify:compile ratio can never be small (verification
+    // walks every instruction several times per hart while assembly is a
+    // single emit pass), so that ratio is only reported alongside for
+    // trend-watching, not gated on.
+    let verify_ns: u64 = base.report.phase_total(Phase::Verify);
+    let compile_ns = base.report.phase_total(Phase::Compile);
+    let total_wall: u64 = profiles.iter().map(|p| p.wall_ns).sum();
+    let verify_pct = 100.0 * verify_ns as f64 / total_wall as f64;
+    let vs_compile = if compile_ns == 0 { 0.0 } else { verify_ns as f64 / compile_ns as f64 };
+    eprintln!(
+        "perf-report: verify overhead: {:.3}ms across {:.3}ms of profiled batches \
+         ({verify_pct:.2}%, budget 5%; {vs_compile:.1}x the {:.3}ms assembly time)",
+        verify_ns as f64 / 1e6,
+        total_wall as f64 / 1e6,
+        compile_ns as f64 / 1e6,
+    );
+    if verify_ns * 20 > total_wall {
+        eprintln!("perf-report: verify overhead guard FAILED: {verify_pct:.2}% > 5% budget");
+        return ExitCode::FAILURE;
+    }
+
     if args.overhead_guard {
         match overhead_guard(&jobs) {
             Ok((off, on)) => eprintln!(

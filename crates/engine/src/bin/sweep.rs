@@ -30,6 +30,9 @@ Presets (job batch templates):
   extended        the extended-suite kernels x 2 variants at (n, 2n) operating points
   smoke           every cataloged kernel x variants at small sizes
   scaling         the data-parallel kernels x 2 variants over 1/2/4/8 cores
+  verify          statically verify every program of the above batches and
+                  print a diagnostic report (no simulation; exits non-zero
+                  if any program has verification errors)
 
 Job axes (ignored when a preset is given):
   --kernels K,..  cataloged kernel names (see the catalog below); default: all
@@ -56,6 +59,8 @@ Execution and output:
   --jsonl PATH    write JSON-lines records (\"-\" for stdout)
   --csv PATH      write CSV records (\"-\" for stdout)
   --metrics PATH  write host-telemetry METRICS.json lines (\"-\" for stdout)
+  --allow-invalid run jobs whose program fails static verification anyway
+                  (default: such jobs fail without simulating)
   --quiet         suppress the summary table and the progress line
 
 A live progress line (jobs done/total, elapsed, ETA) is printed to stderr
@@ -73,6 +78,7 @@ struct Args {
     jsonl: Option<String>,
     csv: Option<String>,
     metrics: Option<String>,
+    allow_invalid: bool,
     quiet: bool,
 }
 
@@ -102,6 +108,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         jsonl: None,
         csv: None,
         metrics: None,
+        allow_invalid: false,
         quiet: false,
     };
     let mut it = argv.iter().peekable();
@@ -121,7 +128,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             it.next().cloned().ok_or_else(|| format!("{flag} requires a value"))
         };
         match arg.as_str() {
-            "fig2" | "fig3" | "smoke" | "extended" | "scaling" => args.preset = Some(arg.clone()),
+            "fig2" | "fig3" | "smoke" | "extended" | "scaling" | "verify" => {
+                args.preset = Some(arg.clone());
+            }
             "--kernels" => {
                 let v = value_of("--kernels")?;
                 args.kernels = v
@@ -159,6 +168,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--jsonl" => args.jsonl = Some(value_of("--jsonl")?),
             "--csv" => args.csv = Some(value_of("--csv")?),
             "--metrics" => args.metrics = Some(value_of("--metrics")?),
+            "--allow-invalid" => args.allow_invalid = true,
             "--quiet" => args.quiet = true,
             "--help" | "-h" => return Err(String::new()),
             flag if config_flags.contains(&flag) => {
@@ -169,7 +179,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 // A bare word can only be a preset: reject misspellings
                 // loudly instead of silently running the default grid.
                 return Err(format!(
-                    "unknown preset `{other}` (valid presets: fig2, fig3, extended, smoke, scaling)"
+                    "unknown preset `{other}` (valid presets: fig2, fig3, extended, smoke, \
+                     scaling, verify)"
                 ));
             }
             other => return Err(format!("unknown argument `{other}`")),
@@ -298,6 +309,42 @@ fn run_with_progress(engine: &Engine, jobs: &[JobSpec], tel: &Telemetry) -> Vec<
     })
 }
 
+/// `sweep verify`: statically verify every distinct program the preset
+/// batches can produce — each unique (kernel, variant, n, block, cores)
+/// builds once, runs through `snitch_verify`, and prints its diagnostic
+/// report. Nothing is simulated. Exits non-zero if any program carries a
+/// hard error, unless `--allow-invalid` downgrades that to a report.
+fn run_verify(args: &Args) -> ExitCode {
+    let mut batch = job::smoke();
+    batch.extend(job::figure2());
+    batch.extend(job::figure3_paper());
+    batch.extend(job::extended());
+    batch.extend(job::scaling_default());
+    let mut seen = std::collections::HashSet::new();
+    let (mut programs, mut errors, mut warnings) = (0usize, 0usize, 0usize);
+    for job in batch {
+        let key = job.program_key();
+        if !seen.insert(key) {
+            continue;
+        }
+        let program = key.kernel.build_for(key.variant, key.n, key.block, key.cores);
+        let diags = snitch_verify::verify(&program, &job.config);
+        programs += 1;
+        let errs = snitch_verify::error_count(&diags);
+        errors += errs;
+        warnings += diags.len() - errs;
+        if !diags.is_empty() && (errs > 0 || !args.quiet) {
+            print!("{}", snitch_verify::report(&job.label(), &diags));
+        }
+    }
+    eprintln!("sweep verify: {programs} program(s), {errors} error(s), {warnings} warning(s)");
+    if errors > 0 && !args.allow_invalid {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = match parse_args(&argv) {
@@ -312,13 +359,17 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if args.preset.as_deref() == Some("verify") {
+        return run_verify(&args);
+    }
 
     let jobs = build_jobs(&args);
     if jobs.is_empty() {
         eprintln!("sweep: empty job batch");
         return ExitCode::FAILURE;
     }
-    let engine = args.workers.map_or_else(Engine::default, Engine::new);
+    let engine =
+        args.workers.map_or_else(Engine::default, Engine::new).allow_invalid(args.allow_invalid);
     // Telemetry powers the progress line and --metrics; with neither wanted
     // the engine runs with the disabled (no-op) handle.
     let progress = !args.quiet && std::io::stderr().is_terminal();

@@ -39,6 +39,7 @@ pub struct ProgramKey {
 #[derive(Default, Debug)]
 pub struct ProgramCache {
     map: Mutex<HashMap<ProgramKey, Arc<Program>>>,
+    diags: Mutex<HashMap<ProgramKey, Arc<Vec<snitch_verify::Diagnostic>>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -91,6 +92,33 @@ impl ProgramCache {
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 (Arc::clone(v.insert(program)), false)
             }
+        }
+    }
+
+    /// Returns the static-verifier diagnostics for `key`'s program,
+    /// verifying it on first use (cached alongside the program — a sweep
+    /// of many configurations over one program verifies it once). The
+    /// `bool` reports whether this call ran the verifier (`true`) so the
+    /// caller can attribute the time to the `Verify` telemetry phase.
+    ///
+    /// Verification keys on the program, but needs the core count from
+    /// `config` (barrier consistency is a cross-hart property); the key
+    /// already pins `cores`, so the cache stays coherent.
+    #[must_use]
+    pub fn diagnostics_for(
+        &self,
+        key: ProgramKey,
+        program: &Program,
+        config: &snitch_sim::config::ClusterConfig,
+    ) -> (Arc<Vec<snitch_verify::Diagnostic>>, bool) {
+        if let Some(d) = self.diags.lock().unwrap().get(&key) {
+            return (Arc::clone(d), false);
+        }
+        // Verify outside the lock (same discipline as program builds).
+        let diags = Arc::new(snitch_verify::verify(program, config));
+        match self.diags.lock().unwrap().entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => (Arc::clone(e.get()), true),
+            std::collections::hash_map::Entry::Vacant(v) => (Arc::clone(v.insert(diags)), true),
         }
     }
 

@@ -22,6 +22,7 @@ use crate::record::RunRecord;
 pub struct Engine {
     workers: usize,
     cache: ProgramCache,
+    allow_invalid: bool,
 }
 
 impl Default for Engine {
@@ -42,7 +43,20 @@ impl Engine {
     #[must_use]
     pub fn new(workers: usize) -> Self {
         let cap = std::thread::available_parallelism().map_or(usize::MAX, std::num::NonZero::get);
-        Engine { workers: workers.clamp(1, cap.max(1)), cache: ProgramCache::new() }
+        Engine {
+            workers: workers.clamp(1, cap.max(1)),
+            cache: ProgramCache::new(),
+            allow_invalid: false,
+        }
+    }
+
+    /// Lets jobs whose program fails static verification run anyway (the
+    /// `--allow-invalid` escape hatch). Diagnostics are still collected and
+    /// attached to the records; only the fail-the-job behaviour is off.
+    #[must_use]
+    pub fn allow_invalid(mut self, allow: bool) -> Self {
+        self.allow_invalid = allow;
+        self
     }
 
     /// The worker count.
@@ -130,6 +144,36 @@ impl Engine {
         let t0 = tel.start();
         let (program, hit) = self.cache.get_with_status(job.program_key());
         tel.finish(t0, worker, job_id, if hit { Phase::CacheHit } else { Phase::Compile });
+        // Static verification, cached alongside the program: hard errors
+        // fail the job before it ever reaches a cluster (unless the engine
+        // was built with `allow_invalid`).
+        let t0 = tel.start();
+        let (diagnostics, verified_now) =
+            self.cache.diagnostics_for(job.program_key(), &program, &job.config);
+        if verified_now {
+            tel.finish(t0, worker, job_id, Phase::Verify);
+        }
+        if snitch_verify::has_errors(&diagnostics) && !self.allow_invalid {
+            let failed: Vec<&str> = {
+                let mut ids: Vec<&str> = diagnostics
+                    .iter()
+                    .filter(|d| d.severity == snitch_verify::Severity::Error)
+                    .map(|d| d.check.name())
+                    .collect();
+                ids.dedup();
+                ids
+            };
+            let mut record = RunRecord::failure(
+                job.clone(),
+                format!(
+                    "program failed static verification ({} error(s): {})",
+                    snitch_verify::error_count(&diagnostics),
+                    failed.join(", ")
+                ),
+            );
+            record.diagnostics = diagnostics;
+            return record;
+        }
         let reusable = cluster.as_ref().is_some_and(|c| *c.config() == job.config);
         if !reusable {
             let built = tel.time(worker, job_id, Phase::Warm, || Cluster::new(job.config.clone()));
@@ -140,7 +184,7 @@ impl Engine {
         let t0 = tel.start();
         let result = job.kernel.run_loaded(cluster, job.variant, job.n, &program);
         tel.finish(t0, worker, job_id, Phase::Simulate);
-        match result {
+        let mut record = match result {
             Ok(outcome) => {
                 let mut record = RunRecord::success(job.clone(), &outcome);
                 record.block_replayed_cycles = cluster.block_replayed_cycles();
@@ -148,13 +192,14 @@ impl Engine {
                     // The reset just above ran before the load, so the
                     // attached tracer holds exactly this job's events.
                     let events = cluster.trace_events().unwrap_or_default().to_vec();
-                    record.with_trace(events)
-                } else {
-                    record
+                    record = record.with_trace(events);
                 }
+                record
             }
             Err(e) => RunRecord::failure(job.clone(), e.to_string()),
-        }
+        };
+        record.diagnostics = diagnostics;
+        record
     }
 }
 

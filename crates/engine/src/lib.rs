@@ -42,6 +42,8 @@
 //! assert!(records.iter().all(|r| r.ok));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod executor;
 pub mod job;

@@ -43,6 +43,10 @@ pub struct RunRecord {
     /// never serialized: it describes the simulator run, not the simulated
     /// machine, and would break byte-identical sweep output across hosts.
     pub block_replayed_cycles: u64,
+    /// Static-verifier findings for the job's program (shared across every
+    /// job built from the same cached program). Like `trace`, never
+    /// serialized into the line sinks — render with `snitch_verify::report`.
+    pub diagnostics: std::sync::Arc<Vec<snitch_verify::Diagnostic>>,
 }
 
 impl RunRecord {
@@ -63,6 +67,7 @@ impl RunRecord {
             stats: Some(outcome.stats.clone()),
             trace: None,
             block_replayed_cycles: 0,
+            diagnostics: std::sync::Arc::new(Vec::new()),
         }
     }
 
@@ -90,6 +95,7 @@ impl RunRecord {
             stats: None,
             trace: None,
             block_replayed_cycles: 0,
+            diagnostics: std::sync::Arc::new(Vec::new()),
         }
     }
 

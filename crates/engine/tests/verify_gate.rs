@@ -1,0 +1,90 @@
+//! The engine's verification gate: a job whose program fails static
+//! verification is failed at compile time — before it ever reaches a
+//! cluster — with the offending check ids in the error, unless the engine
+//! was built with `allow_invalid`. Diagnostics ride on the records either
+//! way, shared through the program cache.
+
+use snitch_asm::builder::ProgramBuilder;
+use snitch_asm::program::Program;
+use snitch_engine::job::JobSpec;
+use snitch_engine::Engine;
+use snitch_kernels::registry::{register, Variant, Workload};
+use snitch_riscv::reg::IntReg;
+use snitch_sim::config::ClusterConfig;
+
+/// A deliberately-broken SPMD workload: hart 0 takes one more barrier than
+/// its peers. The simulator's release rule (halted harts count as arrived)
+/// lets it *run* to completion, so only the static check catches the bug —
+/// exactly the situation the gate exists for.
+struct SkewedBarrier;
+
+impl Workload for SkewedBarrier {
+    fn name(&self) -> &'static str {
+        "test-skewed-barrier"
+    }
+    fn description(&self) -> &'static str {
+        "broken fixture: hart-guarded barrier"
+    }
+    fn build(&self, _variant: Variant, _n: usize, _block: usize) -> Program {
+        let mut b = ProgramBuilder::new();
+        b.parallel();
+        b.csrr_mhartid(IntReg::A0);
+        b.bnez(IntReg::A0, "skip");
+        b.barrier(); // hart 0 only
+        b.label("skip");
+        b.ecall();
+        b.build().unwrap()
+    }
+    fn expected(&self, _variant: Variant, _n: usize) -> Vec<(&'static str, Vec<u64>)> {
+        Vec::new() // nothing to validate: the fixture only exercises the gate
+    }
+    fn operating_point(&self) -> (usize, usize) {
+        (16, 0)
+    }
+}
+
+fn skewed_job() -> JobSpec {
+    static KERNEL: std::sync::OnceLock<snitch_kernels::registry::Kernel> =
+        std::sync::OnceLock::new();
+    let kernel = *KERNEL.get_or_init(|| register(&SkewedBarrier).expect("fixture registers once"));
+    JobSpec::new(kernel, Variant::Baseline, 16, 0)
+        .with_config(ClusterConfig { cores: 4, ..ClusterConfig::default() })
+}
+
+#[test]
+fn invalid_program_fails_the_job_with_check_ids() {
+    let records = Engine::new(1).run(&[skewed_job()]);
+    assert_eq!(records.len(), 1);
+    let r = &records[0];
+    assert!(!r.ok);
+    let err = r.error.as_deref().unwrap_or_default();
+    assert!(err.contains("static verification"), "unexpected error: {err}");
+    assert!(err.contains("barrier-consistency"), "error must name the check: {err}");
+    assert_eq!(r.cycles, 0, "the job must not have been simulated");
+    assert!(
+        snitch_verify::has_errors(&r.diagnostics),
+        "diagnostics must ride on the record: {:?}",
+        r.diagnostics
+    );
+}
+
+#[test]
+fn allow_invalid_runs_the_job_anyway() {
+    let records = Engine::new(1).allow_invalid(true).run(&[skewed_job()]);
+    assert_eq!(records.len(), 1);
+    let r = &records[0];
+    // The sim releases barrier waiters when their peers halt, so the broken
+    // program still completes; the diagnostics are attached regardless.
+    assert!(r.ok, "{:?}", r.error);
+    assert!(r.cycles > 0);
+    assert!(snitch_verify::has_errors(&r.diagnostics));
+}
+
+#[test]
+fn clean_programs_carry_empty_or_warning_diagnostics() {
+    use snitch_kernels::registry::Kernel;
+    let jobs = vec![JobSpec::new(Kernel::PiLcg, Variant::Copift, 128, 32)];
+    let records = Engine::new(1).run(&jobs);
+    assert!(records[0].ok, "{:?}", records[0].error);
+    assert!(!snitch_verify::has_errors(&records[0].diagnostics));
+}

@@ -1,0 +1,32 @@
+//! Every registry kernel — the six paper workloads and the extended suite,
+//! both variants, across representative sizes, block sizes and core counts
+//! — must verify clean (zero errors). This is the CI gate that keeps the
+//! static checks calibrated against real codegen output.
+
+use snitch_kernels::registry::{Kernel, Variant};
+use snitch_sim::config::ClusterConfig;
+use snitch_verify::{error_count, report, verify};
+
+#[test]
+fn all_registry_kernels_verify_clean() {
+    let mut checked = 0usize;
+    for kernel in Kernel::all() {
+        let w = kernel.workload();
+        for variant in Variant::all() {
+            for &(n, block) in &[(64usize, 16usize), (256, 64)] {
+                let program = w.build(variant, n, block);
+                let cores = if program.parallel() { 4 } else { 1 };
+                let config = ClusterConfig { cores, ..ClusterConfig::default() };
+                let diags = verify(&program, &config);
+                assert_eq!(
+                    error_count(&diags),
+                    0,
+                    "{}",
+                    report(&format!("{}/{} n={n} block={block}", w.name(), variant.name()), &diags)
+                );
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked >= 2 * 2 * 9, "catalog unexpectedly small: {checked}");
+}

@@ -22,6 +22,8 @@
 //! is the copyable handle grids and caches key on, and
 //! [`registry::register`] adds workloads at runtime.
 
+#![forbid(unsafe_code)]
+
 pub mod dot_lcg;
 pub mod expf;
 pub mod golden;

@@ -21,7 +21,104 @@
 //! execution resource each instruction occupies.
 
 use crate::inst::Inst;
-use crate::ops::{DmaOp, FpAluOp, FpFmt};
+use crate::ops::{AluImmOp, DmaOp, FpAluOp, FpFmt};
+
+/// Why an [`Inst`] cannot be encoded into its 32-bit binary form.
+///
+/// Produced by [`Inst::try_encode`]; each variant names the offending field
+/// and its legal range so assembler-layer callers can surface a precise
+/// diagnostic instead of a panic.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EncodeError {
+    /// A signed immediate does not fit its field.
+    ImmOutOfRange {
+        /// Which field overflowed (e.g. `"I-type immediate"`).
+        field: &'static str,
+        /// The value that does not fit.
+        value: i32,
+        /// Smallest encodable value.
+        min: i32,
+        /// Largest encodable value.
+        max: i32,
+    },
+    /// A branch or jump offset is odd — targets are 16-bit parcel aligned.
+    MisalignedOffset {
+        /// Which field is misaligned.
+        field: &'static str,
+        /// The odd offset.
+        value: i32,
+    },
+    /// A U-type immediate has one of its low 12 bits set.
+    LowBitsSet {
+        /// The offending immediate.
+        value: i32,
+    },
+    /// An unsigned field does not fit its width.
+    FieldTooWide {
+        /// Which field overflowed (e.g. `"CSR address"`).
+        field: &'static str,
+        /// The value that does not fit.
+        value: u32,
+        /// Largest encodable value.
+        max: u32,
+    },
+    /// An FREP with `max_inst == 0` — the body must contain at least one
+    /// instruction (the hardware field stores `max_inst - 1`).
+    EmptyFrepBody,
+}
+
+impl std::fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            EncodeError::ImmOutOfRange { field, value, min, max } => {
+                write!(f, "{field} {value} out of range [{min}, {max}]")
+            }
+            EncodeError::MisalignedOffset { field, value } => {
+                write!(f, "{field} {value} is odd (targets are 2-byte aligned)")
+            }
+            EncodeError::LowBitsSet { value } => {
+                write!(f, "U-type immediate {value:#x} must have its low 12 bits clear")
+            }
+            EncodeError::FieldTooWide { field, value, max } => {
+                write!(f, "{field} {value} exceeds the field maximum {max}")
+            }
+            EncodeError::EmptyFrepBody => {
+                write!(f, "frep body must contain at least one instruction")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+const I_MIN: i32 = -2048;
+const I_MAX: i32 = 2047;
+
+fn imm12(field: &'static str, value: i32) -> Result<(), EncodeError> {
+    if (I_MIN..=I_MAX).contains(&value) {
+        Ok(())
+    } else {
+        Err(EncodeError::ImmOutOfRange { field, value, min: I_MIN, max: I_MAX })
+    }
+}
+
+fn offset(field: &'static str, value: i32, min: i32, max: i32) -> Result<(), EncodeError> {
+    if !(min..=max).contains(&value) {
+        return Err(EncodeError::ImmOutOfRange { field, value, min, max });
+    }
+    if value % 2 != 0 {
+        return Err(EncodeError::MisalignedOffset { field, value });
+    }
+    Ok(())
+}
+
+fn narrow(field: &'static str, value: u32, max: u32) -> Result<(), EncodeError> {
+    if value <= max {
+        Ok(())
+    } else {
+        Err(EncodeError::FieldTooWide { field, value, max })
+    }
+}
 
 pub(crate) const OPC_LOAD: u32 = 0x03;
 pub(crate) const OPC_LOAD_FP: u32 = 0x07;
@@ -50,12 +147,10 @@ fn r_type(funct7: u32, rs2: u32, rs1: u32, funct3: u32, rd: u32, opcode: u32) ->
 }
 
 fn i_type(imm: i32, rs1: u32, funct3: u32, rd: u32, opcode: u32) -> u32 {
-    debug_assert!((-2048..=2047).contains(&imm), "I-type immediate {imm} out of range");
     (((imm as u32) & 0xfff) << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode
 }
 
 fn s_type(imm: i32, rs2: u32, rs1: u32, funct3: u32, opcode: u32) -> u32 {
-    debug_assert!((-2048..=2047).contains(&imm), "S-type immediate {imm} out of range");
     let imm = imm as u32;
     ((imm >> 5 & 0x7f) << 25)
         | (rs2 << 20)
@@ -66,10 +161,6 @@ fn s_type(imm: i32, rs2: u32, rs1: u32, funct3: u32, opcode: u32) -> u32 {
 }
 
 fn b_type(offset: i32, rs2: u32, rs1: u32, funct3: u32, opcode: u32) -> u32 {
-    debug_assert!(
-        (-4096..=4094).contains(&offset) && offset % 2 == 0,
-        "B-type offset {offset} out of range or misaligned"
-    );
     let imm = offset as u32;
     ((imm >> 12 & 1) << 31)
         | ((imm >> 5 & 0x3f) << 25)
@@ -82,15 +173,10 @@ fn b_type(offset: i32, rs2: u32, rs1: u32, funct3: u32, opcode: u32) -> u32 {
 }
 
 fn u_type(imm: i32, rd: u32, opcode: u32) -> u32 {
-    debug_assert_eq!(imm & 0xfff, 0, "U-type immediate must have low 12 bits clear");
     (imm as u32 & 0xfffff000) | (rd << 7) | opcode
 }
 
 fn j_type(offset: i32, rd: u32, opcode: u32) -> u32 {
-    debug_assert!(
-        (-(1 << 20)..(1 << 20)).contains(&offset) && offset % 2 == 0,
-        "J-type offset {offset} out of range or misaligned"
-    );
     let imm = offset as u32;
     ((imm >> 20 & 1) << 31)
         | ((imm >> 1 & 0x3ff) << 21)
@@ -109,10 +195,85 @@ impl Inst {
     ///
     /// # Panics
     ///
-    /// In debug builds, panics if an immediate is out of range for its field
-    /// (the assembler layer validates ranges before constructing `Inst`s).
+    /// Panics if a field is out of range for its encoding. See
+    /// [`Inst::try_encode`] for the fallible variant; the assembler layer
+    /// (`snitch-asm`'s `ProgramBuilder`) validates ranges before
+    /// constructing `Inst`s, so programs built through it never hit this.
     #[must_use]
     pub fn encode(&self) -> u32 {
+        match self.try_encode() {
+            Ok(word) => word,
+            Err(e) => panic!("cannot encode `{self}`: {e}"),
+        }
+    }
+
+    /// Encodes this instruction, or explains which field does not fit.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EncodeError`] naming the offending field and its legal
+    /// range when an immediate, offset, or extension field is unencodable.
+    pub fn try_encode(&self) -> Result<u32, EncodeError> {
+        self.validate()?;
+        Ok(self.encode_raw())
+    }
+
+    /// Range-checks every field against its encoding slot.
+    fn validate(&self) -> Result<(), EncodeError> {
+        match *self {
+            Inst::Lui { imm, .. } | Inst::Auipc { imm, .. } if imm & 0xfff != 0 => {
+                return Err(EncodeError::LowBitsSet { value: imm });
+            }
+            Inst::Jal { offset: o, .. } => {
+                offset("J-type offset", o, -(1 << 20), (1 << 20) - 2)?;
+            }
+            Inst::Branch { offset: o, .. } => offset("B-type offset", o, -4096, 4094)?,
+            Inst::Jalr { offset: o, .. }
+            | Inst::Load { offset: o, .. }
+            | Inst::Flw { offset: o, .. }
+            | Inst::Fld { offset: o, .. } => imm12("I-type offset", o)?,
+            Inst::Store { offset: o, .. }
+            | Inst::Fsw { offset: o, .. }
+            | Inst::Fsd { offset: o, .. } => imm12("S-type offset", o)?,
+            Inst::OpImm { op, imm, .. } => match op {
+                AluImmOp::Slli | AluImmOp::Srli | AluImmOp::Srai => {
+                    if !(0..=31).contains(&imm) {
+                        return Err(EncodeError::ImmOutOfRange {
+                            field: "shift amount",
+                            value: imm,
+                            min: 0,
+                            max: 31,
+                        });
+                    }
+                }
+                _ => imm12("I-type immediate", imm)?,
+            },
+            Inst::Csr { csr, src, .. } => {
+                narrow("CSR address", csr.into(), 4095)?;
+                narrow("CSR source field", src.into(), 31)?;
+            }
+            Inst::Scfgwi { addr, .. } | Inst::Scfgri { addr, .. } => {
+                narrow("SSR config address", addr.into(), 4095)?;
+            }
+            Inst::FrepO { max_inst, stagger_max, stagger_mask, .. }
+            | Inst::FrepI { max_inst, stagger_max, stagger_mask, .. } => {
+                if max_inst == 0 {
+                    return Err(EncodeError::EmptyFrepBody);
+                }
+                narrow("frep stagger_max", stagger_max.into(), 15)?;
+                narrow("frep stagger_mask", stagger_mask.into(), 15)?;
+            }
+            Inst::Dma { op: DmaOp::CpyI | DmaOp::StatI, imm5, .. } => {
+                narrow("DMA config immediate", imm5.into(), 31)?;
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// The raw bit-packing; every field has been validated.
+    #[allow(clippy::too_many_lines)]
+    fn encode_raw(&self) -> u32 {
         match *self {
             Inst::Lui { rd, imm } => u_type(imm, rd.index().into(), OPC_LUI),
             Inst::Auipc { rd, imm } => u_type(imm, rd.index().into(), OPC_AUIPC),
@@ -286,11 +447,9 @@ impl Inst {
                 encode_frep(0b001, rep.index(), max_inst, stagger_max, stagger_mask)
             }
             Inst::Scfgwi { value, addr } => {
-                debug_assert!(addr < 4096, "ssr config address out of range");
                 i_type(addr as i32, value.index().into(), 0b010, 0, OPC_CUSTOM2)
             }
             Inst::Scfgri { rd, addr } => {
-                debug_assert!(addr < 4096, "ssr config address out of range");
                 i_type(addr as i32, 0, 0b011, rd.index().into(), OPC_CUSTOM2)
             }
             Inst::Dma { op, rd, rs1, rs2, imm5 } => {
@@ -345,9 +504,6 @@ impl Inst {
 }
 
 fn encode_frep(funct3: u32, rep: u8, max_inst: u8, stagger_max: u8, stagger_mask: u8) -> u32 {
-    debug_assert!(max_inst >= 1, "frep body must contain at least one instruction");
-    debug_assert!(stagger_max < 16, "stagger_max must fit in 4 bits");
-    debug_assert!(stagger_mask < 16, "stagger_mask selects rd/rs1/rs2/rs3 only");
     let imm = (u32::from(stagger_mask) << 8) | u32::from(max_inst - 1);
     (imm << 20)
         | (u32::from(rep) << 15)

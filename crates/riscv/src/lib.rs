@@ -41,6 +41,8 @@
 //! # Ok::<(), snitch_riscv::DecodeError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod csr;
 pub mod decode;
 pub mod disasm;
@@ -51,6 +53,7 @@ pub mod ops;
 pub mod reg;
 
 pub use decode::DecodeError;
+pub use encode::EncodeError;
 pub use inst::Inst;
 pub use meta::{InstClass, MemClass, RegRef};
 pub use reg::{FpReg, IntReg};

@@ -10,6 +10,16 @@ use crate::inst::Inst;
 use crate::ops::{DmaOp, FpAluOp};
 use crate::reg::{FpReg, IntReg};
 
+/// Adapter giving a register-visiting closure the `Vec::push` spelling the
+/// `for_each_use`/`for_each_def` match bodies are written in.
+struct Visit<'a, F: FnMut(RegRef)>(&'a mut F);
+
+impl<F: FnMut(RegRef)> Visit<'_, F> {
+    fn push(&mut self, r: RegRef) {
+        (self.0)(r);
+    }
+}
+
 /// A reference to a register in one of the two architectural register files.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum RegRef {
@@ -147,8 +157,17 @@ impl Inst {
     /// The registers this instruction reads, in operand order.
     #[must_use]
     pub fn uses(&self) -> Vec<RegRef> {
-        use RegRef::{Fp, Int};
         let mut v = Vec::with_capacity(3);
+        self.for_each_use(|r| v.push(r));
+        v
+    }
+
+    /// Visits the registers this instruction reads, in operand order,
+    /// without allocating — the hot-path face of [`uses`](Self::uses) for
+    /// per-instruction analyses that run over whole programs.
+    pub fn for_each_use(&self, mut f: impl FnMut(RegRef)) {
+        use RegRef::{Fp, Int};
+        let mut v = Visit(&mut f);
         match *self {
             Inst::Lui { .. }
             | Inst::Auipc { .. }
@@ -225,15 +244,23 @@ impl Inst {
             | Inst::CopiftCvtI2F { rs1, .. }
             | Inst::CopiftClass { rs1, .. } => v.push(Fp(rs1)),
         }
-        v
     }
 
     /// The registers this instruction writes. Writes to `x0` are omitted
     /// (they are architectural no-ops).
     #[must_use]
     pub fn defs(&self) -> Vec<RegRef> {
-        use RegRef::{Fp, Int};
         let mut v = Vec::with_capacity(1);
+        self.for_each_def(|r| v.push(r));
+        v
+    }
+
+    /// Visits the registers this instruction writes, without allocating —
+    /// the hot-path face of [`defs`](Self::defs). Writes to `x0` are
+    /// omitted, as in `defs`.
+    pub fn for_each_def(&self, mut f: impl FnMut(RegRef)) {
+        use RegRef::{Fp, Int};
+        let mut v = Visit(&mut f);
         let mut int_def = |r: IntReg| {
             if !r.is_zero() {
                 v.push(Int(r));
@@ -281,7 +308,6 @@ impl Inst {
             | Inst::CopiftCvtI2F { rd, .. }
             | Inst::CopiftClass { rd, .. } => v.push(Fp(rd)),
         }
-        v
     }
 
     /// Memory access performed by this instruction, if any.

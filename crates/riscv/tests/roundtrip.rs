@@ -315,6 +315,106 @@ fn decode_never_panics() {
 }
 
 #[test]
+fn every_arbitrary_inst_try_encodes() {
+    // `arb_inst` only produces in-range fields, so the fallible encoder must
+    // accept all of them and agree with `encode` bit-for-bit.
+    let mut r = Rng::new(0xC0F1_F700_0000_0006);
+    for i in 0..CASES {
+        let inst = arb_inst(&mut r);
+        let word = inst.try_encode().unwrap_or_else(|e| panic!("case {i}: `{inst}`: {e}"));
+        assert_eq!(word, inst.encode(), "case {i}: `{inst}`");
+    }
+}
+
+#[test]
+fn try_encode_boundaries() {
+    use snitch_riscv::encode::EncodeError;
+    let x = IntReg::A0;
+    let f = FpReg::FA0;
+
+    // I-type immediates: ±2048 boundary.
+    let imm = |v| Inst::OpImm { op: AluImmOp::Addi, rd: x, rs1: x, imm: v };
+    assert!(imm(2047).try_encode().is_ok());
+    assert!(imm(-2048).try_encode().is_ok());
+    assert!(matches!(imm(2048).try_encode(), Err(EncodeError::ImmOutOfRange { max: 2047, .. })));
+    assert!(matches!(imm(-2049).try_encode(), Err(EncodeError::ImmOutOfRange { .. })));
+    let load = |v| Inst::Load { op: LoadOp::Lw, rd: x, rs1: x, offset: v };
+    assert!(load(-2048).try_encode().is_ok());
+    assert!(load(2048).try_encode().is_err());
+    assert!(Inst::Fld { rd: f, rs1: x, offset: 2047 }.try_encode().is_ok());
+    assert!(Inst::Fld { rd: f, rs1: x, offset: -2049 }.try_encode().is_err());
+
+    // S-type: same range through stores.
+    let store = |v| Inst::Store { op: StoreOp::Sw, rs2: x, rs1: x, offset: v };
+    assert!(store(2047).try_encode().is_ok());
+    assert!(store(2048).try_encode().is_err());
+    assert!(Inst::Fsd { rs2: f, rs1: x, offset: -2048 }.try_encode().is_ok());
+    assert!(Inst::Fsd { rs2: f, rs1: x, offset: -2049 }.try_encode().is_err());
+
+    // Shift amounts live in 0..=31, not the I-type range.
+    let shift = |v| Inst::OpImm { op: AluImmOp::Slli, rd: x, rs1: x, imm: v };
+    assert!(shift(31).try_encode().is_ok());
+    assert!(matches!(shift(32).try_encode(), Err(EncodeError::ImmOutOfRange { max: 31, .. })));
+    assert!(shift(-1).try_encode().is_err());
+
+    // B-type: ±4 KiB, even.
+    let br = |v| Inst::Branch { op: BranchOp::Eq, rs1: x, rs2: x, offset: v };
+    assert!(br(4094).try_encode().is_ok());
+    assert!(br(-4096).try_encode().is_ok());
+    assert!(br(4096).try_encode().is_err());
+    assert!(matches!(br(13).try_encode(), Err(EncodeError::MisalignedOffset { .. })));
+
+    // J-type: ±1 MiB, even.
+    let jal = |v| Inst::Jal { rd: x, offset: v };
+    assert!(jal((1 << 20) - 2).try_encode().is_ok());
+    assert!(jal(-(1 << 20)).try_encode().is_ok());
+    assert!(jal(1 << 20).try_encode().is_err());
+    assert!(matches!(jal(3).try_encode(), Err(EncodeError::MisalignedOffset { .. })));
+
+    // U-type: low 12 bits must be clear.
+    assert!(Inst::Lui { rd: x, imm: 0x1234_5000_u32 as i32 }.try_encode().is_ok());
+    assert!(matches!(
+        Inst::Lui { rd: x, imm: 0x1234_5001 }.try_encode(),
+        Err(EncodeError::LowBitsSet { .. })
+    ));
+    assert!(Inst::Auipc { rd: x, imm: 0x800 }.try_encode().is_err());
+
+    // CSR address and immediate-source fields.
+    let csr = |c, s| Inst::Csr { op: CsrOp::Rw, rd: x, csr: c, src: s };
+    assert!(csr(4095, 31).try_encode().is_ok());
+    assert!(matches!(csr(4096, 0).try_encode(), Err(EncodeError::FieldTooWide { .. })));
+    assert!(csr(0, 32).try_encode().is_err());
+
+    // SSR config word addresses are 12-bit.
+    assert!(Inst::Scfgwi { value: x, addr: 4095 }.try_encode().is_ok());
+    assert!(Inst::Scfgwi { value: x, addr: 4096 }.try_encode().is_err());
+    assert!(Inst::Scfgri { rd: x, addr: 4096 }.try_encode().is_err());
+
+    // FREP: non-empty body, 4-bit stagger fields.
+    let frep = |mi, smax, smask| Inst::FrepO {
+        rep: x,
+        max_inst: mi,
+        stagger_max: smax,
+        stagger_mask: smask,
+    };
+    assert!(frep(1, 15, 15).try_encode().is_ok());
+    assert!(matches!(frep(0, 0, 0).try_encode(), Err(EncodeError::EmptyFrepBody)));
+    assert!(frep(1, 16, 0).try_encode().is_err());
+    assert!(frep(1, 0, 16).try_encode().is_err());
+
+    // DMA immediate config field is 5-bit (register-operand forms ignore it).
+    let dma = |op, imm5| Inst::Dma { op, rd: x, rs1: x, rs2: IntReg::ZERO, imm5 };
+    assert!(dma(DmaOp::CpyI, 31).try_encode().is_ok());
+    assert!(dma(DmaOp::CpyI, 32).try_encode().is_err());
+    assert!(dma(DmaOp::StatI, 32).try_encode().is_err());
+    assert!(dma(DmaOp::Src, 32).try_encode().is_ok());
+
+    // Errors render with the offending value and its legal range.
+    let msg = imm(4000).try_encode().unwrap_err().to_string();
+    assert!(msg.contains("4000") && msg.contains("2047"), "{msg}");
+}
+
+#[test]
 fn defs_and_uses_are_bounded() {
     let mut r = Rng::new(0xC0F1_F700_0000_0004);
     for _ in 0..CASES {

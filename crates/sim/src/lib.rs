@@ -21,6 +21,8 @@
 //! See `DESIGN.md` for parameter provenance and modelled deviations, and
 //! [`cluster::Cluster`] for the entry point.
 
+#![forbid(unsafe_code)]
+
 mod block;
 pub mod cluster;
 pub mod config;

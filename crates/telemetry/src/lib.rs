@@ -27,6 +27,8 @@
 //! `ClusterConfig` or `RunRecord` serialization, so a sweep run under
 //! telemetry produces byte-identical result files to one without.
 
+#![forbid(unsafe_code)]
+
 pub mod chrome;
 pub mod collector;
 pub mod metrics;

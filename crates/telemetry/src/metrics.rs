@@ -307,8 +307,8 @@ mod tests {
         let mut doc = render(1, &sample_report());
         doc.push_str(&render_scaling("smoke", 1, 14.0e6, 8, 4.9e6));
         let lines = validate(&doc).expect("rendered metrics must validate");
-        // 1 batch + 7 phases + 1 worker + 1 scaling.
-        assert_eq!(lines, 10);
+        // 1 batch + 8 phases + 1 worker + 1 scaling.
+        assert_eq!(lines, 11);
         assert!(doc.contains("\"metric\":\"batch\""));
         assert!(doc.contains("\"phase\":\"simulate\",\"ns\":80"));
         assert!(doc.contains("\"barrier_ns\":"));

@@ -12,6 +12,8 @@ pub const MAIN_WORKER: u32 = u32::MAX;
 pub enum Phase {
     /// Program-cache miss: assembling a kernel program.
     Compile,
+    /// Statically verifying a freshly compiled program (`snitch-verify`).
+    Verify,
     /// Program-cache hit: lookup only.
     CacheHit,
     /// Constructing a worker's `Cluster` (multi-MiB TCDM/memory
@@ -34,6 +36,7 @@ impl Phase {
     pub const fn all() -> [Phase; Phase::COUNT] {
         [
             Phase::Compile,
+            Phase::Verify,
             Phase::CacheHit,
             Phase::Warm,
             Phase::Reset,
@@ -44,19 +47,20 @@ impl Phase {
     }
 
     /// Number of phases (array-index domain of [`index`](Self::index)).
-    pub const COUNT: usize = 7;
+    pub const COUNT: usize = 8;
 
     /// Dense index for per-phase accumulator arrays.
     #[must_use]
     pub const fn index(self) -> usize {
         match self {
             Phase::Compile => 0,
-            Phase::CacheHit => 1,
-            Phase::Warm => 2,
-            Phase::Reset => 3,
-            Phase::Simulate => 4,
-            Phase::Collect => 5,
-            Phase::Sink => 6,
+            Phase::Verify => 1,
+            Phase::CacheHit => 2,
+            Phase::Warm => 3,
+            Phase::Reset => 4,
+            Phase::Simulate => 5,
+            Phase::Collect => 6,
+            Phase::Sink => 7,
         }
     }
 
@@ -65,6 +69,7 @@ impl Phase {
     pub const fn name(self) -> &'static str {
         match self {
             Phase::Compile => "compile",
+            Phase::Verify => "verify",
             Phase::CacheHit => "cache_hit",
             Phase::Warm => "warm",
             Phase::Reset => "reset",
@@ -79,6 +84,7 @@ impl Phase {
     pub const fn tag(self) -> char {
         match self {
             Phase::Compile => 'C',
+            Phase::Verify => 'V',
             Phase::CacheHit => 'c',
             Phase::Warm => 'W',
             Phase::Reset => 'r',

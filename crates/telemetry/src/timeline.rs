@@ -252,7 +252,9 @@ impl Report {
                 w.worker,
                 w.jobs,
                 100.0 * w.utilization(),
-                ms(w.phase_ns[Phase::Compile.index()] + w.phase_ns[Phase::CacheHit.index()]),
+                ms(w.phase_ns[Phase::Compile.index()]
+                    + w.phase_ns[Phase::Verify.index()]
+                    + w.phase_ns[Phase::CacheHit.index()]),
                 ms(w.phase_ns[Phase::Warm.index()]),
                 ms(w.phase_ns[Phase::Reset.index()]),
                 ms(w.phase_ns[Phase::Simulate.index()]),
@@ -273,7 +275,8 @@ impl Report {
         let width = 64;
         let _ = writeln!(
             out,
-            "timeline ({:.2} ms/col; C compile, c cache, W warm, r reset, S simulate, · idle):",
+            "timeline ({:.2} ms/col; C compile, V verify, c cache, W warm, r reset, \
+             S simulate, · idle):",
             self.wall_ns as f64 / 1e6 / width as f64
         );
         for w in &self.workers {

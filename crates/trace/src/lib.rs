@@ -27,6 +27,8 @@
 //! [`Stats`]: https://docs.rs/snitch-sim
 //! [`Inst`]: snitch_riscv::inst::Inst
 
+#![forbid(unsafe_code)]
+
 pub mod chrome;
 pub mod event;
 pub mod profile;

@@ -1,0 +1,149 @@
+//! Per-hart control-flow graph over the decoded text section.
+//!
+//! Nodes are text indices (`pc = TEXT_BASE + 4 * index`, the same indexing
+//! as the simulator's block cache). Edges follow the *integer core's*
+//! control flow: an FREP body is straight-line code from the sequencer's
+//! point of view — the core issues each body instruction once and the FP
+//! sequencer replays them — so FREP does not introduce edges. `jalr` has no
+//! statically-known successors and is treated as a terminator (nothing in
+//! the assembler or codegen emits computed jumps today; if that changes the
+//! conservative answer is still sound for every check, which only reasons
+//! about reachable states).
+
+use snitch_asm::layout::TEXT_BASE;
+use snitch_riscv::inst::Inst;
+
+/// Successors of one instruction — at most two (branch fallthrough then
+/// taken target), stored inline so building the graph allocates nothing per
+/// instruction. Derefs to a slice.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct Succs {
+    n: u8,
+    s: [usize; 2],
+}
+
+impl Succs {
+    fn push(&mut self, v: usize) {
+        self.s[usize::from(self.n)] = v;
+        self.n += 1;
+    }
+}
+
+impl std::ops::Deref for Succs {
+    type Target = [usize];
+    fn deref(&self) -> &[usize] {
+        &self.s[..usize::from(self.n)]
+    }
+}
+
+/// The reconstructed control-flow graph.
+#[derive(Debug)]
+pub struct Cfg {
+    /// Successor indices per text index.
+    pub succs: Vec<Succs>,
+    /// Whether the index is reachable from the entry point (index 0).
+    pub reachable: Vec<bool>,
+    /// For `Branch`/`Jal` instructions, the resolved target index when it
+    /// lands inside the text section.
+    pub targets: Vec<Option<usize>>,
+}
+
+impl Cfg {
+    /// The pc of text index `i`.
+    #[must_use]
+    pub fn pc(i: usize) -> u32 {
+        TEXT_BASE.wrapping_add(i as u32 * 4)
+    }
+
+    /// Builds the CFG for `text` and computes reachability from index 0.
+    #[must_use]
+    pub fn build(text: &[Inst]) -> Cfg {
+        let n = text.len();
+        let mut succs: Vec<Succs> = vec![Succs::default(); n];
+        let mut targets: Vec<Option<usize>> = vec![None; n];
+        for (i, inst) in text.iter().enumerate() {
+            let pc = Self::pc(i);
+            match *inst {
+                Inst::Branch { offset, .. } => {
+                    let t = Self::index_of(pc.wrapping_add(offset as u32), n);
+                    targets[i] = t;
+                    if i + 1 < n {
+                        succs[i].push(i + 1);
+                    }
+                    if let Some(t) = t {
+                        if !succs[i].contains(&t) {
+                            succs[i].push(t);
+                        }
+                    }
+                }
+                Inst::Jal { offset, .. } => {
+                    let t = Self::index_of(pc.wrapping_add(offset as u32), n);
+                    targets[i] = t;
+                    if let Some(t) = t {
+                        succs[i].push(t);
+                    }
+                }
+                Inst::Jalr { .. } | Inst::Ecall | Inst::Ebreak => {}
+                _ => {
+                    if i + 1 < n {
+                        succs[i].push(i + 1);
+                    }
+                }
+            }
+        }
+        let mut reachable = vec![false; n];
+        let mut stack = if n > 0 { vec![0usize] } else { Vec::new() };
+        while let Some(i) = stack.pop() {
+            if std::mem::replace(&mut reachable[i], true) {
+                continue;
+            }
+            stack.extend(succs[i].iter().copied().filter(|&s| !reachable[s]));
+        }
+        Cfg { succs, reachable, targets }
+    }
+
+    fn index_of(pc: u32, len: usize) -> Option<usize> {
+        let off = pc.wrapping_sub(TEXT_BASE);
+        if off.is_multiple_of(4) && ((off / 4) as usize) < len {
+            Some((off / 4) as usize)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snitch_asm::builder::ProgramBuilder;
+    use snitch_riscv::reg::IntReg;
+
+    #[test]
+    fn loop_edges_resolve() {
+        let mut b = ProgramBuilder::new();
+        b.li(IntReg::A0, 3); // 0 (one inst: small immediate)
+        b.label("loop");
+        b.addi(IntReg::A0, IntReg::A0, -1); // 1
+        b.bnez(IntReg::A0, "loop"); // 2
+        b.ecall(); // 3
+        let p = b.build().unwrap();
+        let cfg = Cfg::build(p.text());
+        assert_eq!(*cfg.succs[2], [3, 1], "branch: fallthrough then taken");
+        assert_eq!(cfg.targets[2], Some(1));
+        assert!(cfg.succs[3].is_empty(), "ecall terminates");
+        assert!(cfg.reachable.iter().all(|&r| r));
+    }
+
+    #[test]
+    fn code_after_jump_is_unreachable() {
+        let mut b = ProgramBuilder::new();
+        b.j("end"); // 0
+        b.addi(IntReg::A0, IntReg::A0, 1); // 1: skipped
+        b.label("end");
+        b.ecall(); // 2
+        let p = b.build().unwrap();
+        let cfg = Cfg::build(p.text());
+        assert!(cfg.reachable[0] && cfg.reachable[2]);
+        assert!(!cfg.reachable[1]);
+    }
+}

@@ -1,0 +1,48 @@
+//! The check catalog. One module per [`CheckId`]; each takes
+//! the decoded text plus whatever slice of the analysis it needs (the CFG
+//! for structural checks, the converged [`Flow`](crate::interp::Flow) for
+//! dataflow checks) and appends [`Diagnostic`]s.
+
+pub mod barrier;
+pub mod frep;
+pub mod init;
+pub mod mem;
+pub mod ssr;
+
+use snitch_riscv::inst::Inst;
+
+use crate::cfg::Cfg;
+use crate::{CheckId, Diagnostic, Severity};
+
+/// Which gated per-instruction checks care about `inst`: `(ssr, mem)`. The
+/// fused walk's single dispatch point — integer ALU instructions (the bulk
+/// of compiled programs) skip both check bodies entirely. `init` inspects
+/// every instruction's operands and is not gated. Keep in sync with what
+/// [`ssr::Scan::visit`] and [`mem::visit`] actually match on.
+pub(crate) fn interest(inst: &Inst, meta: &crate::interp::OpMeta) -> (bool, bool) {
+    let ssr =
+        meta.ssr_slots != 0 || matches!(inst, Inst::Scfgwi { .. } | Inst::Ecall | Inst::Ebreak);
+    let mem = matches!(
+        inst,
+        Inst::Load { .. }
+            | Inst::Store { .. }
+            | Inst::Flw { .. }
+            | Inst::Fsw { .. }
+            | Inst::Fld { .. }
+            | Inst::Fsd { .. }
+            | Inst::Dma { .. }
+    );
+    (ssr, mem)
+}
+
+/// Builds a diagnostic anchored at text index `i`.
+pub(crate) fn diag(
+    check: CheckId,
+    severity: Severity,
+    i: usize,
+    inst: &Inst,
+    hart: Option<u32>,
+    message: String,
+) -> Diagnostic {
+    Diagnostic { check, severity, addr: Cfg::pc(i), hart, disasm: inst.to_string(), message }
+}

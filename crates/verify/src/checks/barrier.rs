@@ -1,0 +1,162 @@
+//! Barrier consistency across the harts of an SPMD program.
+//!
+//! Every hart of a `parallel()` program must execute the same number of
+//! hardware barriers, or a hart ends up waiting at a barrier its peers never
+//! reach. The simulator's release rule (waiting + halted == all harts) means
+//! a *halted* peer lets the others through — a mismatch shows up as skewed
+//! phase boundaries rather than a hang — but real hardware wedges, so a
+//! provable mismatch is a [`Severity::Error`] (this is the static face of
+//! the sim's deadlock detector).
+//!
+//! The per-hart counts come from each hart's merged exit state, as intervals
+//! (loops with data-dependent trip counts widen to "at least N"). Disjoint
+//! intervals are a definite mismatch; a non-singleton interval is only a
+//! warning (the count is data-dependent, which SPMD code normally avoids).
+//! A barrier in a non-`parallel()` program is a warning too: only hart 0
+//! boots, so the barrier is a no-op.
+
+use snitch_riscv::csr::CSR_BARRIER;
+use snitch_riscv::inst::Inst;
+
+use super::diag;
+use crate::cfg::Cfg;
+use crate::interp::{Interval, State, INF};
+use crate::{CheckId, Diagnostic, Severity};
+
+fn fmt(iv: Interval) -> String {
+    if iv.min == iv.max {
+        format!("{}", iv.min)
+    } else if iv.max == INF {
+        format!("at least {}", iv.min)
+    } else {
+        format!("between {} and {}", iv.min, iv.max)
+    }
+}
+
+/// Runs the check given each hart's merged exit state.
+pub fn check(
+    text: &[Inst],
+    graph: &Cfg,
+    parallel: bool,
+    harts: &[u32],
+    exits: &[Option<State>],
+    out: &mut Vec<Diagnostic>,
+) {
+    let Some(anchor) = text.iter().enumerate().position(|(i, inst)| {
+        graph.reachable[i] && matches!(inst, Inst::Csr { csr, .. } if *csr == CSR_BARRIER)
+    }) else {
+        return; // no reachable barrier anywhere: nothing to compare
+    };
+    if !parallel {
+        out.push(diag(
+            CheckId::BarrierConsistency,
+            Severity::Warning,
+            anchor,
+            &text[anchor],
+            None,
+            "hardware barrier in a non-parallel program (only hart 0 boots, so it \
+             synchronizes nothing)"
+                .to_string(),
+        ));
+        return;
+    }
+    // A hart with no reachable halt spins forever; its barrier count is not
+    // a finite exit property, so stay silent rather than guess.
+    let counts: Vec<(u32, Interval)> =
+        harts.iter().zip(exits).filter_map(|(&h, e)| e.as_ref().map(|s| (h, s.barriers))).collect();
+    if counts.len() < harts.len() {
+        return;
+    }
+    for (a_idx, &(ha, ia)) in counts.iter().enumerate() {
+        for &(hb, ib) in &counts[a_idx + 1..] {
+            if ia.max < ib.min || ib.max < ia.min {
+                out.push(diag(
+                    CheckId::BarrierConsistency,
+                    Severity::Error,
+                    anchor,
+                    &text[anchor],
+                    None,
+                    format!(
+                        "barrier-count mismatch: hart {ha} executes {} barrier(s) but \
+                         hart {hb} executes {} (a hart waiting at a barrier its peers \
+                         never reach wedges real hardware)",
+                        fmt(ia),
+                        fmt(ib)
+                    ),
+                ));
+                return; // one mismatch explains the program; avoid O(n²) spam
+            }
+        }
+    }
+    for &(h, iv) in &counts {
+        if iv.min != iv.max {
+            out.push(diag(
+                CheckId::BarrierConsistency,
+                Severity::Warning,
+                anchor,
+                &text[anchor],
+                Some(h),
+                format!("barrier count on hart {h} is data-dependent ({})", fmt(iv)),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp;
+    use snitch_asm::builder::ProgramBuilder;
+    use snitch_riscv::reg::IntReg;
+
+    fn run(b: ProgramBuilder, cores: usize) -> Vec<Diagnostic> {
+        let p = b.build().unwrap();
+        let text = p.text().to_vec();
+        let graph = Cfg::build(&text);
+        let harts: Vec<u32> =
+            if p.parallel() { (0..u32::try_from(cores).unwrap()).collect() } else { vec![0] };
+        let exits: Vec<Option<State>> =
+            harts.iter().map(|&h| interp::analyze(&text, &graph, h).exit).collect();
+        let mut out = Vec::new();
+        check(&text, &graph, p.parallel(), &harts, &exits, &mut out);
+        out
+    }
+
+    #[test]
+    fn matched_barriers_are_clean() {
+        let mut b = ProgramBuilder::new();
+        b.parallel();
+        b.barrier();
+        b.barrier();
+        b.ecall();
+        let d = run(b, 4);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn hart_guarded_barrier_is_a_mismatch_error() {
+        let mut b = ProgramBuilder::new();
+        b.parallel();
+        b.csrr_mhartid(IntReg::A0);
+        b.bnez(IntReg::A0, "skip"); // only hart 0 takes the barrier
+        b.barrier();
+        b.label("skip");
+        b.ecall();
+        let d = run(b, 2);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].check, CheckId::BarrierConsistency);
+        assert_eq!(d[0].severity, Severity::Error);
+        assert!(d[0].message.contains("mismatch"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn barrier_in_single_hart_program_is_a_warning() {
+        let mut b = ProgramBuilder::new();
+        b.barrier();
+        b.ecall();
+        let d = run(b, 1);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].severity, Severity::Warning);
+        assert!(d[0].message.contains("non-parallel"), "{}", d[0].message);
+    }
+}

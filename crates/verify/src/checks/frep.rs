@@ -1,0 +1,184 @@
+//! FREP legality: the body an `frep` marks out must be something the FP
+//! sequencer can actually buffer and replay.
+//!
+//! Structural (CFG-level, hart-agnostic) conditions, all [`Severity::Error`]
+//! because the simulator faults or the hardware wedges on every one of them:
+//!
+//! * `max_inst` exceeds the sequencer depth — the body does not fit in the
+//!   replay buffer;
+//! * the body runs past the end of the text section;
+//! * a nested `frep` inside a pending body;
+//! * a body instruction the sequencer cannot replay: anything non-FP, a raw
+//!   FP load/store, or an FP op that touches the integer register file
+//!   (comparisons, moves, int conversions) — those synchronize with the
+//!   integer core and cannot be buffered;
+//! * a branch from outside the body jumping into it, which would issue body
+//!   instructions without the sequencer set up.
+
+use snitch_riscv::inst::Inst;
+use snitch_sim::config::ClusterConfig;
+
+use super::diag;
+use crate::cfg::Cfg;
+use crate::{CheckId, Diagnostic, Severity};
+
+/// Reason a body instruction cannot be replayed, or `None` if it is legal.
+fn illegal_reason(inst: &Inst) -> Option<&'static str> {
+    if inst.is_frep() {
+        return Some("nested FREP inside a pending FREP body");
+    }
+    if inst.frep_legal() {
+        return None;
+    }
+    if !inst.is_fp() {
+        return Some("non-FP instruction inside an FREP body");
+    }
+    if matches!(inst, Inst::Flw { .. } | Inst::Fld { .. } | Inst::Fsw { .. } | Inst::Fsd { .. }) {
+        return Some("FP load/store inside an FREP body (the sequencer cannot replay memory ops)");
+    }
+    Some("FREP body instruction touches the integer register file")
+}
+
+/// Runs the check over every reachable `frep`.
+pub fn check(text: &[Inst], config: &ClusterConfig, graph: &Cfg, out: &mut Vec<Diagnostic>) {
+    let err = |i: usize, msg: String| {
+        diag(CheckId::FrepLegality, Severity::Error, i, &text[i], None, msg)
+    };
+    // Body membership for the branch-into-body scan: index of the owning
+    // frep, for every instruction inside some reachable body.
+    let mut body_of: Vec<Option<usize>> = vec![None; text.len()];
+    for (i, inst) in text.iter().enumerate() {
+        if !graph.reachable[i] || !inst.is_frep() {
+            continue;
+        }
+        let (Inst::FrepO { max_inst, .. } | Inst::FrepI { max_inst, .. }) = *inst else {
+            continue;
+        };
+        let len = usize::from(max_inst);
+        if len > config.sequencer_depth {
+            out.push(err(
+                i,
+                format!(
+                    "FREP body of {len} instruction(s) exceeds the sequencer depth \
+                     ({} entries)",
+                    config.sequencer_depth
+                ),
+            ));
+        }
+        if i + len >= text.len() {
+            out.push(err(i, "FREP body runs past the end of the text section".to_string()));
+            continue;
+        }
+        for j in i + 1..=i + len {
+            body_of[j] = Some(i);
+            if let Some(reason) = illegal_reason(&text[j]) {
+                out.push(diag(
+                    CheckId::FrepLegality,
+                    Severity::Error,
+                    j,
+                    &text[j],
+                    None,
+                    reason.to_string(),
+                ));
+            }
+        }
+    }
+    // Branches into a body from outside it (the frep itself entering at
+    // body start is the legal entry).
+    for (i, inst) in text.iter().enumerate() {
+        if !graph.reachable[i] || !matches!(inst, Inst::Branch { .. } | Inst::Jal { .. }) {
+            continue;
+        }
+        if let Some(t) = graph.targets[i] {
+            if let Some(owner) = body_of[t] {
+                if body_of[i] != Some(owner) && i != owner {
+                    out.push(err(
+                        i,
+                        format!(
+                            "branch into the middle of the FREP body at {:#010x}",
+                            Cfg::pc(owner)
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snitch_asm::builder::ProgramBuilder;
+    use snitch_riscv::reg::{FpReg, IntReg};
+
+    fn run(b: ProgramBuilder) -> Vec<Diagnostic> {
+        let p = b.build().unwrap();
+        let graph = Cfg::build(p.text());
+        let mut out = Vec::new();
+        check(p.text(), &ClusterConfig::default(), &graph, &mut out);
+        out
+    }
+
+    #[test]
+    fn legal_frep_body_is_clean() {
+        let mut b = ProgramBuilder::new();
+        b.li(IntReg::T0, 3);
+        b.frep_o(IntReg::T0, 2, 0, 0);
+        b.fadd_d(FpReg::FS0, FpReg::FS0, FpReg::FS1);
+        b.fmul_d(FpReg::FS2, FpReg::FS2, FpReg::FS1);
+        b.ecall();
+        assert!(run(b).is_empty());
+    }
+
+    #[test]
+    fn integer_instruction_in_body_is_flagged() {
+        let mut b = ProgramBuilder::new();
+        b.li(IntReg::T0, 3);
+        b.frep_o(IntReg::T0, 1, 0, 0);
+        b.addi(IntReg::A0, IntReg::A0, 1);
+        b.ecall();
+        let d = run(b);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].check, CheckId::FrepLegality);
+        assert_eq!(d[0].severity, Severity::Error);
+        assert!(d[0].message.contains("non-FP"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn body_past_text_end_is_flagged() {
+        let mut b = ProgramBuilder::new();
+        b.li(IntReg::T0, 3);
+        b.frep_o(IntReg::T0, 4, 0, 0);
+        b.fadd_d(FpReg::FS0, FpReg::FS0, FpReg::FS1);
+        // No further instructions: the body claims 4 insts, only 1 exists.
+        let d = run(b);
+        assert!(d.iter().any(|d| d.message.contains("past the end")), "{d:?}");
+    }
+
+    #[test]
+    fn oversized_body_is_flagged() {
+        let mut b = ProgramBuilder::new();
+        b.li(IntReg::T0, 3);
+        b.frep_o(IntReg::T0, 200, 0, 0);
+        for _ in 0..200 {
+            b.fadd_d(FpReg::FS0, FpReg::FS0, FpReg::FS1);
+        }
+        b.ecall();
+        let d = run(b);
+        assert!(d.iter().any(|d| d.message.contains("sequencer depth")), "{d:?}");
+    }
+
+    #[test]
+    fn branch_into_body_is_flagged() {
+        let mut b = ProgramBuilder::new();
+        b.li(IntReg::T0, 3); // 0
+        b.bnez(IntReg::T0, "inside"); // 1: jumps into the body
+        b.frep_o(IntReg::T0, 2, 0, 0); // 2
+        b.fadd_d(FpReg::FS0, FpReg::FS0, FpReg::FS1); // 3
+        b.label("inside");
+        b.fmul_d(FpReg::FS2, FpReg::FS2, FpReg::FS1); // 4
+        b.ecall();
+        let d = run(b);
+        assert!(d.iter().any(|d| d.message.contains("branch into")), "{d:?}");
+    }
+}

@@ -1,0 +1,163 @@
+//! Definite initialization: reads of registers no path has written.
+//!
+//! The simulator (like the RTL testbench it models) zeroes both register
+//! files at reset, so such a read is well-defined — it observes zero — and
+//! this is a [`Severity::Warning`], not an error. It is still worth
+//! flagging: relying on boot-time zeros breaks the moment a program runs
+//! after another one warmed the register file, which is exactly what the
+//! engine's program cache enables.
+//!
+//! `ft0..ft2` reads are skipped whenever the SSR enable bit may be set —
+//! they are stream ports there, not registers. Each register is reported at
+//! most once per hart, at its first reachable read site.
+
+use snitch_riscv::csr::NUM_SSRS;
+use snitch_riscv::inst::Inst;
+use snitch_riscv::reg::{FpReg, IntReg};
+
+use super::diag;
+use crate::interp::{Flow, OpMeta, State};
+use crate::{CheckId, Diagnostic, Severity};
+
+/// Per-hart streaming scan; see [`super::ssr::Scan`] for the fused-walk
+/// protocol. Tracks which registers were already reported so each fires at
+/// most once, at its first reachable read site.
+pub struct Scan {
+    hart: u32,
+    reported_int: u32,
+    reported_fp: u32,
+}
+
+impl Scan {
+    /// A fresh scan for `hart`.
+    #[must_use]
+    pub fn new(hart: u32) -> Self {
+        Scan { hart, reported_int: 0, reported_fp: 0 }
+    }
+
+    /// Processes instruction `i` given its in-state and operand facts.
+    pub fn visit(
+        &mut self,
+        text: &[Inst],
+        i: usize,
+        st: &State,
+        meta: &OpMeta,
+        out: &mut Vec<Diagnostic>,
+    ) {
+        let hart = self.hart;
+        let inst = &text[i];
+        // x0 (bit 0) reads are always fine.
+        let mut ints = meta.int_uses & !st.int_init & !self.reported_int & !1;
+        while ints != 0 {
+            let idx = ints.trailing_zeros();
+            ints &= ints - 1;
+            self.reported_int |= 1 << idx;
+            let x = IntReg::new(idx as u8);
+            out.push(diag(
+                CheckId::DefiniteInit,
+                Severity::Warning,
+                i,
+                inst,
+                Some(hart),
+                format!(
+                    "reads {x} before any write (relies on the boot-time \
+                     zeroed register file)"
+                ),
+            ));
+        }
+        // While the SSR enable bit may be set, ft0..ft2 are stream ports,
+        // not registers.
+        let stream_ports = if st.ssr_enabled.maybe() { (1u32 << NUM_SSRS) - 1 } else { 0 };
+        let mut fps = meta.fp_uses & !st.fp_init & !self.reported_fp & !stream_ports;
+        while fps != 0 {
+            let idx = fps.trailing_zeros();
+            fps &= fps - 1;
+            self.reported_fp |= 1 << idx;
+            let f = FpReg::new(idx as u8);
+            out.push(diag(
+                CheckId::DefiniteInit,
+                Severity::Warning,
+                i,
+                inst,
+                Some(hart),
+                format!(
+                    "reads {f} before any write (relies on the boot-time \
+                     zeroed register file)"
+                ),
+            ));
+        }
+    }
+}
+
+/// Runs the check for one hart over the converged dataflow.
+pub fn check(text: &[Inst], flow: &Flow, hart: u32, out: &mut Vec<Diagnostic>) {
+    let mut scan = Scan::new(hart);
+    flow.walk(text, |i, st, meta| scan.visit(text, i, st, meta, out));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::Cfg;
+    use crate::interp;
+    use snitch_asm::builder::ProgramBuilder;
+    use snitch_riscv::reg::{FpReg, IntReg};
+
+    fn run(b: ProgramBuilder) -> Vec<Diagnostic> {
+        let p = b.build().unwrap();
+        let text = p.text().to_vec();
+        let graph = Cfg::build(&text);
+        let flow = interp::analyze(&text, &graph, 0);
+        let mut out = Vec::new();
+        check(&text, &flow, 0, &mut out);
+        out
+    }
+
+    #[test]
+    fn written_then_read_is_clean() {
+        let mut b = ProgramBuilder::new();
+        b.li(IntReg::A0, 7);
+        b.addi(IntReg::A1, IntReg::A0, 1);
+        b.fcvt_d_w(FpReg::FS0, IntReg::A0);
+        b.fadd_d(FpReg::FS1, FpReg::FS0, FpReg::FS0);
+        b.ecall();
+        let d = run(b);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn read_of_never_written_fp_reg_warns_once() {
+        let mut b = ProgramBuilder::new();
+        b.fadd_d(FpReg::FS1, FpReg::FA3, FpReg::FA3); // fa3 never written
+        b.fmul_d(FpReg::FS2, FpReg::FA3, FpReg::FS1); // same reg: no 2nd report
+        b.ecall();
+        let d = run(b);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].check, CheckId::DefiniteInit);
+        assert_eq!(d[0].severity, Severity::Warning);
+        assert!(d[0].message.contains("fa3"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn write_on_only_one_path_still_warns() {
+        let mut b = ProgramBuilder::new();
+        b.li(IntReg::A0, 1);
+        b.beqz(IntReg::A0, "skip"); // not taken, but operands are const...
+        b.li(IntReg::A1, 5);
+        b.label("skip");
+        b.addi(IntReg::A2, IntReg::A1, 0);
+        b.ecall();
+        // With a0 constant the branch resolves not-taken, so a1 *is*
+        // definitely written on the only live path: clean.
+        let d = run(b);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn x0_reads_never_warn() {
+        let mut b = ProgramBuilder::new();
+        b.addi(IntReg::A0, IntReg::ZERO, 3);
+        b.ecall();
+        assert!(run(b).is_empty());
+    }
+}

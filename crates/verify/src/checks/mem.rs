@@ -1,0 +1,192 @@
+//! Statically-resolvable memory bounds: every load/store/DMA descriptor
+//! whose address the constant propagation pins down is checked against the
+//! cluster memory map.
+//!
+//! Unmapped or out-of-range accesses are [`Severity::Error`]s — the
+//! simulator faults on them (`access to unmapped address ...`). Misaligned
+//! accesses are [`Severity::Warning`]s: the simulator tolerates them, but
+//! they split TCDM bank lines on real hardware. Accesses whose base register
+//! is not constant at the access site are silently skipped — this check only
+//! ever claims what it can prove.
+
+use snitch_asm::layout::{is_main, is_tcdm};
+use snitch_riscv::inst::Inst;
+use snitch_riscv::ops::DmaOp;
+
+use super::diag;
+use crate::interp::{Flow, State};
+use crate::{CheckId, Diagnostic, Severity};
+
+/// `[addr, addr + size)` lies fully inside one mapped region.
+fn span_mapped(addr: u32, size: u32) -> bool {
+    let end = addr.wrapping_add(size - 1);
+    end >= addr && ((is_tcdm(addr) && is_tcdm(end)) || (is_main(addr) && is_main(end)))
+}
+
+/// Processes instruction `i` given its in-state (stateless — called from the
+/// fused per-instruction walk; see [`super::ssr::Scan`]).
+pub fn visit(text: &[Inst], i: usize, st: &State, hart: u32, out: &mut Vec<Diagnostic>) {
+    let inst = &text[i];
+    {
+        // Plain loads/stores with a constant base.
+        let access = match *inst {
+            Inst::Load { op, rs1, offset, .. } => Some((rs1, offset, op.size())),
+            Inst::Store { op, rs1, offset, .. } => Some((rs1, offset, op.size())),
+            Inst::Flw { rs1, offset, .. } | Inst::Fsw { rs1, offset, .. } => Some((rs1, offset, 4)),
+            Inst::Fld { rs1, offset, .. } | Inst::Fsd { rs1, offset, .. } => Some((rs1, offset, 8)),
+            _ => None,
+        };
+        if let Some((rs1, offset, size)) = access {
+            if let Some(base) = st.get(rs1) {
+                let addr = base.wrapping_add(offset as u32);
+                if !span_mapped(addr, size) {
+                    let what = if is_tcdm(addr) || is_main(addr) {
+                        format!(
+                            "{size}-byte access at {addr:#010x} runs past the end of its \
+                                 memory region"
+                        )
+                    } else {
+                        format!("access to unmapped address {addr:#010x}")
+                    };
+                    out.push(diag(CheckId::MemBounds, Severity::Error, i, inst, Some(hart), what));
+                } else if addr % size != 0 {
+                    out.push(diag(
+                        CheckId::MemBounds,
+                        Severity::Warning,
+                        i,
+                        inst,
+                        Some(hart),
+                        format!("misaligned {size}-byte access at {addr:#010x}"),
+                    ));
+                }
+            }
+        }
+        // DMA copies with statically-known descriptor.
+        if let Inst::Dma { op: DmaOp::CpyI, rs1, .. } = *inst {
+            let (Some(src), Some(dst), Some(size)) = (st.dm_src, st.dm_dst, st.get(rs1)) else {
+                return;
+            };
+            if size == 0 {
+                return;
+            }
+            for (name, addr) in [("source", src), ("destination", dst)] {
+                if !span_mapped(addr, size) {
+                    let what = if is_tcdm(addr) || is_main(addr) {
+                        format!(
+                            "DMA {name} range {addr:#010x}+{size} runs past the end of \
+                                 its memory region"
+                        )
+                    } else {
+                        format!("DMA {name} is an unmapped address {addr:#010x}")
+                    };
+                    out.push(diag(CheckId::MemBounds, Severity::Error, i, inst, Some(hart), what));
+                }
+            }
+        }
+    }
+}
+
+/// Runs the check for one hart over the converged dataflow.
+pub fn check(text: &[Inst], flow: &Flow, hart: u32, out: &mut Vec<Diagnostic>) {
+    flow.walk(text, |i, st, _meta| visit(text, i, st, hart, out));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::Cfg;
+    use crate::interp;
+    use snitch_asm::builder::ProgramBuilder;
+    use snitch_asm::layout::{TCDM_BASE, TCDM_SIZE};
+    use snitch_riscv::reg::{FpReg, IntReg};
+
+    fn run(b: ProgramBuilder) -> Vec<Diagnostic> {
+        let p = b.build().unwrap();
+        let text = p.text().to_vec();
+        let graph = Cfg::build(&text);
+        let flow = interp::analyze(&text, &graph, 0);
+        let mut out = Vec::new();
+        check(&text, &flow, 0, &mut out);
+        out
+    }
+
+    #[test]
+    fn in_bounds_tcdm_access_is_clean() {
+        let mut b = ProgramBuilder::new();
+        let buf = b.tcdm_f64("x", &[1.0, 2.0]);
+        b.li_u(IntReg::A0, buf);
+        b.fld(FpReg::FS0, IntReg::A0, 8);
+        b.fsd(FpReg::FS0, IntReg::A0, 0);
+        b.ecall();
+        let d = run(b);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn store_to_unmapped_address_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        b.li_u(IntReg::A0, 0x4000_0000);
+        b.sw(IntReg::A1, IntReg::A0, 0);
+        b.ecall();
+        let d = run(b);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].severity, Severity::Error);
+        assert!(d[0].message.contains("unmapped address 0x40000000"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn access_straddling_the_tcdm_end_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        b.li_u(IntReg::A0, TCDM_BASE + TCDM_SIZE - 4);
+        b.fld(FpReg::FS0, IntReg::A0, 0); // 8-byte read, last 4 bytes out
+        b.ecall();
+        let d = run(b);
+        assert!(
+            d.iter().any(|d| d.severity == Severity::Error && d.message.contains("runs past")),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn misaligned_access_is_a_warning() {
+        let mut b = ProgramBuilder::new();
+        b.li_u(IntReg::A0, TCDM_BASE + 4);
+        b.fld(FpReg::FS0, IntReg::A0, 0); // 8-byte load at 4-byte alignment
+        b.ecall();
+        let d = run(b);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].severity, Severity::Warning);
+        assert!(d[0].message.contains("misaligned"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn dma_with_unmapped_destination_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        let buf = b.tcdm_f64("x", &[1.0; 8]);
+        b.li_u(IntReg::A0, buf);
+        b.dmsrc(IntReg::A0);
+        b.li_u(IntReg::A1, 0x2000_0000);
+        b.dmdst(IntReg::A1);
+        b.li(IntReg::A2, 64);
+        b.dmcpyi(IntReg::A3, IntReg::A2);
+        b.ecall();
+        let d = run(b);
+        assert!(
+            d.iter()
+                .any(|d| d.severity == Severity::Error && d.message.contains("DMA destination")),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn unknown_base_is_skipped() {
+        let mut b = ProgramBuilder::new();
+        let buf = b.tcdm_u32("p", &[TCDM_BASE]);
+        b.li_u(IntReg::A0, buf);
+        b.lw(IntReg::A1, IntReg::A0, 0); // a1 now unknown
+        b.sw(IntReg::ZERO, IntReg::A1, 0); // can't prove anything: silent
+        b.ecall();
+        let d = run(b);
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

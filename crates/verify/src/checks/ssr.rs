@@ -1,0 +1,313 @@
+//! SSR stream discipline: while the SSR enable bit is set, `ft0..ft2` are
+//! stream ports, not registers, and every access must line up with an armed
+//! stream of the right direction and enough remaining elements.
+//!
+//! Errors (the simulator deadlocks / the FPU stalls forever on each):
+//!
+//! * FP read of `ftN` while SSR-enabled with stream `N` unarmed, or armed as
+//!   a write stream (and the symmetric write cases);
+//! * popping past the configured element count
+//!   (`(bound0 + 1) * (rep + 1)`) — the streamer has nothing left to serve;
+//! * `scfgwi` to a stream that is definitely still busy (elements remaining)
+//!   — config writes stall until the streamer drains, i.e. forever.
+//!
+//! Warnings (well-defined but almost certainly a bug):
+//!
+//! * a stream armed but `ftN` never accessed anywhere in the program;
+//! * elements left unconsumed at exit (the stream is still busy when the
+//!   hart halts);
+//! * the SSR enable bit still set at exit.
+
+use snitch_riscv::csr::{SsrCfgWord, NUM_SSRS};
+use snitch_riscv::inst::Inst;
+
+use super::diag;
+use crate::interp::{Flow, OpMeta, State, Stream, Tri};
+use crate::{CheckId, Diagnostic, Severity};
+
+/// Per-hart streaming scan. Feed every reached instruction through
+/// [`Scan::visit`] — from one [`Flow::walk`] fused with the other
+/// per-instruction checks — then call [`Scan::finish`] for the exit lints.
+pub struct Scan {
+    hart: u32,
+    touched: [bool; NUM_SSRS],
+    armed_at: [Option<usize>; NUM_SSRS],
+    halt_at: Option<usize>,
+}
+
+impl Scan {
+    /// A fresh scan for `hart`.
+    #[must_use]
+    pub fn new(hart: u32) -> Self {
+        Scan { hart, touched: [false; NUM_SSRS], armed_at: [None; NUM_SSRS], halt_at: None }
+    }
+
+    /// Processes instruction `i` given its in-state and operand facts.
+    #[allow(clippy::too_many_lines)]
+    pub fn visit(
+        &mut self,
+        text: &[Inst],
+        i: usize,
+        st: &State,
+        meta: &OpMeta,
+        out: &mut Vec<Diagnostic>,
+    ) {
+        let hart = self.hart;
+        let inst = &text[i];
+        if matches!(inst, Inst::Ecall | Inst::Ebreak) && self.halt_at.is_none() {
+            self.halt_at = Some(i);
+        }
+
+        if let Inst::Scfgwi { addr, .. } = *inst {
+            if let Some((word, k)) = SsrCfgWord::from_addr(addr) {
+                if word == SsrCfgWord::Base && self.armed_at[k].is_none() {
+                    self.armed_at[k] = Some(i);
+                }
+                // Reconfiguring a definitely-busy stream stalls forever.
+                if let Stream::Read { cap: Some(c), served }
+                | Stream::Write { cap: Some(c), served } = st.ssr[k]
+                {
+                    if served.max < c {
+                        out.push(diag(
+                            CheckId::SsrDiscipline,
+                            Severity::Error,
+                            i,
+                            inst,
+                            Some(hart),
+                            format!(
+                                "reconfigures stream {k} while it is still busy ({} of {c} \
+                                 element(s) unconsumed — config writes stall until the \
+                                 streamer drains)",
+                                c - served.max
+                            ),
+                        ));
+                    }
+                }
+            }
+            return;
+        }
+
+        if meta.ssr_slots == 0 {
+            return;
+        }
+        let uses = meta.ssr_uses.map(u64::from);
+        let defs = meta.ssr_defs.map(u64::from);
+        for k in 0..NUM_SSRS {
+            if uses[k] + defs[k] > 0 {
+                self.touched[k] = true;
+            }
+        }
+        if st.ssr_enabled != Tri::True {
+            return;
+        }
+        let (mult_lo, _) = st.mult();
+        for k in 0..NUM_SSRS {
+            let err = |msg: String| {
+                diag(CheckId::SsrDiscipline, Severity::Error, i, inst, Some(hart), msg)
+            };
+            if uses[k] > 0 {
+                match st.ssr[k] {
+                    Stream::Idle => out.push(err(format!(
+                        "reads ft{k} while SSR-enabled but stream {k} is not armed \
+                         (the FPU stalls forever)"
+                    ))),
+                    Stream::Write { .. } => out.push(err(format!(
+                        "reads ft{k} but stream {k} is armed as a write stream"
+                    ))),
+                    Stream::Read { cap: Some(c), served } if served.min + uses[k] * mult_lo > c => {
+                        out.push(err(format!(
+                            "pops past the end of stream {k}: at least {} element(s) \
+                             consumed of {c} configured (the FPU stalls forever)",
+                            served.min + uses[k] * mult_lo
+                        )));
+                    }
+                    Stream::Read { .. } | Stream::Unknown => {}
+                }
+            }
+            if defs[k] > 0 {
+                match st.ssr[k] {
+                    Stream::Idle => out.push(err(format!(
+                        "writes ft{k} while SSR-enabled but stream {k} is not armed \
+                         (the FPU stalls forever)"
+                    ))),
+                    Stream::Read { .. } => out.push(err(format!(
+                        "writes ft{k} but stream {k} is armed as a read stream"
+                    ))),
+                    Stream::Write { cap: Some(c), served }
+                        if served.min + defs[k] * mult_lo > c =>
+                    {
+                        out.push(err(format!(
+                            "pushes past the end of stream {k}: at least {} element(s) \
+                             written of {c} configured (the FPU stalls forever)",
+                            served.min + defs[k] * mult_lo
+                        )));
+                    }
+                    Stream::Write { .. } | Stream::Unknown => {}
+                }
+            }
+        }
+    }
+
+    /// Emits the exit-state lints, anchored at the first reachable halt.
+    pub fn finish(self, text: &[Inst], flow: &Flow, out: &mut Vec<Diagnostic>) {
+        let hart = self.hart;
+        let (Some(exit), Some(h)) = (&flow.exit, self.halt_at) else { return };
+        let warn = |i: usize, msg: String| {
+            diag(CheckId::SsrDiscipline, Severity::Warning, i, &text[i], Some(hart), msg)
+        };
+        if exit.ssr_enabled == Tri::True {
+            out.push(warn(h, "SSR register semantics still enabled at exit".to_string()));
+        }
+        for k in 0..NUM_SSRS {
+            if let Some(site) = self.armed_at[k] {
+                if !self.touched[k] {
+                    out.push(warn(
+                        site,
+                        format!("stream {k} is armed but ft{k} is never accessed"),
+                    ));
+                    continue;
+                }
+            }
+            if let Stream::Read { cap: Some(c), served } | Stream::Write { cap: Some(c), served } =
+                exit.ssr[k]
+            {
+                if served.max < c {
+                    out.push(warn(
+                        h,
+                        format!(
+                            "stream {k} leaves {} of {c} element(s) unconsumed at exit \
+                             (streamer still busy)",
+                            c - served.max
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Runs the check for one hart over the converged dataflow.
+pub fn check(text: &[Inst], flow: &Flow, hart: u32, out: &mut Vec<Diagnostic>) {
+    let mut scan = Scan::new(hart);
+    flow.walk(text, |i, st, meta| scan.visit(text, i, st, meta, out));
+    scan.finish(text, flow, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::Cfg;
+    use crate::interp;
+    use snitch_asm::builder::ProgramBuilder;
+    use snitch_riscv::reg::{FpReg, IntReg};
+
+    fn run(b: ProgramBuilder) -> Vec<Diagnostic> {
+        let p = b.build().unwrap();
+        let text = p.text().to_vec();
+        let graph = Cfg::build(&text);
+        let flow = interp::analyze(&text, &graph, 0);
+        let mut out = Vec::new();
+        check(&text, &flow, 0, &mut out);
+        out
+    }
+
+    /// Arms stream `ssr` as an `n`-element read stream over fresh TCDM.
+    fn arm_read(b: &mut ProgramBuilder, ssr: usize, n: u32) {
+        let base = b.tcdm_reserve("ssrbuf", usize::try_from(n).unwrap() * 8, 8);
+        b.li(IntReg::T0, 0);
+        b.scfgwi(IntReg::T0, ssr, SsrCfgWord::Status);
+        b.scfgwi(IntReg::T0, ssr, SsrCfgWord::Repeat);
+        b.li(IntReg::T1, i32::try_from(n).unwrap() - 1);
+        b.scfgwi(IntReg::T1, ssr, SsrCfgWord::Bound(0));
+        b.li_u(IntReg::T2, base);
+        b.scfgwi(IntReg::T2, ssr, SsrCfgWord::Base);
+    }
+
+    #[test]
+    fn drained_stream_is_clean() {
+        let mut b = ProgramBuilder::new();
+        arm_read(&mut b, 0, 4);
+        b.ssr_enable();
+        b.li(IntReg::T3, 3);
+        b.frep_o(IntReg::T3, 1, 0, 0);
+        b.fadd_d(FpReg::FS0, FpReg::FS0, FpReg::FT0);
+        b.fpu_fence();
+        b.ssr_disable();
+        b.ecall();
+        let d = run(b);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn read_of_unarmed_stream_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        b.ssr_enable();
+        b.fadd_d(FpReg::FS0, FpReg::FS0, FpReg::FT0);
+        b.ecall();
+        let d = run(b);
+        assert!(
+            d.iter().any(|d| d.severity == Severity::Error && d.message.contains("not armed")),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn write_to_read_stream_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        arm_read(&mut b, 1, 2);
+        b.ssr_enable();
+        b.fadd_d(FpReg::FT1, FpReg::FS0, FpReg::FS1);
+        b.ecall();
+        let d = run(b);
+        assert!(
+            d.iter()
+                .any(|d| d.severity == Severity::Error
+                    && d.message.contains("armed as a read stream")),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn popping_past_the_bound_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        arm_read(&mut b, 0, 2); // 2 elements...
+        b.ssr_enable();
+        b.li(IntReg::T3, 3); // ...but frep pops 4
+        b.frep_o(IntReg::T3, 1, 0, 0);
+        b.fadd_d(FpReg::FS0, FpReg::FS0, FpReg::FT0);
+        b.ecall();
+        let d = run(b);
+        assert!(
+            d.iter().any(|d| d.severity == Severity::Error && d.message.contains("pops past")),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn armed_but_never_accessed_is_a_warning() {
+        let mut b = ProgramBuilder::new();
+        arm_read(&mut b, 2, 4);
+        b.ecall();
+        let d = run(b);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].severity, Severity::Warning);
+        assert!(d[0].message.contains("never accessed"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn leftover_elements_at_exit_are_a_warning() {
+        let mut b = ProgramBuilder::new();
+        arm_read(&mut b, 0, 4);
+        b.ssr_enable();
+        b.fadd_d(FpReg::FS0, FpReg::FS0, FpReg::FT0); // pops 1 of 4
+        b.fpu_fence();
+        b.ssr_disable();
+        b.ecall();
+        let d = run(b);
+        assert!(
+            d.iter().any(|d| d.severity == Severity::Warning && d.message.contains("unconsumed")),
+            "{d:?}"
+        );
+        assert!(!d.iter().any(|d| d.severity == Severity::Error), "{d:?}");
+    }
+}

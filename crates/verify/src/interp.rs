@@ -1,0 +1,788 @@
+//! Forward abstract interpretation over the per-hart CFG.
+//!
+//! One [`analyze`] run models one hart: `mhartid` reads are bound to the
+//! hart's constant, so SPMD guards (`beqz`/`bnez` on the hart id) resolve to
+//! exactly one successor and each hart only sees its own path. The abstract
+//! [`State`] tracks:
+//!
+//! * integer-register constants (both register files boot zeroed in the
+//!   simulator, so the entry state is all-`Some(0)`),
+//! * definitely-written masks over both register files (for the
+//!   definite-initialization lint — "was ever written", separate from the
+//!   constant lattice),
+//! * the SSR enable bit ([`Tri`]) and per-stream arm/direction/consumption
+//!   state ([`Stream`]), including the pending config words so a
+//!   `scfgwi Base` arm can compute the stream's total element capacity,
+//! * the barrier count as an interval, and the DMA source/destination
+//!   latches.
+//!
+//! The fixpoint is a standard worklist; intervals that keep growing through
+//! a back edge are widened to `∞` after a bounded number of merges at a
+//! node, so termination does not depend on loop trip counts. Widening only
+//! ever *loses* warnings (growing maxima feed "definitely leftover /
+//! definitely busy" claims); the error-side bounds (`min` consumption) are
+//! monotonically decreasing under merge and converge on their own.
+
+use std::rc::Rc;
+
+use snitch_riscv::csr::{SsrCfgWord, CSR_BARRIER, CSR_MHARTID, CSR_SSR, NUM_SSRS};
+use snitch_riscv::inst::Inst;
+use snitch_riscv::meta::RegRef;
+use snitch_riscv::ops::CsrOp;
+use snitch_riscv::reg::IntReg;
+
+use crate::cfg::Cfg;
+
+/// Merges-per-node before growing interval maxima are widened to `∞`.
+/// Low on purpose: every extra round before widening re-interprets the
+/// whole loop body, and only the warning-side `max` bounds benefit (the
+/// error-side `min` bounds decrease monotonically and converge in one or
+/// two rounds regardless).
+const WIDEN_AFTER: u32 = 2;
+
+/// Infinity sentinel for interval maxima.
+pub const INF: u64 = u64::MAX;
+
+/// A three-valued boolean.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Tri {
+    /// Definitely false on every path reaching here.
+    False,
+    /// Definitely true on every path reaching here.
+    True,
+    /// Differs by path (or set from a non-constant source).
+    Unknown,
+}
+
+impl Tri {
+    fn merge(self, other: Tri) -> Tri {
+        if self == other {
+            self
+        } else {
+            Tri::Unknown
+        }
+    }
+
+    /// Whether the value may be true.
+    #[must_use]
+    pub fn maybe(self) -> bool {
+        self != Tri::False
+    }
+}
+
+/// A `[min, max]` interval over `u64`, `max == INF` meaning unbounded.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Interval {
+    /// Inclusive lower bound.
+    pub min: u64,
+    /// Inclusive upper bound (`INF` = unbounded).
+    pub max: u64,
+}
+
+impl Interval {
+    /// The exact value zero.
+    pub const ZERO: Interval = Interval { min: 0, max: 0 };
+
+    /// Shifts the interval up by `[lo, hi]`.
+    fn add(&mut self, lo: u64, hi: u64) {
+        self.min = self.min.saturating_add(lo);
+        self.max = self.max.saturating_add(hi);
+    }
+
+    /// Lattice join; `widen` sends a growing max straight to `INF`.
+    fn merge(&mut self, other: Interval, widen: bool) -> bool {
+        let old = *self;
+        self.min = self.min.min(other.min);
+        self.max = if widen && other.max > self.max { INF } else { self.max.max(other.max) };
+        *self != old
+    }
+}
+
+/// Per-stream pending configuration (the `scfgwi` words written so far).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct StreamCfg {
+    /// Status word: bit 0 write mode, bits 2:1 dims, bit 3 indirect.
+    pub status: Option<u32>,
+    /// Repetition count minus one.
+    pub repeat: Option<u32>,
+    /// Dimension-0 bound minus one.
+    pub bound0: Option<u32>,
+}
+
+impl StreamCfg {
+    /// Reset values (the simulator zeroes SSR config registers).
+    const RESET: StreamCfg = StreamCfg { status: Some(0), repeat: Some(0), bound0: Some(0) };
+
+    fn merge(&mut self, other: &StreamCfg) -> bool {
+        let old = *self;
+        self.status = merge_const(self.status, other.status);
+        self.repeat = merge_const(self.repeat, other.repeat);
+        self.bound0 = merge_const(self.bound0, other.bound0);
+        *self != old
+    }
+
+    /// Total register-file beats the armed stream will serve, when
+    /// statically known. For a 1-D non-indirect *read* stream each of the
+    /// `bound0 + 1` elements is popped `repeat + 1` times; a *write* stream
+    /// drains exactly one push per address step, so `repeat` does not
+    /// multiply (mirroring `sim::ssr::step_write` vs `finish_element`).
+    fn capacity(&self, write_mode: bool) -> Option<u64> {
+        let status = self.status?;
+        // Multi-dimensional, indirect or packed-SIMD streams: give up on
+        // counting elements (bits 2:1 dims, bit 3 indirect, bit 4 elem size).
+        if status & 0b1_1110 != 0 {
+            return None;
+        }
+        let elems = u64::from(self.bound0?) + 1;
+        if write_mode {
+            Some(elems)
+        } else {
+            Some(elems * (u64::from(self.repeat?) + 1))
+        }
+    }
+}
+
+/// Abstract state of one SSR data mover.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Stream {
+    /// Not armed since reset (or fully drained and re-idle is never modeled
+    /// — a drained stream stays `Read` with `served == cap`).
+    Idle,
+    /// Armed as a read stream.
+    Read {
+        /// Total elements it will serve, when statically known.
+        cap: Option<u64>,
+        /// Elements popped so far.
+        served: Interval,
+    },
+    /// Armed as a write stream.
+    Write {
+        /// Total elements it will accept, when statically known.
+        cap: Option<u64>,
+        /// Elements pushed so far.
+        served: Interval,
+    },
+    /// Differs by path.
+    Unknown,
+}
+
+impl Stream {
+    fn merge(&mut self, other: &Stream, widen: bool) -> bool {
+        let old = *self;
+        *self = match (*self, *other) {
+            (Stream::Idle, Stream::Idle) => Stream::Idle,
+            (Stream::Read { cap: c1, served: mut s1 }, Stream::Read { cap: c2, served: s2 })
+                if c1 == c2 =>
+            {
+                s1.merge(s2, widen);
+                Stream::Read { cap: c1, served: s1 }
+            }
+            (Stream::Write { cap: c1, served: mut s1 }, Stream::Write { cap: c2, served: s2 })
+                if c1 == c2 =>
+            {
+                s1.merge(s2, widen);
+                Stream::Write { cap: c1, served: s1 }
+            }
+            _ => Stream::Unknown,
+        };
+        *self != old
+    }
+}
+
+/// FREP body bookkeeping: how many more instructions belong to the pending
+/// body, and the per-element replay multiplicity (`rep + 1`) when constant.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FrepPending {
+    /// Instructions of the body not yet seen.
+    pub remaining: u8,
+    /// Total issue count per body instruction (`rep + 1`), if constant.
+    pub mult: Option<u64>,
+}
+
+/// The abstract machine state at one program point.
+#[derive(Clone, PartialEq, Debug)]
+pub struct State {
+    /// Constant values of the integer registers (`x0` is always 0).
+    pub int: [Option<u32>; 32],
+    /// Bitmask of integer registers written since entry.
+    pub int_init: u32,
+    /// Bitmask of FP registers written since entry.
+    pub fp_init: u32,
+    /// The SSR enable CSR bit.
+    pub ssr_enabled: Tri,
+    /// Arm/consumption state per stream.
+    pub ssr: [Stream; NUM_SSRS],
+    /// Pending config words per stream.
+    pub ssr_cfg: [StreamCfg; NUM_SSRS],
+    /// How many barriers this hart has executed.
+    pub barriers: Interval,
+    /// DMA source address latch, when constant.
+    pub dm_src: Option<u32>,
+    /// DMA destination address latch, when constant.
+    pub dm_dst: Option<u32>,
+    /// Set while inside a pending FREP body.
+    pub frep: Option<FrepPending>,
+}
+
+impl State {
+    fn entry(hart: u32) -> State {
+        let mut int = [Some(0u32); 32];
+        int[0] = Some(0);
+        let _ = hart; // the hart constant enters via CSR_MHARTID reads
+        State {
+            int,
+            int_init: 1, // x0 counts as initialized
+            fp_init: 0,
+            ssr_enabled: Tri::False,
+            ssr: [Stream::Idle; NUM_SSRS],
+            ssr_cfg: [StreamCfg::RESET; NUM_SSRS],
+            barriers: Interval::ZERO,
+            dm_src: Some(0),
+            dm_dst: Some(0),
+            frep: None,
+        }
+    }
+
+    /// Constant value of an integer register (`x0` reads as 0).
+    #[must_use]
+    pub fn get(&self, r: IntReg) -> Option<u32> {
+        if r.is_zero() {
+            Some(0)
+        } else {
+            self.int[usize::from(r.index())]
+        }
+    }
+
+    fn set(&mut self, r: IntReg, v: Option<u32>) {
+        if !r.is_zero() {
+            self.int[usize::from(r.index())] = v;
+            self.int_init |= 1 << r.index();
+        }
+    }
+
+    /// The replay multiplicity `[min, max]` of the instruction whose
+    /// in-state this is: `(1, 1)` outside an FREP body, `(rep+1, rep+1)` in
+    /// a body with a constant repetition count, `(1, INF)` otherwise.
+    #[must_use]
+    pub fn mult(&self) -> (u64, u64) {
+        match self.frep {
+            None => (1, 1),
+            Some(FrepPending { mult: Some(m), .. }) => (m, m),
+            Some(FrepPending { mult: None, .. }) => (1, INF),
+        }
+    }
+
+    fn merge(&mut self, other: &State, widen: bool) -> bool {
+        let mut changed = false;
+        for i in 1..32 {
+            let m = merge_const(self.int[i], other.int[i]);
+            changed |= m != self.int[i];
+            self.int[i] = m;
+        }
+        let ii = self.int_init & other.int_init;
+        let fi = self.fp_init & other.fp_init;
+        changed |= ii != self.int_init || fi != self.fp_init;
+        self.int_init = ii;
+        self.fp_init = fi;
+        let en = self.ssr_enabled.merge(other.ssr_enabled);
+        changed |= en != self.ssr_enabled;
+        self.ssr_enabled = en;
+        for k in 0..NUM_SSRS {
+            changed |= self.ssr[k].merge(&other.ssr[k], widen);
+            changed |= self.ssr_cfg[k].merge(&other.ssr_cfg[k]);
+        }
+        changed |= self.barriers.merge(other.barriers, widen);
+        let ds = merge_const(self.dm_src, other.dm_src);
+        let dd = merge_const(self.dm_dst, other.dm_dst);
+        changed |= ds != self.dm_src || dd != self.dm_dst;
+        self.dm_src = ds;
+        self.dm_dst = dd;
+        if self.frep != other.frep {
+            changed |= self.frep.is_some();
+            self.frep = None;
+        }
+        changed
+    }
+}
+
+fn merge_const(a: Option<u32>, b: Option<u32>) -> Option<u32> {
+    match (a, b) {
+        (Some(x), Some(y)) if x == y => Some(x),
+        _ => None,
+    }
+}
+
+/// Precomputed operand facts of one instruction: register bitmasks and
+/// `ft0..ft2` stream-slot counts. Built once per program ([`OpMeta::table`])
+/// and shared by every hart's fixpoint, walks and checks, so the hot paths
+/// read a couple of words instead of re-visiting operands per transfer.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct OpMeta {
+    /// Integer registers read.
+    pub int_uses: u32,
+    /// FP registers read.
+    pub fp_uses: u32,
+    /// FP registers written.
+    pub fp_defs: u32,
+    /// Read-operand slots per stream register `ft0..ft2`.
+    pub ssr_uses: [u8; NUM_SSRS],
+    /// Write-operand slots per stream register.
+    pub ssr_defs: [u8; NUM_SSRS],
+    /// Total stream-register operand slots (the "touches any `ftN`" gate).
+    pub ssr_slots: u8,
+}
+
+impl OpMeta {
+    fn of(inst: &Inst) -> OpMeta {
+        let mut m = OpMeta::default();
+        inst.for_each_use(|r| match r {
+            RegRef::Int(x) => m.int_uses |= 1 << x.index(),
+            RegRef::Fp(f) => {
+                m.fp_uses |= 1 << f.index();
+                let k = usize::from(f.index());
+                if k < NUM_SSRS {
+                    m.ssr_uses[k] += 1;
+                }
+            }
+        });
+        inst.for_each_def(|r| {
+            if let RegRef::Fp(f) = r {
+                m.fp_defs |= 1 << f.index();
+                let k = usize::from(f.index());
+                if k < NUM_SSRS {
+                    m.ssr_defs[k] += 1;
+                }
+            }
+        });
+        m.ssr_slots = m.ssr_uses.iter().chain(&m.ssr_defs).sum();
+        m
+    }
+
+    /// The operand table for a whole text section.
+    #[must_use]
+    pub fn table(text: &[Inst]) -> Vec<OpMeta> {
+        text.iter().map(Self::of).collect()
+    }
+}
+
+/// The converged dataflow result for one hart.
+///
+/// Only the in-state at each basic-block head is stored; per-instruction
+/// states are recomputed on demand by [`walk`](Self::walk) — for the
+/// mostly-straight-line programs codegen emits, that is orders of magnitude
+/// less state to allocate, clone and merge than a per-instruction table.
+#[derive(Debug)]
+pub struct Flow {
+    hart: u32,
+    /// Shared per-instruction operand facts (same table for every hart).
+    metas: Rc<[OpMeta]>,
+    /// Text index of every basic-block head, ascending.
+    blocks: Vec<usize>,
+    /// Converged in-state per block; `None` for blocks this hart never
+    /// reaches (including constant-branch-pruned SPMD arms).
+    heads: Vec<Option<State>>,
+    /// Merged state at every reachable halt (`ecall`/`ebreak`); `None` when
+    /// the hart has no reachable halt.
+    pub exit: Option<State>,
+}
+
+impl Flow {
+    /// Visits every instruction this hart reaches, in text order, with its
+    /// in-state — recomputed per block from the converged head states — and
+    /// its precomputed [`OpMeta`].
+    pub fn walk(&self, text: &[Inst], mut f: impl FnMut(usize, &State, &OpMeta)) {
+        for (bi, &b) in self.blocks.iter().enumerate() {
+            let Some(head) = &self.heads[bi] else { continue };
+            let mut st = head.clone();
+            let end = self.blocks.get(bi + 1).copied().unwrap_or(text.len());
+            #[allow(clippy::needless_range_loop)] // indexes text AND metas
+            for i in b..end - 1 {
+                f(i, &st, &self.metas[i]);
+                transfer(&mut st, text[i], &self.metas[i], Cfg::pc(i), self.hart);
+            }
+            // The post-state of the block's last instruction is never
+            // observed, so its transfer is skipped.
+            f(end - 1, &st, &self.metas[end - 1]);
+        }
+    }
+
+    /// The in-state at text index `i`, if this hart reaches it. A point
+    /// query over [`walk`](Self::walk) — prefer `walk` for scans.
+    #[must_use]
+    pub fn state_at(&self, text: &[Inst], want: usize) -> Option<State> {
+        let mut found = None;
+        self.walk(text, |i, st, _| {
+            if i == want {
+                found = Some(st.clone());
+            }
+        });
+        found
+    }
+
+    /// The block id owning block-head index `s`.
+    fn block_of(&self, s: usize) -> usize {
+        self.blocks.binary_search(&s).expect("every successor edge lands on a block head")
+    }
+}
+
+/// Whether `inst` ends a basic block (control transfer or terminator).
+fn is_block_end(inst: Inst) -> bool {
+    matches!(
+        inst,
+        Inst::Branch { .. } | Inst::Jal { .. } | Inst::Jalr { .. } | Inst::Ecall | Inst::Ebreak
+    )
+}
+
+/// Runs the abstract interpretation for `hart` to a fixpoint over the
+/// basic-block graph and returns the converged [`Flow`]. Builds its own
+/// operand table; when analyzing several harts of one program, build the
+/// table once and use [`analyze_with`].
+#[must_use]
+pub fn analyze(text: &[Inst], graph: &Cfg, hart: u32) -> Flow {
+    analyze_with(text, OpMeta::table(text).into(), graph, hart)
+}
+
+/// [`analyze`] with a caller-provided (shared) operand table.
+#[must_use]
+pub fn analyze_with(text: &[Inst], metas: Rc<[OpMeta]>, graph: &Cfg, hart: u32) -> Flow {
+    let n = text.len();
+    // Block leaders: entry, every branch/jump target, and the instruction
+    // after every control transfer or terminator.
+    let mut blocks = Vec::new();
+    if n > 0 {
+        let mut leader = vec![false; n];
+        leader[0] = true;
+        for i in 0..n {
+            if is_block_end(text[i]) && i + 1 < n {
+                leader[i + 1] = true;
+            }
+            if let Some(t) = graph.targets[i] {
+                leader[t] = true;
+            }
+        }
+        blocks = (0..n).filter(|&i| leader[i]).collect();
+    }
+    let nb = blocks.len();
+    let mut flow = Flow { hart, metas, blocks, heads: vec![None; nb], exit: None };
+    if n == 0 {
+        return flow;
+    }
+    flow.heads[0] = Some(State::entry(hart));
+    let mut visits = vec![0u32; nb];
+    let mut work = vec![0usize]; // block ids
+    while let Some(bi) = work.pop() {
+        let Some(mut st) = flow.heads[bi].clone() else { continue };
+        let b = flow.blocks[bi];
+        let end = flow.blocks.get(bi + 1).copied().unwrap_or(n);
+        let last = end - 1;
+        #[allow(clippy::needless_range_loop)] // indexes text AND metas
+        for i in b..last {
+            transfer(&mut st, text[i], &flow.metas[i], Cfg::pc(i), hart);
+        }
+        // A halt is always a block end, so its in-state is in hand right
+        // here. Merging it on every visit is exact: head states only grow
+        // across visits and `transfer` is monotone, so the pre-convergence
+        // halt states are all ⊑ the final one and the join collapses to it.
+        if matches!(text[last], Inst::Ecall | Inst::Ebreak) {
+            match &mut flow.exit {
+                Some(e) => {
+                    e.merge(&st, false);
+                }
+                None => flow.exit = Some(st.clone()),
+            }
+        }
+        transfer(&mut st, text[last], &flow.metas[last], Cfg::pc(last), hart);
+        for &s in resolved_succs(text[last], &st, graph, last) {
+            let si = flow.block_of(s);
+            let widen = visits[si] >= WIDEN_AFTER;
+            let changed = match &mut flow.heads[si] {
+                Some(existing) => existing.merge(&st, widen),
+                slot @ None => {
+                    *slot = Some(st.clone());
+                    true
+                }
+            };
+            if changed {
+                visits[si] += 1;
+                if !work.contains(&si) {
+                    work.push(si);
+                }
+            }
+        }
+    }
+    flow
+}
+
+/// Successors of `i` given the post-state: a branch whose operands are both
+/// constant follows only the edge it actually takes, which is what lets each
+/// hart's `mhartid` guards prune the other harts' code.
+fn resolved_succs<'a>(inst: Inst, out: &State, graph: &'a Cfg, i: usize) -> &'a [usize] {
+    if let Inst::Branch { op, rs1, rs2, .. } = inst {
+        if let (Some(a), Some(b)) = (out.get(rs1), out.get(rs2)) {
+            let taken = op.taken(a, b);
+            // succs[i] is [fallthrough, target] (deduped); pick the live one.
+            let want = if taken { graph.targets[i] } else { Some(i + 1) };
+            if let Some(w) = want {
+                if let Some(pos) = graph.succs[i].iter().position(|&s| s == w) {
+                    return &graph.succs[i][pos..=pos];
+                }
+            }
+            return &[];
+        }
+    }
+    &graph.succs[i]
+}
+
+/// Applies one instruction's effect to the state. `pc` is the instruction's
+/// own address (for `auipc`/link values).
+#[allow(clippy::too_many_lines)]
+fn transfer(st: &mut State, inst: Inst, meta: &OpMeta, pc: u32, hart: u32) {
+    // Replay multiplicity of *this* instruction, then retire it from the
+    // pending body count.
+    let (mult_lo, mult_hi) = st.mult();
+    if let Some(p) = &mut st.frep {
+        p.remaining -= 1;
+        if p.remaining == 0 {
+            st.frep = None;
+        }
+    }
+
+    // SSR traffic: while the enable bit may be set, each ft0..ft2 operand
+    // slot of an FP instruction pops (uses) or pushes (defs) one element
+    // per issue. With the bit only *possibly* set, the min stays put and
+    // the max grows — sound for both the over-read (min) and leftover
+    // (max) claims. (Only FP instructions have stream-register operand
+    // slots, so `ssr_slots` doubles as the is-fp gate.)
+    if meta.ssr_slots != 0 && st.ssr_enabled.maybe() {
+        let lo = if st.ssr_enabled == Tri::True { mult_lo } else { 0 };
+        for k in 0..NUM_SSRS {
+            let slots = u64::from(meta.ssr_uses[k]) + u64::from(meta.ssr_defs[k]);
+            if slots != 0 {
+                if let Stream::Read { served, .. } | Stream::Write { served, .. } = &mut st.ssr[k] {
+                    served.add(slots * lo, mult_hi.saturating_mul(slots));
+                }
+            }
+        }
+    }
+
+    match inst {
+        Inst::Lui { rd, imm } => st.set(rd, Some(imm as u32)),
+        Inst::Auipc { rd, imm } => st.set(rd, Some(pc.wrapping_add(imm as u32))),
+        Inst::Jal { rd, .. } | Inst::Jalr { rd, .. } => st.set(rd, Some(pc.wrapping_add(4))),
+        Inst::OpImm { op, rd, rs1, imm } => {
+            let v = st.get(rs1).map(|a| op.eval(a, imm));
+            st.set(rd, v);
+        }
+        Inst::OpReg { op, rd, rs1, rs2 } => {
+            let v = match (st.get(rs1), st.get(rs2)) {
+                (Some(a), Some(b)) => Some(op.eval(a, b)),
+                _ => None,
+            };
+            st.set(rd, v);
+        }
+        Inst::Load { rd, .. } => st.set(rd, None),
+        Inst::Csr { op, rd, csr, src } => {
+            transfer_csr(st, op, rd, csr, src, hart);
+        }
+        Inst::Scfgwi { value, addr } => {
+            if let Some((word, ssr)) = SsrCfgWord::from_addr(addr) {
+                let v = st.get(value);
+                match word {
+                    SsrCfgWord::Status => st.ssr_cfg[ssr].status = v,
+                    SsrCfgWord::Repeat => st.ssr_cfg[ssr].repeat = v,
+                    SsrCfgWord::Bound(0) => st.ssr_cfg[ssr].bound0 = v,
+                    SsrCfgWord::Bound(_) | SsrCfgWord::Stride(_) => {}
+                    SsrCfgWord::IdxBase | SsrCfgWord::IdxSize => {}
+                    SsrCfgWord::Base => {
+                        // Writing the base word arms the streamer.
+                        let cfg = st.ssr_cfg[ssr];
+                        st.ssr[ssr] = match cfg.status {
+                            Some(s) if s & 1 == 1 => {
+                                Stream::Write { cap: cfg.capacity(true), served: Interval::ZERO }
+                            }
+                            Some(_) => {
+                                Stream::Read { cap: cfg.capacity(false), served: Interval::ZERO }
+                            }
+                            None => Stream::Unknown,
+                        };
+                    }
+                }
+            }
+        }
+        Inst::Scfgri { rd, .. } => st.set(rd, None),
+        Inst::Dma { op, rd, rs1, .. } => {
+            use snitch_riscv::ops::DmaOp;
+            match op {
+                DmaOp::Src => st.dm_src = st.get(rs1),
+                DmaOp::Dst => st.dm_dst = st.get(rs1),
+                DmaOp::CpyI | DmaOp::StatI => st.set(rd, None),
+                DmaOp::Str | DmaOp::Rep => {
+                    // 2-D descriptor state isn't modeled; a following copy
+                    // still transfers `size` bytes per row from the latched
+                    // addresses, which the bounds check treats 1-D (sound
+                    // for the common memset/memcpy shapes codegen emits).
+                }
+            }
+        }
+        Inst::FrepO { rep, max_inst, .. } | Inst::FrepI { rep, max_inst, .. } => {
+            st.frep = Some(FrepPending {
+                remaining: max_inst,
+                mult: st.get(rep).map(|r| u64::from(r) + 1),
+            });
+        }
+        // FP ops landing in the integer RF.
+        Inst::FpCmp { rd, .. }
+        | Inst::FpCvtF2I { rd, .. }
+        | Inst::FpMvF2X { rd, .. }
+        | Inst::FpClass { rd, .. } => st.set(rd, None),
+        _ => {}
+    }
+
+    // FP register file definite-init: any FP def marks the register
+    // written. (Under SSR semantics a write to ft0..ft2 feeds the stream
+    // instead, but init only *reads* this mask for non-stream registers.)
+    st.fp_init |= meta.fp_defs;
+}
+
+fn transfer_csr(st: &mut State, op: CsrOp, rd: IntReg, csr: u16, src: u8, hart: u32) {
+    match csr {
+        CSR_SSR => {
+            let bit = |v: u32| {
+                if v & 1 == 1 {
+                    Tri::True
+                } else {
+                    Tri::False
+                }
+            };
+            st.ssr_enabled = match op {
+                CsrOp::Rwi => bit(u32::from(src)),
+                CsrOp::Rsi if src & 1 == 1 => Tri::True,
+                CsrOp::Rci if src & 1 == 1 => Tri::False,
+                CsrOp::Rsi | CsrOp::Rci => st.ssr_enabled,
+                // Register forms: x0 source means pure read for set/clear;
+                // otherwise the written value decides when constant.
+                CsrOp::Rs | CsrOp::Rc if IntReg::new(src).is_zero() => st.ssr_enabled,
+                CsrOp::Rw => match st.get(IntReg::new(src)) {
+                    Some(v) => bit(v),
+                    None => Tri::Unknown,
+                },
+                CsrOp::Rs | CsrOp::Rc => Tri::Unknown,
+            };
+            st.set(rd, None);
+        }
+        CSR_BARRIER => {
+            st.barriers.add(1, 1);
+            st.set(rd, Some(0));
+        }
+        CSR_MHARTID => st.set(rd, Some(hart)),
+        _ => st.set(rd, None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snitch_asm::builder::ProgramBuilder;
+    use snitch_riscv::reg::{FpReg, IntReg};
+
+    fn flow_of(b: ProgramBuilder, hart: u32) -> (Vec<Inst>, Flow) {
+        let p = b.build().unwrap();
+        let text = p.text().to_vec();
+        let graph = Cfg::build(&text);
+        let flow = analyze(&text, &graph, hart);
+        (text, flow)
+    }
+
+    #[test]
+    fn constants_propagate_through_alu() {
+        let mut b = ProgramBuilder::new();
+        b.li(IntReg::A0, 6);
+        b.addi(IntReg::A1, IntReg::A0, 4); // a1 = 10
+        b.ecall();
+        let (_, flow) = flow_of(b, 0);
+        let exit = flow.exit.unwrap();
+        assert_eq!(exit.get(IntReg::A1), Some(10));
+        assert_eq!(exit.get(IntReg::ZERO), Some(0));
+    }
+
+    #[test]
+    fn loop_counter_loses_constness_but_converges() {
+        let mut b = ProgramBuilder::new();
+        b.li(IntReg::A0, 3);
+        b.label("loop");
+        b.addi(IntReg::A0, IntReg::A0, -1);
+        b.bnez(IntReg::A0, "loop");
+        b.ecall();
+        let (text, flow) = flow_of(b, 0);
+        // At the loop head the counter differs between entry (3) and the
+        // back edge, so it must be ⊤ (None), not any single constant.
+        let head = flow.state_at(&text, 1).unwrap();
+        assert_eq!(head.get(IntReg::A0), None);
+        assert!(flow.exit.is_some());
+    }
+
+    #[test]
+    fn mhartid_guard_prunes_other_harts_path() {
+        let mut b = ProgramBuilder::new();
+        b.parallel();
+        b.csrr_mhartid(IntReg::A0);
+        b.bnez(IntReg::A0, "other"); // 1
+        b.li(IntReg::A1, 111); // 2: hart 0 only
+        b.ecall(); // 3
+        b.label("other");
+        b.li(IntReg::A1, 222); // 4 (li small imm = one inst)
+        b.ecall(); // 5
+        let p = b.build().unwrap();
+        let text = p.text().to_vec();
+        let graph = Cfg::build(&text);
+        let f0 = analyze(&text, &graph, 0);
+        let f1 = analyze(&text, &graph, 1);
+        assert_eq!(f0.exit.as_ref().unwrap().get(IntReg::A1), Some(111));
+        assert!(f0.state_at(&text, 4).is_none(), "hart 0 never reaches the other arm");
+        assert_eq!(f1.exit.as_ref().unwrap().get(IntReg::A1), Some(222));
+        assert!(f1.state_at(&text, 2).is_none());
+    }
+
+    #[test]
+    fn armed_stream_counts_frep_pops() {
+        let mut b = ProgramBuilder::new();
+        // Arm ssr0 as a 4-element read stream, then drain it with an FREP
+        // body of one fadd issued 4 times.
+        let base = b.tcdm_reserve("buf", 4 * 8, 8);
+        b.li(IntReg::T0, 0); // status: read, 1-D
+        b.scfgwi(IntReg::T0, 0, SsrCfgWord::Status);
+        b.scfgwi(IntReg::T0, 0, SsrCfgWord::Repeat);
+        b.li(IntReg::T1, 3); // bound0 = n-1
+        b.scfgwi(IntReg::T1, 0, SsrCfgWord::Bound(0));
+        b.li_u(IntReg::T2, base);
+        b.scfgwi(IntReg::T2, 0, SsrCfgWord::Base);
+        b.ssr_enable();
+        b.li(IntReg::T3, 3); // rep = n-1
+        b.frep_o(IntReg::T3, 1, 0, 0);
+        b.fadd_d(FpReg::FS0, FpReg::FS0, FpReg::FT0);
+        b.fpu_fence();
+        b.ssr_disable();
+        b.ecall();
+        let (_, flow) = flow_of(b, 0);
+        let exit = flow.exit.unwrap();
+        match exit.ssr[0] {
+            Stream::Read { cap, served } => {
+                assert_eq!(cap, Some(4));
+                assert_eq!(served, Interval { min: 4, max: 4 });
+            }
+            ref s => panic!("expected armed read stream, got {s:?}"),
+        }
+        assert_eq!(exit.ssr_enabled, Tri::False);
+    }
+
+    #[test]
+    fn barrier_counts_accumulate() {
+        let mut b = ProgramBuilder::new();
+        b.parallel();
+        b.barrier();
+        b.barrier();
+        b.ecall();
+        let (_, flow) = flow_of(b, 0);
+        assert_eq!(flow.exit.unwrap().barriers, Interval { min: 2, max: 2 });
+    }
+}

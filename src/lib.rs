@@ -11,6 +11,9 @@
 //! * [`asm`] — typed assembler / program builder
 //! * [`sim`] — cycle-accurate Snitch cluster simulator
 //! * [`energy`] — activity-based power and energy model
+//! * [`verify`] — static program verifier and lint pass over compiled
+//!   programs (FREP legality, SSR stream discipline, definite init, memory
+//!   bounds, barrier consistency)
 //! * [`copift`] — the COPIFT transformation methodology (the paper's core
 //!   contribution)
 //! * [`kernels`] — the open workload catalog: the six paper workloads plus
@@ -35,6 +38,8 @@
 //! assert!(fast.total_cycles < base.total_cycles, "COPIFT must be faster");
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use copift;
 pub use snitch_asm as asm;
 pub use snitch_energy as energy;
@@ -42,3 +47,4 @@ pub use snitch_engine as engine;
 pub use snitch_kernels as kernels;
 pub use snitch_riscv as riscv;
 pub use snitch_sim as sim;
+pub use snitch_verify as verify;
