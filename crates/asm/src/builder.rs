@@ -149,10 +149,27 @@ impl ProgramBuilder {
                 other => unreachable!("fixup on non-branch {other:?}"),
             }
         }
-        for (name, idx) in self.labels {
-            self.symbols.insert(name, layout::TEXT_BASE + (idx as u32) * 4);
+        // Resolve labels into symbols and into ordered pc spans: each label
+        // covers from its own address to the next label's (or text end);
+        // labels at the same address share a span.
+        let mut placed: Vec<(usize, String)> =
+            std::mem::take(&mut self.labels).into_iter().map(|(n, i)| (i, n)).collect();
+        placed.sort();
+        let mut labels = Vec::with_capacity(placed.len());
+        for (k, (idx, name)) in placed.iter().enumerate() {
+            let end_idx = placed[k..]
+                .iter()
+                .find_map(|(j, _)| (j > idx).then_some(*j))
+                .unwrap_or(self.insts.len());
+            let start = layout::TEXT_BASE + (*idx as u32) * 4;
+            self.symbols.insert(name.clone(), start);
+            labels.push(crate::program::LabelSpan {
+                name: name.clone(),
+                start,
+                end: layout::TEXT_BASE + (end_idx as u32) * 4,
+            });
         }
-        Ok(Program::new(self.insts, self.tcdm, self.main, self.symbols, self.parallel))
+        Ok(Program::new(self.insts, self.tcdm, self.main, self.symbols, labels, self.parallel))
     }
 
     // ---------------------------------------------------------------- data
@@ -789,6 +806,44 @@ mod tests {
         b.label("x");
         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| b.label("x")));
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn label_spans_round_trip() {
+        let mut b = ProgramBuilder::new();
+        b.label("prologue");
+        b.nop();
+        b.nop();
+        b.label("body");
+        b.label("body_alias"); // same address: shares the span
+        b.nop();
+        b.label("reduce");
+        b.ecall();
+        let p = b.build().unwrap();
+        let base = layout::TEXT_BASE;
+        assert_eq!(p.labels().len(), 4);
+        let span = |name: &str| p.label_span(name).unwrap();
+        assert_eq!((span("prologue").start, span("prologue").end), (base, base + 8));
+        assert_eq!((span("body").start, span("body").end), (base + 8, base + 12));
+        assert_eq!((span("body_alias").start, span("body_alias").end), (base + 8, base + 12));
+        assert_eq!((span("reduce").start, span("reduce").end), (base + 12, base + 16));
+        // Spans agree with the symbol table and tile the text contiguously.
+        for l in p.labels() {
+            assert_eq!(p.symbol(&l.name), Some(l.start));
+            assert!(l.contains(l.start) && !l.contains(l.end));
+        }
+        assert_eq!(p.labels().last().unwrap().end, base + 4 * p.text().len() as u32);
+    }
+
+    #[test]
+    fn trailing_label_covers_nothing() {
+        let mut b = ProgramBuilder::new();
+        b.ecall();
+        b.label("end");
+        let p = b.build().unwrap();
+        let span = p.label_span("end").unwrap();
+        assert_eq!(span.start, span.end, "a label at text end covers zero instructions");
+        assert!(!span.contains(span.start));
     }
 
     #[test]

@@ -32,4 +32,4 @@ pub mod layout;
 pub mod program;
 
 pub use builder::{AsmError, ProgramBuilder};
-pub use program::Program;
+pub use program::{LabelSpan, Program};

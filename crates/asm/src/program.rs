@@ -6,14 +6,36 @@ use snitch_riscv::inst::Inst;
 
 use crate::layout;
 
+/// A resolved code label and the half-open pc range `[start, end)` it
+/// covers: from its own address up to the next label (or the end of the
+/// text section). Labels placed at the same address share a span.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LabelSpan {
+    /// The label name as placed by `ProgramBuilder::label`.
+    pub name: String,
+    /// Address of the first instruction the label covers.
+    pub start: u32,
+    /// One past the last covered instruction's address.
+    pub end: u32,
+}
+
+impl LabelSpan {
+    /// Whether `pc` falls inside this span.
+    #[must_use]
+    pub fn contains(&self, pc: u32) -> bool {
+        (self.start..self.end).contains(&pc)
+    }
+}
+
 /// An assembled program: instruction stream, initial TCDM and main-memory
-/// images, and the symbol table.
+/// images, the symbol table, and the resolved label spans.
 #[derive(Clone, Debug, Default)]
 pub struct Program {
     text: Vec<Inst>,
     tcdm_image: Vec<u8>,
     main_image: Vec<u8>,
     symbols: HashMap<String, u32>,
+    labels: Vec<LabelSpan>,
     parallel: bool,
 }
 
@@ -23,9 +45,10 @@ impl Program {
         tcdm_image: Vec<u8>,
         main_image: Vec<u8>,
         symbols: HashMap<String, u32>,
+        labels: Vec<LabelSpan>,
         parallel: bool,
     ) -> Self {
-        Program { text, tcdm_image, main_image, symbols, parallel }
+        Program { text, tcdm_image, main_image, symbols, labels, parallel }
     }
 
     /// Whether this is an SPMD program written for every compute core of the
@@ -59,6 +82,21 @@ impl Program {
     #[must_use]
     pub fn symbol(&self, name: &str) -> Option<u32> {
         self.symbols.get(name).copied()
+    }
+
+    /// Every resolved code label with the pc span it covers, ordered by
+    /// address (labels at one address sort by name). The spans tile the
+    /// text section from the first label onward without gaps or overlap,
+    /// which is what pc-to-region attribution (the cycle profiler) needs.
+    #[must_use]
+    pub fn labels(&self) -> &[LabelSpan] {
+        &self.labels
+    }
+
+    /// The span of one label by name.
+    #[must_use]
+    pub fn label_span(&self, name: &str) -> Option<&LabelSpan> {
+        self.labels.iter().find(|l| l.name == name)
     }
 
     /// The address of the first instruction.

@@ -7,7 +7,7 @@
 //! performance across PRs. Writes one JSON line per pool size to
 //! `BENCH_sim.json` in the current directory.
 //!
-//! Two guards gate the CI smoke step:
+//! Three guards gate the CI smoke step:
 //!
 //! * **Throughput-regression guard**: the single-worker cycles/s must not
 //!   drop more than 20% below the committed `BENCH_sim.json` baseline (the
@@ -20,15 +20,28 @@
 //!   path. The hook is required to be a no-op branch — no event
 //!   construction, no allocation — and this guard is where that
 //!   requirement is enforced.
+//! * **Profiling overhead guard**: the same contract for the cycle-profiler
+//!   hook (a paused `Profiler` attached): within 2% of the bare path and
+//!   cycle-identical.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use snitch_asm::program::Program;
 use snitch_engine::{job, Engine};
+use snitch_profile::Profiler;
 use snitch_sim::cluster::Cluster;
 use snitch_sim::config::ClusterConfig;
 use snitch_trace::Tracer;
+
+/// The observation hook a guard pass attaches (always paused — the
+/// worst case for the hook's branches: present, checked, never recording).
+#[derive(Clone, Copy, PartialEq)]
+enum Hook {
+    None,
+    Tracer,
+    Profiler,
+}
 
 /// Timed passes per measurement (the guard compares minima over repeats).
 /// Sized so one measurement spans a few hundred milliseconds: a 2% ratio of
@@ -41,16 +54,18 @@ const GUARD_REPEATS: usize = 5;
 const GUARD_TOLERANCE: f64 = 1.02;
 
 /// One timed pass over the pre-built batch: reset, (optionally) attach a
-/// paused tracer, load, run. Returns (wall seconds, total simulated cycles).
-fn guard_pass(programs: &[Program], paused_tracer: bool) -> (f64, u64) {
+/// paused hook, load, run. Returns (wall seconds, total simulated cycles).
+fn guard_pass(programs: &[Program], hook: Hook) -> (f64, u64) {
     let mut cluster = Cluster::new(ClusterConfig::default());
     let mut cycles = 0u64;
     let t0 = Instant::now();
     for _ in 0..GUARD_PASSES {
         for program in programs {
             cluster.reset();
-            if paused_tracer {
-                cluster.attach_tracer(Tracer::paused());
+            match hook {
+                Hook::None => {}
+                Hook::Tracer => cluster.attach_tracer(Tracer::paused()),
+                Hook::Profiler => cluster.attach_profiler(Profiler::paused()),
             }
             cluster.load_program(program);
             let stats = cluster.run().expect("smoke program completes");
@@ -69,57 +84,58 @@ const GUARD_ATTEMPTS: usize = 3;
 /// One guard attempt: minimum wall time per path over [`GUARD_REPEATS`]
 /// interleaved measurements, alternating which path runs first so drift
 /// (frequency ramp, cache warm-up) hits both equally. Returns
-/// `(untraced, disabled)` seconds.
-fn guard_attempt(programs: &[Program]) -> (f64, f64) {
-    let mut untraced = f64::INFINITY;
+/// `(bare, disabled)` seconds.
+fn guard_attempt(programs: &[Program], hook: Hook) -> (f64, f64) {
+    let mut bare = f64::INFINITY;
     let mut disabled = f64::INFINITY;
     for rep in 0..GUARD_REPEATS {
-        let order = if rep % 2 == 0 { [false, true] } else { [true, false] };
-        for paused in order {
-            let (t, _) = guard_pass(programs, paused);
-            if paused {
-                disabled = disabled.min(t);
+        let order = if rep % 2 == 0 { [Hook::None, hook] } else { [hook, Hook::None] };
+        for h in order {
+            let (t, _) = guard_pass(programs, h);
+            if h == Hook::None {
+                bare = bare.min(t);
             } else {
-                untraced = untraced.min(t);
+                disabled = disabled.min(t);
             }
         }
     }
-    (untraced, disabled)
+    (bare, disabled)
 }
 
-/// The tracing overhead guard: wall time with a paused tracer attached must
-/// stay within [`GUARD_TOLERANCE`] of the untraced path on at least one of
-/// [`GUARD_ATTEMPTS`] measurement rounds.
-fn tracing_overhead_guard(programs: &[Program]) {
+/// The hook overhead guard: wall time with a paused hook attached must stay
+/// within [`GUARD_TOLERANCE`] of the bare path on at least one of
+/// [`GUARD_ATTEMPTS`] measurement rounds. `what` names the hook in the
+/// guard's output ("tracing" / "profiling").
+fn hook_overhead_guard(programs: &[Program], hook: Hook, what: &str) {
     // Simulation equality is exact and checked once, outside the timing.
     assert_eq!(
-        guard_pass(programs, false).1,
-        guard_pass(programs, true).1,
-        "a paused tracer must not perturb the simulation by a single cycle"
+        guard_pass(programs, Hook::None).1,
+        guard_pass(programs, hook).1,
+        "a paused {what} hook must not perturb the simulation by a single cycle"
     );
     let mut last = (0.0, 0.0);
     for attempt in 1..=GUARD_ATTEMPTS {
-        let (untraced, disabled) = guard_attempt(programs);
-        last = (untraced, disabled);
-        let ratio = disabled / untraced;
+        let (bare, disabled) = guard_attempt(programs, hook);
+        last = (bare, disabled);
+        let ratio = disabled / bare;
         if ratio <= GUARD_TOLERANCE {
             eprintln!(
-                "bench_sim: tracing overhead guard ok — disabled hook {:+.2}% vs untraced \
-                 ({disabled:.4}s vs {untraced:.4}s over {GUARD_PASSES} passes, \
+                "bench_sim: {what} overhead guard ok — disabled hook {:+.2}% vs bare \
+                 ({disabled:.4}s vs {bare:.4}s over {GUARD_PASSES} passes, \
                  min of {GUARD_REPEATS}, attempt {attempt}/{GUARD_ATTEMPTS})",
                 (ratio - 1.0) * 100.0,
             );
             return;
         }
         eprintln!(
-            "bench_sim: overhead guard attempt {attempt}/{GUARD_ATTEMPTS}: disabled hook \
-             {:+.2}% vs untraced — re-measuring",
+            "bench_sim: {what} overhead guard attempt {attempt}/{GUARD_ATTEMPTS}: disabled \
+             hook {:+.2}% vs bare — re-measuring",
             (ratio - 1.0) * 100.0,
         );
     }
     panic!(
-        "tracing-disabled path is consistently more than {:.0}% slower than untraced \
-         ({:.4}s vs {:.4}s on the final attempt): the trace hook must stay a no-op \
+        "{what}-disabled path is consistently more than {:.0}% slower than the bare path \
+         ({:.4}s vs {:.4}s on the final attempt): the {what} hook must stay a no-op \
          branch with no allocation",
         (GUARD_TOLERANCE - 1.0) * 100.0,
         last.1,
@@ -318,10 +334,11 @@ fn main() {
         best.instructions as f64 / best.wall / 1e6,
     );
 
-    // The overhead guard runs the same smoke programs through a bare
+    // The overhead guards run the same smoke programs through a bare
     // cluster loop (no engine, no validation) so the comparison isolates
-    // the simulator hot path the hook sits on.
+    // the simulator hot path the hooks sit on.
     let programs: Vec<Program> =
         jobs.iter().map(|j| j.kernel.build_for(j.variant, j.n, j.block, j.config.cores)).collect();
-    tracing_overhead_guard(&programs);
+    hook_overhead_guard(&programs, Hook::Tracer, "tracing");
+    hook_overhead_guard(&programs, Hook::Profiler, "profiling");
 }

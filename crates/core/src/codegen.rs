@@ -462,10 +462,14 @@ fn emit_full(
         b.li_u(yp, y);
     }
 
-    // Prologue: int phase on block 0.
-    emit_int_block(&mut b, int_phase, iters, epi, cur, "gen0");
+    // Prologue: int phase on block 0. The int-block loop labels double as
+    // the profiler's region labels (`prologue`/`spill`), so every generated
+    // program carries the standard COPIFT region set — `prologue`, `body`,
+    // `spill`, `reduce` — that `snitch-profile`'s region map resolves.
+    emit_int_block(&mut b, int_phase, iters, epi, cur, "prologue");
 
     b.li(outer, (nb - 1) as i32);
+    b.label("body");
     b.label("outer");
     if !spills.is_empty() {
         b.scfgwi(cur, 0, SsrCfgWord::Base);
@@ -479,12 +483,13 @@ fn emit_full(
         b.addi(yp, yp, (block * 8) as i32);
     }
     emit_frep(&mut b, fp_body, iters);
-    emit_int_block(&mut b, int_phase, iters, epi, nxt, "gen");
+    emit_int_block(&mut b, int_phase, iters, epi, nxt, "spill");
     b.mv(scratch, cur);
     b.mv(cur, nxt);
     b.mv(nxt, scratch);
     b.addi(outer, outer, -1);
     b.bnez(outer, "outer");
+    b.label("reduce");
 
     // Epilogue: final FP block.
     if !spills.is_empty() {
@@ -516,6 +521,14 @@ fn emit_full(
     // traffic). Release builds skip this — the engine verifies at load time.
     #[cfg(debug_assertions)]
     {
+        // Region labels are part of the generated-program contract: the
+        // profiler's region map (and its sinks) resolve them by name.
+        for name in ["prologue", "body", "spill", "reduce"] {
+            let span = program
+                .label_span(name)
+                .unwrap_or_else(|| panic!("codegen must place region label `{name}`"));
+            assert!(span.start < span.end, "region `{name}` covers no instructions");
+        }
         let diags = snitch_verify::verify(&program, &snitch_sim::ClusterConfig::default());
         let errors: Vec<String> = diags
             .iter()
@@ -537,9 +550,13 @@ fn emit_int_block(
     iters: usize,
     epi: usize,
     buf: IntReg,
-    tag: &str,
+    label: &str,
 ) {
     if int_phase.is_empty() {
+        // Still anchor the label: the profiler's region map expects the
+        // full `prologue`/`spill` set on every generated program (the span
+        // extends to the next label, so it stays resolvable).
+        b.label(label);
         return;
     }
     // Unroll single-element phases to amortize loop overhead (the spill
@@ -548,15 +565,14 @@ fn emit_int_block(
     let unroll = if epi == 1 && iters.is_multiple_of(4) { 4 } else { 1 };
     b.mv(IntReg::new(3), buf);
     b.li(GEN_REGS[5], (iters / unroll) as i32);
-    let label = format!("{tag}_{}", b.len());
-    b.label(&label);
+    b.label(label);
     for _ in 0..unroll {
         for inst in int_phase {
             b.inst(*inst);
         }
     }
     b.addi(GEN_REGS[5], GEN_REGS[5], -1);
-    b.bnez(GEN_REGS[5], &label);
+    b.bnez(GEN_REGS[5], label);
 }
 
 fn emit_frep(b: &mut ProgramBuilder, fp_body: &[Inst], iters: usize) {

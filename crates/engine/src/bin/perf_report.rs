@@ -20,6 +20,8 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use snitch_engine::{job, Engine, JobSpec};
+use snitch_kernels::registry::{Kernel, Variant};
+use snitch_profile::{regions, RegionMap, StallCause};
 use snitch_telemetry::{chrome, metrics, Phase, Report, Telemetry};
 
 const USAGE: &str = "\
@@ -248,6 +250,37 @@ fn overhead_guard(jobs: &[JobSpec]) -> Result<(u64, u64), (u64, u64)> {
     Err(last)
 }
 
+/// The guest-side counterpart of the host attribution: one representative
+/// COPIFT job run with the cycle profiler, reduced to per-region markdown
+/// rows (`| region | core | issue | stall | frep | dominant |`). Returns the
+/// job label and the rows; a failed run returns an explanatory single row.
+fn hot_region_rows() -> (String, Vec<String>) {
+    let (kernel, variant) = (Kernel::PolyLcg, Variant::Copift);
+    let (n, block) = kernel.operating_point();
+    let profiled = JobSpec::new(kernel, variant, n, block).profiled();
+    let label = profiled.label();
+    let records = Engine::new(1).run(std::slice::from_ref(&profiled));
+    let Some(profile) = records[0].profile.as_ref() else {
+        let why = records[0].error.clone().unwrap_or_else(|| "no profile".to_string());
+        return (label, vec![format!("| (profiling failed: {why}) | | | | | |")]);
+    };
+    let map = RegionMap::new(&kernel.build_for(variant, n, block, 1));
+    let rows = regions(profile, &map)
+        .iter()
+        .map(|r| {
+            let stalled: u64 = StallCause::all().iter().map(|&c| r.stall(c)).sum();
+            let dom = r
+                .dominant_stall()
+                .map_or_else(|| "-".to_string(), |(c, cyc)| format!("{} ({cyc})", c.name()));
+            format!(
+                "| {} | {} | {} | {} | {} | {dom} |",
+                r.name, r.core_cycles, r.issued, stalled, r.seq_cycles
+            )
+        })
+        .collect();
+    (label, rows)
+}
+
 #[allow(clippy::too_many_lines)]
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -300,6 +333,7 @@ fn main() -> ExitCode {
             p.workers,
             p.cps(),
         ));
+        metrics_out.push_str(&metrics::render_burst(p.workers, p.cycles, p.replayed));
     }
     debug_assert!(metrics::validate(&metrics_out).is_ok());
 
@@ -329,6 +363,14 @@ fn main() -> ExitCode {
             println!("{line}");
         }
         println!("```");
+        let (label, rows) = hot_region_rows();
+        println!();
+        println!("### Where the simulated cycles go ({label})\n");
+        println!("| region | core cycles | issue | stall | frep | dominant stall |");
+        println!("|---|---:|---:|---:|---:|---|");
+        for row in &rows {
+            println!("{row}");
+        }
     } else {
         for p in &profiles {
             println!("=== {} worker(s) ===", p.workers);
@@ -345,6 +387,12 @@ fn main() -> ExitCode {
         println!("--- scaling diagnosis ---");
         for line in &diagnosis {
             println!("{line}");
+        }
+        let (label, rows) = hot_region_rows();
+        println!("--- hot regions ({label}) ---");
+        println!("| region | core cycles | issue | stall | frep | dominant stall |");
+        for row in &rows {
+            println!("{row}");
         }
     }
 

@@ -1,0 +1,212 @@
+//! `profile` — run one kernel with the guest cycle profiler and emit
+//! where-the-cycles-go reports: a collapsed-stack flamegraph, an annotated
+//! disassembly listing, Perfetto counter tracks over the pc axis, and a
+//! terminal hot-pc/region summary.
+//!
+//! ```text
+//! profile --kernel pi_lcg --variant copift --flame flame.txt
+//! profile --kernel poly_lcg --n 3072 --block 128 --disasm listing.txt
+//! profile --kernel pi_lcg_par --cores 8 --chrome profile.json
+//! ```
+//!
+//! Every file is validated against its format before it is written: the
+//! flamegraph against the collapsed-stack grammar, the Perfetto JSON
+//! against the trace-event schema.
+
+use std::process::ExitCode;
+
+use snitch_engine::{Engine, JobSpec};
+use snitch_kernels::registry::{Kernel, Variant};
+use snitch_profile::{disasm, flame, perfetto, RegionMap, StallCause};
+use snitch_sim::config::ClusterConfig;
+use snitch_trace::chrome;
+
+const USAGE: &str = "\
+usage: profile --kernel NAME [OPTIONS]
+
+Options:
+  --kernel NAME   cataloged kernel to profile (required; see `sweep --help`)
+  --variant V     base or copift (default: copift)
+  --n N           problem size (default: the kernel's smoke point)
+  --block B       block size (default: the kernel's smoke point)
+  --cores N       compute cores to simulate (default: 1)
+  --flame PATH    write the collapsed-stack flamegraph (flamegraph.pl,
+                  inferno, speedscope)
+  --disasm PATH   write the annotated disassembly listing
+  --chrome PATH   write Perfetto counter tracks over the pc axis
+  --top N         hot pcs to print in the terminal summary (default: 10)
+  --quiet         suppress the terminal summary
+";
+
+struct Args {
+    kernel: Kernel,
+    variant: Variant,
+    n: Option<usize>,
+    block: Option<usize>,
+    cores: usize,
+    flame: Option<String>,
+    disasm: Option<String>,
+    chrome: Option<String>,
+    top: usize,
+    quiet: bool,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut kernel = None;
+    let mut variant = Variant::Copift;
+    let (mut n, mut block) = (None, None);
+    let mut cores = 1usize;
+    let (mut flame, mut disasm, mut chrome) = (None, None, None);
+    let mut top = 10usize;
+    let mut quiet = false;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value_of = |flag: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--kernel" => {
+                let name = value_of("--kernel")?;
+                kernel = Some(
+                    Kernel::from_name(name).ok_or_else(|| format!("unknown kernel `{name}`"))?,
+                );
+            }
+            "--variant" => {
+                let name = value_of("--variant")?;
+                variant =
+                    Variant::from_name(name).ok_or_else(|| format!("unknown variant `{name}`"))?;
+            }
+            "--n" => n = Some(value_of("--n")?.parse().map_err(|_| "--n: bad value")?),
+            "--block" => {
+                block = Some(value_of("--block")?.parse().map_err(|_| "--block: bad value")?);
+            }
+            "--cores" => {
+                cores = value_of("--cores")?.parse().map_err(|_| "--cores: bad value")?;
+            }
+            "--flame" => flame = Some(value_of("--flame")?.clone()),
+            "--disasm" => disasm = Some(value_of("--disasm")?.clone()),
+            "--chrome" => chrome = Some(value_of("--chrome")?.clone()),
+            "--top" => top = value_of("--top")?.parse().map_err(|_| "--top: bad value")?,
+            "--quiet" => quiet = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    let kernel = kernel.ok_or("--kernel is required")?;
+    Ok(Args { kernel, variant, n, block, cores, flame, disasm, chrome, top, quiet })
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("profile: {msg}");
+            eprint!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let (smoke_n, smoke_block) = args.kernel.smoke_point();
+    let (n, block) = (args.n.unwrap_or(smoke_n), args.block.unwrap_or(smoke_block));
+    let config = ClusterConfig { cores: args.cores, ..ClusterConfig::default() };
+    let job = JobSpec::new(args.kernel, args.variant, n, block).with_config(config).profiled();
+    let label = job.label();
+
+    let records = Engine::new(1).run(std::slice::from_ref(&job));
+    let record = &records[0];
+    if !record.ok {
+        eprintln!("profile: {label} failed: {}", record.error.as_deref().unwrap_or("unknown"));
+        return ExitCode::FAILURE;
+    }
+    let profile = record.profile.as_ref().expect("profiled job carries a profile");
+    let stats = record.stats.as_ref().expect("successful record carries stats");
+    // The same program the engine just ran (the cache builds deterministically).
+    let program = args.kernel.build_for(args.variant, n, block, args.cores);
+    let map = RegionMap::new(&program);
+
+    if let Some(path) = &args.flame {
+        let text = flame::render(profile, &map);
+        let stacks = match flame::validate(&text) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("profile: internal error: flamegraph fails its grammar: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = std::fs::write(path, &text) {
+            eprintln!("profile: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("profile: wrote {path}: {stacks} stacks (collapsed format)");
+    }
+    if let Some(path) = &args.disasm {
+        if let Err(e) = std::fs::write(path, disasm::render(profile, &program)) {
+            eprintln!("profile: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("profile: wrote {path}");
+    }
+    if let Some(path) = &args.chrome {
+        let json = perfetto::render(profile, &map);
+        let summary = match chrome::validate(&json) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("profile: internal error: emitted JSON fails its schema: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("profile: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "profile: wrote {path}: {} counters, {} region markers — load at ui.perfetto.dev",
+            summary.counters, summary.instants
+        );
+    }
+
+    if !args.quiet {
+        println!("{label}: {} cycles, IPC {:.3}", stats.cycles, stats.ipc());
+        let hot = snitch_profile::hot_pcs(profile, args.top);
+        if !hot.is_empty() {
+            println!("hot pcs (top {} by core+frep cycles):", hot.len());
+            println!("  address       region        core  issue  stall  frep  cause");
+            for r in &hot {
+                let idx = ((r.pc - snitch_asm::layout::TEXT_BASE) / 4) as usize;
+                let cause = profile
+                    .dominant_stall_at(idx)
+                    .map_or_else(|| "-".to_string(), |(c, _)| c.name().to_string());
+                println!(
+                    "  {:#010x} {:<12} {:>7} {:>6} {:>6} {:>5}  {cause}",
+                    r.pc,
+                    map.region_of(r.pc),
+                    r.core_cycles,
+                    r.issued,
+                    r.stalled,
+                    r.seq_cycles,
+                );
+            }
+        }
+        let regions = snitch_profile::regions(profile, &map);
+        if !regions.is_empty() {
+            println!("regions:");
+            println!("  name          core cycles   issue   stall    frep  dominant stall");
+            for r in &regions {
+                let stalled: u64 = StallCause::all().iter().map(|&c| r.stall(c)).sum();
+                let dom = r
+                    .dominant_stall()
+                    .map_or_else(|| "-".to_string(), |(c, n)| format!("{} ({n})", c.name()));
+                println!(
+                    "  {:<12} {:>11} {:>7} {:>7} {:>7}  {dom}",
+                    r.name, r.core_cycles, r.issued, stalled, r.seq_cycles,
+                );
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -194,6 +194,11 @@ impl Engine {
                     let events = cluster.trace_events().unwrap_or_default().to_vec();
                     record = record.with_trace(events);
                 }
+                if job.profile() {
+                    if let Some(profile) = cluster.profile() {
+                        record = record.with_profile(profile.clone());
+                    }
+                }
                 record
             }
             Err(e) => RunRecord::failure(job.clone(), e.to_string()),

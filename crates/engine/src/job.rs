@@ -57,6 +57,26 @@ impl JobSpec {
         self.config.trace
     }
 
+    /// Requests a per-pc cycle/stall profile of this job: the run's
+    /// [`RunRecord`](crate::record::RunRecord) will carry the finished
+    /// [`Profiler`](snitch_profile::Profiler). Like [`traced`](Self::traced)
+    /// the request rides on `config.profile`, which is excluded from the
+    /// program-cache key and the configuration fingerprint — a profiled job
+    /// compiles no extra program, simulates bit-identically (block bursts
+    /// stay engaged) and serializes to the same JSON-lines/CSV rows as its
+    /// unprofiled twin.
+    #[must_use]
+    pub fn profiled(mut self) -> Self {
+        self.config.profile = true;
+        self
+    }
+
+    /// Whether this job requests a cycle profile.
+    #[must_use]
+    pub fn profile(&self) -> bool {
+        self.config.profile
+    }
+
     /// The program-cache key: timing-configuration changes never rebuild
     /// programs, but the core count does (data-parallel programs bake the
     /// cluster size into seed tables, buffer strides and the reduction), so

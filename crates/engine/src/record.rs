@@ -38,6 +38,10 @@ pub struct RunRecord {
     /// ([`JobSpec::traced`]). Never serialized into the JSON-lines/CSV
     /// sinks — render it with `snitch_trace::{chrome, text}`.
     pub trace: Option<Vec<TraceEvent>>,
+    /// The finished cycle profile, when the job requested one
+    /// ([`JobSpec::profiled`]). Like `trace`, never serialized into the
+    /// JSON-lines/CSV sinks — render it with `snitch_profile`'s sinks.
+    pub profile: Option<snitch_profile::Profiler>,
     /// Cycles the simulator spent on its block-compiled burst path (host
     /// observability, see `Cluster::block_replayed_cycles`). Like `trace`,
     /// never serialized: it describes the simulator run, not the simulated
@@ -66,6 +70,7 @@ impl RunRecord {
             config_fingerprint: fingerprint,
             stats: Some(outcome.stats.clone()),
             trace: None,
+            profile: None,
             block_replayed_cycles: 0,
             diagnostics: std::sync::Arc::new(Vec::new()),
         }
@@ -75,6 +80,13 @@ impl RunRecord {
     #[must_use]
     pub fn with_trace(mut self, events: Vec<TraceEvent>) -> Self {
         self.trace = Some(events);
+        self
+    }
+
+    /// Attaches a finished cycle profile.
+    #[must_use]
+    pub fn with_profile(mut self, profile: snitch_profile::Profiler) -> Self {
+        self.profile = Some(profile);
         self
     }
 
@@ -94,6 +106,7 @@ impl RunRecord {
             config_fingerprint: fingerprint,
             stats: None,
             trace: None,
+            profile: None,
             block_replayed_cycles: 0,
             diagnostics: std::sync::Arc::new(Vec::new()),
         }

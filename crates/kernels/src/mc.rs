@@ -338,23 +338,27 @@ pub fn copift(integrand: Integrand, rng: Rng, n: usize, block: usize) -> Program
     b.li_u(nxt, buf1);
 
     // Prologue: generate block 0.
-    emit_copift_gen_block(&mut b, rng, block, cur, "gen0");
+    emit_copift_gen_block(&mut b, rng, block, cur, "prologue");
 
     // Steady loop: iteration j consumes block j-1 and generates block j.
     let outer = x(4);
     b.li(outer, (nb - 1) as i32);
+    // `body`/`spill`/`reduce` (with `prologue` above) are the standard
+    // COPIFT region labels the profiler's region map resolves.
+    b.label("body");
     b.label("outer");
     b.scfgwi(cur, 0, SsrCfgWord::Base); // arms SSR0; stalls on prior stream
     b.frep_o(rep, body_len(integrand), 0, 0);
     let emitted = emit_copift_fp_body(&mut b, integrand);
     debug_assert_eq!(emitted, body_len(integrand));
-    emit_copift_gen_block(&mut b, rng, block, nxt, "gen_loop");
+    emit_copift_gen_block(&mut b, rng, block, nxt, "spill");
     // Swap buffers.
     b.mv(x(31), cur);
     b.mv(cur, nxt);
     b.mv(nxt, x(31));
     b.addi(outer, outer, -1);
     b.bnez(outer, "outer");
+    b.label("reduce");
 
     // Epilogue: consume the final block, reduce, store.
     b.scfgwi(cur, 0, SsrCfgWord::Base);
@@ -619,22 +623,26 @@ pub fn copift_par(integrand: Integrand, rng: Rng, n: usize, block: usize, cores:
     b.li(rep, (block / BATCH_POINTS - 1) as i32);
 
     // Prologue: generate block 0.
-    emit_copift_gen_block(&mut b, rng, block, cur, "gen0");
+    emit_copift_gen_block(&mut b, rng, block, cur, "prologue");
 
     // Steady loop: iteration j consumes block j-1 and generates block j.
     let outer = x(4);
     b.li(outer, (nb - 1) as i32);
+    // `body`/`spill`/`reduce` (with `prologue` above) are the standard
+    // COPIFT region labels the profiler's region map resolves.
+    b.label("body");
     b.label("outer");
     b.scfgwi(cur, 0, SsrCfgWord::Base);
     b.frep_o(rep, body_len(integrand), 0, 0);
     let emitted = emit_copift_fp_body(&mut b, integrand);
     debug_assert_eq!(emitted, body_len(integrand));
-    emit_copift_gen_block(&mut b, rng, block, nxt, "gen_loop");
+    emit_copift_gen_block(&mut b, rng, block, nxt, "spill");
     b.mv(x(31), cur);
     b.mv(cur, nxt);
     b.mv(nxt, x(31));
     b.addi(outer, outer, -1);
     b.bnez(outer, "outer");
+    b.label("reduce");
 
     // Epilogue: consume the final block, reduce to this hart's partial.
     b.scfgwi(cur, 0, SsrCfgWord::Base);

@@ -1,0 +1,70 @@
+//! Annotated-disassembly sink: the program listing with per-instruction
+//! cycle and stall columns.
+//!
+//! ```text
+//!   address       core  issue  stall cause            frep  instruction
+//! body:
+//!   0x80000040   12850  12850      0 -               12850  fmadd.d ft0, ft1, ft2, ft0
+//! ```
+
+use std::fmt::Write as _;
+
+use snitch_asm::{layout, Program};
+use snitch_trace::Lane;
+
+use crate::profiler::Profiler;
+
+/// Renders the annotated listing. Byte-stable: one line per instruction in
+/// address order, labels interleaved at their span starts.
+#[must_use]
+pub fn render(profile: &Profiler, program: &Program) -> String {
+    let mut out = String::with_capacity(program.text().len() * 80 + 64);
+    out.push_str("  address       core  issue  stall cause            frep  instruction\n");
+    for (idx, inst) in program.text().iter().enumerate() {
+        let pc = layout::TEXT_BASE + (idx as u32) * 4;
+        for l in program.labels().iter().filter(|l| l.start == pc) {
+            let _ = writeln!(out, "{}:", l.name);
+        }
+        let issued = profile.issued_at(idx, Lane::Int) + profile.issued_at(idx, Lane::FpCore);
+        let core = profile.core_cycles_at(idx);
+        let cause = profile
+            .dominant_stall_at(idx)
+            .map_or_else(|| "-".to_string(), |(c, _)| c.name().to_string());
+        let _ = writeln!(
+            out,
+            "  {pc:#010x} {core:>7} {issued:>6} {:>6} {cause:<14} {:>6}  {inst}",
+            core - issued,
+            profile.seq_cycles_at(idx),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snitch_asm::ProgramBuilder;
+    use snitch_trace::StallCause;
+
+    #[test]
+    fn listing_carries_labels_cycles_and_causes() {
+        let mut b = ProgramBuilder::new();
+        b.label("body");
+        b.nop();
+        b.ecall();
+        let program = b.build().unwrap();
+        let mut p = Profiler::new();
+        p.size(1, 2);
+        p.issue(0, layout::TEXT_BASE, Lane::Int);
+        p.stall(0, layout::TEXT_BASE, StallCause::TcdmConflict, 4);
+        let text = render(&p, &program);
+        assert!(text.contains("body:"));
+        assert!(text.contains("tcdm_conflict"));
+        assert!(text.contains("ecall"));
+        let nop_line = text.lines().find(|l| l.contains("0x80000000")).unwrap();
+        assert!(nop_line.contains(" 5 "), "core cycles column: 1 issue + 4 stalls: {nop_line}");
+        // Unprofiled instructions render with zero columns and no cause.
+        let ecall_line = text.lines().find(|l| l.ends_with("ecall")).unwrap();
+        assert!(ecall_line.contains(" - "), "{ecall_line}");
+    }
+}

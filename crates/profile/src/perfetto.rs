@@ -1,0 +1,76 @@
+//! Perfetto sink: the cycle histogram as counter tracks over the *pc axis*.
+//!
+//! Built on the shared [`snitch_trace::chrome::Doc`] builder, so the
+//! document framing is identical to every other trace sink in the
+//! workspace and `snitch_trace::chrome::validate` accepts it. The time
+//! axis is the instruction index (one "µs" per instruction); each hart is
+//! a process carrying three counter series — `core_cycles`, `frep_cycles`
+//! and `stall_cycles` — and region starts render as instant markers, so
+//! scrubbing along the axis reads as walking the disassembly.
+
+use snitch_asm::layout;
+use snitch_trace::chrome::Doc;
+use snitch_trace::{Lane, StallCause};
+
+use crate::profiler::Profiler;
+use crate::region::RegionMap;
+
+/// Renders the profile as a Chrome trace-event JSON document.
+#[must_use]
+pub fn render(profile: &Profiler, map: &RegionMap) -> String {
+    let mut doc = Doc::with_capacity(profile.text_len() * 96 + 256);
+    for hart in 0..profile.harts() {
+        let pid = hart as u32;
+        doc.process_name(pid, &format!("hart{hart}"));
+        doc.thread_name(pid, 0, "regions");
+    }
+    for span in map.spans() {
+        let ts = u64::from((span.start - layout::TEXT_BASE) / 4);
+        for hart in 0..profile.harts() {
+            doc.instant(hart as u32, 0, ts, &span.name);
+        }
+    }
+    for idx in 0..profile.text_len() {
+        // Aggregate across harts per pc (per-hart splits stay queryable on
+        // the profiler itself; the tracks answer "where do cycles go").
+        let core = profile.core_cycles_at(idx);
+        let seq = profile.issued_at(idx, Lane::FpSeq);
+        let stalled: u64 = StallCause::all().iter().map(|&c| profile.stall_at(idx, c)).sum();
+        if core + seq + stalled == 0 {
+            continue;
+        }
+        let ts = idx as u64;
+        doc.counter(0, ts, "core_cycles", "cycles", core);
+        doc.counter(0, ts, "frep_cycles", "cycles", seq);
+        doc.counter(0, ts, "stall_cycles", "cycles", stalled);
+    }
+    doc.finish("pc-index")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snitch_asm::ProgramBuilder;
+    use snitch_trace::chrome;
+
+    #[test]
+    fn rendered_document_validates() {
+        let mut b = ProgramBuilder::new();
+        b.label("body");
+        b.nop();
+        b.nop();
+        let map = RegionMap::new(&b.build().unwrap());
+        let mut p = Profiler::new();
+        p.size(2, 2);
+        p.issue(0, layout::TEXT_BASE, Lane::Int);
+        p.issue(1, layout::TEXT_BASE, Lane::FpSeq);
+        p.stall(0, layout::TEXT_BASE + 4, StallCause::Fence, 3);
+        let json = render(&p, &map);
+        let summary = chrome::validate(&json).expect("profile document must validate");
+        assert_eq!(summary.counters, 6, "three series per charged pc");
+        assert_eq!(summary.instants, 2, "one region marker per hart");
+        assert_eq!(summary.metadata, 4, "process + thread name per hart");
+        assert!(json.contains("\"name\":\"body\""));
+        assert!(json.contains("\"timeUnit\":\"pc-index\""));
+    }
+}

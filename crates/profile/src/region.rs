@@ -1,0 +1,98 @@
+//! Resolving program counters to named program regions.
+//!
+//! A region is a `ProgramBuilder` label span ([`Program::labels`]): the
+//! COPIFT code generator places the standard `prologue`/`spill`/`body`/
+//! `reduce` labels on every generated program, and hand-written kernels get
+//! whatever labels they placed. Instructions before the first label map to
+//! the synthetic region `_entry`.
+
+use snitch_asm::program::LabelSpan;
+use snitch_asm::Program;
+
+/// Region before the first label (or for a program with no labels at all).
+pub const ENTRY_REGION: &str = "_entry";
+
+/// Sorted pc-to-region lookup over a program's label spans.
+///
+/// Where several labels share an address, the first in `(address, name)`
+/// order names the region — deterministic, so every sink built on the map
+/// is byte-stable.
+#[derive(Clone, Debug)]
+pub struct RegionMap {
+    spans: Vec<LabelSpan>,
+}
+
+impl RegionMap {
+    /// Builds the map from a program's resolved labels.
+    #[must_use]
+    pub fn new(program: &Program) -> Self {
+        // Program::labels is ordered by (start, name); keep one span per
+        // distinct start address.
+        let mut spans: Vec<LabelSpan> = Vec::new();
+        for l in program.labels() {
+            if spans.last().is_none_or(|prev| prev.start != l.start) && l.start != l.end {
+                spans.push(l.clone());
+            }
+        }
+        RegionMap { spans }
+    }
+
+    /// The regions in address order (one per distinct span).
+    #[must_use]
+    pub fn spans(&self) -> &[LabelSpan] {
+        &self.spans
+    }
+
+    /// The region name covering `pc` ([`ENTRY_REGION`] before the first
+    /// label).
+    #[must_use]
+    pub fn region_of(&self, pc: u32) -> &str {
+        let i = self.spans.partition_point(|s| s.start <= pc);
+        match i.checked_sub(1).map(|i| &self.spans[i]) {
+            Some(span) if span.contains(pc) => &span.name,
+            _ => ENTRY_REGION,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snitch_asm::{layout, ProgramBuilder};
+    use snitch_riscv::reg::IntReg;
+
+    fn program() -> Program {
+        let mut b = ProgramBuilder::new();
+        b.li(IntReg::A0, 1); // before any label
+        b.label("prologue");
+        b.nop();
+        b.nop();
+        b.label("body");
+        b.nop();
+        b.label("reduce");
+        b.ecall();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn pcs_resolve_to_their_regions() {
+        let map = RegionMap::new(&program());
+        let base = layout::TEXT_BASE;
+        assert_eq!(map.region_of(base), ENTRY_REGION);
+        assert_eq!(map.region_of(base + 4), "prologue");
+        assert_eq!(map.region_of(base + 8), "prologue");
+        assert_eq!(map.region_of(base + 12), "body");
+        assert_eq!(map.region_of(base + 16), "reduce");
+        assert_eq!(map.region_of(base + 20), ENTRY_REGION, "past the text");
+        assert_eq!(map.spans().len(), 3);
+    }
+
+    #[test]
+    fn unlabeled_program_maps_everything_to_entry() {
+        let mut b = ProgramBuilder::new();
+        b.ecall();
+        let map = RegionMap::new(&b.build().unwrap());
+        assert_eq!(map.region_of(layout::TEXT_BASE), ENTRY_REGION);
+        assert!(map.spans().is_empty());
+    }
+}

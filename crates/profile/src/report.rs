@@ -1,0 +1,179 @@
+//! Analyzers over a finished [`Profiler`]: hot pcs and per-region
+//! breakdowns.
+
+use snitch_asm::layout;
+use snitch_trace::{Lane, StallCause};
+
+use crate::profiler::{cause_index, Profiler, NUM_CAUSES};
+use crate::region::RegionMap;
+
+/// One pc's aggregate charges (summed over harts).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PcReport {
+    /// Instruction address.
+    pub pc: u32,
+    /// Core-dimension cycles (issues + core-cause stalls).
+    pub core_cycles: u64,
+    /// Core-slot issues (integer + FP offload pushes).
+    pub issued: u64,
+    /// Core-cause stall cycles.
+    pub stalled: u64,
+    /// Sequencer-dimension cycles (FREP replays + FPU-side stalls).
+    pub seq_cycles: u64,
+}
+
+/// The `n` hottest pcs by core-dimension cycles (ties break toward lower
+/// addresses, so the order is deterministic).
+#[must_use]
+pub fn hot_pcs(profile: &Profiler, n: usize) -> Vec<PcReport> {
+    let mut all: Vec<PcReport> = (0..profile.text_len())
+        .map(|idx| {
+            let issued = profile.issued_at(idx, Lane::Int) + profile.issued_at(idx, Lane::FpCore);
+            let core_cycles = profile.core_cycles_at(idx);
+            PcReport {
+                pc: layout::TEXT_BASE + (idx as u32) * 4,
+                core_cycles,
+                issued,
+                stalled: core_cycles - issued,
+                seq_cycles: profile.seq_cycles_at(idx),
+            }
+        })
+        .filter(|r| r.core_cycles + r.seq_cycles > 0)
+        .collect();
+    all.sort_by_key(|r| (std::cmp::Reverse(r.core_cycles + r.seq_cycles), r.pc));
+    all.truncate(n);
+    all
+}
+
+/// One region's aggregate charges (summed over harts and pcs).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RegionReport {
+    /// Region (label) name.
+    pub name: String,
+    /// First covered address.
+    pub start: u32,
+    /// One past the last covered address.
+    pub end: u32,
+    /// Core-dimension cycles.
+    pub core_cycles: u64,
+    /// Core-slot issues.
+    pub issued: u64,
+    /// Sequencer-dimension cycles.
+    pub seq_cycles: u64,
+    /// Stall cycles per cause, in [`StallCause::all`] order.
+    pub stalls: [u64; NUM_CAUSES],
+}
+
+impl RegionReport {
+    /// Stall cycles of one cause.
+    #[must_use]
+    pub fn stall(&self, cause: StallCause) -> u64 {
+        self.stalls[cause_index(cause)]
+    }
+
+    /// The dominant stall cause, if any cycles stalled in the region.
+    #[must_use]
+    pub fn dominant_stall(&self) -> Option<(StallCause, u64)> {
+        StallCause::all()
+            .into_iter()
+            .map(|c| (c, self.stall(c)))
+            .filter(|&(_, n)| n > 0)
+            .max_by_key(|&(_, n)| n)
+    }
+}
+
+/// Per-region breakdown in address order. Pcs before the first label
+/// aggregate under [`crate::region::ENTRY_REGION`] (emitted first when it
+/// has charges).
+#[must_use]
+pub fn regions(profile: &Profiler, map: &RegionMap) -> Vec<RegionReport> {
+    let mut entry = RegionReport {
+        name: crate::region::ENTRY_REGION.to_string(),
+        start: layout::TEXT_BASE,
+        end: layout::TEXT_BASE,
+        core_cycles: 0,
+        issued: 0,
+        seq_cycles: 0,
+        stalls: [0; NUM_CAUSES],
+    };
+    let mut out: Vec<RegionReport> = map
+        .spans()
+        .iter()
+        .map(|s| RegionReport {
+            name: s.name.clone(),
+            start: s.start,
+            end: s.end,
+            core_cycles: 0,
+            issued: 0,
+            seq_cycles: 0,
+            stalls: [0; NUM_CAUSES],
+        })
+        .collect();
+    for idx in 0..profile.text_len() {
+        let pc = layout::TEXT_BASE + (idx as u32) * 4;
+        let name = map.region_of(pc);
+        let slot = out
+            .iter_mut()
+            .find(|r| r.name == name && r.start <= pc && pc < r.end)
+            .unwrap_or(&mut entry);
+        slot.core_cycles += profile.core_cycles_at(idx);
+        slot.issued += profile.issued_at(idx, Lane::Int) + profile.issued_at(idx, Lane::FpCore);
+        slot.seq_cycles += profile.seq_cycles_at(idx);
+        for cause in StallCause::all() {
+            slot.stalls[cause_index(cause)] += profile.stall_at(idx, cause);
+        }
+    }
+    if entry.core_cycles + entry.seq_cycles > 0 {
+        out.insert(0, entry);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snitch_asm::ProgramBuilder;
+
+    fn profile_and_map() -> (Profiler, RegionMap) {
+        let mut b = ProgramBuilder::new();
+        b.nop(); // _entry
+        b.label("body");
+        b.nop();
+        b.nop();
+        let map = RegionMap::new(&b.build().unwrap());
+        let mut p = Profiler::new();
+        p.size(1, 3);
+        let base = layout::TEXT_BASE;
+        p.issue(0, base, Lane::Int);
+        p.issue(0, base + 4, Lane::FpCore);
+        p.stall(0, base + 4, StallCause::FpuRaw, 2);
+        p.stall(0, base + 8, StallCause::TcdmConflict, 5);
+        (p, map)
+    }
+
+    #[test]
+    fn hot_pcs_rank_by_total_cycles() {
+        let (p, _) = profile_and_map();
+        let hot = hot_pcs(&p, 2);
+        assert_eq!(hot.len(), 2);
+        assert_eq!(hot[0].pc, layout::TEXT_BASE + 8);
+        assert_eq!(hot[0].core_cycles, 5);
+        assert_eq!(hot[0].stalled, 5);
+        assert_eq!(hot[1].pc, layout::TEXT_BASE + 4);
+        assert_eq!((hot[1].issued, hot[1].seq_cycles), (1, 2));
+    }
+
+    #[test]
+    fn regions_aggregate_by_label_span() {
+        let (p, map) = profile_and_map();
+        let regs = regions(&p, &map);
+        assert_eq!(regs.len(), 2);
+        assert_eq!(regs[0].name, crate::region::ENTRY_REGION);
+        assert_eq!(regs[0].core_cycles, 1);
+        assert_eq!(regs[1].name, "body");
+        assert_eq!(regs[1].core_cycles, 6, "one fp-core issue + five conflict cycles");
+        assert_eq!(regs[1].seq_cycles, 2);
+        assert_eq!(regs[1].dominant_stall(), Some((StallCause::TcdmConflict, 5)));
+        assert_eq!(regs[1].stall(StallCause::FpuRaw), 2);
+    }
+}

@@ -1,6 +1,7 @@
 //! The cluster top level: wiring, the cycle loop and the public run API.
 
 use snitch_asm::program::Program;
+use snitch_profile::Profiler;
 use snitch_riscv::reg::{FpReg, IntReg};
 use snitch_trace::{EventKind, TraceEvent, Tracer, CLUSTER_HART};
 
@@ -129,6 +130,11 @@ pub struct Cluster {
     /// [`attach_tracer`](Self::attach_tracer)). `None` is the hot path:
     /// every emission site is a single branch and constructs nothing.
     tracer: Option<Tracer>,
+    /// Cycle-profile collector, attached when `cfg.profile` is set (or
+    /// explicitly via [`attach_profiler`](Self::attach_profiler)). Unlike
+    /// the tracer it stays engaged on the block-burst fast path — charges
+    /// are O(1) array increments, not event records.
+    profiler: Option<Profiler>,
 }
 
 impl Cluster {
@@ -144,6 +150,7 @@ impl Cluster {
         let dma = Dma::new(cfg.dma_bytes_per_cycle);
         let arb = TcdmArbiter::new(cfg.tcdm_banks);
         let tracer = cfg.trace.then(Tracer::new);
+        let profiler = cfg.profile.then(Profiler::new);
         Cluster {
             cfg,
             text: Vec::new(),
@@ -163,6 +170,7 @@ impl Cluster {
             block_replayed_cycles: 0,
             blocks: BlockCache::default(),
             tracer,
+            profiler,
         }
     }
 
@@ -183,6 +191,9 @@ impl Cluster {
         }
         self.halted_count = halted;
         self.barrier_waiting_count = 0;
+        if let Some(p) = &mut self.profiler {
+            p.size(self.units.len(), self.text.len());
+        }
     }
 
     /// Restores the cluster to its just-constructed state while reusing
@@ -222,6 +233,7 @@ impl Cluster {
         self.block_replayed_cycles = 0;
         self.blocks.clear();
         self.tracer = self.cfg.trace.then(Tracer::new);
+        self.profiler = self.cfg.profile.then(Profiler::new);
     }
 
     /// The configuration this cluster was built with.
@@ -282,6 +294,31 @@ impl Cluster {
     /// Detaches the tracer (if any) and returns it with its events.
     pub fn take_tracer(&mut self) -> Option<Tracer> {
         self.tracer.take()
+    }
+
+    /// Attaches a cycle-profile collector (replacing any existing one). A
+    /// cluster built from a [`ClusterConfig`] with `profile` set already
+    /// carries a recording profiler; this entry point exists for
+    /// instrumentation that needs explicit control (e.g. attaching a
+    /// [`Profiler::paused`] collector to measure the disabled hook's
+    /// overhead). Attach *before* [`load_program`](Self::load_program),
+    /// which sizes the histograms to the text section.
+    ///
+    /// Note that [`reset`](Self::reset) restores the config-driven state:
+    /// a fresh profiler when `cfg.profile` is set, none otherwise.
+    pub fn attach_profiler(&mut self, profiler: Profiler) {
+        self.profiler = Some(profiler);
+    }
+
+    /// The cycle profile collected so far, if a profiler is attached.
+    #[must_use]
+    pub fn profile(&self) -> Option<&Profiler> {
+        self.profiler.as_ref()
+    }
+
+    /// Detaches the profiler (if any) and returns it with its histograms.
+    pub fn take_profiler(&mut self) -> Option<Profiler> {
+        self.profiler.take()
     }
 
     /// Reads an integer register of hart 0.
@@ -392,7 +429,9 @@ impl Cluster {
 
         // Destructured so the per-unit loop can borrow the shared units and
         // the tracer alongside `self.units` without aliasing `self`.
-        let Cluster { cfg, text, units, dma, mem, arb, tracer, tcdm_dma_accesses, .. } = self;
+        let Cluster {
+            cfg, text, units, dma, mem, arb, tracer, profiler, tcdm_dma_accesses, ..
+        } = self;
 
         for unit in units.iter_mut() {
             let CoreUnit { core, fpss, ssrs, l0, stats } = unit;
@@ -414,7 +453,7 @@ impl Cluster {
             fpss.drain_int_writebacks(now, |wb| core.apply_writeback(wb.rd, wb.value, now));
 
             let core_result =
-                core.step(now, cfg, text, l0, mem, arb, fpss, ssrs, dma, stats, tracer);
+                core.step(now, cfg, text, l0, mem, arb, fpss, ssrs, dma, stats, tracer, profiler);
             // Halt/barrier transitions happen only inside `core.step`;
             // commit them even when this or a later unit faults, so
             // `halted()` can never go stale on an aborted cycle.
@@ -430,7 +469,7 @@ impl Cluster {
             }
 
             let hart = core.hart_id() as u8;
-            if let Err(e) = fpss.step(now, hart, cfg, mem, arb, ssrs, stats, tracer) {
+            if let Err(e) = fpss.step(now, hart, cfg, mem, arb, ssrs, stats, tracer, profiler) {
                 fault = Some(e);
                 break;
             }
@@ -650,7 +689,18 @@ impl Cluster {
         let mut new_halts = 0usize;
         let mut fault = None;
         {
-            let Cluster { cfg, text, units, dma, mem, arb, tcdm_dma_accesses, blocks, .. } = self;
+            let Cluster {
+                cfg,
+                text,
+                units,
+                dma,
+                mem,
+                arb,
+                tcdm_dma_accesses,
+                blocks,
+                profiler,
+                ..
+            } = self;
             let CoreUnit { core, fpss, ssrs, l0, stats } = &mut units[hart];
             let hart_u8 = core.hart_id() as u8;
             let mut no_tracer: Option<Tracer> = None;
@@ -695,6 +745,9 @@ impl Cluster {
                             .is_some_and(|b| matches!(b.op, crate::block::BlockOp::FenceWait))
                     {
                         stats.add_stall(snitch_trace::StallCause::Fence, 1);
+                        if let Some(p) = profiler {
+                            p.stall(hart, core.pc(), snitch_trace::StallCause::Fence, 1);
+                        }
                     } else {
                         let r = core.step_block(
                             now,
@@ -708,6 +761,7 @@ impl Cluster {
                             ssrs,
                             dma,
                             stats,
+                            profiler,
                         );
                         if core.halted() {
                             new_halts += 1;
@@ -726,9 +780,17 @@ impl Cluster {
                 // Re-checked after the issue: a just-offloaded op must step
                 // this cycle. When still idle, `step` is a pure no-op.
                 if !fpss.idle_now() {
-                    if let Err(e) =
-                        fpss.step(now, hart_u8, cfg, mem, arb, ssrs, stats, &mut no_tracer)
-                    {
+                    if let Err(e) = fpss.step(
+                        now,
+                        hart_u8,
+                        cfg,
+                        mem,
+                        arb,
+                        ssrs,
+                        stats,
+                        &mut no_tracer,
+                        profiler,
+                    ) {
                         fault = Some(e);
                         break;
                     }
@@ -1364,6 +1426,64 @@ mod tests {
         // Reset restores a fresh, empty tracer (config-driven).
         traced.reset();
         assert_eq!(traced.trace_events(), Some(&[][..]));
+    }
+
+    #[test]
+    fn profiled_run_mirrors_stats_and_perturbs_nothing() {
+        use snitch_riscv::csr::SsrCfgWord;
+        use snitch_trace::{Lane, StallCause};
+        // Both lanes, SSR streaming, FREP replay, branches and fences — every
+        // charge path the profiler hooks.
+        let mut b = ProgramBuilder::new();
+        let xs = b.tcdm_f64("xs", &[1.0, 2.0, 3.0, 4.0]);
+        b.li(IntReg::T1, 3);
+        b.scfgwi(IntReg::T1, 0, SsrCfgWord::Bound(0));
+        b.li(IntReg::T1, 8);
+        b.scfgwi(IntReg::T1, 0, SsrCfgWord::Stride(0));
+        b.li(IntReg::T1, 0);
+        b.scfgwi(IntReg::T1, 0, SsrCfgWord::Status);
+        b.scfgwi(IntReg::T1, 0, SsrCfgWord::Repeat);
+        b.li_u(IntReg::T1, xs);
+        b.scfgwi(IntReg::T1, 0, SsrCfgWord::Base);
+        b.ssr_enable();
+        b.li(IntReg::T0, 3);
+        b.frep_o(IntReg::T0, 1, 0, 0);
+        b.fadd_d(FpReg::FS0, FpReg::FS0, FpReg::FT0);
+        b.li(IntReg::A1, 8);
+        b.label("l");
+        b.addi(IntReg::A1, IntReg::A1, -1);
+        b.bnez(IntReg::A1, "l");
+        b.fpu_fence();
+        b.ssr_disable();
+        b.ecall();
+        let p = b.build().unwrap();
+
+        let mut plain = Cluster::new(ClusterConfig::default());
+        plain.load_program(&p);
+        let unprofiled = plain.run().unwrap();
+        assert!(plain.profile().is_none(), "profiling is off by default");
+
+        let mut profiled = Cluster::new(ClusterConfig::profiled());
+        profiled.load_program(&p);
+        let stats = profiled.run().unwrap();
+        assert_eq!(stats, unprofiled, "profiling must not perturb the simulation");
+        assert!(
+            profiled.block_replayed_cycles() > 0,
+            "the profiler must not disengage the block-burst fast path"
+        );
+
+        let profile = profiled.profile().expect("cfg.profile attaches a profiler");
+        // Issue histograms mirror the issue counters lane for lane...
+        assert_eq!(profile.issued_total(Lane::Int), stats.int_issued);
+        assert_eq!(profile.issued_total(Lane::FpCore), stats.fp_issued_core);
+        assert_eq!(profile.issued_total(Lane::FpSeq), stats.fp_issued_seq);
+        // ...and the stall histograms every stall counter, cause for cause.
+        for cause in StallCause::all() {
+            assert_eq!(profile.stall_total(cause), stats.stall_by_cause(cause), "{cause}");
+        }
+        // Reset restores a fresh, empty profiler (config-driven).
+        profiled.reset();
+        assert_eq!(profiled.profile().map(snitch_profile::Profiler::core_cycles_total), Some(0));
     }
 
     #[test]

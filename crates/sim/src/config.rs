@@ -73,6 +73,9 @@ pub struct ClusterConfig {
     pub max_cycles: u64,
     /// Record a full instruction trace (costly; for debugging).
     pub trace: bool,
+    /// Collect a per-pc cycle/stall profile (cheap; stays on the block-burst
+    /// fast path).
+    pub profile: bool,
 }
 
 impl Default for ClusterConfig {
@@ -98,6 +101,7 @@ impl Default for ClusterConfig {
             dma_bytes_per_cycle: 8,
             max_cycles: 200_000_000,
             trace: false,
+            profile: false,
         }
     }
 }
@@ -109,11 +113,17 @@ impl ClusterConfig {
         ClusterConfig { trace: true, ..ClusterConfig::default() }
     }
 
+    /// Configuration with cycle profiling enabled.
+    #[must_use]
+    pub fn profiled() -> Self {
+        ClusterConfig { profile: true, ..ClusterConfig::default() }
+    }
+
     /// Canonical textual form of every timing-relevant parameter, used as
     /// the cache/sweep identity of a configuration. Two configs with equal
-    /// `canonical()` produce identical simulations; `trace` and `max_cycles`
-    /// are excluded because they do not change architectural behavior (a
-    /// watchdog abort is an error, not a result).
+    /// `canonical()` produce identical simulations; `trace`, `profile` and
+    /// `max_cycles` are excluded because they do not change architectural
+    /// behavior (a watchdog abort is an error, not a result).
     #[must_use]
     pub fn canonical(&self) -> String {
         format!(
@@ -167,6 +177,7 @@ mod tests {
         assert_eq!(c.int_wb_ports, 1);
         assert_eq!(c.mul_latency, 2);
         assert!(!c.trace);
+        assert!(!c.profile);
     }
 
     #[test]
@@ -176,6 +187,7 @@ mod tests {
         // Harness knobs do not change the identity...
         let traced = ClusterConfig { trace: true, max_cycles: 1, ..ClusterConfig::default() };
         assert_eq!(base.fingerprint(), traced.fingerprint());
+        assert_eq!(base.fingerprint(), ClusterConfig::profiled().fingerprint());
         // ...but every timing knob does.
         let variants = [
             ClusterConfig { cores: 8, ..ClusterConfig::default() },

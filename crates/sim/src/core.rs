@@ -14,6 +14,7 @@
 //! * `scfgwi` to a busy streamer stalls until the stream completes, and the
 //!   FPU-fence CSR stalls until the FP subsystem and streamers drain.
 
+use snitch_profile::Profiler;
 use snitch_riscv::csr::{
     SsrCfgWord, CSR_BARRIER, CSR_FPU_FENCE, CSR_MCYCLE, CSR_MHARTID, CSR_MINSTRET, CSR_SSR,
 };
@@ -225,18 +226,27 @@ impl IntCore {
     /// attribution can never drift from the counters). `now` is the first
     /// *lost* cycle: the current cycle for a failed issue attempt, the next
     /// cycle for a taken branch's refill window (the branch itself issues).
+    /// `pc` is the instruction the cycles are charged to — the current pc
+    /// everywhere except the taken-branch arms, which capture the branch pc
+    /// before redirecting.
+    #[allow(clippy::too_many_arguments)]
     fn stall(
         &self,
         now: u64,
+        pc: u32,
         cause: StallCause,
         cycles: u32,
         stats: &mut Stats,
         tracer: &mut Option<Tracer>,
+        profiler: &mut Option<Profiler>,
     ) {
         if cycles == 0 {
             return;
         }
         stats.add_stall(cause, u64::from(cycles));
+        if let Some(p) = profiler {
+            p.stall(self.hart_id as usize, pc, cause, u64::from(cycles));
+        }
         trace_event!(tracer, now, self.hart_id as u8, EventKind::Stall { cause, cycles });
     }
 
@@ -256,6 +266,7 @@ impl IntCore {
         dma: &mut Dma,
         stats: &mut Stats,
         tracer: &mut Option<Tracer>,
+        profiler: &mut Option<Profiler>,
     ) -> Result<(), SimFault> {
         if self.halted {
             return Ok(());
@@ -276,7 +287,7 @@ impl IntCore {
             if r > now {
                 let cause =
                     if r == PENDING_FP { StallCause::FpPending } else { StallCause::IntRaw };
-                self.stall(now, cause, 1, stats, tracer);
+                self.stall(now, self.pc, cause, 1, stats, tracer, profiler);
                 return Ok(());
             }
         }
@@ -285,7 +296,7 @@ impl IntCore {
             if r > now {
                 let cause =
                     if r == PENDING_FP { StallCause::FpPending } else { StallCause::IntRaw };
-                self.stall(now, cause, 1, stats, tracer);
+                self.stall(now, self.pc, cause, 1, stats, tracer, profiler);
                 return Ok(());
             }
         }
@@ -293,7 +304,7 @@ impl IntCore {
         // ---- FP-domain offload (incl. FREP markers) ----
         if d.inst.is_fp() || d.inst.is_frep() {
             if !fpss.can_accept() {
-                self.stall(now, StallCause::OffloadFull, 1, stats, tracer);
+                self.stall(now, self.pc, StallCause::OffloadFull, 1, stats, tracer, profiler);
                 return Ok(());
             }
             let int_val = match d.inst {
@@ -316,8 +327,8 @@ impl IntCore {
                     self.ready_at[rd.index() as usize] = PENDING_FP;
                 }
             }
-            fpss.offload(OffloadEntry::new(d.inst, int_val));
-            self.fetched(now, d.inst, l0, stats, tracer);
+            fpss.offload(OffloadEntry::at(d.inst, int_val, self.pc));
+            self.fetched(now, d.inst, l0, stats, tracer, profiler);
             if d.inst.is_frep() {
                 stats.int_issued += 1;
             } else {
@@ -330,19 +341,21 @@ impl IntCore {
         // ---- integer-side execution ----
         match d.inst {
             Inst::Lui { rd, imm } => {
-                if !self.issue_alu_like(now, cfg, l0, d.inst, rd, imm as u32, 1, stats, tracer) {
+                if !self.issue_alu_like(
+                    now, cfg, l0, d.inst, rd, imm as u32, 1, stats, tracer, profiler,
+                ) {
                     return Ok(());
                 }
             }
             Inst::Auipc { rd, imm } => {
                 let v = self.pc.wrapping_add(imm as u32);
-                if !self.issue_alu_like(now, cfg, l0, d.inst, rd, v, 1, stats, tracer) {
+                if !self.issue_alu_like(now, cfg, l0, d.inst, rd, v, 1, stats, tracer, profiler) {
                     return Ok(());
                 }
             }
             Inst::OpImm { op, rd, rs1, imm } => {
                 let v = op.eval(self.regs[rs1.index() as usize], imm);
-                if !self.issue_alu_like(now, cfg, l0, d.inst, rd, v, 1, stats, tracer) {
+                if !self.issue_alu_like(now, cfg, l0, d.inst, rd, v, 1, stats, tracer, profiler) {
                     return Ok(());
                 }
             }
@@ -355,13 +368,13 @@ impl IntCore {
                     1
                 };
                 let v = op.eval(self.regs[rs1.index() as usize], self.regs[rs2.index() as usize]);
-                if !self.issue_alu_like(now, cfg, l0, d.inst, rd, v, lat, stats, tracer) {
+                if !self.issue_alu_like(now, cfg, l0, d.inst, rd, v, lat, stats, tracer, profiler) {
                     return Ok(());
                 }
             }
             Inst::Jal { rd, offset } => {
                 if !rd.is_zero() && !self.can_claim_wb(now + 1, cfg.int_wb_ports) {
-                    self.stall(now, StallCause::WbPort, 1, stats, tracer);
+                    self.stall(now, self.pc, StallCause::WbPort, 1, stats, tracer, profiler);
                     return Ok(());
                 }
                 let link = self.pc.wrapping_add(4);
@@ -369,16 +382,25 @@ impl IntCore {
                     self.claim_wb(now + 1);
                 }
                 self.write_reg(rd, link, now + 1);
-                self.fetched(now, d.inst, l0, stats, tracer);
+                self.fetched(now, d.inst, l0, stats, tracer, profiler);
                 stats.int_issued += 1;
+                let jump_pc = self.pc;
                 self.pc = self.pc.wrapping_add(offset as u32);
                 self.stall_until = now + 1 + u64::from(cfg.branch_penalty);
-                self.stall(now + 1, StallCause::Branch, cfg.branch_penalty, stats, tracer);
+                self.stall(
+                    now + 1,
+                    jump_pc,
+                    StallCause::Branch,
+                    cfg.branch_penalty,
+                    stats,
+                    tracer,
+                    profiler,
+                );
                 return Ok(());
             }
             Inst::Jalr { rd, rs1, offset } => {
                 if !rd.is_zero() && !self.can_claim_wb(now + 1, cfg.int_wb_ports) {
-                    self.stall(now, StallCause::WbPort, 1, stats, tracer);
+                    self.stall(now, self.pc, StallCause::WbPort, 1, stats, tracer, profiler);
                     return Ok(());
                 }
                 let target = self.regs[rs1.index() as usize].wrapping_add(offset as u32) & !1;
@@ -387,22 +409,40 @@ impl IntCore {
                     self.claim_wb(now + 1);
                 }
                 self.write_reg(rd, link, now + 1);
-                self.fetched(now, d.inst, l0, stats, tracer);
+                self.fetched(now, d.inst, l0, stats, tracer, profiler);
                 stats.int_issued += 1;
+                let jump_pc = self.pc;
                 self.pc = target;
                 self.stall_until = now + 1 + u64::from(cfg.branch_penalty);
-                self.stall(now + 1, StallCause::Branch, cfg.branch_penalty, stats, tracer);
+                self.stall(
+                    now + 1,
+                    jump_pc,
+                    StallCause::Branch,
+                    cfg.branch_penalty,
+                    stats,
+                    tracer,
+                    profiler,
+                );
                 return Ok(());
             }
             Inst::Branch { op, rs1, rs2, offset } => {
                 let taken =
                     op.taken(self.regs[rs1.index() as usize], self.regs[rs2.index() as usize]);
-                self.fetched(now, d.inst, l0, stats, tracer);
+                self.fetched(now, d.inst, l0, stats, tracer, profiler);
                 stats.int_issued += 1;
                 if taken {
+                    let branch_pc = self.pc;
                     self.pc = self.pc.wrapping_add(offset as u32);
                     self.stall_until = now + 1 + u64::from(cfg.branch_penalty);
-                    self.stall(now + 1, StallCause::Branch, cfg.branch_penalty, stats, tracer);
+                    self.stall(
+                        now + 1,
+                        branch_pc,
+                        StallCause::Branch,
+                        cfg.branch_penalty,
+                        stats,
+                        tracer,
+                        profiler,
+                    );
                 } else {
                     self.pc = self.pc.wrapping_add(4);
                 }
@@ -412,13 +452,21 @@ impl IntCore {
                 // Integer loads may not bypass queued FP stores (single-
                 // thread memory ordering; see Fpss::has_pending_stores).
                 if fpss.has_pending_stores() {
-                    self.stall(now, StallCause::StoreOrder, 1, stats, tracer);
+                    self.stall(now, self.pc, StallCause::StoreOrder, 1, stats, tracer, profiler);
                     return Ok(());
                 }
                 let addr = self.regs[rs1.index() as usize].wrapping_add(offset as u32);
                 let lat = if layout::is_tcdm(addr) {
                     if !arb.request(TcdmPort::CoreLsu(self.hart_id as u8), addr) {
-                        self.stall(now, StallCause::TcdmConflict, 1, stats, tracer);
+                        self.stall(
+                            now,
+                            self.pc,
+                            StallCause::TcdmConflict,
+                            1,
+                            stats,
+                            tracer,
+                            profiler,
+                        );
                         return Ok(());
                     }
                     stats.tcdm_core_accesses += 1;
@@ -434,14 +482,22 @@ impl IntCore {
                     _ => raw,
                 };
                 self.write_reg(rd, v, now + u64::from(lat));
-                self.fetched(now, d.inst, l0, stats, tracer);
+                self.fetched(now, d.inst, l0, stats, tracer, profiler);
                 stats.int_issued += 1;
             }
             Inst::Store { op, rs2, rs1, offset } => {
                 let addr = self.regs[rs1.index() as usize].wrapping_add(offset as u32);
                 if layout::is_tcdm(addr) {
                     if !arb.request(TcdmPort::CoreLsu(self.hart_id as u8), addr) {
-                        self.stall(now, StallCause::TcdmConflict, 1, stats, tracer);
+                        self.stall(
+                            now,
+                            self.pc,
+                            StallCause::TcdmConflict,
+                            1,
+                            stats,
+                            tracer,
+                            profiler,
+                        );
                         return Ok(());
                     }
                     stats.tcdm_core_accesses += 1;
@@ -450,23 +506,23 @@ impl IntCore {
                 }
                 mem.write(addr, op.size(), u64::from(self.regs[rs2.index() as usize]))
                     .map_err(SimFault::from)?;
-                self.fetched(now, d.inst, l0, stats, tracer);
+                self.fetched(now, d.inst, l0, stats, tracer, profiler);
                 stats.int_issued += 1;
             }
             Inst::Fence => {
-                self.fetched(now, d.inst, l0, stats, tracer);
+                self.fetched(now, d.inst, l0, stats, tracer, profiler);
                 stats.int_issued += 1;
             }
             Inst::Ecall | Inst::Ebreak => {
-                self.fetched(now, d.inst, l0, stats, tracer);
+                self.fetched(now, d.inst, l0, stats, tracer, profiler);
                 stats.int_issued += 1;
                 self.halted = true;
                 return Ok(());
             }
             Inst::Csr { op, rd, csr, src } => {
-                if !self
-                    .issue_csr(now, cfg, l0, d.inst, op, rd, csr, src, fpss, ssrs, stats, tracer)
-                {
+                if !self.issue_csr(
+                    now, cfg, l0, d.inst, op, rd, csr, src, fpss, ssrs, stats, tracer, profiler,
+                ) {
                     return Ok(());
                 }
             }
@@ -475,11 +531,11 @@ impl IntCore {
                     return Err(SimFault::new(format!("invalid ssr config address {addr:#x}")));
                 };
                 if ssrs[i].busy() {
-                    self.stall(now, StallCause::SsrCfg, 1, stats, tracer);
+                    self.stall(now, self.pc, StallCause::SsrCfg, 1, stats, tracer, profiler);
                     return Ok(());
                 }
                 ssrs[i].write_cfg(word, self.regs[value.index() as usize]);
-                self.fetched(now, d.inst, l0, stats, tracer);
+                self.fetched(now, d.inst, l0, stats, tracer, profiler);
                 stats.int_issued += 1;
             }
             Inst::Scfgri { rd, addr } => {
@@ -487,7 +543,7 @@ impl IntCore {
                     return Err(SimFault::new(format!("invalid ssr config address {addr:#x}")));
                 };
                 let v = ssrs[i].read_cfg(word);
-                if !self.issue_alu_like(now, cfg, l0, d.inst, rd, v, 1, stats, tracer) {
+                if !self.issue_alu_like(now, cfg, l0, d.inst, rd, v, 1, stats, tracer, profiler) {
                     return Ok(());
                 }
             }
@@ -501,7 +557,9 @@ impl IntCore {
                     DmaOp::Rep => dma.set_reps(a),
                     DmaOp::CpyI => {
                         let id = dma.start(a);
-                        if !self.issue_alu_like(now, cfg, l0, d.inst, rd, id, 1, stats, tracer) {
+                        if !self.issue_alu_like(
+                            now, cfg, l0, d.inst, rd, id, 1, stats, tracer, profiler,
+                        ) {
                             return Ok(());
                         }
                         self.pc = self.pc.wrapping_add(4);
@@ -509,14 +567,16 @@ impl IntCore {
                     }
                     DmaOp::StatI => {
                         let v = dma.outstanding();
-                        if !self.issue_alu_like(now, cfg, l0, d.inst, rd, v, 1, stats, tracer) {
+                        if !self
+                            .issue_alu_like(now, cfg, l0, d.inst, rd, v, 1, stats, tracer, profiler)
+                        {
                             return Ok(());
                         }
                         self.pc = self.pc.wrapping_add(4);
                         return Ok(());
                     }
                 }
-                self.fetched(now, d.inst, l0, stats, tracer);
+                self.fetched(now, d.inst, l0, stats, tracer, profiler);
                 stats.int_issued += 1;
             }
             other => {
@@ -542,23 +602,26 @@ impl IntCore {
         latency: u32,
         stats: &mut Stats,
         tracer: &mut Option<Tracer>,
+        profiler: &mut Option<Profiler>,
     ) -> bool {
         let wb_cycle = now + u64::from(latency);
         if !rd.is_zero() {
             if !self.can_claim_wb(wb_cycle, cfg.int_wb_ports) {
-                self.stall(now, StallCause::WbPort, 1, stats, tracer);
+                self.stall(now, self.pc, StallCause::WbPort, 1, stats, tracer, profiler);
                 return false;
             }
             self.claim_wb(wb_cycle);
         }
         self.write_reg(rd, value, wb_cycle);
-        self.fetched(now, inst, l0, stats, tracer);
+        self.fetched(now, inst, l0, stats, tracer, profiler);
         stats.int_issued += 1;
         true
     }
 
     /// Fetch-path accounting; called exactly once per issued instruction, so
-    /// it is also the single issue-event emission site for the core slot.
+    /// it is also the single issue-event emission site for the core slot —
+    /// and the profiler's core-lane charge point (`self.pc` still addresses
+    /// the issuing instruction here; the advance happens afterwards).
     fn fetched(
         &mut self,
         now: u64,
@@ -566,6 +629,7 @@ impl IntCore {
         l0: &mut L0Cache,
         stats: &mut Stats,
         tracer: &mut Option<Tracer>,
+        profiler: &mut Option<Profiler>,
     ) {
         if l0.fetch(self.pc) {
             stats.l0_hits += 1;
@@ -573,6 +637,9 @@ impl IntCore {
             stats.l0_misses += 1;
         }
         let lane = if inst.is_fp() { Lane::FpCore } else { Lane::Int };
+        if let Some(p) = profiler {
+            p.issue(self.hart_id as usize, self.pc, lane);
+        }
         trace_event!(
             tracer,
             now,
@@ -604,13 +671,14 @@ impl IntCore {
         ssrs: &mut [Ssr; 3],
         stats: &mut Stats,
         tracer: &mut Option<Tracer>,
+        profiler: &mut Option<Profiler>,
     ) -> bool {
         let old: u32 = match csr {
             CSR_SSR => u32::from(fpss.ssr_enabled()),
             CSR_FPU_FENCE => {
                 let drained = fpss.drained(now) && ssrs.iter().all(|s| !s.busy());
                 if !drained {
-                    self.stall(now, StallCause::Fence, 1, stats, tracer);
+                    self.stall(now, self.pc, StallCause::Fence, 1, stats, tracer, profiler);
                     return false;
                 }
                 0
@@ -628,7 +696,7 @@ impl IntCore {
                         trace_event!(tracer, now, self.hart_id as u8, EventKind::BarrierArrive);
                     }
                     self.barrier = BarrierState::Waiting;
-                    self.stall(now, StallCause::Barrier, 1, stats, tracer);
+                    self.stall(now, self.pc, StallCause::Barrier, 1, stats, tracer, profiler);
                     return false;
                 }
             },
@@ -662,7 +730,7 @@ impl IntCore {
             }
             // Other CSRs are read-only or scratch in this model.
         }
-        self.issue_alu_like(now, cfg, l0, inst, rd, old, 1, stats, tracer)
+        self.issue_alu_like(now, cfg, l0, inst, rd, old, 1, stats, tracer, profiler)
     }
 
     fn src_value(&self, op: CsrOp, src: u8) -> u32 {
@@ -697,6 +765,7 @@ impl IntCore {
         ssrs: &mut [Ssr; 3],
         dma: &mut Dma,
         stats: &mut Stats,
+        profiler: &mut Option<Profiler>,
     ) -> Result<(), SimFault> {
         use crate::block::{BlockOp, OffloadVal};
         debug_assert!(!self.halted && self.stall_until <= now);
@@ -709,7 +778,8 @@ impl IntCore {
         // keep their stateful semantics by delegating to the reference
         // stepper, which redoes its own housekeeping and hazard scan.
         if matches!(b.op, BlockOp::Generic | BlockOp::FenceWait) {
-            return self.step(now, cfg, text, l0, mem, arb, fpss, ssrs, dma, stats, &mut None);
+            return self
+                .step(now, cfg, text, l0, mem, arb, fpss, ssrs, dma, stats, &mut None, profiler);
         }
         self.wb_claims.retain(|&(c, _)| c >= now);
         // Operand scoreboard scan in the stepper's order: sources, then the
@@ -719,14 +789,14 @@ impl IntCore {
             if ready > now {
                 let cause =
                     if ready == PENDING_FP { StallCause::FpPending } else { StallCause::IntRaw };
-                stats.add_stall(cause, 1);
+                self.charge_stall_fast(cause, 1, stats, profiler);
                 return Ok(());
             }
         }
         match b.op {
             BlockOp::Offload { val, meta, is_frep, writes_int_rf } => {
                 if !fpss.can_accept() {
-                    stats.add_stall(StallCause::OffloadFull, 1);
+                    self.charge_stall_fast(StallCause::OffloadFull, 1, stats, profiler);
                     return Ok(());
                 }
                 let int_val = match val {
@@ -739,8 +809,9 @@ impl IntCore {
                 if writes_int_rf && b.dst != 0 {
                     self.ready_at[b.dst as usize] = PENDING_FP;
                 }
-                fpss.offload(OffloadEntry::with_meta(text[idx].inst, int_val, meta));
-                self.fetched_fast(l0, stats);
+                fpss.offload(OffloadEntry::with_meta(text[idx].inst, int_val, meta, self.pc));
+                let lane = if is_frep { Lane::Int } else { Lane::FpCore };
+                self.fetched_fast(l0, stats, profiler, lane);
                 if is_frep {
                     stats.int_issued += 1;
                 } else {
@@ -748,40 +819,40 @@ impl IntCore {
                 }
             }
             BlockOp::Lui { value } | BlockOp::Auipc { value } => {
-                if !self.issue_alu_fast(now, cfg, l0, b.dst, value, 1, stats) {
+                if !self.issue_alu_fast(now, cfg, l0, b.dst, value, 1, stats, profiler) {
                     return Ok(());
                 }
             }
             BlockOp::AluImm { op, rs1, imm } => {
                 let v = op.eval(self.regs[rs1 as usize], imm);
-                if !self.issue_alu_fast(now, cfg, l0, b.dst, v, 1, stats) {
+                if !self.issue_alu_fast(now, cfg, l0, b.dst, v, 1, stats, profiler) {
                     return Ok(());
                 }
             }
             BlockOp::AluReg { op, rs1, rs2, latency } => {
                 let v = op.eval(self.regs[rs1 as usize], self.regs[rs2 as usize]);
-                if !self.issue_alu_fast(now, cfg, l0, b.dst, v, latency, stats) {
+                if !self.issue_alu_fast(now, cfg, l0, b.dst, v, latency, stats, profiler) {
                     return Ok(());
                 }
             }
             BlockOp::Jal { target } => {
-                self.jump_fast(now, cfg, l0, b.dst, target, stats);
+                self.jump_fast(now, cfg, l0, b.dst, target, stats, profiler);
                 return Ok(());
             }
             BlockOp::Jalr { rs1, offset } => {
                 // Target from the *old* rs1 (rd may alias rs1).
                 let target = self.regs[rs1 as usize].wrapping_add(offset as u32) & !1;
-                self.jump_fast(now, cfg, l0, b.dst, target, stats);
+                self.jump_fast(now, cfg, l0, b.dst, target, stats, profiler);
                 return Ok(());
             }
             BlockOp::Branch { op, rs1, rs2, taken_pc } => {
                 let taken = op.taken(self.regs[rs1 as usize], self.regs[rs2 as usize]);
-                self.fetched_fast(l0, stats);
+                self.fetched_fast(l0, stats, profiler, Lane::Int);
                 stats.int_issued += 1;
                 if taken {
+                    self.charge_stall_fast(StallCause::Branch, cfg.branch_penalty, stats, profiler);
                     self.pc = taken_pc;
                     self.stall_until = now + 1 + u64::from(cfg.branch_penalty);
-                    stats.add_stall(StallCause::Branch, u64::from(cfg.branch_penalty));
                 } else {
                     self.pc = self.pc.wrapping_add(4);
                 }
@@ -789,13 +860,13 @@ impl IntCore {
             }
             BlockOp::Load { op, rs1, offset } => {
                 if fpss.has_pending_stores() {
-                    stats.add_stall(StallCause::StoreOrder, 1);
+                    self.charge_stall_fast(StallCause::StoreOrder, 1, stats, profiler);
                     return Ok(());
                 }
                 let addr = self.regs[rs1 as usize].wrapping_add(offset as u32);
                 let lat = if layout::is_tcdm(addr) {
                     if !arb.request(TcdmPort::CoreLsu(self.hart_id as u8), addr) {
-                        stats.add_stall(StallCause::TcdmConflict, 1);
+                        self.charge_stall_fast(StallCause::TcdmConflict, 1, stats, profiler);
                         return Ok(());
                     }
                     stats.tcdm_core_accesses += 1;
@@ -814,14 +885,14 @@ impl IntCore {
                     self.regs[b.dst as usize] = v;
                     self.ready_at[b.dst as usize] = now + u64::from(lat);
                 }
-                self.fetched_fast(l0, stats);
+                self.fetched_fast(l0, stats, profiler, Lane::Int);
                 stats.int_issued += 1;
             }
             BlockOp::Store { op, rs1, rs2, offset } => {
                 let addr = self.regs[rs1 as usize].wrapping_add(offset as u32);
                 if layout::is_tcdm(addr) {
                     if !arb.request(TcdmPort::CoreLsu(self.hart_id as u8), addr) {
-                        stats.add_stall(StallCause::TcdmConflict, 1);
+                        self.charge_stall_fast(StallCause::TcdmConflict, 1, stats, profiler);
                         return Ok(());
                     }
                     stats.tcdm_core_accesses += 1;
@@ -830,15 +901,15 @@ impl IntCore {
                 }
                 mem.write(addr, op.size(), u64::from(self.regs[rs2 as usize]))
                     .map_err(SimFault::from)?;
-                self.fetched_fast(l0, stats);
+                self.fetched_fast(l0, stats, profiler, Lane::Int);
                 stats.int_issued += 1;
             }
             BlockOp::Fence => {
-                self.fetched_fast(l0, stats);
+                self.fetched_fast(l0, stats, profiler, Lane::Int);
                 stats.int_issued += 1;
             }
             BlockOp::Ecall => {
-                self.fetched_fast(l0, stats);
+                self.fetched_fast(l0, stats, profiler, Lane::Int);
                 stats.int_issued += 1;
                 self.halted = true;
                 return Ok(());
@@ -851,8 +922,28 @@ impl IntCore {
         Ok(())
     }
 
+    /// [`stall`](IntCore::stall) without the tracer hook: books the cycles
+    /// against the counter and the profiler at the current pc (callers
+    /// charge *before* any redirect, so taken branches bill their own pc).
+    fn charge_stall_fast(
+        &self,
+        cause: StallCause,
+        cycles: u32,
+        stats: &mut Stats,
+        profiler: &mut Option<Profiler>,
+    ) {
+        if cycles == 0 {
+            return;
+        }
+        stats.add_stall(cause, u64::from(cycles));
+        if let Some(p) = profiler {
+            p.stall(self.hart_id as usize, self.pc, cause, u64::from(cycles));
+        }
+    }
+
     /// `jal`/`jalr` tail: link write on the shared port, redirect, refill
     /// penalty (mirrors the stepper's two jump arms).
+    #[allow(clippy::too_many_arguments)]
     fn jump_fast(
         &mut self,
         now: u64,
@@ -861,21 +952,22 @@ impl IntCore {
         dst: u8,
         target: u32,
         stats: &mut Stats,
+        profiler: &mut Option<Profiler>,
     ) {
         if dst != 0 {
             if !self.can_claim_wb(now + 1, cfg.int_wb_ports) {
-                stats.add_stall(StallCause::WbPort, 1);
+                self.charge_stall_fast(StallCause::WbPort, 1, stats, profiler);
                 return;
             }
             self.claim_wb(now + 1);
             self.regs[dst as usize] = self.pc.wrapping_add(4);
             self.ready_at[dst as usize] = now + 1;
         }
-        self.fetched_fast(l0, stats);
+        self.fetched_fast(l0, stats, profiler, Lane::Int);
         stats.int_issued += 1;
+        self.charge_stall_fast(StallCause::Branch, cfg.branch_penalty, stats, profiler);
         self.pc = target;
         self.stall_until = now + 1 + u64::from(cfg.branch_penalty);
-        stats.add_stall(StallCause::Branch, u64::from(cfg.branch_penalty));
     }
 
     /// [`issue_alu_like`](IntCore::issue_alu_like) without the tracer hook.
@@ -889,29 +981,40 @@ impl IntCore {
         value: u32,
         latency: u32,
         stats: &mut Stats,
+        profiler: &mut Option<Profiler>,
     ) -> bool {
         let wb_cycle = now + u64::from(latency);
         if dst != 0 {
             if !self.can_claim_wb(wb_cycle, cfg.int_wb_ports) {
-                stats.add_stall(StallCause::WbPort, 1);
+                self.charge_stall_fast(StallCause::WbPort, 1, stats, profiler);
                 return false;
             }
             self.claim_wb(wb_cycle);
             self.regs[dst as usize] = value;
             self.ready_at[dst as usize] = wb_cycle;
         }
-        self.fetched_fast(l0, stats);
+        self.fetched_fast(l0, stats, profiler, Lane::Int);
         stats.int_issued += 1;
         true
     }
 
     /// [`fetched`](IntCore::fetched) without the issue-event emission (the
-    /// fast path never runs with a recording tracer).
-    fn fetched_fast(&mut self, l0: &mut L0Cache, stats: &mut Stats) {
+    /// fast path never runs with a recording tracer; the profiler hook
+    /// stays engaged).
+    fn fetched_fast(
+        &mut self,
+        l0: &mut L0Cache,
+        stats: &mut Stats,
+        profiler: &mut Option<Profiler>,
+        lane: Lane,
+    ) {
         if l0.fetch(self.pc) {
             stats.l0_hits += 1;
         } else {
             stats.l0_misses += 1;
+        }
+        if let Some(p) = profiler {
+            p.issue(self.hart_id as usize, self.pc, lane);
         }
     }
 }

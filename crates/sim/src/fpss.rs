@@ -14,6 +14,7 @@
 
 use std::collections::VecDeque;
 
+use snitch_profile::Profiler;
 use snitch_riscv::inst::Inst;
 use snitch_riscv::meta::InstClass;
 use snitch_riscv::ops::{f64_to_i32, f64_to_u32, FpAluOp, FpCmpOp, FpFmt, IntCvt, SgnjOp};
@@ -28,15 +29,22 @@ use crate::stats::Stats;
 use crate::trace_event;
 use snitch_asm::layout;
 
-/// Counts a lost FPU issue slot and emits the matching trace event.
+/// Counts a lost FPU issue slot against the blocked instruction's issue pc
+/// and emits the matching trace event.
+#[allow(clippy::too_many_arguments)]
 fn fpu_stall(
     now: u64,
     hart: u8,
+    pc: u32,
     cause: StallCause,
     stats: &mut Stats,
     tracer: &mut Option<Tracer>,
+    profiler: &mut Option<Profiler>,
 ) {
     stats.add_stall(cause, 1);
+    if let Some(p) = profiler {
+        p.stall(usize::from(hart), pc, cause, 1);
+    }
     trace_event!(tracer, now, hart, EventKind::Stall { cause, cycles: 1 });
 }
 
@@ -86,19 +94,29 @@ pub struct OffloadEntry {
     /// Pre-lowered issue metadata (kept consistent with `inst` by
     /// construction; staggered replays remap both together).
     meta: FpMeta,
+    /// The pc the core issued this instruction from — the profiler's charge
+    /// point for FPU-side stalls and sequencer replays (staggering remaps
+    /// registers, never the pc).
+    pc: u32,
 }
 
 impl OffloadEntry {
-    /// Builds an offload entry, pre-lowering the issue metadata.
+    /// Builds an offload entry, pre-lowering the issue metadata. Harness
+    /// constructor: charges attribute to pc 0 (outside any program text).
     #[must_use]
     pub fn new(inst: Inst, int_val: Option<u32>) -> Self {
-        OffloadEntry { inst, int_val, meta: FpMeta::of(&inst) }
+        OffloadEntry { inst, int_val, meta: FpMeta::of(&inst), pc: 0 }
+    }
+
+    /// [`new`](Self::new) with the issue pc attached (the core's path).
+    pub(crate) fn at(inst: Inst, int_val: Option<u32>, pc: u32) -> Self {
+        OffloadEntry { inst, int_val, meta: FpMeta::of(&inst), pc }
     }
 
     /// Builds an offload entry from metadata already extracted for this
     /// exact instruction (the block cache's per-pc copy).
-    pub(crate) fn with_meta(inst: Inst, int_val: Option<u32>, meta: FpMeta) -> Self {
-        OffloadEntry { inst, int_val, meta }
+    pub(crate) fn with_meta(inst: Inst, int_val: Option<u32>, meta: FpMeta, pc: u32) -> Self {
+        OffloadEntry { inst, int_val, meta, pc }
     }
 }
 
@@ -327,6 +345,7 @@ impl Fpss {
         ssrs: &mut [Ssr; 3],
         stats: &mut Stats,
         tracer: &mut Option<Tracer>,
+        profiler: &mut Option<Profiler>,
     ) -> Result<(), SimFault> {
         // Deliver FPU results into SSR write FIFOs.
         let mut idx = 0;
@@ -373,7 +392,8 @@ impl Fpss {
                             stagger_mask,
                             inst_major,
                         };
-                        return self.step_capture(now, hart, cfg, mem, arb, ssrs, stats, tracer);
+                        return self
+                            .step_capture(now, hart, cfg, mem, arb, ssrs, stats, tracer, profiler);
                     }
                     if self.try_issue(
                         &front,
@@ -386,6 +406,7 @@ impl Fpss {
                         ssrs,
                         stats,
                         tracer,
+                        profiler,
                     )? {
                         self.fifo.pop_front();
                         stats.fpu_busy_cycles += 1;
@@ -394,7 +415,7 @@ impl Fpss {
                 Ok(())
             }
             SeqState::Capture { .. } => {
-                self.step_capture(now, hart, cfg, mem, arb, ssrs, stats, tracer)
+                self.step_capture(now, hart, cfg, mem, arb, ssrs, stats, tracer, profiler)
             }
             SeqState::Replay { iter, total, pos, stagger_max, stagger_mask, inst_major } => {
                 let mut staggered = self.ring[pos];
@@ -412,9 +433,13 @@ impl Fpss {
                     ssrs,
                     stats,
                     tracer,
+                    profiler,
                 )? {
                     stats.fp_issued_seq += 1;
                     stats.fpu_busy_cycles += 1;
+                    if let Some(p) = profiler {
+                        p.issue(usize::from(hart), staggered.pc, Lane::FpSeq);
+                    }
                     trace_event!(
                         tracer,
                         now,
@@ -476,6 +501,7 @@ impl Fpss {
         ssrs: &mut [Ssr; 3],
         stats: &mut Stats,
         tracer: &mut Option<Tracer>,
+        profiler: &mut Option<Profiler>,
     ) -> Result<(), SimFault> {
         let SeqState::Capture { remaining, rep, stagger_max, stagger_mask, inst_major } = self.seq
         else {
@@ -490,7 +516,19 @@ impl Fpss {
                 front.inst
             )));
         }
-        if self.try_issue(&front, Lane::FpCore, now, hart, cfg, mem, arb, ssrs, stats, tracer)? {
+        if self.try_issue(
+            &front,
+            Lane::FpCore,
+            now,
+            hart,
+            cfg,
+            mem,
+            arb,
+            ssrs,
+            stats,
+            tracer,
+            profiler,
+        )? {
             self.fifo.pop_front();
             stats.fpu_busy_cycles += 1;
             self.ring.push(front);
@@ -533,6 +571,7 @@ impl Fpss {
         ssrs: &mut [Ssr; 3],
         stats: &mut Stats,
         tracer: &mut Option<Tracer>,
+        profiler: &mut Option<Profiler>,
     ) -> Result<bool, SimFault> {
         let inst = entry.inst;
         let meta = entry.meta;
@@ -549,14 +588,14 @@ impl Fpss {
             if ssr_on && s < 3 {
                 pops_needed[s as usize] += 1;
             } else if self.ready_at[s as usize] > now {
-                fpu_stall(now, hart, StallCause::FpuRaw, stats, tracer);
+                fpu_stall(now, hart, entry.pc, StallCause::FpuRaw, stats, tracer, profiler);
                 return Ok(false);
             }
         }
         if ssr_on {
             for (i, &needed) in pops_needed.iter().enumerate() {
                 if needed > 0 && ssrs[i].available_elements() < needed {
-                    fpu_stall(now, hart, StallCause::FpuSsr, stats, tracer);
+                    fpu_stall(now, hart, entry.pc, StallCause::FpuSsr, stats, tracer, profiler);
                     return Ok(false);
                 }
             }
@@ -564,17 +603,17 @@ impl Fpss {
         if meta.dst != NO_REG {
             if ssr_on && meta.dst < 3 {
                 if !ssrs[meta.dst as usize].write_ready() {
-                    fpu_stall(now, hart, StallCause::FpuSsr, stats, tracer);
+                    fpu_stall(now, hart, entry.pc, StallCause::FpuSsr, stats, tracer, profiler);
                     return Ok(false);
                 }
             } else if self.ready_at[meta.dst as usize] > now {
-                fpu_stall(now, hart, StallCause::FpuRaw, stats, tracer);
+                fpu_stall(now, hart, entry.pc, StallCause::FpuRaw, stats, tracer, profiler);
                 return Ok(false);
             }
         }
         let class = meta.class;
         if class == InstClass::FpDivSqrt && self.divsqrt_busy_until > now {
-            fpu_stall(now, hart, StallCause::FpuRaw, stats, tracer);
+            fpu_stall(now, hart, entry.pc, StallCause::FpuRaw, stats, tracer, profiler);
             return Ok(false);
         }
         // Memory operations arbitrate last (a grant must not be wasted).
@@ -582,7 +621,7 @@ impl Fpss {
             let addr = entry.int_val.expect("fp load/store carries its address");
             if layout::is_tcdm(addr) {
                 if !arb.request(crate::mem::TcdmPort::FpLsu(hart), addr) {
-                    fpu_stall(now, hart, StallCause::FpuTcdm, stats, tracer);
+                    fpu_stall(now, hart, entry.pc, StallCause::FpuTcdm, stats, tracer, profiler);
                     return Ok(false);
                 }
                 stats.tcdm_fp_accesses += 1;
@@ -1019,7 +1058,8 @@ mod tests {
             rs2: FpReg::FA2,
         }));
         arb.begin_cycle();
-        fpss.step(0, 0, &cfg, &mut mem, &mut arb, &mut ssrs, &mut stats, &mut None).unwrap();
+        fpss.step(0, 0, &cfg, &mut mem, &mut arb, &mut ssrs, &mut stats, &mut None, &mut None)
+            .unwrap();
         assert_eq!(f64::from_bits(fpss.reg(FpReg::FA0)), 5.0);
         assert!(!fpss.drained(0), "latency still in flight");
         assert!(fpss.drained(u64::from(cfg.fpu_lat_muladd)));
@@ -1048,7 +1088,10 @@ mod tests {
         for now in 0..10u64 {
             arb.begin_cycle();
             let before = stats.fpu_busy_cycles;
-            fpss.step(now, 0, &cfg, &mut mem, &mut arb, &mut ssrs, &mut stats, &mut None).unwrap();
+            fpss.step(
+                now, 0, &cfg, &mut mem, &mut arb, &mut ssrs, &mut stats, &mut None, &mut None,
+            )
+            .unwrap();
             if stats.fpu_busy_cycles > before {
                 issue_cycles.push(now);
             }
@@ -1078,7 +1121,10 @@ mod tests {
         let mut now = 0;
         while !fpss.drained(now) {
             arb.begin_cycle();
-            fpss.step(now, 0, &cfg, &mut mem, &mut arb, &mut ssrs, &mut stats, &mut None).unwrap();
+            fpss.step(
+                now, 0, &cfg, &mut mem, &mut arb, &mut ssrs, &mut stats, &mut None, &mut None,
+            )
+            .unwrap();
             now += 1;
             assert!(now < 100, "frep must converge");
         }
@@ -1098,7 +1144,7 @@ mod tests {
         ));
         arb.begin_cycle();
         let err = fpss
-            .step(0, 0, &cfg, &mut mem, &mut arb, &mut ssrs, &mut stats, &mut None)
+            .step(0, 0, &cfg, &mut mem, &mut arb, &mut ssrs, &mut stats, &mut None, &mut None)
             .unwrap_err();
         assert!(err.to_string().contains("sequencer depth"));
     }
@@ -1117,7 +1163,8 @@ mod tests {
             rs2: FpReg::FA1,
         }));
         arb.begin_cycle();
-        fpss.step(0, 0, &cfg, &mut mem, &mut arb, &mut ssrs, &mut stats, &mut None).unwrap();
+        fpss.step(0, 0, &cfg, &mut mem, &mut arb, &mut ssrs, &mut stats, &mut None, &mut None)
+            .unwrap();
         assert!(fpss.take_int_writebacks(0).is_empty());
         let wbs = fpss.take_int_writebacks(u64::from(cfg.fpu_lat_short));
         assert_eq!(wbs, vec![IntWriteback { rd: IntReg::A0, value: 1 }]);
@@ -1139,7 +1186,10 @@ mod tests {
         let mut now = 0;
         while !fpss.drained(now) {
             arb.begin_cycle();
-            fpss.step(now, 0, &cfg, &mut mem, &mut arb, &mut ssrs, &mut stats, &mut None).unwrap();
+            fpss.step(
+                now, 0, &cfg, &mut mem, &mut arb, &mut ssrs, &mut stats, &mut None, &mut None,
+            )
+            .unwrap();
             now += 1;
         }
         assert_eq!(fpss.reg(FpReg::FA0), 1, "comparison result as integer bits");

@@ -84,6 +84,18 @@ pub fn render_scaling(
     )
 }
 
+/// Renders one `burst` line: the batch's block-burst engagement — the
+/// fraction of simulated cycles the simulator served on its block-compiled
+/// fast path (`Cluster::block_replayed_cycles` summed over the records).
+#[must_use]
+pub fn render_burst(workers: usize, cycles: u64, replayed_cycles: u64) -> String {
+    let engagement = if cycles == 0 { 0.0 } else { replayed_cycles as f64 / cycles as f64 };
+    format!(
+        "{{\"metric\":\"burst\",\"workers\":{workers},\"cycles\":{cycles},\
+         \"replayed_cycles\":{replayed_cycles},\"engagement\":{engagement:?}}}\n"
+    )
+}
+
 /// Required keys per metric kind (the minimal schema CI enforces).
 fn required_keys(metric: &str) -> Option<&'static [&'static str]> {
     match metric {
@@ -91,6 +103,7 @@ fn required_keys(metric: &str) -> Option<&'static [&'static str]> {
         "phase" => Some(&["workers", "phase", "ns"]),
         "worker" => Some(&["workers", "worker", "jobs", "busy_ns", "idle_ns", "barrier_ns"]),
         "scaling" => Some(&["workload", "workers_base", "workers", "ratio"]),
+        "burst" => Some(&["workers", "cycles", "replayed_cycles", "engagement"]),
         _ => None,
     }
 }
@@ -306,13 +319,22 @@ mod tests {
     fn rendered_metrics_validate() {
         let mut doc = render(1, &sample_report());
         doc.push_str(&render_scaling("smoke", 1, 14.0e6, 8, 4.9e6));
+        doc.push_str(&render_burst(1, 1000, 990));
         let lines = validate(&doc).expect("rendered metrics must validate");
-        // 1 batch + 8 phases + 1 worker + 1 scaling.
-        assert_eq!(lines, 11);
+        // 1 batch + 8 phases + 1 worker + 1 scaling + 1 burst.
+        assert_eq!(lines, 12);
         assert!(doc.contains("\"metric\":\"batch\""));
         assert!(doc.contains("\"phase\":\"simulate\",\"ns\":80"));
         assert!(doc.contains("\"barrier_ns\":"));
         assert!(doc.contains("\"ratio\":0.35"));
+        assert!(doc.contains("\"metric\":\"burst\"") && doc.contains("\"engagement\":0.99"));
+    }
+
+    #[test]
+    fn burst_line_handles_empty_batches() {
+        let line = render_burst(4, 0, 0);
+        assert!(line.contains("\"engagement\":0.0"), "no cycles means zero engagement: {line}");
+        assert_eq!(validate(&line), Ok(1));
     }
 
     #[test]
