@@ -5,7 +5,9 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
-use snitch_riscv::csr::{SsrCfgWord, CSR_BARRIER, CSR_FPU_FENCE, CSR_MHARTID, CSR_SSR};
+use snitch_riscv::csr::{
+    SsrCfgWord, CSR_BARRIER, CSR_CLUSTER_ID, CSR_FPU_FENCE, CSR_MHARTID, CSR_SSR,
+};
 use snitch_riscv::inst::Inst;
 use snitch_riscv::ops::{
     AluImmOp, AluOp, BranchOp, CsrOp, DmaOp, FmaOp, FpAluOp, FpCmpOp, FpFmt, IntCvt, LoadOp,
@@ -78,6 +80,7 @@ pub struct ProgramBuilder {
     fixups: Vec<(usize, String, FixKind)>,
     labels: HashMap<String, usize>,
     tcdm: Vec<u8>,
+    l2: Vec<u8>,
     main: Vec<u8>,
     symbols: HashMap<String, u32>,
     parallel: bool,
@@ -169,7 +172,15 @@ impl ProgramBuilder {
                 end: layout::TEXT_BASE + (end_idx as u32) * 4,
             });
         }
-        Ok(Program::new(self.insts, self.tcdm, self.main, self.symbols, labels, self.parallel))
+        Ok(Program::new(
+            self.insts,
+            self.tcdm,
+            self.l2,
+            self.main,
+            self.symbols,
+            labels,
+            self.parallel,
+        ))
     }
 
     // ---------------------------------------------------------------- data
@@ -243,6 +254,31 @@ impl ProgramBuilder {
     pub fn tcdm_u32(&mut self, name: &str, values: &[u32]) -> u32 {
         let bytes: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
         self.tcdm_bytes(name, 4, &bytes)
+    }
+
+    /// Allocates initialized bytes in the shared L2 region (reachable by
+    /// every cluster through the interconnect; the natural home of tiled
+    /// kernels' full operands, staged into the TCDM by DMA).
+    pub fn l2_bytes(&mut self, name: &str, align: usize, bytes: &[u8]) -> u32 {
+        let addr = Self::alloc(&mut self.l2, layout::L2_BASE, align, bytes);
+        assert!(
+            self.l2.len() <= layout::L2_SIZE as usize,
+            "l2 overflow allocating `{name}` ({} bytes total)",
+            self.l2.len()
+        );
+        self.record_symbol(name, addr);
+        addr
+    }
+
+    /// Allocates an `f64` array in the shared L2.
+    pub fn l2_f64(&mut self, name: &str, values: &[f64]) -> u32 {
+        let bytes: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
+        self.l2_bytes(name, 8, &bytes)
+    }
+
+    /// Allocates zero-initialized L2 space.
+    pub fn l2_reserve(&mut self, name: &str, size: usize, align: usize) -> u32 {
+        self.l2_bytes(name, align, &vec![0u8; size])
     }
 
     /// Allocates initialized bytes in main memory (DMA-reachable region).
@@ -643,6 +679,12 @@ impl ProgramBuilder {
         self.inst(Inst::Csr { op: CsrOp::Rs, rd, csr: CSR_MHARTID, src: 0 });
     }
 
+    /// `csrr rd, clusterid`: reads the index of this core's cluster in the
+    /// system (0 on a single-cluster machine).
+    pub fn csrr_cluster_id(&mut self, rd: IntReg) {
+        self.inst(Inst::Csr { op: CsrOp::Rs, rd, csr: CSR_CLUSTER_ID, src: 0 });
+    }
+
     /// Cluster hardware barrier: stalls this hart until every other hart has
     /// arrived at a barrier (or halted), then all waiting harts release in
     /// the same cycle.
@@ -660,6 +702,30 @@ impl ProgramBuilder {
     /// `dmdst rs1` (32-bit destination address).
     pub fn dmdst(&mut self, rs1: IntReg) {
         self.inst(Inst::Dma { op: DmaOp::Dst, rd: IntReg::ZERO, rs1, rs2: IntReg::ZERO, imm5: 0 });
+    }
+
+    /// `dmstr rs1, rs2`: source (`rs1`) and destination (`rs2`) strides for
+    /// a 2-D transfer (applied between successive `dmrep` rows).
+    pub fn dmstr(&mut self, src_stride: IntReg, dst_stride: IntReg) {
+        self.inst(Inst::Dma {
+            op: DmaOp::Str,
+            rd: IntReg::ZERO,
+            rs1: src_stride,
+            rs2: dst_stride,
+            imm5: 0,
+        });
+    }
+
+    /// `dmrep rs1`: row repetition count for a 2-D transfer (one-shot: the
+    /// next `dmcpyi` consumes it).
+    pub fn dmrep(&mut self, reps: IntReg) {
+        self.inst(Inst::Dma {
+            op: DmaOp::Rep,
+            rd: IntReg::ZERO,
+            rs1: reps,
+            rs2: IntReg::ZERO,
+            imm5: 0,
+        });
     }
 
     /// `dmcpyi rd, rs1, 0`: start a 1-D copy of `rs1` bytes.

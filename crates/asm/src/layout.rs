@@ -1,18 +1,44 @@
-//! The cluster memory map shared by the assembler and the simulator.
+//! The system memory map shared by the assembler and the simulator.
 //!
-//! Mirrors the Snitch cluster's address-space split: instruction memory,
-//! tightly-coupled data memory (TCDM, the L1 scratchpad) and an external
-//! main-memory region reachable by the DMA engine and (slowly) by the core.
+//! Mirrors the address-space split of a multi-cluster Snitch system
+//! (Occamy-style): instruction memory, the per-cluster tightly-coupled data
+//! memory (TCDM, the L1 scratchpad), a shared L2 region behind the cluster
+//! interconnect, per-cluster TCDM alias windows for inter-cluster traffic,
+//! and an external main-memory region reachable by the DMA engine and
+//! (slowly) by the core.
 
 /// Base address of instruction memory.
 pub const TEXT_BASE: u32 = 0x8000_0000;
 
-/// Base address of the TCDM (L1 scratchpad).
+/// Base address of the TCDM (L1 scratchpad). Every cluster sees its *own*
+/// TCDM at this address; a specific cluster's TCDM is addressable from
+/// anywhere through its alias window (see [`tcdm_alias_base`]).
 pub const TCDM_BASE: u32 = 0x1000_0000;
 
 /// TCDM capacity in bytes (128 KiB, as in the Snitch cluster used by the
 /// paper).
 pub const TCDM_SIZE: u32 = 128 * 1024;
+
+/// Base address of the shared L2 memory region (behind the cluster
+/// interconnect; same contents visible from every cluster).
+pub const L2_BASE: u32 = 0x2000_0000;
+
+/// L2 capacity in bytes modelled by the simulator.
+pub const L2_SIZE: u32 = 4 * 1024 * 1024;
+
+/// Base of the per-cluster TCDM alias windows: cluster `k`'s TCDM appears
+/// at `CLUSTER_ALIAS_BASE + k * CLUSTER_ALIAS_STRIDE` from every cluster
+/// (including `k` itself), which is how inter-cluster DMA names a remote
+/// scratchpad.
+pub const CLUSTER_ALIAS_BASE: u32 = 0x4000_0000;
+
+/// Address stride between consecutive clusters' alias windows (only the
+/// first [`TCDM_SIZE`] bytes of each window are backed).
+pub const CLUSTER_ALIAS_STRIDE: u32 = 0x0010_0000;
+
+/// Largest cluster count the alias window carves room for (matches the
+/// simulator's per-cluster core limit).
+pub const MAX_CLUSTERS: usize = 32;
 
 /// Base address of external main memory.
 pub const MAIN_BASE: u32 = 0xC000_0000;
@@ -20,16 +46,54 @@ pub const MAIN_BASE: u32 = 0xC000_0000;
 /// Main-memory capacity in bytes modelled by the simulator.
 pub const MAIN_SIZE: u32 = 16 * 1024 * 1024;
 
-/// Whether `addr` falls inside the TCDM.
+/// Whether `addr` falls inside the (cluster-local) TCDM.
 #[must_use]
 pub fn is_tcdm(addr: u32) -> bool {
     (TCDM_BASE..TCDM_BASE + TCDM_SIZE).contains(&addr)
+}
+
+/// Whether `addr` falls inside the shared L2 region.
+#[must_use]
+pub fn is_l2(addr: u32) -> bool {
+    (L2_BASE..L2_BASE + L2_SIZE).contains(&addr)
 }
 
 /// Whether `addr` falls inside main memory.
 #[must_use]
 pub fn is_main(addr: u32) -> bool {
     (MAIN_BASE..MAIN_BASE + MAIN_SIZE).contains(&addr)
+}
+
+/// Base address of cluster `k`'s TCDM alias window.
+///
+/// # Panics
+///
+/// Panics if `cluster >= MAX_CLUSTERS`.
+#[must_use]
+pub fn tcdm_alias_base(cluster: usize) -> u32 {
+    assert!(cluster < MAX_CLUSTERS, "cluster {cluster} out of range");
+    CLUSTER_ALIAS_BASE + cluster as u32 * CLUSTER_ALIAS_STRIDE
+}
+
+/// Decodes an address inside some cluster's TCDM alias window into
+/// `(cluster, offset_into_tcdm)`; `None` for any other address.
+#[must_use]
+pub fn alias_cluster(addr: u32) -> Option<(usize, u32)> {
+    let span = CLUSTER_ALIAS_STRIDE * MAX_CLUSTERS as u32;
+    if !(CLUSTER_ALIAS_BASE..CLUSTER_ALIAS_BASE + span).contains(&addr) {
+        return None;
+    }
+    let rel = addr - CLUSTER_ALIAS_BASE;
+    let cluster = (rel / CLUSTER_ALIAS_STRIDE) as usize;
+    let offset = rel % CLUSTER_ALIAS_STRIDE;
+    (offset < TCDM_SIZE).then_some((cluster, offset))
+}
+
+/// Whether `addr` falls inside the backed part of any cluster's TCDM alias
+/// window.
+#[must_use]
+pub fn is_cluster_alias(addr: u32) -> bool {
+    alias_cluster(addr).is_some()
 }
 
 #[cfg(test)]
@@ -45,5 +109,29 @@ mod tests {
         assert!(!is_main(TCDM_BASE));
         assert!(!is_tcdm(MAIN_BASE));
         assert!(!is_tcdm(TEXT_BASE));
+        assert!(is_l2(L2_BASE) && is_l2(L2_BASE + L2_SIZE - 1) && !is_l2(L2_BASE + L2_SIZE));
+        assert!(!is_tcdm(L2_BASE) && !is_main(L2_BASE) && !is_cluster_alias(L2_BASE));
+        assert!(!is_l2(TCDM_BASE) && !is_l2(MAIN_BASE) && !is_l2(CLUSTER_ALIAS_BASE));
+    }
+
+    #[test]
+    fn alias_windows_decode_per_cluster() {
+        assert_eq!(alias_cluster(CLUSTER_ALIAS_BASE), Some((0, 0)));
+        assert_eq!(alias_cluster(tcdm_alias_base(3) + 64), Some((3, 64)));
+        assert_eq!(
+            alias_cluster(tcdm_alias_base(MAX_CLUSTERS - 1) + TCDM_SIZE - 1),
+            Some((MAX_CLUSTERS - 1, TCDM_SIZE - 1))
+        );
+        // Only the first TCDM_SIZE bytes of a window are backed.
+        assert_eq!(alias_cluster(tcdm_alias_base(1) + TCDM_SIZE), None);
+        // Outside the alias span entirely.
+        assert_eq!(alias_cluster(TCDM_BASE), None);
+        assert_eq!(alias_cluster(CLUSTER_ALIAS_BASE + CLUSTER_ALIAS_STRIDE * 32), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn alias_base_rejects_out_of_range_cluster() {
+        let _ = tcdm_alias_base(MAX_CLUSTERS);
     }
 }

@@ -27,12 +27,13 @@ impl LabelSpan {
     }
 }
 
-/// An assembled program: instruction stream, initial TCDM and main-memory
-/// images, the symbol table, and the resolved label spans.
+/// An assembled program: instruction stream, initial TCDM, L2 and
+/// main-memory images, the symbol table, and the resolved label spans.
 #[derive(Clone, Debug, Default)]
 pub struct Program {
     text: Vec<Inst>,
     tcdm_image: Vec<u8>,
+    l2_image: Vec<u8>,
     main_image: Vec<u8>,
     symbols: HashMap<String, u32>,
     labels: Vec<LabelSpan>,
@@ -43,12 +44,13 @@ impl Program {
     pub(crate) fn new(
         text: Vec<Inst>,
         tcdm_image: Vec<u8>,
+        l2_image: Vec<u8>,
         main_image: Vec<u8>,
         symbols: HashMap<String, u32>,
         labels: Vec<LabelSpan>,
         parallel: bool,
     ) -> Self {
-        Program { text, tcdm_image, main_image, symbols, labels, parallel }
+        Program { text, tcdm_image, l2_image, main_image, symbols, labels, parallel }
     }
 
     /// Whether this is an SPMD program written for every compute core of the
@@ -70,6 +72,14 @@ impl Program {
     #[must_use]
     pub fn tcdm_image(&self) -> &[u8] {
         &self.tcdm_image
+    }
+
+    /// The initial shared-L2 image, starting at [`layout::L2_BASE`]. In a
+    /// multi-cluster system the image is loaded once into the canonical L2,
+    /// not once per cluster.
+    #[must_use]
+    pub fn l2_image(&self) -> &[u8] {
+        &self.l2_image
     }
 
     /// The initial main-memory image, starting at [`layout::MAIN_BASE`].

@@ -337,8 +337,10 @@ fn main() {
     // The overhead guards run the same smoke programs through a bare
     // cluster loop (no engine, no validation) so the comparison isolates
     // the simulator hot path the hooks sit on.
-    let programs: Vec<Program> =
-        jobs.iter().map(|j| j.kernel.build_for(j.variant, j.n, j.block, j.config.cores)).collect();
+    let programs: Vec<Program> = jobs
+        .iter()
+        .map(|j| j.kernel.build_for(j.variant, j.n, j.block, j.config.cores()))
+        .collect();
     hook_overhead_guard(&programs, Hook::Tracer, "tracing");
     hook_overhead_guard(&programs, Hook::Profiler, "profiling");
 }

@@ -1,27 +1,34 @@
 //! The cluster-scaling driver: runs the data-parallel Monte Carlo kernels
 //! (`pi_lcg_par`, `pi_xoshiro128p_par`) in both variants over 1/2/4/8
 //! compute cores and prints the cores × kernel cycle table that
-//! `EXPERIMENTS.md`'s "Cluster scaling" section carries (the `experiments`
-//! generator emits the same table through the shared
-//! [`snitch_bench::scaling_tables`] renderer, so the committed file and this
-//! driver can never drift apart).
+//! `EXPERIMENTS.md`'s "Cluster scaling" section carries, then runs the
+//! tiled GEMM over the full cores × clusters grid and prints the 2-D
+//! "Cores × clusters scaling" table (the `experiments` generator emits the
+//! same tables through the shared [`snitch_bench::scaling_tables`] and
+//! [`snitch_bench::scaling_grid_tables`] renderers, so the committed file
+//! and this driver can never drift apart).
 //!
 //! Every job validates bit-exactly against the *single-core* golden model:
 //! the per-hart seed tables reproduce the global draw sequence chunk for
 //! chunk, and all partial sums are integer-valued doubles, so the tree
-//! reduction is exact at any core count.
+//! reduction is exact at any core count. The tiled GEMM's block-cyclic row
+//! ownership gives the same guarantee across cluster counts.
 
-use snitch_bench::{scaling_rows, scaling_tables, SCALING_CORES};
+use snitch_bench::{
+    scaling_grid_rows, scaling_grid_tables, scaling_rows, scaling_tables, SCALING_CLUSTERS,
+    SCALING_CORES,
+};
 use snitch_engine::Engine;
 use snitch_kernels::Kernel;
 
 fn main() {
+    let engine = Engine::default();
     let (n, block) = Kernel::PiLcgPar.operating_point();
-    let rows = scaling_rows(&Engine::default());
+    let rows = scaling_rows(&engine);
     println!("cluster scaling at n = {n}, block = {block}, cores = {SCALING_CORES:?}\n");
     print!("{}", scaling_tables(&rows));
+    let last = SCALING_CORES.len() - 1;
     for r in &rows {
-        let last = SCALING_CORES.len() - 1;
         println!(
             "{}/{}: {:.2}x speedup on {} cores ({} TCDM conflicts under contention)",
             r.kernel.name(),
@@ -29,6 +36,25 @@ fn main() {
             r.speedup(last),
             SCALING_CORES[last],
             r.conflicts[last],
+        );
+    }
+
+    let (gn, gblock) = Kernel::GemmTiled.operating_point();
+    println!(
+        "\ncores x clusters scaling at n = {gn}, block = {gblock}, \
+         cores = {SCALING_CORES:?}, clusters = {SCALING_CLUSTERS:?}\n"
+    );
+    let grid = scaling_grid_rows(&engine);
+    print!("{}", scaling_grid_tables(&grid));
+    for r in &grid {
+        println!(
+            "{}/{} x{}: {:.2}x speedup on {} cores ({} DMA hop cycles)",
+            r.kernel.name(),
+            r.variant.name(),
+            r.clusters,
+            r.speedup(last),
+            SCALING_CORES[last],
+            r.dma_hop_cycles[last],
         );
     }
 }

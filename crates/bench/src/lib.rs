@@ -77,14 +77,18 @@ impl Fig2Row {
 
     /// Measures an arbitrary kernel list (e.g. [`Kernel::extended`] for the
     /// extended suite, or the whole catalog) as one engine batch of
-    /// steady-state pairs, four simulations per kernel.
+    /// steady-state pairs, four simulations per kernel. Kernels that don't
+    /// support the `(n, 2n)` methodology ([`Kernel::steady_measurable`])
+    /// are skipped — the scaling-grid driver measures those.
     ///
     /// # Panics
     ///
     /// Panics if any run fails validation.
     #[must_use]
     pub fn measure_suite(engine: &Engine, kernels: &[Kernel]) -> Vec<Fig2Row> {
-        let jobs = job::steady_pairs(kernels);
+        let kernels: Vec<Kernel> =
+            kernels.iter().copied().filter(|k| k.steady_measurable()).collect();
+        let jobs = job::steady_pairs(&kernels);
         let records = engine.run(&jobs);
         // steady_pairs() is kernel-major: [base n, base 2n, copift n, copift 2n].
         kernels
@@ -247,6 +251,94 @@ pub fn scaling_tables(rows: &[ScalingRow]) -> String {
         }
         let last = SCALING_CORES.len() - 1;
         let _ = writeln!(out, "{line} {:.2}× | {} |", r.speedup(last), r.conflicts[last]);
+    }
+    out
+}
+
+/// The cluster counts swept by the 2-D scaling grid (re-exported from the
+/// engine's canonical batch definition, so the sweep CLI's `scaling-grid`
+/// preset and the drivers can never drift apart).
+pub use snitch_engine::job::SCALING_CLUSTERS;
+
+/// One row of the cores × clusters scaling table: full-run cycles of one
+/// `(kernel, variant)` at one cluster count over every core count of
+/// [`SCALING_CORES`], plus the inter-cluster DMA hop cycles that prove the
+/// tiles actually travelled over the system interconnect.
+#[derive(Clone, Debug)]
+pub struct ScalingGridRow {
+    /// Tiled kernel.
+    pub kernel: Kernel,
+    /// Code variant.
+    pub variant: Variant,
+    /// Cluster count of this row.
+    pub clusters: usize,
+    /// Total cycles per core count (same order as [`SCALING_CORES`]).
+    pub cycles: Vec<u64>,
+    /// Inter-cluster/L2 DMA hop cycles per core count.
+    pub dma_hop_cycles: Vec<u64>,
+}
+
+impl ScalingGridRow {
+    /// Parallel speedup at `cores_index` relative to the row's single-core
+    /// run (scaling within a fixed cluster count).
+    #[must_use]
+    pub fn speedup(&self, cores_index: usize) -> f64 {
+        self.cycles[0] as f64 / self.cycles[cores_index] as f64
+    }
+}
+
+/// Measures the tiled GEMM over the [`SCALING_CORES`] × [`SCALING_CLUSTERS`]
+/// grid at its operating point, as one engine batch (one compiled program
+/// per grid shape). Every run validates bit-exactly against the
+/// single-cluster golden model — the decomposition guarantee of the
+/// block-cyclic row ownership (DESIGN.md §18).
+///
+/// # Panics
+///
+/// Panics if any run fails validation.
+#[must_use]
+pub fn scaling_grid_rows(engine: &Engine) -> Vec<ScalingGridRow> {
+    let jobs = job::scaling_grid_default();
+    let records = engine.run(&jobs);
+    // scaling_grid() is kernel-major, then variant, then clusters, with
+    // cores innermost: each chunk is one table row.
+    let mut rows = Vec::new();
+    let mut chunks = records.chunks_exact(SCALING_CORES.len());
+    for variant in Variant::all() {
+        for &clusters in &SCALING_CLUSTERS {
+            let chunk = chunks.next().expect("grid batch is variant x clusters x cores");
+            rows.push(ScalingGridRow {
+                kernel: Kernel::GemmTiled,
+                variant,
+                clusters,
+                cycles: chunk.iter().map(|r| stats_of(r).cycles).collect(),
+                dma_hop_cycles: chunk.iter().map(|r| stats_of(r).dma_hop_cycles).collect(),
+            });
+        }
+    }
+    rows
+}
+
+/// Renders cores × clusters scaling rows as the EXPERIMENTS.md markdown
+/// table (shared by the `scaling` driver and the `experiments` generator).
+#[must_use]
+pub fn scaling_grid_tables(rows: &[ScalingGridRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let mut header = String::from("| kernel | variant | clusters |");
+    for c in SCALING_CORES {
+        let _ = write!(header, " {c} core{} |", if c == 1 { "" } else { "s" });
+    }
+    let top = SCALING_CORES[SCALING_CORES.len() - 1];
+    let _ = writeln!(out, "{header} speedup @{top} | DMA hop cycles @{top} |");
+    let _ = writeln!(out, "|{}", "---|".repeat(SCALING_CORES.len() + 5));
+    for r in rows {
+        let mut line = format!("| {} | {} | {} |", r.kernel.name(), r.variant.name(), r.clusters);
+        for &cycles in &r.cycles {
+            let _ = write!(line, " {cycles} |");
+        }
+        let last = SCALING_CORES.len() - 1;
+        let _ = writeln!(out, "{line} {:.2}× | {} |", r.speedup(last), r.dma_hop_cycles[last]);
     }
     out
 }

@@ -529,7 +529,7 @@ fn emit_full(
                 .unwrap_or_else(|| panic!("codegen must place region label `{name}`"));
             assert!(span.start < span.end, "region `{name}` covers no instructions");
         }
-        let diags = snitch_verify::verify(&program, &snitch_sim::ClusterConfig::default());
+        let diags = snitch_verify::verify(&program, &snitch_sim::SystemConfig::default());
         let errors: Vec<String> = diags
             .iter()
             .filter(|d| d.severity == snitch_verify::Severity::Error)

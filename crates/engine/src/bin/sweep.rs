@@ -18,7 +18,7 @@ use std::time::{Duration, Instant};
 use snitch_engine::record::RunRecord;
 use snitch_engine::{job, sink, Engine, JobSpec};
 use snitch_kernels::registry::{Kernel, Variant};
-use snitch_sim::config::ClusterConfig;
+use snitch_sim::config::SystemConfig;
 use snitch_telemetry::{metrics, Phase, Report, Telemetry, MAIN_WORKER};
 
 const USAGE: &str = "\
@@ -30,6 +30,7 @@ Presets (job batch templates):
   extended        the extended-suite kernels x 2 variants at (n, 2n) operating points
   smoke           every cataloged kernel x variants at small sizes
   scaling         the data-parallel kernels x 2 variants over 1/2/4/8 cores
+  scaling-grid    gemm_tiled x 2 variants over the cores x clusters grid
   verify          statically verify every program of the above batches and
                   print a diagnostic report (no simulation; exits non-zero
                   if any program has verification errors)
@@ -50,6 +51,8 @@ apply to presets, replicating the preset batch per configuration):
   --cores N,..            compute cores per cluster (1..=32; the data-parallel
                           kernels support up to 8 and rebuild their program
                           per core count)
+  --clusters N,..         clusters in the system (1..=32; tiled kernels rebuild
+                          their program per cluster count)
   --fpu-lat-muladd N,..   FPU add/mul/FMA latency
   --mul-latency N,..      integer multiply write-back latency
   --branch-penalty N,..   taken-branch penalty
@@ -62,6 +65,10 @@ Execution and output:
   --allow-invalid run jobs whose program fails static verification anyway
                   (default: such jobs fail without simulating)
   --quiet         suppress the summary table and the progress line
+
+Record labels name each job as kernel/variant/nN/bB, with /cN appended when
+the job runs on more than one core and /xN when it spans more than one
+cluster (for example gemm_tiled/copift/n64/b0/c8/x4).
 
 A live progress line (jobs done/total, elapsed, ETA) is printed to stderr
 while the batch runs, when stderr is a terminal and --quiet is absent.
@@ -119,6 +126,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         "--seq-depth",
         "--banks",
         "--cores",
+        "--clusters",
         "--fpu-lat-muladd",
         "--mul-latency",
         "--branch-penalty",
@@ -128,7 +136,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             it.next().cloned().ok_or_else(|| format!("{flag} requires a value"))
         };
         match arg.as_str() {
-            "fig2" | "fig3" | "smoke" | "extended" | "scaling" | "verify" => {
+            "fig2" | "fig3" | "smoke" | "extended" | "scaling" | "scaling-grid" | "verify" => {
                 args.preset = Some(arg.clone());
             }
             "--kernels" => {
@@ -180,7 +188,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 // loudly instead of silently running the default grid.
                 return Err(format!(
                     "unknown preset `{other}` (valid presets: fig2, fig3, extended, smoke, \
-                     scaling, verify)"
+                     scaling, scaling-grid, verify)"
                 ));
             }
             other => return Err(format!("unknown argument `{other}`")),
@@ -190,8 +198,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
 }
 
 /// Expands the configuration axes into the cross product of all overrides.
-fn expand_configs(axes: &[(String, Vec<u32>)]) -> Vec<ClusterConfig> {
-    let mut configs = vec![ClusterConfig::default()];
+fn expand_configs(axes: &[(String, Vec<u32>)]) -> Vec<SystemConfig> {
+    let mut configs = vec![SystemConfig::default()];
     for (flag, values) in axes {
         configs = configs
             .iter()
@@ -199,15 +207,16 @@ fn expand_configs(axes: &[(String, Vec<u32>)]) -> Vec<ClusterConfig> {
                 values.iter().map(|&v| {
                     let mut c = cfg.clone();
                     match flag.as_str() {
-                        "--wb-ports" => c.int_wb_ports = v,
-                        "--l0" => c.l0_capacity = v as usize,
-                        "--fifo-depth" => c.offload_fifo_depth = v as usize,
-                        "--seq-depth" => c.sequencer_depth = v as usize,
-                        "--banks" => c.tcdm_banks = v as usize,
-                        "--cores" => c.cores = v as usize,
-                        "--fpu-lat-muladd" => c.fpu_lat_muladd = v,
-                        "--mul-latency" => c.mul_latency = v,
-                        "--branch-penalty" => c.branch_penalty = v,
+                        "--wb-ports" => c.cluster.int_wb_ports = v,
+                        "--l0" => c.cluster.l0_capacity = v as usize,
+                        "--fifo-depth" => c.cluster.offload_fifo_depth = v as usize,
+                        "--seq-depth" => c.cluster.sequencer_depth = v as usize,
+                        "--banks" => c.cluster.tcdm_banks = v as usize,
+                        "--cores" => c.cluster.cores = v as usize,
+                        "--clusters" => c.clusters = v as usize,
+                        "--fpu-lat-muladd" => c.cluster.fpu_lat_muladd = v,
+                        "--mul-latency" => c.cluster.mul_latency = v,
+                        "--branch-penalty" => c.cluster.branch_penalty = v,
                         other => unreachable!("unhandled config flag {other}"),
                     }
                     c
@@ -226,6 +235,7 @@ fn build_jobs(args: &Args) -> Vec<JobSpec> {
         Some("smoke") => job::smoke(),
         Some("extended") => job::extended(),
         Some("scaling") => job::scaling_default(),
+        Some("scaling-grid") => job::scaling_grid_default(),
         _ => {
             let points: Vec<(usize, usize)> =
                 args.sizes.iter().flat_map(|&n| args.blocks.iter().map(move |&b| (n, b))).collect();
@@ -234,15 +244,20 @@ fn build_jobs(args: &Args) -> Vec<JobSpec> {
     };
     // Configuration axes apply to presets too: replicate the preset batch
     // job-major across the expanded configurations. A preset that sets its
-    // own core counts (scaling) keeps them unless --cores was given.
+    // own grid shape (scaling, scaling-grid) keeps it unless the matching
+    // axis was given explicitly.
     let cores_axis_given = args.config_axes.iter().any(|(flag, _)| flag == "--cores");
+    let clusters_axis_given = args.config_axes.iter().any(|(flag, _)| flag == "--clusters");
     preset_jobs
         .into_iter()
         .flat_map(|j| {
             configs.iter().map(move |c| {
                 let mut config = c.clone();
                 if !cores_axis_given {
-                    config.cores = j.config.cores;
+                    config.cluster.cores = j.config.cluster.cores;
+                }
+                if !clusters_axis_given {
+                    config.clusters = j.config.clusters;
                 }
                 j.clone().with_config(config)
             })
@@ -310,16 +325,18 @@ fn run_with_progress(engine: &Engine, jobs: &[JobSpec], tel: &Telemetry) -> Vec<
 }
 
 /// `sweep verify`: statically verify every distinct program the preset
-/// batches can produce — each unique (kernel, variant, n, block, cores)
-/// builds once, runs through `snitch_verify`, and prints its diagnostic
-/// report. Nothing is simulated. Exits non-zero if any program carries a
-/// hard error, unless `--allow-invalid` downgrades that to a report.
+/// batches can produce — each unique (kernel, variant, n, block, cores,
+/// clusters) builds once, runs through `snitch_verify`, and prints its
+/// diagnostic report. Nothing is simulated. Exits non-zero if any program
+/// carries a hard error, unless `--allow-invalid` downgrades that to a
+/// report.
 fn run_verify(args: &Args) -> ExitCode {
     let mut batch = job::smoke();
     batch.extend(job::figure2());
     batch.extend(job::figure3_paper());
     batch.extend(job::extended());
     batch.extend(job::scaling_default());
+    batch.extend(job::scaling_grid_default());
     let mut seen = std::collections::HashSet::new();
     let (mut programs, mut errors, mut warnings) = (0usize, 0usize, 0usize);
     for job in batch {
@@ -327,7 +344,7 @@ fn run_verify(args: &Args) -> ExitCode {
         if !seen.insert(key) {
             continue;
         }
-        let program = key.kernel.build_for(key.variant, key.n, key.block, key.cores);
+        let program = key.kernel.build_grid(key.variant, key.n, key.block, key.cores, key.clusters);
         let diags = snitch_verify::verify(&program, &job.config);
         programs += 1;
         let errs = snitch_verify::error_count(&diags);

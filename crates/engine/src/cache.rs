@@ -12,11 +12,13 @@ use std::sync::{Arc, Mutex};
 use snitch_asm::program::Program;
 use snitch_kernels::registry::{Kernel, Variant};
 
-/// Cache key: the full input domain of [`Kernel::build_for`]. The cluster
-/// configuration is deliberately absent — it affects timing, never code —
-/// with one exception: the core count, which data-parallel workloads bake
+/// Cache key: the full input domain of [`Kernel::build_grid`]. The timing
+/// configuration is deliberately absent — it affects cycles, never code —
+/// with two exceptions: the core count, which data-parallel workloads bake
 /// into their programs (per-hart seed tables, buffer strides, reduction
-/// fan-in), so single- and multi-core programs can never collide.
+/// fan-in), and the cluster count, which tiled workloads bake into their
+/// DMA descriptors and row ownership — so programs built for different
+/// grid shapes can never collide.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct ProgramKey {
     /// Workload.
@@ -27,8 +29,10 @@ pub struct ProgramKey {
     pub n: usize,
     /// Block size.
     pub block: usize,
-    /// Compute cores the program is built for.
+    /// Compute cores per cluster the program is built for.
     pub cores: usize,
+    /// Clusters the program is built for.
+    pub clusters: usize,
 }
 
 /// Thread-safe compiled-program cache.
@@ -82,7 +86,8 @@ impl ProgramCache {
         // may have inserted while we were building. The counters stay
         // exact: hits + misses == lookups and misses == distinct programs,
         // regardless of races (a lost race counts as a hit).
-        let program = Arc::new(key.kernel.build_for(key.variant, key.n, key.block, key.cores));
+        let program =
+            Arc::new(key.kernel.build_grid(key.variant, key.n, key.block, key.cores, key.clusters));
         match self.map.lock().unwrap().entry(key) {
             std::collections::hash_map::Entry::Occupied(e) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -101,15 +106,16 @@ impl ProgramCache {
     /// `bool` reports whether this call ran the verifier (`true`) so the
     /// caller can attribute the time to the `Verify` telemetry phase.
     ///
-    /// Verification keys on the program, but needs the core count from
-    /// `config` (barrier consistency is a cross-hart property); the key
-    /// already pins `cores`, so the cache stays coherent.
+    /// Verification keys on the program, but needs the grid shape from
+    /// `config` (barrier consistency is a cross-hart property; memory-map
+    /// bounds depend on the instantiated cluster count); the key already
+    /// pins `cores` and `clusters`, so the cache stays coherent.
     #[must_use]
     pub fn diagnostics_for(
         &self,
         key: ProgramKey,
         program: &Program,
-        config: &snitch_sim::config::ClusterConfig,
+        config: &snitch_sim::config::SystemConfig,
     ) -> (Arc<Vec<snitch_verify::Diagnostic>>, bool) {
         if let Some(d) = self.diags.lock().unwrap().get(&key) {
             return (Arc::clone(d), false);
@@ -160,6 +166,7 @@ mod tests {
             n: 64,
             block: 0,
             cores: 1,
+            clusters: 1,
         };
         let a = cache.get(key);
         let b = cache.get(key);
@@ -178,6 +185,7 @@ mod tests {
             n: 64,
             block: 0,
             cores: 1,
+            clusters: 1,
         });
         let b = cache.get(ProgramKey {
             kernel: Kernel::PiLcg,
@@ -185,6 +193,7 @@ mod tests {
             n: 128,
             block: 0,
             cores: 1,
+            clusters: 1,
         });
         assert!(!Arc::ptr_eq(&a, &b));
         assert_eq!(cache.misses(), 2);
@@ -202,11 +211,31 @@ mod tests {
             n: 512,
             block: 32,
             cores: 1,
+            clusters: 1,
         };
         let single = cache.get(base);
         let octa = cache.get(ProgramKey { cores: 8, ..base });
         assert!(!Arc::ptr_eq(&single, &octa));
         assert!(octa.parallel() && single.parallel());
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn cluster_counts_never_share_a_program() {
+        // A tiled kernel's code depends on the cluster count (DMA strides,
+        // row ownership); the key must keep 1- and 4-cluster programs apart.
+        let cache = ProgramCache::new();
+        let base = ProgramKey {
+            kernel: Kernel::GemmTiled,
+            variant: Variant::Copift,
+            n: 32,
+            block: 0,
+            cores: 1,
+            clusters: 1,
+        };
+        let single = cache.get(base);
+        let quad = cache.get(ProgramKey { clusters: 4, ..base });
+        assert!(!Arc::ptr_eq(&single, &quad));
         assert_eq!(cache.misses(), 2);
     }
 }

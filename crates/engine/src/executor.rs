@@ -3,14 +3,14 @@
 //! Workers pull jobs from a shared atomic cursor, so load-balancing is
 //! dynamic, but each result lands in the slot of its job index — the
 //! returned `Vec<RunRecord>` is always in batch order regardless of how the
-//! OS schedules the workers. Each worker keeps one `Cluster` alive and
-//! [`reset`](snitch_sim::cluster::Cluster::reset)s it between jobs with the
+//! OS schedules the workers. Each worker keeps one `System` alive and
+//! [`reset`](snitch_sim::system::System::reset)s it between jobs with the
 //! same configuration, reusing the multi-MiB memory allocations.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
-use snitch_sim::cluster::Cluster;
+use snitch_sim::system::System;
 use snitch_telemetry::{Phase, Telemetry, MAIN_WORKER};
 
 use crate::cache::ProgramCache;
@@ -100,8 +100,8 @@ impl Engine {
                 let (slots, cursor) = (&slots, &cursor);
                 s.spawn(move || {
                     let worker = u32::try_from(w).unwrap_or(u32::MAX - 1);
-                    // One cluster per worker, rebuilt only on config change.
-                    let mut cluster: Option<Cluster> = None;
+                    // One system per worker, rebuilt only on config change.
+                    let mut system: Option<System> = None;
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(job) = jobs.get(i) else { break };
@@ -110,12 +110,12 @@ impl Engine {
                         // asserts); contain it to this job's record so one
                         // bad spec cannot abort the whole sweep.
                         let record = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            self.exec(job, &mut cluster, worker, i as u32, &tel)
+                            self.exec(job, &mut system, worker, i as u32, &tel)
                         }))
                         .unwrap_or_else(|panic| {
-                            // A panicked run leaves the cluster in an
+                            // A panicked run leaves the system in an
                             // unknown state; drop it.
-                            cluster = None;
+                            system = None;
                             RunRecord::failure(job.clone(), panic_message(panic.as_ref()))
                         });
                         slots[i].set(record).expect("each job index is claimed once");
@@ -131,11 +131,11 @@ impl Engine {
         })
     }
 
-    /// Runs one job, reusing `cluster` when its configuration matches.
+    /// Runs one job, reusing `system` when its configuration matches.
     fn exec(
         &self,
         job: &JobSpec,
-        cluster: &mut Option<Cluster>,
+        system: &mut Option<System>,
         worker: u32,
         index: u32,
         tel: &Telemetry,
@@ -174,28 +174,28 @@ impl Engine {
             record.diagnostics = diagnostics;
             return record;
         }
-        let reusable = cluster.as_ref().is_some_and(|c| *c.config() == job.config);
+        let reusable = system.as_ref().is_some_and(|s| *s.config() == job.config);
         if !reusable {
-            let built = tel.time(worker, job_id, Phase::Warm, || Cluster::new(job.config.clone()));
-            *cluster = Some(built);
+            let built = tel.time(worker, job_id, Phase::Warm, || System::new(job.config.clone()));
+            *system = Some(built);
         }
-        let cluster = cluster.as_mut().expect("cluster was just ensured");
-        tel.time(worker, job_id, Phase::Reset, || cluster.reset());
+        let system = system.as_mut().expect("system was just ensured");
+        tel.time(worker, job_id, Phase::Reset, || system.reset());
         let t0 = tel.start();
-        let result = job.kernel.run_loaded(cluster, job.variant, job.n, &program);
+        let result = job.kernel.run_loaded(system, job.variant, job.n, &program);
         tel.finish(t0, worker, job_id, Phase::Simulate);
         let mut record = match result {
             Ok(outcome) => {
                 let mut record = RunRecord::success(job.clone(), &outcome);
-                record.block_replayed_cycles = cluster.block_replayed_cycles();
+                record.block_replayed_cycles = system.block_replayed_cycles();
                 if job.trace() {
                     // The reset just above ran before the load, so the
                     // attached tracer holds exactly this job's events.
-                    let events = cluster.trace_events().unwrap_or_default().to_vec();
+                    let events = system.trace_events().unwrap_or_default().to_vec();
                     record = record.with_trace(events);
                 }
                 if job.profile() {
-                    if let Some(profile) = cluster.profile() {
+                    if let Some(profile) = system.profile() {
                         record = record.with_profile(profile.clone());
                     }
                 }

@@ -6,7 +6,7 @@
 //! so batch expansion fully defines the layout of every result file.
 
 use snitch_kernels::registry::{Kernel, Variant};
-use snitch_sim::config::ClusterConfig;
+use snitch_sim::config::{ClusterConfig, SystemConfig};
 
 use crate::cache::ProgramKey;
 
@@ -21,21 +21,23 @@ pub struct JobSpec {
     pub n: usize,
     /// DMA/tiling block size (ignored by kernels without blocking).
     pub block: usize,
-    /// Cluster configuration to simulate under.
-    pub config: ClusterConfig,
+    /// System configuration to simulate under (a single default cluster
+    /// unless the job says otherwise).
+    pub config: SystemConfig,
 }
 
 impl JobSpec {
-    /// A job at the default cluster configuration.
+    /// A job at the default single-cluster configuration.
     #[must_use]
     pub fn new(kernel: Kernel, variant: Variant, n: usize, block: usize) -> Self {
-        JobSpec { kernel, variant, n, block, config: ClusterConfig::default() }
+        JobSpec { kernel, variant, n, block, config: SystemConfig::default() }
     }
 
-    /// Replaces the cluster configuration.
+    /// Replaces the system configuration. Accepts a plain
+    /// [`ClusterConfig`] (a single-cluster system) via `Into`.
     #[must_use]
-    pub fn with_config(mut self, config: ClusterConfig) -> Self {
-        self.config = config;
+    pub fn with_config(mut self, config: impl Into<SystemConfig>) -> Self {
+        self.config = config.into();
         self
     }
 
@@ -47,14 +49,14 @@ impl JobSpec {
     /// serializes to the same JSON-lines/CSV rows as its untraced twin.
     #[must_use]
     pub fn traced(mut self) -> Self {
-        self.config.trace = true;
+        self.config.cluster.trace = true;
         self
     }
 
     /// Whether this job requests an event trace.
     #[must_use]
     pub fn trace(&self) -> bool {
-        self.config.trace
+        self.config.cluster.trace
     }
 
     /// Requests a per-pc cycle/stall profile of this job: the run's
@@ -67,20 +69,21 @@ impl JobSpec {
     /// unprofiled twin.
     #[must_use]
     pub fn profiled(mut self) -> Self {
-        self.config.profile = true;
+        self.config.cluster.profile = true;
         self
     }
 
     /// Whether this job requests a cycle profile.
     #[must_use]
     pub fn profile(&self) -> bool {
-        self.config.profile
+        self.config.cluster.profile
     }
 
     /// The program-cache key: timing-configuration changes never rebuild
-    /// programs, but the core count does (data-parallel programs bake the
-    /// cluster size into seed tables, buffer strides and the reduction), so
-    /// single- and multi-core programs never collide in the cache.
+    /// programs, but the grid shape does (data-parallel programs bake the
+    /// core count into seed tables and reductions; tiled programs bake the
+    /// cluster count into their DMA descriptors), so programs for different
+    /// shapes never collide in the cache.
     #[must_use]
     pub fn program_key(&self) -> ProgramKey {
         ProgramKey {
@@ -88,31 +91,38 @@ impl JobSpec {
             variant: self.variant,
             n: self.n,
             block: self.block,
-            cores: self.config.cores,
+            cores: self.config.cluster.cores,
+            clusters: self.config.clusters,
         }
     }
 
-    /// Human-readable job label, e.g. `exp/copift/n2048/b128` (multi-core
-    /// jobs append `/cN`).
+    /// Human-readable job label, e.g. `exp/copift/n2048/b128`. Multi-core
+    /// jobs append `/cN` (cores per cluster); multi-cluster jobs append
+    /// `/xN` (cluster count) after that — `gemm_tiled/copift/n64/b0/c8/x4`
+    /// is the 4-cluster, 8-cores-per-cluster shape.
     #[must_use]
     pub fn label(&self) -> String {
         use std::fmt::Write as _;
         let mut label =
             format!("{}/{}/n{}/b{}", self.kernel.name(), self.variant.name(), self.n, self.block);
-        if self.config.cores > 1 {
-            let _ = write!(label, "/c{}", self.config.cores);
+        if self.config.cluster.cores > 1 {
+            let _ = write!(label, "/c{}", self.config.cluster.cores);
+        }
+        if self.config.clusters > 1 {
+            let _ = write!(label, "/x{}", self.config.clusters);
         }
         label
     }
 
     /// Full four-axis matrix expansion: every `kernel × variant × (n, block)
-    /// × config` combination, row-major in that axis order.
+    /// × config` combination, row-major in that axis order. Accepts slices
+    /// of [`ClusterConfig`] (single-cluster systems) or [`SystemConfig`].
     #[must_use]
-    pub fn grid_with_configs(
+    pub fn grid_with_configs<C: Clone + Into<SystemConfig>>(
         kernels: &[Kernel],
         variants: &[Variant],
         points: &[(usize, usize)],
-        configs: &[ClusterConfig],
+        configs: &[C],
     ) -> Vec<JobSpec> {
         let mut jobs =
             Vec::with_capacity(kernels.len() * variants.len() * points.len() * configs.len());
@@ -120,7 +130,13 @@ impl JobSpec {
             for &variant in variants {
                 for &(n, block) in points {
                     for config in configs {
-                        jobs.push(JobSpec { kernel, variant, n, block, config: config.clone() });
+                        jobs.push(JobSpec {
+                            kernel,
+                            variant,
+                            n,
+                            block,
+                            config: config.clone().into(),
+                        });
                     }
                 }
             }
@@ -135,7 +151,7 @@ impl JobSpec {
         variants: &[Variant],
         points: &[(usize, usize)],
     ) -> Vec<JobSpec> {
-        Self::grid_with_configs(kernels, variants, points, &[ClusterConfig::default()])
+        Self::grid_with_configs(kernels, variants, points, &[SystemConfig::default()])
     }
 }
 
@@ -170,10 +186,14 @@ pub fn figure2() -> Vec<JobSpec> {
 }
 
 /// The extended-suite batch: [`steady_pairs`] over every cataloged kernel
-/// beyond the paper's Figure 2 suite.
+/// beyond the paper's Figure 2 suite that supports the `(n, 2n)`
+/// steady-state methodology (the tiled kernels opt out — the scaling-grid
+/// batch measures them instead).
 #[must_use]
 pub fn extended() -> Vec<JobSpec> {
-    steady_pairs(&Kernel::extended())
+    let kernels: Vec<Kernel> =
+        Kernel::extended().into_iter().filter(|k| k.steady_measurable()).collect();
+    steady_pairs(&kernels)
 }
 
 /// The paper's Figure 3 block sizes.
@@ -213,17 +233,22 @@ pub fn smoke() -> Vec<JobSpec> {
     jobs
 }
 
-/// Replicates one job across many cluster configurations (ablations). The
-/// compiled program is shared by all replicas through the program cache.
+/// Replicates one job across many configurations (ablations). The compiled
+/// program is shared by all replicas through the program cache. Accepts
+/// slices of [`ClusterConfig`] or [`SystemConfig`].
 #[must_use]
-pub fn config_sweep(base: &JobSpec, configs: &[ClusterConfig]) -> Vec<JobSpec> {
+pub fn config_sweep<C: Clone + Into<SystemConfig>>(base: &JobSpec, configs: &[C]) -> Vec<JobSpec> {
     configs.iter().map(|c| base.clone().with_config(c.clone())).collect()
 }
 
-/// The canonical cluster-scaling axis, shared by the sweep CLI's `scaling`
+/// The canonical core-scaling axis, shared by the sweep CLI's `scaling`
 /// preset and the bench `scaling` driver so both always produce the same
 /// batch.
 pub const SCALING_CORES: [usize; 4] = [1, 2, 4, 8];
+
+/// The canonical cluster-count axis of the 2-D (cores × clusters) scaling
+/// grid.
+pub const SCALING_CLUSTERS: [usize; 3] = [1, 2, 4];
 
 /// The data-parallel kernels of the canonical scaling batch.
 #[must_use]
@@ -247,12 +272,42 @@ pub fn scaling_default() -> Vec<JobSpec> {
 /// workloads bake the cluster size into their code.
 #[must_use]
 pub fn scaling(kernels: &[Kernel], cores: &[usize], n: usize, block: usize) -> Vec<JobSpec> {
-    let mut jobs = Vec::with_capacity(kernels.len() * 2 * cores.len());
+    scaling_grid(kernels, cores, &[1], n, block)
+}
+
+/// The canonical 2-D scaling grid: `gemm_tiled` × both variants ×
+/// [`SCALING_CORES`] × [`SCALING_CLUSTERS`] at the kernel's operating point
+/// (24 jobs; the EXPERIMENTS.md "Cores × clusters scaling" table).
+#[must_use]
+pub fn scaling_grid_default() -> Vec<JobSpec> {
+    let (n, block) = Kernel::GemmTiled.operating_point();
+    scaling_grid(&[Kernel::GemmTiled], &SCALING_CORES, &SCALING_CLUSTERS, n, block)
+}
+
+/// 2-D scaling batch over the full system shape: every `kernel × variant ×
+/// clusters × cores` combination at a fixed `(n, block)` operating point,
+/// kernel-major, then variant, then clusters, with cores innermost (one
+/// table row per clusters value in the drivers). Every grid shape builds
+/// its own program — tiled workloads bake both counts into their code.
+#[must_use]
+pub fn scaling_grid(
+    kernels: &[Kernel],
+    cores: &[usize],
+    clusters: &[usize],
+    n: usize,
+    block: usize,
+) -> Vec<JobSpec> {
+    let mut jobs = Vec::with_capacity(kernels.len() * 2 * cores.len() * clusters.len());
     for &kernel in kernels {
         for variant in Variant::all() {
-            for &c in cores {
-                let config = ClusterConfig { cores: c, ..ClusterConfig::default() };
-                jobs.push(JobSpec::new(kernel, variant, n, block).with_config(config));
+            for &x in clusters {
+                for &c in cores {
+                    let config = SystemConfig {
+                        cluster: ClusterConfig { cores: c, ..ClusterConfig::default() },
+                        clusters: x,
+                    };
+                    jobs.push(JobSpec::new(kernel, variant, n, block).with_config(config));
+                }
             }
         }
     }
@@ -309,8 +364,13 @@ mod tests {
             );
         }
         let ext = extended();
-        assert_eq!(ext.len(), 4 * Kernel::extended().len());
+        let steady = Kernel::extended().into_iter().filter(|k| k.steady_measurable()).count();
+        assert_eq!(ext.len(), 4 * steady);
         assert!(ext.iter().all(|j| !Kernel::paper().contains(&j.kernel)));
+        assert!(
+            ext.iter().all(|j| j.kernel.name() != "gemm_tiled"),
+            "the tiled kernel cannot run at 2n; the scaling-grid batch measures it"
+        );
         assert!(ext.iter().any(|j| j.kernel.name() == "sigmoid"));
         assert!(ext.iter().any(|j| j.kernel.name() == "softmax"));
         assert!(ext.iter().any(|j| j.kernel.name() == "dot_lcg"));
@@ -322,10 +382,28 @@ mod tests {
         assert_eq!(jobs.len(), 4);
         assert_eq!(jobs[0].label(), "pi_lcg_par/base/n512/b32");
         assert_eq!(jobs[1].label(), "pi_lcg_par/base/n512/b32/c8");
-        assert_eq!(jobs[1].config.cores, 8);
+        assert_eq!(jobs[1].config.cluster.cores, 8);
         // Different core counts never share a compiled program.
         assert_ne!(jobs[0].program_key(), jobs[1].program_key());
         assert_eq!(jobs[1].program_key().cores, 8);
+    }
+
+    #[test]
+    fn grid_labels_append_cores_then_clusters() {
+        let jobs = scaling_grid(&[Kernel::GemmTiled], &[1, 8], &[1, 4], 64, 0);
+        assert_eq!(jobs.len(), 8);
+        let labels: Vec<String> = jobs.iter().map(JobSpec::label).collect();
+        // clusters-major with cores innermost; /cN before /xN.
+        assert_eq!(labels[0], "gemm_tiled/base/n64/b0");
+        assert_eq!(labels[1], "gemm_tiled/base/n64/b0/c8");
+        assert_eq!(labels[2], "gemm_tiled/base/n64/b0/x4");
+        assert_eq!(labels[3], "gemm_tiled/base/n64/b0/c8/x4");
+        // Different cluster counts never share a compiled program.
+        assert_ne!(jobs[0].program_key(), jobs[2].program_key());
+        assert_eq!(jobs[3].program_key().clusters, 4);
+        // Single-cluster keys and labels are identical to the pre-system
+        // forms (the `/x` suffix and the key's clusters axis are inert).
+        assert_eq!(jobs[0].program_key().clusters, 1);
     }
 
     #[test]

@@ -30,7 +30,10 @@ pub struct RunRecord {
     pub power_mw: f64,
     /// Total energy, µJ (0 on failure).
     pub energy_uj: f64,
-    /// Fingerprint of the cluster configuration (joins rows to configs).
+    /// Fingerprint of the system configuration (joins rows to configs).
+    /// Single-cluster fingerprints keep the historical cluster-only form;
+    /// multi-cluster configurations hash in the cluster count, so every
+    /// `/cN`/`/xN` grid cell gets its own `config` column value.
     pub config_fingerprint: u64,
     /// Full counter set of the run (absent on failure).
     pub stats: Option<Stats>,

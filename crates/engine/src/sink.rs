@@ -3,6 +3,12 @@
 //! Output is written in job order (the order of the batch passed to the
 //! executor), which the engine guarantees is independent of worker
 //! scheduling — so a sweep's files are byte-identical across worker counts.
+//!
+//! Rows identify their job by the `kernel`, `variant`, `n` and `block`
+//! columns plus the `config` fingerprint, which separates grid shapes: jobs
+//! whose labels carry the `/cN` (cores) or `/xN` (clusters) suffix carry a
+//! distinct fingerprint per shape, while plain single-core, single-cluster
+//! rows keep the historical fingerprint bytes.
 
 use std::io::{self, Write};
 

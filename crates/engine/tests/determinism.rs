@@ -64,6 +64,42 @@ fn multicore_grid_is_byte_identical_across_worker_counts() {
 }
 
 #[test]
+fn multicluster_grid_is_byte_identical_across_worker_counts() {
+    // The tiled 2-D grid mixes cluster counts 1/2/4 with core counts 1/8 —
+    // worker-local system reuse must rebuild on every shape change and the
+    // serialized sinks must not depend on how jobs land on workers.
+    let jobs = job::scaling_grid(&[Kernel::GemmTiled], &[1, 8], &[1, 2, 4], 32, 0);
+    assert_eq!(jobs.len(), 12);
+    let serial_records = Engine::new(1).run(&jobs);
+    let serial_jsonl = sink::to_jsonl(&serial_records);
+    let serial_csv = sink::to_csv(&serial_records);
+    for workers in [2, 8] {
+        let records = Engine::new(workers).run(&jobs);
+        assert_eq!(
+            serial_jsonl,
+            sink::to_jsonl(&records),
+            "multi-cluster JSON-lines output diverged at {workers} workers"
+        );
+        assert_eq!(
+            serial_csv,
+            sink::to_csv(&records),
+            "multi-cluster CSV output diverged at {workers} workers"
+        );
+    }
+    assert!(serial_jsonl.lines().all(|l| l.contains("\"ok\":true")), "all grid jobs validate");
+    // Every grid shape keeps its own config fingerprint (2 cores x 3
+    // clusters), and the single-shape labels carry the /cN and /xN suffixes.
+    let fingerprints: std::collections::HashSet<&str> = serial_jsonl
+        .lines()
+        .filter_map(|l| l.split("\"config\":\"").nth(1).and_then(|r| r.split('"').next()))
+        .collect();
+    assert_eq!(fingerprints.len(), 6, "one fingerprint per (cores, clusters) shape");
+    let labels: Vec<String> = jobs.iter().map(job::JobSpec::label).collect();
+    assert!(labels.contains(&"gemm_tiled/base/n32/b0".to_string()));
+    assert!(labels.contains(&"gemm_tiled/copift/n32/b0/c8/x4".to_string()));
+}
+
+#[test]
 fn traced_runs_are_byte_identical_across_worker_counts() {
     // Tracing must not perturb determinism: with every job requesting an
     // event trace, the serialized result sinks AND the rendered trace

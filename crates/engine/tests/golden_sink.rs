@@ -1,0 +1,64 @@
+//! Committed golden sink bytes for single-cluster runs.
+//!
+//! The fixtures under `tests/goldens/` were generated before the
+//! multi-cluster `System` layer landed; every single-cluster job here must
+//! keep producing byte-identical JSON-lines and CSV output forever — the
+//! configuration fingerprint, the stats counters and the serialized field
+//! order are all load-bearing. Regenerate (only for a deliberate,
+//! documented format change) with:
+//!
+//! ```text
+//! UPDATE_GOLDENS=1 cargo test -p snitch-engine --test golden_sink
+//! ```
+
+use std::path::PathBuf;
+
+use snitch_engine::{sink, Engine, JobSpec};
+use snitch_kernels::registry::{Kernel, Variant};
+use snitch_sim::config::ClusterConfig;
+
+/// A fixed batch covering the serialization surface: default configs, a
+/// config-ablated job (distinct fingerprint), and a multi-core job.
+fn batch() -> Vec<JobSpec> {
+    vec![
+        JobSpec::new(Kernel::PiLcg, Variant::Baseline, 128, 0),
+        JobSpec::new(Kernel::PiLcg, Variant::Copift, 128, 32),
+        JobSpec::new(Kernel::Logf, Variant::Baseline, 64, 16),
+        JobSpec::new(Kernel::Sigmoid, Variant::Copift, 128, 32),
+        JobSpec::new(Kernel::Softmax, Variant::Baseline, 64, 16),
+        JobSpec::new(Kernel::PiXoshiro, Variant::Baseline, 64, 0)
+            .with_config(ClusterConfig { int_wb_ports: 2, ..ClusterConfig::default() }),
+        JobSpec::new(Kernel::PiLcgPar, Variant::Copift, 512, 32)
+            .with_config(ClusterConfig { cores: 8, ..ClusterConfig::default() }),
+    ]
+}
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/goldens")
+}
+
+#[test]
+fn single_cluster_sink_bytes_match_committed_goldens() {
+    let records = Engine::new(2).run(&batch());
+    assert!(records.iter().all(|r| r.ok), "every golden job validates");
+    let jsonl = sink::to_jsonl(&records);
+    let csv = sink::to_csv(&records);
+
+    let dir = golden_dir();
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("single_cluster.jsonl"), &jsonl).unwrap();
+        std::fs::write(dir.join("single_cluster.csv"), &csv).unwrap();
+        return;
+    }
+
+    let want_jsonl = std::fs::read_to_string(dir.join("single_cluster.jsonl"))
+        .expect("committed golden tests/goldens/single_cluster.jsonl");
+    let want_csv = std::fs::read_to_string(dir.join("single_cluster.csv"))
+        .expect("committed golden tests/goldens/single_cluster.csv");
+    assert_eq!(
+        jsonl, want_jsonl,
+        "single-cluster JSON-lines output diverged from the pre-System goldens"
+    );
+    assert_eq!(csv, want_csv, "single-cluster CSV output diverged from the pre-System goldens");
+}

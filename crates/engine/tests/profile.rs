@@ -6,8 +6,8 @@
 use snitch_engine::{sink, Engine, JobSpec};
 use snitch_kernels::registry::{Kernel, Variant};
 use snitch_profile::{disasm, flame, perfetto, Lane, Profiler, RegionMap, StallCause};
-use snitch_sim::cluster::Cluster;
 use snitch_sim::config::ClusterConfig;
+use snitch_sim::system::System;
 
 /// Every paper kernel in both variants at its smoke point.
 fn paper_batch() -> Vec<JobSpec> {
@@ -75,12 +75,12 @@ fn profile_is_identical_with_block_compile_off() {
         for variant in Variant::all() {
             let program = kernel.build_for(variant, n, block, 1);
             let run = |bursts: bool| -> (Profiler, snitch_sim::stats::Stats) {
-                let mut cluster = Cluster::new(ClusterConfig::profiled());
-                cluster.set_block_compile(bursts);
+                let mut system = System::new(ClusterConfig::profiled().into());
+                system.set_block_compile(bursts);
                 let outcome = kernel
-                    .run_loaded(&mut cluster, variant, n, &program)
+                    .run_loaded(&mut system, variant, n, &program)
                     .unwrap_or_else(|e| panic!("{}/{variant:?}: {e}", kernel.name()));
-                (cluster.profile().expect("profiler attached").clone(), outcome.stats)
+                (system.profile().expect("profiler attached").clone(), outcome.stats)
             };
             let (profile_on, stats_on) = run(true);
             let (profile_off, stats_off) = run(false);

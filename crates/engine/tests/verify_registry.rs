@@ -4,25 +4,34 @@
 //! static checks calibrated against real codegen output.
 
 use snitch_kernels::registry::{Kernel, Variant};
-use snitch_sim::config::ClusterConfig;
+use snitch_sim::config::{ClusterConfig, SystemConfig};
 use snitch_verify::{error_count, report, verify};
 
 #[test]
 fn all_registry_kernels_verify_clean() {
     let mut checked = 0usize;
     for kernel in Kernel::all() {
-        let w = kernel.workload();
         for variant in Variant::all() {
-            for &(n, block) in &[(64usize, 16usize), (256, 64)] {
-                let program = w.build(variant, n, block);
-                let cores = if program.parallel() { 4 } else { 1 };
-                let config = ClusterConfig { cores, ..ClusterConfig::default() };
+            // Each kernel's own representative points — fixed sizes would
+            // reject the tiled kernels, whose TCDM footprint grows with n².
+            for (n, block) in [kernel.smoke_point(), kernel.operating_point()] {
+                let probe = kernel.build_grid(variant, n, block, 1, 1);
+                let cores = if probe.parallel() { 4 } else { 1 };
+                let program =
+                    if cores == 1 { probe } else { kernel.build_grid(variant, n, block, cores, 1) };
+                let config = SystemConfig {
+                    cluster: ClusterConfig { cores, ..ClusterConfig::default() },
+                    clusters: 1,
+                };
                 let diags = verify(&program, &config);
                 assert_eq!(
                     error_count(&diags),
                     0,
                     "{}",
-                    report(&format!("{}/{} n={n} block={block}", w.name(), variant.name()), &diags)
+                    report(
+                        &format!("{}/{} n={n} block={block}", kernel.name(), variant.name()),
+                        &diags
+                    )
                 );
                 checked += 1;
             }

@@ -1,0 +1,420 @@
+//! Tiled double-precision GEMM (`C = A·B`) staged through the shared L2.
+//!
+//! The first workload written *for* the multi-cluster [`System`]: `A`, `B`
+//! and `C` live in L2, and every cluster DMAs its working set into TCDM
+//! before computing — the data path the single-cluster kernels never
+//! exercise (their inputs are TCDM-resident images).
+//!
+//! **Tiling.** For a `d×d` problem on `clusters × cores` harts, global row
+//! `g` of `C` is owned by cluster `g/H mod C`, hart `g mod H` (blocks of
+//! `H = cores` consecutive rows round-robin over the `C = clusters`
+//! clusters). Each cluster stages the full `B` (reused by every row) plus
+//! its `d/C` rows of `A` with one 2-D DMA descriptor (`dmstr`/`dmrep`:
+//! stride `C·H·d·8` in L2, packed in TCDM), computes its `d/C` rows of `C`
+//! into TCDM, and writes them back with the reversed 2-D descriptor. The
+//! constraint is `d % (clusters·cores) == 0`.
+//!
+//! **Variants.** The baseline is the scalar RV32G loop nest (two `fld`s and
+//! an `fmadd.d` per inner iteration). The COPIFT variant streams the `A`
+//! row through SSR 0 (repeated `d` times via a zero-stride outer dimension)
+//! and `B` column-major through SSR 1, reducing each output element with a
+//! single-instruction FREP over `fmadd.d` — the 2-D affine streams from the
+//! paper's GEMM discussion.
+//!
+//! **Bit-exactness.** Both variants accumulate in k-ascending order with
+//! fused multiply-adds, so every `(cores, clusters)` shape produces the
+//! same bits as the host golden model's `f64::mul_add` loop — the tiling
+//! only permutes *which hart* computes a row, never the order within one.
+//!
+//! [`System`]: snitch_sim::system::System
+
+use snitch_asm::builder::ProgramBuilder;
+use snitch_asm::program::Program;
+use snitch_riscv::csr::SsrCfgWord;
+use snitch_riscv::reg::{FpReg, IntReg};
+
+use crate::golden::input_doubles;
+
+fn x(i: u8) -> IntReg {
+    IntReg::new(i)
+}
+fn f(i: u8) -> FpReg {
+    FpReg::new(i)
+}
+
+/// Validates the shape: `d` rows must split evenly into blocks of `cores`
+/// rows across `clusters` clusters, and one cluster's working set
+/// (`B` + `d/clusters` rows of `A` and `C`) must fit in TCDM.
+fn check_shape(d: usize, cores: usize, clusters: usize) {
+    assert!(d > 0 && cores > 0 && clusters > 0, "empty shape");
+    assert_eq!(
+        d % (clusters * cores),
+        0,
+        "gemm_tiled needs d % (clusters*cores) == 0 (d={d}, cores={cores}, clusters={clusters})"
+    );
+    let tile_bytes = (d * d + 2 * (d / clusters) * d) * 8;
+    assert!(
+        tile_bytes <= snitch_asm::layout::TCDM_SIZE as usize,
+        "per-cluster working set ({tile_bytes} B) exceeds TCDM"
+    );
+}
+
+/// The operand matrices: one LCG stream split in two so `A` and `B` are
+/// uncorrelated. Row-major `d×d`.
+fn operands(d: usize) -> (Vec<f64>, Vec<f64>) {
+    let v = input_doubles(2 * d * d, -1.0, 1.0);
+    let (a, b) = v.split_at(d * d);
+    (a.to_vec(), b.to_vec())
+}
+
+/// Host golden model: `C = A·B` with k-ascending `mul_add` per element —
+/// bit-exact against the simulated `fmadd.d` reduction on every shape.
+#[must_use]
+pub fn golden_outputs(d: usize) -> Vec<u64> {
+    let (a, b) = operands(d);
+    let mut c = vec![0u64; d * d];
+    for i in 0..d {
+        for j in 0..d {
+            let mut acc = 0.0f64;
+            for k in 0..d {
+                acc = a[i * d + k].mul_add(b[k * d + j], acc);
+            }
+            c[i * d + j] = acc.to_bits();
+        }
+    }
+    c
+}
+
+/// Emits the shared SPMD frame around a variant-specific compute phase:
+/// data in L2, hart 0 stages `B` and the cluster's `A` block into TCDM,
+/// barrier, compute (`emit_compute`), fence + barrier, hart 0 writes the
+/// `C` block back to L2.
+fn build(
+    d: usize,
+    cores: usize,
+    clusters: usize,
+    emit_compute: impl FnOnce(&mut ProgramBuilder, [u32; 3]),
+) -> Program {
+    check_shape(d, cores, clusters);
+    let (a, bm) = operands(d);
+    let rows_pc = d / clusters; // rows of A/C owned by one cluster
+    let blocks = d / (clusters * cores); // row blocks per cluster
+    let dd8 = (d * d * 8) as u32; // bytes of one full matrix
+    let h_d8 = (cores * d * 8) as u32; // bytes of one H-row block
+    let ch_d8 = (clusters * cores * d * 8) as u32; // L2 stride between a cluster's blocks
+
+    let mut b = ProgramBuilder::new();
+    b.parallel();
+    let a_l2 = b.l2_f64("a_data", &a);
+    let b_l2 = b.l2_f64("b_data", &bm);
+    let c_l2 = b.l2_reserve("c_data", d * d * 8, 8);
+    let b_tile = b.tcdm_reserve("b_tile", d * d * 8, 8);
+    let a_tile = b.tcdm_reserve("a_tile", rows_pc * d * 8, 8);
+    let c_tile = b.tcdm_reserve("c_tile", rows_pc * d * 8, 8);
+
+    b.csrr_mhartid(x(28));
+    b.csrr_cluster_id(x(27));
+
+    // Hart 0 stages the cluster's working set; everyone else parks at the
+    // barrier.
+    b.bnez(x(28), "tiles_staged");
+    // Full B, one 1-D copy (strides/reps are in their reset state).
+    b.li_u(x(5), b_l2);
+    b.dmsrc(x(5));
+    b.li_u(x(6), b_tile);
+    b.dmdst(x(6));
+    b.li_u(x(7), dd8);
+    b.dmcpyi(x(31), x(7));
+    // This cluster's A rows: `blocks` segments of H·d·8 bytes, strided
+    // C·H·d·8 apart in L2, packed in TCDM.
+    b.li_u(x(9), h_d8);
+    b.mul(x(5), x(27), x(9));
+    b.li_u(x(10), a_l2);
+    b.add(x(5), x(5), x(10));
+    b.dmsrc(x(5));
+    b.li_u(x(6), a_tile);
+    b.dmdst(x(6));
+    b.li_u(x(10), ch_d8);
+    b.dmstr(x(10), x(9));
+    b.li(x(11), blocks as i32);
+    b.dmrep(x(11));
+    b.dmcpyi(x(31), x(9));
+    b.label("stage_wait");
+    b.dmstati(x(12));
+    b.bnez(x(12), "stage_wait");
+    b.label("tiles_staged");
+    b.barrier();
+
+    emit_compute(&mut b, [b_tile, a_tile, c_tile]);
+
+    // C block back to L2: the reversed 2-D descriptor (packed TCDM source,
+    // strided L2 destination).
+    b.fpu_fence();
+    b.barrier();
+    b.bnez(x(28), "done");
+    b.li_u(x(9), h_d8);
+    b.li_u(x(5), c_tile);
+    b.dmsrc(x(5));
+    b.mul(x(6), x(27), x(9));
+    b.li_u(x(10), c_l2);
+    b.add(x(6), x(6), x(10));
+    b.dmdst(x(6));
+    b.li_u(x(10), ch_d8);
+    b.dmstr(x(9), x(10));
+    b.li(x(11), blocks as i32);
+    b.dmrep(x(11));
+    b.dmcpyi(x(31), x(9));
+    b.label("writeback_wait");
+    b.dmstati(x(12));
+    b.bnez(x(12), "writeback_wait");
+    b.label("done");
+    b.ecall();
+    b.build().expect("gemm_tiled assembles")
+}
+
+/// Emits the shared per-row loop head: `x23` holds the local row, `x22`
+/// and `x21` get the row's `a_tile`/`c_tile` addresses (clobbers `x16`).
+/// Symbol addresses are looked up lazily because TCDM layout is fixed at
+/// this point.
+fn emit_row_addrs(b: &mut ProgramBuilder, a_tile: u32, c_tile: u32) {
+    b.mul(x(22), x(23), x(26));
+    b.li_u(x(16), a_tile);
+    b.add(x(22), x(22), x(16));
+    b.mul(x(21), x(23), x(26));
+    b.li_u(x(16), c_tile);
+    b.add(x(21), x(21), x(16));
+}
+
+/// Snitch-optimized RV32G baseline.
+///
+/// # Panics
+///
+/// Panics when `d % (clusters*cores) != 0` or the tile exceeds TCDM.
+#[must_use]
+pub fn baseline(d: usize, cores: usize, clusters: usize) -> Program {
+    let rows_pc = d / clusters;
+    build(d, cores, clusters, |b, [b_tile, a_tile, c_tile]| {
+        b.fcvt_d_w(f(0), IntReg::ZERO); // 0.0
+        b.mv(x(23), x(28)); // local row = hart id
+        b.li(x(24), cores as i32);
+        b.li(x(25), rows_pc as i32);
+        b.li(x(26), (d * 8) as i32);
+        b.label("row_loop");
+        emit_row_addrs(b, a_tile, c_tile);
+        b.li_u(x(13), b_tile); // column base walks right each j
+        b.li(x(20), d as i32);
+        b.label("col_loop");
+        b.mv(x(17), x(22)); // a walks the row
+        b.mv(x(19), x(13)); // b walks the column
+        b.fmv_d(f(3), f(0)); // acc = 0
+        b.li(x(18), d as i32);
+        b.label("k_loop");
+        b.fld(f(1), x(17), 0);
+        b.fld(f(2), x(19), 0);
+        b.fmadd_d(f(3), f(1), f(2), f(3));
+        b.addi(x(17), x(17), 8);
+        b.add(x(19), x(19), x(26));
+        b.addi(x(18), x(18), -1);
+        b.bnez(x(18), "k_loop");
+        b.fsd(f(3), x(21), 0);
+        b.addi(x(21), x(21), 8);
+        b.addi(x(13), x(13), 8);
+        b.addi(x(20), x(20), -1);
+        b.bnez(x(20), "col_loop");
+        b.add(x(23), x(23), x(24));
+        b.blt(x(23), x(25), "row_loop");
+    })
+}
+
+/// COPIFT variant: 2-D affine SSR streams + single-instruction FREP.
+///
+/// SSR 0 serves the `A` row `d` times (inner dim walks the row, zero-stride
+/// outer dim repeats it); SSR 1 serves `B` column-major (inner dim strides
+/// one row down, outer dim steps one column right). Each output element is
+/// then one `frep` over `fmadd.d ft5, ft0, ft1, ft5`.
+///
+/// # Panics
+///
+/// Panics when `d % (clusters*cores) != 0` or the tile exceeds TCDM.
+#[must_use]
+pub fn copift(d: usize, cores: usize, clusters: usize) -> Program {
+    let rows_pc = d / clusters;
+    build(d, cores, clusters, |b, [b_tile, a_tile, c_tile]| {
+        b.fcvt_d_w(f(4), IntReg::ZERO); // 0.0 (f0..f2 are SSR streams)
+        b.mv(x(23), x(28));
+        b.li(x(24), cores as i32);
+        b.li(x(25), rows_pc as i32);
+        b.li(x(26), (d * 8) as i32);
+        b.li(x(15), (d - 1) as i32);
+        // Both streams: 2-D reads, d×d elements per arming.
+        b.li(x(14), 0b010);
+        for ssr in 0..2 {
+            b.scfgwi(x(14), ssr, SsrCfgWord::Status);
+            b.scfgwi(x(15), ssr, SsrCfgWord::Bound(0));
+            b.scfgwi(x(15), ssr, SsrCfgWord::Bound(1));
+        }
+        b.li(x(13), 8);
+        b.scfgwi(x(13), 0, SsrCfgWord::Stride(0)); // A: walk the row...
+        b.scfgwi(IntReg::ZERO, 0, SsrCfgWord::Stride(1)); // ...d times over
+        b.scfgwi(x(26), 1, SsrCfgWord::Stride(0)); // B: down a column...
+        b.scfgwi(x(13), 1, SsrCfgWord::Stride(1)); // ...then right one
+        b.li_u(x(12), b_tile);
+        b.ssr_enable();
+        b.label("row_loop");
+        emit_row_addrs(b, a_tile, c_tile);
+        b.scfgwi(x(22), 0, SsrCfgWord::Base); // arm A-row stream
+        b.scfgwi(x(12), 1, SsrCfgWord::Base); // arm B stream
+        b.li(x(20), d as i32);
+        b.label("col_loop");
+        b.fmv_d(f(5), f(4)); // acc = 0
+        b.frep_o(x(15), 1, 0, 0);
+        b.fmadd_d(f(5), f(0), f(1), f(5));
+        b.fsd(f(5), x(21), 0);
+        b.addi(x(21), x(21), 8);
+        b.addi(x(20), x(20), -1);
+        b.bnez(x(20), "col_loop");
+        b.add(x(23), x(23), x(24));
+        b.blt(x(23), x(25), "row_loop");
+        // Drain before disabling: queued frep bodies must still pop their
+        // streams (disable takes effect at once, not in issue order).
+        b.fpu_fence();
+        b.ssr_disable();
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snitch_sim::{ClusterConfig, System, SystemConfig};
+
+    fn run_shape(
+        program: &Program,
+        cores: usize,
+        clusters: usize,
+        d: usize,
+    ) -> (System, snitch_sim::Stats) {
+        let cfg =
+            SystemConfig { cluster: ClusterConfig { cores, ..ClusterConfig::default() }, clusters };
+        let mut system = System::new(cfg);
+        system.load_program(program);
+        let stats = system.run().unwrap_or_else(|e| panic!("x{clusters}/c{cores} d{d}: {e}"));
+        (system, stats)
+    }
+
+    fn check_c(system: &System, program: &Program, d: usize, what: &str) {
+        let base = program.symbol("c_data").expect("c_data symbol");
+        let golden = golden_outputs(d);
+        for (i, &g) in golden.iter().enumerate() {
+            let got = system.read_mem(base + (i as u32) * 8, 8).expect("c word");
+            assert_eq!(got, g, "{what}: C[{}][{}] mismatch", i / d, i % d);
+        }
+    }
+
+    #[test]
+    fn baseline_single_cluster_matches_golden() {
+        let d = 8;
+        let p = baseline(d, 1, 1);
+        let (system, stats) = run_shape(&p, 1, 1, d);
+        check_c(&system, &p, d, "base x1/c1");
+        // The kernel's whole point: operands stage L2 → TCDM over the DMA,
+        // paying the modeled interconnect setup latency per segment.
+        assert!(stats.dma_hop_cycles > 0, "L2-side DMA segments pay interconnect setup");
+        assert!(stats.dma_beats > 0, "A+B staged via DMA");
+    }
+
+    #[test]
+    fn copift_single_cluster_matches_golden() {
+        let d = 8;
+        let p = copift(d, 1, 1);
+        let (system, stats) = run_shape(&p, 1, 1, d);
+        check_c(&system, &p, d, "copift x1/c1");
+        assert!(stats.fp_issued_seq > 0, "FREP sequencer engaged");
+        assert!(stats.ssr_beats.iter().sum::<u64>() > 0, "SSR streams engaged");
+    }
+
+    #[test]
+    fn every_grid_shape_is_bit_exact() {
+        let d = 32;
+        for clusters in [1usize, 2, 4] {
+            for cores in [1usize, 8] {
+                for (name, p) in
+                    [("base", baseline(d, cores, clusters)), ("copift", copift(d, cores, clusters))]
+                {
+                    let (system, _) = run_shape(&p, cores, clusters, d);
+                    check_c(&system, &p, d, &format!("{name} x{clusters}/c{cores}"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn copift_beats_baseline() {
+        let d = 32;
+        let (_, base) = run_shape(&baseline(d, 1, 1), 1, 1, d);
+        let (_, cop) = run_shape(&copift(d, 1, 1), 1, 1, d);
+        assert!(
+            cop.cycles * 2 < base.cycles,
+            "copift ({}) should be >2x faster than baseline ({})",
+            cop.cycles,
+            base.cycles
+        );
+    }
+
+    #[test]
+    fn multi_cluster_run_distributes_the_work() {
+        let d = 32;
+        let clusters = 4;
+        let p = copift(d, 1, clusters);
+        let cfg = SystemConfig { cluster: ClusterConfig::default(), clusters };
+        let mut system = System::new(cfg);
+        system.load_program(&p);
+        system.run().expect("4-cluster run");
+        // Every cluster did real FP work (its own quarter of the rows).
+        for k in 0..clusters {
+            let s = system.cluster_stats(k);
+            assert!(s.fp_issued_seq > 0, "cluster {k} computed");
+            assert!(s.dma_beats > 0, "cluster {k} staged tiles");
+        }
+        check_c(&system, &p, d, "copift x4/c1");
+    }
+
+    #[test]
+    fn single_core_run_engages_the_block_burst_path() {
+        let d = 16;
+        let p = baseline(d, 1, 1);
+        let (system, _) = run_shape(&p, 1, 1, d);
+        assert!(
+            system.block_replayed_cycles() > 0,
+            "the scalar loop nest should run on the block-compiled path"
+        );
+    }
+
+    #[test]
+    fn both_variants_verify_clean_on_every_grid_shape() {
+        let d = 32;
+        for clusters in [1usize, 2, 4] {
+            for cores in [1usize, 8] {
+                let cfg = SystemConfig {
+                    cluster: ClusterConfig { cores, ..ClusterConfig::default() },
+                    clusters,
+                };
+                for (name, p) in
+                    [("base", baseline(d, cores, clusters)), ("copift", copift(d, cores, clusters))]
+                {
+                    let diags = snitch_verify::verify(&p, &cfg);
+                    assert_eq!(
+                        snitch_verify::error_count(&diags),
+                        0,
+                        "{name} x{clusters}/c{cores}: {diags:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shape_constraint_is_enforced() {
+        let r = std::panic::catch_unwind(|| baseline(30, 4, 2));
+        assert!(r.is_err(), "30 % 8 != 0 must panic");
+    }
+}

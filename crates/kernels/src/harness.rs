@@ -6,10 +6,10 @@
 
 use snitch_asm::program::Program;
 use snitch_energy::EnergyModel;
-use snitch_sim::cluster::Cluster;
-use snitch_sim::config::ClusterConfig;
+use snitch_sim::config::SystemConfig;
 use snitch_sim::error::RunError;
 use snitch_sim::stats::Stats;
+use snitch_sim::system::System;
 
 /// Result of one validated kernel run.
 #[derive(Clone, Debug)]
@@ -61,7 +61,9 @@ impl From<RunError> for HarnessError {
     }
 }
 
-/// Runs `program` to completion and returns the cluster for inspection.
+/// Runs `program` to completion and returns the system for inspection.
+/// Accepts a [`ClusterConfig`](snitch_sim::config::ClusterConfig) too (a
+/// single-cluster system) via `Into`.
 ///
 /// # Errors
 ///
@@ -69,12 +71,12 @@ impl From<RunError> for HarnessError {
 /// times out.
 pub fn run_program(
     program: &Program,
-    cfg: ClusterConfig,
-) -> Result<(Cluster, Stats), HarnessError> {
-    let mut cluster = Cluster::new(cfg);
-    cluster.load_program(program);
-    let stats = cluster.run()?;
-    Ok((cluster, stats))
+    cfg: impl Into<SystemConfig>,
+) -> Result<(System, Stats), HarnessError> {
+    let mut system = System::new(cfg.into());
+    system.load_program(program);
+    let stats = system.run()?;
+    Ok((system, stats))
 }
 
 /// Runs and validates a program whose outputs are `(symbol, golden bits)`
@@ -85,15 +87,15 @@ pub fn run_program(
 /// Returns [`HarnessError`] on simulation failure or any bit mismatch.
 pub fn run_validated(
     program: &Program,
-    cfg: ClusterConfig,
+    cfg: impl Into<SystemConfig>,
     expected: &[(&str, Vec<u64>)],
 ) -> Result<RunOutcome, HarnessError> {
-    let (cluster, stats) = run_program(program, cfg)?;
+    let (system, stats) = run_program(program, cfg)?;
     for (symbol, golden) in expected {
         let base = program
             .symbol(symbol)
             .unwrap_or_else(|| panic!("program lacks output symbol `{symbol}`"));
-        check_words(&cluster, base, golden, symbol)?;
+        check_words(&system, base, golden, symbol)?;
     }
     let report = EnergyModel::gf12lp().report(&stats);
     Ok(RunOutcome {
@@ -104,23 +106,24 @@ pub fn run_validated(
     })
 }
 
-/// Compares `golden` 64-bit words against cluster memory starting at `base`
-/// — the one bit-exact comparison loop every validation path shares.
+/// Compares `golden` 64-bit words against system memory starting at `base`
+/// — the one bit-exact comparison loop every validation path shares. L2
+/// addresses read the canonical (post-merge) contents; everything else
+/// reads cluster 0.
 ///
 /// # Errors
 ///
 /// Returns [`HarnessError::Mismatch`] on the first differing word, or
 /// [`HarnessError::Run`] if an address is unmapped.
 pub fn check_words(
-    cluster: &Cluster,
+    system: &System,
     base: u32,
     golden: &[u64],
     what: &str,
 ) -> Result<(), HarnessError> {
     for (i, want) in golden.iter().enumerate() {
-        let got = cluster
-            .mem()
-            .read(base + (i as u32) * 8, 8)
+        let got = system
+            .read_mem(base + (i as u32) * 8, 8)
             .map_err(|e| HarnessError::Run(RunError::Fault(e.into())))?;
         if got != *want {
             return Err(HarnessError::Mismatch {
@@ -174,6 +177,7 @@ mod tests {
     use super::*;
     use snitch_asm::builder::ProgramBuilder;
     use snitch_riscv::reg::IntReg;
+    use snitch_sim::config::ClusterConfig;
 
     #[test]
     fn validation_catches_wrong_output() {

@@ -26,6 +26,7 @@
 
 pub mod dot_lcg;
 pub mod expf;
+pub mod gemm_tiled;
 pub mod golden;
 pub mod harness;
 pub mod logf;

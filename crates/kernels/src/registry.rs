@@ -17,12 +17,12 @@ use std::sync::RwLock;
 
 use snitch_asm::program::Program;
 use snitch_energy::EnergyModel;
-use snitch_sim::cluster::Cluster;
-use snitch_sim::config::ClusterConfig;
+use snitch_sim::config::{ClusterConfig, SystemConfig};
+use snitch_sim::system::System;
 
 use crate::golden::{mc_hits, Integrand, Rng};
 use crate::harness::{HarnessError, RunOutcome};
-use crate::{dot_lcg, expf, logf, mc, sigmoid, softmax};
+use crate::{dot_lcg, expf, gemm_tiled, logf, mc, sigmoid, softmax};
 
 /// Code variant.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -87,6 +87,25 @@ pub trait Workload: Sync {
         self.build(variant, n, block)
     }
 
+    /// Grid-aware build for multi-cluster workloads: the program for a
+    /// system of `clusters` clusters of `cores` compute cores each. The
+    /// default ignores `clusters` and builds the per-cluster program — on a
+    /// multi-cluster system every cluster then runs the same work, which is
+    /// correct for cluster-oblivious kernels (their outputs live in TCDM
+    /// and validation reads cluster 0). Tiled workloads override this to
+    /// split work by the cluster-id CSR.
+    fn build_grid(
+        &self,
+        variant: Variant,
+        n: usize,
+        block: usize,
+        cores: usize,
+        clusters: usize,
+    ) -> Program {
+        let _ = clusters;
+        self.build_for(variant, n, block, cores)
+    }
+
     /// Golden expectations: `(symbol, values)` checked bit-exactly after a
     /// run.
     fn expected(&self, variant: Variant, n: usize) -> Vec<(&'static str, Vec<u64>)>;
@@ -104,6 +123,14 @@ pub trait Workload: Sync {
     /// those at 8 points per unit).
     fn is_mc(&self) -> bool {
         false
+    }
+
+    /// Whether the steady-state `(n, 2n)` differencing methodology applies:
+    /// the workload must be able to run at twice its operating size. Tiled
+    /// workloads whose TCDM footprint grows with n² opt out — they are
+    /// measured on the cores × clusters scaling grid instead.
+    fn steady_measurable(&self) -> bool {
+        true
     }
 
     /// Whether the workload belongs to the paper's Figure 2 suite (fixed
@@ -349,10 +376,63 @@ impl Workload for McParWorkload {
     }
 }
 
+/// The tiled L2-staged GEMM: the first workload whose program depends on
+/// the full `(cores, clusters)` grid shape, so [`Workload::build_grid`] is
+/// its primary builder and the narrower entry points build degenerate
+/// grids. `n` is the matrix dimension `d`; `block` is unused (the tile
+/// split is fixed by the grid shape).
+struct GemmTiledWorkload;
+
+impl Workload for GemmTiledWorkload {
+    fn name(&self) -> &'static str {
+        "gemm_tiled"
+    }
+    fn description(&self) -> &'static str {
+        "tiled f64 GEMM staged L2->TCDM via inter-cluster DMA (grid-tiled)"
+    }
+    fn build(&self, variant: Variant, n: usize, block: usize) -> Program {
+        self.build_grid(variant, n, block, 1, 1)
+    }
+    fn build_for(&self, variant: Variant, n: usize, block: usize, cores: usize) -> Program {
+        self.build_grid(variant, n, block, cores, 1)
+    }
+    fn build_grid(
+        &self,
+        variant: Variant,
+        n: usize,
+        _block: usize,
+        cores: usize,
+        clusters: usize,
+    ) -> Program {
+        match variant {
+            Variant::Baseline => gemm_tiled::baseline(n, cores, clusters),
+            Variant::Copift => gemm_tiled::copift(n, cores, clusters),
+        }
+    }
+    fn expected(&self, _variant: Variant, n: usize) -> Vec<(&'static str, Vec<u64>)> {
+        // Both variants reduce k-ascending with fused multiply-adds: one
+        // golden for every shape.
+        vec![("c_data", gemm_tiled::golden_outputs(n))]
+    }
+    fn operating_point(&self) -> (usize, usize) {
+        // d = 64 divides evenly for every cores x clusters shape on the
+        // scaling axes (up to 4 clusters x 8 cores = 32 row owners).
+        (64, 0)
+    }
+    fn smoke_point(&self) -> (usize, usize) {
+        (32, 0)
+    }
+    fn steady_measurable(&self) -> bool {
+        // 2n = 128 would need 3·128²·8 B of TCDM per cluster; the grid
+        // drivers measure this kernel instead.
+        false
+    }
+}
+
 /// The built-in catalog: the paper's six Figure-2 workloads (in the paper's
 /// order of increasing expected speedup `S′`) followed by the extended
 /// suite.
-static BUILTINS: [&dyn Workload; 11] = [
+static BUILTINS: [&dyn Workload; 12] = [
     &McWorkload {
         name: "pi_xoshiro128p",
         description: "Monte Carlo pi, xoshiro128+ draws (integer-heavy, no multiplies)",
@@ -394,6 +474,7 @@ static BUILTINS: [&dyn Workload; 11] = [
         integrand: Integrand::Pi,
         rng: Rng::Xoshiro128p,
     },
+    &GemmTiledWorkload,
 ];
 
 /// Workloads added at runtime via [`register`].
@@ -467,6 +548,8 @@ impl Kernel {
     pub const PiLcgPar: Kernel = Kernel(9);
     /// Data-parallel Monte Carlo π with xoshiro128+ (cluster scaling).
     pub const PiXoshiroPar: Kernel = Kernel(10);
+    /// Tiled f64 GEMM staged through L2 (multi-cluster scaling).
+    pub const GemmTiled: Kernel = Kernel(11);
 }
 
 impl std::fmt::Debug for Kernel {
@@ -559,6 +642,25 @@ impl Kernel {
         self.workload().build_for(variant, n, block, cores)
     }
 
+    /// Builds the program for a system of `clusters` clusters of `cores`
+    /// compute cores each. Workloads without a tiled implementation get
+    /// their per-cluster program (see [`Workload::build_grid`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on violated size constraints (see the kernel modules).
+    #[must_use]
+    pub fn build_grid(
+        self,
+        variant: Variant,
+        n: usize,
+        block: usize,
+        cores: usize,
+        clusters: usize,
+    ) -> Program {
+        self.workload().build_grid(variant, n, block, cores, clusters)
+    }
+
     /// Golden expectations: `(symbol, values)` checked after a run.
     #[must_use]
     pub fn expected(self, variant: Variant, n: usize) -> Vec<(&'static str, Vec<u64>)> {
@@ -574,8 +676,10 @@ impl Kernel {
         self.run_with(variant, n, block, ClusterConfig::default())
     }
 
-    /// Runs with a custom cluster configuration (for ablations and
-    /// multi-core scaling — the program is built for `cfg.cores`).
+    /// Runs with a custom system configuration (for ablations, multi-core
+    /// and multi-cluster scaling — the program is built for the config's
+    /// core and cluster counts). Accepts a plain [`ClusterConfig`] (a
+    /// single-cluster system) via `Into`.
     ///
     /// # Errors
     ///
@@ -585,14 +689,15 @@ impl Kernel {
         variant: Variant,
         n: usize,
         block: usize,
-        cfg: ClusterConfig,
+        cfg: impl Into<SystemConfig>,
     ) -> Result<RunOutcome, HarnessError> {
-        let program = self.build_for(variant, n, block, cfg.cores);
+        let cfg = cfg.into();
+        let program = self.build_grid(variant, n, block, cfg.cluster.cores, cfg.clusters);
         self.run_prebuilt(variant, n, cfg, &program)
     }
 
     /// Runs a pre-assembled program (e.g. one served by `snitch-engine`'s
-    /// program cache) on a fresh cluster. A pure function of its arguments —
+    /// program cache) on a fresh system. A pure function of its arguments —
     /// safe to call concurrently from worker threads sharing the `Program`.
     ///
     /// # Errors
@@ -602,35 +707,36 @@ impl Kernel {
         self,
         variant: Variant,
         n: usize,
-        cfg: ClusterConfig,
+        cfg: impl Into<SystemConfig>,
         program: &Program,
     ) -> Result<RunOutcome, HarnessError> {
-        // A fresh cluster needs no reset.
-        self.run_loaded(&mut Cluster::new(cfg), variant, n, program)
+        // A fresh system needs no reset.
+        self.run_loaded(&mut System::new(cfg.into()), variant, n, program)
     }
 
-    /// Runs a pre-assembled program on an existing cluster, resetting it
-    /// first so allocations are reused across a stream of jobs. The cluster's
+    /// Runs a pre-assembled program on an existing system, resetting it
+    /// first so allocations are reused across a stream of jobs. The system's
     /// configuration must describe the intended experiment; `program` must be
-    /// the result of [`build`](Self::build) with the same `variant` and `n`
-    /// (the block size is baked into the program and its output symbols).
+    /// the result of [`build_grid`](Self::build_grid) with the same `variant`
+    /// and `n` (the block size is baked into the program and its output
+    /// symbols).
     ///
     /// # Errors
     ///
     /// Returns [`HarnessError`] on simulation failure or golden mismatch.
     pub fn run_on(
         self,
-        cluster: &mut Cluster,
+        system: &mut System,
         variant: Variant,
         n: usize,
         program: &Program,
     ) -> Result<RunOutcome, HarnessError> {
-        cluster.reset();
-        self.run_loaded(cluster, variant, n, program)
+        system.reset();
+        self.run_loaded(system, variant, n, program)
     }
 
-    /// Runs on a cluster known to be in its just-constructed (or freshly
-    /// [`reset`](Cluster::reset)) state: load, run, validate, report.
+    /// Runs on a system known to be in its just-constructed (or freshly
+    /// [`reset`](System::reset)) state: load, run, validate, report.
     /// [`run_on`](Self::run_on) is this plus the reset; callers that time
     /// the reset separately (the engine's telemetry) call the two halves
     /// themselves.
@@ -640,14 +746,14 @@ impl Kernel {
     /// Returns [`HarnessError`] on simulation failure or golden mismatch.
     pub fn run_loaded(
         self,
-        cluster: &mut Cluster,
+        system: &mut System,
         variant: Variant,
         n: usize,
         program: &Program,
     ) -> Result<RunOutcome, HarnessError> {
-        cluster.load_program(program);
-        let stats = cluster.run()?;
-        self.check(variant, n, program, cluster)?;
+        system.load_program(program);
+        let stats = system.run()?;
+        self.check(variant, n, program, system)?;
         let report = EnergyModel::gf12lp().report(&stats);
         Ok(RunOutcome {
             total_cycles: stats.cycles,
@@ -669,13 +775,13 @@ impl Kernel {
         variant: Variant,
         n: usize,
         program: &Program,
-        cluster: &Cluster,
+        system: &System,
     ) -> Result<(), HarnessError> {
         for (symbol, golden) in self.expected(variant, n) {
             let base = program
                 .symbol(symbol)
                 .unwrap_or_else(|| panic!("program lacks output symbol `{symbol}`"));
-            crate::harness::check_words(cluster, base, &golden, symbol)?;
+            crate::harness::check_words(system, base, &golden, symbol)?;
         }
         Ok(())
     }
@@ -692,17 +798,25 @@ impl Kernel {
     pub fn smoke_point(self) -> (usize, usize) {
         self.workload().smoke_point()
     }
+
+    /// Whether the steady-state `(n, 2n)` differencing methodology applies
+    /// (see [`Workload::steady_measurable`]).
+    #[must_use]
+    pub fn steady_measurable(self) -> bool {
+        self.workload().steady_measurable()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use snitch_sim::cluster::Cluster;
 
     #[test]
     fn names_follow_figure2_order_then_extended() {
         let names: Vec<&str> = Kernel::all().iter().map(|k| k.name()).collect();
         assert_eq!(
-            &names[..11],
+            &names[..12],
             &[
                 "pi_xoshiro128p",
                 "poly_xoshiro128p",
@@ -714,7 +828,8 @@ mod tests {
                 "dot_lcg",
                 "softmax",
                 "pi_lcg_par",
-                "pi_xoshiro128p_par"
+                "pi_xoshiro128p_par",
+                "gemm_tiled"
             ]
         );
         let paper: Vec<&str> = Kernel::paper().iter().map(|k| k.name()).collect();
@@ -755,6 +870,7 @@ mod tests {
         assert_eq!(Kernel::Softmax.name(), "softmax");
         assert_eq!(Kernel::PiLcgPar.name(), "pi_lcg_par");
         assert_eq!(Kernel::PiXoshiroPar.name(), "pi_xoshiro128p_par");
+        assert_eq!(Kernel::GemmTiled.name(), "gemm_tiled");
     }
 
     #[test]
@@ -864,14 +980,14 @@ mod tests {
         let fresh = Kernel::PolyLcg
             .run_prebuilt(Variant::Copift, n, ClusterConfig::default(), &program)
             .expect("fresh run validates");
-        let mut cluster = Cluster::new(ClusterConfig::default());
-        // Dirty the cluster with an unrelated kernel first.
+        let mut system = System::new(SystemConfig::default());
+        // Dirty the system with an unrelated kernel first.
         let other = Kernel::PiLcg.build(Variant::Baseline, 64, 0);
         Kernel::PiLcg
-            .run_on(&mut cluster, Variant::Baseline, 64, &other)
+            .run_on(&mut system, Variant::Baseline, 64, &other)
             .expect("warm-up run validates");
         let reused = Kernel::PolyLcg
-            .run_on(&mut cluster, Variant::Copift, n, &program)
+            .run_on(&mut system, Variant::Copift, n, &program)
             .expect("reused run validates");
         assert_eq!(fresh.stats, reused.stats, "reuse must not perturb timing");
     }

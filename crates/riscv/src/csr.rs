@@ -23,6 +23,11 @@ pub const CSR_MINSTRET: u16 = 0xB02;
 /// Hart id (read-only): the compute core's index within the cluster.
 pub const CSR_MHARTID: u16 = 0xF14;
 
+/// Cluster id (read-only, custom machine-mode space): the index of the
+/// core's cluster within the system. Together with [`CSR_MHARTID`] it lets
+/// SPMD programs address the full (cluster, hart) grid.
+pub const CSR_CLUSTER_ID: u16 = 0xFC0;
+
 /// Number of SSR data movers in a Snitch core.
 pub const NUM_SSRS: usize = 3;
 

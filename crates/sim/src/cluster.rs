@@ -147,7 +147,12 @@ impl Cluster {
             cfg.cores
         );
         let units = (0..cfg.cores).map(|h| CoreUnit::new(h as u32, &cfg)).collect();
-        let dma = Dma::new(cfg.dma_bytes_per_cycle);
+        let dma = Dma::with_interconnect(
+            cfg.dma_bytes_per_cycle,
+            cfg.l2_latency,
+            cfg.l2_bytes_per_cycle,
+            cfg.hop_latency,
+        );
         let arb = TcdmArbiter::new(cfg.tcdm_banks);
         let tracer = cfg.trace.then(Tracer::new);
         let profiler = cfg.profile.then(Profiler::new);
@@ -181,6 +186,7 @@ impl Cluster {
         self.text = program.text().iter().copied().map(Decoded::new).collect();
         self.blocks.recompile(&self.text, &self.cfg);
         self.mem.load_images(program.tcdm_image(), program.main_image());
+        self.mem.load_l2(program.l2_image());
         let mut halted = 0;
         for (h, unit) in self.units.iter_mut().enumerate() {
             unit.core.reset(h as u32);
@@ -271,6 +277,22 @@ impl Cluster {
     #[must_use]
     pub fn mem(&self) -> &Memory {
         &self.mem
+    }
+
+    /// Mutable data memory (for the `System`'s L2 / peer-window sync).
+    pub(crate) fn mem_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// Places this cluster at index `cluster_id` of a `clusters`-cluster
+    /// system: every core's `CSR_CLUSTER_ID` reads the index, and the other
+    /// clusters' TCDM alias windows become mapped (snapshot-backed).
+    /// Identity is physical — it survives [`reset`](Self::reset).
+    pub fn join_system(&mut self, clusters: usize, cluster_id: usize) {
+        for unit in &mut self.units {
+            unit.core.set_cluster_id(cluster_id as u32);
+        }
+        self.mem.enable_peers(clusters, cluster_id);
     }
 
     /// Attaches an event collector (replacing any existing one). A cluster
@@ -554,6 +576,7 @@ impl Cluster {
         roll.dma_busy_cycles = self.dma.busy_cycles();
         roll.dma_blocked_cycles = self.dma.blocked_cycles();
         roll.dma_beats = self.dma.beats();
+        roll.dma_hop_cycles = self.dma.hop_cycles();
         roll.tcdm_conflicts = self.arb.conflicts();
         self.stats = roll;
     }
@@ -1495,7 +1518,7 @@ mod tests {
         b.parallel();
         b.csrr_mhartid(IntReg::A0); // cycle 0
         b.beqz(IntReg::A0, "h0"); // cycle 1: hart 0 taken (+2 refill)
-        b.li_u(IntReg::A1, 0x4000_0000); // hart 1: cycle 2, unmapped address
+        b.li_u(IntReg::A1, 0x0300_0000); // hart 1: cycle 2, unmapped address
         b.nop(); // hart 1: cycle 3
         b.lw(IntReg::A2, IntReg::A1, 0); // hart 1: cycle 4 — faults
         b.label("h0");

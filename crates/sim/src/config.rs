@@ -1,4 +1,4 @@
-//! Cluster configuration.
+//! Cluster and system configuration.
 
 /// Microarchitectural parameters of the simulated Snitch cluster.
 ///
@@ -68,6 +68,17 @@ pub struct ClusterConfig {
     /// DMA throughput in bytes per cycle.
     pub dma_bytes_per_cycle: u32,
 
+    // ---- system interconnect (L2 / inter-cluster) ----
+    /// Extra cycles a core load pays to reach the shared L2, and the setup
+    /// latency of a DMA segment touching L2.
+    pub l2_latency: u32,
+    /// L2 port bandwidth in bytes per cycle: DMA segments touching L2 (or a
+    /// remote cluster) are clamped to `min(dma_bytes_per_cycle, this)`.
+    pub l2_bytes_per_cycle: u32,
+    /// One-way cluster-interconnect hop latency: DMA segments pay one hop to
+    /// reach L2 and two hops to reach a remote cluster's TCDM.
+    pub hop_latency: u32,
+
     // ---- harness ----
     /// Watchdog: abort the run after this many cycles.
     pub max_cycles: u64,
@@ -99,6 +110,9 @@ impl Default for ClusterConfig {
             ssr_fifo_depth: 4,
             tcdm_banks: 32,
             dma_bytes_per_cycle: 8,
+            l2_latency: 12,
+            l2_bytes_per_cycle: 8,
+            hop_latency: 4,
             max_cycles: 200_000_000,
             trace: false,
             profile: false,
@@ -126,7 +140,8 @@ impl ClusterConfig {
     /// behavior (a watchdog abort is an error, not a result).
     #[must_use]
     pub fn canonical(&self) -> String {
-        format!(
+        use std::fmt::Write as _;
+        let mut s = format!(
             "cores{};bp{};ll{};mm{};mul{};div{};wb{};l0:{};fifo{};seq{};fma{};fshort{};fcvt{};fdiv{};fld{};ssr{};banks{};dma{}",
             self.cores,
             self.branch_penalty,
@@ -146,7 +161,21 @@ impl ClusterConfig {
             self.ssr_fifo_depth,
             self.tcdm_banks,
             self.dma_bytes_per_cycle,
-        )
+        );
+        // The interconnect parameters are appended only when they deviate
+        // from the defaults: configurations that predate the System layer
+        // must keep their published fingerprints (sweep rows join on them).
+        let d = ClusterConfig::default();
+        if (self.l2_latency, self.l2_bytes_per_cycle, self.hop_latency)
+            != (d.l2_latency, d.l2_bytes_per_cycle, d.hop_latency)
+        {
+            let _ = write!(
+                s,
+                ";l2l{};l2bw{};hop{}",
+                self.l2_latency, self.l2_bytes_per_cycle, self.hop_latency
+            );
+        }
+        s
     }
 
     /// Stable 64-bit fingerprint of [`canonical`](Self::canonical) (FNV-1a;
@@ -155,12 +184,81 @@ impl ClusterConfig {
     /// configuration that produced them.
     #[must_use]
     pub fn fingerprint(&self) -> u64 {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for b in self.canonical().bytes() {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        fnv1a(&self.canonical())
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Parameters of the whole simulated system: `clusters` identical Snitch
+/// clusters (each described by `cluster`) behind a shared L2.
+///
+/// A `SystemConfig` with `clusters == 1` is *the same identity* as its inner
+/// [`ClusterConfig`]: `canonical()` and `fingerprint()` match byte-for-byte,
+/// so every sweep row and cache key produced before the System layer existed
+/// remains valid.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SystemConfig {
+    /// Per-cluster microarchitecture (identical across clusters).
+    pub cluster: ClusterConfig,
+    /// Number of clusters in the system (1..=[`MAX_CLUSTERS`]).
+    ///
+    /// [`MAX_CLUSTERS`]: snitch_asm::layout::MAX_CLUSTERS
+    pub clusters: usize,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig { cluster: ClusterConfig::default(), clusters: 1 }
+    }
+}
+
+impl From<ClusterConfig> for SystemConfig {
+    fn from(cluster: ClusterConfig) -> Self {
+        SystemConfig { cluster, clusters: 1 }
+    }
+}
+
+impl SystemConfig {
+    /// Configuration with `clusters` clusters and default microarchitecture.
+    #[must_use]
+    pub fn with_clusters(clusters: usize) -> Self {
+        SystemConfig { cluster: ClusterConfig::default(), clusters }
+    }
+
+    /// Compute cores per cluster (convenience passthrough).
+    #[must_use]
+    pub fn cores(&self) -> usize {
+        self.cluster.cores
+    }
+
+    /// Canonical textual identity: the inner cluster's [`canonical`]
+    /// followed by a `;x{clusters}` suffix — appended only for multi-cluster
+    /// systems so single-cluster identities stay unchanged.
+    ///
+    /// [`canonical`]: ClusterConfig::canonical
+    #[must_use]
+    pub fn canonical(&self) -> String {
+        let mut s = self.cluster.canonical();
+        if self.clusters > 1 {
+            use std::fmt::Write as _;
+            let _ = write!(s, ";x{}", self.clusters);
         }
-        h
+        s
+    }
+
+    /// Stable FNV-1a fingerprint of [`canonical`](Self::canonical); equals
+    /// the inner [`ClusterConfig::fingerprint`] when `clusters == 1`.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        fnv1a(&self.canonical())
     }
 }
 
@@ -204,5 +302,46 @@ mod tests {
         prints.sort_unstable();
         prints.dedup();
         assert_eq!(prints.len(), variants.len() + 1, "all fingerprints distinct");
+    }
+
+    #[test]
+    fn interconnect_params_only_appear_when_ablated() {
+        let base = ClusterConfig::default();
+        assert!(
+            !base.canonical().contains("l2l"),
+            "default canonical string must not grow a suffix: {}",
+            base.canonical()
+        );
+        let slow = ClusterConfig { l2_latency: 20, ..ClusterConfig::default() };
+        assert!(slow.canonical().ends_with(";l2l20;l2bw8;hop4"));
+        assert_ne!(base.fingerprint(), slow.fingerprint());
+        assert_ne!(
+            slow.fingerprint(),
+            ClusterConfig { hop_latency: 8, ..slow.clone() }.fingerprint()
+        );
+    }
+
+    #[test]
+    fn system_identity_collapses_to_cluster_identity_at_one_cluster() {
+        let cluster = ClusterConfig::default();
+        let sys = SystemConfig::default();
+        assert_eq!(sys.clusters, 1);
+        assert_eq!(sys.canonical(), cluster.canonical());
+        assert_eq!(sys.fingerprint(), cluster.fingerprint());
+        let sys8 = SystemConfig::from(ClusterConfig { cores: 8, ..ClusterConfig::default() });
+        assert_eq!(
+            sys8.fingerprint(),
+            ClusterConfig { cores: 8, ..ClusterConfig::default() }.fingerprint()
+        );
+    }
+
+    #[test]
+    fn cluster_count_is_a_fingerprint_axis() {
+        let prints: Vec<u64> =
+            [1, 2, 4].iter().map(|&k| SystemConfig::with_clusters(k).fingerprint()).collect();
+        assert_ne!(prints[0], prints[1]);
+        assert_ne!(prints[1], prints[2]);
+        assert!(SystemConfig::with_clusters(2).canonical().ends_with(";x2"));
+        assert_eq!(SystemConfig::with_clusters(4).cores(), 1);
     }
 }

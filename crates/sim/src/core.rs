@@ -16,7 +16,8 @@
 
 use snitch_profile::Profiler;
 use snitch_riscv::csr::{
-    SsrCfgWord, CSR_BARRIER, CSR_FPU_FENCE, CSR_MCYCLE, CSR_MHARTID, CSR_MINSTRET, CSR_SSR,
+    SsrCfgWord, CSR_BARRIER, CSR_CLUSTER_ID, CSR_FPU_FENCE, CSR_MCYCLE, CSR_MHARTID, CSR_MINSTRET,
+    CSR_SSR,
 };
 use snitch_riscv::inst::Inst;
 use snitch_riscv::meta::RegRef;
@@ -101,6 +102,9 @@ enum BarrierState {
 #[derive(Clone, Debug)]
 pub struct IntCore {
     hart_id: u32,
+    /// Index of this core's cluster in the system (the `CSR_CLUSTER_ID`
+    /// value). Physical identity: survives [`reset`](Self::reset).
+    cluster_id: u32,
     pc: u32,
     regs: [u32; 32],
     ready_at: [u64; 32],
@@ -117,6 +121,7 @@ impl IntCore {
     pub fn new(hart_id: u32) -> Self {
         IntCore {
             hart_id,
+            cluster_id: 0,
             pc: layout::TEXT_BASE,
             regs: [0; 32],
             ready_at: [0; 32],
@@ -131,6 +136,12 @@ impl IntCore {
     #[must_use]
     pub fn hart_id(&self) -> u32 {
         self.hart_id
+    }
+
+    /// Sets the cluster id visible through `CSR_CLUSTER_ID` (assigned by the
+    /// `System` when placing the cluster in the grid).
+    pub fn set_cluster_id(&mut self, cluster_id: u32) {
+        self.cluster_id = cluster_id;
     }
 
     /// Restores boot state (pc at the text base, zeroed registers and
@@ -471,9 +482,13 @@ impl IntCore {
                     }
                     stats.tcdm_core_accesses += 1;
                     cfg.load_latency
-                } else {
+                } else if layout::is_main(addr) {
                     stats.main_mem_accesses += 1;
                     cfg.load_latency + cfg.main_mem_extra_latency
+                } else {
+                    // Shared L2 or a cluster alias window: interconnect path.
+                    stats.l2_accesses += 1;
+                    cfg.load_latency + cfg.l2_latency
                 };
                 let raw = mem.read(addr, op.size()).map_err(SimFault::from)? as u32;
                 let v = match op {
@@ -501,8 +516,10 @@ impl IntCore {
                         return Ok(());
                     }
                     stats.tcdm_core_accesses += 1;
-                } else {
+                } else if layout::is_main(addr) {
                     stats.main_mem_accesses += 1;
+                } else {
+                    stats.l2_accesses += 1;
                 }
                 mem.write(addr, op.size(), u64::from(self.regs[rs2.index() as usize]))
                     .map_err(SimFault::from)?;
@@ -701,6 +718,7 @@ impl IntCore {
                 }
             },
             CSR_MHARTID => self.hart_id,
+            CSR_CLUSTER_ID => self.cluster_id,
             CSR_MCYCLE => now as u32,
             CSR_MINSTRET => stats.instructions() as u32,
             _ => 0,
@@ -871,9 +889,13 @@ impl IntCore {
                     }
                     stats.tcdm_core_accesses += 1;
                     cfg.load_latency
-                } else {
+                } else if layout::is_main(addr) {
                     stats.main_mem_accesses += 1;
                     cfg.load_latency + cfg.main_mem_extra_latency
+                } else {
+                    // Shared L2 or a cluster alias window: interconnect path.
+                    stats.l2_accesses += 1;
+                    cfg.load_latency + cfg.l2_latency
                 };
                 let raw = mem.read(addr, op.size()).map_err(SimFault::from)? as u32;
                 let v = match op {
@@ -896,8 +918,10 @@ impl IntCore {
                         return Ok(());
                     }
                     stats.tcdm_core_accesses += 1;
-                } else {
+                } else if layout::is_main(addr) {
                     stats.main_mem_accesses += 1;
+                } else {
+                    stats.l2_accesses += 1;
                 }
                 mem.write(addr, op.size(), u64::from(self.regs[rs2 as usize]))
                     .map_err(SimFault::from)?;

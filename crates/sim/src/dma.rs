@@ -1,9 +1,16 @@
 //! Cluster DMA engine (Snitch xdma).
 //!
 //! Programmed through `dmsrc`/`dmdst`/`dmstr`/`dmrep`/`dmcpyi`; moves data
-//! between main memory and the TCDM at a configurable rate (default
+//! between main memory, the shared L2, remote clusters' TCDMs (through
+//! their alias windows) and the local TCDM at a configurable rate (default
 //! 8 B/cycle), arbitrating for TCDM banks against the cores and SSRs.
 //! 2-D transfers (`dmrep` + `dmstr`) are expanded into row segments.
+//!
+//! Segments that cross the cluster interconnect (an L2 or alias-window
+//! side) pay a per-segment setup latency — the L2 access latency plus one
+//! hop to reach L2, two hops for a remote TCDM — and are clamped to the L2
+//! port bandwidth. Interconnect sides do not arbitrate for local TCDM
+//! banks; only genuinely local TCDM sides do.
 
 use std::collections::VecDeque;
 
@@ -15,12 +22,21 @@ struct Segment {
     src: u32,
     dst: u32,
     remaining: u32,
+    /// Interconnect setup cycles still to pay before the first beat.
+    setup: u32,
 }
 
 /// The DMA engine.
 #[derive(Clone, Debug)]
 pub struct Dma {
     bytes_per_cycle: u32,
+    /// L2 port bandwidth: interconnect beats move at
+    /// `min(bytes_per_cycle, l2_bytes_per_cycle)`.
+    l2_bytes_per_cycle: u32,
+    /// L2 access latency (segment setup component).
+    l2_latency: u32,
+    /// One-way interconnect hop latency (segment setup component).
+    hop_latency: u32,
     src: u32,
     dst: u32,
     src_stride: u32,
@@ -36,15 +52,32 @@ pub struct Dma {
     busy_cycles: u64,
     blocked_cycles: u64,
     beats: u64,
+    hop_cycles: u64,
 }
 
 impl Dma {
-    /// Creates an idle engine.
+    /// Creates an idle engine with a zero-latency, full-bandwidth
+    /// interconnect (local-only timing; see
+    /// [`with_interconnect`](Self::with_interconnect)).
     #[must_use]
     pub fn new(bytes_per_cycle: u32) -> Self {
-        assert!(bytes_per_cycle > 0);
+        Dma::with_interconnect(bytes_per_cycle, 0, bytes_per_cycle, 0)
+    }
+
+    /// Creates an idle engine with the given interconnect timing.
+    #[must_use]
+    pub fn with_interconnect(
+        bytes_per_cycle: u32,
+        l2_latency: u32,
+        l2_bytes_per_cycle: u32,
+        hop_latency: u32,
+    ) -> Self {
+        assert!(bytes_per_cycle > 0 && l2_bytes_per_cycle > 0);
         Dma {
             bytes_per_cycle,
+            l2_bytes_per_cycle,
+            l2_latency,
+            hop_latency,
             src: 0,
             dst: 0,
             src_stride: 0,
@@ -57,6 +90,7 @@ impl Dma {
             busy_cycles: 0,
             blocked_cycles: 0,
             beats: 0,
+            hop_cycles: 0,
         }
     }
 
@@ -75,6 +109,21 @@ impl Dma {
         self.busy_cycles = 0;
         self.blocked_cycles = 0;
         self.beats = 0;
+        self.hop_cycles = 0;
+    }
+
+    /// The per-segment interconnect setup cost for a `src → dst` burst:
+    /// nothing for purely local (TCDM/main) segments, L2 latency + one hop
+    /// for an L2 side, two hops for a remote-TCDM (alias window) side.
+    fn setup_cost(&self, src: u32, dst: u32) -> u32 {
+        let mut cost = 0;
+        if layout::is_l2(src) || layout::is_l2(dst) {
+            cost += self.l2_latency + self.hop_latency;
+        }
+        if layout::is_cluster_alias(src) || layout::is_cluster_alias(dst) {
+            cost += 2 * self.hop_latency;
+        }
+        cost
     }
 
     /// `dmsrc`: sets the source address.
@@ -103,10 +152,13 @@ impl Dma {
     pub fn start(&mut self, size: u32) -> u32 {
         let rows = self.reps.max(1);
         for r in 0..rows {
+            let src = self.src.wrapping_add(r * self.src_stride);
+            let dst = self.dst.wrapping_add(r * self.dst_stride);
             self.queue.push_back(Segment {
-                src: self.src.wrapping_add(r * self.src_stride),
-                dst: self.dst.wrapping_add(r * self.dst_stride),
+                src,
+                dst,
                 remaining: size,
+                setup: self.setup_cost(src, dst),
             });
         }
         // One-shot: 2-D state does not persist across transfers.
@@ -150,6 +202,12 @@ impl Dma {
         self.beats
     }
 
+    /// Cycles spent in interconnect segment setup (L2 latency + hops).
+    #[must_use]
+    pub fn hop_cycles(&self) -> u64 {
+        self.hop_cycles
+    }
+
     /// One cycle of DMA work. Returns the number of TCDM accesses performed.
     ///
     /// A beat happens only if **every** TCDM-side port wins its bank this
@@ -169,6 +227,13 @@ impl Dma {
         let Some(seg) = &mut self.current else {
             return 0;
         };
+        // Interconnect setup: the segment's request is in flight across the
+        // cluster interconnect; no data moves and no bank is touched.
+        if seg.setup > 0 {
+            seg.setup -= 1;
+            self.hop_cycles += 1;
+            return 0;
+        }
         // Write phase of a serialized same-bank beat.
         if let Some((chunk, val)) = self.latch {
             if !arb.request(TcdmPort::DmaDst, seg.dst) {
@@ -183,7 +248,15 @@ impl Dma {
         }
         let src_tcdm = layout::is_tcdm(seg.src);
         let dst_tcdm = layout::is_tcdm(seg.dst);
-        let mut chunk = seg.remaining.min(self.bytes_per_cycle);
+        let interconnect = layout::is_l2(seg.src)
+            || layout::is_l2(seg.dst)
+            || layout::is_cluster_alias(seg.src)
+            || layout::is_cluster_alias(seg.dst);
+        let mut rate = self.bytes_per_cycle;
+        if interconnect {
+            rate = rate.min(self.l2_bytes_per_cycle);
+        }
+        let mut chunk = seg.remaining.min(rate);
         if src_tcdm {
             chunk = chunk.min(8 - (seg.src & 7));
         }
@@ -422,6 +495,93 @@ mod tests {
         assert_eq!(dma.busy_cycles(), 4);
         assert_eq!(mem.read(TCDM_BASE + 32 * 8, 8).unwrap(), 77);
         assert_eq!(mem.read(TCDM_BASE + 32 * 8 + 8, 8).unwrap(), 88);
+    }
+
+    #[test]
+    fn l2_segment_pays_setup_and_is_bandwidth_clamped() {
+        let mut mem = Memory::new();
+        for i in 0..4u32 {
+            mem.write(layout::L2_BASE + i * 8, 8, u64::from(i) + 9).unwrap();
+        }
+        let mut arb = TcdmArbiter::new(32);
+        // 16 B/cycle DMA against a 8 B/cycle L2 port, 12 + 4 setup.
+        let mut dma = Dma::with_interconnect(16, 12, 8, 4);
+        dma.set_src(layout::L2_BASE);
+        dma.set_dst(TCDM_BASE);
+        dma.start(32);
+        let mut cycles = 0;
+        while !dma.idle() {
+            arb.begin_cycle();
+            dma.step(&mut mem, &mut arb);
+            cycles += 1;
+            assert!(cycles < 100);
+        }
+        // 16 setup cycles (l2_latency 12 + one hop 4), then 32 bytes at the
+        // clamped 8 B/cycle rate.
+        assert_eq!(dma.hop_cycles(), 16);
+        assert_eq!(cycles, 16 + 4);
+        assert_eq!(dma.beats(), 4);
+        for i in 0..4u32 {
+            assert_eq!(mem.read(TCDM_BASE + i * 8, 8).unwrap(), u64::from(i) + 9);
+        }
+    }
+
+    #[test]
+    fn each_2d_row_pays_its_own_setup() {
+        let mut mem = Memory::new();
+        let mut arb = TcdmArbiter::new(32);
+        let mut dma = Dma::with_interconnect(8, 12, 8, 4);
+        dma.set_src(layout::L2_BASE);
+        dma.set_dst(TCDM_BASE);
+        dma.set_strides(64, 16);
+        dma.set_reps(3);
+        dma.start(16);
+        while !dma.idle() {
+            arb.begin_cycle();
+            dma.step(&mut mem, &mut arb);
+        }
+        assert_eq!(dma.hop_cycles(), 3 * 16, "every row segment is its own L2 burst");
+        assert_eq!(dma.beats(), 6);
+    }
+
+    #[test]
+    fn remote_alias_segment_pays_two_hops_and_skips_arbitration() {
+        let mut mem = Memory::new();
+        mem.enable_peers(2, 0);
+        mem.sync_peer_in(1, 0, &[0xab; 16]);
+        let mut arb = TcdmArbiter::new(32);
+        let mut dma = Dma::with_interconnect(8, 12, 8, 4);
+        dma.set_src(layout::tcdm_alias_base(1));
+        dma.set_dst(layout::MAIN_BASE);
+        dma.start(16);
+        arb.begin_cycle();
+        // Every bank is owned by someone else: an alias→main transfer must
+        // not care (neither side is local TCDM).
+        for b in 0..32u32 {
+            assert!(arb.request(TcdmPort::CoreLsu(0), TCDM_BASE + b * 8));
+        }
+        let mut cycles = 0;
+        while !dma.idle() {
+            arb.begin_cycle();
+            assert_eq!(dma.step(&mut mem, &mut arb), 0, "no TCDM access on either side");
+            cycles += 1;
+            assert!(cycles < 50);
+        }
+        assert_eq!(dma.hop_cycles(), 8, "two hops each way: 2 * hop_latency");
+        assert_eq!(cycles, 8 + 2);
+        assert_eq!(dma.blocked_cycles(), 0);
+        assert_eq!(mem.read(layout::MAIN_BASE + 8, 8).unwrap(), 0xabab_abab_abab_abab);
+    }
+
+    #[test]
+    fn local_segments_pay_no_setup() {
+        let dma = Dma::with_interconnect(8, 12, 8, 4);
+        assert_eq!(dma.setup_cost(layout::MAIN_BASE, TCDM_BASE), 0);
+        assert_eq!(dma.setup_cost(TCDM_BASE, TCDM_BASE + 64), 0);
+        assert_eq!(dma.setup_cost(TCDM_BASE, layout::L2_BASE), 16);
+        assert_eq!(dma.setup_cost(layout::tcdm_alias_base(3), TCDM_BASE), 8);
+        // L2 → remote alias crosses both: pays both components.
+        assert_eq!(dma.setup_cost(layout::L2_BASE, layout::tcdm_alias_base(1)), 24);
     }
 
     #[test]

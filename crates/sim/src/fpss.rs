@@ -625,8 +625,10 @@ impl Fpss {
                     return Ok(false);
                 }
                 stats.tcdm_fp_accesses += 1;
-            } else {
+            } else if layout::is_main(addr) {
                 stats.main_mem_accesses += 1;
+            } else {
+                stats.l2_accesses += 1;
             }
         }
 
@@ -653,8 +655,11 @@ impl Fpss {
                 stats.fp_mem_ops += 1;
                 let addr = entry.int_val.expect("checked above");
                 let mut l = cfg.fp_load_latency;
-                if !layout::is_tcdm(addr) {
+                if layout::is_main(addr) {
                     l += cfg.main_mem_extra_latency;
+                } else if !layout::is_tcdm(addr) {
+                    // Shared L2 or a cluster alias window.
+                    l += cfg.l2_latency;
                 }
                 l
             }

@@ -34,13 +34,15 @@ pub mod icache;
 pub mod mem;
 pub mod ssr;
 pub mod stats;
+pub mod system;
 #[cfg(feature = "testing")]
 pub mod testing;
 
 pub use cluster::Cluster;
-pub use config::ClusterConfig;
+pub use config::{ClusterConfig, SystemConfig};
 pub use error::{RunError, SimFault};
 pub use stats::Stats;
+pub use system::System;
 
 /// Emits a trace event when a tracer is attached. The `$kind` expression is
 /// only evaluated on the traced path, so the untraced hot path pays exactly

@@ -134,11 +134,36 @@ impl TcdmArbiter {
 pub struct Memory {
     tcdm: Vec<u8>,
     main: Vec<u8>,
+    /// Local copy of the shared L2 region. In a multi-cluster `System` the
+    /// canonical contents live in the `System`; this buffer is synced in
+    /// before the cluster runs and the self-written range is merged back out
+    /// afterwards. In a standalone single-cluster run it *is* the L2.
+    l2: Vec<u8>,
+    /// Snapshot buffers of remote clusters' TCDMs, backing the per-cluster
+    /// alias windows. Empty (windows unmapped) until
+    /// [`enable_peers`](Self::enable_peers); the own-cluster entry stays
+    /// empty because the own window routes to `tcdm` directly.
+    peers: Vec<Vec<u8>>,
+    /// Which peer entry is this cluster itself.
+    self_cluster: usize,
     /// Dirty byte range of `tcdm` (`lo..hi` offsets; empty when `lo >= hi`).
     tcdm_dirty: (usize, usize),
     /// Dirty byte range of `main`.
     main_dirty: (usize, usize),
+    /// Dirty byte range of `l2` — everything written, for `clear`.
+    l2_dirty: (usize, usize),
+    /// Bytes of `l2` written *by this cluster's units* (not by sync-in):
+    /// the range the `System` merges back into the canonical L2.
+    l2_touched: (usize, usize),
+    /// Per-peer dirty ranges (for `clear`).
+    peers_dirty: Vec<(usize, usize)>,
+    /// Per-peer self-written ranges (remote stores the `System` must apply
+    /// to the real owner's TCDM).
+    peers_touched: Vec<(usize, usize)>,
 }
+
+/// An empty watermark range.
+const CLEAN: (usize, usize) = (usize::MAX, 0);
 
 /// Error for an access outside the mapped regions.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -162,8 +187,15 @@ impl Memory {
         Memory {
             tcdm: vec![0; layout::TCDM_SIZE as usize],
             main: vec![0; layout::MAIN_SIZE as usize],
-            tcdm_dirty: (usize::MAX, 0),
-            main_dirty: (usize::MAX, 0),
+            l2: vec![0; layout::L2_SIZE as usize],
+            peers: Vec::new(),
+            self_cluster: 0,
+            tcdm_dirty: CLEAN,
+            main_dirty: CLEAN,
+            l2_dirty: CLEAN,
+            l2_touched: CLEAN,
+            peers_dirty: Vec::new(),
+            peers_touched: Vec::new(),
         }
     }
 
@@ -175,29 +207,97 @@ impl Memory {
         widen(&mut self.main_dirty, 0, main.len());
     }
 
+    /// Loads the initial L2 image. Counts as sync-in, not as a write by
+    /// this cluster's units.
+    pub fn load_l2(&mut self, l2: &[u8]) {
+        self.l2[..l2.len()].copy_from_slice(l2);
+        widen(&mut self.l2_dirty, 0, l2.len());
+    }
+
+    /// Maps the alias windows of an `clusters`-cluster system, identifying
+    /// this memory as cluster `self_cluster`. The own window routes straight
+    /// to the TCDM; remote windows get snapshot buffers the `System` fills
+    /// before each run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self_cluster >= clusters` or `clusters` exceeds
+    /// [`layout::MAX_CLUSTERS`].
+    pub fn enable_peers(&mut self, clusters: usize, self_cluster: usize) {
+        assert!(self_cluster < clusters && clusters <= layout::MAX_CLUSTERS);
+        self.self_cluster = self_cluster;
+        self.peers =
+            (0..clusters)
+                .map(|k| {
+                    if k == self_cluster {
+                        Vec::new()
+                    } else {
+                        vec![0; layout::TCDM_SIZE as usize]
+                    }
+                })
+                .collect();
+        self.peers_dirty = vec![CLEAN; clusters];
+        self.peers_touched = vec![CLEAN; clusters];
+    }
+
     /// Zeroes all written contents in place, reusing the allocations. After
     /// `clear` plus `load_images` the memory is indistinguishable from a
     /// freshly constructed one. Only the dirty watermark range is touched,
     /// so the cost is proportional to the bytes a job actually wrote.
     pub fn clear(&mut self) {
-        let (lo, hi) = self.tcdm_dirty;
-        if lo < hi {
-            self.tcdm[lo..hi].fill(0);
+        for (buf, range) in [
+            (&mut self.tcdm, &mut self.tcdm_dirty),
+            (&mut self.main, &mut self.main_dirty),
+            (&mut self.l2, &mut self.l2_dirty),
+        ] {
+            let (lo, hi) = *range;
+            if lo < hi {
+                buf[lo..hi].fill(0);
+            }
+            *range = CLEAN;
         }
-        let (lo, hi) = self.main_dirty;
-        if lo < hi {
-            self.main[lo..hi].fill(0);
+        for (buf, range) in self.peers.iter_mut().zip(&mut self.peers_dirty) {
+            let (lo, hi) = *range;
+            if lo < hi {
+                buf[lo..hi].fill(0);
+            }
+            *range = CLEAN;
         }
-        self.tcdm_dirty = (usize::MAX, 0);
-        self.main_dirty = (usize::MAX, 0);
+        self.l2_touched = CLEAN;
+        self.peers_touched.fill(CLEAN);
     }
 
     /// Whether `addr..addr+len` is mapped.
     #[must_use]
     pub fn is_mapped(&self, addr: u32, len: u32) -> bool {
         let end = addr.wrapping_add(len.saturating_sub(1));
-        (layout::is_tcdm(addr) && layout::is_tcdm(end))
+        if (layout::is_tcdm(addr) && layout::is_tcdm(end))
             || (layout::is_main(addr) && layout::is_main(end))
+            || (layout::is_l2(addr) && layout::is_l2(end))
+        {
+            return true;
+        }
+        match (layout::alias_cluster(addr), layout::alias_cluster(end)) {
+            (Some((k, _)), Some((k2, _))) if k == k2 => {
+                k == self.self_cluster || self.peers.get(k).is_some_and(|p| !p.is_empty())
+            }
+            _ => false,
+        }
+    }
+
+    /// Routes an in-bounds alias access to its backing buffer index, or
+    /// faults when the window's cluster does not exist in this system.
+    fn alias_target(&self, addr: u32, len: u32) -> Result<Option<(usize, usize)>, MemFault> {
+        let (Some((k, off)), Some((k2, _))) =
+            (layout::alias_cluster(addr), layout::alias_cluster(addr + len - 1))
+        else {
+            return Ok(None);
+        };
+        if k != k2 || !(k == self.self_cluster || self.peers.get(k).is_some_and(|p| !p.is_empty()))
+        {
+            return Err(MemFault { addr });
+        }
+        Ok(Some((k, off as usize)))
     }
 
     fn slice(&self, addr: u32, len: u32) -> Result<&[u8], MemFault> {
@@ -207,6 +307,12 @@ impl Memory {
         } else if layout::is_main(addr) && layout::is_main(addr + len - 1) {
             let off = (addr - layout::MAIN_BASE) as usize;
             Ok(&self.main[off..off + len as usize])
+        } else if layout::is_l2(addr) && layout::is_l2(addr + len - 1) {
+            let off = (addr - layout::L2_BASE) as usize;
+            Ok(&self.l2[off..off + len as usize])
+        } else if let Some((k, off)) = self.alias_target(addr, len)? {
+            let buf = if k == self.self_cluster { &self.tcdm } else { &self.peers[k] };
+            Ok(&buf[off..off + len as usize])
         } else {
             Err(MemFault { addr })
         }
@@ -221,9 +327,69 @@ impl Memory {
             let off = (addr - layout::MAIN_BASE) as usize;
             widen(&mut self.main_dirty, off, off + len as usize);
             Ok(&mut self.main[off..off + len as usize])
+        } else if layout::is_l2(addr) && layout::is_l2(addr + len - 1) {
+            let off = (addr - layout::L2_BASE) as usize;
+            widen(&mut self.l2_dirty, off, off + len as usize);
+            widen(&mut self.l2_touched, off, off + len as usize);
+            Ok(&mut self.l2[off..off + len as usize])
+        } else if let Some((k, off)) = self.alias_target(addr, len)? {
+            if k == self.self_cluster {
+                widen(&mut self.tcdm_dirty, off, off + len as usize);
+                Ok(&mut self.tcdm[off..off + len as usize])
+            } else {
+                widen(&mut self.peers_dirty[k], off, off + len as usize);
+                widen(&mut self.peers_touched[k], off, off + len as usize);
+                Ok(&mut self.peers[k][off..off + len as usize])
+            }
         } else {
             Err(MemFault { addr })
         }
+    }
+
+    // ---- System synchronisation (multi-cluster runs) ----
+
+    /// Overwrites `l2[off..off+data.len()]` with canonical bytes from the
+    /// `System`. Counts toward `clear` but not toward the cluster's own
+    /// written range.
+    pub fn sync_l2_in(&mut self, off: usize, data: &[u8]) {
+        self.l2[off..off + data.len()].copy_from_slice(data);
+        widen(&mut self.l2_dirty, off, off + data.len());
+    }
+
+    /// Overwrites peer `k`'s snapshot window with that cluster's actual TCDM
+    /// bytes (same sync-in semantics as [`sync_l2_in`](Self::sync_l2_in)).
+    pub fn sync_peer_in(&mut self, k: usize, off: usize, data: &[u8]) {
+        self.peers[k][off..off + data.len()].copy_from_slice(data);
+        widen(&mut self.peers_dirty[k], off, off + data.len());
+    }
+
+    /// The `l2` range written by this cluster's own units since the last
+    /// take, as `(offset, bytes)`; resets the watermark.
+    pub fn take_l2_touched(&mut self) -> Option<(usize, &[u8])> {
+        let (lo, hi) = std::mem::replace(&mut self.l2_touched, CLEAN);
+        (lo < hi).then(|| (lo, &self.l2[lo..hi]))
+    }
+
+    /// The bytes this cluster stored into peer `k`'s alias window since the
+    /// last take (to be applied to the owner's TCDM); resets the watermark.
+    pub fn take_peer_touched(&mut self, k: usize) -> Option<(usize, &[u8])> {
+        let (lo, hi) = std::mem::replace(&mut self.peers_touched[k], CLEAN);
+        (lo < hi).then(|| (lo, &self.peers[k][lo..hi]))
+    }
+
+    /// The TCDM range written so far (images + stores), for the `System`'s
+    /// peer-snapshot refresh.
+    #[must_use]
+    pub fn tcdm_written(&self) -> Option<(usize, &[u8])> {
+        let (lo, hi) = self.tcdm_dirty;
+        (lo < hi).then(|| (lo, &self.tcdm[lo..hi]))
+    }
+
+    /// Overwrites `tcdm[off..]` with bytes another cluster stored through
+    /// this cluster's alias window.
+    pub fn apply_remote_tcdm(&mut self, off: usize, data: &[u8]) {
+        widen(&mut self.tcdm_dirty, off, off + data.len());
+        self.tcdm[off..off + data.len()].copy_from_slice(data);
     }
 
     /// Reads `len` (1, 2, 4 or 8) bytes as a little-endian value.
@@ -359,8 +525,66 @@ mod tests {
     #[test]
     fn unmapped_access_faults() {
         let m = Memory::new();
-        assert!(m.read(0x4000_0000, 4).is_err());
+        assert!(m.read(0x0300_0000, 4).is_err());
         assert!(m.read(layout::TCDM_BASE + layout::TCDM_SIZE - 2, 8).is_err());
+        // Beyond the backed part of an alias window.
+        assert!(m.read(layout::CLUSTER_ALIAS_BASE + layout::TCDM_SIZE, 4).is_err());
+        // A remote cluster's window faults until peers are enabled.
+        assert!(m.read(layout::tcdm_alias_base(1), 4).is_err());
+    }
+
+    #[test]
+    fn l2_round_trips_and_clears() {
+        let mut m = Memory::new();
+        m.write(layout::L2_BASE + 40, 8, 0xfeed_f00d).unwrap();
+        assert_eq!(m.read(layout::L2_BASE + 40, 8).unwrap(), 0xfeed_f00d);
+        assert_eq!(m.take_l2_touched().map(|(off, b)| (off, b.len())), Some((40, 8)));
+        assert_eq!(m.take_l2_touched(), None, "take resets the watermark");
+        m.clear();
+        assert_eq!(m.read(layout::L2_BASE + 40, 8).unwrap(), 0);
+    }
+
+    #[test]
+    fn sync_in_is_not_a_local_write() {
+        let mut m = Memory::new();
+        m.load_l2(&[9; 16]);
+        m.sync_l2_in(64, &[7; 8]);
+        assert_eq!(m.read(layout::L2_BASE, 8).unwrap(), 0x0909_0909_0909_0909);
+        assert_eq!(m.read(layout::L2_BASE + 64, 8).unwrap(), 0x0707_0707_0707_0707);
+        assert_eq!(m.take_l2_touched(), None, "sync-in must not mark the merge-out range");
+        m.clear();
+        assert_eq!(m.read(layout::L2_BASE, 8).unwrap(), 0, "sync-in still counts for clear");
+        assert_eq!(m.read(layout::L2_BASE + 64, 8).unwrap(), 0);
+    }
+
+    #[test]
+    fn own_alias_window_routes_to_own_tcdm() {
+        let mut m = Memory::new();
+        m.write(layout::tcdm_alias_base(0) + 24, 8, 0xabcd).unwrap();
+        assert_eq!(m.read(layout::TCDM_BASE + 24, 8).unwrap(), 0xabcd);
+        // ... in an enabled multi-cluster system too, at the self index.
+        let mut m = Memory::new();
+        m.enable_peers(4, 2);
+        m.write(layout::tcdm_alias_base(2) + 8, 4, 77).unwrap();
+        assert_eq!(m.read(layout::TCDM_BASE + 8, 4).unwrap(), 77);
+    }
+
+    #[test]
+    fn peer_windows_snapshot_and_track_remote_stores() {
+        let mut m = Memory::new();
+        m.enable_peers(2, 0);
+        m.sync_peer_in(1, 0, &[1, 2, 3, 4]);
+        assert_eq!(m.read(layout::tcdm_alias_base(1), 4).unwrap(), 0x0403_0201);
+        assert_eq!(m.take_peer_touched(1), None, "snapshot fill is not a remote store");
+        m.write(layout::tcdm_alias_base(1) + 2, 2, 0xbeef).unwrap();
+        assert_eq!(
+            m.take_peer_touched(1).map(|(off, b)| (off, b.to_vec())),
+            Some((2, vec![0xef, 0xbe]))
+        );
+        // Windows of clusters outside the system stay unmapped.
+        assert!(m.read(layout::tcdm_alias_base(2), 4).is_err());
+        assert!(!m.is_mapped(layout::tcdm_alias_base(2), 4));
+        assert!(m.is_mapped(layout::tcdm_alias_base(1), 4));
     }
 
     #[test]

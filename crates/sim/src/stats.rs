@@ -88,6 +88,8 @@ pub struct Stats {
     pub tcdm_conflicts: u64,
     /// Core accesses to main memory (slow path).
     pub main_mem_accesses: u64,
+    /// Core accesses to the shared L2 region (interconnect path).
+    pub l2_accesses: u64,
 
     // ---- SSR / DMA ----
     /// Data elements streamed per SSR.
@@ -104,6 +106,9 @@ pub struct Stats {
     pub dma_blocked_cycles: u64,
     /// 64-bit beats transferred by the DMA.
     pub dma_beats: u64,
+    /// Cycles DMA segments spent in interconnect setup (L2 access latency
+    /// plus per-hop latency for L2 / remote-cluster targets).
+    pub dma_hop_cycles: u64,
 }
 
 impl Stats {
@@ -177,13 +182,19 @@ impl Stats {
         }
     }
 
-    /// Adds `other` field-wise into `self` (the per-core → cluster rollup;
-    /// `cycles` is deliberately excluded — elapsed time does not sum across
-    /// cores stepping in lockstep, the caller sets it).
+    /// Adds `other` field-wise into `self` (the per-core → cluster and
+    /// per-cluster → system rollup; `cycles` is deliberately excluded —
+    /// elapsed time does not sum across cores stepping in lockstep, the
+    /// caller sets it).
+    ///
+    /// Addition saturates per counter, mirroring
+    /// [`delta_since`](Self::delta_since): a rollup over many clusters of a
+    /// pathological run must clamp at `u64::MAX` rather than panic in debug
+    /// builds or silently wrap in release builds.
     pub fn accumulate(&mut self, other: &Stats) {
         macro_rules! acc {
             ($($f:ident),* $(,)?) => {
-                $( self.$f += other.$f; )*
+                $( self.$f = self.$f.saturating_add(other.$f); )*
             };
         }
         acc!(
@@ -218,13 +229,16 @@ impl Stats {
             tcdm_dma_accesses,
             tcdm_conflicts,
             main_mem_accesses,
+            l2_accesses,
             dma_busy_cycles,
             dma_blocked_cycles,
             dma_beats,
+            dma_hop_cycles,
         );
         for i in 0..3 {
-            self.ssr_beats[i] += other.ssr_beats[i];
-            self.ssr_active_cycles[i] += other.ssr_active_cycles[i];
+            self.ssr_beats[i] = self.ssr_beats[i].saturating_add(other.ssr_beats[i]);
+            self.ssr_active_cycles[i] =
+                self.ssr_active_cycles[i].saturating_add(other.ssr_active_cycles[i]);
         }
     }
 
@@ -283,9 +297,11 @@ impl Stats {
             tcdm_dma_accesses,
             tcdm_conflicts,
             main_mem_accesses,
+            l2_accesses,
             dma_busy_cycles,
             dma_blocked_cycles,
             dma_beats,
+            dma_hop_cycles,
         )
     }
 }
@@ -327,17 +343,22 @@ impl std::fmt::Display for Stats {
         )?;
         writeln!(
             f,
-            "tcdm: core {} fp {} ssr {} dma {} conflicts {}",
+            "tcdm: core {} fp {} ssr {} dma {} conflicts {}  l2: {}",
             self.tcdm_core_accesses,
             self.tcdm_fp_accesses,
             self.tcdm_ssr_accesses,
             self.tcdm_dma_accesses,
-            self.tcdm_conflicts
+            self.tcdm_conflicts,
+            self.l2_accesses
         )?;
         write!(
             f,
-            "ssr beats {:?}  dma: busy {} blocked {} beats {}",
-            self.ssr_beats, self.dma_busy_cycles, self.dma_blocked_cycles, self.dma_beats
+            "ssr beats {:?}  dma: busy {} blocked {} beats {} hop {}",
+            self.ssr_beats,
+            self.dma_busy_cycles,
+            self.dma_blocked_cycles,
+            self.dma_beats,
+            self.dma_hop_cycles
         )
     }
 }
@@ -383,6 +404,29 @@ mod tests {
         // And the fully reversed pair is all zeros, not a panic.
         let z = early.delta_since(&late);
         assert_eq!(z.cycles, 0);
+    }
+
+    #[test]
+    fn accumulate_saturates_instead_of_wrapping() {
+        let mut total = Stats {
+            int_issued: u64::MAX - 5,
+            ssr_beats: [u64::MAX, 0, 3],
+            dma_hop_cycles: 10,
+            ..Stats::default()
+        };
+        let part = Stats {
+            int_issued: 100,
+            l2_accesses: 7,
+            ssr_beats: [1, 2, 3],
+            dma_hop_cycles: 4,
+            ..Stats::default()
+        };
+        total.accumulate(&part);
+        assert_eq!(total.int_issued, u64::MAX, "per-counter saturation, not wraparound");
+        assert_eq!(total.ssr_beats, [u64::MAX, 2, 6]);
+        assert_eq!(total.l2_accesses, 7);
+        assert_eq!(total.dma_hop_cycles, 14);
+        assert_eq!(total.cycles, 0, "cycles stay caller-owned");
     }
 
     #[test]

@@ -44,5 +44,13 @@ pub(crate) fn diag(
     hart: Option<u32>,
     message: String,
 ) -> Diagnostic {
-    Diagnostic { check, severity, addr: Cfg::pc(i), hart, disasm: inst.to_string(), message }
+    Diagnostic {
+        check,
+        severity,
+        addr: Cfg::pc(i),
+        cluster: None,
+        hart,
+        disasm: inst.to_string(),
+        message,
+    }
 }

@@ -9,7 +9,7 @@
 //! is not constant at the access site are silently skipped — this check only
 //! ever claims what it can prove.
 
-use snitch_asm::layout::{is_main, is_tcdm};
+use snitch_asm::layout::{alias_cluster, is_l2, is_main, is_tcdm};
 use snitch_riscv::inst::Inst;
 use snitch_riscv::ops::DmaOp;
 
@@ -17,15 +17,48 @@ use super::diag;
 use crate::interp::{Flow, State};
 use crate::{CheckId, Diagnostic, Severity};
 
-/// `[addr, addr + size)` lies fully inside one mapped region.
-fn span_mapped(addr: u32, size: u32) -> bool {
+/// `[addr, addr + size)` lies fully inside one mapped region of a system
+/// with `clusters` clusters: TCDM, main memory, shared L2, or the TCDM
+/// alias window of an instantiated cluster.
+fn span_mapped(addr: u32, size: u32, clusters: usize) -> bool {
     let end = addr.wrapping_add(size - 1);
-    end >= addr && ((is_tcdm(addr) && is_tcdm(end)) || (is_main(addr) && is_main(end)))
+    if end < addr {
+        return false;
+    }
+    if (is_tcdm(addr) && is_tcdm(end)) || (is_main(addr) && is_main(end)) {
+        return true;
+    }
+    if is_l2(addr) && is_l2(end) {
+        return true;
+    }
+    // Alias windows route to the target cluster's TCDM; a span is mapped
+    // when both ends fall inside the same instantiated cluster's window
+    // (within TCDM bounds — `alias_cluster` is `None` past them).
+    matches!((alias_cluster(addr), alias_cluster(end)),
+        (Some((ka, _)), Some((kb, _))) if ka == kb && ka < clusters)
+}
+
+/// Whether the address lands inside a region that exists in this system's
+/// memory map — picks the "runs past the end" wording over "unmapped
+/// address". Alias windows of clusters the system does not instantiate do
+/// not exist, so stores there read as plain unmapped accesses.
+fn in_known_region(addr: u32, clusters: usize) -> bool {
+    is_tcdm(addr)
+        || is_main(addr)
+        || is_l2(addr)
+        || matches!(alias_cluster(addr), Some((k, _)) if k < clusters)
 }
 
 /// Processes instruction `i` given its in-state (stateless — called from the
 /// fused per-instruction walk; see [`super::ssr::Scan`]).
-pub fn visit(text: &[Inst], i: usize, st: &State, hart: u32, out: &mut Vec<Diagnostic>) {
+pub fn visit(
+    text: &[Inst],
+    i: usize,
+    st: &State,
+    hart: u32,
+    clusters: usize,
+    out: &mut Vec<Diagnostic>,
+) {
     let inst = &text[i];
     {
         // Plain loads/stores with a constant base.
@@ -39,8 +72,8 @@ pub fn visit(text: &[Inst], i: usize, st: &State, hart: u32, out: &mut Vec<Diagn
         if let Some((rs1, offset, size)) = access {
             if let Some(base) = st.get(rs1) {
                 let addr = base.wrapping_add(offset as u32);
-                if !span_mapped(addr, size) {
-                    let what = if is_tcdm(addr) || is_main(addr) {
+                if !span_mapped(addr, size, clusters) {
+                    let what = if in_known_region(addr, clusters) {
                         format!(
                             "{size}-byte access at {addr:#010x} runs past the end of its \
                                  memory region"
@@ -70,8 +103,8 @@ pub fn visit(text: &[Inst], i: usize, st: &State, hart: u32, out: &mut Vec<Diagn
                 return;
             }
             for (name, addr) in [("source", src), ("destination", dst)] {
-                if !span_mapped(addr, size) {
-                    let what = if is_tcdm(addr) || is_main(addr) {
+                if !span_mapped(addr, size, clusters) {
+                    let what = if in_known_region(addr, clusters) {
                         format!(
                             "DMA {name} range {addr:#010x}+{size} runs past the end of \
                                  its memory region"
@@ -86,9 +119,10 @@ pub fn visit(text: &[Inst], i: usize, st: &State, hart: u32, out: &mut Vec<Diagn
     }
 }
 
-/// Runs the check for one hart over the converged dataflow.
-pub fn check(text: &[Inst], flow: &Flow, hart: u32, out: &mut Vec<Diagnostic>) {
-    flow.walk(text, |i, st, _meta| visit(text, i, st, hart, out));
+/// Runs the check for one hart (of a `clusters`-cluster system) over the
+/// converged dataflow.
+pub fn check(text: &[Inst], flow: &Flow, hart: u32, clusters: usize, out: &mut Vec<Diagnostic>) {
+    flow.walk(text, |i, st, _meta| visit(text, i, st, hart, clusters, out));
 }
 
 #[cfg(test)]
@@ -100,14 +134,18 @@ mod tests {
     use snitch_asm::layout::{TCDM_BASE, TCDM_SIZE};
     use snitch_riscv::reg::{FpReg, IntReg};
 
-    fn run(b: ProgramBuilder) -> Vec<Diagnostic> {
+    fn run_on(b: ProgramBuilder, clusters: usize) -> Vec<Diagnostic> {
         let p = b.build().unwrap();
         let text = p.text().to_vec();
         let graph = Cfg::build(&text);
         let flow = interp::analyze(&text, &graph, 0);
         let mut out = Vec::new();
-        check(&text, &flow, 0, &mut out);
+        check(&text, &flow, 0, clusters, &mut out);
         out
+    }
+
+    fn run(b: ProgramBuilder) -> Vec<Diagnostic> {
+        run_on(b, 1)
     }
 
     #[test]
@@ -125,13 +163,39 @@ mod tests {
     #[test]
     fn store_to_unmapped_address_is_an_error() {
         let mut b = ProgramBuilder::new();
-        b.li_u(IntReg::A0, 0x4000_0000);
+        b.li_u(IntReg::A0, 0x0300_0000);
         b.sw(IntReg::A1, IntReg::A0, 0);
         b.ecall();
         let d = run(b);
         assert_eq!(d.len(), 1, "{d:?}");
         assert_eq!(d[0].severity, Severity::Error);
-        assert!(d[0].message.contains("unmapped address 0x40000000"), "{}", d[0].message);
+        assert!(d[0].message.contains("unmapped address 0x03000000"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn l2_and_instantiated_alias_windows_are_mapped() {
+        use snitch_asm::layout::{tcdm_alias_base, L2_BASE};
+        let mut b = ProgramBuilder::new();
+        b.li_u(IntReg::A0, L2_BASE + 16);
+        b.sw(IntReg::A1, IntReg::A0, 0);
+        b.li_u(IntReg::A0, tcdm_alias_base(1) + 8);
+        b.sw(IntReg::A1, IntReg::A0, 0);
+        b.ecall();
+        let d = run_on(b, 2);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn alias_window_of_an_uninstantiated_cluster_is_unmapped() {
+        use snitch_asm::layout::tcdm_alias_base;
+        let mut b = ProgramBuilder::new();
+        b.li_u(IntReg::A0, tcdm_alias_base(3));
+        b.sw(IntReg::A1, IntReg::A0, 0);
+        b.ecall();
+        let d = run_on(b, 2);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].severity, Severity::Error);
+        assert!(d[0].message.contains("unmapped"), "{}", d[0].message);
     }
 
     #[test]
@@ -165,7 +229,7 @@ mod tests {
         let buf = b.tcdm_f64("x", &[1.0; 8]);
         b.li_u(IntReg::A0, buf);
         b.dmsrc(IntReg::A0);
-        b.li_u(IntReg::A1, 0x2000_0000);
+        b.li_u(IntReg::A1, 0x0300_0000);
         b.dmdst(IntReg::A1);
         b.li(IntReg::A2, 64);
         b.dmcpyi(IntReg::A3, IntReg::A2);

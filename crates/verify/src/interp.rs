@@ -25,7 +25,7 @@
 
 use std::rc::Rc;
 
-use snitch_riscv::csr::{SsrCfgWord, CSR_BARRIER, CSR_MHARTID, CSR_SSR, NUM_SSRS};
+use snitch_riscv::csr::{SsrCfgWord, CSR_BARRIER, CSR_CLUSTER_ID, CSR_MHARTID, CSR_SSR, NUM_SSRS};
 use snitch_riscv::inst::Inst;
 use snitch_riscv::meta::RegRef;
 use snitch_riscv::ops::CsrOp;
@@ -368,12 +368,31 @@ impl OpMeta {
 /// The converged dataflow result for one hart.
 ///
 /// Only the in-state at each basic-block head is stored; per-instruction
-/// states are recomputed on demand by [`walk`](Self::walk) — for the
+/// states are recomputed on demand by [`walk`](Flow::walk) — for the
 /// mostly-straight-line programs codegen emits, that is orders of magnitude
 /// less state to allocate, clone and merge than a per-instruction table.
+/// The identity one analysis run is bound to: `mhartid` reads resolve to
+/// `hart` and cluster-id CSR reads to `cluster`, so both SPMD guards and
+/// cluster-role guards prune to the analyzed path.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct HartCtx {
+    /// The cluster id the cluster-id CSR returns.
+    pub cluster: u32,
+    /// The hart id `mhartid` returns.
+    pub hart: u32,
+}
+
+impl HartCtx {
+    /// Context for `hart` of `cluster`.
+    #[must_use]
+    pub fn new(cluster: u32, hart: u32) -> Self {
+        HartCtx { cluster, hart }
+    }
+}
+
 #[derive(Debug)]
 pub struct Flow {
-    hart: u32,
+    ctx: HartCtx,
     /// Shared per-instruction operand facts (same table for every hart).
     metas: Rc<[OpMeta]>,
     /// Text index of every basic-block head, ascending.
@@ -398,7 +417,7 @@ impl Flow {
             #[allow(clippy::needless_range_loop)] // indexes text AND metas
             for i in b..end - 1 {
                 f(i, &st, &self.metas[i]);
-                transfer(&mut st, text[i], &self.metas[i], Cfg::pc(i), self.hart);
+                transfer(&mut st, text[i], &self.metas[i], Cfg::pc(i), self.ctx);
             }
             // The post-state of the block's last instruction is never
             // observed, so its transfer is skipped.
@@ -433,18 +452,19 @@ fn is_block_end(inst: Inst) -> bool {
     )
 }
 
-/// Runs the abstract interpretation for `hart` to a fixpoint over the
-/// basic-block graph and returns the converged [`Flow`]. Builds its own
-/// operand table; when analyzing several harts of one program, build the
+/// Runs the abstract interpretation for `hart` (of cluster 0) to a fixpoint
+/// over the basic-block graph and returns the converged [`Flow`]. Builds its
+/// own operand table; when analyzing several harts of one program, build the
 /// table once and use [`analyze_with`].
 #[must_use]
 pub fn analyze(text: &[Inst], graph: &Cfg, hart: u32) -> Flow {
-    analyze_with(text, OpMeta::table(text).into(), graph, hart)
+    analyze_with(text, OpMeta::table(text).into(), graph, HartCtx::new(0, hart))
 }
 
-/// [`analyze`] with a caller-provided (shared) operand table.
+/// [`analyze`] with a caller-provided (shared) operand table and a full
+/// (cluster, hart) identity.
 #[must_use]
-pub fn analyze_with(text: &[Inst], metas: Rc<[OpMeta]>, graph: &Cfg, hart: u32) -> Flow {
+pub fn analyze_with(text: &[Inst], metas: Rc<[OpMeta]>, graph: &Cfg, ctx: HartCtx) -> Flow {
     let n = text.len();
     // Block leaders: entry, every branch/jump target, and the instruction
     // after every control transfer or terminator.
@@ -463,11 +483,11 @@ pub fn analyze_with(text: &[Inst], metas: Rc<[OpMeta]>, graph: &Cfg, hart: u32) 
         blocks = (0..n).filter(|&i| leader[i]).collect();
     }
     let nb = blocks.len();
-    let mut flow = Flow { hart, metas, blocks, heads: vec![None; nb], exit: None };
+    let mut flow = Flow { ctx, metas, blocks, heads: vec![None; nb], exit: None };
     if n == 0 {
         return flow;
     }
-    flow.heads[0] = Some(State::entry(hart));
+    flow.heads[0] = Some(State::entry(ctx.hart));
     let mut visits = vec![0u32; nb];
     let mut work = vec![0usize]; // block ids
     while let Some(bi) = work.pop() {
@@ -477,7 +497,7 @@ pub fn analyze_with(text: &[Inst], metas: Rc<[OpMeta]>, graph: &Cfg, hart: u32) 
         let last = end - 1;
         #[allow(clippy::needless_range_loop)] // indexes text AND metas
         for i in b..last {
-            transfer(&mut st, text[i], &flow.metas[i], Cfg::pc(i), hart);
+            transfer(&mut st, text[i], &flow.metas[i], Cfg::pc(i), ctx);
         }
         // A halt is always a block end, so its in-state is in hand right
         // here. Merging it on every visit is exact: head states only grow
@@ -491,7 +511,7 @@ pub fn analyze_with(text: &[Inst], metas: Rc<[OpMeta]>, graph: &Cfg, hart: u32) 
                 None => flow.exit = Some(st.clone()),
             }
         }
-        transfer(&mut st, text[last], &flow.metas[last], Cfg::pc(last), hart);
+        transfer(&mut st, text[last], &flow.metas[last], Cfg::pc(last), ctx);
         for &s in resolved_succs(text[last], &st, graph, last) {
             let si = flow.block_of(s);
             let widen = visits[si] >= WIDEN_AFTER;
@@ -536,7 +556,7 @@ fn resolved_succs<'a>(inst: Inst, out: &State, graph: &'a Cfg, i: usize) -> &'a 
 /// Applies one instruction's effect to the state. `pc` is the instruction's
 /// own address (for `auipc`/link values).
 #[allow(clippy::too_many_lines)]
-fn transfer(st: &mut State, inst: Inst, meta: &OpMeta, pc: u32, hart: u32) {
+fn transfer(st: &mut State, inst: Inst, meta: &OpMeta, pc: u32, ctx: HartCtx) {
     // Replay multiplicity of *this* instruction, then retire it from the
     // pending body count.
     let (mult_lo, mult_hi) = st.mult();
@@ -582,7 +602,7 @@ fn transfer(st: &mut State, inst: Inst, meta: &OpMeta, pc: u32, hart: u32) {
         }
         Inst::Load { rd, .. } => st.set(rd, None),
         Inst::Csr { op, rd, csr, src } => {
-            transfer_csr(st, op, rd, csr, src, hart);
+            transfer_csr(st, op, rd, csr, src, ctx);
         }
         Inst::Scfgwi { value, addr } => {
             if let Some((word, ssr)) = SsrCfgWord::from_addr(addr) {
@@ -644,7 +664,7 @@ fn transfer(st: &mut State, inst: Inst, meta: &OpMeta, pc: u32, hart: u32) {
     st.fp_init |= meta.fp_defs;
 }
 
-fn transfer_csr(st: &mut State, op: CsrOp, rd: IntReg, csr: u16, src: u8, hart: u32) {
+fn transfer_csr(st: &mut State, op: CsrOp, rd: IntReg, csr: u16, src: u8, ctx: HartCtx) {
     match csr {
         CSR_SSR => {
             let bit = |v: u32| {
@@ -674,7 +694,8 @@ fn transfer_csr(st: &mut State, op: CsrOp, rd: IntReg, csr: u16, src: u8, hart: 
             st.barriers.add(1, 1);
             st.set(rd, Some(0));
         }
-        CSR_MHARTID => st.set(rd, Some(hart)),
+        CSR_MHARTID => st.set(rd, Some(ctx.hart)),
+        CSR_CLUSTER_ID => st.set(rd, Some(ctx.cluster)),
         _ => st.set(rd, None),
     }
 }

@@ -1,12 +1,13 @@
 //! Static verification of compiled Snitch programs.
 //!
-//! [`verify`] takes a loaded [`Program`] plus the [`ClusterConfig`] it will
-//! run under, reconstructs the per-hart control-flow graph from the decoded
-//! text section, runs a forward abstract interpretation (constant
-//! propagation, register-initialization masks, SSR stream states, barrier
-//! counts — see [`interp`]), and evaluates a catalog of checks over the
-//! converged states. The result is a list of structured, severity-ranked
-//! [`Diagnostic`]s.
+//! [`verify`] takes a loaded [`Program`] plus the [`SystemConfig`] it will
+//! run under (cluster shape and cluster count — [`verify_cluster`] is the
+//! single-cluster convenience form), reconstructs the per-hart control-flow
+//! graph from the decoded text section, runs a forward abstract
+//! interpretation (constant propagation, register-initialization masks, SSR
+//! stream states, barrier counts — see [`interp`]), and evaluates a catalog
+//! of checks over the converged states. The result is a list of structured,
+//! severity-ranked [`Diagnostic`]s.
 //!
 //! The severity contract is calibrated against the simulator (and the
 //! hardware it models):
@@ -30,7 +31,7 @@
 #![forbid(unsafe_code)]
 
 use snitch_asm::program::Program;
-use snitch_sim::config::ClusterConfig;
+use snitch_sim::config::{ClusterConfig, SystemConfig};
 
 pub mod cfg;
 pub mod checks;
@@ -116,6 +117,9 @@ pub struct Diagnostic {
     pub severity: Severity,
     /// Address of the offending instruction.
     pub addr: u32,
+    /// The cluster the finding applies to; `None` when it holds on every
+    /// cluster (always `None` for single-cluster systems).
+    pub cluster: Option<u32>,
     /// The hart the finding applies to; `None` when it holds on every hart.
     pub hart: Option<u32>,
     /// Disassembly of the offending instruction.
@@ -127,6 +131,9 @@ pub struct Diagnostic {
 impl std::fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "{}[{}] {:#010x}", self.severity.name(), self.check, self.addr)?;
+        if let Some(c) = self.cluster {
+            write!(f, " cluster {c}")?;
+        }
         if let Some(h) = self.hart {
             write!(f, " hart {h}")?;
         }
@@ -163,52 +170,77 @@ pub fn report(label: &str, diags: &[Diagnostic]) -> String {
     out
 }
 
+/// Runs every check over `program` as it would execute under a single
+/// cluster of `config` — the pre-[`SystemConfig`] entry point, kept for
+/// callers that think in clusters.
+#[must_use]
+pub fn verify_cluster(program: &Program, config: &ClusterConfig) -> Vec<Diagnostic> {
+    verify(program, &SystemConfig::from(config.clone()))
+}
+
 /// Runs every check over `program` as it would execute under `config` and
 /// returns the findings, deterministically ordered (errors first, then by
-/// address, check, hart).
+/// address, check, cluster, hart).
+///
+/// For multi-cluster systems the dataflow runs once per (cluster, hart)
+/// pair with both the cluster-id CSR and `mhartid` bound to constants, so
+/// cluster-role guards prune exactly like SPMD hart guards do. Findings
+/// identical across every hart of a cluster collapse to `hart: None`;
+/// findings identical across every cluster collapse to `cluster: None`.
 #[must_use]
-pub fn verify(program: &Program, config: &ClusterConfig) -> Vec<Diagnostic> {
+pub fn verify(program: &Program, config: &SystemConfig) -> Vec<Diagnostic> {
     let text = program.text();
     let graph = cfg::Cfg::build(text);
     let mut out = Vec::new();
-    checks::frep::check(text, config, &graph, &mut out);
+    checks::frep::check(text, &config.cluster, &graph, &mut out);
 
-    // One dataflow pass per hart, with `mhartid` bound to a constant, so
-    // per-hart addresses and branch decisions resolve exactly. Single-core
-    // programs boot only hart 0.
+    // One dataflow pass per (cluster, hart), with the identity CSRs bound
+    // to constants, so per-hart addresses and branch decisions resolve
+    // exactly. Single-core programs boot only hart 0 (of every cluster).
     let harts: Vec<u32> =
-        if program.parallel() { (0..config.cores as u32).collect() } else { vec![0] };
+        if program.parallel() { (0..config.cluster.cores as u32).collect() } else { vec![0] };
+    let clusters = config.clusters;
     let metas: std::rc::Rc<[interp::OpMeta]> = interp::OpMeta::table(text).into();
-    let mut per_hart: Vec<Vec<Diagnostic>> = Vec::with_capacity(harts.len());
-    let mut exits = Vec::with_capacity(harts.len());
-    for &hart in &harts {
-        let flow = interp::analyze_with(text, std::rc::Rc::clone(&metas), &graph, hart);
-        let mut hd = Vec::new();
-        // One fused walk drives all per-instruction checks: the walk
-        // recomputes states by re-running the transfer function, so sharing
-        // it costs one transfer per instruction instead of one per check.
-        let mut ssr = checks::ssr::Scan::new(hart);
-        let mut init = checks::init::Scan::new(hart);
-        flow.walk(text, |i, st, meta| {
-            init.visit(text, i, st, meta, &mut hd);
-            let (want_ssr, want_mem) = checks::interest(&text[i], meta);
-            if want_ssr {
-                ssr.visit(text, i, st, meta, &mut hd);
-            }
-            if want_mem {
-                checks::mem::visit(text, i, st, hart, &mut hd);
-            }
-        });
-        ssr.finish(text, &flow, &mut hd);
-        exits.push(flow.exit);
-        per_hart.push(hd);
+    let mut per_cluster: Vec<Vec<Diagnostic>> = Vec::with_capacity(clusters);
+    for cluster in 0..clusters as u32 {
+        let mut per_hart: Vec<Vec<Diagnostic>> = Vec::with_capacity(harts.len());
+        let mut exits = Vec::with_capacity(harts.len());
+        for &hart in &harts {
+            let ctx = interp::HartCtx::new(cluster, hart);
+            let flow = interp::analyze_with(text, std::rc::Rc::clone(&metas), &graph, ctx);
+            let mut hd = Vec::new();
+            // One fused walk drives all per-instruction checks: the walk
+            // recomputes states by re-running the transfer function, so
+            // sharing it costs one transfer per instruction instead of one
+            // per check.
+            let mut ssr = checks::ssr::Scan::new(hart);
+            let mut init = checks::init::Scan::new(hart);
+            flow.walk(text, |i, st, meta| {
+                init.visit(text, i, st, meta, &mut hd);
+                let (want_ssr, want_mem) = checks::interest(&text[i], meta);
+                if want_ssr {
+                    ssr.visit(text, i, st, meta, &mut hd);
+                }
+                if want_mem {
+                    checks::mem::visit(text, i, st, hart, clusters, &mut hd);
+                }
+            });
+            ssr.finish(text, &flow, &mut hd);
+            exits.push(flow.exit);
+            per_hart.push(hd);
+        }
+        let mut cd = collapse_common(per_hart, harts.len());
+        checks::barrier::check(text, &graph, program.parallel(), &harts, &exits, &mut cd);
+        for d in &mut cd {
+            d.cluster = Some(cluster);
+        }
+        per_cluster.push(cd);
     }
-    out.extend(collapse_common(per_hart, harts.len()));
-    checks::barrier::check(text, &graph, program.parallel(), &harts, &exits, &mut out);
+    out.extend(collapse_clusters(per_cluster, clusters));
 
     out.sort_by(|a, b| {
-        (b.severity, a.addr, a.check, a.hart, &a.message)
-            .cmp(&(a.severity, b.addr, b.check, b.hart, &b.message))
+        (b.severity, a.addr, a.check, a.cluster, a.hart, &a.message)
+            .cmp(&(a.severity, b.addr, b.check, b.cluster, b.hart, &b.message))
     });
     out
 }
@@ -250,6 +282,45 @@ fn collapse_common(per_hart: Vec<Vec<Diagnostic>>, harts: usize) -> Vec<Diagnost
     out
 }
 
+/// Collapses (already hart-collapsed) per-cluster diagnostics that fired
+/// identically on every cluster into a single `cluster: None` finding;
+/// cluster-specific findings keep their cluster tag. Single-cluster systems
+/// report everything cluster-agnostically.
+fn collapse_clusters(per_cluster: Vec<Vec<Diagnostic>>, clusters: usize) -> Vec<Diagnostic> {
+    type Key = (CheckId, Severity, u32, Option<u32>, String);
+    if clusters <= 1 {
+        let mut v: Vec<Diagnostic> = per_cluster.into_iter().flatten().collect();
+        for d in &mut v {
+            d.cluster = None;
+        }
+        return v;
+    }
+    let key_of =
+        |d: &Diagnostic| -> Key { (d.check, d.severity, d.addr, d.hart, d.message.clone()) };
+    let mut counts: std::collections::HashMap<Key, u32> = std::collections::HashMap::new();
+    for diags in &per_cluster {
+        for d in diags {
+            *counts.entry(key_of(d)).or_insert(0) += 1;
+        }
+    }
+    let mut out = Vec::new();
+    let mut emitted: std::collections::HashSet<Key> = std::collections::HashSet::new();
+    for diags in per_cluster {
+        for mut d in diags {
+            let key = key_of(&d);
+            if counts[&key] as usize == clusters {
+                if emitted.insert(key) {
+                    d.cluster = None;
+                    out.push(d);
+                }
+            } else {
+                out.push(d);
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -262,7 +333,7 @@ mod tests {
         b.li(IntReg::A0, 1);
         b.ecall();
         let p = b.build().unwrap();
-        let diags = verify(&p, &ClusterConfig::default());
+        let diags = verify_cluster(&p, &ClusterConfig::default());
         assert!(!has_errors(&diags), "{diags:?}");
     }
 
@@ -272,6 +343,7 @@ mod tests {
             check: CheckId::MemBounds,
             severity: Severity::Error,
             addr: 0x8000_0010,
+            cluster: None,
             hart: Some(2),
             disasm: "sw a0, 0(a1)".to_string(),
             message: "store to unmapped address".to_string(),
@@ -281,6 +353,46 @@ mod tests {
         assert!(r.contains("error[mem-bounds] 0x80000010 hart 2"));
         assert!(format!("{d}").contains("sw a0, 0(a1)"));
         assert!(has_errors(&[d]));
+    }
+
+    #[test]
+    fn cluster_guarded_code_is_analyzed_per_cluster() {
+        use snitch_asm::layout::tcdm_alias_base;
+        // Only cluster 1 executes the faulting store (into an alias window
+        // of a cluster the system does not have); the finding must come
+        // back tagged with that cluster.
+        let mut b = ProgramBuilder::new();
+        b.csrr_cluster_id(IntReg::A0);
+        b.li(IntReg::A1, 1);
+        b.bne(IntReg::A0, IntReg::A1, "done");
+        b.li_u(IntReg::A2, tcdm_alias_base(7));
+        b.sw(IntReg::ZERO, IntReg::A2, 0);
+        b.label("done");
+        b.ecall();
+        let p = b.build().unwrap();
+
+        let diags = verify(&p, &SystemConfig::with_clusters(2));
+        assert!(has_errors(&diags), "{diags:?}");
+        let err = diags.iter().find(|d| d.severity == Severity::Error).unwrap();
+        assert_eq!(err.cluster, Some(1), "{err}");
+        assert!(format!("{err}").contains("cluster 1"));
+
+        // A single-cluster system never takes the guarded path: clean.
+        let diags1 = verify(&p, &SystemConfig::default());
+        assert!(!has_errors(&diags1), "{diags1:?}");
+    }
+
+    #[test]
+    fn findings_common_to_every_cluster_collapse() {
+        let mut b = ProgramBuilder::new();
+        b.li_u(IntReg::A0, 0x0300_0000);
+        b.sw(IntReg::ZERO, IntReg::A0, 0);
+        b.ecall();
+        let p = b.build().unwrap();
+        let diags = verify(&p, &SystemConfig::with_clusters(4));
+        let errs: Vec<_> = diags.iter().filter(|d| d.severity == Severity::Error).collect();
+        assert_eq!(errs.len(), 1, "{diags:?}");
+        assert_eq!(errs[0].cluster, None);
     }
 
     #[test]

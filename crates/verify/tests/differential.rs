@@ -6,7 +6,7 @@
 
 use snitch_sim::config::ClusterConfig;
 use snitch_sim::testing::{observe_with, random_program, Rng};
-use snitch_verify::{error_count, report, verify};
+use snitch_verify::{error_count, report, verify_cluster as verify};
 
 /// 40 seeds across single-core and SPMD shapes: the verifier must report
 /// zero errors, and the simulator must agree by running each program to

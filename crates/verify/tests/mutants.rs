@@ -9,7 +9,7 @@ use snitch_asm::layout::{TCDM_BASE, TCDM_SIZE};
 use snitch_riscv::csr::SsrCfgWord;
 use snitch_riscv::reg::{FpReg, IntReg};
 use snitch_sim::config::ClusterConfig;
-use snitch_verify::{verify, CheckId, Severity};
+use snitch_verify::{verify_cluster as verify, CheckId, Severity};
 
 /// Runs the verifier (on a 4-core cluster, so SPMD mutants analyze every
 /// hart) and asserts a finding with exactly `(check, severity)` fired.
@@ -160,7 +160,7 @@ fn mutant_dma_to_unmapped_destination() {
     let buf = b.tcdm_f64("src", &[0.0; 8]);
     b.li_u(IntReg::A0, buf);
     b.dmsrc(IntReg::A0);
-    b.li_u(IntReg::A1, 0x2000_0000); // hole between TCDM and text
+    b.li_u(IntReg::A1, 0x0300_0000); // hole below TCDM
     b.dmdst(IntReg::A1);
     b.li(IntReg::A2, 64);
     b.dmcpyi(IntReg::A3, IntReg::A2);

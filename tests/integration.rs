@@ -9,6 +9,9 @@ use copift_repro::sim::config::ClusterConfig;
 fn sizes_for(kernel: Kernel) -> (usize, usize) {
     match kernel {
         Kernel::Expf | Kernel::Logf => (256, 32),
+        // The tiled GEMM's TCDM footprint grows with n²; run its operating
+        // shape.
+        Kernel::GemmTiled => (64, 0),
         _ => (256, 64),
     }
 }
